@@ -1,0 +1,67 @@
+"""Shared fixtures for the paper-table benchmarks.
+
+Each benchmark regenerates one table or figure of the paper on a synthetic
+SPECint95 corpus and
+
+* times the computation (pytest-benchmark, single round — these are
+  experiments, not microbenchmarks), and
+* writes the regenerated table to ``results/<name>.txt`` and prints it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — corpus size (default 96 superblocks; the paper
+  used 6615 — raise this when runtime permits).
+* ``REPRO_BENCH_SEED`` — corpus seed (default 1999).
+* ``REPRO_BENCH_MAX_OPS`` — per-superblock op cap (default 100).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.corpus import Corpus, specint95_corpus
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "96"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+BENCH_MAX_OPS = int(os.environ.get("REPRO_BENCH_MAX_OPS", "100"))
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    """The shared benchmark corpus."""
+    return specint95_corpus(
+        scale=BENCH_SCALE, seed=BENCH_SEED, max_ops=BENCH_MAX_OPS
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """A reduced corpus for the quadratic-cost experiments (Tables 2, 6, 7)."""
+    return specint95_corpus(
+        scale=max(8, BENCH_SCALE // 2), seed=BENCH_SEED, max_ops=BENCH_MAX_OPS
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a rendered table/figure to results/ and echo it."""
+
+    def _publish(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        print(f"[saved to {path}]")
+
+    return _publish

@@ -1,0 +1,52 @@
+"""Benchmarks for the extension experiments.
+
+Not paper tables — these probe the design space around them:
+
+* per-SPECint95-program slowdown breakdown (the paper discusses gcc
+  separately; this covers all eight programs);
+* graceful degradation under profile noise (a finer Table 5);
+* the G* family under different secondary heuristics.
+"""
+
+from repro.eval.extensions import (
+    gstar_secondary_table,
+    per_benchmark_table,
+    profile_noise_sweep,
+)
+from repro.machine.machine import FS4
+
+
+def test_per_benchmark_breakdown(benchmark, corpus, publish):
+    result = benchmark.pedantic(
+        lambda: per_benchmark_table(corpus, FS4), rounds=1, iterations=1
+    )
+    publish("ext_per_benchmark", result.render())
+    # Balance is within the two best heuristics for most programs.
+    good = 0
+    for row in result.rows:
+        values = row[2:]
+        balance = values[-1]
+        if sorted(values).index(balance) <= 1:
+            good += 1
+    assert good >= len(result.rows) // 2
+
+
+def test_profile_noise_degradation(benchmark, corpus, publish):
+    result = benchmark.pedantic(
+        lambda: profile_noise_sweep(
+            corpus, FS4, heuristics=("dhasy", "help", "balance")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ext_profile_noise", result.render())
+    # Balance under full noise stays no worse than DHASY under full noise.
+    assert result.data[1.0]["balance"] <= result.data[1.0]["dhasy"] + 1.0
+
+
+def test_gstar_family(benchmark, corpus, publish):
+    result = benchmark.pedantic(
+        lambda: gstar_secondary_table(corpus, FS4), rounds=1, iterations=1
+    )
+    publish("ext_gstar_family", result.render())
+    assert len(result.rows) == 3

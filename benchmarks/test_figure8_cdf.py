@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 8 — CDF of extra cycles over the bound.
+
+The paper plots, for the 126.gcc superblocks on FS4, the fraction of
+superblocks scheduled without more than X additional dynamic cycles above
+the tightest lower bound (log-scale X; the Y-intercept is the fraction of
+optimally scheduled superblocks).
+
+Shape claims: Balance's curve tracks Best's across the whole range and
+its Y-intercept is the highest among the primary heuristics.
+"""
+
+from repro.eval.figures import figure8
+from repro.eval.sched_eval import TABLE_HEURISTICS
+from repro.machine.machine import FS4
+
+
+def test_figure8_gcc_fs4(benchmark, corpus, publish):
+    gcc = corpus.by_benchmark("gcc")
+    result = benchmark.pedantic(
+        lambda: figure8(gcc, FS4, heuristics=TABLE_HEURISTICS),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure8_cdf", result.render())
+
+    intercepts = {name: pts[0][1] for name, pts in result.series.items()}
+    primaries = ("sr", "cp", "gstar", "dhasy", "help")
+    for h in primaries:
+        assert intercepts["balance"] >= intercepts[h] - 1e-9, h
+    # Balance tracks Best: intercept within a few superblocks.
+    assert intercepts["best"] - intercepts["balance"] <= 0.10
+    # All curves are CDFs ending at 1.
+    for pts in result.series.values():
+        assert pts[-1][1] == 1.0

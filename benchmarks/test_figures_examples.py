@@ -1,0 +1,60 @@
+"""Benchmark: regenerate the Figure 1-4 example analyses.
+
+Each figure's narrative is re-derived exactly:
+
+* Figure 1 — CP delays the side exit on the 2-wide machine; SR (and
+  Balance) schedule both exits at their bounds.
+* Figure 2 — Observation 1: Balance schedules operations with compatible
+  needs ({0|1|2} plus op 4 in cycle 0) and both branches hit their bounds.
+* Figure 3 — Observation 2: only the resource-aware LateRC forces op 4
+  into cycle 0; Balance is optimal, the DC-bound variant is not.
+* Figure 4 — Observation 3: the optimal schedule (and Balance's) flips
+  between (side=5, final=9) and (side=3, final=11) as P crosses 0.5,
+  guided by the Pairwise tradeoff curve.
+"""
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.eval.figures import figure_schedules
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.machine.machine import GP2
+from repro.schedulers.base import schedule
+
+
+def _analyze() -> dict:
+    out: dict = {}
+    out["fig1_cp"] = schedule(figure1(), GP2, "cp")
+    out["fig1_sr"] = schedule(figure1(), GP2, "sr")
+    out["fig2_balance"] = schedule(figure2(), GP2, "balance")
+    out["fig3_balance"] = schedule(figure3(), GP2, "balance")
+    out["fig3_help"] = schedule(figure3(), GP2, "help")
+    out["fig4"] = {
+        p: schedule(figure4(p), GP2, "balance") for p in (0.2, 0.45, 0.55, 0.8)
+    }
+    out["fig4_pair"] = BoundSuite(figure4(0.3), GP2).compute().pair_bounds[(6, 18)]
+    out["text"] = figure_schedules()
+    return out
+
+
+def test_paper_figures(benchmark, publish):
+    out = benchmark.pedantic(_analyze, rounds=1, iterations=1)
+    publish("figures_examples", out["text"])
+
+    # Figure 1: CP delays the side exit by >= 3 cycles; SR is optimal.
+    assert out["fig1_cp"].issue[3] - out["fig1_sr"].issue[3] >= 3
+    assert (out["fig1_sr"].issue[3], out["fig1_sr"].issue[16]) == (2, 8)
+    # Figure 2: compatible needs.
+    assert out["fig2_balance"].issue[4] == 0
+    assert (out["fig2_balance"].issue[3], out["fig2_balance"].issue[6]) == (2, 3)
+    # Figure 3: Observation 2.
+    assert out["fig3_balance"].issue[9] == 5
+    assert out["fig3_help"].wct > out["fig3_balance"].wct
+    # Figure 4: regime flip across P = 0.5.
+    for p in (0.2, 0.45):
+        s = out["fig4"][p]
+        assert (s.issue[6], s.issue[18]) == (5, 9)
+    for p in (0.55, 0.8):
+        s = out["fig4"][p]
+        assert (s.issue[6], s.issue[18]) == (3, 11)
+    # The pairwise curve spans both regimes.
+    curve = out["fig4_pair"].curve
+    assert {(pt.x, pt.y) for pt in curve} >= {(5, 9), (3, 11)}

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 1 — bound quality vs the tightest bound.
+
+Paper claims to reproduce in *shape*:
+
+* CP is far weaker than every resource-aware bound;
+* RJ and LC are close on average but can be far off in the worst case
+  (paper: max gaps 9.63-24.94%);
+* Pairwise shrinks the worst-case gap dramatically (paper: 2.26-5.65%);
+* Triplewise is within rounding of the tightest bound everywhere.
+"""
+
+from repro.eval.tables import table1
+
+
+def test_table1_bound_quality(benchmark, corpus, publish):
+    result = benchmark.pedantic(
+        lambda: table1(corpus), rounds=1, iterations=1
+    )
+    publish("table1_bounds", result.render())
+
+    for group in ("GP", "FS"):
+        quality = result.data[group]
+        # Dominance shape: CP weakest, TW tightest (zero gap by definition
+        # of being part of the tightest combination).
+        assert quality["CP"].avg_gap_percent >= quality["RJ"].avg_gap_percent
+        assert quality["RJ"].avg_gap_percent >= quality["LC"].avg_gap_percent - 1e-9
+        assert quality["LC"].avg_gap_percent >= quality["PW"].avg_gap_percent - 1e-9
+        assert quality["TW"].avg_gap_percent == 0.0
+        # Pairwise's worst case improves on RJ/LC's worst case.
+        assert quality["PW"].max_gap_percent <= quality["LC"].max_gap_percent + 1e-9

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 2 — cost of the bound algorithms.
+
+Paper claims to reproduce in shape:
+
+* the Theorem 1 fast path makes LC cheaper than LC-original;
+* Pairwise costs about two orders of magnitude more than RJ/LC, and
+  Triplewise is the most expensive of all;
+* the cheap bounds (CP, Hu) do the least work.
+"""
+
+from repro.eval.tables import table2
+
+
+def test_table2_bound_costs(benchmark, small_corpus, publish):
+    result = benchmark.pedantic(
+        lambda: table2(small_corpus), rounds=1, iterations=1
+    )
+    publish("table2_bound_cost", result.render())
+
+    costs = result.data["costs"]
+    assert costs["LC"].average_trips <= costs["LC-original"].average_trips
+    assert costs["RJ"].average_trips <= costs["LC"].average_trips
+    assert costs["PW"].average_trips >= costs["RJ"].average_trips
+    assert costs["TW"].average_trips >= costs["PW"].average_trips * 0.5

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 3 — scheduler slowdown vs the tightest bound.
+
+Paper claims to reproduce in shape:
+
+* Balance beats every primary heuristic on (essentially) every machine
+  configuration and approaches Best;
+* SR is competitive on narrow machines, CP on wide machines, with DHASY
+  in between;
+* the average slowdown of Balance across configurations is a small
+  fraction of the next-best primary heuristic's.
+"""
+
+import statistics
+
+from repro.eval.sched_eval import TABLE_HEURISTICS
+from repro.eval.tables import ALL_MACHINES, table3
+
+HEUR = TABLE_HEURISTICS  # includes "best"
+
+
+def test_table3_slowdowns(benchmark, corpus, publish):
+    result = benchmark.pedantic(
+        lambda: table3(corpus, heuristics=HEUR), rounds=1, iterations=1
+    )
+    publish("table3_slowdown", result.render())
+
+    summaries = result.data["summaries"]
+
+    def avg(h: str) -> float:
+        return statistics.fmean(
+            summaries[m.name].slowdown_percent(h) for m in ALL_MACHINES
+        )
+
+    primaries = ("sr", "cp", "gstar", "dhasy", "help")
+    # Balance dominates every primary heuristic on average.
+    for h in primaries:
+        assert avg("balance") <= avg(h) + 1e-9, h
+    # Best is the envelope: at most Balance's slowdown.
+    assert avg("best") <= avg("balance") + 1e-9
+    # The width story: SR beats CP on the narrowest machine, CP beats SR
+    # on the widest (FS8 rather than GP4 — GP4's nontrivial set is tiny).
+    assert summaries["GP1"].slowdown_percent("sr") <= summaries[
+        "GP1"
+    ].slowdown_percent("cp")
+    assert summaries["FS8"].slowdown_percent("cp") <= summaries[
+        "FS8"
+    ].slowdown_percent("sr")

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Table 5 — scheduling without profile data.
+
+Schedulers see the paper's no-profile weights (last exit 1000, all side
+exits 1); evaluation uses the true exit probabilities.
+
+Paper claims to reproduce in shape:
+
+* SR and CP are unaffected (they ignore weights);
+* G* degenerates toward CP (the last branch is always critical);
+* Help and Balance are nearly profile-insensitive: their slowdown
+  increase is small compared to DHASY's.
+"""
+
+import statistics
+
+from repro.eval.tables import ALL_MACHINES, table3, table5
+
+HEUR = ("sr", "cp", "gstar", "dhasy", "help", "balance")
+
+
+def test_table5_noprofile(benchmark, corpus, publish):
+    profiled = table3(corpus, heuristics=HEUR)
+
+    result = benchmark.pedantic(
+        lambda: table5(
+            corpus,
+            heuristics=HEUR,
+            profiled_summaries=profiled.data["summaries"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("table5_noprofile", result.render())
+
+    noprof = result.data["summaries"]
+    prof = profiled.data["summaries"]
+
+    def delta(h: str) -> float:
+        return statistics.fmean(
+            noprof[m.name].slowdown_percent(h) for m in ALL_MACHINES
+        ) - statistics.fmean(
+            prof[m.name].slowdown_percent(h) for m in ALL_MACHINES
+        )
+
+    # SR/CP ignore weights entirely.
+    assert abs(delta("sr")) < 1e-9
+    assert abs(delta("cp")) < 1e-9
+    # Balance stays nearly profile-insensitive (small absolute increase).
+    assert delta("balance") <= 1.0

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 7 — ablation of the Balance components.
+
+Grid: {Help, HlpDel, Help+Bound, HlpDel+Bound, HlpDel+Bound+Tradeoff}
+      x {update once per cycle, update once per operation}.
+
+Paper claims to reproduce in shape:
+
+* updating the bound information once per scheduled operation is the
+  single largest win;
+* the LC-based bounds (Bound) are the second most important factor;
+* the full combination (HlpDel+Bound+Tradeoff, per-op) — i.e. Balance —
+  is at least as good as plain Help in the same row.
+"""
+
+from repro.eval.tables import table7
+
+
+def test_table7_component_ablation(benchmark, small_corpus, publish):
+    result = benchmark.pedantic(
+        lambda: table7(small_corpus), rounds=1, iterations=1
+    )
+    publish("table7_ablation", result.render())
+
+    per_cycle, per_op = result.rows
+    combos = result.headers[1:]
+    help_idx = combos.index("Help") + 1
+    balance_idx = combos.index("HlpDel+Bound+Tradeoff") + 1
+
+    # Per-op updating dominates per-cycle updating for the full config.
+    assert per_op[balance_idx] <= per_cycle[balance_idx] + 1e-9
+    # The full Balance beats plain Help within the per-op row.
+    assert per_op[balance_idx] <= per_op[help_idx] + 1e-9

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Architecture exploration: how much machine do SPECint95 superblocks need?
+
+Sweeps the paper's six VLIW configurations plus two custom design points,
+schedules a corpus with Balance on each, and reports expected dynamic
+cycles, achieved-bound fraction, and the marginal benefit of each
+widening step — the kind of question the paper's Table 3 answers for
+scheduler quality, asked here for hardware sizing.
+
+Run:  python examples/machine_design.py [scale]
+"""
+
+import sys
+
+from repro import BoundSuite, MachineConfig, PAPER_MACHINES
+from repro.schedulers import schedule
+from repro.workloads import specint95_corpus
+
+#: Two design points between the paper's FS4 and FS6/FS8.
+CUSTOM = (
+    MachineConfig(name="FS5-mem", units={"int": 1, "mem": 2, "float": 1, "branch": 1}),
+    MachineConfig(name="FS5-int", units={"int": 2, "mem": 1, "float": 1, "branch": 1}),
+)
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    corpus = specint95_corpus(scale=scale, max_ops=100)
+    print(f"corpus: {len(corpus)} superblocks\n")
+    print(f"{'machine':10s} {'units':28s} {'dyn cycles':>12s} "
+          f"{'vs GP1':>8s} {'at-bound':>9s}")
+
+    rows = []
+    for machine in PAPER_MACHINES + CUSTOM:
+        total = 0.0
+        at_bound = 0
+        for sb in corpus:
+            suite = BoundSuite(sb, machine, include_triplewise=False)
+            bound = suite.compute().tightest
+            s = schedule(sb, machine, "balance", suite=suite, validate=False)
+            total += sb.exec_freq * s.wct
+            if s.wct <= bound + 1e-9:
+                at_bound += 1
+        rows.append((machine, total, at_bound))
+
+    base = rows[0][1]
+    for machine, total, at_bound in rows:
+        units = ", ".join(f"{r}={c}" for r, c in sorted(machine.units.items()))
+        print(
+            f"{machine.name:10s} {units:28s} {total:12.1f} "
+            f"{base / total:7.3f}x {100 * at_bound / len(corpus):8.1f}%"
+        )
+
+    print(
+        "\nReading: the jump from 1-wide to 2-wide pays the most; beyond "
+        "the FS6-class mix, extra units mostly idle on integer code "
+        "(compare the at-bound column with the paper's 81/89/96% for "
+        "FS4/FS6/FS8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Figure 1-4 examples end to end.
+
+Prints, for each figure: the graph summary, the per-branch bounds, every
+heuristic's schedule, and — for Figure 4 — the Pairwise tradeoff curve and
+the probability sweep of Observation 3.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import GP2, BoundSuite
+from repro.ir.examples import PAPER_EXAMPLES, figure4
+from repro.schedulers import schedule
+
+HEURISTICS = ("cp", "sr", "gstar", "dhasy", "help", "balance", "optimal")
+
+
+def show_figure(name: str) -> None:
+    sb, machine = PAPER_EXAMPLES[name]
+    suite = BoundSuite(sb, machine)
+    bounds = suite.compute()
+    print(f"\n=== {name}: {sb.num_operations} ops, exits {list(sb.branches)} "
+          f"on {machine.name} ===")
+    print(f"per-branch LC bounds: {bounds.branch_bounds['LC']}")
+    print(f"tightest WCT bound:   {bounds.tightest:.4f}")
+    for heuristic in HEURISTICS:
+        s = schedule(sb, machine, heuristic)
+        exits = {b: s.issue[b] for b in sb.branches}
+        flag = "  *" if s.wct <= bounds.tightest + 1e-9 else ""
+        print(f"  {heuristic:8s} WCT={s.wct:.4f}  exits@{exits}{flag}")
+
+
+def observation3_sweep() -> None:
+    print("\n=== Observation 3: Figure 4's probability sweep ===")
+    base = figure4(0.5)
+    suite = BoundSuite(base, GP2)
+    pair = suite.compute().pair_bounds[(6, 18)]
+    print("pairwise tradeoff curve (separation, side bound, final bound):")
+    for pt in pair.curve:
+        print(f"  l={pt.separation:2d}  side>={pt.x}  final>={pt.y}")
+    print("\n P(side)   optimal schedule        Balance")
+    for p10 in range(1, 10):
+        p = p10 / 10
+        sb = figure4(p)
+        opt = schedule(sb, GP2, "optimal")
+        bal = schedule(sb, GP2, "balance")
+        print(
+            f"   {p:.1f}     side@{opt.issue[6]} final@{opt.issue[18]} "
+            f"wct={opt.wct:6.3f}   side@{bal.issue[6]} final@{bal.issue[18]} "
+            f"wct={bal.wct:6.3f}"
+        )
+
+
+def main() -> None:
+    for name in PAPER_EXAMPLES:
+        show_figure(name)
+    observation3_sweep()
+
+
+if __name__ == "__main__":
+    main()

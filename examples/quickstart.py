@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: build a superblock, bound it, schedule it, inspect it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GP2, BoundSuite, SuperblockBuilder
+from repro.ir.dot import to_dot
+from repro.schedulers import schedule
+
+
+def main() -> None:
+    # A small superblock: a side exit guarded by three compare-ish ops, a
+    # loaded value feeding the fall-through exit.
+    sb = (
+        SuperblockBuilder("quickstart")
+        .op("load")                      # 0: load a field
+        .op("cmp", preds=[0])            # 1: test it
+        .op("add")                       # 2: unrelated work
+        .exit(0.3, preds=[1, 2])         # 3: side exit, taken 30%
+        .op("load")                      # 4: second load
+        .op("mul", preds=[4])            # 5: compute on it
+        .last_exit(preds=[5])            # 6: fall-through exit, 70%
+    )
+
+    print(f"superblock {sb.name}: {sb.num_operations} ops, "
+          f"{sb.num_branches} exits, weights {dict(sb.weights)}")
+
+    # Lower bounds on the weighted completion time.
+    bounds = BoundSuite(sb, GP2).compute()
+    print("\nlower bounds (WCT):")
+    for name, wct in bounds.wct.items():
+        marker = "  <- tightest" if wct == bounds.tightest else ""
+        print(f"  {name:3s} = {wct:.4f}{marker}")
+
+    # Schedule with every heuristic and compare against the bound.
+    print("\nschedules on GP2:")
+    for heuristic in ("cp", "sr", "gstar", "dhasy", "help", "balance"):
+        s = schedule(sb, GP2, heuristic)
+        status = "optimal" if s.wct <= bounds.tightest + 1e-9 else "suboptimal"
+        print(f"  {heuristic:8s} WCT={s.wct:.4f} length={s.length}  [{status}]")
+
+    # Cycle-by-cycle view of the Balance schedule.
+    s = schedule(sb, GP2, "balance")
+    print("\nBalance schedule, cycle by cycle:")
+    for row in s.as_rows(sb, GP2):
+        print("  cycle " + row[0] + ": " + ", ".join(row[1:]))
+
+    # Export the dependence graph for graphviz rendering.
+    print("\nDOT graph (pipe into `dot -Tpng`):\n")
+    print(to_dot(sb))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""What speculation costs: wasted issue slots and register pressure.
+
+The paper optimizes expected cycles; this example surfaces the two costs
+speculation trades for them. For each heuristic it
+
+1. Monte-Carlo-executes the schedules (``repro.sim``) and confirms the
+   measured mean cycles converge to the WCT;
+2. reports the expected fraction of issued operations that executed in
+   vain (control left before their result mattered);
+3. reports the peak register pressure vs the source-order baseline.
+
+Run:  python examples/speculation_cost.py [scale]
+"""
+
+import statistics
+import sys
+
+from repro import GP2
+from repro.eval.regpressure import max_pressure, sequential_pressure
+from repro.schedulers import schedule
+from repro.sim import expected_speculation_waste, simulate
+from repro.workloads import specint95_corpus
+
+HEURISTICS = ("sr", "cp", "dhasy", "balance")
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    corpus = specint95_corpus(scale=scale, max_ops=60)
+    print(f"corpus: {len(corpus)} superblocks on {GP2.name}\n")
+
+    print(f"{'heuristic':10s} {'mean WCT':>9s} {'sim error':>10s} "
+          f"{'waste%':>7s} {'pressure':>9s} {'vs seq':>7s}")
+    seq_pressure = statistics.fmean(
+        sequential_pressure(sb) for sb in corpus
+    )
+    for heuristic in HEURISTICS:
+        wcts, errors, wastes, pressures = [], [], [], []
+        for sb in corpus:
+            s = schedule(sb, GP2, heuristic, validate=False)
+            wcts.append(s.wct)
+            wastes.append(expected_speculation_waste(sb, s))
+            pressures.append(max_pressure(sb, s))
+            if sb.num_branches > 1:
+                stats = simulate(sb, GP2, s, runs=2000, seed=1)
+                errors.append(stats.relative_error)
+        print(
+            f"{heuristic:10s} {statistics.fmean(wcts):9.3f} "
+            f"{100 * statistics.fmean(errors):9.2f}% "
+            f"{100 * statistics.fmean(wastes):6.2f}% "
+            f"{statistics.fmean(pressures):9.2f} "
+            f"{statistics.fmean(pressures) / seq_pressure:6.2f}x"
+        )
+
+    print(
+        "\nReading: every heuristic's simulated cycles match its WCT "
+        "(the objective is a true expectation); schedulers that hoist "
+        "more aggressively pay in wasted issue slots and registers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro: reproduction of "Balance Scheduling: Weighting Branch Tradeoffs
+in Superblocks" (Eichenberger & Meleis, MICRO 1999).
+
+The package implements the paper's two contributions plus every substrate
+they need:
+
+* :mod:`repro.bounds` — superblock WCT lower bounds (CP, Hu, RJ, LC,
+  Pairwise, Triplewise).
+* :mod:`repro.core` — the Balance scheduling heuristic.
+* :mod:`repro.schedulers` — baseline heuristics (CP, SR, G*, DHASY, Help,
+  Best) and an optimal branch-and-bound scheduler.
+* :mod:`repro.ir` / :mod:`repro.machine` — superblock IR and VLIW machine
+  models.
+* :mod:`repro.workloads` — synthetic SPECint95-like corpus generation.
+* :mod:`repro.cfg` — CFG substrate: trace selection and superblock
+  formation with tail duplication.
+* :mod:`repro.eval` — harnesses regenerating every paper table and figure.
+* :mod:`repro.sim` — Monte Carlo execution of scheduled superblocks.
+
+Quickstart::
+
+    from repro import SuperblockBuilder, GP2, BoundSuite, schedule
+
+    sb = (SuperblockBuilder("demo")
+          .op("add").op("add").op("add")
+          .exit(0.3, preds=[0, 1, 2])
+          .op("load").op("add", preds=[4])
+          .last_exit(preds=[5]))
+    bounds = BoundSuite(sb, GP2).compute()
+    result = schedule(sb, GP2, "balance")
+    print(result.wct, bounds.tightest)
+"""
+
+from repro.bounds import BoundSuite, Counters, SuperblockBounds
+from repro.ir import (
+    DependenceGraph,
+    OpClass,
+    Opcode,
+    Operation,
+    Superblock,
+    SuperblockBuilder,
+)
+from repro.machine import (
+    FS4,
+    FS6,
+    FS8,
+    GP1,
+    GP2,
+    GP4,
+    PAPER_MACHINES,
+    MachineConfig,
+    machine_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FS4",
+    "FS6",
+    "FS8",
+    "GP1",
+    "GP2",
+    "GP4",
+    "PAPER_MACHINES",
+    "BoundSuite",
+    "Counters",
+    "DependenceGraph",
+    "MachineConfig",
+    "OpClass",
+    "Opcode",
+    "Operation",
+    "Superblock",
+    "SuperblockBounds",
+    "SuperblockBuilder",
+    "__version__",
+    "machine_by_name",
+    "schedule",
+]
+
+
+def schedule(sb, machine, heuristic="balance", **kwargs):
+    """Schedule a superblock with a named heuristic; see
+    :func:`repro.schedulers.schedule`."""
+    from repro.schedulers import schedule as _schedule
+
+    return _schedule(sb, machine, heuristic, **kwargs)

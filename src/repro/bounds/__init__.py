@@ -1,0 +1,56 @@
+"""Lower bounds on superblock weighted completion time.
+
+Bound families, from weakest to strongest (Table 1 of the paper):
+
+* **CP** — dependence-only critical path.
+* **Hu** — CP plus a per-deadline-level resource packing argument.
+* **RJ** — the Rim & Jain relaxation (EDF placement with release times and
+  deadlines).
+* **LC** — Langevin & Cerny's recursive RJ, with the paper's Theorem 1
+  fast path.
+* **PW** — the paper's Pairwise bound: per-branch-pair tradeoff curves
+  aggregated by Theorem 3 averaging.
+* **TW** — the Triplewise generalization, aggregated through an LP over
+  all collected inequalities.
+
+Entry point: :class:`BoundSuite` (one superblock, one machine).
+"""
+
+from repro.bounds.branch_rj import rj_branch_bound, rj_branch_bounds
+from repro.bounds.critical_path import cp_branch_bounds
+from repro.bounds.hu import hu_branch_bound, hu_branch_bounds
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc, lc_branch_bounds
+from repro.bounds.late_rc import late_rc_for_branch, reversed_subgraph
+from repro.bounds.pairwise import PairBound, PairwiseBounder, TradeoffPoint
+from repro.bounds.rim_jain import RJResult, SlotAllocator, rim_jain_sink_bound
+from repro.bounds.superblock_bounds import (
+    BOUND_NAMES,
+    BoundSuite,
+    SuperblockBounds,
+)
+from repro.bounds.triplewise import TripleBound, TriplewiseBounder
+
+__all__ = [
+    "BOUND_NAMES",
+    "BoundSuite",
+    "Counters",
+    "PairBound",
+    "PairwiseBounder",
+    "RJResult",
+    "SlotAllocator",
+    "SuperblockBounds",
+    "TradeoffPoint",
+    "TripleBound",
+    "TriplewiseBounder",
+    "cp_branch_bounds",
+    "early_rc",
+    "hu_branch_bound",
+    "hu_branch_bounds",
+    "late_rc_for_branch",
+    "lc_branch_bounds",
+    "reversed_subgraph",
+    "rim_jain_sink_bound",
+    "rj_branch_bound",
+    "rj_branch_bounds",
+]

@@ -1,0 +1,51 @@
+"""Per-branch Rim & Jain bound (the paper's "RJ" row).
+
+Applies the relaxation of :mod:`repro.bounds.rim_jain` to the subgraph
+rooted at each branch, with dependence-only release times (``EarlyDC``) and
+deadlines (``LateDC``).
+"""
+
+from __future__ import annotations
+
+from repro.bounds.earliest import deadlines_for_sink, dist_to_sink, subgraph_nodes
+from repro.bounds.instrumentation import Counters
+from repro.bounds.rim_jain import rim_jain_sink_bound
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+
+def rj_branch_bound(
+    sb: Superblock,
+    machine: MachineConfig,
+    branch: int,
+    counters: Counters | None = None,
+) -> int:
+    """RJ lower bound on the issue cycle of one branch."""
+    graph = sb.graph
+    nodes = subgraph_nodes(graph, branch)
+    early = graph.early_dc()
+    dist = dist_to_sink(graph, branch, nodes)
+    late = deadlines_for_sink(early[branch], dist)
+    rclass = {v: machine.resource_of(graph.op(v)) for v in nodes}
+    occupancy = None
+    if not machine.fully_pipelined:
+        occupancy = {v: machine.occupancy_of(graph.op(v)) for v in nodes}
+    result = rim_jain_sink_bound(
+        nodes,
+        {v: early[v] for v in nodes},
+        late,
+        early[branch],
+        rclass,
+        machine,
+        counters,
+        counter_prefix="rj",
+        occupancy=occupancy,
+    )
+    return result.bound
+
+
+def rj_branch_bounds(
+    sb: Superblock, machine: MachineConfig, counters: Counters | None = None
+) -> dict[int, int]:
+    """RJ bound for every exit branch."""
+    return {b: rj_branch_bound(sb, machine, b, counters) for b in sb.branches}

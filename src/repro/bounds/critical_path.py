@@ -1,0 +1,21 @@
+"""Critical path (CP) bound: dependence constraints only.
+
+The weakest bound in the paper's Table 1: each branch's earliest issue is
+its dependence-only longest path from the superblock entry (``EarlyDC``).
+Resources are ignored entirely.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.instrumentation import Counters
+from repro.ir.superblock import Superblock
+
+
+def cp_branch_bounds(
+    sb: Superblock, counters: Counters | None = None
+) -> dict[int, int]:
+    """``EarlyDC[b]`` for every exit branch ``b``."""
+    early = sb.graph.early_dc()
+    if counters is not None:
+        counters.add("cp.visit", sb.graph.num_operations + sb.graph.num_edges)
+    return {b: early[b] for b in sb.branches}

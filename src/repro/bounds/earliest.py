@@ -1,0 +1,81 @@
+"""Dependence-only timing helpers shared by the bound algorithms.
+
+All helpers operate on the *subgraph rooted at a sink* — the sink together
+with its transitive predecessors — which is the unit of work of every bound
+in the paper. Subgraphs are represented by sorted index lists (program
+order is a topological order in our IR, see :mod:`repro.ir.depgraph`).
+"""
+
+from __future__ import annotations
+
+from repro.ir.depgraph import DependenceGraph
+
+
+def subgraph_nodes(graph: DependenceGraph, sink: int) -> list[int]:
+    """The sink and its transitive predecessors, in topological order."""
+    return _mask_nodes(graph.subgraph_mask(sink))
+
+
+def _mask_nodes(mask: int) -> list[int]:
+    nodes = []
+    idx = 0
+    while mask:
+        if mask & 1:
+            nodes.append(idx)
+        mask >>= 1
+        idx += 1
+    return nodes
+
+
+def earliest_with_release(
+    graph: DependenceGraph,
+    nodes: list[int],
+    release: dict[int, int] | list[int],
+) -> dict[int, int]:
+    """Forward longest-path earliest times floored by per-op release times.
+
+    ``est[v] = max(release[v], max over preds p of est[p] + lat(p, v))``.
+    ``nodes`` must be closed under predecessors and topologically sorted.
+    """
+    est: dict[int, int] = {}
+    for v in nodes:
+        e = release[v]
+        for u, lat in graph.preds(v):
+            cand = est[u] + lat
+            if cand > e:
+                e = cand
+        est[v] = e
+    return est
+
+
+def dist_to_sink(
+    graph: DependenceGraph, sink: int, nodes: list[int]
+) -> dict[int, int]:
+    """Longest-path latency from every node to ``sink`` within the subgraph.
+
+    ``dist[sink] == 0``. Every node in ``nodes`` is assumed to reach the
+    sink or be the sink (true for subgraphs rooted at the sink); nodes with
+    no path get ``-inf`` semantics via exclusion from successor scans, and
+    are reported with distance 0 only if they *are* the sink.
+    """
+    in_sub = set(nodes)
+    dist: dict[int, int] = {sink: 0}
+    for v in reversed(nodes):
+        if v == sink:
+            continue
+        best = None
+        for w, lat in graph.succs(v):
+            if w in in_sub and w in dist:
+                cand = dist[w] + lat
+                if best is None or cand > best:
+                    best = cand
+        if best is not None:
+            dist[v] = best
+    return dist
+
+
+def deadlines_for_sink(
+    est_sink: int, dist: dict[int, int]
+) -> dict[int, int]:
+    """Deadlines ``late[v] = est_sink - dist[v]`` for nodes that reach the sink."""
+    return {v: est_sink - d for v, d in dist.items()}

@@ -1,0 +1,59 @@
+"""Loop-trip-count instrumentation for the bound algorithms.
+
+Table 2 of the paper characterizes each bound's cost by the *sum of its
+loop trip counts*. The bound implementations accept an optional
+:class:`Counters` object and increment named counters in their inner loops;
+the Table 2 harness aggregates them per algorithm.
+
+Counting is optional and costs nothing when disabled: every hot loop guards
+the increment with ``if counters is not None``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Counters:
+    """Named trip counters with a tiny API.
+
+    Example::
+
+        counters = Counters()
+        counters.add("rj.place", 5)
+        counters.total("rj")        # sum of all counters under the rj. prefix
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        if not prefix:
+            return sum(self._counts.values())
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return sum(
+            count
+            for name, count in self._counts.items()
+            if name == prefix or name.startswith(dotted)
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counters") -> None:
+        self._counts.update(other._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counters({dict(self._counts)!r})"

@@ -1,0 +1,94 @@
+"""Langevin & Cerny recursive bound (``EarlyRC``) with the Theorem 1 fast path.
+
+Langevin and Cerny [17] tighten the RJ bound by recursion: the release time
+fed into each operation's relaxation is itself a resource-aware lower bound
+computed the same way. We process operations in topological order, so every
+predecessor's ``EarlyRC`` is available when an operation is solved.
+
+**Theorem 1 (Trivial Bound Recursion)** — the paper's optimization: when an
+operation ``v`` has a *unique* direct predecessor ``p`` and the edge
+latency is positive, the recursive solve is unnecessary because
+
+    EarlyRC[v] = EarlyRC[p] + lat(p, v).
+
+The ``fast_path`` flag toggles this optimization so Table 2 can compare
+the optimized algorithm ("LC") against the original ("LC-original").
+
+A useful consequence of the recursion (used to skip redundant forward DPs):
+``EarlyRC`` is monotone along edges, ``EarlyRC[v] >= EarlyRC[p] + lat``,
+so the dependence-only earliest time of ``v`` given ``EarlyRC`` releases is
+just ``max over preds (EarlyRC[p] + lat)``.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.earliest import dist_to_sink, subgraph_nodes
+from repro.bounds.instrumentation import Counters
+from repro.bounds.rim_jain import rim_jain_sink_bound
+from repro.ir.depgraph import DependenceGraph
+from repro.machine.machine import MachineConfig
+
+
+def early_rc(
+    graph: DependenceGraph,
+    machine: MachineConfig,
+    counters: Counters | None = None,
+    fast_path: bool = True,
+    counter_prefix: str = "lc",
+) -> list[int]:
+    """``EarlyRC[v]`` for every operation of ``graph``.
+
+    Args:
+        fast_path: apply the Theorem 1 shortcut for single-predecessor
+            operations (the paper reports it removes ~30% of the work).
+    """
+    n = graph.num_operations
+    rc = [0] * n
+    rclass_all = [machine.resource_of(graph.op(v)) for v in range(n)]
+    occ_all = None
+    if not machine.fully_pipelined:
+        # Theorem 1's proof needs single-cycle occupancy; disable the
+        # shortcut on machines with blocking units.
+        fast_path = False
+        occ_all = [machine.occupancy_of(graph.op(v)) for v in range(n)]
+    for v in range(n):
+        preds = graph.preds(v)
+        if not preds:
+            rc[v] = 0
+            continue
+        if fast_path and len(preds) == 1 and preds[0][1] > 0:
+            p, lat = preds[0]
+            rc[v] = rc[p] + lat
+            if counters is not None:
+                counters.add(f"{counter_prefix}.trivial", 1)
+            continue
+        est_v = max(rc[p] + lat for p, lat in preds)
+        nodes = subgraph_nodes(graph, v)
+        dist = dist_to_sink(graph, v, nodes)
+        if counters is not None:
+            counters.add(f"{counter_prefix}.late", len(nodes))
+        early = {u: rc[u] for u in nodes}
+        early[v] = est_v
+        late = {u: est_v - dist[u] for u in nodes}
+        rclass = {u: rclass_all[u] for u in nodes}
+        occupancy = (
+            {u: occ_all[u] for u in nodes} if occ_all is not None else None
+        )
+        result = rim_jain_sink_bound(
+            nodes, early, late, est_v, rclass, machine, counters,
+            counter_prefix, occupancy=occupancy,
+        )
+        rc[v] = result.bound
+    return rc
+
+
+def lc_branch_bounds(
+    sb_graph: DependenceGraph,
+    branches: tuple[int, ...],
+    machine: MachineConfig,
+    counters: Counters | None = None,
+    fast_path: bool = True,
+) -> dict[int, int]:
+    """LC bound (``EarlyRC``) for every exit branch."""
+    rc = early_rc(sb_graph, machine, counters, fast_path)
+    return {b: rc[b] for b in branches}

@@ -1,0 +1,220 @@
+"""The Pairwise bound (Section 4.2, Theorem 2, Figure 5).
+
+For an ordered branch pair ``(i, j)`` (``i`` earlier in program order, so
+``i`` is an ancestor of ``j`` via control edges), the bound quantifies the
+*tradeoff* between scheduling the two branches early. For every candidate
+separation ``l = t_j - t_i`` we add a virtual edge ``i -> j`` with latency
+``l`` to the subgraph rooted at ``j`` and solve one Rim & Jain relaxation:
+
+* ``y_l`` — lower bound on ``t_j`` when ``i`` issues at least ``l`` cycles
+  before ``j``;
+* ``x_l = y_l - l`` — the matching lower bound on ``t_i``.
+
+The relaxation uses the recursive ``EarlyRC`` release times and the
+resource-aware ``LateRC`` deadlines (shifted by ``j``'s delay), which is
+what makes the bound "tightly integrate dependence and resource
+constraints" (Observation 2).
+
+Sweeping ``l`` over ``[l_br .. EarlyRC[j] + 1]`` traces the full tradeoff
+curve; the *pair bound* is the curve point minimizing
+``w_i * x + w_j * y``. Theorem 2's monotonicity arguments let the sweep
+stop early at both ends, exactly as in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.earliest import dist_to_sink, subgraph_nodes
+from repro.bounds.instrumentation import Counters
+from repro.bounds.rim_jain import rim_jain_sink_bound
+from repro.ir.depgraph import DependenceGraph
+from repro.machine.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of a pair's tradeoff curve."""
+
+    separation: int  #: the virtual latency l = t_j - t_i enforced
+    x: int  #: lower bound on t_i under this separation
+    y: int  #: lower bound on t_j under this separation
+
+
+@dataclass(frozen=True)
+class PairBound:
+    """Tradeoff analysis of an ordered branch pair ``(i, j)``.
+
+    Attributes:
+        i, j: branch operation indices, ``i`` earlier in program order.
+        x, y: the pair bound — curve point minimizing ``w_i*x + w_j*y``.
+        curve: all evaluated tradeoff points, by increasing separation.
+        conflict_free: True when both branches can reach their individual
+            ``EarlyRC`` times simultaneously (no tradeoff exists).
+    """
+
+    i: int
+    j: int
+    x: int
+    y: int
+    curve: tuple[TradeoffPoint, ...]
+    conflict_free: bool
+
+    def cost(self, w_i: float, w_j: float) -> float:
+        return w_i * self.x + w_j * self.y
+
+    def best_for_weights(self, w_i: float, w_j: float) -> TradeoffPoint:
+        """Curve point minimizing the weighted cost for arbitrary weights."""
+        return min(self.curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
+
+
+class PairwiseBounder:
+    """Computes pair bounds for one superblock graph on one machine.
+
+    Shares the per-branch subgraph structures (node lists, distance maps)
+    across all separations of all pairs involving the same later branch.
+    """
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine: MachineConfig,
+        early_rc: list[int],
+        late_rc: dict[int, dict[int, int]],
+        branch_latency: int = 1,
+        counters: Counters | None = None,
+    ) -> None:
+        """
+        Args:
+            early_rc: forward LC bound for every operation.
+            late_rc: per-branch resource-aware late times
+                (``late_rc[b][v]``), from :mod:`repro.bounds.late_rc`.
+        """
+        self._graph = graph
+        self._machine = machine
+        self._early_rc = early_rc
+        self._late_rc = late_rc
+        self._l_br = branch_latency
+        self._counters = counters
+        self._sink_cache: dict[int, tuple[list[int], dict[int, int], dict[int, str]]] = {}
+        self._occupancy: dict[int, dict[int, int]] = {}
+
+    def _sink_context(self, j: int):
+        ctx = self._sink_cache.get(j)
+        if ctx is None:
+            nodes = subgraph_nodes(self._graph, j)
+            dist_j = dist_to_sink(self._graph, j, nodes)
+            rclass = {
+                v: self._machine.resource_of(self._graph.op(v)) for v in nodes
+            }
+            if not self._machine.fully_pipelined:
+                self._occupancy[j] = {
+                    v: self._machine.occupancy_of(self._graph.op(v))
+                    for v in nodes
+                }
+            ctx = (nodes, dist_j, rclass)
+            self._sink_cache[j] = ctx
+        return ctx
+
+    def _solve(
+        self,
+        i: int,
+        j: int,
+        separation: int,
+        nodes: list[int],
+        dist_j: dict[int, int],
+        dist_i: dict[int, int],
+        rclass: dict[int, str],
+    ) -> TradeoffPoint:
+        """One RJ relaxation with the virtual edge ``i -> j`` at ``separation``."""
+        rc = self._early_rc
+        est_j = max(rc[j], rc[i] + separation)
+        shift = est_j - rc[j]
+        late_rc_j = self._late_rc[j]
+        late: dict[int, int] = {}
+        for v in nodes:
+            # Dependence deadline, accounting for the virtual edge: paths
+            # through i must leave room for the enforced separation.
+            d = dist_j[v]
+            di = dist_i.get(v)
+            if di is not None:
+                d_via_i = di + separation
+                if d_via_i > d:
+                    d = d_via_i
+            dep_late = est_j - d
+            rc_late = late_rc_j[v] + shift
+            late[v] = dep_late if dep_late < rc_late else rc_late
+        early = {v: rc[v] for v in nodes}
+        result = rim_jain_sink_bound(
+            nodes, early, late, est_j, rclass, self._machine,
+            self._counters, counter_prefix="pw",
+            occupancy=self._occupancy.get(j),
+        )
+        y = result.bound
+        return TradeoffPoint(separation=separation, x=y - separation, y=y)
+
+    def pair_bound(self, i: int, j: int, w_i: float, w_j: float) -> PairBound:
+        """Compute the pair bound for branches ``i < j`` with exit weights.
+
+        Follows Figure 5: start at the separation that would let both
+        branches issue at their individual ``EarlyRC``; walk down until
+        ``j`` reaches its ``EarlyRC``; walk up until ``i`` reaches its
+        ``EarlyRC`` (or the Theorem 2 cap ``EarlyRC[j] + 1``).
+        """
+        if not self._graph.is_ancestor(i, j):
+            raise ValueError(
+                f"branch {i} is not an ancestor of branch {j}; pairwise bounds "
+                "require ordered superblock exits"
+            )
+        nodes, dist_j, rclass = self._sink_context(j)
+        dist_i = dist_to_sink(self._graph, i, subgraph_nodes(self._graph, i))
+        rc = self._early_rc
+        l_min = self._l_br
+        l_max = rc[j] + 1
+        l_start = max(l_min, min(l_max, rc[j] - rc[i]))
+
+        points: dict[int, TradeoffPoint] = {}
+
+        def eval_at(l: int) -> TradeoffPoint:
+            if l not in points:
+                if self._counters is not None:
+                    self._counters.add("pw.latency_trials", 1)
+                points[l] = self._solve(i, j, l, nodes, dist_j, dist_i, rclass)
+            return points[l]
+
+        first = eval_at(l_start)
+        conflict_free = first.y == rc[j] and first.x <= rc[i]
+        covered_high = first.x <= rc[i]
+        if not conflict_free:
+            # Phase 1: decrease separation until j is as early as possible.
+            # Smaller separations are covered by the stopping point: they can
+            # only raise x while y is already at its floor.
+            if first.y != rc[j]:
+                for l in range(l_start - 1, l_min - 1, -1):
+                    if eval_at(l).y == rc[j]:
+                        break
+            # Phase 2: increase separation until i is as early as possible;
+            # larger separations are then covered by the stopping point.
+            if first.x > rc[i]:
+                for l in range(l_start + 1, l_max + 1):
+                    if eval_at(l).x <= rc[i]:
+                        covered_high = True
+                        break
+        if not covered_high:
+            # Theorem 2 guarantees x reaches EarlyRC[i] by l_max; if an
+            # implementation detail (e.g. the LateRC caps) leaves a gap, fall
+            # back to the always-valid individual-bounds point so every
+            # separation beyond the sweep stays covered.
+            points[l_max + 1] = TradeoffPoint(
+                separation=l_max + 1, x=rc[i], y=rc[j]
+            )
+        curve = tuple(points[l] for l in sorted(points))
+        # Clamp x to EarlyRC[i]: separations beyond the cap cannot push i
+        # below its own bound (Theorem 2's terminal argument).
+        curve = tuple(
+            TradeoffPoint(p.separation, max(p.x, rc[i]), p.y) for p in curve
+        )
+        best = min(curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
+        return PairBound(
+            i=i, j=j, x=best.x, y=best.y, curve=curve, conflict_free=conflict_free
+        )

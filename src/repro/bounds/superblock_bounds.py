@@ -1,0 +1,294 @@
+"""Superblock-level lower bounds on the weighted completion time.
+
+Combines the per-branch bounds (CP, Hu, RJ, LC) and the pair/triple
+tradeoff bounds into WCT lower bounds:
+
+* **naive aggregation** — ``sum_b w_b * (bound_b + l_br)`` for any family
+  of per-branch bounds; ignores inter-branch conflicts.
+* **Theorem 3 averaging** — the paper's Pairwise superblock bound: each
+  branch's per-pair values are averaged over all pairs containing it, then
+  aggregated; valid because the per-pair inequalities can be summed.
+* **LP combination** (an extension, documented in DESIGN.md §5) — the
+  tightest bound derivable from *all* collected inequalities (individual,
+  pairwise, triplewise): minimize ``sum w_b t_b`` over the polyhedron they
+  define. Strictly dominates the averaging bound and remains valid when
+  only a subset of pairs/triples was computed.
+
+The :class:`BoundSuite` orchestrates every algorithm over one superblock
+and one machine, sharing intermediate results (``EarlyRC``, ``LateRC``),
+and reports each bound plus the tightest. Its caches are also the static
+inputs of the Balance scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.bounds.branch_rj import rj_branch_bounds
+from repro.bounds.critical_path import cp_branch_bounds
+from repro.bounds.hu import hu_branch_bounds
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.pairwise import PairBound, PairwiseBounder
+from repro.bounds.triplewise import TripleBound, TriplewiseBounder
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+#: Names of the bound families, in the paper's Table 1 order.
+BOUND_NAMES = ("CP", "Hu", "RJ", "LC", "PW", "TW")
+
+
+@dataclass
+class SuperblockBounds:
+    """All WCT lower bounds computed for one superblock on one machine."""
+
+    superblock: str
+    machine: str
+    branch_bounds: dict[str, dict[int, int]]
+    wct: dict[str, float]
+    pair_bounds: dict[tuple[int, int], PairBound] = field(default_factory=dict)
+    triple_bounds: dict[tuple[int, int, int], TripleBound] = field(
+        default_factory=dict
+    )
+    pairs_complete: bool = True
+    triples_skipped: int = 0
+
+    @property
+    def tightest(self) -> float:
+        return max(self.wct.values())
+
+    def gap_percent(self, name: str) -> float:
+        """Percentage gap of bound ``name`` below the tightest bound."""
+        tight = self.tightest
+        if tight <= 0:
+            return 0.0
+        return 100.0 * (tight - self.wct[name]) / tight
+
+
+class BoundSuite:
+    """Computes and caches every bound for one (superblock, machine) pair.
+
+    The expensive intermediates (``EarlyRC``, per-branch ``LateRC``, pair
+    bounds) are exposed as cached properties so the Balance scheduler can
+    reuse them without recomputation.
+    """
+
+    def __init__(
+        self,
+        sb: Superblock,
+        machine: MachineConfig,
+        counters: Counters | None = None,
+        include_pairwise: bool = True,
+        include_triplewise: bool = True,
+        lc_fast_path: bool = True,
+        pair_cap: int = 300,
+        triple_cap: int = 40,
+        triple_budget: int = 600,
+    ) -> None:
+        self.sb = sb
+        self.machine = machine
+        self.counters = counters
+        self.include_pairwise = include_pairwise
+        self.include_triplewise = include_triplewise
+        self.lc_fast_path = lc_fast_path
+        self.pair_cap = pair_cap
+        self.triple_cap = triple_cap
+        self.triple_budget = triple_budget
+
+    # -- cached intermediates -------------------------------------------
+    @cached_property
+    def early_rc(self) -> list[int]:
+        """Forward LC bound for every operation."""
+        return early_rc(
+            self.sb.graph, self.machine, self.counters, self.lc_fast_path
+        )
+
+    @cached_property
+    def late_rc(self) -> dict[int, dict[int, int]]:
+        """Resource-aware late times, per branch."""
+        rc = self.early_rc
+        return {
+            b: late_rc_for_branch(
+                self.sb.graph, self.machine, b, rc[b], self.counters,
+                self.lc_fast_path,
+            )
+            for b in self.sb.branches
+        }
+
+    @cached_property
+    def _pairs_to_compute(self) -> tuple[list[tuple[int, int]], bool]:
+        branches = self.sb.branches
+        all_pairs = list(itertools.combinations(branches, 2))
+        if len(all_pairs) <= self.pair_cap:
+            return all_pairs, True
+        # Too many pairs: keep adjacent pairs plus the heaviest ones.
+        weights = self.sb.weights
+        keep = {(a, b) for a, b in zip(branches, branches[1:])}
+        ranked = sorted(
+            all_pairs, key=lambda p: weights[p[0]] * weights[p[1]], reverse=True
+        )
+        for pair in ranked:
+            if len(keep) >= self.pair_cap:
+                break
+            keep.add(pair)
+        return sorted(keep), False
+
+    @cached_property
+    def pair_bounds(self) -> dict[tuple[int, int], PairBound]:
+        """Pairwise tradeoff bounds, keyed by ordered branch pair."""
+        pairs, _complete = self._pairs_to_compute
+        bounder = PairwiseBounder(
+            self.sb.graph,
+            self.machine,
+            self.early_rc,
+            self.late_rc,
+            self.sb.branch_latency,
+            self.counters,
+        )
+        weights = self.sb.weights
+        return {
+            (i, j): bounder.pair_bound(i, j, weights[i], weights[j])
+            for i, j in pairs
+        }
+
+    @cached_property
+    def pairs_complete(self) -> bool:
+        return self._pairs_to_compute[1]
+
+    @cached_property
+    def _triples_to_compute(self) -> list[tuple[int, int, int]]:
+        branches = self.sb.branches
+        all_triples = list(itertools.combinations(branches, 3))
+        if len(all_triples) <= self.triple_cap:
+            return all_triples
+        weights = self.sb.weights
+        keep = {
+            (a, b, c)
+            for a, b, c in zip(branches, branches[1:], branches[2:])
+        }
+        ranked = sorted(
+            all_triples,
+            key=lambda t: weights[t[0]] * weights[t[1]] * weights[t[2]],
+            reverse=True,
+        )
+        for triple in ranked:
+            if len(keep) >= self.triple_cap:
+                break
+            keep.add(triple)
+        return sorted(keep)
+
+    @cached_property
+    def triple_results(self) -> tuple[dict[tuple[int, int, int], TripleBound], int]:
+        """Triple bounds plus the number of skipped (over-budget) triples."""
+        bounder = TriplewiseBounder(
+            self.sb.graph,
+            self.machine,
+            self.early_rc,
+            self.late_rc,
+            self.sb.branch_latency,
+            self.counters,
+            self.triple_budget,
+        )
+        weights = self.sb.weights
+        results: dict[tuple[int, int, int], TripleBound] = {}
+        skipped = 0
+        for i, j, k in self._triples_to_compute:
+            # Triples whose pairs are all conflict-free almost never add
+            # information; skip them to keep the O(C^2) grids rare.
+            pb = self.pair_bounds
+            if all(
+                pb.get(p) is not None and pb[p].conflict_free
+                for p in ((i, j), (i, k), (j, k))
+            ):
+                continue
+            tb = bounder.triple_bound(
+                i, j, k, weights[i], weights[j], weights[k]
+            )
+            if tb is None:
+                skipped += 1
+            else:
+                results[(i, j, k)] = tb
+        return results, skipped
+
+    # -- aggregation -----------------------------------------------------
+    def _naive_wct(self, branch_bounds: dict[int, int]) -> float:
+        l_br = self.sb.branch_latency
+        return sum(
+            w * (branch_bounds[b] + l_br) for b, w in self.sb.weights.items()
+        )
+
+    def theorem3_average(self) -> float:
+        """The paper's Pairwise superblock bound (Theorem 3).
+
+        Requires the complete pair set; with a capped pair set the LP
+        combination is used instead (see :meth:`lp_bound`).
+        """
+        weights = self.sb.weights
+        rc = self.early_rc
+        if len(self.sb.branches) < 2:
+            return self._naive_wct({b: rc[b] for b in self.sb.branches})
+        acc: dict[int, float] = {b: 0.0 for b in self.sb.branches}
+        cnt: dict[int, int] = {b: 0 for b in self.sb.branches}
+        for (i, j), pb in self.pair_bounds.items():
+            acc[i] += pb.x
+            cnt[i] += 1
+            acc[j] += pb.y
+            cnt[j] += 1
+        l_br = self.sb.branch_latency
+        total = 0.0
+        for b, w in weights.items():
+            per_branch = acc[b] / cnt[b] if cnt[b] else rc[b]
+            total += w * (per_branch + l_br)
+        return total
+
+    def lp_bound(self, include_triples: bool) -> float:
+        """Tightest bound from all collected inequalities, via a small LP."""
+        from repro.bounds.lp_combine import solve_lp_bound
+
+        triples = self.triple_results[0] if include_triples else {}
+        return solve_lp_bound(
+            self.sb, self.early_rc, self.pair_bounds, triples
+        )
+
+    def compute(self) -> SuperblockBounds:
+        """Run every bound family and package the results."""
+        sb, machine = self.sb, self.machine
+        branch_bounds: dict[str, dict[int, int]] = {}
+        branch_bounds["CP"] = cp_branch_bounds(sb, self.counters)
+        branch_bounds["Hu"] = hu_branch_bounds(sb, machine, self.counters)
+        branch_bounds["RJ"] = rj_branch_bounds(sb, machine, self.counters)
+        rc = self.early_rc
+        branch_bounds["LC"] = {b: rc[b] for b in sb.branches}
+
+        wct = {name: self._naive_wct(bb) for name, bb in branch_bounds.items()}
+        pair_bounds: dict[tuple[int, int], PairBound] = {}
+        triple_bounds: dict[tuple[int, int, int], TripleBound] = {}
+        triples_skipped = 0
+        if self.include_pairwise and len(sb.branches) >= 2:
+            pair_bounds = self.pair_bounds
+            if self.pairs_complete:
+                wct["PW"] = max(wct["LC"], self.theorem3_average())
+            else:
+                wct["PW"] = max(wct["LC"], self.lp_bound(include_triples=False))
+            if self.include_triplewise and len(sb.branches) >= 3:
+                triple_bounds, triples_skipped = self.triple_results
+                wct["TW"] = max(wct["PW"], self.lp_bound(include_triples=True))
+            else:
+                wct["TW"] = wct["PW"]
+        else:
+            wct["PW"] = wct["LC"]
+            wct["TW"] = wct["LC"]
+
+        return SuperblockBounds(
+            superblock=sb.name,
+            machine=machine.name,
+            branch_bounds=branch_bounds,
+            wct=wct,
+            pair_bounds=pair_bounds,
+            triple_bounds=triple_bounds,
+            pairs_complete=self.pairs_complete,
+            triples_skipped=triples_skipped,
+        )

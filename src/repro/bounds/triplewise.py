@@ -1,0 +1,193 @@
+"""The Triplewise bound (Section 4.4).
+
+The paper defers the construction to a technical report we do not have, so
+this module implements the natural generalization of Theorem 2 (documented
+as a substitution in DESIGN.md): for an ordered branch triple
+``(i, j, k)`` we enforce the two separations ``l1 = t_j - t_i`` and
+``l2 = t_k - t_j`` with virtual edges, solve one Rim & Jain relaxation per
+``(l1, l2)`` grid point, and read off the triple of lower bounds
+
+    z  = RJ bound on t_k,    y = z - l2,    x = y - l1.
+
+Exactly as in the pairwise proof, the relaxation evaluated at the actual
+separations of any feasible schedule under-bounds all three issue cycles,
+so the pointwise minimum of the weighted cost over a *covering* set of grid
+points is a valid lower bound on ``w_i t_i + w_j t_j + w_k t_k``.
+
+Coverage bookkeeping (all sound, see inline comments):
+
+* a grid point covers its exact separations;
+* a row stops once ``x`` reaches ``EarlyRC[i]`` — the clamped stopping
+  point covers every larger ``l1`` of that row;
+* one terminal point at ``(l_br, L2)`` with ``x, y`` clamped to the
+  individual bounds covers every ``l2 > L2``.
+
+Because the grid costs ``O(C^2)`` relaxations per triple, a per-triple
+solve budget caps the work; a triple that would exceed the budget is
+skipped (weakening, never invalidating, the aggregate bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.earliest import dist_to_sink, subgraph_nodes
+from repro.bounds.instrumentation import Counters
+from repro.bounds.rim_jain import rim_jain_sink_bound
+from repro.ir.depgraph import DependenceGraph
+from repro.machine.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class TripleBound:
+    """Tradeoff analysis of an ordered branch triple ``(i, j, k)``.
+
+    ``x, y, z`` is the covering point minimizing
+    ``w_i*x + w_j*y + w_k*z``; ``evaluated`` counts RJ solves spent.
+    """
+
+    i: int
+    j: int
+    k: int
+    x: int
+    y: int
+    z: int
+    evaluated: int
+
+    def cost(self, w_i: float, w_j: float, w_k: float) -> float:
+        return w_i * self.x + w_j * self.y + w_k * self.z
+
+
+class TriplewiseBounder:
+    """Computes triple bounds for one superblock graph on one machine."""
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        machine: MachineConfig,
+        early_rc: list[int],
+        late_rc: dict[int, dict[int, int]],
+        branch_latency: int = 1,
+        counters: Counters | None = None,
+        solve_budget: int = 600,
+    ) -> None:
+        self._graph = graph
+        self._machine = machine
+        self._early_rc = early_rc
+        self._late_rc = late_rc
+        self._l_br = branch_latency
+        self._counters = counters
+        self._budget = solve_budget
+
+    def _solve(
+        self,
+        i: int,
+        j: int,
+        k: int,
+        l1: int,
+        l2: int,
+        nodes: list[int],
+        dist_k: dict[int, int],
+        dist_j: dict[int, int],
+        dist_i: dict[int, int],
+        rclass: dict[int, str],
+    ) -> tuple[int, int, int]:
+        rc = self._early_rc
+        est_j = max(rc[j], rc[i] + l1)
+        est_k = max(rc[k], est_j + l2)
+        shift = est_k - rc[k]
+        late_rc_k = self._late_rc[k]
+        late: dict[int, int] = {}
+        for v in nodes:
+            d = dist_k[v]
+            dj = dist_j.get(v)
+            if dj is not None:
+                cand = dj + l2
+                if cand > d:
+                    d = cand
+            di = dist_i.get(v)
+            if di is not None:
+                cand = di + l1 + l2
+                if cand > d:
+                    d = cand
+            dep_late = est_k - d
+            rc_late = late_rc_k[v] + shift
+            late[v] = dep_late if dep_late < rc_late else rc_late
+        early = {v: rc[v] for v in nodes}
+        occupancy = None
+        if not self._machine.fully_pipelined:
+            occupancy = {
+                v: self._machine.occupancy_of(self._graph.op(v))
+                for v in nodes
+            }
+        result = rim_jain_sink_bound(
+            nodes, early, late, est_k, rclass, self._machine,
+            self._counters, counter_prefix="tw", occupancy=occupancy,
+        )
+        z = result.bound
+        return (z - l1 - l2, z - l2, z)
+
+    def triple_bound(
+        self, i: int, j: int, k: int, w_i: float, w_j: float, w_k: float
+    ) -> TripleBound | None:
+        """Compute the triple bound, or ``None`` if it exceeds the budget.
+
+        Requires ``i < j < k`` in program order (ancestor chain through
+        control edges).
+        """
+        rc = self._early_rc
+        l_min = self._l_br
+        limit_1 = rc[j] + 1
+        limit_2 = rc[k] + 1
+        # Pessimistic full-grid size check before doing any work.
+        if (limit_1 - l_min + 1) * (limit_2 - l_min + 1) > self._budget:
+            return None
+
+        nodes = subgraph_nodes(self._graph, k)
+        dist_k = dist_to_sink(self._graph, k, nodes)
+        dist_j = dist_to_sink(self._graph, j, subgraph_nodes(self._graph, j))
+        dist_i = dist_to_sink(self._graph, i, subgraph_nodes(self._graph, i))
+        rclass = {v: self._machine.resource_of(self._graph.op(v)) for v in nodes}
+
+        best: tuple[float, int, int, int] | None = None
+        evaluated = 0
+
+        def consider(x: int, y: int, z: int) -> None:
+            nonlocal best
+            cost = w_i * x + w_j * y + w_k * z
+            if best is None or cost < best[0]:
+                best = (cost, x, y, z)
+
+        for l2 in range(l_min, limit_2 + 1):
+            for l1 in range(l_min, limit_1 + 1):
+                x, y, z = self._solve(
+                    i, j, k, l1, l2, nodes, dist_k, dist_j, dist_i, rclass
+                )
+                evaluated += 1
+                if self._counters is not None:
+                    self._counters.add("tw.latency_trials", 1)
+                if x <= rc[i]:
+                    # Clamped stopping point covers every larger l1 of this
+                    # row: the relaxation stays valid (weaker separation
+                    # constraint) and t_i >= EarlyRC[i] always.
+                    consider(rc[i], y, z)
+                    break
+                consider(x, y, z)
+            else:
+                # Row exhausted with x still above EarlyRC[i]: cover the
+                # rest of the row with the clamped last point (same
+                # weaker-constraint argument as above).
+                consider(rc[i], y, z)
+            if evaluated > self._budget:
+                return None
+        # Terminal strip point: covers every l2 > limit_2 for any l1. The
+        # relaxation at (l_min, limit_2) is valid for those schedules, and
+        # the x, y components fall back to the individual bounds.
+        x_t, y_t, z_t = self._solve(
+            i, j, k, l_min, limit_2, nodes, dist_k, dist_j, dist_i, rclass
+        )
+        evaluated += 1
+        consider(rc[i], rc[j], z_t)
+        assert best is not None
+        _, x, y, z = best
+        return TripleBound(i=i, j=j, k=k, x=x, y=y, z=z, evaluated=evaluated)

@@ -1,0 +1,30 @@
+"""CFG substrate: basic blocks, traces, and superblock formation.
+
+This package plays the role of the paper's LEGO formation stage: profiled
+control-flow graphs of register instructions are turned into the
+superblocks the bounds and schedulers consume.
+
+Pipeline::
+
+    cfg = generate_cfg("f", seed=1)          # or build a CFG by hand
+    traces = select_traces(cfg)              # mutual-most-likely selection
+    superblocks = form_superblocks(cfg)      # + tail duplication
+"""
+
+from repro.cfg.blocks import CFG, BasicBlock, Edge, Instr, instr
+from repro.cfg.formation import form_superblock, form_superblocks
+from repro.cfg.gencfg import generate_cfg
+from repro.cfg.trace import Trace, select_traces
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Edge",
+    "Instr",
+    "Trace",
+    "form_superblock",
+    "form_superblocks",
+    "generate_cfg",
+    "instr",
+    "select_traces",
+]

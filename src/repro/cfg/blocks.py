@@ -1,0 +1,187 @@
+"""Control-flow graphs over register instructions.
+
+The paper's superblocks come out of a compiler mid-end (IMPACT -> Elcor ->
+LEGO): basic blocks of register instructions, edge profiles, trace
+selection, and superblock formation with tail duplication. This package
+implements that substrate so the scheduler inputs can be derived the same
+way instead of being synthesized directly.
+
+An :class:`Instr` is a three-address register instruction
+(``dest = opcode(srcs...)``); loads and stores additionally reference an
+abstract memory region, which drives the conservative memory-ordering
+edges during dependence construction. A :class:`BasicBlock` is a straight
+sequence of instructions; a :class:`CFG` adds profile-weighted edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operation import Opcode, opcode
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A register instruction: ``dest = opcode(srcs)``.
+
+    Attributes:
+        op: the opcode (from the shared catalog; never a branch — control
+            flow lives on the block, not in the instruction list).
+        dest: defined virtual register, or ``None`` (stores define none).
+        srcs: consumed virtual registers.
+        region: abstract memory region for loads/stores (aliasing model:
+            same region => ordered; different regions => independent).
+    """
+
+    op: Opcode
+    dest: str | None = None
+    srcs: tuple[str, ...] = ()
+    region: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op.op_class.value == "branch":
+            raise ValueError("branches are block terminators, not instructions")
+        if self.op.name == "store" and self.dest is not None:
+            raise ValueError("stores define no register")
+        if self.op.name in ("load", "store") and self.region is None:
+            raise ValueError(f"{self.op.name} needs a memory region")
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.name == "load"
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.name == "store"
+
+    def __str__(self) -> str:
+        dst = f"{self.dest} = " if self.dest else ""
+        mem = f" @{self.region}" if self.region else ""
+        return f"{dst}{self.op.name}({', '.join(self.srcs)}){mem}"
+
+
+def instr(op_name: str, dest: str | None = None, srcs=(), region=None) -> Instr:
+    """Convenience constructor resolving the opcode by name."""
+    return Instr(op=opcode(op_name), dest=dest, srcs=tuple(srcs), region=region)
+
+
+@dataclass
+class BasicBlock:
+    """A basic block: label, instructions, and profile count."""
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    exec_count: float = 0.0
+
+    @property
+    def defs(self) -> set[str]:
+        return {i.dest for i in self.instrs if i.dest}
+
+    @property
+    def upward_exposed_uses(self) -> set[str]:
+        """Registers read before any local definition (approx. liveness)."""
+        seen_defs: set[str] = set()
+        uses: set[str] = set()
+        for i in self.instrs:
+            uses.update(s for s in i.srcs if s not in seen_defs)
+            if i.dest:
+                seen_defs.add(i.dest)
+        return uses
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A profiled CFG edge: ``src`` branches/falls through to ``dst``."""
+
+    src: str
+    dst: str
+    count: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"edge {self.src}->{self.dst} has negative count")
+
+
+class CFG:
+    """A control-flow graph with profile-weighted edges."""
+
+    def __init__(self, name: str = "cfg") -> None:
+        self.name = name
+        self._blocks: dict[str, BasicBlock] = {}
+        self._succs: dict[str, list[Edge]] = {}
+        self._preds: dict[str, list[Edge]] = {}
+        self.entry: str | None = None
+
+    # -- construction ---------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self._blocks:
+            raise ValueError(f"duplicate block label {block.label!r}")
+        self._blocks[block.label] = block
+        self._succs[block.label] = []
+        self._preds[block.label] = []
+        if self.entry is None:
+            self.entry = block.label
+        return block
+
+    def add_edge(self, src: str, dst: str, count: float) -> Edge:
+        for label in (src, dst):
+            if label not in self._blocks:
+                raise KeyError(f"unknown block {label!r}")
+        edge = Edge(src=src, dst=dst, count=count)
+        self._succs[src].append(edge)
+        self._preds[dst].append(edge)
+        return edge
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        return list(self._blocks.values())
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._blocks)
+
+    def block(self, label: str) -> BasicBlock:
+        return self._blocks[label]
+
+    def succs(self, label: str) -> list[Edge]:
+        return self._succs[label]
+
+    def preds(self, label: str) -> list[Edge]:
+        return self._preds[label]
+
+    def edge_probability(self, edge: Edge) -> float:
+        """Probability of taking ``edge`` when its source executes."""
+        total = sum(e.count for e in self._succs[edge.src])
+        return edge.count / total if total > 0 else 0.0
+
+    def hottest_successor(self, label: str) -> Edge | None:
+        edges = self._succs[label]
+        if not edges:
+            return None
+        return max(edges, key=lambda e: (e.count, e.dst))
+
+    def hottest_predecessor(self, label: str) -> Edge | None:
+        edges = self._preds[label]
+        if not edges:
+            return None
+        return max(edges, key=lambda e: (e.count, e.src))
+
+    def validate(self) -> None:
+        """Profile-consistency sanity checks."""
+        if self.entry is None:
+            raise ValueError("CFG has no blocks")
+        for label, block in self._blocks.items():
+            out = sum(e.count for e in self._succs[label])
+            if self._succs[label] and out > block.exec_count * 1.001 + 1e-6:
+                raise ValueError(
+                    f"block {label!r}: outgoing edge counts {out} exceed "
+                    f"execution count {block.exec_count}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        edges = sum(len(v) for v in self._succs.values())
+        return f"CFG({self.name!r}, blocks={len(self._blocks)}, edges={edges})"

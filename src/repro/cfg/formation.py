@@ -1,0 +1,197 @@
+"""Superblock formation: traces -> schedulable superblocks.
+
+The back half of classic superblock formation (Hwu et al.): a selected
+trace becomes a single-entry multi-exit region; side entrances into the
+middle of the trace are removed by *tail duplication*, which this module
+models by also emitting the duplicated suffixes as their own (cooler)
+superblocks.
+
+Dependence construction from the register instructions:
+
+* **data edges** — def-use chains over virtual registers (the producing
+  instruction's latency);
+* **memory edges** — conservative ordering within an abstract region:
+  store->load, store->store, and load->store;
+* **control/exit edges** — each block's side exit consumes the block's
+  final definition (the "condition"), plus every definition that is live
+  into the off-trace successor (one-level upward-exposed-use liveness);
+* **speculation constraints** — stores never move above a preceding side
+  exit (an edge from the exit to the store); loads and ALU operations are
+  freely speculated upward, as in general-speculation superblock models;
+* dangling values are treated as live-out at the final exit, so every
+  operation reaches some exit.
+
+Exit probabilities come from the edge profile: the probability of reaching
+block *i* of the trace decays with each on-trace branch probability, and
+block *i*'s exit takes the difference.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.blocks import CFG
+from repro.cfg.trace import Trace, select_traces
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.superblock import Superblock
+
+#: Traces whose entry executes fewer times than this produce no superblock.
+MIN_EXEC_COUNT = 1e-9
+
+
+def form_superblock(
+    cfg: CFG, trace: Trace, name: str, exec_count: float | None = None
+) -> Superblock | None:
+    """Build one superblock from a trace.
+
+    Args:
+        exec_count: entry count override (used for duplicated tails);
+            defaults to the profile count of the trace's first block.
+
+    Returns ``None`` for never-executed traces.
+    """
+    first = cfg.block(trace.labels[0])
+    entry_count = first.exec_count if exec_count is None else exec_count
+    if entry_count <= MIN_EXEC_COUNT:
+        return None
+
+    reach = _reach_probabilities(cfg, trace)
+    builder = SuperblockBuilder(
+        name, exec_freq=entry_count, source=f"cfg:{cfg.name}"
+    )
+
+    last_def: dict[str, int] = {}       # register -> defining op index
+    last_store: dict[str, int] = {}     # region -> last store op index
+    loads_since_store: dict[str, list[int]] = {}  # region -> loads after it
+    last_exit_idx: int | None = None
+    consumed: set[int] = set()          # ops with at least one consumer
+
+    def add_instr(ins) -> int:
+        preds: dict[int, int] = {}
+        for reg in ins.srcs:
+            src = last_def.get(reg)
+            if src is not None:
+                preds[src] = builder._graph.op(src).latency  # noqa: SLF001
+        if ins.is_load or ins.is_store:
+            region = ins.region
+            store = last_store.get(region)
+            if store is not None:
+                preds[store] = max(preds.get(store, 0), 1)
+            if ins.is_store:
+                for load in loads_since_store.get(region, []):
+                    preds[load] = max(preds.get(load, 0), 1)
+                # A store is not speculated above the preceding side exit.
+                if last_exit_idx is not None:
+                    preds[last_exit_idx] = max(preds.get(last_exit_idx, 0), 1)
+        idx = builder.next_index
+        builder.op(ins.op, preds=preds or None)
+        consumed.update(preds)
+        if ins.dest:
+            last_def[ins.dest] = idx
+        if ins.is_store:
+            last_store[ins.region] = idx
+            loads_since_store[ins.region] = []
+        elif ins.is_load:
+            loads_since_store.setdefault(ins.region, []).append(idx)
+        return idx
+
+    labels = trace.labels
+    for pos, label in enumerate(labels):
+        block = cfg.block(label)
+        block_defs: list[int] = []
+        for ins in block.instrs:
+            idx = add_instr(ins)
+            if ins.dest:
+                block_defs.append(idx)
+        is_last = pos == len(labels) - 1
+        if is_last:
+            exit_preds = _final_exit_preds(builder, consumed)
+            p_exit = round(reach[pos], 9)
+            return builder.last_exit(prob=p_exit, preds=exit_preds)
+        if len(cfg.succs(label)) == 1:
+            # Unconditional fall-through: the blocks merge, no exit branch.
+            continue
+        exit_preds = set()
+        if block_defs:
+            exit_preds.add(block_defs[-1])  # the branch condition
+        # Live-out values at this exit: definitions the off-trace
+        # successors read before writing.
+        live = _off_trace_uses(cfg, labels, pos)
+        for reg in live:
+            src = last_def.get(reg)
+            if src is not None:
+                exit_preds.add(src)
+        p_exit = round(reach[pos] - reach[pos + 1], 9)
+        idx = builder.next_index
+        builder.exit(max(0.0, p_exit), preds=sorted(exit_preds) or None)
+        consumed.update(exit_preds)
+        last_exit_idx = idx
+    raise AssertionError("unreachable: the final block returns")
+
+
+def _reach_probabilities(cfg: CFG, trace: Trace) -> list[float]:
+    """Probability of reaching each trace block from the trace entry."""
+    reach = [1.0]
+    for src, dst in zip(trace.labels, trace.labels[1:]):
+        edge = next(e for e in cfg.succs(src) if e.dst == dst)
+        reach.append(reach[-1] * cfg.edge_probability(edge))
+    return reach
+
+
+def _off_trace_uses(cfg: CFG, labels: tuple[str, ...], pos: int) -> set[str]:
+    """Upward-exposed uses of the off-trace successors of block ``pos``."""
+    on_trace_next = labels[pos + 1]
+    uses: set[str] = set()
+    for edge in cfg.succs(labels[pos]):
+        if edge.dst != on_trace_next:
+            uses |= cfg.block(edge.dst).upward_exposed_uses
+    return uses
+
+
+def _final_exit_preds(builder: SuperblockBuilder, consumed: set[int]) -> list[int]:
+    """Everything not consumed by anyone is live-out at the final exit."""
+    graph = builder._graph  # noqa: SLF001 - formation is an IR-layer friend
+    return [
+        v for v in range(graph.num_operations) if not graph.succs(v)
+    ]
+
+
+def form_superblocks(
+    cfg: CFG,
+    min_prob: float = 0.5,
+    tail_duplicate: bool = True,
+) -> list[Superblock]:
+    """Full formation pass: select traces, form superblocks, duplicate tails.
+
+    Tail duplication: when control enters the middle of a trace from
+    off-trace, the original compiler duplicates the remainder of the trace
+    so the superblock keeps its single entry. We emit each such duplicated
+    suffix as an additional superblock whose execution count is the
+    side-entrance inflow.
+    """
+    cfg.validate()
+    superblocks: list[Superblock] = []
+    for t_idx, trace in enumerate(select_traces(cfg, min_prob)):
+        sb = form_superblock(cfg, trace, f"{cfg.name}.t{t_idx}")
+        if sb is not None:
+            superblocks.append(sb)
+        if not tail_duplicate:
+            continue
+        trace_set = set(trace.labels)
+        for pos in range(1, len(trace.labels)):
+            label = trace.labels[pos]
+            inflow = sum(
+                e.count
+                for e in cfg.preds(label)
+                if e.src != trace.labels[pos - 1] and e.src not in trace_set
+            )
+            if inflow <= MIN_EXEC_COUNT:
+                continue
+            suffix = Trace(labels=trace.labels[pos:])
+            dup = form_superblock(
+                cfg,
+                suffix,
+                f"{cfg.name}.t{t_idx}.dup{pos}",
+                exec_count=inflow,
+            )
+            if dup is not None:
+                superblocks.append(dup)
+    return superblocks

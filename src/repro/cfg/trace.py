@@ -1,0 +1,71 @@
+"""Profile-driven trace selection (Chang & Hwu's mutual-most-likely rule).
+
+A *trace* is a sequence of basic blocks that tend to execute in order.
+Selection (the classic superblock-formation front half):
+
+1. pick the hottest block not yet in any trace as the seed;
+2. grow forward: follow the most likely successor edge if (a) its branch
+   probability is at least ``min_prob``, (b) the target is not in a trace
+   already, (c) the target's most likely predecessor is the current block
+   (the *mutual most likely* condition), and (d) the edge is not a loop
+   back edge (the target does not precede the seed in this trace);
+3. repeat until every block is in some trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.blocks import CFG
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A selected trace: ordered block labels."""
+
+    labels: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self):
+        return iter(self.labels)
+
+
+def select_traces(cfg: CFG, min_prob: float = 0.5) -> list[Trace]:
+    """Partition the CFG's blocks into traces.
+
+    Args:
+        min_prob: minimum branch probability for the trace to keep growing
+            through an edge (the classic threshold is 0.5: grow only along
+            the likely direction).
+    """
+    if not 0.0 < min_prob <= 1.0:
+        raise ValueError("min_prob must be in (0, 1]")
+    taken: set[str] = set()
+    traces: list[Trace] = []
+    remaining = sorted(
+        cfg.blocks, key=lambda b: (-b.exec_count, b.label)
+    )
+    for seed in remaining:
+        if seed.label in taken:
+            continue
+        labels = [seed.label]
+        taken.add(seed.label)
+        current = seed.label
+        while True:
+            edge = cfg.hottest_successor(current)
+            if edge is None:
+                break
+            if cfg.edge_probability(edge) < min_prob:
+                break
+            if edge.dst in taken or edge.dst in labels:
+                break  # already consumed, or a loop back edge
+            back = cfg.hottest_predecessor(edge.dst)
+            if back is None or back.src != current:
+                break  # not mutually most likely
+            labels.append(edge.dst)
+            taken.add(edge.dst)
+            current = edge.dst
+        traces.append(Trace(labels=tuple(labels)))
+    return traces

@@ -1,0 +1,248 @@
+"""Command line interface: ``python -m repro <command>`` / ``balance-sched``.
+
+Commands:
+
+* ``corpus``   — generate and save (or summarize) a synthetic corpus.
+* ``schedule`` — schedule one superblock file with a chosen heuristic.
+* ``bounds``   — print every lower bound for one superblock file.
+* ``table1`` .. ``table7`` — regenerate a paper table.
+* ``figure8``  — regenerate the Figure 8 CDF.
+* ``examples`` — print the Figure 1-4 example schedules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.machine.machine import PAPER_MACHINES, machine_by_name
+
+
+def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=int, default=120,
+        help="total superblocks in the synthetic corpus (default 120)",
+    )
+    parser.add_argument("--seed", type=int, default=1999, help="corpus seed")
+    parser.add_argument(
+        "--max-ops", type=int, default=150, help="per-superblock op cap"
+    )
+
+
+def _build_corpus(args):
+    from repro.workloads.corpus import specint95_corpus
+
+    return specint95_corpus(
+        scale=args.scale, seed=args.seed, max_ops=args.max_ops
+    )
+
+
+def _machines(args):
+    if args.machines == "all":
+        return PAPER_MACHINES
+    return tuple(machine_by_name(n) for n in args.machines.split(","))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="balance-sched",
+        description=(
+            "Reproduction of 'Balance Scheduling: Weighting Branch "
+            "Tradeoffs in Superblocks' (MICRO 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="generate a synthetic SPECint95 corpus")
+    _add_corpus_args(p)
+    p.add_argument("--out", help="write corpus to this JSONL file")
+
+    p = sub.add_parser("schedule", help="schedule a superblock JSON file")
+    p.add_argument("file", help="superblock JSON (see repro.ir.serialize)")
+    p.add_argument("--machine", default="GP2")
+    p.add_argument("--heuristic", default="balance")
+    p.add_argument(
+        "--gantt", action="store_true", help="render an ASCII Gantt chart"
+    )
+
+    p = sub.add_parser(
+        "cfg", help="generate a CFG, select traces, form superblocks"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--segments", type=int, default=6)
+    p.add_argument("--machine", default="FS6")
+
+    p = sub.add_parser("bounds", help="print all bounds for a superblock file")
+    p.add_argument("file")
+    p.add_argument("--machine", default="GP2")
+
+    for tid in range(1, 8):
+        p = sub.add_parser(f"table{tid}", help=f"regenerate paper Table {tid}")
+        _add_corpus_args(p)
+        p.add_argument(
+            "--machines", default="all",
+            help="comma-separated machine names or 'all'",
+        )
+        p.add_argument(
+            "--no-triplewise", action="store_true",
+            help="skip the (expensive) Triplewise bound",
+        )
+
+    p = sub.add_parser("figure8", help="regenerate the Figure 8 CDF (gcc, FS4)")
+    _add_corpus_args(p)
+    p.add_argument("--machine", default="FS4")
+
+    sub.add_parser("examples", help="print the Figure 1-4 example schedules")
+
+    p = sub.add_parser(
+        "report", help="run the full evaluation and emit a markdown report"
+    )
+    _add_corpus_args(p)
+    p.add_argument("--out", help="write the report to this file")
+    p.add_argument("--no-triplewise", action="store_true")
+    p.add_argument(
+        "--no-costs", action="store_true",
+        help="skip the slow cost tables (2 and 6)",
+    )
+
+    args = parser.parse_args(argv)
+    out = run_command(args)
+    print(out)
+    return 0
+
+
+def run_command(args) -> str:
+    """Execute a parsed command and return its textual output."""
+    if args.command == "corpus":
+        corpus = _build_corpus(args)
+        if args.out:
+            corpus.save(args.out)
+        stats = corpus.stats()
+        lines = [f"corpus: {corpus.name}"]
+        lines += [f"  {key}: {value}" for key, value in stats.items()]
+        if args.out:
+            lines.append(f"saved to {args.out}")
+        return "\n".join(lines)
+
+    if args.command == "schedule":
+        from repro.ir.serialize import superblock_from_dict
+        import json
+
+        with open(args.file) as fh:
+            sb = superblock_from_dict(json.load(fh))
+        machine = machine_by_name(args.machine)
+        from repro.schedulers.base import schedule as run_sched
+
+        s = run_sched(sb, machine, args.heuristic)
+        lines = [
+            f"{sb.name} on {machine.name} with {args.heuristic}:",
+            f"  WCT = {s.wct:.4f}, length = {s.length} cycles",
+        ]
+        for b in sb.branches:
+            lines.append(
+                f"  branch {b} (p={sb.weights[b]:.3f}) issues at cycle {s.issue[b]}"
+            )
+        if args.gantt:
+            from repro.schedulers.visualize import gantt
+
+            lines.append("")
+            lines.append(gantt(sb, machine, s))
+        return "\n".join(lines)
+
+    if args.command == "cfg":
+        from repro.cfg import form_superblocks, generate_cfg, select_traces
+        from repro.schedulers.base import schedule as run_sched
+
+        machine = machine_by_name(args.machine)
+        cfg = generate_cfg(f"fn{args.seed}", seed=args.seed, segments=args.segments)
+        lines = [f"CFG {cfg.name}: {len(cfg.blocks)} blocks"]
+        for trace in select_traces(cfg):
+            lines.append("  trace: " + " -> ".join(trace.labels))
+        for sb in form_superblocks(cfg):
+            s = run_sched(sb, machine, "balance")
+            lines.append(
+                f"  {sb.name}: {sb.num_operations} ops, "
+                f"{sb.num_branches} exits, WCT={s.wct:.3f} on {machine.name}"
+            )
+        return "\n".join(lines)
+
+    if args.command == "bounds":
+        from repro.bounds.superblock_bounds import BoundSuite
+        from repro.ir.serialize import superblock_from_dict
+        import json
+
+        with open(args.file) as fh:
+            sb = superblock_from_dict(json.load(fh))
+        machine = machine_by_name(args.machine)
+        res = BoundSuite(sb, machine).compute()
+        lines = [f"{sb.name} on {machine.name}:"]
+        for name, wct in res.wct.items():
+            mark = "  <- tightest" if wct == res.tightest else ""
+            lines.append(f"  {name:3s} = {wct:.4f}{mark}")
+        return "\n".join(lines)
+
+    if args.command.startswith("table"):
+        from repro.eval import tables as tables_mod
+
+        corpus = _build_corpus(args)
+        machines = _machines(args)
+        tid = int(args.command[-1])
+        kwargs = {}
+        if tid in (1,):
+            gp = tuple(m for m in machines if m.name.startswith("GP"))
+            fs = tuple(m for m in machines if m.name.startswith("FS"))
+            result = tables_mod.table1(
+                corpus,
+                gp or tables_mod.GP_MACHINES,
+                fs or tables_mod.FS_MACHINES,
+                include_triplewise=not args.no_triplewise,
+            )
+        elif tid == 6:
+            result = tables_mod.table6(corpus, machines[0])
+        else:
+            fn = getattr(tables_mod, f"table{tid}")
+            kwargs["machines"] = machines
+            if tid != 2:
+                kwargs["include_triplewise"] = not args.no_triplewise
+            else:
+                kwargs["include_triplewise"] = not args.no_triplewise
+            result = fn(corpus, **kwargs)
+        return result.render()
+
+    if args.command == "figure8":
+        from repro.eval.figures import figure8
+
+        corpus = _build_corpus(args).by_benchmark("gcc")
+        machine = machine_by_name(args.machine)
+        return figure8(corpus, machine).render()
+
+    if args.command == "examples":
+        from repro.eval.figures import figure_schedules
+
+        return figure_schedules()
+
+    if args.command == "report":
+        from repro.eval.report import full_report
+        from repro.workloads.corpus import specint95_corpus
+
+        corpus = _build_corpus(args)
+        small = specint95_corpus(
+            scale=max(8, args.scale // 2), seed=args.seed, max_ops=args.max_ops
+        )
+        text = full_report(
+            corpus,
+            small,
+            include_triplewise=not args.no_triplewise,
+            include_costs=not args.no_costs,
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            return f"report written to {args.out}"
+        return text
+
+    raise ValueError(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

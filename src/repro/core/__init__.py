@@ -1,0 +1,23 @@
+"""The Balance scheduling heuristic — the paper's core contribution."""
+
+from repro.core.balance import balance_schedule
+from repro.core.branch_select import Selection, select_branches, select_with_tradeoffs
+from repro.core.config import ABLATION_GRID, BALANCE, HELP, BalanceConfig
+from repro.core.dynamic_bounds import BranchNeeds, DynamicBounds, ERCLevel
+from repro.core.op_select import pick_operation, score_operation
+
+__all__ = [
+    "ABLATION_GRID",
+    "BALANCE",
+    "HELP",
+    "BalanceConfig",
+    "BranchNeeds",
+    "DynamicBounds",
+    "ERCLevel",
+    "Selection",
+    "balance_schedule",
+    "pick_operation",
+    "score_operation",
+    "select_branches",
+    "select_with_tradeoffs",
+]

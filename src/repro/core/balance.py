@@ -1,0 +1,208 @@
+"""The Balance superblock scheduler (Section 5) — the paper's contribution.
+
+One scheduling loop iteration:
+
+1. update the dynamic Early/Late bounds and the ERCs (Section 5.1) —
+   before every decision with ``update_per_op``, else once per cycle;
+2. derive each branch's ``NeedEach``/``NeedOne`` sets (Section 5.2);
+3. select a compatible set of branches, revising outcomes and the branch
+   order with the Pairwise bounds (Sections 5.3-5.4);
+4. pick one operation satisfying the selected branches' needs with the
+   Speculative Hedge score (Section 5.5) and issue it.
+
+The cycle advances when nothing more fits. The same engine with components
+switched off (see :mod:`repro.core.config`) yields the paper's **Help**
+heuristic and the entire Table 7 ablation grid.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.instrumentation import Counters
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.core.branch_select import select_with_tradeoffs
+from repro.core.config import BALANCE, HELP, BalanceConfig
+from repro.core.dynamic_bounds import DynamicBounds
+from repro.core.op_select import pick_operation
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.machine.reservation import ReservationTable
+from repro.schedulers.base import register
+from repro.schedulers.schedule import Schedule, make_schedule
+
+
+def _static_inputs(
+    sb: Superblock,
+    machine: MachineConfig,
+    config: BalanceConfig,
+    suite: BoundSuite | None,
+    counters: Counters | None,
+):
+    """Static floors / caps / pair bounds per the Bound and Tradeoff flags."""
+    graph = sb.graph
+    if config.use_rc_bounds:
+        if suite is None:
+            suite = BoundSuite(
+                sb, machine, counters, include_triplewise=False
+            )
+        floor = suite.early_rc
+        late_cap = suite.late_rc
+        anchor = {b: floor[b] for b in sb.branches}
+        pair_bounds = suite.pair_bounds if config.tradeoff else None
+    else:
+        floor = graph.early_dc()
+        late_cap = {}
+        for b in sb.branches:
+            dist = graph.dist_to(b)
+            late_cap[b] = {
+                v: floor[b] - dist[v]
+                for v in range(graph.num_operations)
+                if dist[v] >= 0
+            }
+        anchor = {b: floor[b] for b in sb.branches}
+        pair_bounds = None
+    return floor, late_cap, anchor, pair_bounds
+
+
+def balance_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    config: BalanceConfig = BALANCE,
+    suite: BoundSuite | None = None,
+    counters: Counters | None = None,
+    heuristic_name: str | None = None,
+    validate: bool = True,
+) -> Schedule:
+    """Schedule ``sb`` with the Balance engine under ``config``.
+
+    Args:
+        suite: optional precomputed :class:`BoundSuite` (reuses its
+            ``EarlyRC``/``LateRC``/pairwise caches).
+    """
+    graph = sb.graph
+    n = graph.num_operations
+    floor, late_cap, anchor, pair_bounds = _static_inputs(
+        sb, machine, config, suite, counters
+    )
+    state = DynamicBounds(sb, machine, floor, late_cap, anchor, counters)
+    table = ReservationTable(machine)
+    issue: dict[int, int] = {}
+    preds_left = [len(graph.preds(v)) for v in range(n)]
+    ready_at = [0] * n
+    unscheduled_branches = list(sb.branches)
+    rclass = [machine.resource_of(graph.op(v)) for v in range(n)]
+    occ = [machine.occupancy_of(graph.op(v)) for v in range(n)]
+    weights = sb.weights
+
+    cycle = 0
+    state_cycle = -1  # cycle the dynamic state was last computed for
+
+    def is_ready(v: int) -> bool:
+        return v not in issue and preds_left[v] == 0 and ready_at[v] <= cycle
+
+    while len(issue) < n:
+        released = [
+            v for v in range(n) if v not in issue and preds_left[v] == 0
+        ]
+        ready = [v for v in released if ready_at[v] <= cycle]
+        placeable = [
+            v for v in ready if table.can_place(cycle, rclass[v], occ[v])
+        ]
+        if not placeable:
+            # Advance; jump over fully idle cycles.
+            if ready:
+                cycle += 1
+            else:
+                cycle = max(cycle + 1, min(ready_at[v] for v in released))
+            continue
+
+        if state_cycle != cycle:
+            state.recompute(cycle, issue, table, unscheduled_branches)
+            state_cycle = cycle
+            if counters is not None:
+                counters.add("balance.update", 1)
+        elif config.update_per_op:
+            if config.light_update:
+                state.light_update(cycle, issue, table, unscheduled_branches)
+            else:
+                state.recompute(cycle, issue, table, unscheduled_branches)
+            if counters is not None:
+                counters.add("balance.update", 1)
+
+        if config.branch_selection:
+            free = table.snapshot_free(cycle)
+            sel = select_with_tradeoffs(
+                sb,
+                machine,
+                state,
+                unscheduled_branches,
+                free,
+                is_ready,
+                pair_bounds if config.tradeoff else None,
+                config.max_reorders,
+            )
+            if sel.constrained:
+                allowed = sel.candidate_ops()
+                candidates = [v for v in placeable if v in allowed]
+                if not candidates:
+                    # Nothing needed is placeable: schedule something
+                    # neutral, avoiding the blocked classes if possible.
+                    blocked = sel.blocked_classes
+                    candidates = [
+                        v for v in placeable if rclass[v] not in blocked
+                    ]
+                if not candidates:  # defensive: never wedge the scheduler
+                    candidates = placeable
+            else:
+                candidates = placeable
+        else:
+            candidates = placeable
+
+        v = pick_operation(
+            candidates,
+            lambda u: rclass[u],
+            state.needs,
+            weights,
+            config.help_delay,
+        )
+        table.place(cycle, rclass[v], occ[v])
+        issue[v] = cycle
+        if counters is not None:
+            counters.add("balance.decision", 1)
+        for w, lat in graph.succs(v):
+            preds_left[w] -= 1
+            t = cycle + lat
+            if t > ready_at[w]:
+                ready_at[w] = t
+        if graph.op(v).is_branch:
+            unscheduled_branches.remove(v)
+
+    name = heuristic_name or ("balance" if config == BALANCE else config.label())
+    return make_schedule(sb, machine, name, issue, validate=validate)
+
+
+@register("balance")
+def balance(
+    sb: Superblock,
+    machine: MachineConfig,
+    suite: BoundSuite | None = None,
+    counters: Counters | None = None,
+    validate: bool = True,
+) -> Schedule:
+    """The full Balance heuristic."""
+    return balance_schedule(
+        sb, machine, BALANCE, suite, counters, "balance", validate
+    )
+
+
+@register("help")
+def help_heuristic(
+    sb: Superblock,
+    machine: MachineConfig,
+    counters: Counters | None = None,
+    validate: bool = True,
+) -> Schedule:
+    """The Help heuristic: Speculative-Hedge-style scoring, no RC bounds,
+    no compatible-branch selection (Section 6.2)."""
+    return balance_schedule(
+        sb, machine, HELP, None, counters, "help", validate
+    )

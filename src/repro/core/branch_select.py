@@ -1,0 +1,211 @@
+"""Compatible-branch selection (Section 5.3) and pairwise tradeoffs (5.4).
+
+The selection walks the unscheduled branches in a candidate order (initially
+by decreasing exit probability) and greedily accepts each branch whose needs
+can be *jointly* satisfied with the already-selected ones:
+
+* ``TakeEach`` — union of the selected branches' ``NeedEach`` sets; every
+  member must fit (and be ready) in the current cycle.
+* ``TakeOne`` — per resource class, the intersection of the selected
+  branches' ``NeedOne`` sets; at least one ready member and one free unit
+  must remain after the ``TakeEach`` demands.
+
+A non-selected branch is **delayed** if it had needs and **ignored**
+otherwise. The tradeoff step (Section 5.4) then consults the static
+Pairwise bounds: if the bound proves that delaying branch ``i`` by a cycle
+cannot cost anything (its pair-optimal issue time is later anyway), the
+outcome is revised to **delayedOK**; if the bound instead blames a selected
+branch ``j`` processed earlier, the order of ``i`` and ``j`` is swapped and
+the selection is retried. The selection with the highest *rank*
+(``sum w(selected) + sum w(delayedOK) - sum w(delayed)``) wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bounds.pairwise import PairBound
+from repro.core.dynamic_bounds import BranchNeeds, DynamicBounds
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+
+@dataclass
+class Selection:
+    """Outcome of one compatible-branch selection pass.
+
+    ``take_one`` maps a resource class to the set of operations of which
+    one must issue next; an *empty* set means the class is **blocked** — a
+    selected branch needs its next slot of that class for operations that
+    are not ready yet, so spending the slot on anything else would delay
+    the branch (the class constraint degrades to "do not waste me").
+    """
+
+    selected: list[int] = field(default_factory=list)
+    delayed: list[int] = field(default_factory=list)
+    ignored: list[int] = field(default_factory=list)
+    delayed_ok: set[int] = field(default_factory=set)
+    take_each: set[int] = field(default_factory=set)
+    take_one: dict[str, set[int]] = field(default_factory=dict)
+    rank: float = 0.0
+
+    @property
+    def constrained(self) -> bool:
+        """True when the selection restricts the operation choice."""
+        return bool(self.take_each) or bool(self.take_one)
+
+    @property
+    def blocked_classes(self) -> set[str]:
+        """Resource classes no operation outside TakeEach may consume."""
+        return {r for r, members in self.take_one.items() if not members}
+
+    def candidate_ops(self) -> set[int]:
+        """Operations satisfying the selected branches' needs."""
+        ops = set(self.take_each)
+        for members in self.take_one.values():
+            ops |= members
+        return ops
+
+
+def select_branches(
+    order: list[int],
+    needs: dict[int, BranchNeeds],
+    free: dict[str, int],
+    rclass_of,
+    is_ready,
+) -> Selection:
+    """One greedy pass of Section 5.3 over ``order``.
+
+    Args:
+        free: free units per resource class in the current cycle.
+        rclass_of: op index -> resource class name.
+        is_ready: op index -> bool (all predecessors issued and latencies
+            elapsed at the current cycle).
+    """
+    sel = Selection()
+    take_each: set[int] = set()
+    take_one: dict[str, set[int]] = {}
+    for b in order:
+        info = needs[b]
+        if not info.has_needs:
+            sel.ignored.append(b)
+            continue
+        # Dependence needs: every op of NeedEach must fit this cycle.
+        te_new = take_each | info.need_each
+        if any(not is_ready(v) for v in info.need_each - take_each):
+            sel.delayed.append(b)
+            continue
+        demand: dict[str, int] = {}
+        for v in te_new:
+            r = rclass_of(v)
+            demand[r] = demand.get(r, 0) + 1
+        if any(cnt > free.get(r, 0) for r, cnt in demand.items()):
+            sel.delayed.append(b)
+            continue
+        # Resource needs: per class, intersect with the running TakeOne.
+        to_new = {r: set(s) for r, s in take_one.items()}
+        compatible = True
+        for r, members in info.need_one.items():
+            if members & te_new:
+                continue  # satisfied by a mandatory operation of class r
+            ready_members = {v for v in members if is_ready(v)}
+            cur = to_new.get(r)
+            if not ready_members:
+                # No needed op of class r can issue this cycle (readiness
+                # is fixed within a cycle), so the class-r delay of this
+                # branch is already unavoidable: the constraint is vacuous.
+                # Skip it rather than discarding the branch's remaining,
+                # servable needs.
+                continue
+            inter = ready_members if cur is None else cur & ready_members
+            if not inter or free.get(r, 0) - demand.get(r, 0) < 1:
+                compatible = False
+                break
+            to_new[r] = inter
+        if not compatible:
+            sel.delayed.append(b)
+            continue
+        # A TakeOne constraint satisfied by a mandatory op can be dropped.
+        for r in list(to_new):
+            if to_new[r] & te_new:
+                del to_new[r]
+        take_each, take_one = te_new, to_new
+        sel.selected.append(b)
+    sel.take_each = take_each
+    sel.take_one = take_one
+    return sel
+
+
+def _pair_components(
+    pair_bounds: dict[tuple[int, int], PairBound], i: int, j: int
+) -> tuple[int, int] | None:
+    """Pair-bound components for (i, j) regardless of program order."""
+    a, b = (i, j) if i < j else (j, i)
+    pb = pair_bounds.get((a, b))
+    if pb is None:
+        return None
+    if i < j:
+        return pb.x, pb.y
+    return pb.y, pb.x
+
+
+def select_with_tradeoffs(
+    sb: Superblock,
+    machine: MachineConfig,
+    state: DynamicBounds,
+    branches: list[int],
+    free: dict[str, int],
+    is_ready,
+    pair_bounds: dict[tuple[int, int], PairBound] | None,
+    max_reorders: int = 4,
+) -> Selection:
+    """Sections 5.3 + 5.4: branch selection with pairwise tradeoffs.
+
+    Without ``pair_bounds`` this is a single selection pass in
+    decreasing-exit-probability order.
+    """
+    weights = sb.weights
+    order = sorted(branches, key=lambda b: (-weights[b], b))
+    rclass_of = state.resource_class
+    needs = state.needs
+
+    def ranked(sel: Selection) -> float:
+        score = sum(weights[b] for b in sel.selected)
+        score += sum(weights[b] for b in sel.delayed_ok)
+        score -= sum(
+            weights[b] for b in sel.delayed if b not in sel.delayed_ok
+        )
+        return score
+
+    best: Selection | None = None
+    attempts = max_reorders + 1 if pair_bounds is not None else 1
+    for _attempt in range(attempts):
+        sel = select_branches(order, needs, free, rclass_of, is_ready)
+        swap: tuple[int, int] | None = None
+        if pair_bounds is not None:
+            for i in sel.delayed:
+                for j in sel.selected:
+                    comps = _pair_components(pair_bounds, i, j)
+                    if comps is None:
+                        continue
+                    bound_i, bound_j = comps
+                    if needs[i].early + 1 <= bound_i:
+                        # The pair bound proves i ends up at least this
+                        # late anyway: delaying it now is free.
+                        sel.delayed_ok.add(i)
+                    elif (
+                        swap is None
+                        and needs[j].early + 1 <= bound_j
+                        and order.index(j) < order.index(i)
+                    ):
+                        # The bound blames j: try giving i priority.
+                        swap = (i, j)
+        sel.rank = ranked(sel)
+        if best is None or sel.rank > best.rank:
+            best = sel
+        if swap is None:
+            break
+        pos_i, pos_j = order.index(swap[0]), order.index(swap[1])
+        order[pos_i], order[pos_j] = order[pos_j], order[pos_i]
+    assert best is not None
+    return best

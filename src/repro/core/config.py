@@ -1,0 +1,100 @@
+"""Configuration of the Balance heuristic's components.
+
+Table 7 of the paper ablates Balance along three axes plus an update
+frequency; :class:`BalanceConfig` exposes exactly those switches:
+
+* ``use_rc_bounds`` — "Bound": drive the dynamic Early/Late bounds with the
+  static ``EarlyRC``/``LateRC`` (Langevin & Cerny) values instead of the
+  dependence-only ``EarlyDC``/``LateDC`` (Observation 2).
+* ``help_delay`` — "HlpDel": track not only which branches an operation
+  *helps* but which it *indirectly delays* by wasting a critical resource
+  (Observation 1); enables the compatible-branch selection of Section 5.3.
+* ``tradeoff`` — "Tradeoff": use the Pairwise bounds to accept beneficial
+  branch delays and to reorder the branch selection (Observation 3 /
+  Section 5.4). Requires ``use_rc_bounds`` (the pairwise machinery builds
+  on ``EarlyRC``/``LateRC``).
+* ``update_per_op`` — recompute the dynamic bound information before every
+  scheduling decision (True) or only once per cycle (False). The paper
+  finds per-operation updating is the single most important factor.
+
+Preset configurations:
+
+* :data:`BALANCE` — everything on (the paper's Balance heuristic).
+* :data:`HELP` — everything off: Speculative-Hedge-style help scoring with
+  dependence-only bounds (the paper's Help heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BalanceConfig:
+    """Component switches of the Balance scheduling engine."""
+
+    use_rc_bounds: bool = True
+    help_delay: bool = True
+    tradeoff: bool = True
+    update_per_op: bool = True
+    #: Maximum branch-order reorderings per decision in the tradeoff step
+    #: (the paper: "after iterating this process a few times").
+    max_reorders: int = 4
+    #: Use the incremental ("light") update path where valid, recomputing
+    #: only the branches whose data could have changed. Semantically
+    #: equivalent to the full update; exists for the Table 6 cost
+    #: comparison.
+    light_update: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tradeoff and not self.use_rc_bounds:
+            raise ValueError(
+                "tradeoff requires use_rc_bounds: the Pairwise machinery is "
+                "built on EarlyRC/LateRC"
+            )
+        if self.max_reorders < 0:
+            raise ValueError("max_reorders must be non-negative")
+
+    @property
+    def branch_selection(self) -> bool:
+        """Compatible-branch selection is the mechanism behind HlpDel."""
+        return self.help_delay
+
+    def label(self) -> str:
+        """Short component label used in the Table 7 ablation."""
+        parts = ["HlpDel" if self.help_delay else "Help"]
+        if self.use_rc_bounds:
+            parts.append("Bound")
+        if self.tradeoff:
+            parts.append("Tradeoff")
+        parts.append("perOp" if self.update_per_op else "perCycle")
+        return "+".join(parts)
+
+
+#: The full Balance heuristic.
+BALANCE = BalanceConfig()
+
+#: The Help heuristic: Balance minus the EarlyRC/LateRC/Pairwise bounds and
+#: minus the compatible-branch selection (Section 6.2).
+HELP = BalanceConfig(
+    use_rc_bounds=False, help_delay=False, tradeoff=False, update_per_op=True
+)
+
+#: The Table 7 ablation grid: every valid component combination, in both
+#: update modes.
+ABLATION_GRID: tuple[BalanceConfig, ...] = tuple(
+    BalanceConfig(
+        use_rc_bounds=bound,
+        help_delay=hlp,
+        tradeoff=trade,
+        update_per_op=per_op,
+    )
+    for per_op in (False, True)
+    for hlp, bound, trade in (
+        (False, False, False),  # Help
+        (True, False, False),   # HlpDel
+        (False, True, False),   # Help + Bound
+        (True, True, False),    # HlpDel + Bound
+        (True, True, True),     # HlpDel + Bound + Tradeoff  (Balance)
+    )
+)

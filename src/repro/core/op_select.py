@@ -1,0 +1,72 @@
+"""Operation scoring and selection (Section 5.5).
+
+The final decision of each Balance iteration picks one operation among the
+candidates (``TakeEach`` and ``TakeOne`` members when a branch selection
+constrains the choice, otherwise every ready placeable operation), using
+the Speculative Hedge score the paper found to work best:
+
+* primary: sum of the exit probabilities of the branches the operation
+  *helps* (it is in their ``NeedEach`` or ``NeedOne``), minus — with the
+  HlpDel component — the probabilities of the branches it *indirectly
+  delays* (its resource class has a zero-empty-slot ERC the operation is
+  not part of);
+* tie-breaks: most helped branches, then smallest late time, then program
+  order.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic_bounds import BranchNeeds
+
+#: Sentinel late time for operations no unscheduled branch depends on.
+_NO_LATE = 1 << 30
+
+
+def score_operation(
+    v: int,
+    rclass: str,
+    needs: dict[int, BranchNeeds],
+    weights: dict[int, float],
+    help_delay: bool,
+) -> tuple[float, int, int]:
+    """Score one candidate; larger tuples are better.
+
+    Returns ``(net help, helped count, -min late)``.
+    """
+    helped = 0.0
+    count = 0
+    penalty = 0.0
+    late_min = _NO_LATE
+    for b, info in needs.items():
+        w = weights[b]
+        one = info.need_one.get(rclass)
+        if v in info.need_each or (one is not None and v in one):
+            helped += w
+            count += 1
+        elif help_delay and one is not None:
+            # The branch critically needs its next rclass slot for the ERC
+            # members; spending the slot on v wastes it (Observation 1).
+            penalty += w
+        late_v = info.late.get(v)
+        if late_v is not None and late_v < late_min:
+            late_min = late_v
+    net = helped - penalty if help_delay else helped
+    return (net, count, -late_min)
+
+
+def pick_operation(
+    candidates: list[int],
+    rclass_of,
+    needs: dict[int, BranchNeeds],
+    weights: dict[int, float],
+    help_delay: bool,
+) -> int:
+    """Highest-scoring candidate; program order breaks final ties."""
+    best_v = candidates[0]
+    best_key = None
+    for v in sorted(candidates):
+        key = score_operation(v, rclass_of(v), needs, weights, help_delay)
+        if best_key is None or key > best_key:
+            best_key = key
+            best_v = v
+    return best_v

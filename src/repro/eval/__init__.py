@@ -1,0 +1,63 @@
+"""Evaluation harnesses: metrics, table builders, figure builders."""
+
+from repro.eval.bounds_eval import (
+    BoundCost,
+    BoundQuality,
+    bound_costs,
+    bound_quality,
+)
+from repro.eval.figures import FigureResult, figure8, figure_schedules
+from repro.eval.formatting import format_table
+from repro.eval.metrics import (
+    CorpusSummary,
+    SuperblockResult,
+    noprofile_weights,
+    reweighted,
+)
+from repro.eval.sched_eval import (
+    TABLE_HEURISTICS,
+    evaluate_corpus,
+    evaluate_superblock,
+)
+from repro.eval.tables import (
+    ALL_MACHINES,
+    FS_MACHINES,
+    GP_MACHINES,
+    TableResult,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "ALL_MACHINES",
+    "FS_MACHINES",
+    "GP_MACHINES",
+    "TABLE_HEURISTICS",
+    "BoundCost",
+    "BoundQuality",
+    "CorpusSummary",
+    "FigureResult",
+    "SuperblockResult",
+    "TableResult",
+    "bound_costs",
+    "bound_quality",
+    "evaluate_corpus",
+    "evaluate_superblock",
+    "figure8",
+    "figure_schedules",
+    "format_table",
+    "noprofile_weights",
+    "reweighted",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

@@ -1,0 +1,161 @@
+"""Bound-quality and bound-cost evaluation (Tables 1 and 2).
+
+* :func:`bound_quality` — per bound family, the average and maximum
+  percentage gap below the tightest bound and the fraction of superblocks
+  where the bound is strictly below the tightest (Table 1's Avg/Max/Num).
+* :func:`bound_costs` — per algorithm, loop-trip-count statistics from the
+  :class:`Counters` instrumentation (Table 2), including the LC variants
+  with and without the Theorem 1 fast path and the reversed-graph LateRC
+  computation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.bounds.branch_rj import rj_branch_bounds
+from repro.bounds.critical_path import cp_branch_bounds
+from repro.bounds.hu import hu_branch_bounds
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
+from repro.machine.machine import MachineConfig
+from repro.workloads.corpus import Corpus
+
+#: Numerical slack when deciding a bound is strictly below the tightest.
+_EPS = 1e-9
+
+
+@dataclass
+class BoundQuality:
+    """Table 1 statistics for one bound family."""
+
+    name: str
+    avg_gap_percent: float
+    max_gap_percent: float
+    below_tightest_percent: float
+
+
+def bound_quality(
+    corpus: Corpus,
+    machines: list[MachineConfig],
+    include_triplewise: bool = True,
+) -> dict[str, BoundQuality]:
+    """Quality of each bound family over ``corpus`` x ``machines``."""
+    gaps: dict[str, list[float]] = {name: [] for name in BOUND_NAMES}
+    below: dict[str, int] = {name: 0 for name in BOUND_NAMES}
+    total = 0
+    for machine in machines:
+        for sb in corpus:
+            bounds = BoundSuite(
+                sb, machine, include_triplewise=include_triplewise
+            ).compute()
+            total += 1
+            for name in BOUND_NAMES:
+                gap = bounds.gap_percent(name)
+                gaps[name].append(gap)
+                if bounds.wct[name] < bounds.tightest - _EPS:
+                    below[name] += 1
+    return {
+        name: BoundQuality(
+            name=name,
+            avg_gap_percent=statistics.fmean(gaps[name]) if total else 0.0,
+            max_gap_percent=max(gaps[name], default=0.0),
+            below_tightest_percent=100.0 * below[name] / total if total else 0.0,
+        )
+        for name in BOUND_NAMES
+    }
+
+
+@dataclass
+class BoundCost:
+    """Table 2 statistics for one bound algorithm."""
+
+    name: str
+    worst_case: str
+    empirical: str
+    average_trips: float
+    median_trips: float
+
+
+#: Complexity expressions quoted from the paper's Table 2.
+_COMPLEXITY = {
+    "CP": ("O(B(V+E))", "O(B(V+E))"),
+    "Hu": ("O(B(V+E+VR))", "O(B(V+E+V))"),
+    "RJ": ("O(B(V+E+cCP))", "O(B(V+C))"),
+    "LC": ("O(V(V+E+cCP))", "O(V(V+C))"),
+    "LC-original": ("O(V(V+E+cCP))", "O(V(V+C))"),
+    "LC-reverse": ("O(BV(V+E+cCP))", "O(BV(V+C))"),
+    "PW": ("O(B^2 C(V+E+cCP))", "O(B^2 C(V+C))"),
+    "TW": ("O(B^3 C^2(V+E+cCP))", "O(B^3 C^2(V+C))"),
+}
+
+
+def bound_costs(
+    corpus: Corpus,
+    machines: list[MachineConfig],
+    include_triplewise: bool = True,
+) -> dict[str, BoundCost]:
+    """Loop-trip counts of every bound algorithm (Table 2).
+
+    Statistics are per (superblock, machine) pair, exactly like the paper's
+    "sum of each loop trip count in the algorithm".
+    """
+    samples: dict[str, list[int]] = {name: [] for name in _COMPLEXITY}
+    for machine in machines:
+        for sb in corpus:
+            graph = sb.graph
+            branches = sb.branches
+
+            c = Counters()
+            cp_branch_bounds(sb, c)
+            samples["CP"].append(c.total("cp"))
+
+            c = Counters()
+            hu_branch_bounds(sb, machine, c)
+            samples["Hu"].append(c.total("hu"))
+
+            c = Counters()
+            rj_branch_bounds(sb, machine, c)
+            samples["RJ"].append(c.total("rj"))
+
+            c = Counters()
+            rc = early_rc(graph, machine, c, fast_path=True)
+            samples["LC"].append(c.total("lc"))
+
+            c = Counters()
+            early_rc(graph, machine, c, fast_path=False)
+            samples["LC-original"].append(c.total("lc"))
+
+            c = Counters()
+            for b in branches:
+                late_rc_for_branch(graph, machine, b, rc[b], c)
+            samples["LC-reverse"].append(c.total("lc_rev"))
+
+            c = Counters()
+            suite = BoundSuite(sb, machine, counters=c)
+            _ = suite.pair_bounds
+            samples["PW"].append(c.total("pw"))
+
+            if include_triplewise:
+                c2 = Counters()
+                suite2 = BoundSuite(sb, machine, counters=c2)
+                _ = suite2.pair_bounds  # prerequisite of the triple filter
+                c2.clear()
+                _ = suite2.triple_results
+                samples["TW"].append(c2.total("tw"))
+    if not include_triplewise:
+        samples.pop("TW")
+    out = {}
+    for name, values in samples.items():
+        worst, emp = _COMPLEXITY[name]
+        out[name] = BoundCost(
+            name=name,
+            worst_case=worst,
+            empirical=emp,
+            average_trips=statistics.fmean(values) if values else 0.0,
+            median_trips=statistics.median(values) if values else 0.0,
+        )
+    return out

@@ -1,0 +1,135 @@
+"""Extension experiments beyond the paper's tables.
+
+* :func:`per_benchmark_table` — Table 3's slowdown broken down by
+  SPECint95 program (the paper discusses 126.gcc separately; this gives
+  the full per-program picture).
+* :func:`profile_noise_sweep` — a finer version of Table 5: instead of
+  the all-or-nothing no-profile assumption, exit weights are perturbed by
+  multiplicative noise of increasing strength, showing how gracefully
+  each heuristic degrades with profile staleness.
+* :func:`gstar_secondary_table` — G* with different secondary heuristics
+  (the paper fixes Critical Path; ref [8] defines the family).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections.abc import Iterable
+
+from repro.eval.metrics import CorpusSummary
+from repro.eval.sched_eval import evaluate_corpus
+from repro.eval.tables import TableResult
+from repro.ir.superblock import Superblock
+from repro.machine.machine import FS4, MachineConfig
+from repro.schedulers.base import get_scheduler
+from repro.workloads.corpus import Corpus
+from repro.workloads.profiles import SPECINT95_PROFILES
+
+
+def per_benchmark_table(
+    corpus: Corpus,
+    machine: MachineConfig = FS4,
+    heuristics: tuple[str, ...] = ("sr", "cp", "dhasy", "help", "balance"),
+    include_triplewise: bool = False,
+) -> TableResult:
+    """Slowdown vs the tightest bound, per SPECint95 program."""
+    rows = []
+    summaries: dict[str, CorpusSummary] = {}
+    for profile in SPECINT95_PROFILES:
+        sub = corpus.by_benchmark(profile.name)
+        if not len(sub):
+            continue
+        summary = evaluate_corpus(
+            sub, machine, heuristics, include_triplewise=include_triplewise
+        )
+        summaries[profile.name] = summary
+        rows.append(
+            [profile.name, len(sub)]
+            + [summary.slowdown_percent(h) for h in heuristics]
+        )
+    return TableResult(
+        table_id="Extension A",
+        title=f"Per-benchmark slowdown on {machine.name} (%)",
+        headers=["Benchmark", "SBs"] + [h.upper() for h in heuristics],
+        rows=rows,
+        data={"summaries": summaries},
+    )
+
+
+def _noisy_weights(
+    sb: Superblock, noise: float, rng: random.Random
+) -> dict[int, float]:
+    """Multiplicatively perturb the exit weights (profile staleness)."""
+    return {
+        b: max(1e-6, w * rng.uniform(1.0 - noise, 1.0 + noise))
+        for b, w in sb.weights.items()
+    }
+
+
+def profile_noise_sweep(
+    corpus: Corpus,
+    machine: MachineConfig = FS4,
+    heuristics: tuple[str, ...] = ("dhasy", "help", "balance"),
+    noise_levels: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed: int = 0,
+    include_triplewise: bool = False,
+) -> TableResult:
+    """Slowdown as the schedulers' view of the profile degrades.
+
+    ``noise = 1.0`` means each weight may be scaled anywhere in [0, 2];
+    evaluation always uses the true weights.
+    """
+    rows = []
+    data: dict[float, dict[str, float]] = {}
+    for noise in noise_levels:
+        rng = random.Random(f"noise/{seed}/{noise}")
+        summary = evaluate_corpus(
+            corpus,
+            machine,
+            heuristics,
+            scheduling_weights=(
+                None if noise == 0.0
+                else (lambda sb, _n=noise: _noisy_weights(sb, _n, rng))
+            ),
+            include_triplewise=include_triplewise,
+        )
+        row = {h: summary.slowdown_percent(h) for h in heuristics}
+        data[noise] = row
+        rows.append([f"noise {noise:.2f}"] + [row[h] for h in heuristics])
+    return TableResult(
+        table_id="Extension B",
+        title=f"Profile-noise sensitivity on {machine.name} (slowdown %)",
+        headers=["Profile noise"] + [h.upper() for h in heuristics],
+        rows=rows,
+        data=data,
+    )
+
+
+def gstar_secondary_table(
+    corpus: Corpus,
+    machine: MachineConfig = FS4,
+    secondaries: tuple[str, ...] = ("cp", "sr", "dhasy"),
+) -> TableResult:
+    """Aggregate WCT of the G* family under different secondary heuristics."""
+    rows = []
+    data: dict[str, float] = {}
+    for secondary in secondaries:
+        total = 0.0
+        for sb in corpus:
+            s = get_scheduler("gstar")(
+                sb, machine, secondary=secondary, validate=False
+            )
+            total += sb.exec_freq * s.wct
+        data[secondary] = total
+        rows.append([f"G*[{secondary}]", total])
+    base = min(data.values())
+    for row in rows:
+        row.append(100.0 * (row[1] / base - 1.0))
+    return TableResult(
+        table_id="Extension C",
+        title=f"G* secondary heuristics on {machine.name}",
+        headers=["Variant", "Dynamic cycles", "vs best %"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the evaluation harnesses.
+
+Everything the benches print goes through :func:`format_table`, which
+produces aligned monospace tables resembling the paper's layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with two decimals; the first column is left-aligned,
+    the rest right-aligned.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}%"

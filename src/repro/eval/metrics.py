@@ -1,0 +1,123 @@
+"""Evaluation metrics: slowdowns, optimality, trivial superblocks.
+
+Terminology follows Section 6 of the paper:
+
+* **dynamic cycles** of a schedule = its WCT times the superblock's
+  execution frequency; corpus-level numbers sum these.
+* a superblock is **trivial** (Table 3) when *every* evaluated heuristic
+  schedules it at the tightest lower bound — such superblocks dilute
+  comparisons, so slowdowns are reported over the nontrivial rest.
+* **slowdown** of a heuristic = extra dynamic cycles over the tightest
+  bound, as a percentage of the bound's dynamic cycles, over the
+  nontrivial superblocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.superblock import Superblock
+
+#: Numerical tolerance when comparing WCTs against bounds.
+EPS = 1e-9
+
+
+@dataclass
+class SuperblockResult:
+    """Bound and per-heuristic WCTs for one superblock on one machine."""
+
+    name: str
+    exec_freq: float
+    tightest_bound: float
+    bound_wct: dict[str, float]
+    heuristic_wct: dict[str, float]
+    stats: dict = field(default_factory=dict)
+
+    def optimal(self, heuristic: str) -> bool:
+        """True when the heuristic provably met the tightest bound."""
+        return self.heuristic_wct[heuristic] <= self.tightest_bound + EPS
+
+    @property
+    def trivial(self) -> bool:
+        return all(self.optimal(h) for h in self.heuristic_wct)
+
+    def extra_dynamic_cycles(self, heuristic: str) -> float:
+        return self.exec_freq * max(
+            0.0, self.heuristic_wct[heuristic] - self.tightest_bound
+        )
+
+
+@dataclass
+class CorpusSummary:
+    """Aggregate of :class:`SuperblockResult` records (Table 3 shape)."""
+
+    machine: str
+    results: list[SuperblockResult]
+
+    @property
+    def bound_cycles(self) -> float:
+        return sum(r.exec_freq * r.tightest_bound for r in self.results)
+
+    @property
+    def trivial_cycle_fraction(self) -> float:
+        """Fraction of bound cycles spent in trivial superblocks."""
+        total = self.bound_cycles
+        if total <= 0:
+            return 0.0
+        triv = sum(
+            r.exec_freq * r.tightest_bound for r in self.results if r.trivial
+        )
+        return triv / total
+
+    def slowdown_percent(self, heuristic: str) -> float:
+        """Slowdown over the bound in nontrivial superblocks (percent)."""
+        nontrivial = [r for r in self.results if not r.trivial]
+        base = sum(r.exec_freq * r.tightest_bound for r in nontrivial)
+        if base <= 0:
+            return 0.0
+        extra = sum(r.extra_dynamic_cycles(heuristic) for r in nontrivial)
+        return 100.0 * extra / base
+
+    def optimal_fraction(self, heuristic: str, nontrivial_only: bool = False) -> float:
+        """Fraction of superblocks scheduled at the tightest bound."""
+        pool = [r for r in self.results if not (nontrivial_only and r.trivial)]
+        if not pool:
+            return 1.0
+        return sum(1 for r in pool if r.optimal(heuristic)) / len(pool)
+
+    def extra_cycle_distribution(self, heuristic: str) -> list[float]:
+        """Per-superblock extra dynamic cycles (Figure 8 raw data)."""
+        return sorted(r.extra_dynamic_cycles(heuristic) for r in self.results)
+
+
+def reweighted(sb: Superblock, weights: dict[int, float]) -> Superblock:
+    """Copy of ``sb`` with replaced exit probabilities.
+
+    Used by the no-profile experiment (Table 5): schedulers are fed
+    synthetic weights while evaluation uses the real ones.
+    """
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must have positive mass")
+    graph = DependenceGraph()
+    for op in sb.operations:
+        prob = weights.get(op.index, 0.0) / total if op.is_branch else 0.0
+        graph.add_operation(dataclasses.replace(op, exit_prob=prob))
+    for src, dst, lat in sb.graph.edges():
+        graph.add_edge(src, dst, lat)
+    graph.freeze()
+    return Superblock(
+        name=sb.name,
+        graph=graph,
+        exec_freq=sb.exec_freq,
+        source=sb.source,
+    )
+
+
+def noprofile_weights(sb: Superblock, last_weight: float = 1000.0) -> dict[int, float]:
+    """The paper's no-profile assumption: last exit 1000, others 1."""
+    return {
+        b: (last_weight if b == sb.last_branch else 1.0) for b in sb.branches
+    }

@@ -1,0 +1,138 @@
+"""One-shot evaluation report: every table and figure as markdown.
+
+:func:`full_report` runs the complete evaluation (Tables 1-7, Figure 8,
+the example figures, and the extension metrics) on a given corpus and
+renders a single markdown document — the automated core of
+EXPERIMENTS.md. The CLI exposes it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.eval.figures import figure8, figure_schedules
+from repro.eval.tables import (
+    ALL_MACHINES,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.machine.machine import FS4
+from repro.workloads.corpus import Corpus
+
+
+def full_report(
+    corpus: Corpus,
+    small_corpus: Corpus | None = None,
+    include_triplewise: bool = True,
+    include_costs: bool = True,
+) -> str:
+    """Run the full evaluation and return a markdown report.
+
+    Args:
+        small_corpus: corpus for the quadratic-cost experiments
+            (Tables 2, 6, 7); defaults to the main corpus.
+        include_costs: skip the slow cost tables (2 and 6) when False.
+    """
+    from repro.workloads.stats import characterization_report
+
+    small = small_corpus or corpus
+    sections: list[str] = [
+        "# Evaluation report",
+        "",
+        f"- corpus: `{corpus.name}` ({corpus.stats()['superblocks']:.0f} "
+        f"superblocks, {corpus.stats()['total_ops']:.0f} ops)",
+        f"- machines: {', '.join(m.name for m in ALL_MACHINES)}",
+        "",
+        "```",
+        characterization_report(corpus),
+        "```",
+        "",
+    ]
+
+    def add(title: str, body: str, elapsed: float) -> None:
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+        sections.append(f"_(computed in {elapsed:.1f}s)_")
+        sections.append("")
+
+    t0 = time.perf_counter()
+    t1_res = table1(corpus, include_triplewise=include_triplewise)
+    add("Table 1 — bound quality", t1_res.render(), time.perf_counter() - t0)
+
+    if include_costs:
+        t0 = time.perf_counter()
+        t2_res = table2(small, include_triplewise=include_triplewise)
+        add("Table 2 — bound cost", t2_res.render(), time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    t3_res = table3(corpus, include_triplewise=include_triplewise)
+    add("Table 3 — scheduler slowdown", t3_res.render(), time.perf_counter() - t0)
+    summaries = t3_res.data["summaries"]
+
+    t0 = time.perf_counter()
+    t4_res = table4(
+        corpus, include_triplewise=include_triplewise, summaries=summaries
+    )
+    add("Table 4 — optimality", t4_res.render(), time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    t5_res = table5(
+        corpus,
+        include_triplewise=include_triplewise,
+        profiled_summaries=summaries,
+    )
+    add("Table 5 — no profile data", t5_res.render(), time.perf_counter() - t0)
+
+    if include_costs:
+        t0 = time.perf_counter()
+        t6_res = table6(small, FS4)
+        add("Table 6 — scheduler cost", t6_res.render(), time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    t7_res = table7(small, include_triplewise=include_triplewise)
+    add("Table 7 — Balance ablation", t7_res.render(), time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    gcc = corpus.by_benchmark("gcc")
+    fig8_corpus = gcc if len(gcc) else corpus
+    f8 = figure8(
+        fig8_corpus,
+        FS4,
+        include_triplewise=include_triplewise,
+        summary=None,
+    )
+    add("Figure 8 — CDF (gcc, FS4)", f8.render(), time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    add(
+        "Figures 1-4 — worked examples",
+        figure_schedules(),
+        time.perf_counter() - t0,
+    )
+
+    # Headline summary.
+    heuristics = ("sr", "cp", "gstar", "dhasy", "help", "balance", "best")
+    avg = {
+        h: statistics.fmean(
+            summaries[m.name].slowdown_percent(h) for m in ALL_MACHINES
+        )
+        for h in heuristics
+    }
+    ranked = sorted(avg.items(), key=lambda kv: kv[1])
+    sections.append("## Headline")
+    sections.append("")
+    sections.append(
+        "Average slowdown over the tightest lower bound, all machines: "
+        + ", ".join(f"{h} {v:.2f}%" for h, v in ranked)
+    )
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,103 @@
+"""Run bounds and schedulers over a corpus (the evaluation workhorse).
+
+:func:`evaluate_corpus` produces one :class:`SuperblockResult` per
+superblock: the tightest lower bound plus the WCT of each requested
+heuristic (optionally scheduled under substitute exit weights for the
+no-profile experiment). Results feed every table/figure builder in
+:mod:`repro.eval.tables` and :mod:`repro.eval.figures`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.core.balance import balance_schedule
+from repro.core.config import BalanceConfig
+from repro.eval.metrics import CorpusSummary, SuperblockResult, reweighted
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import get_scheduler
+from repro.workloads.corpus import Corpus
+
+#: Heuristics evaluated in the paper's scheduler tables, paper order.
+TABLE_HEURISTICS = ("sr", "cp", "gstar", "dhasy", "help", "balance", "best")
+
+
+def evaluate_superblock(
+    sb: Superblock,
+    machine: MachineConfig,
+    heuristics: Iterable[str] = TABLE_HEURISTICS,
+    scheduling_weights: Callable[[Superblock], dict[int, float]] | None = None,
+    include_triplewise: bool = True,
+    extra_configs: dict[str, BalanceConfig] | None = None,
+) -> SuperblockResult:
+    """Bounds + schedules for one superblock.
+
+    Args:
+        scheduling_weights: optional substitute exit weights the schedulers
+            see (evaluation always uses the true weights).
+        extra_configs: additional Balance-engine configurations to run,
+            keyed by result label (the Table 7 ablation grid).
+    """
+    suite = BoundSuite(sb, machine, include_triplewise=include_triplewise)
+    bounds = suite.compute()
+
+    sched_sb = sb
+    sched_suite = suite
+    if scheduling_weights is not None:
+        sched_sb = reweighted(sb, scheduling_weights(sb))
+        sched_suite = BoundSuite(
+            sched_sb, machine, include_triplewise=False
+        )
+
+    wct: dict[str, float] = {}
+    for name in heuristics:
+        kwargs = {"suite": sched_suite} if name == "balance" else {}
+        s = get_scheduler(name)(sched_sb, machine, validate=False, **kwargs)
+        # Evaluate with the *true* weights regardless of scheduling weights.
+        wct[name] = sb.weighted_completion_time(
+            {b: s.issue[b] for b in sb.branches}
+        )
+    for label, config in (extra_configs or {}).items():
+        s = balance_schedule(
+            sched_sb,
+            machine,
+            config,
+            suite=sched_suite if config.use_rc_bounds else None,
+            validate=False,
+        )
+        wct[label] = sb.weighted_completion_time(
+            {b: s.issue[b] for b in sb.branches}
+        )
+
+    return SuperblockResult(
+        name=sb.name,
+        exec_freq=sb.exec_freq,
+        tightest_bound=bounds.tightest,
+        bound_wct=dict(bounds.wct),
+        heuristic_wct=wct,
+    )
+
+
+def evaluate_corpus(
+    corpus: Corpus,
+    machine: MachineConfig,
+    heuristics: Iterable[str] = TABLE_HEURISTICS,
+    scheduling_weights: Callable[[Superblock], dict[int, float]] | None = None,
+    include_triplewise: bool = True,
+    extra_configs: dict[str, BalanceConfig] | None = None,
+) -> CorpusSummary:
+    """Evaluate every superblock of ``corpus`` on ``machine``."""
+    results = [
+        evaluate_superblock(
+            sb,
+            machine,
+            heuristics,
+            scheduling_weights,
+            include_triplewise,
+            extra_configs,
+        )
+        for sb in corpus
+    ]
+    return CorpusSummary(machine=machine.name, results=results)

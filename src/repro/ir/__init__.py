@@ -1,0 +1,48 @@
+"""Superblock intermediate representation.
+
+Public surface:
+
+* :class:`Operation`, :class:`Opcode`, :class:`OpClass` — operations.
+* :class:`DependenceGraph` — latency-weighted dependence DAG.
+* :class:`Superblock` — single-entry multi-exit scheduling region.
+* :class:`SuperblockBuilder` — fluent construction.
+* :func:`validate_superblock` — invariant checks.
+* :mod:`repro.ir.examples` — the paper's Figure 1-4 graphs.
+"""
+
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import (
+    BRANCH_LATENCY,
+    OPCODES,
+    OpClass,
+    Opcode,
+    Operation,
+    opcode,
+)
+from repro.ir.serialize import (
+    dumps,
+    loads,
+    superblock_from_dict,
+    superblock_to_dict,
+)
+from repro.ir.superblock import Superblock
+from repro.ir.validate import SuperblockValidationError, validate_superblock
+
+__all__ = [
+    "BRANCH_LATENCY",
+    "OPCODES",
+    "DependenceGraph",
+    "OpClass",
+    "Opcode",
+    "Operation",
+    "Superblock",
+    "SuperblockBuilder",
+    "SuperblockValidationError",
+    "dumps",
+    "loads",
+    "opcode",
+    "superblock_from_dict",
+    "superblock_to_dict",
+    "validate_superblock",
+]

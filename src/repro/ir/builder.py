@@ -1,0 +1,159 @@
+"""Fluent construction of superblocks.
+
+:class:`SuperblockBuilder` assembles operations and dependence edges in
+program order, automatically inserts the control edges between consecutive
+branches, balances exit probabilities, and validates the result.
+
+Example::
+
+    sb = (SuperblockBuilder("demo")
+          .op("add")                 # index 0
+          .op("add", preds=[0])      # index 1
+          .exit(0.3, preds=[1])      # index 2: side exit, p=0.3
+          .op("load")                # index 3
+          .last_exit(preds=[3]))     # index 4: final exit, p=0.7
+"""
+
+from __future__ import annotations
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import Opcode, Operation, opcode
+from repro.ir.superblock import Superblock
+from repro.ir.validate import validate_superblock
+
+
+class SuperblockBuilder:
+    """Builds a :class:`Superblock` incrementally, in program order."""
+
+    def __init__(self, name: str, exec_freq: float = 1.0, source: str = "") -> None:
+        self._name = name
+        self._exec_freq = exec_freq
+        self._source = source
+        self._graph = DependenceGraph()
+        self._branches: list[int] = []
+        self._pending_edges: list[tuple[int, int, int | None]] = []
+        self._block = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def next_index(self) -> int:
+        """Index the next added operation will receive."""
+        return self._graph.num_operations
+
+    @property
+    def num_branches(self) -> int:
+        return len(self._branches)
+
+    def op(
+        self,
+        op_name: str | Opcode,
+        preds: list[int] | dict[int, int] | None = None,
+        name: str = "",
+    ) -> "SuperblockBuilder":
+        """Append a non-branch operation.
+
+        Args:
+            op_name: opcode name (``"add"``, ``"load"``, ...) or an
+                :class:`Opcode` instance.
+            preds: producer indices. A list uses each producer's default
+                latency; a dict maps producer index to an explicit latency.
+            name: optional display label.
+        """
+        oc = op_name if isinstance(op_name, Opcode) else opcode(op_name)
+        if oc.op_class.value == "branch":
+            raise ValueError("use exit()/last_exit() to add branch operations")
+        operation = Operation(
+            index=self.next_index, opcode=oc, block=self._block, name=name
+        )
+        self._add(operation, preds)
+        return self
+
+    def exit(
+        self,
+        prob: float,
+        preds: list[int] | dict[int, int] | None = None,
+        name: str = "",
+    ) -> "SuperblockBuilder":
+        """Append a side-exit branch with exit probability ``prob``.
+
+        A control edge from the previous branch (if any) is added
+        automatically. Starts a new basic block.
+        """
+        idx = self._add_branch("branch", prob, preds, name)
+        self._block += 1
+        return self
+
+    def last_exit(
+        self,
+        prob: float | None = None,
+        preds: list[int] | dict[int, int] | None = None,
+        name: str = "",
+    ) -> Superblock:
+        """Append the final exit and build the superblock.
+
+        Args:
+            prob: exit probability of the final branch; defaults to the
+                remaining probability mass ``1 - sum(side exits)``.
+        """
+        if prob is None:
+            prob = 1.0 - sum(self._graph.op(b).exit_prob for b in self._branches)
+            prob = max(0.0, min(1.0, round(prob, 12)))
+        self._add_branch("jump", prob, preds, name)
+        return self.build()
+
+    def edge(self, src: int, dst: int, latency: int | None = None) -> "SuperblockBuilder":
+        """Add a dependence edge between already-added operations."""
+        self._graph.add_edge(src, dst, latency)
+        return self
+
+    def build(self) -> Superblock:
+        """Finalize: freeze the graph, validate, and return the superblock."""
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        self._finished = True
+        self._graph.freeze()
+        sb = Superblock(
+            name=self._name,
+            graph=self._graph,
+            exec_freq=self._exec_freq,
+            source=self._source,
+        )
+        validate_superblock(sb)
+        return sb
+
+    # ------------------------------------------------------------------
+    def _add_branch(
+        self,
+        op_name: str,
+        prob: float,
+        preds: list[int] | dict[int, int] | None,
+        name: str,
+    ) -> int:
+        oc = opcode(op_name)
+        operation = Operation(
+            index=self.next_index,
+            opcode=oc,
+            exit_prob=prob,
+            block=self._block,
+            name=name,
+        )
+        idx = self._add(operation, preds)
+        if self._branches:
+            prev = self._branches[-1]
+            if not self._graph.has_edge(prev, idx):
+                self._graph.add_edge(prev, idx, self._graph.op(prev).latency)
+        self._branches.append(idx)
+        return idx
+
+    def _add(
+        self, operation: Operation, preds: list[int] | dict[int, int] | None
+    ) -> int:
+        idx = self._graph.add_operation(operation)
+        if preds:
+            items = preds.items() if isinstance(preds, dict) else [
+                (p, None) for p in preds
+            ]
+            for src, lat in items:
+                self._graph.add_edge(src, idx, lat)
+        return idx

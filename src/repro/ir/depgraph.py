@@ -1,0 +1,302 @@
+"""Dependence graphs: latency-weighted DAGs over superblock operations.
+
+Edges point from producers to consumers and carry a latency: if edge
+``(u, v)`` has latency ``L`` and ``u`` issues at cycle ``t``, then ``v``
+cannot issue before cycle ``t + L``. Superblock operations are stored in
+program order and every edge goes forward (``u.index < v.index``), so the
+index order is a valid topological order — a property the bound algorithms
+exploit heavily.
+
+The class also caches ancestor/descendant sets as integer bitmasks, which
+makes the ``O(V^2)``-ish set queries of the Pairwise and Triplewise bounds
+cheap even for the largest superblocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.ir.operation import Operation
+
+
+class DependenceGraph:
+    """A latency-weighted DAG over :class:`Operation` nodes.
+
+    The graph is append-only: nodes and edges can be added until the first
+    analysis query, after which the derived caches (ancestor masks, earliest
+    times) are built lazily and the structure should not change. Mutating a
+    graph after analysis raises :class:`RuntimeError`.
+    """
+
+    def __init__(self, operations: Iterable[Operation] = ()) -> None:
+        self._ops: list[Operation] = []
+        self._preds: list[list[tuple[int, int]]] = []
+        self._succs: list[list[tuple[int, int]]] = []
+        self._edge_set: set[tuple[int, int]] = set()
+        self._frozen = False
+        # Lazy caches.
+        self._ancestor_masks: list[int] | None = None
+        self._descendant_masks: list[int] | None = None
+        self._early_dc: list[int] | None = None
+        for op in operations:
+            self.add_operation(op)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operation(self, op: Operation) -> int:
+        """Append an operation; its ``index`` must equal the next slot."""
+        self._check_mutable()
+        if op.index != len(self._ops):
+            raise ValueError(
+                f"operation index {op.index} does not match insertion position "
+                f"{len(self._ops)}; operations must be added in program order"
+            )
+        self._ops.append(op)
+        self._preds.append([])
+        self._succs.append([])
+        return op.index
+
+    def add_edge(self, src: int, dst: int, latency: int | None = None) -> None:
+        """Add a dependence edge ``src -> dst``.
+
+        Args:
+            src: producer operation index.
+            dst: consumer operation index; must be greater than ``src``.
+            latency: edge latency; defaults to the producer's result latency.
+        """
+        self._check_mutable()
+        self._check_index(src)
+        self._check_index(dst)
+        if src >= dst:
+            raise ValueError(
+                f"edge ({src}, {dst}) is not forward; superblock dependences "
+                "must respect program order"
+            )
+        if latency is None:
+            latency = self._ops[src].latency
+        if latency < 0:
+            raise ValueError(f"edge ({src}, {dst}) has negative latency {latency}")
+        if (src, dst) in self._edge_set:
+            # Keep the larger latency: a tighter constraint subsumes a looser one.
+            self._preds[dst] = [
+                (u, max(lat, latency) if u == src else lat) for u, lat in self._preds[dst]
+            ]
+            self._succs[src] = [
+                (v, max(lat, latency) if v == dst else lat) for v, lat in self._succs[src]
+            ]
+            return
+        self._edge_set.add((src, dst))
+        self._preds[dst].append((src, latency))
+        self._succs[src].append((dst, latency))
+
+    def freeze(self) -> "DependenceGraph":
+        """Mark the graph immutable; subsequent mutation raises."""
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError("dependence graph is frozen; create a new one instead")
+
+    def _check_index(self, idx: int) -> None:
+        if not 0 <= idx < len(self._ops):
+            raise IndexError(f"operation index {idx} out of range (n={len(self._ops)})")
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_operations(self) -> int:
+        return len(self._ops)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return tuple(self._ops)
+
+    def op(self, idx: int) -> Operation:
+        self._check_index(idx)
+        return self._ops[idx]
+
+    def preds(self, idx: int) -> list[tuple[int, int]]:
+        """Direct predecessors of ``idx`` as ``(op index, latency)`` pairs."""
+        self._check_index(idx)
+        return self._preds[idx]
+
+    def succs(self, idx: int) -> list[tuple[int, int]]:
+        """Direct successors of ``idx`` as ``(op index, latency)`` pairs."""
+        self._check_index(idx)
+        return self._succs[idx]
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._edge_set
+
+    def edge_latency(self, src: int, dst: int) -> int:
+        for v, lat in self._succs[src]:
+            if v == dst:
+                return lat
+        raise KeyError(f"no edge ({src}, {dst})")
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over ``(src, dst, latency)`` triples in program order."""
+        for u in range(len(self._ops)):
+            for v, lat in self._succs[u]:
+                yield (u, v, lat)
+
+    def roots(self) -> list[int]:
+        """Operations with no predecessors."""
+        return [v for v in range(len(self._ops)) if not self._preds[v]]
+
+    def sinks(self) -> list[int]:
+        """Operations with no successors."""
+        return [v for v in range(len(self._ops)) if not self._succs[v]]
+
+    # ------------------------------------------------------------------
+    # Reachability (bitmask) caches
+    # ------------------------------------------------------------------
+    def _build_masks(self) -> None:
+        n = len(self._ops)
+        anc = [0] * n
+        for v in range(n):
+            m = 0
+            for u, _lat in self._preds[v]:
+                m |= anc[u] | (1 << u)
+            anc[v] = m
+        desc = [0] * n
+        for v in range(n - 1, -1, -1):
+            m = 0
+            for w, _lat in self._succs[v]:
+                m |= desc[w] | (1 << w)
+            desc[v] = m
+        self._ancestor_masks = anc
+        self._descendant_masks = desc
+
+    def ancestor_mask(self, idx: int) -> int:
+        """Bitmask of all (transitive) predecessors of ``idx``."""
+        self._check_index(idx)
+        if self._ancestor_masks is None:
+            self._build_masks()
+        assert self._ancestor_masks is not None
+        return self._ancestor_masks[idx]
+
+    def descendant_mask(self, idx: int) -> int:
+        """Bitmask of all (transitive) successors of ``idx``."""
+        self._check_index(idx)
+        if self._descendant_masks is None:
+            self._build_masks()
+        assert self._descendant_masks is not None
+        return self._descendant_masks[idx]
+
+    def ancestors(self, idx: int) -> list[int]:
+        """Transitive predecessors of ``idx`` in program order."""
+        return _mask_to_indices(self.ancestor_mask(idx))
+
+    def descendants(self, idx: int) -> list[int]:
+        """Transitive successors of ``idx`` in program order."""
+        return _mask_to_indices(self.descendant_mask(idx))
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """True when there is a dependence path from ``u`` to ``v``."""
+        return bool(self.ancestor_mask(v) >> u & 1)
+
+    def subgraph_mask(self, idx: int) -> int:
+        """Bitmask of ``idx`` together with all its ancestors.
+
+        This is the "subgraph rooted at" set the paper's bound algorithms
+        operate on.
+        """
+        return self.ancestor_mask(idx) | (1 << idx)
+
+    # ------------------------------------------------------------------
+    # Dependence-only timing
+    # ------------------------------------------------------------------
+    def early_dc(self) -> list[int]:
+        """``EarlyDC[v]``: earliest issue cycle of each op, dependences only."""
+        if self._early_dc is None:
+            n = len(self._ops)
+            early = [0] * n
+            for v in range(n):
+                e = 0
+                for u, lat in self._preds[v]:
+                    cand = early[u] + lat
+                    if cand > e:
+                        e = cand
+                early[v] = e
+            self._early_dc = early
+        return list(self._early_dc)
+
+    def critical_path(self) -> int:
+        """Dependence-only critical path: ``max_v EarlyDC[v]``."""
+        early = self.early_dc()
+        return max(early, default=0)
+
+    def dist_to(self, sink: int) -> list[int]:
+        """Longest-path latency from every op to ``sink``.
+
+        ``dist[sink] == 0``; operations with no path to ``sink`` get ``-1``.
+        Used for ``LateDC_b[v] = EarlyDC[b] - dist[v]``.
+        """
+        self._check_index(sink)
+        n = len(self._ops)
+        dist = [-1] * n
+        dist[sink] = 0
+        reach = self.ancestor_mask(sink) | (1 << sink)
+        for v in range(sink - 1, -1, -1):
+            if not reach >> v & 1:
+                continue
+            best = -1
+            for w, lat in self._succs[v]:
+                if dist[w] >= 0:
+                    cand = dist[w] + lat
+                    if cand > best:
+                        best = cand
+            dist[v] = best
+        return dist
+
+    def late_dc(self, sink: int) -> list[int]:
+        """``LateDC_sink[v]``: latest issue of ``v`` not delaying ``sink``.
+
+        Defined only for ``v`` in the subgraph rooted at ``sink``; other
+        entries are ``None``.
+        """
+        early = self.early_dc()
+        dist = self.dist_to(sink)
+        return [
+            early[sink] - d if d >= 0 else None  # type: ignore[misc]
+            for d in dist
+        ]
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def branches(self) -> list[int]:
+        """Indices of all branch operations in program order."""
+        return [op.index for op in self._ops if op.is_branch]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DependenceGraph(ops={self.num_operations}, edges={self.num_edges}, "
+            f"branches={len(self.branches())})"
+        )
+
+
+def _mask_to_indices(mask: int) -> list[int]:
+    """Expand a bitmask into the sorted list of set bit positions."""
+    out = []
+    idx = 0
+    while mask:
+        if mask & 1:
+            out.append(idx)
+        mask >>= 1
+        idx += 1
+    return out

@@ -1,0 +1,161 @@
+"""Operations: the atomic units scheduled inside a superblock.
+
+An :class:`Operation` is an immutable description of one machine operation:
+its opcode, the functional-unit class it occupies, its result latency, and —
+for branches — the probability that the branch exits the superblock.
+
+The opcode catalog mirrors the machine model of the paper (Section 6):
+all operations are fully pipelined with unit latency, except ``load``
+(2 cycles), ``fmul`` (3 cycles) and ``fdiv`` (9 cycles). Branches have unit
+latency (the paper's ``l_br``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class an operation occupies for one cycle at issue.
+
+    The fully-specialized machine configurations (FS4/FS6/FS8) provide a
+    distinct pool of units per class; the general-purpose configurations
+    (GP1/GP2/GP4) map every class onto a single shared pool.
+    """
+
+    INT = "int"
+    MEM = "mem"
+    FLOAT = "float"
+    BRANCH = "branch"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpClass.{self.name}"
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """An opcode: a name, the unit class it uses, and its result latency."""
+
+    name: str
+    op_class: OpClass
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"opcode {self.name!r} has negative latency")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _catalog() -> dict[str, Opcode]:
+    ops = [
+        # Integer ALU operations (unit latency).
+        Opcode("add", OpClass.INT, 1),
+        Opcode("sub", OpClass.INT, 1),
+        Opcode("and", OpClass.INT, 1),
+        Opcode("or", OpClass.INT, 1),
+        Opcode("xor", OpClass.INT, 1),
+        Opcode("shl", OpClass.INT, 1),
+        Opcode("shr", OpClass.INT, 1),
+        Opcode("cmp", OpClass.INT, 1),
+        Opcode("mov", OpClass.INT, 1),
+        Opcode("mul", OpClass.INT, 1),
+        # Memory operations: loads take two cycles, stores one.
+        Opcode("load", OpClass.MEM, 2),
+        Opcode("store", OpClass.MEM, 1),
+        # Floating point.
+        Opcode("fadd", OpClass.FLOAT, 1),
+        Opcode("fsub", OpClass.FLOAT, 1),
+        Opcode("fmul", OpClass.FLOAT, 3),
+        Opcode("fdiv", OpClass.FLOAT, 9),
+        Opcode("fcmp", OpClass.FLOAT, 1),
+        # Control flow. ``branch`` is a side exit; ``jump`` ends the block.
+        Opcode("branch", OpClass.BRANCH, 1),
+        Opcode("jump", OpClass.BRANCH, 1),
+    ]
+    return {op.name: op for op in ops}
+
+
+#: The default opcode catalog, keyed by opcode name.
+OPCODES: dict[str, Opcode] = _catalog()
+
+#: Latency of every branch opcode (the paper's ``l_br``).
+BRANCH_LATENCY: int = OPCODES["branch"].latency
+
+
+def opcode(name: str) -> Opcode:
+    """Look up an opcode by name.
+
+    Raises:
+        KeyError: if ``name`` is not in the catalog.
+    """
+    try:
+        return OPCODES[name]
+    except KeyError:
+        known = ", ".join(sorted(OPCODES))
+        raise KeyError(f"unknown opcode {name!r}; known opcodes: {known}") from None
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a superblock.
+
+    Attributes:
+        index: position of the operation in program order; also its node id
+            in the dependence graph.
+        opcode: the opcode describing class and latency.
+        exit_prob: for branches, the probability that the branch is taken
+            (i.e. control exits the superblock here). Zero for non-branches.
+        block: index of the basic block the operation originally belonged to
+            (0-based); purely informational, used by reporting and by the
+            Successive Retirement fallback for operations that precede no
+            branch.
+        name: optional human-readable label used in examples and DOT output.
+    """
+
+    index: int
+    opcode: Opcode
+    exit_prob: float = 0.0
+    block: int = 0
+    name: str = ""
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("operation index must be non-negative")
+        if self.is_branch:
+            if not 0.0 <= self.exit_prob <= 1.0:
+                raise ValueError(
+                    f"branch {self.index} has exit probability {self.exit_prob} "
+                    "outside [0, 1]"
+                )
+        elif self.exit_prob != 0.0:
+            raise ValueError(
+                f"non-branch operation {self.index} has a non-zero exit probability"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        """True when the operation occupies a branch unit (side exit or jump)."""
+        return self.opcode.op_class is OpClass.BRANCH
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.opcode.op_class
+
+    @property
+    def latency(self) -> int:
+        """Result latency of the operation (edge latency to its consumers)."""
+        return self.opcode.latency
+
+    @property
+    def label(self) -> str:
+        """Display label: the explicit name if set, else ``<opcode><index>``."""
+        return self.name or f"{self.opcode.name}{self.index}"
+
+    def __str__(self) -> str:
+        if self.is_branch:
+            return f"{self.label}(p={self.exit_prob:g})"
+        return self.label

@@ -1,0 +1,90 @@
+"""JSON (de)serialization of superblocks.
+
+The on-disk format is a plain JSON object designed to be stable across
+library versions and easy to produce from external tools:
+
+.. code-block:: json
+
+    {
+      "name": "gcc.sb0042",
+      "exec_freq": 1234.0,
+      "source": "synthetic:gcc",
+      "operations": [
+        {"opcode": "add"},
+        {"opcode": "branch", "exit_prob": 0.25},
+        {"opcode": "jump", "exit_prob": 0.75}
+      ],
+      "edges": [[0, 1, 1], [1, 2, 1]]
+    }
+
+Operation indices are implicit (array position); edges are
+``[src, dst, latency]`` triples. Control edges between branches are stored
+explicitly so a file is self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import Operation, opcode
+from repro.ir.superblock import Superblock
+from repro.ir.validate import validate_superblock
+
+
+def superblock_to_dict(sb: Superblock) -> dict[str, Any]:
+    """Convert a superblock to a JSON-compatible dict."""
+    ops = []
+    for op in sb.operations:
+        entry: dict[str, Any] = {"opcode": op.opcode.name}
+        if op.is_branch:
+            entry["exit_prob"] = op.exit_prob
+        if op.block:
+            entry["block"] = op.block
+        if op.name:
+            entry["name"] = op.name
+        ops.append(entry)
+    return {
+        "name": sb.name,
+        "exec_freq": sb.exec_freq,
+        "source": sb.source,
+        "operations": ops,
+        "edges": [[src, dst, lat] for src, dst, lat in sb.graph.edges()],
+    }
+
+
+def superblock_from_dict(data: dict[str, Any]) -> Superblock:
+    """Reconstruct a superblock from :func:`superblock_to_dict` output."""
+    graph = DependenceGraph()
+    for idx, entry in enumerate(data["operations"]):
+        graph.add_operation(
+            Operation(
+                index=idx,
+                opcode=opcode(entry["opcode"]),
+                exit_prob=float(entry.get("exit_prob", 0.0)),
+                block=int(entry.get("block", 0)),
+                name=entry.get("name", ""),
+            )
+        )
+    for src, dst, lat in data["edges"]:
+        graph.add_edge(int(src), int(dst), int(lat))
+    graph.freeze()
+    sb = Superblock(
+        name=data["name"],
+        graph=graph,
+        exec_freq=float(data.get("exec_freq", 1.0)),
+        source=data.get("source", ""),
+    )
+    validate_superblock(sb)
+    return sb
+
+
+def dumps(sb: Superblock, indent: int | None = None) -> str:
+    """Serialize a superblock to a JSON string."""
+    return json.dumps(superblock_to_dict(sb), indent=indent)
+
+
+def loads(text: str) -> Superblock:
+    """Deserialize a superblock from a JSON string."""
+    return superblock_from_dict(json.loads(text))

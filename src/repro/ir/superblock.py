@@ -1,0 +1,138 @@
+"""Superblocks: single-entry, multiple-exit scheduling regions.
+
+A superblock (Hwu et al. [3] in the paper) is a sequence of basic blocks
+with one entry and one exit per block. Each exit is a branch operation with
+an *exit probability* — the probability that control leaves the superblock
+at that branch. The scheduling objective is to minimize the **weighted
+completion time (WCT)**:
+
+    WCT = sum over branches b of  w_b * (issue_cycle(b) + l_br)
+
+where ``l_br`` is the branch latency (1 cycle in all paper configurations).
+
+Structural invariants (enforced by :mod:`repro.ir.validate`):
+
+* branch operations appear in increasing index order (program order);
+* consecutive branches are linked by a *control edge* of latency ``l_br``,
+  so branches can never be reordered and every earlier branch is an
+  ancestor of every later branch — the property the Pairwise bound's
+  Theorem 2 relies on;
+* exit probabilities are non-negative and sum to 1 across all exits.
+
+Non-branch operations may be *speculated* above branches they have no
+dependence path to; they can never sink below a branch that transitively
+depends on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import BRANCH_LATENCY, Operation
+
+
+@dataclass(frozen=True)
+class Superblock:
+    """An immutable superblock: a frozen dependence graph plus exit weights.
+
+    Attributes:
+        name: identifier used in corpora and reports.
+        graph: the frozen dependence graph (data + control edges).
+        exec_freq: execution frequency of the superblock; used to weight
+            aggregate ("dynamic") cycle counts across a corpus.
+    """
+
+    name: str
+    graph: DependenceGraph
+    exec_freq: float = 1.0
+    source: str = ""
+    attrs: dict = field(default_factory=dict, compare=False)
+
+    @cached_property
+    def branches(self) -> tuple[int, ...]:
+        """Indices of the exit branches, in program order."""
+        return tuple(self.graph.branches())
+
+    @cached_property
+    def weights(self) -> dict[int, float]:
+        """Exit probability of each branch, keyed by operation index."""
+        return {b: self.graph.op(b).exit_prob for b in self.branches}
+
+    @property
+    def num_operations(self) -> int:
+        return self.graph.num_operations
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    @property
+    def branch_latency(self) -> int:
+        """The paper's ``l_br``; constant across all operations here."""
+        return BRANCH_LATENCY
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return self.graph.operations
+
+    def op(self, idx: int) -> Operation:
+        return self.graph.op(idx)
+
+    @cached_property
+    def last_branch(self) -> int:
+        """Index of the final (fall-through) exit."""
+        if not self.branches:
+            raise ValueError(f"superblock {self.name!r} has no exit branch")
+        return self.branches[-1]
+
+    @cached_property
+    def branch_order(self) -> dict[int, int]:
+        """Map from branch op index to its 0-based exit position."""
+        return {b: k for k, b in enumerate(self.branches)}
+
+    @cached_property
+    def home_blocks(self) -> tuple[int, ...]:
+        """Home block of every operation.
+
+        The home block of an operation is the exit position of the earliest
+        branch that transitively depends on it — i.e. the first exit the
+        operation matters to. Operations that reach no branch (possible only
+        in hand-built graphs) are assigned to the last block. This is the
+        priority key used by Successive Retirement.
+        """
+        n = self.graph.num_operations
+        last = self.num_branches - 1
+        blocks = [last] * n
+        for pos in range(self.num_branches - 1, -1, -1):
+            b = self.branches[pos]
+            mask = self.graph.subgraph_mask(b)
+            v = 0
+            while mask:
+                if mask & 1:
+                    blocks[v] = pos
+                mask >>= 1
+                v += 1
+        return tuple(blocks)
+
+    def cumulative_weight(self, branch: int) -> float:
+        """Sum of exit probabilities of ``branch`` and all earlier exits.
+
+        This is the denominator of the G* heuristic's branch rank.
+        """
+        pos = self.branch_order[branch]
+        return sum(self.weights[b] for b in self.branches[: pos + 1])
+
+    def weighted_completion_time(self, issue_cycles: dict[int, int]) -> float:
+        """WCT of a schedule given the issue cycle of every branch."""
+        return sum(
+            w * (issue_cycles[b] + self.branch_latency)
+            for b, w in self.weights.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Superblock({self.name!r}, ops={self.num_operations}, "
+            f"branches={self.num_branches})"
+        )

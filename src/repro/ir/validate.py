@@ -1,0 +1,80 @@
+"""Structural validation of superblocks.
+
+Checks the invariants listed in :mod:`repro.ir.superblock`. Validation runs
+automatically when a superblock is built through :class:`SuperblockBuilder`
+or deserialized; hand-assembled graphs can call it directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.superblock import Superblock
+
+#: Absolute tolerance for the exit-probability sum check.
+WEIGHT_TOLERANCE = 1e-6
+
+
+class SuperblockValidationError(ValueError):
+    """Raised when a superblock violates a structural invariant."""
+
+
+def validate_superblock(sb: Superblock) -> None:
+    """Validate ``sb``; raise :class:`SuperblockValidationError` on failure."""
+    errors = list(iter_violations(sb))
+    if errors:
+        raise SuperblockValidationError(
+            f"superblock {sb.name!r} is malformed:\n  - " + "\n  - ".join(errors)
+        )
+
+
+def iter_violations(sb: Superblock):
+    """Yield a human-readable message for every violated invariant."""
+    graph = sb.graph
+    n = graph.num_operations
+
+    if n == 0:
+        yield "superblock has no operations"
+        return
+
+    branches = sb.branches
+    if not branches:
+        yield "superblock has no exit branch"
+        return
+
+    # The final operation must be the last exit.
+    if branches[-1] != n - 1:
+        yield (
+            f"the last operation (index {n - 1}) must be the final exit; "
+            f"found final exit at index {branches[-1]}"
+        )
+
+    # Branches must be linked by control edges in program order.
+    for prev, nxt in zip(branches, branches[1:]):
+        if not graph.has_edge(prev, nxt):
+            yield f"missing control edge between branches {prev} and {nxt}"
+        else:
+            lat = graph.edge_latency(prev, nxt)
+            if lat < graph.op(prev).latency:
+                yield (
+                    f"control edge ({prev}, {nxt}) latency {lat} is below the "
+                    f"branch latency {graph.op(prev).latency}"
+                )
+
+    # Exit probabilities sum to one.
+    total = sum(graph.op(b).exit_prob for b in branches)
+    if not math.isclose(total, 1.0, abs_tol=WEIGHT_TOLERANCE):
+        yield f"exit probabilities sum to {total:.9f}, expected 1.0"
+
+    # Edges are forward and acyclic by construction of DependenceGraph, but
+    # edge latencies must not be smaller than 0 and producers of latency-0
+    # edges are not allowed for branches (a branch's result is control flow).
+    for src, dst, lat in graph.edges():
+        if graph.op(src).is_branch and lat < graph.op(src).latency:
+            yield (
+                f"edge ({src}, {dst}) from branch {src} has latency {lat} "
+                f"below the branch latency"
+            )
+
+    if sb.exec_freq < 0:
+        yield f"negative execution frequency {sb.exec_freq}"

@@ -1,0 +1,30 @@
+"""VLIW machine models: configurations, resources, reservation tables."""
+
+from repro.machine.machine import (
+    FS4,
+    FS6,
+    FS8,
+    GP1,
+    GP2,
+    GP4,
+    PAPER_MACHINES,
+    MachineConfig,
+    machine_by_name,
+)
+from repro.machine.reservation import ReservationTable
+from repro.machine.resources import GENERAL_PURPOSE, ResourceVector
+
+__all__ = [
+    "FS4",
+    "FS6",
+    "FS8",
+    "GENERAL_PURPOSE",
+    "GP1",
+    "GP2",
+    "GP4",
+    "PAPER_MACHINES",
+    "MachineConfig",
+    "ReservationTable",
+    "ResourceVector",
+    "machine_by_name",
+]

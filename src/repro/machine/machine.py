@@ -1,0 +1,158 @@
+"""VLIW machine configurations.
+
+The paper evaluates six fully pipelined configurations (Section 6):
+
+* **GP1, GP2, GP4** — 1, 2, and 4 *general purpose* units; every operation
+  (including branches) may issue on any unit.
+* **FS4, FS6, FS8** — fully *specialized* units with the mixes
+  ``(#int, #mem, #float, #branch)`` of ``(1,1,1,1)``, ``(2,2,1,1)`` and
+  ``(3,2,2,1)``.
+
+Latencies live on the opcodes (see :mod:`repro.ir.operation`): unit latency
+everywhere except ``load`` (2), ``fmul`` (3) and ``fdiv`` (9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.operation import OpClass, Operation
+from repro.machine.resources import (
+    GENERAL_PURPOSE,
+    ResourceVector,
+    default_class_map,
+)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A machine: unit counts per resource class and an op-class mapping.
+
+    Attributes:
+        name: configuration identifier (``"GP2"``, ``"FS6"``, ...).
+        units: number of functional units per resource class name.
+        class_map: which resource class each :class:`OpClass` occupies.
+        occupancy: initiation interval per *opcode name* for units that
+            are not fully pipelined — an opcode with occupancy ``k``
+            blocks its unit for ``k`` consecutive cycles. Absent opcodes
+            are fully pipelined (occupancy 1), which is the case for every
+            paper configuration; Section 4.1 describes the Rim & Jain
+            expansion this library applies in the bounds.
+    """
+
+    name: str
+    units: dict[str, int]
+    class_map: dict[OpClass, str] = field(default_factory=dict)
+    occupancy: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise ValueError("machine must have at least one resource class")
+        for rclass, count in self.units.items():
+            if count <= 0:
+                raise ValueError(f"resource class {rclass!r} has count {count}")
+        if not self.class_map:
+            specialized = GENERAL_PURPOSE not in self.units
+            object.__setattr__(self, "class_map", default_class_map(specialized))
+        missing = [oc for oc in OpClass if self.class_map.get(oc) not in self.units]
+        if missing:
+            raise ValueError(
+                f"machine {self.name!r} does not map op classes "
+                f"{[m.value for m in missing]} onto any resource class"
+            )
+        for op_name, occ in self.occupancy.items():
+            if occ < 1:
+                raise ValueError(
+                    f"machine {self.name!r}: occupancy of {op_name!r} must "
+                    f"be >= 1, got {occ}"
+                )
+
+    @property
+    def fully_pipelined(self) -> bool:
+        """True when every opcode has unit occupancy."""
+        return all(occ == 1 for occ in self.occupancy.values())
+
+    def occupancy_of(self, op: Operation) -> int:
+        """Cycles the operation blocks its functional unit."""
+        return self.occupancy.get(op.opcode.name, 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Total issue width: one operation per unit per cycle."""
+        return sum(self.units.values())
+
+    @property
+    def resource_classes(self) -> tuple[str, ...]:
+        """Resource class names in deterministic order."""
+        return tuple(sorted(self.units))
+
+    @property
+    def num_resource_classes(self) -> int:
+        return len(self.units)
+
+    def resource_of(self, op: Operation) -> str:
+        """Resource class name the operation occupies."""
+        return self.class_map[op.op_class]
+
+    def units_of(self, rclass: str) -> int:
+        return self.units[rclass]
+
+    def capacity(self) -> ResourceVector:
+        """Per-cycle capacity as a resource vector."""
+        return ResourceVector(dict(self.units))
+
+    def demand_of(self, ops: list[Operation]) -> ResourceVector:
+        """Aggregate demand vector of a list of operations."""
+        return ResourceVector.of_classes(self.resource_of(op) for op in ops)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _gp(name: str, count: int) -> MachineConfig:
+    return MachineConfig(name=name, units={GENERAL_PURPOSE: count})
+
+
+def _fs(name: str, ints: int, mems: int, floats: int, branches: int) -> MachineConfig:
+    return MachineConfig(
+        name=name,
+        units={"int": ints, "mem": mems, "float": floats, "branch": branches},
+    )
+
+
+#: 1 general purpose unit.
+GP1 = _gp("GP1", 1)
+#: 2 general purpose units (the machine used in the paper's examples).
+GP2 = _gp("GP2", 2)
+#: 4 general purpose units.
+GP4 = _gp("GP4", 4)
+#: 4 specialized units: (1 int, 1 mem, 1 float, 1 branch).
+FS4 = _fs("FS4", 1, 1, 1, 1)
+#: 6 specialized units: (2 int, 2 mem, 1 float, 1 branch).
+FS6 = _fs("FS6", 2, 2, 1, 1)
+#: 8 specialized units: (3 int, 2 mem, 2 float, 1 branch).
+FS8 = _fs("FS8", 3, 2, 2, 1)
+
+#: FS4 with a blocking (non-pipelined) floating point divider and
+#: multiplier — a demonstration configuration for the occupancy model;
+#: not part of the paper's evaluation set.
+FS4_NP = MachineConfig(
+    name="FS4-NP",
+    units={"int": 1, "mem": 1, "float": 1, "branch": 1},
+    occupancy={"fdiv": 9, "fmul": 3},
+)
+
+#: All six paper configurations, in the paper's order.
+PAPER_MACHINES: tuple[MachineConfig, ...] = (GP1, GP2, GP4, FS4, FS6, FS8)
+
+_BY_NAME = {m.name: m for m in PAPER_MACHINES + (FS4_NP,)}
+
+
+def machine_by_name(name: str) -> MachineConfig:
+    """Look up a paper configuration by name (case insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}") from None

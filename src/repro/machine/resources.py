@@ -1,0 +1,86 @@
+"""Resource classes and resource vectors.
+
+A *resource class* is a pool of identical, fully pipelined functional
+units. An operation occupies exactly one unit of its class for one cycle at
+issue time (the Rim & Jain occupancy model; non-pipelined units would be
+pre-expanded into chains, but all paper configurations are fully
+pipelined).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.ir.operation import OpClass
+
+#: Resource class used by the general-purpose (GP*) configurations.
+GENERAL_PURPOSE = "gp"
+
+
+class ResourceVector:
+    """A count of units (or unit demands) per resource class.
+
+    Thin wrapper over :class:`collections.Counter` with subsetting helpers
+    used by the schedulers ("do these demands fit in these free units?").
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self._counts = Counter()
+        if counts:
+            for rclass, count in counts.items():
+                if count < 0:
+                    raise ValueError(f"negative count for resource {rclass!r}")
+                if count:
+                    self._counts[rclass] = count
+
+    @classmethod
+    def of_classes(cls, classes: Iterable[str]) -> "ResourceVector":
+        """Demand vector of a multiset of resource class names."""
+        vec = cls()
+        vec._counts.update(classes)
+        return vec
+
+    def get(self, rclass: str) -> int:
+        return self._counts.get(rclass, 0)
+
+    def classes(self) -> list[str]:
+        return sorted(self._counts)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def add(self, rclass: str, count: int = 1) -> None:
+        self._counts[rclass] += count
+
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """True when every class demand is within ``capacity``."""
+        return all(capacity.get(r) >= c for r, c in self._counts.items())
+
+    def copy(self) -> "ResourceVector":
+        return ResourceVector(dict(self._counts))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{r}={c}" for r, c in sorted(self._counts.items()))
+        return f"ResourceVector({inner})"
+
+
+def default_class_map(specialized: bool) -> dict[OpClass, str]:
+    """Map op classes to resource class names.
+
+    Fully specialized machines give each op class its own pool; general
+    purpose machines share a single pool.
+    """
+    if specialized:
+        return {oc: oc.value for oc in OpClass}
+    return {oc: GENERAL_PURPOSE for oc in OpClass}

@@ -1,0 +1,60 @@
+"""Superblock schedulers: the paper's baselines plus Balance and Best.
+
+Named heuristics (use with :func:`schedule`):
+
+* ``cp`` — Critical Path (longest dependence chain first).
+* ``sr`` — Successive Retirement (first block first).
+* ``gstar`` — G*: selective retirement of critical branches.
+* ``dhasy`` — Dependence Height and Speculative Yield.
+* ``help`` — Speculative-Hedge-style help scoring.
+* ``balance`` — the paper's Balance heuristic (see :mod:`repro.core`).
+* ``best`` — best-of-127 envelope (6 primaries + 121 priority blends).
+* ``optimal`` — branch-and-bound optimum (small superblocks only).
+"""
+
+from repro.schedulers.base import (
+    get_scheduler,
+    register,
+    schedule,
+    scheduler_names,
+)
+from repro.schedulers.best import PRIMARY_HEURISTICS
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.optimal import SearchBudgetExceeded
+from repro.schedulers.priorities import (
+    blend_grid,
+    blend_priority,
+    cp_priority,
+    dhasy_priority,
+    heights,
+    sr_priority,
+)
+from repro.schedulers.schedule import (
+    Schedule,
+    ScheduleError,
+    make_schedule,
+    validate_schedule,
+)
+from repro.schedulers.visualize import gantt, unit_streams
+
+__all__ = [
+    "PRIMARY_HEURISTICS",
+    "Schedule",
+    "ScheduleError",
+    "SearchBudgetExceeded",
+    "blend_grid",
+    "gantt",
+    "unit_streams",
+    "blend_priority",
+    "cp_priority",
+    "dhasy_priority",
+    "get_scheduler",
+    "heights",
+    "list_schedule",
+    "make_schedule",
+    "register",
+    "schedule",
+    "scheduler_names",
+    "sr_priority",
+    "validate_schedule",
+]

@@ -1,0 +1,57 @@
+"""The adaptive scheduler: DHASY first, Balance only when provably needed.
+
+Table 4 of the paper observes that compile time can be saved by scheduling
+with the cheap DHASY heuristic, comparing the result against a lower
+bound, and invoking the expensive Balance heuristic only when DHASY is not
+provably optimal. This module packages that strategy as a registered
+scheduler, so it can be compared and benchmarked like any other.
+"""
+
+from __future__ import annotations
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import register
+from repro.schedulers.dhasy import dhasy_schedule
+from repro.schedulers.schedule import Schedule
+
+
+@register("adaptive")
+def adaptive_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    suite: BoundSuite | None = None,
+    validate: bool = True,
+) -> Schedule:
+    """DHASY-first / Balance-fallback scheduling.
+
+    Returns the DHASY schedule when it meets the tightest bound computed
+    by the (pairwise-level) bound suite; otherwise re-schedules with
+    Balance and returns the better of the two.
+    """
+    from repro.core.balance import balance
+
+    if suite is None:
+        suite = BoundSuite(sb, machine, include_triplewise=False)
+    bound = suite.compute().tightest
+    cheap = dhasy_schedule(sb, machine, validate=validate)
+    if cheap.wct <= bound + 1e-9:
+        return Schedule(
+            superblock=cheap.superblock,
+            machine=cheap.machine,
+            heuristic="adaptive",
+            issue=cheap.issue,
+            wct=cheap.wct,
+            stats={"fallback": False},
+        )
+    expensive = balance(sb, machine, suite=suite, validate=validate)
+    winner = expensive if expensive.wct <= cheap.wct else cheap
+    return Schedule(
+        superblock=winner.superblock,
+        machine=winner.machine,
+        heuristic="adaptive",
+        issue=winner.issue,
+        wct=winner.wct,
+        stats={"fallback": True, "winner": winner.heuristic},
+    )

@@ -1,0 +1,70 @@
+"""Scheduler registry and the top-level :func:`schedule` dispatch."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.schedule import Schedule
+
+#: A scheduler: (superblock, machine, **kwargs) -> Schedule.
+SchedulerFn = Callable[..., Schedule]
+
+_REGISTRY: dict[str, SchedulerFn] = {}
+
+
+def register(name: str) -> Callable[[SchedulerFn], SchedulerFn]:
+    """Decorator: register a scheduler function under ``name``."""
+
+    def deco(fn: SchedulerFn) -> SchedulerFn:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"scheduler {name!r} already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return deco
+
+
+def scheduler_names() -> list[str]:
+    """All registered scheduler names."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_scheduler(name: str) -> SchedulerFn:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown scheduler {name!r}; known schedulers: {known}"
+        ) from None
+
+
+def schedule(
+    sb: Superblock, machine: MachineConfig, heuristic: str = "balance", **kwargs
+) -> Schedule:
+    """Schedule ``sb`` on ``machine`` with the named heuristic.
+
+    Known heuristics: ``cp``, ``sr``, ``gstar``, ``dhasy``, ``help``,
+    ``balance``, ``best``, ``optimal`` (see :func:`scheduler_names`).
+    """
+    return get_scheduler(heuristic)(sb, machine, **kwargs)
+
+
+def _ensure_loaded() -> None:
+    """Import all scheduler modules so their registrations run."""
+    from repro import core  # noqa: F401  (registers balance/help variants)
+    from repro.schedulers import (  # noqa: F401
+        adaptive,
+        best,
+        critical_path,
+        dhasy,
+        gstar,
+        ilp,
+        optimal,
+        successive_retirement,
+    )

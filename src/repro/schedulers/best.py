@@ -1,0 +1,55 @@
+"""The Best envelope: lowest-WCT schedule out of 127 candidates.
+
+Per Section 6.2 of the paper, Best keeps the cheapest schedule found by
+
+* the six primary heuristics (SR, CP, G*, DHASY, Help, Balance), and
+* 121 list-scheduler runs over a cross product of the CP, SR, and DHASY
+  priority functions (see :func:`repro.schedulers.priorities.blend_grid`).
+
+Best is a near-oracle reference, not a practical compiler heuristic; the
+paper uses it to show how close Balance alone gets.
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import get_scheduler, register
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import blend_grid, blend_priority
+from repro.schedulers.schedule import Schedule
+
+#: The primary heuristics Best draws from, in the paper's order.
+PRIMARY_HEURISTICS = ("sr", "cp", "gstar", "dhasy", "help", "balance")
+
+
+@register("best")
+def best_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    include_primaries: bool = True,
+    validate: bool = True,
+) -> Schedule:
+    """Best-of-127 schedule (6 primaries + 121 priority blends)."""
+    candidates: list[Schedule] = []
+    if include_primaries:
+        for name in PRIMARY_HEURISTICS:
+            candidates.append(
+                get_scheduler(name)(sb, machine, validate=False)
+            )
+    for a, b, c in blend_grid():
+        priority = blend_priority(sb, a, b, c)
+        candidates.append(
+            list_schedule(
+                sb, machine, priority, f"blend({a:g},{b:g},{c:g})", validate=False
+            )
+        )
+    winner = min(candidates, key=lambda s: (s.wct, s.length))
+    return Schedule(
+        superblock=winner.superblock,
+        machine=winner.machine,
+        heuristic="best",
+        issue=winner.issue,
+        wct=winner.wct,
+        stats={"winner": winner.heuristic, "candidates": len(candidates)},
+    )

@@ -1,0 +1,22 @@
+"""Critical Path scheduler: longest dependence chain first.
+
+Biased toward the *last* exit of a superblock; strongest on wide machines
+where resources rarely constrain (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import register
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import cp_priority
+from repro.schedulers.schedule import Schedule
+
+
+@register("cp")
+def cp_schedule(
+    sb: Superblock, machine: MachineConfig, validate: bool = True
+) -> Schedule:
+    """List schedule by dependence height."""
+    return list_schedule(sb, machine, cp_priority(sb), "cp", validate)

@@ -1,0 +1,26 @@
+"""DHASY scheduler: Dependence Height and Speculative Yield.
+
+Extends Critical Path to superblocks by weighting each branch's critical
+path with its exit probability: the priority of an operation is
+``sum_b w_b * (CP + 1 - LateDC_b[v])`` over its successor branches
+(Bringmann's formulation, refs [1, 13] of the paper). Works well across
+machine widths but can delay infrequent side exits when resources are
+constraining (Figure 1d).
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import register
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import dhasy_priority
+from repro.schedulers.schedule import Schedule
+
+
+@register("dhasy")
+def dhasy_schedule(
+    sb: Superblock, machine: MachineConfig, validate: bool = True
+) -> Schedule:
+    """List schedule by probability-weighted dependence slack."""
+    return list_schedule(sb, machine, dhasy_priority(sb), "dhasy", validate)

@@ -1,0 +1,172 @@
+"""The G* scheduler (Deitrich & Hwu's G heuristic family, ref [8]).
+
+G* finds middle ground between Critical Path and Successive Retirement by
+applying retirement only to *critical* branches:
+
+1. For every remaining branch ``b``, list-schedule the dependence subgraph
+   rooted at ``b`` alone (secondary heuristic: Critical Path) and record
+   the cycle in which ``b`` completes.
+2. ``rank(b) = completion cycle / cumulative exit probability`` (the sum of
+   the exit probabilities of ``b`` and all preceding branches).
+3. The branch with the smallest rank is critical: its subgraph is assigned
+   the next priority tier and removed; recurse on the rest.
+
+The final schedule is a list schedule with priority (tier, dependence
+height). In Figure 1 of the paper only the last branch is critical, so G*
+degenerates to Critical Path there.
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.machine.reservation import ReservationTable
+from repro.schedulers.base import register
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import heights
+from repro.schedulers.schedule import Schedule
+
+
+def _subset_completion(
+    sb: Superblock,
+    machine: MachineConfig,
+    nodes: list[int],
+    sink: int,
+    priority,
+) -> int:
+    """Cycle in which ``sink`` issues when ``nodes`` alone are list-scheduled.
+
+    Edges from operations outside ``nodes`` are ignored (they belong to
+    previously retired tiers, treated as already executed). ``priority``
+    is the secondary heuristic's per-op priority vector.
+    """
+    graph = sb.graph
+    node_set = set(nodes)
+    preds_left = {
+        v: sum(1 for u, _ in graph.preds(v) if u in node_set) for v in nodes
+    }
+    ready_at = {v: 0 for v in nodes}
+    table = ReservationTable(machine)
+    unplaced = set(nodes)
+
+    def key(v: int):
+        p = priority[v]
+        if isinstance(p, tuple):
+            return tuple(-x for x in p) + (v,)
+        return (-p, v)
+
+    released = sorted((v for v in nodes if preds_left[v] == 0), key=key)
+    cycle = 0
+    issue: dict[int, int] = {}
+    while unplaced:
+        progress = False
+        next_round: list[int] = []
+        for v in released:
+            if ready_at[v] > cycle:
+                next_round.append(v)
+                continue
+            op = graph.op(v)
+            rclass = machine.resource_of(op)
+            occ = machine.occupancy_of(op)
+            if not table.can_place(cycle, rclass, occ):
+                next_round.append(v)
+                continue
+            table.place(cycle, rclass, occ)
+            issue[v] = cycle
+            unplaced.discard(v)
+            progress = True
+            for w, lat in graph.succs(v):
+                if w in node_set:
+                    preds_left[w] -= 1
+                    ready_at[w] = max(ready_at[w], cycle + lat)
+                    if preds_left[w] == 0:
+                        next_round.append(w)
+        released = sorted(next_round, key=key)
+        if unplaced:
+            cycle += 1
+    return issue[sink]
+
+
+def _secondary_priority(sb: Superblock, secondary: str):
+    """Per-op priority vector of the secondary heuristic."""
+    from repro.schedulers.priorities import (
+        cp_priority,
+        dhasy_priority,
+        sr_priority,
+    )
+
+    factories = {
+        "cp": cp_priority,
+        "sr": sr_priority,
+        "dhasy": dhasy_priority,
+    }
+    try:
+        return factories[secondary](sb)
+    except KeyError:
+        known = ", ".join(sorted(factories))
+        raise ValueError(
+            f"unknown G* secondary heuristic {secondary!r}; known: {known}"
+        ) from None
+
+
+def gstar_tiers(
+    sb: Superblock, machine: MachineConfig, secondary: str = "cp"
+) -> list[int]:
+    """Priority tier of every operation (0 = most critical, issues first).
+
+    Args:
+        secondary: heuristic used to schedule each branch's subgraph when
+            ranking branches (the paper evaluates G* with Critical Path).
+    """
+    graph = sb.graph
+    priority = _secondary_priority(sb, secondary)
+    n = graph.num_operations
+    tier = [0] * n
+    remaining = set(range(n))
+    remaining_branches = list(sb.branches)
+    level = 0
+    while remaining_branches:
+        best_branch = None
+        best_rank = None
+        for b in remaining_branches:
+            nodes = [
+                v for v in graph.ancestors(b) if v in remaining
+            ] + [b]
+            completion = _subset_completion(sb, machine, sorted(nodes), b, priority)
+            cumw = sb.cumulative_weight(b)
+            rank = completion / cumw if cumw > 0 else float("inf")
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_branch = b
+        assert best_branch is not None
+        retired = {
+            v for v in graph.ancestors(best_branch) if v in remaining
+        } | {best_branch}
+        for v in retired:
+            tier[v] = level
+        remaining -= retired
+        remaining_branches = [b for b in remaining_branches if b in remaining]
+        level += 1
+    for v in remaining:  # operations preceding no branch, if any
+        tier[v] = level
+    return tier
+
+
+@register("gstar")
+def gstar_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    secondary: str = "cp",
+    validate: bool = True,
+) -> Schedule:
+    """List schedule by (G* tier, dependence height).
+
+    Args:
+        secondary: the heuristic ranking branches during tier extraction
+            ("cp" — the paper's choice — "sr", or "dhasy").
+    """
+    tier = gstar_tiers(sb, machine, secondary)
+    height = heights(sb)
+    priority = [(-tier[v], height[v]) for v in range(sb.num_operations)]
+    name = "gstar" if secondary == "cp" else f"gstar[{secondary}]"
+    return list_schedule(sb, machine, priority, name, validate)

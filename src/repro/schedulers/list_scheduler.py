@@ -1,0 +1,113 @@
+"""Generic cycle-driven list scheduler.
+
+Classic operation: maintain the set of *ready* operations (all predecessors
+issued and latencies elapsed); each cycle, issue ready operations in
+descending priority order while functional units of their class remain;
+advance to the next cycle when nothing more fits.
+
+All static-priority heuristics (CP, SR, DHASY, G*, the Best blends) are
+this scheduler with a different priority vector.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.machine.reservation import ReservationTable
+from repro.schedulers.schedule import Schedule, make_schedule
+
+
+def list_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    priority: Sequence,
+    heuristic: str = "list",
+    validate: bool = True,
+) -> Schedule:
+    """Schedule ``sb`` on ``machine`` with a static priority vector.
+
+    Args:
+        priority: one comparable value per operation; larger issues first.
+            Ties break toward the smaller operation index.
+    """
+    graph = sb.graph
+    n = graph.num_operations
+    issue: dict[int, int] = {}
+    table = ReservationTable(machine)
+    unscheduled_preds = [len(graph.preds(v)) for v in range(n)]
+    ready_at = [0] * n  # earliest cycle once all preds are issued
+
+    # Heap of (-priority, index) for ops whose preds are all issued;
+    # an op is *ready* at a cycle when ready_at <= cycle.
+    released: list[tuple] = []
+    for v in range(n):
+        if unscheduled_preds[v] == 0:
+            heapq.heappush(released, (_key(priority[v]), v))
+
+    pending: list[tuple] = []  # released but not yet ready ops, re-queued
+    cycle = 0
+    remaining = n
+    while remaining:
+        # Collect ops ready this cycle, best priority first.
+        progress = False
+        skipped: list[tuple] = []
+        while released:
+            key, v = heapq.heappop(released)
+            if ready_at[v] > cycle:
+                pending.append((key, v))
+                continue
+            op = graph.op(v)
+            rclass = machine.resource_of(op)
+            occ = machine.occupancy_of(op)
+            if not table.can_place(cycle, rclass, occ):
+                skipped.append((key, v))
+                continue
+            table.place(cycle, rclass, occ)
+            issue[v] = cycle
+            remaining -= 1
+            progress = True
+            for w, lat in graph.succs(v):
+                unscheduled_preds[w] -= 1
+                t = cycle + lat
+                if t > ready_at[w]:
+                    ready_at[w] = t
+                if unscheduled_preds[w] == 0:
+                    if ready_at[w] <= cycle:
+                        heapq.heappush(released, (_key(priority[w]), w))
+                    else:
+                        pending.append((_key(priority[w]), w))
+        for item in skipped:
+            heapq.heappush(released, item)
+        # Advance to the next cycle; ops released earlier become ready.
+        cycle += 1
+        if pending:
+            still: list[tuple] = []
+            for key, v in pending:
+                if ready_at[v] <= cycle:
+                    heapq.heappush(released, (key, v))
+                else:
+                    still.append((key, v))
+            pending = still
+        if not progress and not released and pending:
+            # Jump straight to the next release time to avoid idle spins.
+            nxt = min(ready_at[v] for _k, v in pending)
+            if nxt > cycle:
+                cycle = nxt
+                still = []
+                for key, v in pending:
+                    if ready_at[v] <= cycle:
+                        heapq.heappush(released, (key, v))
+                    else:
+                        still.append((key, v))
+                pending = still
+    return make_schedule(sb, machine, heuristic, issue, validate=validate)
+
+
+def _key(priority) -> tuple:
+    """Min-heap key for descending priority; tuples and scalars both work."""
+    if isinstance(priority, tuple):
+        return tuple(-p for p in priority)
+    return (-priority,)

@@ -1,0 +1,228 @@
+"""Optimal superblock scheduling by branch and bound.
+
+Exhaustively explores per-cycle issue sets (restricted to *maximal* sets —
+with single-cycle unit occupancy there is always an optimal schedule whose
+issue set cannot be extended by any ready operation) with lower-bound
+pruning. Exponential in the worst case: intended for the small graphs used
+in tests, for validating the "schedule meets the bound => optimal" logic,
+and for the paper-example analyses (Figure 4's probability sweep).
+
+Raises :class:`SearchBudgetExceeded` when the node budget runs out, so
+callers can fall back to heuristics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import register
+from repro.schedulers.schedule import Schedule, make_schedule
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The branch-and-bound search exceeded its node budget."""
+
+
+class _Search:
+    def __init__(
+        self, sb: Superblock, machine: MachineConfig, budget: int
+    ) -> None:
+        self.sb = sb
+        self.graph = sb.graph
+        self.machine = machine
+        self.budget = budget
+        self.nodes_visited = 0
+        self.n = sb.num_operations
+        self.weights = sb.weights
+        self.l_br = sb.branch_latency
+        self.rclass = [
+            machine.resource_of(sb.op(v)) for v in range(self.n)
+        ]
+        self.best_wct = float("inf")
+        self.best_issue: dict[int, int] | None = None
+        # Unscheduled predecessor counts and readiness times.
+        self.preds_left = [len(self.graph.preds(v)) for v in range(self.n)]
+        self.ready_at = [0] * self.n
+        self.issue: dict[int, int] = {}
+        # Per-branch: bitmask of predecessors by resource class for the
+        # packing lower bound.
+        self.branch_pred_count: dict[int, dict[str, int]] = {}
+        for b in sb.branches:
+            counts: dict[str, int] = defaultdict(int)
+            for v in self.graph.ancestors(b):
+                counts[self.rclass[v]] += 1
+            self.branch_pred_count[b] = dict(counts)
+
+    def seed(self, schedules: list[Schedule]) -> None:
+        for s in schedules:
+            if s.wct < self.best_wct:
+                self.best_wct = s.wct
+                self.best_issue = dict(s.issue)
+
+    # -- lower bound on remaining WCT ---------------------------------
+    def _lower_bound(self, cycle: int) -> float:
+        """Valid WCT lower bound for the current partial schedule."""
+        # Dependence-only earliest times given current placements.
+        est = [0] * self.n
+        for v in range(self.n):
+            if v in self.issue:
+                est[v] = self.issue[v]
+                continue
+            e = cycle
+            for u, lat in self.graph.preds(v):
+                cand = est[u] + lat
+                if cand > e:
+                    e = cand
+            est[v] = e
+        total = 0.0
+        for b, w in self.weights.items():
+            if b in self.issue:
+                total += w * (self.issue[b] + self.l_br)
+                continue
+            lb = est[b]
+            # Packing bound: unscheduled predecessors of b occupy at least
+            # ceil(count / units) cycles starting at the current cycle, and
+            # every producer latency is >= 1.
+            for rc, _total_count in self.branch_pred_count[b].items():
+                count = sum(
+                    1
+                    for v in self.graph.ancestors(b)
+                    if v not in self.issue and self.rclass[v] == rc
+                )
+                if count:
+                    units = self.machine.units_of(rc)
+                    packed = cycle + -(-count // units)
+                    if packed > lb:
+                        lb = packed
+            total += w * (lb + self.l_br)
+        return total
+
+    # -- search ---------------------------------------------------------
+    def run(self) -> None:
+        self._dfs(0)
+
+    def _dfs(self, cycle: int) -> None:
+        self.nodes_visited += 1
+        if self.nodes_visited > self.budget:
+            raise SearchBudgetExceeded(
+                f"optimal search exceeded {self.budget} nodes on "
+                f"{self.sb.name!r}"
+            )
+        if len(self.issue) == self.n:
+            wct = sum(
+                w * (self.issue[b] + self.l_br) for b, w in self.weights.items()
+            )
+            if wct < self.best_wct:
+                self.best_wct = wct
+                self.best_issue = dict(self.issue)
+            return
+        if self._lower_bound(cycle) >= self.best_wct:
+            return
+
+        ready_by_class: dict[str, list[int]] = defaultdict(list)
+        min_future_ready = None
+        for v in range(self.n):
+            if v in self.issue or self.preds_left[v] > 0:
+                continue
+            if self.ready_at[v] <= cycle:
+                ready_by_class[self.rclass[v]].append(v)
+            elif min_future_ready is None or self.ready_at[v] < min_future_ready:
+                min_future_ready = self.ready_at[v]
+
+        if not ready_by_class:
+            # Nothing issues this cycle: jump to the next readiness time.
+            assert min_future_ready is not None
+            self._dfs(min_future_ready)
+            return
+
+        # Enumerate maximal issue sets: per class, every combination of
+        # min(units, #ready) ready operations.
+        per_class_choices = []
+        for rc, ops in sorted(ready_by_class.items()):
+            take = min(self.machine.units_of(rc), len(ops))
+            per_class_choices.append(
+                [list(c) for c in itertools.combinations(ops, take)]
+            )
+        for combo in itertools.product(*per_class_choices):
+            chosen = [v for group in combo for v in group]
+            self._place(chosen, cycle)
+            self._dfs(cycle + 1)
+            self._unplace(chosen)
+
+    def _place(self, ops: list[int], cycle: int) -> None:
+        for v in ops:
+            self.issue[v] = cycle
+            for w, lat in self.graph.succs(v):
+                self.preds_left[w] -= 1
+                t = cycle + lat
+                if t > self.ready_at[w]:
+                    self.ready_at[w] = t
+
+    def _unplace(self, ops: list[int]) -> None:
+        for v in ops:
+            del self.issue[v]
+            for w, _lat in self.graph.succs(v):
+                self.preds_left[w] += 1
+        # ready_at entries of successors may now be stale (too large), but
+        # they are recomputed lazily: stale values are only possible for
+        # ops with preds_left > 0 after the undo... they are not: undoing
+        # restores preds_left, and ready_at is re-derived below.
+        self._rebuild_ready()
+
+    def _rebuild_ready(self) -> None:
+        for v in range(self.n):
+            if v in self.issue:
+                continue
+            t = 0
+            for u, lat in self.graph.preds(v):
+                if u in self.issue:
+                    cand = self.issue[u] + lat
+                    if cand > t:
+                        t = cand
+            self.ready_at[v] = t
+
+
+@register("optimal")
+def optimal_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    budget: int = 2_000_000,
+    validate: bool = True,
+) -> Schedule:
+    """Provably optimal schedule via branch and bound.
+
+    Args:
+        budget: maximum number of search nodes before
+            :class:`SearchBudgetExceeded` is raised.
+    """
+    from repro.schedulers.critical_path import cp_schedule
+    from repro.schedulers.dhasy import dhasy_schedule
+    from repro.schedulers.successive_retirement import sr_schedule
+
+    if not machine.fully_pipelined:
+        raise ValueError(
+            "the branch-and-bound optimal scheduler supports fully "
+            "pipelined machines only; model blocking units by expanding "
+            "operations into chains (Section 4.1) before calling it"
+        )
+    search = _Search(sb, machine, budget)
+    search.seed(
+        [
+            cp_schedule(sb, machine, validate=False),
+            sr_schedule(sb, machine, validate=False),
+            dhasy_schedule(sb, machine, validate=False),
+        ]
+    )
+    search.run()
+    assert search.best_issue is not None
+    return make_schedule(
+        sb,
+        machine,
+        "optimal",
+        search.best_issue,
+        stats={"nodes": search.nodes_visited},
+        validate=validate,
+    )

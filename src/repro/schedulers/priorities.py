@@ -1,0 +1,111 @@
+"""Static priority functions for list scheduling.
+
+Each function returns one priority value per operation; the generic list
+scheduler picks ready operations by *descending* priority (ties broken by
+ascending operation index, i.e. program order). Priorities may be numbers
+or tuples.
+
+* :func:`cp_priority` — dependence height: start of the longest chain
+  first (the classic Critical Path heuristic).
+* :func:`sr_priority` — Successive Retirement: earlier home block first,
+  Critical Path within a block.
+* :func:`dhasy_priority` — Dependence Height and Speculative Yield:
+  exit-probability-weighted slack sum,
+  ``sum_b w_b * (CP + 1 - LateDC_b[v])``.
+* :func:`blend_priority` — normalized convex blend of the three, used by
+  the Best-of-127 envelope.
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+
+
+def heights(sb: Superblock) -> list[int]:
+    """Dependence height of every op: longest latency path to any sink."""
+    graph = sb.graph
+    n = graph.num_operations
+    h = [0] * n
+    for v in range(n - 1, -1, -1):
+        best = 0
+        for w, lat in graph.succs(v):
+            cand = h[w] + lat
+            if cand > best:
+                best = cand
+        h[v] = best
+    return h
+
+
+def cp_priority(sb: Superblock) -> list[int]:
+    """Critical Path: higher dependence height first."""
+    return heights(sb)
+
+
+def sr_priority(sb: Superblock) -> list[tuple[int, int]]:
+    """Successive Retirement: first block first, Critical Path within."""
+    h = heights(sb)
+    blocks = sb.home_blocks
+    return [(-blocks[v], h[v]) for v in range(sb.num_operations)]
+
+
+def dhasy_priority(sb: Superblock) -> list[float]:
+    """DHASY: sum over reachable branches of ``w_b * (CP + 1 - LateDC_b[v])``.
+
+    ``LateDC_b[v] = EarlyDC[b] - dist(v, b)``; operations on the critical
+    path of a heavy branch get the largest priority.
+    """
+    graph = sb.graph
+    early = graph.early_dc()
+    cp = max(early) if early else 0
+    n = graph.num_operations
+    prio = [0.0] * n
+    for b in sb.branches:
+        w = sb.weights[b]
+        dist = graph.dist_to(b)
+        for v in range(n):
+            if dist[v] >= 0:
+                late = early[b] - dist[v]
+                prio[v] += w * (cp + 1 - late)
+    return prio
+
+
+def _normalize(values: list[float]) -> list[float]:
+    top = max(values, default=0.0)
+    if top <= 0:
+        return [0.0] * len(values)
+    return [v / top for v in values]
+
+
+def blend_priority(
+    sb: Superblock, a_cp: float, b_sr: float, c_dhasy: float
+) -> list[float]:
+    """Convex blend of normalized CP, SR, and DHASY priorities.
+
+    The SR component is scalarized as ``(#blocks - home_block)`` before
+    normalization so that earlier blocks score higher.
+    """
+    n = sb.num_operations
+    cp_n = _normalize([float(p) for p in cp_priority(sb)])
+    nblocks = sb.num_branches
+    sr_scalar = [float(nblocks - sb.home_blocks[v]) for v in range(n)]
+    sr_n = _normalize(sr_scalar)
+    dh_n = _normalize(dhasy_priority(sb))
+    return [
+        a_cp * cp_n[v] + b_sr * sr_n[v] + c_dhasy * dh_n[v] for v in range(n)
+    ]
+
+
+def blend_grid(steps: int = 10) -> list[tuple[float, float, float]]:
+    """The Best heuristic's 121-point blend grid.
+
+    The paper invokes a list scheduler for a "three dimensional cross
+    product of the CP, SR, and DHASY priority functions" 121 times; the
+    exact grid is unspecified, so we use the 11x11 grid over the CP and SR
+    weights with the DHASY weight fixed at 1 (blends are scale invariant
+    in the remaining ratio) — 121 combinations.
+    """
+    return [
+        (a / steps, b / steps, 1.0)
+        for a in range(steps + 1)
+        for b in range(steps + 1)
+    ]

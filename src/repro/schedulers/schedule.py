@@ -1,0 +1,117 @@
+"""Schedules and their validation.
+
+A :class:`Schedule` assigns an issue cycle to every operation of a
+superblock. Its quality metric is the weighted completion time (WCT); its
+feasibility is checked against dependences and the machine's per-cycle
+resource capacity by :func:`validate_schedule`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates dependence or resource constraints."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete assignment of issue cycles for one superblock.
+
+    Attributes:
+        superblock: name of the scheduled superblock.
+        machine: name of the machine configuration.
+        heuristic: name of the scheduler that produced it.
+        issue: issue cycle per operation index.
+        wct: weighted completion time (cached at construction).
+    """
+
+    superblock: str
+    machine: str
+    heuristic: str
+    issue: dict[int, int]
+    wct: float
+    stats: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def length(self) -> int:
+        """Total schedule length in cycles (last issue + 1)."""
+        return max(self.issue.values()) + 1 if self.issue else 0
+
+    def branch_cycles(self, sb: Superblock) -> dict[int, int]:
+        return {b: self.issue[b] for b in sb.branches}
+
+    def as_rows(self, sb: Superblock, machine: MachineConfig) -> list[list[str]]:
+        """Cycle-by-cycle rendering for examples and debugging."""
+        by_cycle: dict[int, list[int]] = defaultdict(list)
+        for v, t in self.issue.items():
+            by_cycle[t].append(v)
+        rows = []
+        for t in range(self.length):
+            ops = sorted(by_cycle.get(t, []))
+            rows.append([str(t)] + [str(sb.op(v)) for v in ops])
+        return rows
+
+
+def make_schedule(
+    sb: Superblock,
+    machine: MachineConfig,
+    heuristic: str,
+    issue: dict[int, int],
+    stats: dict | None = None,
+    validate: bool = True,
+) -> Schedule:
+    """Build a :class:`Schedule`, computing its WCT and validating it."""
+    schedule = Schedule(
+        superblock=sb.name,
+        machine=machine.name,
+        heuristic=heuristic,
+        issue=dict(issue),
+        wct=sb.weighted_completion_time({b: issue[b] for b in sb.branches}),
+        stats=stats or {},
+    )
+    if validate:
+        validate_schedule(sb, machine, schedule)
+    return schedule
+
+
+def validate_schedule(
+    sb: Superblock, machine: MachineConfig, schedule: Schedule
+) -> None:
+    """Check completeness, dependences, and resource capacity.
+
+    Raises:
+        ScheduleError: on the first violated constraint.
+    """
+    issue = schedule.issue
+    n = sb.graph.num_operations
+    missing = [v for v in range(n) if v not in issue]
+    if missing:
+        raise ScheduleError(f"operations {missing} are not scheduled")
+    for v, t in issue.items():
+        if t < 0:
+            raise ScheduleError(f"operation {v} issues at negative cycle {t}")
+    for src, dst, lat in sb.graph.edges():
+        if issue[dst] < issue[src] + lat:
+            raise ScheduleError(
+                f"dependence violated: op {dst} at cycle {issue[dst]} but "
+                f"op {src} (latency {lat}) issues at cycle {issue[src]}"
+            )
+    demand: dict[tuple[int, str], int] = defaultdict(int)
+    for v, t in issue.items():
+        op = sb.op(v)
+        rclass = machine.resource_of(op)
+        for k in range(machine.occupancy_of(op)):
+            demand[(t + k, rclass)] += 1
+    for (t, rclass), used in demand.items():
+        cap = machine.units_of(rclass)
+        if used > cap:
+            raise ScheduleError(
+                f"cycle {t} uses {used} {rclass!r} units but machine "
+                f"{machine.name} has only {cap}"
+            )

@@ -1,0 +1,24 @@
+"""Successive Retirement scheduler: retire exits in program order.
+
+Operations of the first block get the highest priority, then the second
+block, and so on; Critical Path breaks ties within a block. Biased toward
+the *first* exit; strongest on narrow machines where resources dominate
+(Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import register
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import sr_priority
+from repro.schedulers.schedule import Schedule
+
+
+@register("sr")
+def sr_schedule(
+    sb: Superblock, machine: MachineConfig, validate: bool = True
+) -> Schedule:
+    """List schedule by (home block, dependence height)."""
+    return list_schedule(sb, machine, sr_priority(sb), "sr", validate)

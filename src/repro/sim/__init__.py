@@ -1,0 +1,17 @@
+"""Dynamic execution simulation of scheduled superblocks."""
+
+from repro.sim.executor import (
+    RunResult,
+    SimStats,
+    expected_speculation_waste,
+    run_once,
+    simulate,
+)
+
+__all__ = [
+    "RunResult",
+    "SimStats",
+    "expected_speculation_waste",
+    "run_once",
+    "simulate",
+]

@@ -1,0 +1,20 @@
+"""Synthetic SPECint95-like workloads (the corpus substitution)."""
+
+from repro.workloads.cfg_corpus import cfg_corpus
+from repro.workloads.corpus import Corpus, specint95_corpus
+from repro.workloads.generator import generate_superblock
+from repro.workloads.profiles import (
+    SPECINT95_PROFILES,
+    BenchmarkProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "SPECINT95_PROFILES",
+    "BenchmarkProfile",
+    "Corpus",
+    "cfg_corpus",
+    "generate_superblock",
+    "profile_by_name",
+    "specint95_corpus",
+]

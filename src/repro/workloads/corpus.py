@@ -1,0 +1,113 @@
+"""Corpora: named collections of superblocks with aggregate statistics.
+
+A :class:`Corpus` stands in for the paper's 6615-superblock SPECint95
+input. Standard corpora are built by :func:`specint95_corpus` with a size
+knob (``scale``); tests use tiny corpora, the benchmark harnesses use
+medium ones, and ``scale`` can be raised toward paper size when runtime
+permits.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ir.serialize import superblock_from_dict, superblock_to_dict
+from repro.ir.superblock import Superblock
+from repro.workloads.generator import generate_superblock
+from repro.workloads.profiles import SPECINT95_PROFILES, BenchmarkProfile
+
+
+@dataclass
+class Corpus:
+    """An ordered collection of superblocks."""
+
+    name: str
+    superblocks: list[Superblock] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.superblocks)
+
+    def __iter__(self) -> Iterator[Superblock]:
+        return iter(self.superblocks)
+
+    def __getitem__(self, idx: int) -> Superblock:
+        return self.superblocks[idx]
+
+    def by_benchmark(self, benchmark: str) -> "Corpus":
+        """Sub-corpus of one SPECint95 program (matched on name prefix)."""
+        prefix = benchmark.lower() + "."
+        return Corpus(
+            name=f"{self.name}:{benchmark}",
+            superblocks=[
+                sb for sb in self.superblocks if sb.name.startswith(prefix)
+            ],
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Structural summary used in reports and tests."""
+        ops = [sb.num_operations for sb in self.superblocks]
+        branches = [sb.num_branches for sb in self.superblocks]
+        return {
+            "superblocks": len(self.superblocks),
+            "total_ops": sum(ops),
+            "mean_ops": statistics.fmean(ops) if ops else 0.0,
+            "median_ops": statistics.median(ops) if ops else 0.0,
+            "max_ops": max(ops, default=0),
+            "mean_branches": statistics.fmean(branches) if branches else 0.0,
+            "max_branches": max(branches, default=0),
+        }
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the corpus as JSON Lines (one superblock per line)."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({"corpus": self.name}) + "\n")
+            for sb in self.superblocks:
+                fh.write(json.dumps(superblock_to_dict(sb)) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Corpus":
+        """Read a corpus written by :meth:`save`."""
+        path = Path(path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+            superblocks = [
+                superblock_from_dict(json.loads(line))
+                for line in fh
+                if line.strip()
+            ]
+        return cls(name=header.get("corpus", path.stem), superblocks=superblocks)
+
+
+def specint95_corpus(
+    scale: int = 240,
+    seed: int = 1999,
+    max_ops: int = 150,
+    profiles: tuple[BenchmarkProfile, ...] = SPECINT95_PROFILES,
+) -> Corpus:
+    """Build the synthetic SPECint95 corpus.
+
+    Args:
+        scale: total number of superblocks across all eight programs
+            (the paper used 6615; the default trades fidelity for Python
+            runtimes — raise it for paper-scale runs).
+        seed: corpus seed; same seed => identical corpus.
+        max_ops: per-superblock operation cap.
+    """
+    if scale < len(profiles):
+        raise ValueError(
+            f"scale={scale} is below the number of benchmarks ({len(profiles)})"
+        )
+    superblocks: list[Superblock] = []
+    for profile in profiles:
+        count = max(1, round(scale * profile.share))
+        for index in range(count):
+            superblocks.append(
+                generate_superblock(profile, index, seed=seed, max_ops=max_ops)
+            )
+    return Corpus(name=f"specint95(scale={scale},seed={seed})", superblocks=superblocks)

@@ -1,0 +1,103 @@
+"""Corpus characterization: the structural statistics that drive results.
+
+Scheduling-paper evaluations hinge on workload structure; this module
+computes the quantities that determine where each heuristic wins:
+
+* size distribution (ops, exits) — the paper quotes "up to 607 operations
+  and 200 branches";
+* available ILP per superblock (`ops / critical path`) — when it exceeds
+  the machine width, resources bind and SR-style heuristics shine;
+* op-class mix — drives the specialized (FS) machines' contention;
+* speculation opportunity — the fraction of ops that *can* move above at
+  least one earlier exit (no dependence path from the exit).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.ir.operation import OpClass
+from repro.ir.superblock import Superblock
+from repro.workloads.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class SuperblockShape:
+    """Structural profile of one superblock."""
+
+    name: str
+    ops: int
+    exits: int
+    critical_path: int
+    available_ilp: float
+    mem_fraction: float
+    float_fraction: float
+    speculatable_fraction: float
+
+
+def shape_of(sb: Superblock) -> SuperblockShape:
+    """Compute the structural profile of one superblock."""
+    graph = sb.graph
+    n = graph.num_operations
+    cp = graph.critical_path() + 1  # cycles, not edges
+    classes = [op.op_class for op in sb.operations]
+    mem = sum(1 for c in classes if c is OpClass.MEM)
+    flt = sum(1 for c in classes if c is OpClass.FLOAT)
+
+    # An op is speculatable if some earlier exit has no path to it (the op
+    # may legally move above that exit).
+    side_exits = sb.branches[:-1]
+    speculatable = 0
+    movable_pool = 0
+    for op in sb.operations:
+        if op.is_branch:
+            continue
+        earlier = [b for b in side_exits if b < op.index]
+        if not earlier:
+            continue
+        movable_pool += 1
+        if any(not graph.is_ancestor(b, op.index) for b in earlier):
+            speculatable += 1
+    return SuperblockShape(
+        name=sb.name,
+        ops=n,
+        exits=sb.num_branches,
+        critical_path=cp,
+        available_ilp=n / cp if cp else 0.0,
+        mem_fraction=mem / n,
+        float_fraction=flt / n,
+        speculatable_fraction=(
+            speculatable / movable_pool if movable_pool else 0.0
+        ),
+    )
+
+
+def characterize(corpus: Corpus) -> dict[str, float]:
+    """Aggregate characterization of a corpus (means unless noted)."""
+    shapes = [shape_of(sb) for sb in corpus]
+    if not shapes:
+        return {}
+    return {
+        "superblocks": len(shapes),
+        "mean_ops": statistics.fmean(s.ops for s in shapes),
+        "max_ops": max(s.ops for s in shapes),
+        "mean_exits": statistics.fmean(s.exits for s in shapes),
+        "max_exits": max(s.exits for s in shapes),
+        "mean_critical_path": statistics.fmean(s.critical_path for s in shapes),
+        "mean_available_ilp": statistics.fmean(s.available_ilp for s in shapes),
+        "mem_fraction": statistics.fmean(s.mem_fraction for s in shapes),
+        "float_fraction": statistics.fmean(s.float_fraction for s in shapes),
+        "speculatable_fraction": statistics.fmean(
+            s.speculatable_fraction for s in shapes
+        ),
+    }
+
+
+def characterization_report(corpus: Corpus) -> str:
+    """Human-readable characterization block."""
+    stats = characterize(corpus)
+    lines = [f"corpus characterization: {corpus.name}"]
+    for key, value in stats.items():
+        lines.append(f"  {key:24s} {value:10.3f}")
+    return "\n".join(lines)

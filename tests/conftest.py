@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import FS4, GP1, GP2, GP4, PAPER_MACHINES
+from repro.workloads.corpus import Corpus, specint95_corpus
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A small, fast corpus shared by integration-style tests."""
+    return specint95_corpus(scale=24, seed=7, max_ops=40)
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """A slightly larger corpus for table-level tests."""
+    return specint95_corpus(scale=48, seed=11, max_ops=60)
+
+
+@pytest.fixture
+def two_exit_sb():
+    """Minimal 2-exit superblock: 3 ops -> side exit, chain -> final exit."""
+    return (
+        SuperblockBuilder("two_exit")
+        .op("add")
+        .op("add")
+        .op("add")
+        .exit(0.3, preds=[0, 1, 2])
+        .op("add")
+        .op("add", preds={4: 2})
+        .last_exit(preds=[5])
+    )
+
+
+@pytest.fixture
+def single_exit_sb():
+    """Superblock with a single exit (degenerates to basic-block scheduling)."""
+    return (
+        SuperblockBuilder("single")
+        .op("add")
+        .op("load", preds=[0])
+        .op("add", preds=[1])
+        .last_exit(preds=[2])
+    )
+
+
+@pytest.fixture(params=PAPER_MACHINES, ids=lambda m: m.name)
+def any_machine(request):
+    return request.param
+
+
+@pytest.fixture
+def gp1():
+    return GP1
+
+
+@pytest.fixture
+def gp2():
+    return GP2
+
+
+@pytest.fixture
+def gp4():
+    return GP4
+
+
+@pytest.fixture
+def fs4():
+    return FS4

@@ -1,0 +1,81 @@
+"""Tests for the adaptive scheduler and the ASCII visualizer."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.examples import figure1, figure2
+from repro.machine.machine import FS4, FS4_NP, GP2
+from repro.schedulers.base import schedule
+from repro.schedulers.schedule import validate_schedule
+from repro.schedulers.visualize import gantt, unit_streams
+
+
+class TestAdaptive:
+    def test_uses_dhasy_when_optimal(self, tiny_corpus):
+        hits = 0
+        for sb in tiny_corpus.superblocks[:10]:
+            s = schedule(sb, GP2, "adaptive")
+            validate_schedule(sb, GP2, s)
+            assert s.heuristic == "adaptive"
+            if not s.stats["fallback"]:
+                hits += 1
+        assert hits > 0  # DHASY alone suffices somewhere
+
+    def test_falls_back_on_figure1(self):
+        """DHASY misses the Figure 1 optimum, so Balance must take over."""
+        sb = figure1()
+        s = schedule(sb, GP2, "adaptive")
+        assert s.stats["fallback"]
+        assert s.wct == pytest.approx(7.5)
+
+    def test_never_worse_than_dhasy(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:10]:
+            a = schedule(sb, FS4, "adaptive", validate=False)
+            d = schedule(sb, FS4, "dhasy", validate=False)
+            assert a.wct <= d.wct + 1e-9
+
+    def test_reuses_provided_suite(self, two_exit_sb):
+        suite = BoundSuite(two_exit_sb, GP2, include_triplewise=False)
+        s = schedule(two_exit_sb, GP2, "adaptive", suite=suite)
+        assert s.wct >= suite.compute().tightest - 1e-9
+
+
+class TestGantt:
+    def test_contains_all_ops_and_exits(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        text = gantt(two_exit_sb, GP2, s)
+        assert "cycle" in text
+        assert "exits:" in text
+        assert f"WCT = {s.wct:.4f}" in text
+        for b in two_exit_sb.branches:
+            assert f"br{b}" in text
+
+    def test_one_row_per_unit(self, two_exit_sb):
+        s = schedule(two_exit_sb, FS4, "balance")
+        text = gantt(two_exit_sb, FS4, s)
+        # FS4 has 4 units -> 4 lane rows (+ header + exits + WCT line).
+        lane_rows = [
+            line for line in text.splitlines()
+            if line.split() and line.split()[0] in FS4.resource_classes
+        ]
+        assert len(lane_rows) == 4
+
+    def test_blocking_unit_marks_occupancy(self):
+        from repro.ir.builder import SuperblockBuilder
+
+        sb = (
+            SuperblockBuilder("div")
+            .op("fdiv")
+            .last_exit(preds=[0])
+        )
+        s = schedule(sb, FS4_NP, "balance")
+        text = gantt(sb, FS4_NP, s)
+        assert "~fdiv0" in text  # the occupied tail of the divider window
+
+    def test_unit_streams(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        streams = unit_streams(two_exit_sb, GP2, s)
+        assert sum(len(v) for v in streams.values()) == two_exit_sb.num_operations
+        for stream in streams.values():
+            cycles = [t for t, _ in stream]
+            assert cycles == sorted(cycles)

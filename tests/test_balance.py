@@ -1,0 +1,116 @@
+"""End-to-end tests for the Balance scheduler."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.core.balance import balance_schedule
+from repro.core.config import ABLATION_GRID, BALANCE, HELP, BalanceConfig
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.machine.machine import FS4, GP1, GP2, GP4
+from repro.schedulers.base import schedule
+from repro.schedulers.schedule import validate_schedule
+
+
+class TestBalanceOnPaperExamples:
+    def test_fig1_optimal(self):
+        s = schedule(figure1(), GP2, "balance")
+        assert (s.issue[3], s.issue[16]) == (2, 8)
+
+    def test_fig2_optimal_observation1(self):
+        """Balance schedules compatible needs: {0 or 1 or 2} + op 4."""
+        s = schedule(figure2(), GP2, "balance")
+        assert s.issue[4] == 0
+        assert (s.issue[3], s.issue[6]) == (2, 3)
+
+    def test_fig3_optimal_observation2(self):
+        """Balance (RC bounds) beats Help (DC bounds) on Figure 3."""
+        sb = figure3()
+        balance = schedule(sb, GP2, "balance")
+        help_s = schedule(sb, GP2, "help")
+        assert balance.issue[4] == 0
+        assert balance.issue[9] == 5
+        assert balance.wct < help_s.wct
+
+    @pytest.mark.parametrize("prob,expect", [(0.2, (5, 9)), (0.7, (3, 11))])
+    def test_fig4_tradeoff_observation3(self, prob, expect):
+        """Balance follows the pairwise tradeoff as P crosses 0.5."""
+        sb = figure4(prob)
+        s = schedule(sb, GP2, "balance")
+        assert (s.issue[6], s.issue[18]) == expect
+
+
+class TestBalanceOnCorpus:
+    def test_valid_schedules_everywhere(self, tiny_corpus, any_machine):
+        for sb in tiny_corpus.superblocks[:6]:
+            s = schedule(sb, any_machine, "balance")
+            validate_schedule(sb, any_machine, s)
+
+    def test_never_beats_tightest_bound(self, tiny_corpus):
+        for sb in tiny_corpus:
+            suite = BoundSuite(sb, FS4)
+            bound = suite.compute().tightest
+            s = schedule(sb, FS4, "balance", suite=suite, validate=False)
+            assert s.wct >= bound - 1e-9
+
+    def test_balance_dominates_help_in_aggregate(self, small_corpus):
+        """Table 3's headline: Balance beats Help (and the others)."""
+        totals = {"balance": 0.0, "help": 0.0, "cp": 0.0, "sr": 0.0}
+        for sb in small_corpus:
+            for name in totals:
+                totals[name] += schedule(sb, FS4, name, validate=False).wct
+        assert totals["balance"] <= totals["help"] + 1e-9
+        assert totals["balance"] <= totals["cp"] + 1e-9
+        assert totals["balance"] <= totals["sr"] + 1e-9
+
+    def test_reusing_suite_matches_fresh(self, tiny_corpus):
+        sb = tiny_corpus[0]
+        suite = BoundSuite(sb, GP2)
+        a = schedule(sb, GP2, "balance", suite=suite)
+        b = schedule(sb, GP2, "balance")
+        assert a.issue == b.issue
+
+
+class TestAblationConfigs:
+    @pytest.mark.parametrize(
+        "config", ABLATION_GRID, ids=lambda c: c.label()
+    )
+    def test_every_config_produces_valid_schedules(self, config, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:4]:
+            s = balance_schedule(sb, GP2, config)
+            validate_schedule(sb, GP2, s)
+
+    def test_help_config_equals_help_scheduler(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:6]:
+            a = balance_schedule(sb, FS4, HELP)
+            b = schedule(sb, FS4, "help")
+            assert a.issue == b.issue
+
+    def test_per_cycle_update_weakly_worse(self, small_corpus):
+        """Per-op updates are the paper's biggest win; per-cycle updating
+        should not do better in aggregate."""
+        per_op = per_cycle = 0.0
+        cfg_cycle = BalanceConfig(update_per_op=False)
+        for sb in small_corpus.superblocks[:24]:
+            per_op += balance_schedule(sb, FS4, BALANCE, validate=False).wct
+            per_cycle += balance_schedule(
+                sb, FS4, cfg_cycle, validate=False
+            ).wct
+        assert per_op <= per_cycle + 1e-9
+
+    def test_bound_component_helps_on_fig3(self):
+        """Observation 2 materialized: RC bounds fix the Figure 3 miss."""
+        sb = figure3()
+        no_bound = balance_schedule(
+            sb, GP2, BalanceConfig(use_rc_bounds=False, tradeoff=False)
+        )
+        with_bound = balance_schedule(
+            sb, GP2, BalanceConfig(use_rc_bounds=True, tradeoff=False)
+        )
+        assert with_bound.wct <= no_bound.wct
+
+    def test_heuristic_name_label(self):
+        sb = figure2()
+        s = balance_schedule(sb, GP2, BalanceConfig(update_per_op=False))
+        assert s.heuristic == "HlpDel+Bound+Tradeoff+perCycle"
+        s2 = balance_schedule(sb, GP2)
+        assert s2.heuristic == "balance"

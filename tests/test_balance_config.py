@@ -1,0 +1,43 @@
+"""Tests for BalanceConfig and the ablation grid."""
+
+import pytest
+
+from repro.core.config import ABLATION_GRID, BALANCE, HELP, BalanceConfig
+
+
+class TestBalanceConfig:
+    def test_balance_preset_all_on(self):
+        assert BALANCE.use_rc_bounds
+        assert BALANCE.help_delay
+        assert BALANCE.tradeoff
+        assert BALANCE.update_per_op
+        assert BALANCE.branch_selection
+
+    def test_help_preset_all_off(self):
+        assert not HELP.use_rc_bounds
+        assert not HELP.help_delay
+        assert not HELP.tradeoff
+        assert not HELP.branch_selection
+        assert HELP.update_per_op
+
+    def test_tradeoff_requires_rc_bounds(self):
+        with pytest.raises(ValueError, match="tradeoff requires"):
+            BalanceConfig(use_rc_bounds=False, tradeoff=True)
+
+    def test_negative_reorders_rejected(self):
+        with pytest.raises(ValueError):
+            BalanceConfig(max_reorders=-1)
+
+    def test_labels_are_unique_and_descriptive(self):
+        labels = [cfg.label() for cfg in ABLATION_GRID]
+        assert len(set(labels)) == len(labels) == 10
+        assert "HlpDel+Bound+Tradeoff+perOp" in labels
+        assert "Help+perCycle" in labels
+
+    def test_grid_covers_both_update_modes(self):
+        per_op = [c for c in ABLATION_GRID if c.update_per_op]
+        per_cycle = [c for c in ABLATION_GRID if not c.update_per_op]
+        assert len(per_op) == len(per_cycle) == 5
+
+    def test_balance_label(self):
+        assert BALANCE.label() == "HlpDel+Bound+Tradeoff+perOp"

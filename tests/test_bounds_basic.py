@@ -1,0 +1,140 @@
+"""Unit tests for the CP, Hu, RJ, and LC per-branch bounds."""
+
+import pytest
+
+from repro.bounds.branch_rj import rj_branch_bound, rj_branch_bounds
+from repro.bounds.critical_path import cp_branch_bounds
+from repro.bounds.hu import hu_branch_bound, hu_branch_bounds
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc, lc_branch_bounds
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure1, figure2, figure3
+from repro.machine.machine import FS4, GP1, GP2, GP4
+
+
+class TestCriticalPathBound:
+    def test_fig1_cp_values(self):
+        sb = figure1()
+        bounds = cp_branch_bounds(sb)
+        assert bounds[3] == 1  # one cycle after ops 0-2
+        assert bounds[16] == 7  # the 7-cycle chain
+
+    def test_counters_incremented(self):
+        counters = Counters()
+        cp_branch_bounds(figure1(), counters)
+        assert counters.total("cp") > 0
+
+
+class TestHuBound:
+    def test_fig1_resource_bound(self):
+        """Branch 16 has 16 predecessors: >= 8 cycles on a 2-wide machine."""
+        sb = figure1()
+        assert hu_branch_bound(sb, GP2, 16) == 8
+        assert hu_branch_bound(sb, GP2, 3) == 2  # 3 preds + branch issue
+
+    def test_hu_at_least_cp(self, tiny_corpus):
+        for sb in tiny_corpus:
+            cp = cp_branch_bounds(sb)
+            for b, hu in hu_branch_bounds(sb, GP1).items():
+                assert hu >= cp[b]
+
+    def test_hu_width_sensitivity(self):
+        sb = figure1()
+        # On GP4 resources stop binding branch 16; the chain does.
+        assert hu_branch_bound(sb, GP4, 16) == 7
+
+    def test_nested_deadline_levels(self):
+        # The Figure 6 situation: ops with early deadlines force a delay
+        # that both the dependence bound and a naive count-all-preds bound
+        # miss. Ops 2-5 must all finish by cycle 1 (they feed the level
+        # above), so cycle 0 overflows on a 2-wide machine.
+        sb = (
+            SuperblockBuilder("fig6ish")
+            .op("add")                    # 0
+            .op("add")                    # 1
+            .op("add")                    # 2
+            .op("add")                    # 3
+            .op("add")                    # 4
+            .op("add")                    # 5
+            .op("add", preds=[2, 3])      # 6
+            .op("add", preds=[4, 5])      # 7
+            .last_exit(preds=[0, 1, 6, 7])  # 8
+        )
+        # Dependence bound: 0-5 @0, 6,7 @1, branch @2. But the nine ops
+        # with deadlines {0,0,0,0,0,0,1,1,2} overflow the 2-wide machine:
+        # the deadline-2 level needs 9 slots in 6 => the branch slips to 4
+        # (which is also the true optimum: 2,3 / 4,5 / 6,7 / 0,1 / branch).
+        assert sb.graph.early_dc()[8] == 2
+        assert hu_branch_bound(sb, GP2, 8) == 4
+
+
+class TestRimJainBranchBound:
+    def test_fig1_values(self):
+        sb = figure1()
+        bounds = rj_branch_bounds(sb, GP2)
+        assert bounds[16] == 8
+        assert bounds[3] == 2
+
+    def test_rj_at_least_hu_on_examples(self):
+        for sb in (figure1(), figure2(), figure3()):
+            for machine in (GP1, GP2, FS4):
+                hu = hu_branch_bounds(sb, machine)
+                rj = rj_branch_bounds(sb, machine)
+                for b in sb.branches:
+                    assert rj[b] >= hu[b] - 0  # RJ dominates Hu here
+
+    def test_rj_respects_latencies(self):
+        sb = (
+            SuperblockBuilder("lat")
+            .op("load")
+            .op("add", preds=[0])
+            .last_exit(preds=[1])
+        )
+        assert rj_branch_bound(sb, GP2, 2) == 3  # load@0, add@2, branch@3
+
+
+class TestLangevinCerny:
+    def test_early_rc_dominates_early_dc(self, tiny_corpus):
+        for sb in tiny_corpus:
+            dc = sb.graph.early_dc()
+            rc = early_rc(sb.graph, GP1)
+            assert all(r >= d for r, d in zip(rc, dc))
+
+    def test_fast_path_matches_full_recursion(self, tiny_corpus):
+        """Theorem 1: the trivial recursion shortcut is exact."""
+        for sb in tiny_corpus:
+            for machine in (GP1, GP2, FS4):
+                fast = early_rc(sb.graph, machine, fast_path=True)
+                full = early_rc(sb.graph, machine, fast_path=False)
+                assert fast == full, sb.name
+
+    def test_fast_path_reduces_work(self, tiny_corpus):
+        saved = 0
+        total = 0
+        for sb in tiny_corpus:
+            c_fast, c_full = Counters(), Counters()
+            early_rc(sb.graph, GP2, c_fast, fast_path=True)
+            early_rc(sb.graph, GP2, c_full, fast_path=False)
+            saved += c_fast.get("lc.trivial")
+            total += sb.num_operations
+            assert c_fast.total("lc") <= c_full.total("lc")
+        assert saved > 0  # the shortcut fires somewhere in the corpus
+
+    def test_fig3_early_rc_catches_antichain(self):
+        """Observation 2: EarlyRC[9] = 5, one above the dependence bound."""
+        sb = figure3()
+        rc = early_rc(sb.graph, GP2)
+        assert sb.graph.early_dc()[9] == 4
+        assert rc[9] == 5
+
+    def test_lc_branch_bounds_wrapper(self):
+        sb = figure1()
+        bounds = lc_branch_bounds(sb.graph, sb.branches, GP2)
+        assert bounds == {3: 2, 16: 8}
+
+    def test_lc_at_least_rj(self, tiny_corpus):
+        for sb in tiny_corpus:
+            rj = rj_branch_bounds(sb, GP2)
+            lc = lc_branch_bounds(sb.graph, sb.branches, GP2)
+            for b in sb.branches:
+                assert lc[b] >= rj[b]

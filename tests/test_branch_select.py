@@ -1,0 +1,140 @@
+"""Tests for compatible-branch selection and the pairwise tradeoff step."""
+
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.pairwise import PairwiseBounder
+from repro.core.branch_select import (
+    Selection,
+    select_branches,
+    select_with_tradeoffs,
+)
+from repro.core.dynamic_bounds import BranchNeeds, DynamicBounds
+from repro.ir.examples import figure2, figure4
+from repro.machine.machine import GP2
+from repro.machine.reservation import ReservationTable
+
+
+def needs(branch, early, each=(), one=None):
+    return BranchNeeds(
+        branch=branch,
+        early=early,
+        late={},
+        need_each=frozenset(each),
+        need_one={r: frozenset(s) for r, s in (one or {}).items()},
+    )
+
+
+def always_ready(_v):
+    return True
+
+
+class TestSelectBranches:
+    def test_ignored_branch_without_needs(self):
+        sel = select_branches(
+            [1], {1: needs(1, 0)}, {"gp": 2}, lambda v: "gp", always_ready
+        )
+        assert sel.ignored == [1]
+        assert not sel.constrained
+
+    def test_compatible_needs_merge(self):
+        """Two branches whose NeedOne sets intersect are both selected."""
+        n = {
+            1: needs(1, 0, one={"gp": {0, 4}}),
+            2: needs(2, 0, one={"gp": {0, 1, 2}}),
+        }
+        sel = select_branches([2, 1], n, {"gp": 2}, lambda v: "gp", always_ready)
+        assert sel.selected == [2, 1]
+        assert sel.take_one["gp"] == {0}
+
+    def test_incompatible_need_one_delays(self):
+        n = {
+            1: needs(1, 0, one={"gp": {0}}),
+            2: needs(2, 0, one={"gp": {5}}),
+        }
+        sel = select_branches([1, 2], n, {"gp": 2}, lambda v: "gp", always_ready)
+        assert sel.selected == [1]
+        assert sel.delayed == [2]
+
+    def test_need_each_resource_overflow_delays(self):
+        n = {
+            1: needs(1, 0, each={0, 1}),
+            2: needs(2, 0, each={2}),
+        }
+        sel = select_branches([1, 2], n, {"gp": 2}, lambda v: "gp", always_ready)
+        assert sel.selected == [1]
+        assert sel.delayed == [2]
+
+    def test_unready_need_each_delays(self):
+        n = {1: needs(1, 0, each={7})}
+        sel = select_branches([1], n, {"gp": 2}, lambda v: "gp", lambda v: False)
+        assert sel.delayed == [1]
+
+    def test_take_each_satisfies_take_one(self):
+        """An op required by NeedEach drops the matching TakeOne class."""
+        n = {
+            1: needs(1, 0, each={0}),
+            2: needs(2, 0, one={"gp": {0, 3}}),
+        }
+        sel = select_branches([1, 2], n, {"gp": 2}, lambda v: "gp", always_ready)
+        assert sel.selected == [1, 2]
+        assert "gp" not in sel.take_one  # satisfied via TakeEach
+        assert sel.take_each == {0}
+
+    def test_no_room_for_take_one_after_take_each(self):
+        n = {
+            1: needs(1, 0, each={0, 1}),
+            2: needs(2, 0, one={"gp": {5, 6}}),
+        }
+        sel = select_branches([1, 2], n, {"gp": 2}, lambda v: "gp", always_ready)
+        assert sel.delayed == [2]
+
+    def test_candidate_ops_union(self):
+        sel = Selection(take_each={1, 2}, take_one={"gp": {5}})
+        assert sel.candidate_ops() == {1, 2, 5}
+
+
+class TestTradeoffs:
+    def _state(self, sb, machine):
+        rc = early_rc(sb.graph, machine)
+        late = {
+            b: late_rc_for_branch(sb.graph, machine, b, rc[b])
+            for b in sb.branches
+        }
+        anchor = {b: rc[b] for b in sb.branches}
+        state = DynamicBounds(sb, machine, rc, late, anchor)
+        state.recompute(0, {}, ReservationTable(machine), list(sb.branches))
+        return state, rc, late
+
+    def test_selection_on_figure2(self):
+        """Both branches of Figure 2 have compatible needs in cycle 0."""
+        sb = figure2()
+        state, _rc, _late = self._state(sb, GP2)
+        sel = select_with_tradeoffs(
+            sb, GP2, state, list(sb.branches), {"gp": 2},
+            lambda v: state.early[v] <= 0, None,
+        )
+        assert 6 in sel.selected
+
+    def test_tradeoff_marks_delayed_ok_on_figure4(self):
+        """With a light side exit, the pairwise bound proves delaying it is
+        free, raising the selection's rank."""
+        sb = figure4(0.2)
+        state, rc, late = self._state(sb, GP2)
+        bounder = PairwiseBounder(sb.graph, GP2, rc, late, 1)
+        pair_bounds = {
+            (6, 18): bounder.pair_bound(6, 18, 0.2, 0.8)
+        }
+        ready = lambda v: state.early[v] <= 0
+        with_t = select_with_tradeoffs(
+            sb, GP2, state, list(sb.branches), {"gp": 2}, ready, pair_bounds
+        )
+        without_t = select_with_tradeoffs(
+            sb, GP2, state, list(sb.branches), {"gp": 2}, ready, None
+        )
+        assert with_t.rank >= without_t.rank
+
+    def test_rank_accounts_for_outcomes(self):
+        sel = Selection(selected=[1], delayed=[2], delayed_ok=set())
+        # ranked() is internal; emulate through select_with_tradeoffs by
+        # checking the Selection fields carry the data needed.
+        assert sel.selected and sel.delayed

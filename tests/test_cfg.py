@@ -1,0 +1,246 @@
+"""Tests for the CFG substrate: blocks, traces, formation, generation."""
+
+import math
+
+import pytest
+
+from repro.cfg.blocks import CFG, BasicBlock, Instr, instr
+from repro.cfg.formation import form_superblock, form_superblocks
+from repro.cfg.gencfg import generate_cfg
+from repro.cfg.trace import Trace, select_traces
+from repro.ir.operation import opcode
+from repro.ir.validate import validate_superblock
+from repro.machine.machine import GP2
+from repro.schedulers.base import schedule
+
+
+def diamond_cfg() -> CFG:
+    """entry -> (hot 0.9 / cold 0.1) -> join, all with dataflow."""
+    cfg = CFG("diamond")
+    cfg.add_block(BasicBlock("entry", [
+        instr("load", dest="x", srcs=["a0"], region="heap"),
+        instr("cmp", dest="c", srcs=["x", "a1"]),
+    ], exec_count=100))
+    cfg.add_block(BasicBlock("hot", [
+        instr("add", dest="y", srcs=["x", "x"]),
+    ], exec_count=90))
+    cfg.add_block(BasicBlock("cold", [
+        instr("mul", dest="y", srcs=["x", "a1"]),
+        instr("store", srcs=["y", "a0"], region="heap"),
+    ], exec_count=10))
+    cfg.add_block(BasicBlock("join", [
+        instr("add", dest="z", srcs=["x", "x"]),
+    ], exec_count=100))
+    cfg.add_edge("entry", "hot", 90)
+    cfg.add_edge("entry", "cold", 10)
+    cfg.add_edge("hot", "join", 90)
+    cfg.add_edge("cold", "join", 10)
+    return cfg
+
+
+class TestInstr:
+    def test_branch_instruction_rejected(self):
+        with pytest.raises(ValueError, match="terminators"):
+            Instr(op=opcode("branch"))
+
+    def test_store_defines_nothing(self):
+        with pytest.raises(ValueError, match="stores define"):
+            instr("store", dest="x", srcs=["y"], region="heap")
+
+    def test_memory_ops_need_region(self):
+        with pytest.raises(ValueError, match="region"):
+            instr("load", dest="x", srcs=["p"])
+
+    def test_str(self):
+        i = instr("add", dest="z", srcs=["x", "y"])
+        assert str(i) == "z = add(x, y)"
+
+
+class TestBasicBlock:
+    def test_defs_and_upward_exposed_uses(self):
+        block = BasicBlock("b", [
+            instr("add", dest="x", srcs=["a", "b"]),
+            instr("add", dest="y", srcs=["x", "c"]),
+        ])
+        assert block.defs == {"x", "y"}
+        assert block.upward_exposed_uses == {"a", "b", "c"}
+
+
+class TestCfg:
+    def test_duplicate_block_rejected(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            cfg.add_block(BasicBlock("a"))
+
+    def test_edge_to_unknown_block(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("a"))
+        with pytest.raises(KeyError):
+            cfg.add_edge("a", "zzz", 1)
+
+    def test_edge_probability(self):
+        cfg = diamond_cfg()
+        hot = next(e for e in cfg.succs("entry") if e.dst == "hot")
+        assert cfg.edge_probability(hot) == pytest.approx(0.9)
+
+    def test_validate_catches_overflow(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("a", exec_count=10))
+        cfg.add_block(BasicBlock("b", exec_count=50))
+        cfg.add_edge("a", "b", 50)
+        with pytest.raises(ValueError, match="exceed"):
+            cfg.validate()
+
+
+class TestTraceSelection:
+    def test_follows_hot_path(self):
+        traces = select_traces(diamond_cfg())
+        assert traces[0].labels == ("entry", "hot", "join")
+
+    def test_cold_block_gets_own_trace(self):
+        traces = select_traces(diamond_cfg())
+        assert Trace(("cold",)) in traces
+
+    def test_every_block_in_exactly_one_trace(self):
+        cfg = generate_cfg("t", seed=9, segments=8)
+        traces = select_traces(cfg)
+        seen = [label for t in traces for label in t.labels]
+        assert sorted(seen) == sorted(cfg.labels)
+
+    def test_loop_back_edge_stops_growth(self):
+        cfg = CFG("loop")
+        cfg.add_block(BasicBlock("h", exec_count=100))
+        cfg.add_block(BasicBlock("x", exec_count=10))
+        cfg.add_edge("h", "h", 90)
+        cfg.add_edge("h", "x", 10)
+        traces = select_traces(cfg)
+        assert traces[0].labels == ("h",)
+
+    def test_min_prob_threshold(self):
+        traces = select_traces(diamond_cfg(), min_prob=0.95)
+        assert traces[0].labels == ("entry",)
+
+    def test_bad_min_prob_rejected(self):
+        with pytest.raises(ValueError):
+            select_traces(diamond_cfg(), min_prob=0.0)
+
+
+class TestFormation:
+    def test_hot_trace_superblock(self):
+        cfg = diamond_cfg()
+        trace = select_traces(cfg)[0]
+        sb = form_superblock(cfg, trace, "hot_trace")
+        assert sb is not None
+        validate_superblock(sb)
+        # Two exits: the side exit toward `cold` (p=0.1) + the final exit.
+        assert sb.num_branches == 2
+        side, final = sb.branches
+        assert sb.weights[side] == pytest.approx(0.1)
+        assert sb.weights[final] == pytest.approx(0.9)
+        assert sb.exec_freq == 100
+
+    def test_data_edges_follow_registers(self):
+        cfg = diamond_cfg()
+        sb = form_superblock(cfg, select_traces(cfg)[0], "t")
+        # cmp (op 1) consumes the load (op 0) with latency 2.
+        assert sb.graph.edge_latency(0, 1) == 2
+
+    def test_liveout_values_feed_the_exit(self):
+        """The cold block reads x and a1, so their defs precede the exit."""
+        cfg = diamond_cfg()
+        sb = form_superblock(cfg, select_traces(cfg)[0], "t")
+        side = sb.branches[0]
+        pred_ids = {u for u, _ in sb.graph.preds(side)}
+        assert 0 in pred_ids  # the load defining x
+
+    def test_store_not_speculated_above_exit(self):
+        cfg = CFG("spec")
+        cfg.add_block(BasicBlock("a", [
+            instr("cmp", dest="c", srcs=["a0", "a1"]),
+        ], exec_count=100))
+        cfg.add_block(BasicBlock("b", [
+            instr("store", srcs=["a0", "a1"], region="heap"),
+        ], exec_count=80))
+        cfg.add_block(BasicBlock("off", [], exec_count=20))
+        cfg.add_edge("a", "b", 80)
+        cfg.add_edge("a", "off", 20)
+        sb = form_superblock(cfg, Trace(("a", "b")), "t")
+        side = sb.branches[0]
+        store = next(
+            op.index for op in sb.operations if op.opcode.name == "store"
+        )
+        assert sb.graph.has_edge(side, store)
+
+    def test_memory_ordering_edges(self):
+        cfg = CFG("mem")
+        cfg.add_block(BasicBlock("a", [
+            instr("store", srcs=["a0", "a1"], region="heap"),
+            instr("load", dest="x", srcs=["a0"], region="heap"),
+            instr("load", dest="y", srcs=["a0"], region="stack"),
+            instr("store", srcs=["x", "a0"], region="heap"),
+        ], exec_count=10))
+        sb = form_superblock(cfg, Trace(("a",)), "t")
+        assert sb.graph.has_edge(0, 1)       # store -> load, same region
+        assert not sb.graph.has_edge(0, 2)   # different region
+        assert sb.graph.has_edge(1, 3)       # load -> store, same region
+        assert sb.graph.has_edge(0, 3)       # store -> store
+
+    def test_unconditional_fallthrough_merges(self):
+        cfg = CFG("merge")
+        cfg.add_block(BasicBlock("a", [instr("add", dest="x", srcs=["a0", "a0"])],
+                                 exec_count=10))
+        cfg.add_block(BasicBlock("b", [instr("add", dest="y", srcs=["x", "x"])],
+                                 exec_count=10))
+        cfg.add_edge("a", "b", 10)
+        sb = form_superblock(cfg, Trace(("a", "b")), "t")
+        assert sb.num_branches == 1  # no side exit on the fall-through
+
+    def test_cold_trace_skipped(self):
+        cfg = CFG("dead")
+        cfg.add_block(BasicBlock("a", [instr("mov", dest="x", srcs=["a0"])],
+                                 exec_count=0.0))
+        assert form_superblock(cfg, Trace(("a",)), "t") is None
+
+    def test_tail_duplication_emits_suffixes(self):
+        cfg = diamond_cfg()
+        sbs = form_superblocks(cfg)
+        names = [sb.name for sb in sbs]
+        # Hot trace + a duplicated join tail (fed by `cold`) + cold trace.
+        assert any(".dup" in n for n in names)
+        dup = next(sb for sb in sbs if ".dup" in sb.name)
+        assert dup.exec_freq == pytest.approx(10)
+
+    def test_formation_probabilities_sum_to_one(self):
+        cfg = generate_cfg("sum", seed=4, segments=7)
+        for sb in form_superblocks(cfg):
+            assert math.isclose(sum(sb.weights.values()), 1.0, abs_tol=1e-6)
+            validate_superblock(sb)
+
+
+class TestGeneratedCfgPipeline:
+    def test_generated_cfgs_validate(self):
+        for seed in range(5):
+            cfg = generate_cfg(f"g{seed}", seed=seed, segments=6)
+            cfg.validate()
+
+    def test_determinism(self):
+        a = generate_cfg("d", seed=7)
+        b = generate_cfg("d", seed=7)
+        assert [str(i) for blk in a.blocks for i in blk.instrs] == [
+            str(i) for blk in b.blocks for i in blk.instrs
+        ]
+
+    def test_end_to_end_scheduling(self):
+        cfg = generate_cfg("e2e", seed=11, segments=6)
+        for sb in form_superblocks(cfg):
+            s = schedule(sb, GP2, "balance")
+            assert s.wct > 0
+
+    def test_cfg_corpus(self):
+        from repro.workloads import cfg_corpus
+
+        corpus = cfg_corpus(functions=4, seed=2)
+        assert len(corpus) >= 4
+        for sb in corpus:
+            validate_superblock(sb)

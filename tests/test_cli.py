@@ -1,0 +1,99 @@
+"""Tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ir.serialize import superblock_to_dict
+from repro.ir.examples import figure2
+
+
+@pytest.fixture
+def sb_file(tmp_path):
+    path = tmp_path / "fig2.json"
+    path.write_text(json.dumps(superblock_to_dict(figure2())))
+    return str(path)
+
+
+class TestCli:
+    def test_corpus_summary(self, capsys):
+        assert main(["corpus", "--scale", "12", "--max-ops", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "superblocks: " in out
+
+    def test_corpus_save(self, tmp_path, capsys):
+        out_file = tmp_path / "c.jsonl"
+        main(["corpus", "--scale", "12", "--out", str(out_file)])
+        assert out_file.exists()
+        assert "saved to" in capsys.readouterr().out
+
+    def test_schedule_command(self, sb_file, capsys):
+        main(["schedule", sb_file, "--machine", "GP2", "--heuristic", "balance"])
+        out = capsys.readouterr().out
+        assert "WCT" in out
+        assert "branch 3" in out
+
+    def test_bounds_command(self, sb_file, capsys):
+        main(["bounds", sb_file, "--machine", "GP2"])
+        out = capsys.readouterr().out
+        assert "tightest" in out
+        for name in ("CP", "LC", "PW"):
+            assert name in out
+
+    def test_examples_command(self, capsys):
+        main(["examples"])
+        out = capsys.readouterr().out
+        assert "figure4" in out
+
+    def test_table3_small(self, capsys):
+        main([
+            "table3", "--scale", "10", "--max-ops", "20",
+            "--machines", "FS4", "--no-triplewise",
+        ])
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Balance" in out
+
+    def test_table1_small(self, capsys):
+        main([
+            "table1", "--scale", "10", "--max-ops", "20",
+            "--machines", "GP1,FS4", "--no-triplewise",
+        ])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_figure8_small(self, capsys):
+        main(["figure8", "--scale", "16", "--max-ops", "20"])
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_schedule_gantt(self, sb_file, capsys):
+        main(["schedule", sb_file, "--gantt"])
+        out = capsys.readouterr().out
+        assert "cycle" in out and "exits:" in out
+
+    def test_cfg_command(self, capsys):
+        main(["cfg", "--seed", "2", "--segments", "4"])
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "WCT=" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        main([
+            "report", "--scale", "10", "--max-ops", "16",
+            "--no-costs", "--no-triplewise", "--out", str(out),
+        ])
+        text = out.read_text()
+        assert "# Evaluation report" in text
+        assert "Table 3" in text and "Figure 8" in text
+        assert "written to" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_machine_rejected(self, sb_file):
+        with pytest.raises(KeyError):
+            main(["schedule", sb_file, "--machine", "XYZ"])

@@ -1,0 +1,154 @@
+"""Unit tests for repro.ir.depgraph."""
+
+import pytest
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import Operation, opcode
+
+
+def _ops(n: int, names=None) -> list[Operation]:
+    return [
+        Operation(index=i, opcode=opcode((names or {}).get(i, "add")))
+        for i in range(n)
+    ]
+
+
+def diamond() -> DependenceGraph:
+    """0 -> {1, 2} -> 3 with unit latencies."""
+    g = DependenceGraph(_ops(4))
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestConstruction:
+    def test_add_operations_in_order(self):
+        g = DependenceGraph()
+        g.add_operation(Operation(index=0, opcode=opcode("add")))
+        g.add_operation(Operation(index=1, opcode=opcode("add")))
+        assert g.num_operations == 2
+
+    def test_out_of_order_index_rejected(self):
+        g = DependenceGraph()
+        with pytest.raises(ValueError, match="program order"):
+            g.add_operation(Operation(index=1, opcode=opcode("add")))
+
+    def test_backward_edge_rejected(self):
+        g = DependenceGraph(_ops(2))
+        with pytest.raises(ValueError, match="not forward"):
+            g.add_edge(1, 0)
+
+    def test_self_edge_rejected(self):
+        g = DependenceGraph(_ops(2))
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_default_edge_latency_is_producer_latency(self):
+        g = DependenceGraph(_ops(2, names={0: "load"}))
+        g.add_edge(0, 1)
+        assert g.edge_latency(0, 1) == 2
+
+    def test_duplicate_edge_keeps_max_latency(self):
+        g = DependenceGraph(_ops(2))
+        g.add_edge(0, 1, 1)
+        g.add_edge(0, 1, 3)
+        assert g.edge_latency(0, 1) == 3
+        assert g.num_edges == 1
+        g.add_edge(0, 1, 2)  # smaller: subsumed
+        assert g.edge_latency(0, 1) == 3
+
+    def test_freeze_blocks_mutation(self):
+        g = DependenceGraph(_ops(2))
+        g.freeze()
+        with pytest.raises(RuntimeError, match="frozen"):
+            g.add_edge(0, 1)
+        with pytest.raises(RuntimeError):
+            g.add_operation(Operation(index=2, opcode=opcode("add")))
+
+    def test_negative_latency_rejected(self):
+        g = DependenceGraph(_ops(2))
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -2)
+
+
+class TestStructure:
+    def test_preds_succs(self):
+        g = diamond()
+        assert sorted(u for u, _ in g.preds(3)) == [1, 2]
+        assert sorted(v for v, _ in g.succs(0)) == [1, 2]
+
+    def test_roots_and_sinks(self):
+        g = diamond()
+        assert g.roots() == [0]
+        assert g.sinks() == [3]
+
+    def test_edges_iteration(self):
+        g = diamond()
+        assert sorted(g.edges()) == [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]
+
+    def test_ancestors_descendants(self):
+        g = diamond()
+        assert g.ancestors(3) == [0, 1, 2]
+        assert g.descendants(0) == [1, 2, 3]
+        assert g.ancestors(0) == []
+
+    def test_is_ancestor(self):
+        g = diamond()
+        assert g.is_ancestor(0, 3)
+        assert g.is_ancestor(1, 3)
+        assert not g.is_ancestor(1, 2)
+        assert not g.is_ancestor(3, 0)
+
+    def test_subgraph_mask_includes_self(self):
+        g = diamond()
+        mask = g.subgraph_mask(3)
+        assert mask == 0b1111
+
+
+class TestTiming:
+    def test_early_dc_unit_latencies(self):
+        g = diamond()
+        assert g.early_dc() == [0, 1, 1, 2]
+        assert g.critical_path() == 2
+
+    def test_early_dc_respects_latency(self):
+        g = DependenceGraph(_ops(3, names={0: "load"}))
+        g.add_edge(0, 1)  # latency 2
+        g.add_edge(1, 2)
+        assert g.early_dc() == [0, 2, 3]
+
+    def test_dist_to_sink(self):
+        g = diamond()
+        assert g.dist_to(3) == [2, 1, 1, 0]
+
+    def test_dist_to_unreachable_is_minus_one(self):
+        g = DependenceGraph(_ops(3))
+        g.add_edge(0, 2)
+        assert g.dist_to(2)[1] == -1
+
+    def test_late_dc(self):
+        g = diamond()
+        late = g.late_dc(3)
+        assert late == [0, 1, 1, 2]
+
+    def test_late_dc_none_outside_subgraph(self):
+        g = DependenceGraph(_ops(3))
+        g.add_edge(0, 2)
+        assert g.late_dc(2)[1] is None
+
+    def test_empty_graph_critical_path(self):
+        assert DependenceGraph().critical_path() == 0
+
+
+class TestBranches:
+    def test_branch_listing(self):
+        g = DependenceGraph(
+            [
+                Operation(index=0, opcode=opcode("add")),
+                Operation(index=1, opcode=opcode("branch"), exit_prob=0.5),
+                Operation(index=2, opcode=opcode("jump"), exit_prob=0.5),
+            ]
+        )
+        assert g.branches() == [1, 2]

@@ -1,0 +1,118 @@
+"""Edge-case battery across the whole pipeline.
+
+Degenerate superblocks (single op, branch-only, zero-probability exits,
+latency-0 edges), tiny machines, and unusual weights — each runs through
+bounds and schedulers end to end.
+"""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import FS4, GP1, GP2, MachineConfig
+from repro.schedulers.base import schedule, scheduler_names
+from repro.schedulers.schedule import validate_schedule
+
+HEURISTICS = ("cp", "sr", "gstar", "dhasy", "help", "balance", "adaptive")
+
+
+def branch_only_sb():
+    """Just two branches, no computation at all."""
+    return (
+        SuperblockBuilder("branches")
+        .exit(0.5)
+        .last_exit()
+    )
+
+
+def single_op_sb():
+    return SuperblockBuilder("one").last_exit()
+
+
+def zero_prob_side_exit_sb():
+    """A side exit that is never taken (profile says so)."""
+    return (
+        SuperblockBuilder("deadexit")
+        .op("add")
+        .exit(0.0, preds=[0])
+        .op("add")
+        .last_exit(preds=[2])
+    )
+
+
+def zero_latency_edge_sb():
+    """A latency-0 edge: consumer may issue in the same cycle."""
+    return (
+        SuperblockBuilder("lat0")
+        .op("add")
+        .op("add", preds={0: 0})
+        .last_exit(preds=[1])
+    )
+
+
+ALL_EDGE_CASES = [
+    branch_only_sb,
+    single_op_sb,
+    zero_prob_side_exit_sb,
+    zero_latency_edge_sb,
+]
+
+
+class TestDegenerateSuperblocks:
+    @pytest.mark.parametrize("factory", ALL_EDGE_CASES, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("name", HEURISTICS)
+    def test_every_heuristic_handles_it(self, factory, name):
+        sb = factory()
+        for machine in (GP1, GP2, FS4):
+            s = schedule(sb, machine, name)
+            validate_schedule(sb, machine, s)
+
+    @pytest.mark.parametrize("factory", ALL_EDGE_CASES, ids=lambda f: f.__name__)
+    def test_bounds_computable_and_sound(self, factory):
+        sb = factory()
+        for machine in (GP1, FS4):
+            res = BoundSuite(sb, machine).compute()
+            opt = schedule(sb, machine, "optimal")
+            assert res.tightest <= opt.wct + 1e-9
+
+    def test_single_op_bounds(self):
+        sb = single_op_sb()
+        res = BoundSuite(sb, GP1).compute()
+        assert res.tightest == pytest.approx(1.0)  # issue 0 + l_br
+
+    def test_zero_latency_edge_same_cycle(self):
+        sb = zero_latency_edge_sb()
+        s = schedule(sb, GP2, "optimal")
+        assert s.issue[1] == s.issue[0]  # same cycle is legal and optimal
+
+    def test_branch_only_ordering(self):
+        sb = branch_only_sb()
+        s = schedule(sb, GP2, "balance")
+        assert s.issue[1] >= s.issue[0] + 1  # control edge
+
+
+class TestUnusualMachines:
+    def test_minimal_specialized_machine(self):
+        tiny = MachineConfig(
+            name="tiny",
+            units={"int": 1, "mem": 1, "float": 1, "branch": 1},
+        )
+        sb = zero_prob_side_exit_sb()
+        s = schedule(sb, tiny, "balance")
+        validate_schedule(sb, tiny, s)
+
+    def test_very_wide_machine_hits_dependence_bound(self):
+        wide = MachineConfig(name="wide16", units={"gp": 16})
+        sb = zero_prob_side_exit_sb()
+        res = BoundSuite(sb, wide).compute()
+        s = schedule(sb, wide, "balance")
+        assert s.wct == pytest.approx(res.wct["CP"])  # resources never bind
+
+
+class TestRegistryCompleteness:
+    def test_all_registered_schedulers_run(self, two_exit_sb):
+        for name in scheduler_names():
+            if name in ("optimal", "ilp"):
+                continue  # exact solvers covered elsewhere (size guards)
+            s = schedule(two_exit_sb, GP2, name)
+            validate_schedule(two_exit_sb, GP2, s)

@@ -1,0 +1,147 @@
+"""Tests pinning the paper's Figure 1-4 narratives to our reconstructions."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.examples import PAPER_EXAMPLES, figure1, figure2, figure3, figure4
+from repro.machine.machine import GP2
+from repro.schedulers.base import schedule
+
+
+class TestFigure1:
+    """Section 2's motivating example."""
+
+    def test_structure(self):
+        sb = figure1()
+        assert sb.num_operations == 17
+        assert sb.branches == (3, 16)
+        # Branch 16 has 16 predecessors (including the side branch).
+        assert len(sb.graph.ancestors(16)) == 16
+        # The longest dependence chain to 16 is 7 cycles.
+        assert sb.graph.early_dc()[16] == 7
+
+    def test_resource_bound_is_eight(self):
+        res = BoundSuite(figure1(), GP2).compute()
+        assert res.branch_bounds["RJ"][16] == 8
+
+    def test_cp_delays_side_exit(self):
+        s = schedule(figure1(), GP2, "cp")
+        assert s.issue[3] >= 4  # "delayed by 4 cycles" in the paper
+
+    def test_sr_is_optimal(self):
+        s = schedule(figure1(), GP2, "sr")
+        opt = schedule(figure1(), GP2, "optimal")
+        assert s.wct == pytest.approx(opt.wct)
+        assert (s.issue[3], s.issue[16]) == (2, 8)
+
+    def test_gstar_selects_last_branch_as_critical(self):
+        """With a weakly taken side exit, only the last branch is critical
+        (rank 2/0.2 = 10 vs 8/1.0 = 8): G* degenerates to Critical Path,
+        as in the paper's discussion of Figure 1."""
+        from repro.schedulers.gstar import gstar_tiers
+
+        tiers = gstar_tiers(figure1(side_prob=0.2), GP2)
+        assert tiers[16] == 0  # first retirement tier contains everything
+        assert all(t == 0 for t in tiers)
+
+
+class TestFigure2:
+    """Observation 1: compatible needs."""
+
+    def test_branch_bounds(self):
+        res = BoundSuite(figure2(), GP2).compute()
+        assert res.branch_bounds["LC"] == {3: 2, 6: 3}
+
+    def test_balance_finds_compatible_schedule(self):
+        s = schedule(figure2(), GP2, "balance")
+        assert s.issue[4] == 0  # the chain head issues immediately
+        assert (s.issue[3], s.issue[6]) == (2, 3)
+
+    def test_some_baseline_misses_it(self):
+        """At least one baseline heuristic delays branch 6 (the paper's
+        point that help-counting alone is insufficient)."""
+        wcts = {
+            name: schedule(figure2(), GP2, name).wct
+            for name in ("cp", "sr", "dhasy")
+        }
+        opt = schedule(figure2(), GP2, "optimal").wct
+        assert any(w > opt + 1e-9 for w in wcts.values())
+
+
+class TestFigure3:
+    """Observation 2: resource-aware distances."""
+
+    def test_dependence_distance_is_four(self):
+        sb = figure3()
+        assert sb.graph.dist_to(9)[4] == 4
+
+    def test_real_distance_is_five(self):
+        suite = BoundSuite(figure3(), GP2)
+        assert suite.early_rc[9] == 5
+        assert suite.late_rc[9][4] == 0
+
+    def test_balance_schedules_op4_first(self):
+        s = schedule(figure3(), GP2, "balance")
+        assert s.issue[4] == 0
+        assert s.issue[9] == 5
+
+    def test_dc_bound_variant_misses(self):
+        """Without the Bound component the engine delays branch 9."""
+        from repro.core.balance import balance_schedule
+        from repro.core.config import HELP
+
+        s = balance_schedule(figure3(), GP2, HELP)
+        opt = schedule(figure3(), GP2, "optimal")
+        assert s.wct > opt.wct
+
+
+class TestFigure4:
+    """Observation 3: branch tradeoffs depend on exit probability."""
+
+    def test_individual_bounds(self):
+        suite = BoundSuite(figure4(), GP2)
+        assert suite.early_rc[6] == 3
+        assert suite.early_rc[18] == 9
+
+    def test_exits_conflict(self):
+        res = BoundSuite(figure4(), GP2).compute()
+        pb = res.pair_bounds[(6, 18)]
+        assert not pb.conflict_free
+
+    def test_tradeoff_curve_spans_regimes(self):
+        res = BoundSuite(figure4(), GP2).compute()
+        pb = res.pair_bounds[(6, 18)]
+        xs = {p.x for p in pb.curve}
+        ys = {p.y for p in pb.curve}
+        assert len(xs) >= 2 and len(ys) >= 2
+
+    @pytest.mark.parametrize(
+        "prob,expected",
+        [(0.2, (5, 9)), (0.4, (5, 9)), (0.6, (3, 11)), (0.8, (3, 11))],
+    )
+    def test_optimal_flips_with_probability(self, prob, expected):
+        sb = figure4(prob)
+        s = schedule(sb, GP2, "optimal")
+        assert (s.issue[6], s.issue[18]) == expected
+
+    @pytest.mark.parametrize("prob", [0.2, 0.4, 0.6, 0.8])
+    def test_balance_matches_optimal_across_probabilities(self, prob):
+        sb = figure4(prob)
+        assert schedule(sb, GP2, "balance").wct == pytest.approx(
+            schedule(sb, GP2, "optimal").wct
+        )
+
+    def test_pairwise_bound_is_tight_here(self):
+        """The PW superblock bound equals the optimal WCT on Figure 4."""
+        sb = figure4(0.3)
+        res = BoundSuite(sb, GP2).compute()
+        opt = schedule(sb, GP2, "optimal")
+        assert res.tightest == pytest.approx(opt.wct)
+
+
+class TestExamplesRegistry:
+    def test_registry_contents(self):
+        assert set(PAPER_EXAMPLES) == {"figure1", "figure2", "figure3", "figure4"}
+        for _name, (sb, machine) in PAPER_EXAMPLES.items():
+            assert machine.name == "GP2"
+            assert sb.num_branches == 2

@@ -1,0 +1,62 @@
+"""Execute every example script end to end (small parameters).
+
+The examples are part of the public deliverable; these tests keep them
+running against API changes.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "lower bounds" in out
+        assert "balance" in out
+        assert "digraph" in out  # DOT export
+
+    def test_paper_figures(self, capsys):
+        out = run_example("paper_figures.py", [], capsys)
+        assert "figure4" in out
+        assert "Observation 3" in out
+        assert "pairwise tradeoff curve" in out
+
+    def test_compiler_pass(self, capsys):
+        out = run_example("compiler_pass.py", ["GP2", "16"], capsys)
+        assert "compile time" in out
+        assert "speedup vs CP" in out
+
+    def test_machine_design(self, capsys):
+        out = run_example("machine_design.py", ["16"], capsys)
+        assert "GP1" in out and "FS8" in out
+        assert "at-bound" in out
+
+    def test_bound_anatomy(self, capsys):
+        out = run_example("bound_anatomy.py", ["li", "1", "GP2"], capsys)
+        assert "per-branch issue-cycle bounds" in out
+        assert "WCT lower bounds" in out
+
+    def test_cfg_pipeline(self, capsys):
+        out = run_example("cfg_pipeline.py", ["1", "4"], capsys)
+        assert "traces" in out
+        assert "module dynamic cycles" in out
+
+    def test_speculation_cost(self, capsys):
+        out = run_example("speculation_cost.py", ["12"], capsys)
+        assert "waste%" in out
+        assert "balance" in out

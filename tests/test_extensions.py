@@ -1,0 +1,78 @@
+"""Tests for the extension experiments (per-benchmark, noise, G* family)."""
+
+import pytest
+
+from repro.eval.extensions import (
+    gstar_secondary_table,
+    per_benchmark_table,
+    profile_noise_sweep,
+)
+from repro.machine.machine import FS4, GP2
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.schedule import validate_schedule
+
+
+class TestPerBenchmark:
+    def test_covers_present_benchmarks(self, tiny_corpus):
+        t = per_benchmark_table(tiny_corpus, GP2)
+        names = {row[0] for row in t.rows}
+        assert "gcc" in names
+        total = sum(row[1] for row in t.rows)
+        assert total == len(tiny_corpus)
+
+    def test_render(self, tiny_corpus):
+        text = per_benchmark_table(tiny_corpus, GP2).render()
+        assert "Per-benchmark" in text and "BALANCE" in text
+
+
+class TestProfileNoise:
+    def test_zero_noise_matches_clean_run(self, tiny_corpus):
+        t = profile_noise_sweep(
+            tiny_corpus, FS4, noise_levels=(0.0,), heuristics=("balance",)
+        )
+        assert len(t.rows) == 1
+
+    def test_sweep_monotone_in_expectation(self, tiny_corpus):
+        """Heavy noise should not *improve* Balance (allowing jitter)."""
+        t = profile_noise_sweep(
+            tiny_corpus,
+            FS4,
+            heuristics=("balance",),
+            noise_levels=(0.0, 1.0),
+            seed=3,
+        )
+        clean = t.data[0.0]["balance"]
+        noisy = t.data[1.0]["balance"]
+        assert noisy >= clean - 0.5  # small jitter tolerance
+
+    def test_rows_per_level(self, tiny_corpus):
+        t = profile_noise_sweep(
+            tiny_corpus, FS4, noise_levels=(0.0, 0.5, 1.0),
+            heuristics=("dhasy", "balance"),
+        )
+        assert len(t.rows) == 3
+        assert t.headers == ["Profile noise", "DHASY", "BALANCE"]
+
+
+class TestGstarFamily:
+    def test_all_secondaries_schedule_validly(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:5]:
+            for secondary in ("cp", "sr", "dhasy"):
+                s = get_scheduler("gstar")(sb, GP2, secondary=secondary)
+                validate_schedule(sb, GP2, s)
+
+    def test_variant_names(self, two_exit_sb):
+        s = get_scheduler("gstar")(two_exit_sb, GP2, secondary="sr")
+        assert s.heuristic == "gstar[sr]"
+        s = get_scheduler("gstar")(two_exit_sb, GP2)
+        assert s.heuristic == "gstar"
+
+    def test_unknown_secondary_rejected(self, two_exit_sb):
+        with pytest.raises(ValueError, match="unknown G"):
+            get_scheduler("gstar")(two_exit_sb, GP2, secondary="zz")
+
+    def test_family_table(self, tiny_corpus):
+        t = gstar_secondary_table(tiny_corpus, GP2)
+        assert len(t.rows) == 3
+        # The "vs best" column is 0 for the winner.
+        assert min(row[2] for row in t.rows) == pytest.approx(0.0)

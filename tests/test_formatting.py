@@ -1,0 +1,76 @@
+"""Tests for text-table formatting and the instrumentation counters."""
+
+from repro.bounds.instrumentation import Counters
+from repro.eval.formatting import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["Name", "Value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert "Name" in lines[2]
+        assert "1.50" in text and "22.25" in text
+
+    def test_first_column_left_aligned(self):
+        text = format_table(["A", "B"], [["x", 1], ["long", 2]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("x ")
+        assert rows[1].startswith("long")
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["A", "B"], [["x", 5], ["y", 500]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  5") or lines[-2].endswith("5")
+        assert lines[-1].endswith("500")
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+    def test_format_percent(self):
+        assert format_percent(12.3456) == "12.35%"
+        assert format_percent(12.3456, digits=1) == "12.3%"
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("a.x")
+        c.add("a.y", 4)
+        assert c.get("a.x") == 1
+        assert c.get("missing") == 0
+
+    def test_prefix_totals(self):
+        c = Counters()
+        c.add("rj.place", 3)
+        c.add("rj.scan", 2)
+        c.add("lc.place", 7)
+        assert c.total("rj") == 5
+        assert c.total() == 12
+        # Prefix matching is dotted: "l" does not match "lc.*".
+        assert c.total("l") == 0
+
+    def test_exact_name_counts_as_prefix(self):
+        c = Counters()
+        c.add("hu", 2)
+        assert c.total("hu") == 2
+
+    def test_merge_and_clear(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        a.merge(b)
+        assert a.get("x") == 3
+        a.clear()
+        assert a.total() == 0
+
+    def test_as_dict(self):
+        c = Counters()
+        c.add("k", 9)
+        assert c.as_dict() == {"k": 9}

@@ -1,0 +1,66 @@
+"""Golden regression pins: exact values for a fixed seed.
+
+These protect against silent behavioural drift: the corpus generator and
+every deterministic algorithm must keep producing bit-identical results
+for the pinned seed. If an intentional algorithm change breaks one of
+these, update the pinned value *in the same change* and say why.
+"""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.machine.machine import FS4, GP2
+from repro.schedulers.base import schedule
+from repro.workloads.generator import generate_superblock
+from repro.workloads.profiles import profile_by_name
+
+
+class TestGoldenExamples:
+    def test_figure_wcts(self):
+        """The paper-example analyses, pinned exactly."""
+        cases = [
+            (figure1(), "sr", 7.5),
+            (figure1(), "cp", 8.25),
+            (figure2(), "balance", 3.6),
+            (figure3(), "balance", 4.8),
+            (figure3(), "help", 5.4),
+            (figure4(0.3), "balance", 8.8),
+            (figure4(0.7), "balance", 6.4),
+        ]
+        for sb, heuristic, expected in cases:
+            s = schedule(sb, GP2, heuristic)
+            assert s.wct == pytest.approx(expected), (sb.name, heuristic)
+
+    def test_figure4_pair_curve(self):
+        res = BoundSuite(figure4(0.3), GP2).compute()
+        curve = [
+            (p.separation, p.x, p.y) for p in res.pair_bounds[(6, 18)].curve
+        ]
+        assert curve == [
+            (4, 5, 9), (5, 5, 10), (6, 4, 10), (7, 4, 11), (8, 3, 11)
+        ]
+
+
+class TestGoldenGenerator:
+    def test_pinned_superblock_structure(self):
+        sb = generate_superblock(profile_by_name("gcc"), 0, seed=1999)
+        assert sb.num_operations == 26
+        assert sb.branches == (0, 2, 7, 13, 25)
+        assert sb.exec_freq == pytest.approx(7.866)
+
+    def test_pinned_bounds(self):
+        sb = generate_superblock(profile_by_name("gcc"), 0, seed=1999)
+        res = BoundSuite(sb, FS4).compute()
+        suite = BoundSuite(sb, FS4)
+        assert res.branch_bounds["LC"] == {
+            b: suite.early_rc[b] for b in sb.branches
+        }
+        assert res.tightest == pytest.approx(res.wct["TW"])
+
+    def test_pinned_balance_schedule(self):
+        sb = generate_superblock(profile_by_name("gcc"), 0, seed=1999)
+        s = schedule(sb, FS4, "balance")
+        bound = BoundSuite(sb, FS4).compute().tightest
+        # This block is scheduled at its bound today; keep it that way.
+        assert s.wct <= bound + 1e-9

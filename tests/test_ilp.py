@@ -1,0 +1,76 @@
+"""Tests for the time-indexed MILP scheduler."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure2, figure3, figure4
+from repro.machine.machine import FS4_NP, GP2
+from repro.schedulers.base import schedule
+from repro.schedulers.ilp import IlpSizeExceeded
+from repro.schedulers.optimal import SearchBudgetExceeded
+from repro.schedulers.schedule import validate_schedule
+
+
+class TestIlpScheduler:
+    def test_matches_bnb_on_paper_examples(self):
+        for sb in (figure2(), figure3(), figure4(0.3), figure4(0.7)):
+            ilp = schedule(sb, GP2, "ilp")
+            bnb = schedule(sb, GP2, "optimal")
+            assert ilp.wct == pytest.approx(bnb.wct), sb.name
+
+    def test_matches_bnb_on_corpus(self, tiny_corpus):
+        checked = 0
+        for sb in tiny_corpus:
+            if sb.num_operations > 12:
+                continue
+            try:
+                bnb = schedule(sb, GP2, "optimal", budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            try:
+                ilp = schedule(sb, GP2, "ilp")
+            except IlpSizeExceeded:
+                continue
+            assert ilp.wct == pytest.approx(bnb.wct), sb.name
+            validate_schedule(sb, GP2, ilp)
+            checked += 1
+        assert checked >= 3
+
+    def test_handles_blocking_units(self):
+        """The ILP is the exact reference for non-pipelined machines."""
+        sb = (
+            SuperblockBuilder("divs")
+            .op("fdiv")
+            .op("fdiv")
+            .last_exit(preds=[0, 1])
+        )
+        s = schedule(sb, FS4_NP, "ilp")
+        validate_schedule(sb, FS4_NP, s)
+        a, b = sorted(s.issue[v] for v in (0, 1))
+        assert b - a == 9  # exactly back-to-back on the blocking divider
+
+    def test_never_below_tightest_bound(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:6]:
+            if sb.num_operations > 14:
+                continue
+            try:
+                s = schedule(sb, GP2, "ilp")
+            except IlpSizeExceeded:
+                continue
+            bound = BoundSuite(sb, GP2).compute().tightest
+            assert s.wct >= bound - 1e-6
+
+    def test_size_guard(self):
+        b = SuperblockBuilder("big")
+        for i in range(40):
+            b.op("add", preds=[i - 1] if i else [])
+        sb = b.last_exit(preds=[39])
+        with pytest.raises(IlpSizeExceeded):
+            schedule(sb, GP2, "ilp", max_variables=100)
+
+    def test_explicit_horizon(self):
+        sb = figure2()
+        s = schedule(sb, GP2, "ilp", horizon=10)
+        assert s.stats["horizon"] == 10
+        assert s.wct == pytest.approx(schedule(sb, GP2, "optimal").wct)

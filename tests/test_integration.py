@@ -1,0 +1,88 @@
+"""Cross-module integration tests: the full pipeline on a small corpus."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.eval.sched_eval import evaluate_corpus, evaluate_superblock
+from repro.eval.metrics import noprofile_weights
+from repro.machine.machine import FS4, GP2, PAPER_MACHINES
+from repro.schedulers.base import schedule
+from repro.workloads.corpus import specint95_corpus
+
+HEUR = ("sr", "cp", "gstar", "dhasy", "help", "balance")
+
+
+class TestEvaluatePipeline:
+    def test_evaluate_superblock_record(self, tiny_corpus):
+        sb = tiny_corpus[0]
+        r = evaluate_superblock(sb, FS4, HEUR)
+        assert set(r.heuristic_wct) == set(HEUR)
+        assert r.tightest_bound <= min(r.heuristic_wct.values()) + 1e-9
+        assert set(r.bound_wct) == {"CP", "Hu", "RJ", "LC", "PW", "TW"}
+
+    def test_noprofile_weights_change_schedules_not_bounds(self, tiny_corpus):
+        sb = max(tiny_corpus, key=lambda s: s.num_branches)
+        base = evaluate_superblock(sb, FS4, HEUR)
+        nop = evaluate_superblock(
+            sb, FS4, HEUR, scheduling_weights=noprofile_weights
+        )
+        assert nop.tightest_bound == pytest.approx(base.tightest_bound)
+        # SR/CP ignore weights: identical results.
+        assert nop.heuristic_wct["sr"] == pytest.approx(base.heuristic_wct["sr"])
+        assert nop.heuristic_wct["cp"] == pytest.approx(base.heuristic_wct["cp"])
+
+    def test_corpus_summary_consistency(self, tiny_corpus):
+        summary = evaluate_corpus(tiny_corpus, FS4, HEUR)
+        assert len(summary.results) == len(tiny_corpus)
+        assert summary.machine == "FS4"
+        for h in HEUR:
+            assert summary.slowdown_percent(h) >= -1e-9
+
+    def test_balance_among_the_best(self, tiny_corpus):
+        """On a tiny sample Balance may tie or narrowly trail one heuristic,
+        but it must stay well below the field's average slowdown (the
+        corpus-scale win is asserted by the Table 3 benchmark)."""
+        summary = evaluate_corpus(tiny_corpus, FS4, HEUR)
+        slow = {h: summary.slowdown_percent(h) for h in HEUR}
+        mean = sum(slow.values()) / len(slow)
+        assert slow["balance"] <= mean
+        assert slow["balance"] <= slow["help"] + 1e-9
+        assert slow["balance"] < max(slow.values())
+
+
+class TestWidthTrends:
+    def test_optimality_grows_with_fs_width(self, small_corpus):
+        """Headline shape: more units => more superblocks hit the bound."""
+        from repro.machine.machine import FS8
+
+        fracs = []
+        for machine in (FS4, FS8):
+            summary = evaluate_corpus(
+                small_corpus, machine, ("balance",), include_triplewise=False
+            )
+            fracs.append(summary.optimal_fraction("balance"))
+        assert fracs[1] >= fracs[0] - 0.05  # allow small-sample noise
+
+
+class TestEndToEndSingleSuperblock:
+    def test_bound_and_schedule_agree_on_machines(self, tiny_corpus):
+        sb = tiny_corpus[1]
+        for machine in PAPER_MACHINES:
+            res = BoundSuite(sb, machine, include_triplewise=False).compute()
+            s = schedule(sb, machine, "balance", validate=True)
+            assert s.wct >= res.tightest - 1e-9
+
+    def test_public_api_quickstart(self):
+        """The README quickstart must keep working."""
+        from repro import SuperblockBuilder, GP2, BoundSuite, schedule as sched
+
+        sb = (
+            SuperblockBuilder("demo")
+            .op("add").op("add").op("add")
+            .exit(0.3, preds=[0, 1, 2])
+            .op("load").op("add", preds=[4])
+            .last_exit(preds=[5])
+        )
+        bounds = BoundSuite(sb, GP2).compute()
+        result = sched(sb, GP2, "balance")
+        assert result.wct >= bounds.tightest - 1e-9

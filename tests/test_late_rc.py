@@ -1,0 +1,66 @@
+"""Unit tests for the reversed-graph LateRC computation."""
+
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch, reversed_subgraph
+from repro.ir.examples import figure1, figure3
+from repro.machine.machine import FS4, GP1, GP2
+
+
+class TestReversedSubgraph:
+    def test_reversal_structure(self, two_exit_sb):
+        sb = two_exit_sb
+        rev, remap = reversed_subgraph(sb.graph, 6)
+        # All 7 ops precede (or are) the final exit.
+        assert rev.num_operations == 7
+        # The branch becomes operation 0 of the reversed graph.
+        assert remap[6] == 0
+        # Edge latencies are preserved: 4 -(2)-> 5 becomes 5' -(2)-> 4'.
+        assert rev.edge_latency(remap[5], remap[4]) == 2
+
+    def test_reversal_only_covers_ancestors(self):
+        sb = figure1()
+        rev, remap = reversed_subgraph(sb.graph, 3)
+        # Branch 3's subgraph: ops 0, 1, 2, 3 only.
+        assert rev.num_operations == 4
+        assert set(remap) == {0, 1, 2, 3}
+
+    def test_reverse_is_topological(self, two_exit_sb):
+        rev, _ = reversed_subgraph(two_exit_sb.graph, 6)
+        for src, dst, _lat in rev.edges():
+            assert src < dst
+
+
+class TestLateRC:
+    def test_branch_anchors_its_own_late(self, two_exit_sb):
+        sb = two_exit_sb
+        rc = early_rc(sb.graph, GP2)
+        late = late_rc_for_branch(sb.graph, GP2, 6, rc[6])
+        assert late[6] == rc[6]
+
+    def test_late_rc_no_looser_than_late_dc(self, tiny_corpus):
+        """Resource awareness can only tighten the dependence lates."""
+        for sb in tiny_corpus:
+            for machine in (GP1, GP2, FS4):
+                rc = early_rc(sb.graph, machine)
+                for b in sb.branches:
+                    late = late_rc_for_branch(sb.graph, machine, b, rc[b])
+                    dist = sb.graph.dist_to(b)
+                    for v, lv in late.items():
+                        # Dependence late anchored at EarlyRC[b].
+                        assert lv <= rc[b] - dist[v]
+
+    def test_fig3_late_rc_detects_squeezed_chain(self):
+        """Observation 2: branch 9 needs op 4 in cycle 0, not cycle 1."""
+        sb = figure3()
+        rc = early_rc(sb.graph, GP2)
+        assert rc[9] == 5
+        late = late_rc_for_branch(sb.graph, GP2, 9, rc[9])
+        # Dependence-only: dist(4, 9) = 4 => late would be 5 - 4 = 1.
+        # Resource-aware: the antichain {6,7,8} needs two cycles => 0.
+        assert late[4] == 0
+
+    def test_late_rc_nonnegative_for_roots_on_wide_machine(self):
+        sb = figure1()
+        rc = early_rc(sb.graph, GP2)
+        late = late_rc_for_branch(sb.graph, GP2, 16, rc[16])
+        assert all(lv >= 0 for lv in late.values())

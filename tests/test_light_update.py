@@ -1,0 +1,87 @@
+"""Tests for the Balance scheduler's light (incremental) update path."""
+
+import pytest
+
+from repro.bounds.instrumentation import Counters
+from repro.core.balance import balance_schedule
+from repro.core.config import BalanceConfig
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.machine.machine import FS4, GP1, GP2
+from repro.schedulers.schedule import validate_schedule
+
+LIGHT = BalanceConfig(light_update=True)
+FULL = BalanceConfig(light_update=False)
+
+
+class TestLightUpdate:
+    def test_identical_on_paper_examples(self):
+        for sb in (figure1(), figure2(), figure3(), figure4(0.3), figure4(0.7)):
+            a = balance_schedule(sb, GP2, LIGHT)
+            b = balance_schedule(sb, GP2, FULL)
+            assert a.issue == b.issue, sb.name
+
+    def test_schedules_valid_everywhere(self, tiny_corpus, any_machine):
+        for sb in tiny_corpus.superblocks[:5]:
+            s = balance_schedule(sb, any_machine, LIGHT)
+            validate_schedule(sb, any_machine, s)
+
+    def test_near_equivalence_on_corpus(self, small_corpus):
+        """The light path may diverge only on transient delay melts; it
+        must produce identical schedules for almost every superblock and
+        an essentially identical aggregate WCT."""
+        mismatches = 0
+        wct_light = wct_full = 0.0
+        runs = 0
+        for sb in small_corpus:
+            for machine in (GP1, FS4):
+                a = balance_schedule(sb, machine, LIGHT, validate=False)
+                b = balance_schedule(sb, machine, FULL, validate=False)
+                runs += 1
+                wct_light += a.wct
+                wct_full += b.wct
+                if a.issue != b.issue:
+                    mismatches += 1
+        assert mismatches <= max(1, runs // 25)
+        assert wct_light == pytest.approx(wct_full, rel=2e-3)
+
+    def test_light_path_actually_taken(self):
+        counters = Counters()
+        sb = figure1()
+        balance_schedule(sb, GP2, LIGHT, counters=counters, validate=False)
+        assert counters.get("balance.light_branch") > 0
+
+    def test_full_mode_never_uses_light(self):
+        counters = Counters()
+        sb = figure1()
+        balance_schedule(sb, GP2, FULL, counters=counters, validate=False)
+        assert counters.get("balance.light_branch") == 0
+
+    def test_light_reduces_work(self, tiny_corpus):
+        """The light path performs fewer early/late graph visits."""
+        c_light, c_full = Counters(), Counters()
+        for sb in tiny_corpus.superblocks[:8]:
+            balance_schedule(sb, FS4, LIGHT, counters=c_light, validate=False)
+            balance_schedule(sb, FS4, FULL, counters=c_full, validate=False)
+        visits_light = c_light.get("balance.early_visit") + c_light.get(
+            "balance.late_visit"
+        )
+        visits_full = c_full.get("balance.early_visit") + c_full.get(
+            "balance.late_visit"
+        )
+        assert visits_light < visits_full
+
+    def test_fallback_on_infeasible_erc(self, small_corpus):
+        """Somewhere in the corpus an ERC turns infeasible mid-cycle and
+        the light path must fall back to the full recomputation."""
+        counters = Counters()
+        for sb in small_corpus:
+            balance_schedule(sb, FS4, LIGHT, counters=counters, validate=False)
+        assert counters.get("balance.light_fallback") > 0
+
+    def test_width_one_machine_never_needs_light(self, tiny_corpus):
+        """On GP1 every decision opens a new cycle, so the light path is
+        never exercised (and nothing breaks)."""
+        counters = Counters()
+        for sb in tiny_corpus.superblocks[:6]:
+            balance_schedule(sb, GP1, LIGHT, counters=counters, validate=False)
+        assert counters.get("balance.light_branch") == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the generic list scheduler and priority functions."""
+
+import pytest
+
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure1
+from repro.machine.machine import FS4, GP1, GP2, GP4
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.priorities import (
+    blend_grid,
+    blend_priority,
+    cp_priority,
+    dhasy_priority,
+    heights,
+    sr_priority,
+)
+
+
+class TestListScheduler:
+    def test_respects_dependences_and_latency(self, two_exit_sb):
+        s = list_schedule(two_exit_sb, GP2, cp_priority(two_exit_sb))
+        assert s.issue[5] >= s.issue[4] + 2
+
+    def test_respects_width(self, two_exit_sb):
+        s = list_schedule(two_exit_sb, GP1, cp_priority(two_exit_sb))
+        cycles = list(s.issue.values())
+        assert all(cycles.count(c) <= 1 for c in set(cycles))
+
+    def test_priority_order_drives_issue(self):
+        sb = (
+            SuperblockBuilder("prio")
+            .op("add")
+            .op("add")
+            .op("add")
+            .last_exit(preds=[0, 1, 2])
+        )
+        # Give op 2 the highest priority: it must take a cycle-0 slot.
+        s = list_schedule(sb, GP1, [0, 1, 2, 3])
+        assert s.issue[2] == 0
+
+    def test_tuple_priorities_supported(self, two_exit_sb):
+        s = list_schedule(two_exit_sb, GP2, sr_priority(two_exit_sb))
+        assert len(s.issue) == two_exit_sb.num_operations
+
+    def test_idle_gap_jumped(self):
+        # load (lat 2) then dependent op: the scheduler must skip the idle
+        # cycle without spinning.
+        sb = (
+            SuperblockBuilder("gap")
+            .op("load")
+            .op("add", preds=[0])
+            .last_exit(preds=[1])
+        )
+        s = list_schedule(sb, GP4, cp_priority(sb))
+        assert s.issue == {0: 0, 1: 2, 2: 3}
+
+    def test_greedy_fills_cycle(self, two_exit_sb):
+        s = list_schedule(two_exit_sb, GP2, cp_priority(two_exit_sb))
+        # Cycle 0 must be full: two ready ops exist.
+        assert sum(1 for t in s.issue.values() if t == 0) == 2
+
+
+class TestPriorities:
+    def test_heights(self, two_exit_sb):
+        h = heights(two_exit_sb)
+        # op 4: lat-2 edge to 5, then 5 -> 6 (1): height 3.
+        assert h[4] == 3
+        assert h[6] == 0
+
+    def test_cp_priority_is_heights(self, two_exit_sb):
+        assert cp_priority(two_exit_sb) == heights(two_exit_sb)
+
+    def test_sr_priority_orders_blocks_first(self, two_exit_sb):
+        prio = sr_priority(two_exit_sb)
+        # Block-0 ops beat block-1 ops regardless of height.
+        assert prio[0] > prio[4]
+
+    def test_dhasy_priority_weights_probability(self):
+        sb = figure1(side_prob=0.9)
+        low = figure1(side_prob=0.05)
+        hi_prio = dhasy_priority(sb)
+        lo_prio = dhasy_priority(low)
+        # Ops 0-2 (feeding the side exit) gain priority with its weight.
+        assert hi_prio[0] > lo_prio[0]
+
+    def test_dhasy_zero_for_isolated_source(self):
+        # An op that reaches only the last branch still gets some priority.
+        sb = figure1()
+        prio = dhasy_priority(sb)
+        assert all(p > 0 for p in prio[:16])
+
+    def test_blend_grid_has_121_points(self):
+        assert len(blend_grid()) == 121
+        assert len(set(blend_grid())) == 121
+
+    def test_blend_priority_bounds(self, two_exit_sb):
+        prio = blend_priority(two_exit_sb, 0.5, 0.5, 1.0)
+        assert len(prio) == two_exit_sb.num_operations
+        assert all(p >= 0 for p in prio)
+
+    def test_blend_degenerate_weights(self, two_exit_sb):
+        prio = blend_priority(two_exit_sb, 0.0, 0.0, 0.0)
+        assert all(p == 0 for p in prio)

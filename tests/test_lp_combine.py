@@ -1,0 +1,86 @@
+"""Tests for the LP combination of bound inequalities."""
+
+import pytest
+
+from repro.bounds.lp_combine import solve_lp_bound
+from repro.bounds.pairwise import PairBound, TradeoffPoint
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.bounds.triplewise import TripleBound
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure4
+from repro.machine.machine import GP1, GP2
+
+
+def three_branch_sb():
+    return (
+        SuperblockBuilder("lp3")
+        .op("add")
+        .exit(0.3, preds=[0])
+        .op("add")
+        .exit(0.3, preds=[2])
+        .op("add")
+        .last_exit(preds=[4])
+    )
+
+
+def pair(i, j, x, y):
+    return PairBound(
+        i=i, j=j, x=x, y=y,
+        curve=(TradeoffPoint(1, x, y),),
+        conflict_free=False,
+    )
+
+
+class TestSolveLpBound:
+    def test_no_inequalities_gives_naive(self):
+        sb = three_branch_sb()
+        rc = [0] * sb.num_operations
+        naive = solve_lp_bound(sb, rc, {}, {})
+        expected = sum(w * (0 + 1) for w in sb.weights.values())
+        assert naive == pytest.approx(expected)
+
+    def test_pair_inequality_tightens(self):
+        sb = three_branch_sb()
+        b1, b2, b3 = sb.branches
+        rc = [0] * sb.num_operations
+        # Claim: the weighted pair (b1, b2) cannot finish before cost 5.
+        bound = solve_lp_bound(sb, rc, {(b1, b2): pair(b1, b2, 5, 10)}, {})
+        naive = solve_lp_bound(sb, rc, {}, {})
+        assert bound > naive
+
+    def test_triple_inequality_tightens_further(self):
+        sb = three_branch_sb()
+        b1, b2, b3 = sb.branches
+        rc = [0] * sb.num_operations
+        tb = TripleBound(i=b1, j=b2, k=b3, x=2, y=4, z=6, evaluated=1)
+        with_triple = solve_lp_bound(sb, rc, {}, {(b1, b2, b3): tb})
+        assert with_triple > solve_lp_bound(sb, rc, {}, {})
+
+    def test_lp_dominates_theorem3_average(self, tiny_corpus):
+        """The LP includes the averaging as one dual-feasible point."""
+        for sb in tiny_corpus:
+            if sb.num_branches < 2:
+                continue
+            for machine in (GP1, GP2):
+                suite = BoundSuite(sb, machine, include_triplewise=False)
+                if not suite.pairs_complete:
+                    continue
+                avg = suite.theorem3_average()
+                lp = suite.lp_bound(include_triples=False)
+                assert lp >= avg - 1e-6, sb.name
+
+    def test_lp_never_exceeds_optimal(self):
+        from repro.schedulers.base import schedule
+
+        sb = figure4(0.3)
+        suite = BoundSuite(sb, GP2)
+        lp = suite.lp_bound(include_triples=True)
+        opt = schedule(sb, GP2, "optimal")
+        assert lp <= opt.wct + 1e-9
+
+    def test_individual_floors_respected(self):
+        sb = three_branch_sb()
+        rc = [7] * sb.num_operations
+        bound = solve_lp_bound(sb, rc, {}, {})
+        # Every branch at >= 7, + branch latency 1.
+        assert bound >= 8 - 1e-9

@@ -1,0 +1,159 @@
+"""Unit tests for the machine model (configs, resources, reservations)."""
+
+import pytest
+
+from repro.ir.operation import OpClass, Operation, opcode
+from repro.machine.machine import (
+    FS4,
+    FS6,
+    FS8,
+    GP1,
+    GP2,
+    GP4,
+    PAPER_MACHINES,
+    MachineConfig,
+    machine_by_name,
+)
+from repro.machine.reservation import ReservationTable
+from repro.machine.resources import GENERAL_PURPOSE, ResourceVector
+
+
+class TestPaperConfigs:
+    def test_paper_machine_count(self):
+        assert len(PAPER_MACHINES) == 6
+
+    def test_gp_widths(self):
+        assert GP1.width == 1
+        assert GP2.width == 2
+        assert GP4.width == 4
+
+    def test_fs_mixes(self):
+        """Section 6: FS4=(1,1,1,1), FS6=(2,2,1,1), FS8=(3,2,2,1)."""
+        assert FS4.units == {"int": 1, "mem": 1, "float": 1, "branch": 1}
+        assert FS6.units == {"int": 2, "mem": 2, "float": 1, "branch": 1}
+        assert FS8.units == {"int": 3, "mem": 2, "float": 2, "branch": 1}
+        assert FS4.width == 4
+        assert FS6.width == 6
+        assert FS8.width == 8
+
+    def test_gp_maps_everything_to_one_pool(self):
+        load = Operation(index=0, opcode=opcode("load"))
+        br = Operation(index=1, opcode=opcode("branch"), exit_prob=1.0)
+        assert GP2.resource_of(load) == GENERAL_PURPOSE
+        assert GP2.resource_of(br) == GENERAL_PURPOSE
+
+    def test_fs_maps_by_class(self):
+        load = Operation(index=0, opcode=opcode("load"))
+        fdiv = Operation(index=1, opcode=opcode("fdiv"))
+        assert FS4.resource_of(load) == "mem"
+        assert FS4.resource_of(fdiv) == "float"
+
+    def test_machine_by_name(self):
+        assert machine_by_name("fs6") is FS6
+        assert machine_by_name("GP1") is GP1
+        with pytest.raises(KeyError, match="unknown machine"):
+            machine_by_name("VLIW9000")
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", units={})
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", units={"int": 0})
+        with pytest.raises(ValueError, match="map op classes"):
+            MachineConfig(name="bad", units={"int": 2})  # no mem/float/branch
+
+    def test_demand_of(self):
+        ops = [
+            Operation(index=0, opcode=opcode("add")),
+            Operation(index=1, opcode=opcode("add")),
+            Operation(index=2, opcode=opcode("load")),
+        ]
+        demand = FS4.demand_of(ops)
+        assert demand.get("int") == 2
+        assert demand.get("mem") == 1
+
+
+class TestResourceVector:
+    def test_fits_in(self):
+        assert ResourceVector({"int": 2}).fits_in(ResourceVector({"int": 3}))
+        assert not ResourceVector({"int": 4}).fits_in(ResourceVector({"int": 3}))
+        assert ResourceVector().fits_in(ResourceVector())
+
+    def test_of_classes(self):
+        vec = ResourceVector.of_classes(["int", "int", "mem"])
+        assert vec.get("int") == 2
+        assert vec.total() == 3
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector({"int": -1})
+
+    def test_copy_is_independent(self):
+        a = ResourceVector({"int": 1})
+        b = a.copy()
+        b.add("int")
+        assert a.get("int") == 1
+        assert b.get("int") == 2
+
+    def test_equality(self):
+        assert ResourceVector({"int": 2}) == ResourceVector({"int": 2})
+        assert ResourceVector({"int": 2}) != ResourceVector({"int": 1})
+
+
+class TestReservationTable:
+    def test_place_and_free(self):
+        t = ReservationTable(GP2)
+        assert t.free(0, GENERAL_PURPOSE) == 2
+        t.place(0, GENERAL_PURPOSE)
+        assert t.free(0, GENERAL_PURPOSE) == 1
+        t.place(0, GENERAL_PURPOSE)
+        assert not t.can_place(0, GENERAL_PURPOSE)
+
+    def test_overplacement_raises(self):
+        t = ReservationTable(GP1)
+        t.place(0, GENERAL_PURPOSE)
+        with pytest.raises(ValueError, match="no free"):
+            t.place(0, GENERAL_PURPOSE)
+
+    def test_release_undoes_place(self):
+        t = ReservationTable(GP1)
+        t.place(0, GENERAL_PURPOSE)
+        t.release(0, GENERAL_PURPOSE)
+        assert t.can_place(0, GENERAL_PURPOSE)
+        with pytest.raises(ValueError):
+            t.release(0, GENERAL_PURPOSE)
+
+    def test_earliest_fit_skips_full_cycles(self):
+        t = ReservationTable(GP1)
+        t.place(0, GENERAL_PURPOSE)
+        t.place(1, GENERAL_PURPOSE)
+        assert t.earliest_fit(GENERAL_PURPOSE, 0) == 2
+
+    def test_free_slots_window(self):
+        t = ReservationTable(GP2)
+        t.place(0, GENERAL_PURPOSE)
+        # Cycles 0..2 on a 2-wide machine = 6 slots, 1 used.
+        assert t.free_slots(GENERAL_PURPOSE, 0, 2) == 5
+        assert t.free_slots(GENERAL_PURPOSE, 1, 2) == 4
+        assert t.free_slots(GENERAL_PURPOSE, 2, 1) == 0  # empty window
+
+    def test_free_slots_beyond_horizon(self):
+        t = ReservationTable(FS4)
+        assert t.free_slots("int", 0, 9) == 10
+
+    def test_cycle_is_full(self):
+        t = ReservationTable(GP1)
+        assert not t.cycle_is_full(0)
+        t.place(0, GENERAL_PURPOSE)
+        assert t.cycle_is_full(0)
+
+    def test_negative_cycle_rejected(self):
+        t = ReservationTable(GP1)
+        with pytest.raises(ValueError):
+            t.used(-1, GENERAL_PURPOSE)
+
+    def test_snapshot_free(self):
+        t = ReservationTable(FS4)
+        t.place(0, "int")
+        snap = t.snapshot_free(0)
+        assert snap == {"branch": 1, "float": 1, "int": 0, "mem": 1}

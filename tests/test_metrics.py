@@ -1,0 +1,105 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    CorpusSummary,
+    SuperblockResult,
+    noprofile_weights,
+    reweighted,
+)
+from repro.ir.examples import figure1
+
+
+def result(name, freq, bound, wcts, **kwargs):
+    return SuperblockResult(
+        name=name,
+        exec_freq=freq,
+        tightest_bound=bound,
+        bound_wct={"LC": bound},
+        heuristic_wct=wcts,
+        **kwargs,
+    )
+
+
+class TestSuperblockResult:
+    def test_optimal_detection(self):
+        r = result("a", 1.0, 5.0, {"x": 5.0, "y": 6.0})
+        assert r.optimal("x")
+        assert not r.optimal("y")
+        assert not r.trivial
+
+    def test_trivial_requires_all_optimal(self):
+        r = result("a", 1.0, 5.0, {"x": 5.0, "y": 5.0})
+        assert r.trivial
+
+    def test_extra_dynamic_cycles(self):
+        r = result("a", 10.0, 5.0, {"x": 6.5})
+        assert r.extra_dynamic_cycles("x") == pytest.approx(15.0)
+
+
+class TestCorpusSummary:
+    def make_summary(self):
+        return CorpusSummary(
+            machine="GP2",
+            results=[
+                result("triv", 2.0, 4.0, {"x": 4.0, "y": 4.0}),
+                result("hard", 1.0, 10.0, {"x": 11.0, "y": 10.0}),
+            ],
+        )
+
+    def test_bound_cycles(self):
+        s = self.make_summary()
+        assert s.bound_cycles == pytest.approx(2 * 4 + 1 * 10)
+
+    def test_trivial_cycle_fraction(self):
+        s = self.make_summary()
+        assert s.trivial_cycle_fraction == pytest.approx(8 / 18)
+
+    def test_slowdown_over_nontrivial_only(self):
+        s = self.make_summary()
+        # Nontrivial base = 10; heuristic x spends 11 -> 10% slowdown.
+        assert s.slowdown_percent("x") == pytest.approx(10.0)
+        assert s.slowdown_percent("y") == pytest.approx(0.0)
+
+    def test_optimal_fraction(self):
+        s = self.make_summary()
+        assert s.optimal_fraction("x") == pytest.approx(0.5)
+        assert s.optimal_fraction("x", nontrivial_only=True) == 0.0
+        assert s.optimal_fraction("y", nontrivial_only=True) == 1.0
+
+    def test_extra_cycle_distribution_sorted(self):
+        s = self.make_summary()
+        assert s.extra_cycle_distribution("x") == [0.0, 1.0]
+
+    def test_empty_summary_degenerates(self):
+        s = CorpusSummary(machine="GP2", results=[])
+        assert s.slowdown_percent("x") == 0.0
+        assert s.optimal_fraction("x") == 1.0
+
+
+class TestReweighting:
+    def test_reweighted_replaces_probabilities(self):
+        sb = figure1(side_prob=0.25)
+        sb2 = reweighted(sb, {3: 1.0, 16: 3.0})
+        assert sb2.weights[3] == pytest.approx(0.25)
+        assert sb2.weights[16] == pytest.approx(0.75)
+        # Structure untouched.
+        assert sorted(sb2.graph.edges()) == sorted(sb.graph.edges())
+
+    def test_noprofile_weights(self):
+        sb = figure1()
+        w = noprofile_weights(sb)
+        assert w == {3: 1.0, 16: 1000.0}
+
+    def test_reweighted_rejects_zero_mass(self):
+        sb = figure1()
+        with pytest.raises(ValueError):
+            reweighted(sb, {3: 0.0, 16: 0.0})
+
+    def test_noprofile_normalizes(self):
+        sb = figure1()
+        sb2 = reweighted(sb, noprofile_weights(sb))
+        assert math.isclose(sum(sb2.weights.values()), 1.0)

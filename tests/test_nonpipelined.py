@@ -1,0 +1,127 @@
+"""Tests for non-fully-pipelined (blocking) functional units."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import FS4, FS4_NP, MachineConfig, machine_by_name
+from repro.machine.reservation import ReservationTable
+from repro.schedulers.base import schedule
+from repro.schedulers.schedule import ScheduleError, make_schedule, validate_schedule
+
+
+def fdiv_pair_sb():
+    """Two independent fdivs feeding the exit."""
+    return (
+        SuperblockBuilder("divs")
+        .op("fdiv")
+        .op("fdiv")
+        .last_exit(preds=[0, 1])
+    )
+
+
+class TestMachineModel:
+    def test_paper_machines_fully_pipelined(self):
+        assert FS4.fully_pipelined
+        assert FS4.occupancy_of(fdiv_pair_sb().op(0)) == 1
+
+    def test_np_machine(self):
+        assert not FS4_NP.fully_pipelined
+        sb = fdiv_pair_sb()
+        assert FS4_NP.occupancy_of(sb.op(0)) == 9
+        assert FS4_NP.occupancy_of(sb.op(2)) == 1  # the branch
+
+    def test_lookup_by_name(self):
+        assert machine_by_name("fs4-np") is FS4_NP
+
+    def test_invalid_occupancy_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            MachineConfig(
+                name="bad", units={"gp": 1}, occupancy={"fdiv": 0}
+            )
+
+
+class TestReservationWindows:
+    def test_place_blocks_window(self):
+        t = ReservationTable(FS4_NP)
+        t.place(0, "float", occupancy=9)
+        assert not t.can_place(4, "float")
+        assert t.can_place(9, "float")
+
+    def test_release_window(self):
+        t = ReservationTable(FS4_NP)
+        t.place(0, "float", occupancy=3)
+        t.release(0, "float", occupancy=3)
+        assert t.can_place(1, "float")
+
+    def test_interleaved_units(self):
+        two_div = MachineConfig(
+            name="2div",
+            units={"int": 1, "mem": 1, "float": 2, "branch": 1},
+            occupancy={"fdiv": 9},
+        )
+        t = ReservationTable(two_div)
+        t.place(0, "float", occupancy=9)
+        t.place(1, "float", occupancy=9)  # second unit
+        assert not t.can_place(5, "float", 1)
+        assert t.can_place(9, "float", 1)
+
+    def test_earliest_fit_with_occupancy(self):
+        t = ReservationTable(FS4_NP)
+        t.place(0, "float", occupancy=9)
+        assert t.earliest_fit("float", 0, occupancy=2) == 9
+
+
+class TestSchedulingWithBlockingUnits:
+    @pytest.mark.parametrize("name", ["cp", "sr", "gstar", "dhasy", "help", "balance"])
+    def test_divider_serializes(self, name):
+        """Two fdivs on one blocking divider are >= 9 cycles apart."""
+        sb = fdiv_pair_sb()
+        s = schedule(sb, FS4_NP, name)
+        validate_schedule(sb, FS4_NP, s)
+        a, b = sorted(s.issue[v] for v in (0, 1))
+        assert b - a >= 9
+
+    def test_pipelined_machine_overlaps(self):
+        sb = fdiv_pair_sb()
+        s = schedule(sb, FS4, "balance")
+        a, b = sorted(s.issue[v] for v in (0, 1))
+        assert b - a <= 1
+
+    def test_validator_rejects_window_overlap(self):
+        sb = fdiv_pair_sb()
+        with pytest.raises(ScheduleError, match="units"):
+            make_schedule(sb, FS4_NP, "bad", {0: 0, 1: 2, 2: 12})
+
+    def test_optimal_refuses_blocking_machines(self):
+        with pytest.raises(ValueError, match="fully.*pipelined"):
+            schedule(fdiv_pair_sb(), FS4_NP, "optimal")
+
+    def test_corpus_schedules_remain_valid(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:6]:
+            for name in ("cp", "balance"):
+                s = schedule(sb, FS4_NP, name)
+                validate_schedule(sb, FS4_NP, s)
+
+
+class TestBoundsWithBlockingUnits:
+    def test_rj_accounts_for_occupancy(self):
+        """Two 9-cycle divider occupancies push the exit past cycle 10."""
+        sb = fdiv_pair_sb()
+        res_np = BoundSuite(sb, FS4_NP).compute()
+        res_p = BoundSuite(sb, FS4).compute()
+        assert res_np.wct["RJ"] > res_p.wct["RJ"]
+
+    def test_bounds_stay_below_schedules(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:10]:
+            bound = BoundSuite(sb, FS4_NP, include_triplewise=False).compute()
+            for name in ("cp", "sr", "dhasy", "help", "balance"):
+                s = schedule(sb, FS4_NP, name, validate=False)
+                assert s.wct >= bound.tightest - 1e-9, (sb.name, name)
+
+    def test_dominance_chain_holds(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:10]:
+            res = BoundSuite(sb, FS4_NP).compute()
+            assert res.wct["CP"] <= res.wct["RJ"] + 1e-9
+            assert res.wct["RJ"] <= res.wct["LC"] + 1e-9
+            assert res.wct["LC"] <= res.wct["PW"] + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for the Speculative-Hedge-style operation scoring."""
+
+from repro.core.dynamic_bounds import BranchNeeds
+from repro.core.op_select import pick_operation, score_operation
+
+
+def needs(branch, each=(), one=None, late=None):
+    return BranchNeeds(
+        branch=branch,
+        early=0,
+        late=late or {},
+        need_each=frozenset(each),
+        need_one={r: frozenset(s) for r, s in (one or {}).items()},
+    )
+
+
+class TestScoring:
+    def test_helped_branches_sum_probabilities(self):
+        n = {
+            10: needs(10, each={0}),
+            20: needs(20, one={"gp": {0, 1}}),
+        }
+        w = {10: 0.3, 20: 0.7}
+        score = score_operation(0, "gp", n, w, help_delay=False)
+        assert score[0] == 1.0  # helps both
+        assert score[1] == 2
+
+    def test_delay_penalty_applied(self):
+        """HlpDel: wasting a zero-empty-slot class costs the branch weight."""
+        n = {20: needs(20, one={"gp": {5}})}
+        w = {20: 0.7}
+        with_delay = score_operation(0, "gp", n, w, help_delay=True)
+        without = score_operation(0, "gp", n, w, help_delay=False)
+        assert with_delay[0] == -0.7
+        assert without[0] == 0.0
+
+    def test_other_class_neutral(self):
+        """An op of a different class never wastes the critical slots."""
+        n = {20: needs(20, one={"mem": {5}})}
+        w = {20: 0.7}
+        score = score_operation(0, "int", n, w, help_delay=True)
+        assert score[0] == 0.0
+
+    def test_late_tiebreak(self):
+        n = {
+            10: needs(10, one={"gp": {0, 1}}, late={0: 3, 1: 1}),
+        }
+        w = {10: 0.5}
+        s0 = score_operation(0, "gp", n, w, help_delay=True)
+        s1 = score_operation(1, "gp", n, w, help_delay=True)
+        assert s1 > s0  # same help, smaller late time wins
+
+
+class TestPick:
+    def test_picks_highest_score(self):
+        n = {
+            10: needs(10, each={2}),
+            20: needs(20, one={"gp": {1, 2}}),
+        }
+        w = {10: 0.4, 20: 0.6}
+        v = pick_operation([0, 1, 2], lambda u: "gp", n, w, help_delay=True)
+        assert v == 2  # helps both branches
+
+    def test_ties_break_by_program_order(self):
+        n = {10: needs(10, one={"gp": {1, 2}})}
+        w = {10: 1.0}
+        v = pick_operation([2, 1], lambda u: "gp", n, w, help_delay=False)
+        assert v == 1
+
+    def test_single_candidate(self):
+        v = pick_operation([7], lambda u: "gp", {}, {}, help_delay=True)
+        assert v == 7

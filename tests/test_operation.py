@@ -1,0 +1,84 @@
+"""Unit tests for repro.ir.operation."""
+
+import pytest
+
+from repro.ir.operation import (
+    BRANCH_LATENCY,
+    OPCODES,
+    OpClass,
+    Opcode,
+    Operation,
+    opcode,
+)
+
+
+class TestOpcodeCatalog:
+    def test_catalog_has_core_opcodes(self):
+        for name in ("add", "load", "store", "fmul", "fdiv", "branch", "jump"):
+            assert name in OPCODES
+
+    def test_paper_latencies(self):
+        """Section 6: unit latency except load=2, fmul=3, fdiv=9."""
+        assert opcode("load").latency == 2
+        assert opcode("fmul").latency == 3
+        assert opcode("fdiv").latency == 9
+        assert opcode("add").latency == 1
+        assert opcode("store").latency == 1
+        assert opcode("fadd").latency == 1
+
+    def test_branch_latency_is_one(self):
+        assert BRANCH_LATENCY == 1
+        assert opcode("branch").latency == 1
+        assert opcode("jump").latency == 1
+
+    def test_opcode_classes(self):
+        assert opcode("add").op_class is OpClass.INT
+        assert opcode("load").op_class is OpClass.MEM
+        assert opcode("fdiv").op_class is OpClass.FLOAT
+        assert opcode("branch").op_class is OpClass.BRANCH
+
+    def test_unknown_opcode_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="unknown opcode"):
+            opcode("vector_madd")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Opcode("weird", OpClass.INT, -1)
+
+
+class TestOperation:
+    def test_basic_properties(self):
+        op = Operation(index=3, opcode=opcode("load"))
+        assert op.latency == 2
+        assert op.op_class is OpClass.MEM
+        assert not op.is_branch
+        assert op.label == "load3"
+
+    def test_branch_carries_exit_probability(self):
+        br = Operation(index=5, opcode=opcode("branch"), exit_prob=0.25)
+        assert br.is_branch
+        assert br.exit_prob == 0.25
+        assert "p=0.25" in str(br)
+
+    def test_non_branch_rejects_exit_probability(self):
+        with pytest.raises(ValueError, match="non-zero exit probability"):
+            Operation(index=0, opcode=opcode("add"), exit_prob=0.5)
+
+    def test_branch_probability_range_checked(self):
+        with pytest.raises(ValueError):
+            Operation(index=0, opcode=opcode("branch"), exit_prob=1.5)
+        with pytest.raises(ValueError):
+            Operation(index=0, opcode=opcode("branch"), exit_prob=-0.1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(index=-1, opcode=opcode("add"))
+
+    def test_explicit_name_wins_in_label(self):
+        op = Operation(index=0, opcode=opcode("add"), name="x")
+        assert op.label == "x"
+
+    def test_operations_are_frozen(self):
+        op = Operation(index=0, opcode=opcode("add"))
+        with pytest.raises(AttributeError):
+            op.index = 1  # type: ignore[misc]

@@ -1,0 +1,80 @@
+"""Tests for the branch-and-bound optimal scheduler."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure2, figure3
+from repro.machine.machine import FS4, GP1, GP2
+from repro.schedulers.base import schedule
+from repro.schedulers.optimal import SearchBudgetExceeded
+from repro.schedulers.schedule import validate_schedule
+
+
+class TestOptimal:
+    def test_trivial_serial_case(self, single_exit_sb):
+        s = schedule(single_exit_sb, GP1, "optimal")
+        # add@0, load@1, add@3, jump@4.
+        assert s.wct == pytest.approx(5.0)
+
+    def test_figure2_optimum(self):
+        s = schedule(figure2(), GP2, "optimal")
+        assert s.issue[3] == 2 and s.issue[6] == 3
+
+    def test_figure3_optimum(self):
+        s = schedule(figure3(), GP2, "optimal")
+        assert s.issue[9] == 5  # the resource-aware minimum
+
+    def test_never_below_tightest_bound(self, tiny_corpus):
+        checked = 0
+        for sb in tiny_corpus:
+            if sb.num_operations > 12:
+                continue
+            try:
+                s = schedule(sb, GP2, "optimal", budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            bound = BoundSuite(sb, GP2).compute().tightest
+            assert s.wct >= bound - 1e-9
+            checked += 1
+        assert checked >= 3
+
+    def test_no_heuristic_beats_optimal(self, tiny_corpus):
+        for sb in tiny_corpus:
+            if sb.num_operations > 11:
+                continue
+            try:
+                opt = schedule(sb, FS4, "optimal", budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            for name in ("cp", "sr", "dhasy", "balance", "best"):
+                h = schedule(sb, FS4, name, validate=False)
+                assert opt.wct <= h.wct + 1e-9, (sb.name, name)
+
+    def test_budget_exceeded_raises(self):
+        sb = (
+            SuperblockBuilder("wide")
+            .op("add").op("add").op("add").op("add")
+            .op("add").op("add").op("add").op("add")
+            .op("add").op("add").op("add").op("add")
+            .last_exit(preds=list(range(12)))
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            schedule(sb, GP2, "optimal", budget=0)
+
+    def test_result_is_valid_schedule(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "optimal")
+        validate_schedule(two_exit_sb, GP2, s)
+        assert s.stats["nodes"] > 0
+
+    def test_respects_specialized_resources(self):
+        # Two loads on FS4 (one mem unit) must serialize even though two
+        # generic slots are free.
+        sb = (
+            SuperblockBuilder("mem")
+            .op("load")
+            .op("load")
+            .last_exit(preds=[0, 1])
+        )
+        s = schedule(sb, FS4, "optimal")
+        assert s.issue[0] != s.issue[1]

@@ -1,0 +1,119 @@
+"""Unit tests for the Pairwise bound (Theorem 2 / Figure 5)."""
+
+import pytest
+
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.pairwise import PairwiseBounder
+from repro.ir.examples import figure1, figure4
+from repro.machine.machine import GP2
+from repro.schedulers.base import get_scheduler
+from repro.eval.metrics import reweighted
+
+
+def make_bounder(sb, machine, counters=None):
+    rc = early_rc(sb.graph, machine)
+    late = {
+        b: late_rc_for_branch(sb.graph, machine, b, rc[b])
+        for b in sb.branches
+    }
+    return PairwiseBounder(
+        sb.graph, machine, rc, late, sb.branch_latency, counters
+    ), rc
+
+
+class TestPairBound:
+    def test_conflict_free_pair(self):
+        """Figure 1: both exits can reach their individual bounds."""
+        sb = figure1()
+        bounder, rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(3, 16, 0.25, 0.75)
+        assert pb.conflict_free
+        assert (pb.x, pb.y) == (rc[3], rc[16]) == (2, 8)
+
+    def test_conflicting_pair_curve(self):
+        """Figure 4: the tradeoff curve spans multiple regimes."""
+        sb = figure4()
+        bounder, rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(6, 18, 0.3, 0.7)
+        assert not pb.conflict_free
+        assert len(pb.curve) >= 2
+        # Curve extremes: y floor = EarlyRC[final], x floor = EarlyRC[side].
+        assert min(p.y for p in pb.curve) >= rc[18]
+        assert min(p.x for p in pb.curve) >= rc[6]
+
+    def test_best_point_tracks_weights(self):
+        """Figure 4: the minimizing point flips across P = 0.5."""
+        sb = figure4()
+        bounder, _rc = make_bounder(sb, GP2)
+        low = bounder.pair_bound(6, 18, 0.2, 0.8)
+        high = bounder.pair_bound(6, 18, 0.8, 0.2)
+        assert low.y < high.y   # light side exit: keep the final exit early
+        assert high.x < low.x   # heavy side exit: keep the side exit early
+
+    def test_best_for_weights_matches_reported_best(self):
+        sb = figure4()
+        bounder, _rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(6, 18, 0.3, 0.7)
+        pt = pb.best_for_weights(0.3, 0.7)
+        assert (pt.x, pt.y) == (pb.x, pb.y)
+
+    def test_non_ancestor_pair_rejected(self):
+        sb = figure1()
+        bounder, _rc = make_bounder(sb, GP2)
+        with pytest.raises(ValueError, match="ancestor"):
+            bounder.pair_bound(16, 3, 0.5, 0.5)
+
+    def test_counters_record_latency_trials(self):
+        counters = Counters()
+        sb = figure4()
+        bounder, _rc = make_bounder(sb, GP2, counters)
+        bounder.pair_bound(6, 18, 0.3, 0.7)
+        assert counters.get("pw.latency_trials") >= 2
+
+    def test_pair_cost_helper(self):
+        sb = figure1()
+        bounder, _rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(3, 16, 0.25, 0.75)
+        assert pb.cost(0.25, 0.75) == pytest.approx(0.25 * 2 + 0.75 * 8)
+
+
+class TestPairBoundSoundness:
+    """Every curve point must under-bound the corresponding optimal."""
+
+    @pytest.mark.parametrize("prob", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_pair_bound_below_optimal(self, prob):
+        sb = reweighted(
+            figure4(), {6: prob, 18: 1.0 - prob}
+        )
+        bounder, _rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(6, 18, prob, 1 - prob)
+        optimal = get_scheduler("optimal")(sb, GP2, budget=500_000)
+        cost_opt = prob * optimal.issue[6] + (1 - prob) * optimal.issue[18]
+        assert pb.cost(prob, 1 - prob) <= cost_opt + 1e-9
+
+    def test_pair_bound_below_optimal_on_corpus(self, tiny_corpus):
+        from repro.schedulers.optimal import SearchBudgetExceeded
+
+        checked = 0
+        for sb in tiny_corpus:
+            if sb.num_operations > 12 or sb.num_branches < 2:
+                continue
+            try:
+                optimal = get_scheduler("optimal")(sb, GP2, budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            bounder, _rc = make_bounder(sb, GP2)
+            weights = sb.weights
+            for i, j in zip(sb.branches, sb.branches[1:]):
+                pb = bounder.pair_bound(i, j, weights[i], weights[j])
+                actual = (
+                    weights[i] * optimal.issue[i]
+                    + weights[j] * optimal.issue[j]
+                )
+                # The pair bound may not exceed the *pair-optimal* cost,
+                # which is itself <= the cost within the overall optimum.
+                assert pb.cost(weights[i], weights[j]) <= actual + 1e-9
+                checked += 1
+        assert checked > 0

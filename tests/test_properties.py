@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) over random superblocks.
+
+Core invariants:
+
+* every scheduler produces a feasible schedule;
+* no scheduler's WCT falls below the tightest lower bound;
+* the bound dominance chain holds on arbitrary graphs;
+* serialization round-trips exactly;
+* generated corpora are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.eval.metrics import reweighted
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.serialize import dumps, loads
+from repro.machine.machine import FS4, GP1, GP2, GP4
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.schedule import validate_schedule
+
+MACHINES = [GP1, GP2, GP4, FS4]
+OPCODES = ["add", "sub", "load", "store", "mul", "fadd"]
+
+
+@st.composite
+def superblocks(draw, max_ops: int = 16, max_branches: int = 4):
+    """Random valid superblock."""
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    n_branches = draw(st.integers(1, max_branches))
+    builder = SuperblockBuilder("hyp")
+    pending: list[int] = []
+    remaining_prob = 1.0
+    for blk in range(n_branches):
+        block_len = draw(st.integers(0, max(1, max_ops // n_branches)))
+        block_ops = []
+        for _ in range(block_len):
+            pool = pending + block_ops
+            preds = rng.sample(pool, k=min(len(pool), rng.randint(0, 2)))
+            builder.op(rng.choice(OPCODES), preds=preds)
+            block_ops.append(builder.next_index - 1)
+        pending.extend(block_ops)
+        if blk == n_branches - 1:
+            sinks = [v for v in pending if not builder._graph.succs(v)]
+            return builder.last_exit(preds=sinks)
+        k = min(len(block_ops), rng.randint(0, 3))
+        preds = rng.sample(block_ops, k=k) if k else None
+        p = round(remaining_prob * rng.uniform(0.05, 0.5), 6)
+        remaining_prob -= p
+        builder.exit(p, preds=preds)
+    raise AssertionError("unreachable")
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(sb=superblocks(), machine_idx=st.integers(0, len(MACHINES) - 1),
+       name=st.sampled_from(["cp", "sr", "gstar", "dhasy", "help", "balance"]))
+@common_settings
+def test_schedulers_produce_feasible_schedules(sb, machine_idx, name):
+    machine = MACHINES[machine_idx]
+    s = get_scheduler(name)(sb, machine, validate=False)
+    validate_schedule(sb, machine, s)
+
+
+@given(sb=superblocks(), machine_idx=st.integers(0, len(MACHINES) - 1))
+@common_settings
+def test_no_schedule_beats_tightest_bound(sb, machine_idx):
+    machine = MACHINES[machine_idx]
+    suite = BoundSuite(sb, machine)
+    bound = suite.compute().tightest
+    for name in ("cp", "sr", "dhasy", "help", "balance", "best"):
+        s = get_scheduler(name)(sb, machine, validate=False)
+        assert s.wct >= bound - 1e-9, (sb.name, name, s.wct, bound)
+
+
+@given(sb=superblocks(), machine_idx=st.integers(0, len(MACHINES) - 1))
+@common_settings
+def test_bound_dominance_chain(sb, machine_idx):
+    machine = MACHINES[machine_idx]
+    res = BoundSuite(sb, machine).compute()
+    assert res.wct["CP"] <= res.wct["Hu"] + 1e-9
+    assert res.wct["CP"] <= res.wct["RJ"] + 1e-9
+    assert res.wct["RJ"] <= res.wct["LC"] + 1e-9
+    assert res.wct["LC"] <= res.wct["PW"] + 1e-9
+    assert res.wct["PW"] <= res.wct["TW"] + 1e-9
+
+
+@given(sb=superblocks())
+@common_settings
+def test_serialization_round_trip(sb):
+    sb2 = loads(dumps(sb))
+    assert sb2.name == sb.name
+    assert sorted(sb2.graph.edges()) == sorted(sb.graph.edges())
+    assert [op.opcode.name for op in sb2.operations] == [
+        op.opcode.name for op in sb.operations
+    ]
+    assert sb2.weights == sb.weights
+
+
+@given(sb=superblocks(max_ops=10, max_branches=3))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_optimal_dominates_heuristics_and_bound(sb):
+    from repro.schedulers.optimal import SearchBudgetExceeded
+
+    try:
+        opt = get_scheduler("optimal")(sb, GP2, budget=150_000)
+    except SearchBudgetExceeded:
+        return
+    bound = BoundSuite(sb, GP2).compute().tightest
+    assert opt.wct >= bound - 1e-9
+    for name in ("cp", "sr", "balance"):
+        s = get_scheduler(name)(sb, GP2, validate=False)
+        assert opt.wct <= s.wct + 1e-9
+
+
+@given(sb=superblocks(), factor=st.floats(0.1, 10.0))
+@common_settings
+def test_reweighting_preserves_structure(sb, factor):
+    weights = {b: factor * (i + 1) for i, b in enumerate(sb.branches)}
+    sb2 = reweighted(sb, weights)
+    assert sorted(sb2.graph.edges()) == sorted(sb.graph.edges())
+    assert abs(sum(sb2.weights.values()) - 1.0) < 1e-9
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_generator_determinism(seed):
+    from repro.workloads.generator import generate_superblock
+    from repro.workloads.profiles import profile_by_name
+
+    p = profile_by_name("perl")
+    a = generate_superblock(p, 0, seed=seed)
+    b = generate_superblock(p, 0, seed=seed)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    assert a.exec_freq == b.exec_freq

@@ -1,0 +1,128 @@
+"""Second property-test battery: CFG formation, simulator, occupancy.
+
+Complements tests/test_properties.py with invariants over the newer
+subsystems: formation-derived superblocks are always valid and
+schedulable; the simulator's sampled exits respect the profile; blocking
+units never admit overlapping windows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.cfg.formation import form_superblocks
+from repro.cfg.gencfg import generate_cfg
+from repro.ir.validate import validate_superblock
+from repro.machine.machine import FS4_NP, GP2, MachineConfig
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.schedule import validate_schedule
+from repro.sim import run_once, simulate
+
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(0, 10_000), segments=st.integers(1, 8))
+@common
+def test_cfg_formation_always_yields_valid_superblocks(seed, segments):
+    cfg = generate_cfg(f"h{seed}", seed=seed, segments=segments)
+    cfg.validate()
+    superblocks = form_superblocks(cfg)
+    assert superblocks, "every CFG has at least one hot trace"
+    for sb in superblocks:
+        validate_superblock(sb)
+        # Formation conserves the profile: total entry counts are positive
+        # and exit probabilities are a distribution.
+        assert sb.exec_freq > 0
+        assert abs(sum(sb.weights.values()) - 1.0) < 1e-6
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_cfg_superblocks_schedulable_and_bounded(seed):
+    cfg = generate_cfg(f"s{seed}", seed=seed, segments=4)
+    for sb in form_superblocks(cfg):
+        suite = BoundSuite(sb, GP2, include_triplewise=False)
+        bound = suite.compute().tightest
+        s = get_scheduler("balance")(sb, GP2, suite=suite, validate=False)
+        validate_schedule(sb, GP2, s)
+        assert s.wct >= bound - 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@common
+def test_simulator_exit_is_always_a_real_exit(seed):
+    from repro.ir.examples import figure1
+
+    sb = figure1(side_prob=0.4)
+    s = get_scheduler("balance")(sb, GP2, validate=False)
+    rng = random.Random(seed)
+    result = run_once(sb, GP2, s, rng)
+    assert result.exit_branch in sb.branches
+    assert result.cycles >= 1
+    assert result.ops_wasted <= result.ops_issued
+
+
+@given(
+    occ=st.integers(2, 9),
+    n_ops=st.integers(2, 6),
+    units=st.integers(1, 2),
+)
+@common
+def test_blocking_units_never_overlap(occ, n_ops, units):
+    """Schedules on a machine with a blocking multiplier keep at most
+    `units` overlapping occupancy windows at any cycle."""
+    from repro.ir.builder import SuperblockBuilder
+
+    machine = MachineConfig(
+        name="blk",
+        units={"int": units, "mem": 1, "float": 1, "branch": 1},
+        occupancy={"mul": occ},
+    )
+    b = SuperblockBuilder("muls")
+    for _ in range(n_ops):
+        b.op("mul")
+    sb = b.last_exit(preds=list(range(n_ops)))
+    s = get_scheduler("balance")(sb, machine, validate=False)
+    validate_schedule(sb, machine, s)
+    # Manual overlap check (mirrors the validator, independently).
+    starts = sorted(s.issue[v] for v in range(n_ops))
+    for t in range(starts[-1] + occ):
+        active = sum(1 for st_ in starts if st_ <= t < st_ + occ)
+        assert active <= units
+
+
+@given(runs=st.integers(100, 2000), seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_simulation_mean_is_between_exit_extremes(runs, seed):
+    from repro.ir.examples import figure4
+
+    sb = figure4(0.4)
+    s = get_scheduler("balance")(sb, GP2, validate=False)
+    stats = simulate(sb, GP2, s, runs=runs, seed=seed)
+    cycles = [s.issue[b] + 1 for b in sb.branches]
+    assert min(cycles) <= stats.mean_cycles <= max(cycles)
+    assert sum(stats.exit_counts.values()) == runs
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_nonpipelined_bounds_never_exceed_schedules(seed):
+    from repro.workloads.generator import generate_superblock
+    from repro.workloads.profiles import profile_by_name
+
+    sb = generate_superblock(profile_by_name("ijpeg"), seed % 40, seed=seed,
+                             max_ops=30)
+    bound = BoundSuite(sb, FS4_NP, include_triplewise=False).compute().tightest
+    for name in ("cp", "balance"):
+        s = get_scheduler(name)(sb, FS4_NP, validate=False)
+        assert s.wct >= bound - 1e-9

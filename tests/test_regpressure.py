@@ -1,0 +1,88 @@
+"""Tests for the register-pressure metric."""
+
+import pytest
+
+from repro.eval.regpressure import (
+    max_pressure,
+    pressure_increase,
+    pressure_profile,
+    sequential_pressure,
+)
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.examples import figure1
+from repro.machine.machine import GP2, GP4
+from repro.schedulers.base import schedule
+from repro.schedulers.schedule import make_schedule
+
+
+def chain_sb():
+    """A pure chain: pressure should be 1 everywhere."""
+    return (
+        SuperblockBuilder("chain")
+        .op("add")
+        .op("add", preds=[0])
+        .op("add", preds=[1])
+        .last_exit(preds=[2])
+    )
+
+
+def fanin_sb():
+    """Four independent values consumed by one op: pressure up to 4."""
+    b = SuperblockBuilder("fanin")
+    for _ in range(4):
+        b.op("add")
+    b.op("add", preds=[0, 1, 2, 3])
+    return b.last_exit(preds=[4])
+
+
+class TestPressureProfile:
+    def test_chain_pressure_is_one(self):
+        sb = chain_sb()
+        s = schedule(sb, GP2, "cp")
+        assert max_pressure(sb, s) == 1
+
+    def test_fanin_pressure_counts_live_values(self):
+        sb = fanin_sb()
+        s = schedule(sb, GP4, "cp")
+        # All four producers live simultaneously before the consumer.
+        assert max_pressure(sb, s) == 4
+
+    def test_profile_length_matches_schedule(self):
+        sb = fanin_sb()
+        s = schedule(sb, GP2, "balance")
+        profile = pressure_profile(sb, s)
+        assert len(profile) == s.length
+        assert all(p >= 0 for p in profile)
+
+    def test_wider_issue_raises_pressure(self):
+        """More parallelism => more simultaneously live values."""
+        sb = fanin_sb()
+        narrow = make_schedule(
+            sb, GP2, "seq", {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+        )
+        wide = schedule(sb, GP4, "cp")
+        assert max_pressure(sb, wide) >= max_pressure(sb, narrow)
+
+    def test_branches_hold_no_registers(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        # The profile never counts more values than non-branch ops.
+        non_branches = sum(
+            1 for op in two_exit_sb.operations if not op.is_branch
+        )
+        assert max_pressure(two_exit_sb, s) <= non_branches
+
+
+class TestSequentialBaseline:
+    def test_sequential_pressure_positive(self):
+        assert sequential_pressure(fanin_sb()) >= 1
+
+    def test_speculation_increase_nonnegative_on_fig1(self):
+        sb = figure1()
+        s = schedule(sb, GP2, "cp")
+        assert pressure_increase(sb, s) >= 0
+
+    def test_corpus_pressure_sane(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:8]:
+            s = schedule(sb, GP2, "balance", validate=False)
+            p = max_pressure(sb, s)
+            assert 0 <= p <= sb.num_operations

@@ -1,0 +1,44 @@
+"""Tests for the one-shot markdown evaluation report."""
+
+import pytest
+
+from repro.eval.report import full_report
+from repro.workloads.corpus import specint95_corpus
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    corpus = specint95_corpus(scale=10, seed=21, max_ops=18)
+    return full_report(corpus, include_triplewise=False, include_costs=False)
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, report_text):
+        for section in (
+            "# Evaluation report",
+            "Table 1",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 7",
+            "Figure 8",
+            "Figures 1-4",
+            "## Headline",
+        ):
+            assert section in report_text
+
+    def test_costs_skipped_when_disabled(self, report_text):
+        assert "Table 2" not in report_text
+        assert "Table 6" not in report_text
+
+    def test_headline_ranks_heuristics(self, report_text):
+        headline = report_text.split("## Headline")[1]
+        assert "balance" in headline
+        assert "%" in headline
+
+    def test_costs_included_when_enabled(self):
+        corpus = specint95_corpus(scale=8, seed=22, max_ops=12)
+        text = full_report(
+            corpus, include_triplewise=False, include_costs=True
+        )
+        assert "Table 2" in text and "Table 6" in text

@@ -1,0 +1,121 @@
+"""Unit tests for the Rim & Jain relaxation solver and slot allocator."""
+
+import pytest
+
+from repro.bounds.instrumentation import Counters
+from repro.bounds.rim_jain import (
+    SlotAllocator,
+    rim_jain_sink_bound,
+    solve_relaxation,
+)
+from repro.machine.machine import FS4, GP2
+from repro.machine.resources import GENERAL_PURPOSE
+
+
+class TestSlotAllocator:
+    def test_allocates_in_order_when_free(self):
+        a = SlotAllocator(units=2)
+        assert a.allocate(0) == 0
+        assert a.allocate(0) == 0
+        assert a.allocate(0) == 1  # cycle 0 full
+
+    def test_respects_release_time(self):
+        a = SlotAllocator(units=1)
+        assert a.allocate(5) == 5
+        assert a.allocate(0) == 0
+
+    def test_skip_pointers_jump_full_cycles(self):
+        a = SlotAllocator(units=1)
+        for expect in range(4):
+            assert a.allocate(0) == expect
+
+    def test_negative_release_clamped(self):
+        a = SlotAllocator(units=1)
+        assert a.allocate(-3) == 0
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ValueError):
+            SlotAllocator(units=0)
+
+    def test_used_in(self):
+        a = SlotAllocator(units=2)
+        a.allocate(0)
+        assert a.used_in(0) == 1
+        assert a.used_in(1) == 0
+
+
+class TestRelaxation:
+    def test_no_miss_when_capacity_sufficient(self):
+        ops = [0, 1]
+        early = {0: 0, 1: 0}
+        late = {0: 1, 1: 1}
+        rclass = {0: GENERAL_PURPOSE, 1: GENERAL_PURPOSE}
+        miss, placements = solve_relaxation(ops, early, late, rclass, GP2)
+        assert miss == 0
+        assert placements == {0: 0, 1: 0}
+
+    def test_deadline_miss_measured(self):
+        # 4 unit ops, all due by cycle 1, on a 1-slot-per-cycle class.
+        ops = list(range(4))
+        early = dict.fromkeys(ops, 0)
+        late = dict.fromkeys(ops, 1)
+        rclass = dict.fromkeys(ops, "int")
+        miss, placements = solve_relaxation(ops, early, late, rclass, FS4)
+        assert miss == 2  # last op lands in cycle 3, deadline 1
+        assert sorted(placements.values()) == [0, 1, 2, 3]
+
+    def test_edf_order_breaks_ties_by_early_then_index(self):
+        ops = [0, 1]
+        early = {0: 1, 1: 0}
+        late = {0: 2, 1: 2}
+        rclass = dict.fromkeys(ops, "int")
+        _miss, placements = solve_relaxation(ops, early, late, rclass, FS4)
+        # op 1 (earlier release) is processed first.
+        assert placements[1] == 0
+        assert placements[0] == 1
+
+    def test_multiple_resource_classes_independent(self):
+        ops = [0, 1]
+        early = {0: 0, 1: 0}
+        late = {0: 0, 1: 0}
+        rclass = {0: "int", 1: "mem"}
+        miss, placements = solve_relaxation(ops, early, late, rclass, FS4)
+        assert miss == 0
+        assert placements == {0: 0, 1: 0}
+
+    def test_counters_count_placements(self):
+        counters = Counters()
+        ops = [0, 1, 2]
+        solve_relaxation(
+            ops,
+            dict.fromkeys(ops, 0),
+            dict.fromkeys(ops, 9),
+            dict.fromkeys(ops, "int"),
+            FS4,
+            counters,
+            counter_prefix="t",
+        )
+        assert counters.get("t.place") == 3
+
+
+class TestSinkBound:
+    def test_bound_is_est_plus_miss(self):
+        # Figure 1 flavour: 16 unit preds + sink on a 2-wide machine, all
+        # deadlines = dependence lates that assume a 7-cycle chain.
+        ops = list(range(17))
+        early = dict.fromkeys(ops, 0)
+        late = dict.fromkeys(ops, 7)
+        late[16] = 7
+        rclass = dict.fromkeys(ops, GENERAL_PURPOSE)
+        result = rim_jain_sink_bound(ops, early, late, 7, rclass, GP2)
+        # 17 ops / width 2 -> last lands at cycle 8, missing by 1.
+        assert result.max_miss == 1
+        assert result.bound == 8
+
+    def test_bound_equals_est_when_resources_free(self):
+        ops = [0]
+        result = rim_jain_sink_bound(
+            ops, {0: 3}, {0: 3}, 3, {0: "int"}, FS4
+        )
+        assert result.bound == 3
+        assert result.max_miss == 0

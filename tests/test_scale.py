@@ -1,0 +1,70 @@
+"""Scalability tests at the paper's corpus extremes.
+
+The paper's corpus tops out at 607 operations and 200 branches; these
+tests verify the pipeline handles paper-scale superblocks in reasonable
+time and that the big-graph code paths (bitmask reachability, the RJ slot
+allocator, the light update) stay correct.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.machine.machine import FS6
+from repro.schedulers.base import schedule
+from repro.schedulers.schedule import validate_schedule
+from repro.workloads.generator import generate_superblock
+from repro.workloads.profiles import profile_by_name
+
+
+@pytest.fixture(scope="module")
+def big_superblock():
+    profile = dataclasses.replace(
+        profile_by_name("go"),
+        mean_block_ops=25.0,
+        mean_branches=10.0,
+        max_branches=16,
+    )
+    best = None
+    for i in range(12):
+        cand = generate_superblock(profile, i, seed=77, max_ops=320)
+        if best is None or cand.num_operations > best.num_operations:
+            best = cand
+    return best
+
+
+class TestPaperScale:
+    def test_big_superblock_is_big(self, big_superblock):
+        assert big_superblock.num_operations >= 200
+        assert big_superblock.num_branches >= 6
+
+    def test_bounds_complete_quickly(self, big_superblock):
+        t0 = time.perf_counter()
+        res = BoundSuite(
+            big_superblock, FS6, include_triplewise=False
+        ).compute()
+        assert time.perf_counter() - t0 < 20.0
+        assert res.tightest > 0
+
+    def test_balance_schedules_and_beats_bound_floor(self, big_superblock):
+        suite = BoundSuite(big_superblock, FS6, include_triplewise=False)
+        bound = suite.compute().tightest
+        t0 = time.perf_counter()
+        s = schedule(big_superblock, FS6, "balance", suite=suite)
+        assert time.perf_counter() - t0 < 30.0
+        validate_schedule(big_superblock, FS6, s)
+        assert s.wct >= bound - 1e-9
+        # Sanity: within 15% of the bound even at this size.
+        assert s.wct <= 1.15 * bound
+
+    def test_balance_competitive_with_dhasy_at_scale(self, big_superblock):
+        b = schedule(big_superblock, FS6, "balance", validate=False)
+        d = schedule(big_superblock, FS6, "dhasy", validate=False)
+        assert b.wct <= d.wct * 1.02
+
+    def test_bitmask_reachability_at_scale(self, big_superblock):
+        g = big_superblock.graph
+        final = big_superblock.last_branch
+        assert len(g.ancestors(final)) == g.num_operations - 1

@@ -1,0 +1,72 @@
+"""Unit tests for the Schedule object and its validator."""
+
+import pytest
+
+from repro.machine.machine import FS4, GP2
+from repro.schedulers.schedule import (
+    Schedule,
+    ScheduleError,
+    make_schedule,
+    validate_schedule,
+)
+
+
+def valid_issue(two_exit_sb):
+    return {0: 0, 1: 1, 2: 1, 3: 2, 4: 0, 5: 2, 6: 3}
+
+
+class TestMakeSchedule:
+    def test_wct_computed(self, two_exit_sb):
+        s = make_schedule(two_exit_sb, GP2, "test", valid_issue(two_exit_sb))
+        assert s.wct == pytest.approx(0.3 * 3 + 0.7 * 4)
+        assert s.length == 4
+        assert s.heuristic == "test"
+
+    def test_branch_cycles(self, two_exit_sb):
+        s = make_schedule(two_exit_sb, GP2, "test", valid_issue(two_exit_sb))
+        assert s.branch_cycles(two_exit_sb) == {3: 2, 6: 3}
+
+    def test_as_rows_renders_all_cycles(self, two_exit_sb):
+        s = make_schedule(two_exit_sb, GP2, "test", valid_issue(two_exit_sb))
+        rows = s.as_rows(two_exit_sb, GP2)
+        assert len(rows) == s.length
+        assert rows[0][0] == "0"
+
+
+class TestValidation:
+    def test_missing_operation_detected(self, two_exit_sb):
+        issue = valid_issue(two_exit_sb)
+        del issue[5]
+        with pytest.raises(ScheduleError, match="not scheduled"):
+            make_schedule(two_exit_sb, GP2, "t", issue)
+
+    def test_dependence_violation_detected(self, two_exit_sb):
+        issue = valid_issue(two_exit_sb)
+        issue[5] = 1  # needs op 4 + latency 2
+        with pytest.raises(ScheduleError, match="dependence"):
+            make_schedule(two_exit_sb, GP2, "t", issue)
+
+    def test_resource_violation_detected(self, two_exit_sb):
+        issue = dict.fromkeys(range(3), 0)
+        issue.update({3: 1, 4: 0, 5: 2, 6: 3})  # cycle 0 has 4 ops on GP2
+        with pytest.raises(ScheduleError, match="units"):
+            make_schedule(two_exit_sb, GP2, "t", issue)
+
+    def test_negative_cycle_detected(self, two_exit_sb):
+        issue = valid_issue(two_exit_sb)
+        issue[0] = -1
+        with pytest.raises(ScheduleError, match="negative"):
+            make_schedule(two_exit_sb, GP2, "t", issue)
+
+    def test_per_class_capacity_checked(self, single_exit_sb):
+        # ops: add, load, add, jump — serial chain; pack two loads... here
+        # simply verify a valid serial schedule passes on FS4.
+        issue = {0: 0, 1: 1, 2: 3, 3: 4}
+        s = make_schedule(single_exit_sb, FS4, "t", issue)
+        validate_schedule(single_exit_sb, FS4, s)
+
+    def test_validate_false_skips_checks(self, two_exit_sb):
+        issue = valid_issue(two_exit_sb)
+        issue[5] = 0  # invalid, but validation disabled
+        s = make_schedule(two_exit_sb, GP2, "t", issue, validate=False)
+        assert isinstance(s, Schedule)

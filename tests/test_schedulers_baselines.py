@@ -1,0 +1,102 @@
+"""Tests for the baseline schedulers: CP, SR, G*, DHASY, Best, registry."""
+
+import pytest
+
+from repro.ir.examples import figure1, figure2
+from repro.machine.machine import FS4, GP1, GP2, GP4
+from repro.schedulers.base import get_scheduler, schedule, scheduler_names
+from repro.schedulers.gstar import gstar_tiers
+from repro.schedulers.schedule import validate_schedule
+
+
+ALL_NAMES = ("cp", "sr", "gstar", "dhasy", "help", "balance", "best")
+
+
+class TestRegistry:
+    def test_all_paper_heuristics_registered(self):
+        names = scheduler_names()
+        for n in ALL_NAMES + ("optimal",):
+            assert n in names
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            get_scheduler("wizard")
+
+    def test_schedule_dispatch(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "cp")
+        assert s.heuristic == "cp"
+
+
+class TestSchedulesAreValid:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_valid_on_corpus(self, name, tiny_corpus, any_machine):
+        for sb in tiny_corpus.superblocks[:6]:
+            s = get_scheduler(name)(sb, any_machine)
+            validate_schedule(sb, any_machine, s)
+
+
+class TestCharacterizations:
+    def test_cp_biased_to_last_exit(self):
+        """Figure 1: CP delays the side exit, SR does not (Section 2)."""
+        sb = figure1()
+        cp = schedule(sb, GP2, "cp")
+        sr = schedule(sb, GP2, "sr")
+        assert cp.issue[3] > sr.issue[3]
+        assert sr.issue[3] == 2  # side exit as early as possible
+        assert sr.issue[16] == 8  # final exit also at its bound
+
+    def test_sr_weakest_on_wide_machines(self, small_corpus):
+        """On GP4 CP should (weakly) beat SR in aggregate WCT."""
+        cp_total = sr_total = 0.0
+        for sb in small_corpus.superblocks[:24]:
+            cp_total += schedule(sb, GP4, "cp", validate=False).wct
+            sr_total += schedule(sb, GP4, "sr", validate=False).wct
+        assert cp_total <= sr_total
+
+    def test_cp_weakest_on_narrow_machines(self, small_corpus):
+        """On GP1 SR should (weakly) beat CP in aggregate WCT."""
+        cp_total = sr_total = 0.0
+        for sb in small_corpus.superblocks[:24]:
+            cp_total += schedule(sb, GP1, "cp", validate=False).wct
+            sr_total += schedule(sb, GP1, "sr", validate=False).wct
+        assert sr_total <= cp_total
+
+    def test_dhasy_between_cp_and_sr_on_fig1(self):
+        sb = figure1()
+        dh = schedule(sb, GP2, "dhasy")
+        assert 2 <= dh.issue[3] <= 5
+
+    def test_gstar_matches_cp_on_fig1(self):
+        """The paper: in Figure 1 only the last branch is critical, so G*
+        produces the same schedule as Critical Path."""
+        sb = figure1()
+        assert schedule(sb, GP2, "gstar").wct <= schedule(sb, GP2, "cp").wct
+
+    def test_gstar_tiers_cover_all_ops(self, two_exit_sb):
+        tiers = gstar_tiers(two_exit_sb, GP2)
+        assert len(tiers) == two_exit_sb.num_operations
+        assert min(tiers) == 0
+
+    def test_gstar_tier_respects_retirement(self):
+        sb = figure2()
+        tiers = gstar_tiers(sb, GP1)
+        # Ops retired with the side exit never outrank it.
+        assert tiers[3] <= tiers[6]
+
+
+class TestBest:
+    def test_best_envelope_never_worse_than_primaries(self, tiny_corpus):
+        for sb in tiny_corpus.superblocks[:8]:
+            best = schedule(sb, FS4, "best")
+            for name in ("cp", "sr", "gstar", "dhasy", "help", "balance"):
+                assert best.wct <= schedule(sb, FS4, name, validate=False).wct + 1e-9
+
+    def test_best_reports_winner(self, two_exit_sb):
+        best = schedule(two_exit_sb, GP2, "best")
+        assert best.heuristic == "best"
+        assert best.stats["candidates"] == 127
+        assert "winner" in best.stats
+
+    def test_best_without_primaries(self, two_exit_sb):
+        best = schedule(two_exit_sb, GP2, "best", include_primaries=False)
+        assert best.stats["candidates"] == 121

@@ -1,0 +1,67 @@
+"""Unit tests for superblock JSON serialization and DOT export."""
+
+import json
+
+from repro.ir.dot import to_dot
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.ir.serialize import (
+    dumps,
+    loads,
+    superblock_from_dict,
+    superblock_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self, two_exit_sb):
+        sb2 = loads(dumps(two_exit_sb))
+        assert sb2.name == two_exit_sb.name
+        assert sb2.num_operations == two_exit_sb.num_operations
+        assert sorted(sb2.graph.edges()) == sorted(two_exit_sb.graph.edges())
+        assert sb2.weights == two_exit_sb.weights
+
+    def test_round_trip_all_paper_examples(self):
+        for factory in (figure1, figure2, figure3, figure4):
+            sb = factory()
+            sb2 = loads(dumps(sb))
+            assert sorted(sb2.graph.edges()) == sorted(sb.graph.edges())
+            assert [op.opcode.name for op in sb2.operations] == [
+                op.opcode.name for op in sb.operations
+            ]
+
+    def test_exec_freq_and_source_preserved(self, two_exit_sb):
+        data = superblock_to_dict(two_exit_sb)
+        data["exec_freq"] = 42.5
+        data["source"] = "synthetic:test"
+        sb2 = superblock_from_dict(data)
+        assert sb2.exec_freq == 42.5
+        assert sb2.source == "synthetic:test"
+
+    def test_dict_format_is_stable(self, two_exit_sb):
+        data = superblock_to_dict(two_exit_sb)
+        assert set(data) == {"name", "exec_freq", "source", "operations", "edges"}
+        assert data["operations"][3]["opcode"] == "branch"
+        assert data["operations"][3]["exit_prob"] == 0.3
+
+    def test_json_is_valid(self, two_exit_sb):
+        json.loads(dumps(two_exit_sb, indent=2))
+
+
+class TestDot:
+    def test_dot_contains_all_nodes_and_edges(self, two_exit_sb):
+        dot = to_dot(two_exit_sb)
+        assert dot.startswith("digraph")
+        for op in two_exit_sb.operations:
+            assert f"n{op.index} [" in dot
+        assert dot.count("->") == two_exit_sb.graph.num_edges
+
+    def test_dot_labels_branches_with_probability(self, two_exit_sb):
+        dot = to_dot(two_exit_sb)
+        assert "p=0.3" in dot
+
+    def test_dot_labels_non_unit_latencies(self, two_exit_sb):
+        dot = to_dot(two_exit_sb)
+        assert '[label="2"]' in dot  # the 4 -(lat 2)-> 5 edge
+
+    def test_dot_custom_title(self, two_exit_sb):
+        assert 'label="Custom";' in to_dot(two_exit_sb, title="Custom")

@@ -1,0 +1,102 @@
+"""Tests for the dynamic execution simulator."""
+
+import random
+
+import pytest
+
+from repro.ir.examples import figure1, figure4
+from repro.machine.machine import GP2
+from repro.schedulers.base import schedule
+from repro.sim import (
+    expected_speculation_waste,
+    run_once,
+    simulate,
+)
+
+
+class TestRunOnce:
+    def test_exit_cycle_accounting(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        rng = random.Random(1)
+        result = run_once(two_exit_sb, GP2, s, rng)
+        assert result.exit_branch in two_exit_sb.branches
+        assert result.cycles == s.issue[result.exit_branch] + 1
+        assert 0 <= result.ops_wasted <= result.ops_issued
+
+    def test_final_exit_wastes_nothing(self, two_exit_sb):
+        """When the fall-through exit is taken, every issued op was needed
+        (everything precedes the final exit)."""
+        s = schedule(two_exit_sb, GP2, "balance")
+        rng = random.Random(2)
+        for _ in range(50):
+            result = run_once(two_exit_sb, GP2, s, rng)
+            if result.exit_branch == two_exit_sb.last_branch:
+                assert result.ops_wasted == 0
+                return
+        pytest.fail("final exit never sampled")
+
+    def test_side_exit_counts_speculated_ops(self):
+        """Figure 1: leaving at the side exit wastes the speculated chain
+        work issued in the first cycles."""
+        sb = figure1(side_prob=0.99)
+        s = schedule(sb, GP2, "balance")
+        rng = random.Random(3)
+        for _ in range(50):
+            result = run_once(sb, GP2, s, rng)
+            if result.exit_branch == 3:
+                assert result.ops_wasted > 0
+                return
+        pytest.fail("side exit never sampled at p=0.99")
+
+
+class TestSimulate:
+    def test_mean_converges_to_wct(self, two_exit_sb):
+        """Law of large numbers: the simulated mean approaches the WCT."""
+        s = schedule(two_exit_sb, GP2, "balance")
+        stats = simulate(two_exit_sb, GP2, s, runs=20_000, seed=7)
+        assert stats.relative_error < 0.02
+
+    def test_convergence_on_paper_examples(self):
+        for factory, heuristic in ((figure1, "sr"), (figure4, "balance")):
+            sb = factory()
+            s = schedule(sb, GP2, heuristic)
+            stats = simulate(sb, GP2, s, runs=20_000, seed=11)
+            assert stats.relative_error < 0.03, sb.name
+
+    def test_exit_counts_match_profile(self):
+        sb = figure1(side_prob=0.25)
+        s = schedule(sb, GP2, "balance")
+        stats = simulate(sb, GP2, s, runs=20_000, seed=5)
+        frac = stats.exit_counts[3] / stats.runs
+        assert frac == pytest.approx(0.25, abs=0.02)
+
+    def test_deterministic_given_seed(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        a = simulate(two_exit_sb, GP2, s, runs=500, seed=9)
+        b = simulate(two_exit_sb, GP2, s, runs=500, seed=9)
+        assert a.mean_cycles == b.mean_cycles
+        assert a.exit_counts == b.exit_counts
+
+    def test_zero_runs_rejected(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        with pytest.raises(ValueError):
+            simulate(two_exit_sb, GP2, s, runs=0)
+
+
+class TestSpeculationWaste:
+    def test_closed_form_matches_monte_carlo(self):
+        sb = figure1(side_prob=0.3)
+        s = schedule(sb, GP2, "balance")
+        exact = expected_speculation_waste(sb, s)
+        stats = simulate(sb, GP2, s, runs=20_000, seed=13)
+        assert stats.mean_waste_fraction == pytest.approx(exact, abs=0.02)
+
+    def test_sr_wastes_less_than_cp_on_fig1(self):
+        """SR retires the side exit early, so early exits waste less of
+        the speculated chain work than under CP."""
+        sb = figure1(side_prob=0.5)
+        sr = schedule(sb, GP2, "sr")
+        cp = schedule(sb, GP2, "cp")
+        assert expected_speculation_waste(sb, sr) <= expected_speculation_waste(
+            sb, cp
+        ) + 1e-9

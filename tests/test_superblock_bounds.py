@@ -1,0 +1,84 @@
+"""Unit tests for the BoundSuite and superblock-level aggregation."""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
+from repro.ir.examples import figure1, figure2, figure4
+from repro.machine.machine import FS4, GP1, GP2
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.optimal import SearchBudgetExceeded
+
+
+class TestBoundSuite:
+    def test_all_families_computed(self, two_exit_sb):
+        res = BoundSuite(two_exit_sb, GP2).compute()
+        assert set(res.wct) == set(BOUND_NAMES)
+        assert set(res.branch_bounds) == {"CP", "Hu", "RJ", "LC"}
+
+    def test_dominance_chain(self, tiny_corpus):
+        """CP <= RJ <= LC <= PW <= TW <= tightest, and Hu <= RJ-family."""
+        for sb in tiny_corpus:
+            for machine in (GP1, GP2, FS4):
+                res = BoundSuite(sb, machine).compute()
+                assert res.wct["CP"] <= res.wct["RJ"] + 1e-9
+                assert res.wct["CP"] <= res.wct["Hu"] + 1e-9
+                assert res.wct["RJ"] <= res.wct["LC"] + 1e-9
+                assert res.wct["LC"] <= res.wct["PW"] + 1e-9
+                assert res.wct["PW"] <= res.wct["TW"] + 1e-9
+                assert res.tightest == max(res.wct.values())
+
+    def test_single_branch_degenerates_to_lc(self, single_exit_sb):
+        res = BoundSuite(single_exit_sb, GP2).compute()
+        assert res.wct["PW"] == res.wct["LC"]
+        assert res.wct["TW"] == res.wct["LC"]
+
+    def test_gap_percent(self, two_exit_sb):
+        res = BoundSuite(two_exit_sb, GP2).compute()
+        assert res.gap_percent("CP") >= 0
+        tight_name = max(res.wct, key=res.wct.get)
+        assert res.gap_percent(tight_name) == pytest.approx(0.0)
+
+    def test_pairwise_tightens_figure4(self):
+        """Figure 4 has a real tradeoff: PW beats the naive LC aggregate."""
+        sb = figure4(0.3)
+        res = BoundSuite(sb, GP2).compute()
+        assert res.wct["PW"] > res.wct["LC"]
+
+    def test_pairwise_equals_lc_when_conflict_free(self):
+        """Figure 1 has no tradeoff: PW degenerates to the LC aggregate."""
+        sb = figure1()
+        res = BoundSuite(sb, GP2).compute()
+        assert res.wct["PW"] == pytest.approx(res.wct["LC"])
+
+    def test_theorem3_average_valid_vs_optimal(self, tiny_corpus):
+        for sb in tiny_corpus:
+            if sb.num_operations > 12:
+                continue
+            try:
+                optimal = get_scheduler("optimal")(sb, GP2, budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            res = BoundSuite(sb, GP2).compute()
+            assert res.tightest <= optimal.wct + 1e-9
+
+    def test_suite_caches_shared_intermediates(self, two_exit_sb):
+        suite = BoundSuite(two_exit_sb, GP2)
+        assert suite.early_rc is suite.early_rc
+        assert suite.late_rc is suite.late_rc
+        assert suite.pair_bounds is suite.pair_bounds
+
+    def test_pair_cap_switches_to_lp(self, tiny_corpus):
+        sb = max(tiny_corpus, key=lambda s: s.num_branches)
+        if sb.num_branches < 3:
+            pytest.skip("corpus has no branchy superblock")
+        capped = BoundSuite(sb, GP2, pair_cap=1, include_triplewise=False)
+        res = capped.compute()
+        assert not res.pairs_complete
+        # Still a valid bound: sandwiched between LC and the full PW.
+        full = BoundSuite(sb, GP2, include_triplewise=False).compute()
+        assert res.wct["LC"] - 1e-9 <= res.wct["PW"] <= full.tightest + 1e-9
+
+    def test_disable_pairwise(self, two_exit_sb):
+        res = BoundSuite(two_exit_sb, GP2, include_pairwise=False).compute()
+        assert res.wct["PW"] == res.wct["LC"]
+        assert res.pair_bounds == {}

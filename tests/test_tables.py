@@ -1,0 +1,168 @@
+"""Integration tests for the Table 1-7 and Figure 8 builders.
+
+These run tiny corpora through the full harness and check shapes and the
+headline qualitative claims, not exact numbers.
+"""
+
+import pytest
+
+from repro.bounds.superblock_bounds import BOUND_NAMES
+from repro.eval.figures import FIGURE8_THRESHOLDS, figure8, figure_schedules
+from repro.eval.sched_eval import evaluate_corpus
+from repro.eval.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.machine.machine import FS4, GP1, GP2
+from repro.workloads.corpus import specint95_corpus
+
+MACHINES = (GP1, FS4)
+HEUR = ("sr", "cp", "dhasy", "help", "balance")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return specint95_corpus(scale=16, seed=3, max_ops=36)
+
+
+class TestTable1:
+    def test_shape_and_dominance(self, corpus):
+        t = table1(corpus, gp_machines=(GP1, GP2), fs_machines=(FS4,))
+        assert t.headers == ["Metric"] + list(BOUND_NAMES)
+        assert len(t.rows) == 6  # 2 groups x {Avg, Max, Num}
+        for group in ("GP", "FS"):
+            q = t.data[group]
+            # CP is the weakest bound; TW never has a positive gap.
+            assert q["CP"].avg_gap_percent >= q["RJ"].avg_gap_percent
+            assert q["RJ"].avg_gap_percent >= q["LC"].avg_gap_percent - 1e-9
+            assert q["TW"].avg_gap_percent == pytest.approx(0.0)
+            assert q["TW"].max_gap_percent == pytest.approx(0.0)
+
+    def test_render_contains_rows(self, corpus):
+        t = table1(corpus, gp_machines=(GP1,), fs_machines=(FS4,))
+        text = t.render()
+        assert "Table 1" in text
+        assert "GP Avg%" in text and "FS Num%" in text
+
+
+class TestTable2:
+    def test_cost_ordering(self, corpus):
+        t = table2(corpus, machines=(FS4,))
+        costs = t.data["costs"]
+        # The recursive/pair algorithms do more work than the basics.
+        assert costs["LC"].average_trips >= costs["RJ"].average_trips
+        assert costs["PW"].average_trips >= 0
+        # Theorem 1 saves work vs the original LC.
+        assert costs["LC"].average_trips <= costs["LC-original"].average_trips
+
+    def test_includes_all_rows(self, corpus):
+        t = table2(corpus, machines=(FS4,))
+        names = [row[0] for row in t.rows]
+        for n in ("CP", "Hu", "RJ", "LC", "LC-original", "LC-reverse", "PW", "TW"):
+            assert n in names
+
+
+class TestTable3:
+    def test_balance_wins(self, corpus):
+        t = table3(corpus, machines=MACHINES, heuristics=HEUR)
+        summaries = t.data["summaries"]
+        for m in MACHINES:
+            s = summaries[m.name]
+            for h in HEUR:
+                assert s.slowdown_percent("balance") <= s.slowdown_percent(h) + 1e-9
+        # Average row appended.
+        assert t.rows[-1][0] == "Average"
+
+    def test_trivial_fraction_in_range(self, corpus):
+        t = table3(corpus, machines=(FS4,), heuristics=HEUR)
+        triv = t.rows[0][2]
+        assert 0.0 <= triv <= 100.0
+
+
+class TestTable4:
+    def test_strategy_columns(self, corpus):
+        t = table4(corpus, machines=(FS4,), heuristics=HEUR)
+        assert t.headers[-2:] == ["DHASY->Balance", "Rescheduled%"]
+        strategy = t.data["strategy"]["FS4"]
+        assert 0 <= strategy["rescheduled_percent"] <= 100
+        # The combined strategy is at least as good as DHASY alone.
+        summary = t.data["summaries"]["FS4"]
+        dhasy_pct = 100 * summary.optimal_fraction("dhasy")
+        assert strategy["strategy_optimal_percent"] >= dhasy_pct - 1e-9
+
+
+class TestTable5:
+    def test_noprofile_never_improves_balance(self, corpus):
+        profiled = table3(corpus, machines=(FS4,), heuristics=HEUR)
+        t5 = table5(
+            corpus,
+            machines=(FS4,),
+            heuristics=HEUR,
+            profiled_summaries=profiled.data["summaries"],
+        )
+        assert t5.rows[-1][0] == "Delta vs profiled"
+        # SR and CP ignore weights entirely: delta must be ~0.
+        sr_delta = t5.rows[-1][1]
+        cp_delta = t5.rows[-1][2]
+        assert sr_delta == pytest.approx(0.0, abs=1e-9)
+        assert cp_delta == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTable6:
+    def test_timing_rows(self, corpus):
+        small = type(corpus)(name="s", superblocks=corpus.superblocks[:4])
+        t = table6(small, FS4)
+        names = [row[0] for row in t.rows]
+        assert "Balance" in names and "balance-percycle" in names
+        for row in t.rows:
+            assert row[3] > 0  # avg microseconds
+
+
+class TestTable7:
+    def test_grid_shape(self, corpus):
+        small = type(corpus)(name="s", superblocks=corpus.superblocks[:8])
+        t = table7(small, machines=(FS4,))
+        assert len(t.rows) == 2
+        assert t.rows[0][0] == "once per cycle"
+        assert t.rows[1][0] == "once per op"
+        assert len(t.headers) == 6  # Update + 5 combos
+
+    def test_full_balance_at_least_as_good_as_help(self, corpus):
+        small = type(corpus)(name="s", superblocks=corpus.superblocks[:8])
+        t = table7(small, machines=(FS4,))
+        per_op = t.rows[1]
+        help_slow = per_op[1]
+        balance_slow = per_op[5]
+        assert balance_slow <= help_slow + 1e-9
+
+
+class TestFigure8:
+    def test_cdf_monotone_and_anchored(self, corpus):
+        fig = figure8(corpus, FS4, heuristics=HEUR)
+        for name, pts in fig.series.items():
+            ys = [y for _x, y in pts]
+            assert all(b >= a - 1e-12 for a, b in zip(ys, ys[1:]))
+            assert pts[-1][1] == pytest.approx(1.0)
+            assert len(pts) == len(FIGURE8_THRESHOLDS)
+
+    def test_balance_intercept_at_least_cp(self, corpus):
+        fig = figure8(corpus, FS4, heuristics=HEUR)
+        y0 = {name: pts[0][1] for name, pts in fig.series.items()}
+        assert y0["balance"] >= y0["cp"] - 1e-9
+
+    def test_render(self, corpus):
+        fig = figure8(corpus, FS4, heuristics=("balance",))
+        assert "Figure 8" in fig.render()
+
+
+class TestFigureExamples:
+    def test_figure_schedules_text(self):
+        text = figure_schedules(heuristics=("cp", "balance"))
+        for fig in ("figure1", "figure2", "figure3", "figure4"):
+            assert fig in text
+        assert "balance" in text

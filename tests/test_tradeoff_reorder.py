@@ -1,0 +1,134 @@
+"""Targeted tests for Section 5.4's branch-order reordering.
+
+The swap path — where the pairwise bound blames a selected branch and the
+delayed branch gets priority on retry — is driven here with synthetic
+needs and pair bounds so each code path is exercised deterministically.
+"""
+
+from repro.bounds.pairwise import PairBound, TradeoffPoint
+from repro.core.branch_select import select_with_tradeoffs
+from repro.core.dynamic_bounds import BranchNeeds
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import GP2
+
+
+def pair(i, j, x, y):
+    return PairBound(
+        i=i, j=j, x=x, y=y,
+        curve=(TradeoffPoint(1, x, y),),
+        conflict_free=False,
+    )
+
+
+class FakeState:
+    """Minimal DynamicBounds stand-in with injectable needs."""
+
+    def __init__(self, needs, rclass="gp"):
+        self.needs = needs
+        self._rclass = rclass
+
+    def resource_class(self, _v):
+        return self._rclass
+
+
+def two_branch_sb(p=0.3):
+    return (
+        SuperblockBuilder("t")
+        .op("add")
+        .exit(p, preds=[0])
+        .op("add")
+        .last_exit(preds=[2])
+    )
+
+
+def needs(branch, early, each=(), one=None):
+    return BranchNeeds(
+        branch=branch,
+        early=early,
+        late={},
+        need_each=frozenset(each),
+        need_one={r: frozenset(s) for r, s in (one or {}).items()},
+    )
+
+
+class TestDelayedOk:
+    def test_free_delay_detected(self):
+        """The pair bound proves the delayed branch lands later anyway."""
+        sb = two_branch_sb(0.3)
+        b_side, b_final = sb.branches
+        state = FakeState({
+            b_side: needs(b_side, early=2, each={0}),
+            b_final: needs(b_final, early=5, each={2}),
+        })
+        # Conflicting NeedEach on a 1-slot budget: one branch gets delayed.
+        pair_bounds = {
+            (b_side, b_final): pair(b_side, b_final, x=6, y=5)
+        }
+        sel = select_with_tradeoffs(
+            sb, GP2, state, [b_side, b_final], {"gp": 1},
+            lambda v: True, pair_bounds,
+        )
+        # The final branch (heavier, 0.7) is selected first; the side
+        # branch is delayed — and the pair bound (side >= 6 > early+1)
+        # marks the delay as free.
+        assert b_final in sel.selected
+        assert b_side in sel.delayed
+        assert b_side in sel.delayed_ok
+        assert sel.rank > 0
+
+    def test_costly_delay_not_marked_ok(self):
+        sb = two_branch_sb(0.3)
+        b_side, b_final = sb.branches
+        state = FakeState({
+            b_side: needs(b_side, early=2, each={0}),
+            b_final: needs(b_final, early=5, each={2}),
+        })
+        # Bound says the side exit could have issued at 2: delay costs.
+        pair_bounds = {(b_side, b_final): pair(b_side, b_final, x=2, y=5)}
+        sel = select_with_tradeoffs(
+            sb, GP2, state, [b_side, b_final], {"gp": 1},
+            lambda v: True, pair_bounds,
+        )
+        assert b_side in sel.delayed
+        assert b_side not in sel.delayed_ok
+
+
+class TestSwap:
+    def test_blamed_selected_branch_is_swapped(self):
+        """When the bound blames the (earlier-processed) heavy branch, the
+        retry gives the light branch priority — and keeps the better
+        ranked selection."""
+        sb = two_branch_sb(0.45)
+        b_side, b_final = sb.branches
+        state = FakeState({
+            b_side: needs(b_side, early=2, each={0}),
+            b_final: needs(b_final, early=5, each={2}),
+        })
+        # The pair bound says the *final* branch ends up at >= 7 anyway
+        # (its early+1 = 6 <= 7), while the side exit's bound equals its
+        # early: delaying the side exit is costly, delaying the final
+        # branch is free -> swap the order.
+        pair_bounds = {(b_side, b_final): pair(b_side, b_final, x=2, y=7)}
+        sel = select_with_tradeoffs(
+            sb, GP2, state, [b_side, b_final], {"gp": 1},
+            lambda v: True, pair_bounds, max_reorders=2,
+        )
+        assert b_side in sel.selected
+        assert b_final in sel.delayed
+        assert b_final in sel.delayed_ok
+
+    def test_no_pair_bounds_no_retries(self):
+        sb = two_branch_sb(0.45)
+        b_side, b_final = sb.branches
+        state = FakeState({
+            b_side: needs(b_side, early=2, each={0}),
+            b_final: needs(b_final, early=5, each={2}),
+        })
+        sel = select_with_tradeoffs(
+            sb, GP2, state, [b_side, b_final], {"gp": 1},
+            lambda v: True, None,
+        )
+        # Weight order: the final branch (0.55) wins, side delayed, no
+        # delayedOK without bounds.
+        assert b_final in sel.selected
+        assert sel.delayed_ok == set()

@@ -1,0 +1,101 @@
+"""Unit tests for the Triplewise bound."""
+
+import pytest
+
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.triplewise import TriplewiseBounder
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import GP1, GP2
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.optimal import SearchBudgetExceeded
+
+
+def make_bounder(sb, machine, budget=600):
+    rc = early_rc(sb.graph, machine)
+    late = {
+        b: late_rc_for_branch(sb.graph, machine, b, rc[b])
+        for b in sb.branches
+    }
+    return (
+        TriplewiseBounder(
+            sb.graph, machine, rc, late, sb.branch_latency,
+            solve_budget=budget,
+        ),
+        rc,
+    )
+
+
+def three_exit_sb():
+    """Three exits sharing a 1-wide machine's single unit stream."""
+    return (
+        SuperblockBuilder("three")
+        .op("add")
+        .op("add")
+        .exit(0.3, preds=[0, 1])
+        .op("add")
+        .exit(0.3, preds=[3])
+        .op("add")
+        .last_exit(preds=[5])
+    )
+
+
+class TestTripleBound:
+    def test_triple_on_narrow_machine_detects_serialization(self):
+        sb = three_exit_sb()
+        bounder, rc = make_bounder(sb, GP1)
+        tb = bounder.triple_bound(2, 4, 6, 0.3, 0.3, 0.4)
+        assert tb is not None
+        # On GP1 everything serializes: 7 ops, branches at >= 2, >= 4, >= 6.
+        assert tb.x >= rc[2]
+        assert tb.y >= rc[4]
+        assert tb.z >= rc[6]
+        assert tb.y > tb.x
+        assert tb.z > tb.y
+
+    def test_budget_exhaustion_returns_none(self):
+        sb = three_exit_sb()
+        bounder, _rc = make_bounder(sb, GP1, budget=1)
+        assert bounder.triple_bound(2, 4, 6, 0.3, 0.3, 0.4) is None
+
+    def test_triple_cost_helper(self):
+        sb = three_exit_sb()
+        bounder, _rc = make_bounder(sb, GP1)
+        tb = bounder.triple_bound(2, 4, 6, 0.3, 0.3, 0.4)
+        assert tb.cost(0.3, 0.3, 0.4) == pytest.approx(
+            0.3 * tb.x + 0.3 * tb.y + 0.4 * tb.z
+        )
+
+    def test_triple_bound_sound_vs_optimal(self, tiny_corpus):
+        """w_i x + w_j y + w_k z never exceeds the optimal's triple cost."""
+        checked = 0
+        for sb in tiny_corpus:
+            if sb.num_operations > 11 or sb.num_branches < 3:
+                continue
+            try:
+                optimal = get_scheduler("optimal")(sb, GP2, budget=200_000)
+            except SearchBudgetExceeded:
+                continue
+            bounder, _rc = make_bounder(sb, GP2)
+            w = sb.weights
+            triple = sb.branches[:3]
+            i, j, k = triple
+            tb = bounder.triple_bound(i, j, k, w[i], w[j], w[k])
+            if tb is None:
+                continue
+            actual = (
+                w[i] * optimal.issue[i]
+                + w[j] * optimal.issue[j]
+                + w[k] * optimal.issue[k]
+            )
+            assert tb.cost(w[i], w[j], w[k]) <= actual + 1e-9
+            checked += 1
+        assert checked > 0
+
+    def test_triple_at_least_sum_of_individual_floors(self):
+        sb = three_exit_sb()
+        bounder, rc = make_bounder(sb, GP2)
+        tb = bounder.triple_bound(2, 4, 6, 0.3, 0.3, 0.4)
+        assert tb is not None
+        floor = 0.3 * rc[2] + 0.3 * rc[4] + 0.4 * rc[6]
+        assert tb.cost(0.3, 0.3, 0.4) >= floor - 1e-9

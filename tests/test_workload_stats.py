@@ -1,0 +1,46 @@
+"""Tests for the corpus characterization module."""
+
+import pytest
+
+from repro.ir.examples import figure1
+from repro.workloads.corpus import Corpus
+from repro.workloads.stats import characterization_report, characterize, shape_of
+
+
+class TestShapeOf:
+    def test_figure1_shape(self):
+        sb = figure1()
+        shape = shape_of(sb)
+        assert shape.ops == 17
+        assert shape.exits == 2
+        assert shape.critical_path == 8  # EarlyDC 7 for the jump, +1 cycle
+        assert shape.available_ilp == pytest.approx(17 / 8)
+        assert shape.mem_fraction == 0.0
+
+    def test_speculatable_fraction_figure1(self):
+        """Figure 1's chain/filler ops are all movable above branch 3."""
+        shape = shape_of(figure1())
+        assert shape.speculatable_fraction == 1.0
+
+    def test_single_exit_block_has_no_speculation(self, single_exit_sb):
+        shape = shape_of(single_exit_sb)
+        assert shape.speculatable_fraction == 0.0
+        assert shape.exits == 1
+
+
+class TestCharacterize:
+    def test_aggregates(self, tiny_corpus):
+        stats = characterize(tiny_corpus)
+        assert stats["superblocks"] == len(tiny_corpus)
+        assert stats["max_ops"] >= stats["mean_ops"]
+        assert 0.0 <= stats["mem_fraction"] <= 1.0
+        assert 0.0 <= stats["speculatable_fraction"] <= 1.0
+        assert stats["mean_available_ilp"] > 1.0  # superblocks expose ILP
+
+    def test_empty_corpus(self):
+        assert characterize(Corpus("empty")) == {}
+
+    def test_report_text(self, tiny_corpus):
+        text = characterization_report(tiny_corpus)
+        assert "corpus characterization" in text
+        assert "speculatable_fraction" in text
