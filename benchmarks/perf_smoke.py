@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Perf smoke runner: times the RJ/Pairwise hot paths and Table 1/3 builds.
+
+Thin wrapper around :mod:`repro.perf.bench` so the suite can run without
+installing the package::
+
+    python benchmarks/perf_smoke.py                 # print metrics
+    python benchmarks/perf_smoke.py --out benchmarks/BENCH_1.json
+    python benchmarks/perf_smoke.py --check         # gate vs committed baseline
+
+Equivalent to ``python -m repro bench``; see ``benchmarks/run_bench.sh``
+for the CI invocation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

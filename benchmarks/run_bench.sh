@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI perf gate: run the smoke suite on the pinned seeded corpus and fail
+# when any headline metric regresses more than 20% versus the committed
+# benchmarks/BENCH_1.json. Extra arguments are passed through, e.g.
+#   benchmarks/run_bench.sh --out benchmarks/BENCH_1.json   # refresh baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python benchmarks/perf_smoke.py --check benchmarks/BENCH_1.json "$@"

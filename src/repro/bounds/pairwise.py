@@ -19,6 +19,29 @@ Sweeping ``l`` over ``[l_br .. EarlyRC[j] + 1]`` traces the full tradeoff
 curve; the *pair bound* is the curve point minimizing
 ``w_i * x + w_j * y``. Theorem 2's monotonicity arguments let the sweep
 stop early at both ends, exactly as in the paper's Figure 5.
+
+Hot path
+--------
+One RJ solve per candidate separation per pair makes this the dominant
+cost of the whole evaluation pipeline, so the bounder aggressively hoists
+everything that does not depend on the separation:
+
+* per later-branch ``j``: subgraph nodes, sink distances, resource
+  classes, the shared ``early`` map, and a *relative* deadline map
+  ``base_rel[v] = min(-dist_j[v], LateRC_j[v] - EarlyRC[j])`` — for any
+  node untouched by the virtual edge, the absolute deadline is exactly
+  ``est_j + base_rel[v]`` at every separation;
+* per earlier-branch ``i``: its subgraph's sink distances (shared by all
+  pairs with the same ``i``);
+* per separation: the incremental sweep warm-starts the previous
+  separation's ``late`` map — while ``est_j`` is pinned at ``EarlyRC[j]``
+  only the entries whose ``d_via_i`` term changes (nodes in ``i``'s
+  subgraph) are touched, and when ``est_j`` moves the map is rebuilt from
+  ``base_rel`` with one comprehension instead of the naive three-term
+  min/max per node.
+
+``incremental=False`` selects the original per-separation construction;
+the two paths produce identical curves (tests/test_pairwise_incremental).
 """
 
 from __future__ import annotations
@@ -71,8 +94,10 @@ class PairBound:
 class PairwiseBounder:
     """Computes pair bounds for one superblock graph on one machine.
 
-    Shares the per-branch subgraph structures (node lists, distance maps)
-    across all separations of all pairs involving the same later branch.
+    Shares the per-branch subgraph structures (node lists, distance maps,
+    relative deadline maps) across all separations of all pairs involving
+    the same later branch ``j``, and the sink distances of each earlier
+    branch ``i`` across all pairs sharing ``i``.
     """
 
     def __init__(
@@ -83,12 +108,15 @@ class PairwiseBounder:
         late_rc: dict[int, dict[int, int]],
         branch_latency: int = 1,
         counters: Counters | None = None,
+        incremental: bool = True,
     ) -> None:
         """
         Args:
             early_rc: forward LC bound for every operation.
             late_rc: per-branch resource-aware late times
                 (``late_rc[b][v]``), from :mod:`repro.bounds.late_rc`.
+            incremental: use the warm-started sweep (default); ``False``
+                rebuilds every ``late`` map from scratch, for testing.
         """
         self._graph = graph
         self._machine = machine
@@ -96,7 +124,20 @@ class PairwiseBounder:
         self._late_rc = late_rc
         self._l_br = branch_latency
         self._counters = counters
-        self._sink_cache: dict[int, tuple[list[int], dict[int, int], dict[int, str]]] = {}
+        self._incremental = incremental
+        # Per-j context: (nodes, dist_j, rclass, early, base_rel).
+        self._sink_cache: dict[
+            int,
+            tuple[
+                list[int],
+                dict[int, int],
+                dict[int, str],
+                dict[int, int],
+                dict[int, int],
+            ],
+        ] = {}
+        # Per-i context: (v, dist_i[v]) items over i's subgraph.
+        self._dist_i_cache: dict[int, list[tuple[int, int]]] = {}
         self._occupancy: dict[int, dict[int, int]] = {}
 
     def _sink_context(self, j: int):
@@ -112,24 +153,43 @@ class PairwiseBounder:
                     v: self._machine.occupancy_of(self._graph.op(v))
                     for v in nodes
                 }
-            ctx = (nodes, dist_j, rclass)
+            rc = self._early_rc
+            early = {v: rc[v] for v in nodes}
+            # Deadlines relative to est_j: for nodes unaffected by the
+            # virtual edge, late[v] = est_j + base_rel[v] at *every*
+            # separation (both the dependence term est_j - dist_j[v] and
+            # the LateRC term late_rc_j[v] + (est_j - rc[j]) shift with
+            # est_j by exactly the same amount).
+            late_rc_j = self._late_rc[j]
+            rc_j = rc[j]
+            base_rel = {}
+            for v in nodes:
+                dep = -dist_j[v]
+                res = late_rc_j[v] - rc_j
+                base_rel[v] = dep if dep < res else res
+            ctx = (nodes, dist_j, rclass, early, base_rel)
             self._sink_cache[j] = ctx
         return ctx
 
-    def _solve(
+    def _dist_i_items(self, i: int) -> list[tuple[int, int]]:
+        items = self._dist_i_cache.get(i)
+        if items is None:
+            dist_i = dist_to_sink(self._graph, i, subgraph_nodes(self._graph, i))
+            items = sorted(dist_i.items())
+            self._dist_i_cache[i] = items
+        return items
+
+    def _late_naive(
         self,
-        i: int,
         j: int,
         separation: int,
+        est_j: int,
         nodes: list[int],
         dist_j: dict[int, int],
         dist_i: dict[int, int],
-        rclass: dict[int, str],
-    ) -> TradeoffPoint:
-        """One RJ relaxation with the virtual edge ``i -> j`` at ``separation``."""
-        rc = self._early_rc
-        est_j = max(rc[j], rc[i] + separation)
-        shift = est_j - rc[j]
+    ) -> dict[int, int]:
+        """Reference construction of the deadline map (pre-optimization)."""
+        shift = est_j - self._early_rc[j]
         late_rc_j = self._late_rc[j]
         late: dict[int, int] = {}
         for v in nodes:
@@ -144,14 +204,7 @@ class PairwiseBounder:
             dep_late = est_j - d
             rc_late = late_rc_j[v] + shift
             late[v] = dep_late if dep_late < rc_late else rc_late
-        early = {v: rc[v] for v in nodes}
-        result = rim_jain_sink_bound(
-            nodes, early, late, est_j, rclass, self._machine,
-            self._counters, counter_prefix="pw",
-            occupancy=self._occupancy.get(j),
-        )
-        y = result.bound
-        return TradeoffPoint(separation=separation, x=y - separation, y=y)
+        return late
 
     def pair_bound(self, i: int, j: int, w_i: float, w_j: float) -> PairBound:
         """Compute the pair bound for branches ``i < j`` with exit weights.
@@ -166,38 +219,75 @@ class PairwiseBounder:
                 f"branch {i} is not an ancestor of branch {j}; pairwise bounds "
                 "require ordered superblock exits"
             )
-        nodes, dist_j, rclass = self._sink_context(j)
-        dist_i = dist_to_sink(self._graph, i, subgraph_nodes(self._graph, i))
+        nodes, dist_j, rclass, early, base_rel = self._sink_context(j)
+        i_items = self._dist_i_items(i)
+        dist_i_map = dict(i_items) if not self._incremental else None
         rc = self._early_rc
+        rc_i, rc_j = rc[i], rc[j]
         l_min = self._l_br
-        l_max = rc[j] + 1
-        l_start = max(l_min, min(l_max, rc[j] - rc[i]))
+        l_max = rc_j + 1
+        l_start = max(l_min, min(l_max, rc_j - rc_i))
+        occupancy = self._occupancy.get(j)
 
         points: dict[int, TradeoffPoint] = {}
+        # Sweep state for the incremental path: the deadline map of the
+        # previously evaluated separation and its est_j.
+        state_late: dict[int, int] | None = None
+        state_est = -1
 
         def eval_at(l: int) -> TradeoffPoint:
-            if l not in points:
-                if self._counters is not None:
-                    self._counters.add("pw.latency_trials", 1)
-                points[l] = self._solve(i, j, l, nodes, dist_j, dist_i, rclass)
-            return points[l]
+            nonlocal state_late, state_est
+            point = points.get(l)
+            if point is not None:
+                return point
+            if self._counters is not None:
+                self._counters.add("pw.latency_trials", 1)
+            est_j = rc_i + l
+            if est_j < rc_j:
+                est_j = rc_j
+            if not self._incremental:
+                late = self._late_naive(j, l, est_j, nodes, dist_j, dist_i_map)
+            elif state_late is not None and est_j == state_est:
+                # Warm start: est_j unchanged, so only entries with a
+                # d_via_i term (nodes in i's subgraph) can move.
+                late = state_late
+                for v, di in i_items:
+                    b = base_rel[v]
+                    cand = -di - l
+                    late[v] = est_j + (cand if cand < b else b)
+            else:
+                late = {v: est_j + r for v, r in base_rel.items()}
+                for v, di in i_items:
+                    cand = est_j - di - l
+                    if cand < late[v]:
+                        late[v] = cand
+            state_late, state_est = late, est_j
+            result = rim_jain_sink_bound(
+                nodes, early, late, est_j, rclass, self._machine,
+                self._counters, counter_prefix="pw",
+                occupancy=occupancy,
+            )
+            y = result.bound
+            point = TradeoffPoint(separation=l, x=y - l, y=y)
+            points[l] = point
+            return point
 
         first = eval_at(l_start)
-        conflict_free = first.y == rc[j] and first.x <= rc[i]
-        covered_high = first.x <= rc[i]
+        conflict_free = first.y == rc_j and first.x <= rc_i
+        covered_high = first.x <= rc_i
         if not conflict_free:
             # Phase 1: decrease separation until j is as early as possible.
             # Smaller separations are covered by the stopping point: they can
             # only raise x while y is already at its floor.
-            if first.y != rc[j]:
+            if first.y != rc_j:
                 for l in range(l_start - 1, l_min - 1, -1):
-                    if eval_at(l).y == rc[j]:
+                    if eval_at(l).y == rc_j:
                         break
             # Phase 2: increase separation until i is as early as possible;
             # larger separations are then covered by the stopping point.
-            if first.x > rc[i]:
+            if first.x > rc_i:
                 for l in range(l_start + 1, l_max + 1):
-                    if eval_at(l).x <= rc[i]:
+                    if eval_at(l).x <= rc_i:
                         covered_high = True
                         break
         if not covered_high:
@@ -206,13 +296,13 @@ class PairwiseBounder:
             # back to the always-valid individual-bounds point so every
             # separation beyond the sweep stays covered.
             points[l_max + 1] = TradeoffPoint(
-                separation=l_max + 1, x=rc[i], y=rc[j]
+                separation=l_max + 1, x=rc_i, y=rc_j
             )
-        curve = tuple(points[l] for l in sorted(points))
         # Clamp x to EarlyRC[i]: separations beyond the cap cannot push i
         # below its own bound (Theorem 2's terminal argument).
         curve = tuple(
-            TradeoffPoint(p.separation, max(p.x, rc[i]), p.y) for p in curve
+            TradeoffPoint(p.separation, max(p.x, rc_i), p.y)
+            for _l, p in sorted(points.items())
         )
         best = min(curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
         return PairBound(

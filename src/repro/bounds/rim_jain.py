@@ -45,16 +45,23 @@ class SlotAllocator:
         self._skip: dict[int, int] = {}
 
     def _find(self, cycle: int) -> int:
-        # Follow skip pointers to the first possibly-free cycle.
-        path = []
+        # Follow skip pointers to the first possibly-free cycle. The
+        # no-pointer case dominates (most cycles are never full), so it
+        # exits before allocating the compression path list.
+        skip = self._skip
+        nxt = skip.get(cycle)
+        if nxt is None:
+            return cycle
+        path = [cycle]
+        cycle = nxt
         while True:
-            nxt = self._skip.get(cycle)
+            nxt = skip.get(cycle)
             if nxt is None:
                 break
             path.append(cycle)
             cycle = nxt
         for c in path:
-            self._skip[c] = cycle
+            skip[c] = cycle
         return cycle
 
     def allocate(self, not_before: int) -> int:
@@ -121,20 +128,25 @@ def solve_relaxation(
     # op v has release early[v]+i and deadline late[v]+i. Any feasible
     # schedule induces exactly these slot placements, so the relaxation
     # stays valid, and all pieces are unit jobs, so EDF stays optimal.
-    pieces: list[tuple[int, int, int]] = []  # (late, early, op)
-    for v in ops:
-        occ = occupancy.get(v, 1) if occupancy else 1
-        for i in range(occ):
-            pieces.append((late[v] + i, early[v] + i, v))
+    if occupancy:
+        pieces: list[tuple[int, int, int]] = []  # (late, early, op)
+        for v in ops:
+            occ = occupancy.get(v, 1)
+            for i in range(occ):
+                pieces.append((late[v] + i, early[v] + i, v))
+    else:
+        # Fully pipelined: every op is a single unit piece.
+        pieces = [(late[v], early[v], v) for v in ops]
     pieces.sort()
     allocators: dict[str, SlotAllocator] = {}
     placements: dict[int, int] = {}
     max_miss = 0
     for piece_late, piece_early, v in pieces:
-        alloc = allocators.get(rclass[v])
+        rc_v = rclass[v]
+        alloc = allocators.get(rc_v)
         if alloc is None:
-            alloc = SlotAllocator(machine.units_of(rclass[v]))
-            allocators[rclass[v]] = alloc
+            alloc = SlotAllocator(machine.units_of(rc_v))
+            allocators[rc_v] = alloc
         t = alloc.allocate(piece_early)
         if v not in placements:
             placements[v] = t  # first piece = the issue-slot estimate

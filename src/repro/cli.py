@@ -8,14 +8,24 @@ Commands:
 * ``table1`` .. ``table7`` — regenerate a paper table.
 * ``figure8``  — regenerate the Figure 8 CDF.
 * ``examples`` — print the Figure 1-4 example schedules.
+* ``bench``    — run the perf smoke suite / regression gate.
+
+Corpus-sweep commands accept ``--jobs N`` to fan the (superblock,
+machine) work units out over N worker processes; outputs are
+byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.machine.machine import PAPER_MACHINES, machine_by_name
+
+
+class CommandError(Exception):
+    """A command failed; the message is printed and the CLI exits 1."""
 
 
 def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
@@ -26,6 +36,14 @@ def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1999, help="corpus seed")
     parser.add_argument(
         "--max-ops", type=int, default=150, help="per-superblock op cap"
+    )
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the corpus fan-out "
+        "(1 = serial, 0 = all CPUs); results are identical for any N",
     )
 
 
@@ -87,10 +105,12 @@ def main(argv: list[str] | None = None) -> int:
             "--no-triplewise", action="store_true",
             help="skip the (expensive) Triplewise bound",
         )
+        _add_jobs_arg(p)
 
     p = sub.add_parser("figure8", help="regenerate the Figure 8 CDF (gcc, FS4)")
     _add_corpus_args(p)
     p.add_argument("--machine", default="FS4")
+    _add_jobs_arg(p)
 
     sub.add_parser("examples", help="print the Figure 1-4 example schedules")
 
@@ -104,9 +124,30 @@ def main(argv: list[str] | None = None) -> int:
         "--no-costs", action="store_true",
         help="skip the slow cost tables (2 and 6)",
     )
+    _add_jobs_arg(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf smoke suite (hot-path and end-to-end metrics)",
+    )
+    p.add_argument("--quick", action="store_true", help="reduced configuration")
+    p.add_argument(
+        "--no-scaling", action="store_true", help="skip the --jobs scaling scan"
+    )
+    p.add_argument("--out", help="write metrics JSON (BENCH schema) here")
+    p.add_argument(
+        "--check", nargs="?", const="", metavar="BASELINE",
+        help="fail when a headline metric regresses >tolerance vs BASELINE "
+        "(default: the committed benchmarks/BENCH_1.json)",
+    )
+    p.add_argument("--tolerance", type=float, default=0.20)
 
     args = parser.parse_args(argv)
-    out = run_command(args)
+    try:
+        out = run_command(args)
+    except CommandError as exc:
+        print(exc, file=sys.stderr)
+        return 1
     print(out)
     return 0
 
@@ -187,6 +228,7 @@ def run_command(args) -> str:
         corpus = _build_corpus(args)
         machines = _machines(args)
         tid = int(args.command[-1])
+        jobs = args.jobs
         kwargs = {}
         if tid in (1,):
             gp = tuple(m for m in machines if m.name.startswith("GP"))
@@ -196,16 +238,15 @@ def run_command(args) -> str:
                 gp or tables_mod.GP_MACHINES,
                 fs or tables_mod.FS_MACHINES,
                 include_triplewise=not args.no_triplewise,
+                jobs=jobs,
             )
         elif tid == 6:
-            result = tables_mod.table6(corpus, machines[0])
+            result = tables_mod.table6(corpus, machines[0], jobs=jobs)
         else:
             fn = getattr(tables_mod, f"table{tid}")
             kwargs["machines"] = machines
-            if tid != 2:
-                kwargs["include_triplewise"] = not args.no_triplewise
-            else:
-                kwargs["include_triplewise"] = not args.no_triplewise
+            kwargs["include_triplewise"] = not args.no_triplewise
+            kwargs["jobs"] = jobs
             result = fn(corpus, **kwargs)
         return result.render()
 
@@ -214,7 +255,7 @@ def run_command(args) -> str:
 
         corpus = _build_corpus(args).by_benchmark("gcc")
         machine = machine_by_name(args.machine)
-        return figure8(corpus, machine).render()
+        return figure8(corpus, machine, jobs=args.jobs).render()
 
     if args.command == "examples":
         from repro.eval.figures import figure_schedules
@@ -234,12 +275,58 @@ def run_command(args) -> str:
             small,
             include_triplewise=not args.no_triplewise,
             include_costs=not args.no_costs,
+            jobs=args.jobs,
         )
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
             return f"report written to {args.out}"
         return text
+
+    if args.command == "bench":
+        from repro.perf import bench as bench_mod
+
+        config = (
+            bench_mod.BenchConfig.quick()
+            if args.quick
+            else bench_mod.BenchConfig()
+        )
+        if args.no_scaling:
+            config.include_scaling = False
+        result = bench_mod.run_bench(config)
+        lines = [bench_mod.render_metrics(result)]
+        if args.out:
+            bench_mod.save_metrics(result, args.out)
+            lines.append(f"metrics written to {args.out}")
+        if args.check is not None:
+            if args.quick:
+                raise CommandError(
+                    "--quick runs a smaller corpus whose metrics are not "
+                    "comparable to the committed baseline; drop --quick "
+                    "when gating with --check"
+                )
+            baseline = args.check or str(bench_mod.DEFAULT_BASELINE)
+            try:
+                baseline_metrics = bench_mod.load_baseline(baseline)
+            except FileNotFoundError:
+                raise CommandError(f"baseline not found: {baseline}") from None
+            except json.JSONDecodeError as exc:
+                raise CommandError(
+                    f"baseline {baseline} is not valid JSON: {exc}"
+                ) from None
+            failures = bench_mod.compare_metrics(
+                result.metrics, baseline_metrics, args.tolerance
+            )
+            if failures:
+                raise CommandError(
+                    f"PERF REGRESSION vs {baseline}:\n"
+                    + "\n".join(f"  {line}" for line in failures)
+                )
+            lines.append(
+                f"all headline metrics within {100 * args.tolerance:.0f}% "
+                f"of {baseline}"
+            )
+        return "\n".join(lines)
 
     raise ValueError(f"unknown command {args.command!r}")
 

@@ -21,7 +21,9 @@ from repro.bounds.instrumentation import Counters
 from repro.bounds.langevin_cerny import early_rc
 from repro.bounds.late_rc import late_rc_for_branch
 from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
+from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.perf.workers import corpus_map
 from repro.workloads.corpus import Corpus
 
 #: Numerical slack when deciding a bound is strictly below the tightest.
@@ -38,26 +40,49 @@ class BoundQuality:
     below_tightest_percent: float
 
 
+def _quality_unit(
+    sb: Superblock, machine: MachineConfig, include_triplewise: bool
+) -> list[tuple[float, bool]]:
+    """Gap and strictly-below flag per bound family for one work unit."""
+    bounds = BoundSuite(
+        sb, machine, include_triplewise=include_triplewise
+    ).compute()
+    tight = bounds.tightest
+    return [
+        (bounds.gap_percent(name), bounds.wct[name] < tight - _EPS)
+        for name in BOUND_NAMES
+    ]
+
+
 def bound_quality(
     corpus: Corpus,
     machines: list[MachineConfig],
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> dict[str, BoundQuality]:
-    """Quality of each bound family over ``corpus`` x ``machines``."""
+    """Quality of each bound family over ``corpus`` x ``machines``.
+
+    Args:
+        jobs: worker processes for the (superblock, machine) fan-out;
+            ``None``/``1`` runs serially, ``0`` uses all CPUs. Results
+            are identical for any value.
+    """
+    superblocks = list(corpus)
+    units = [
+        (idx, (machine, include_triplewise))
+        for machine in machines
+        for idx in range(len(superblocks))
+    ]
+    per_unit = corpus_map(_quality_unit, superblocks, units, jobs)
     gaps: dict[str, list[float]] = {name: [] for name in BOUND_NAMES}
     below: dict[str, int] = {name: 0 for name in BOUND_NAMES}
     total = 0
-    for machine in machines:
-        for sb in corpus:
-            bounds = BoundSuite(
-                sb, machine, include_triplewise=include_triplewise
-            ).compute()
-            total += 1
-            for name in BOUND_NAMES:
-                gap = bounds.gap_percent(name)
-                gaps[name].append(gap)
-                if bounds.wct[name] < bounds.tightest - _EPS:
-                    below[name] += 1
+    for unit_stats in per_unit:
+        total += 1
+        for name, (gap, is_below) in zip(BOUND_NAMES, unit_stats):
+            gaps[name].append(gap)
+            if is_below:
+                below[name] += 1
     return {
         name: BoundQuality(
             name=name,
@@ -93,59 +118,76 @@ _COMPLEXITY = {
 }
 
 
+def _cost_unit(
+    sb: Superblock, machine: MachineConfig, include_triplewise: bool
+) -> dict[str, int]:
+    """Loop-trip counts of every bound algorithm for one work unit."""
+    graph = sb.graph
+    branches = sb.branches
+    trips: dict[str, int] = {}
+
+    c = Counters()
+    cp_branch_bounds(sb, c)
+    trips["CP"] = c.total("cp")
+
+    c = Counters()
+    hu_branch_bounds(sb, machine, c)
+    trips["Hu"] = c.total("hu")
+
+    c = Counters()
+    rj_branch_bounds(sb, machine, c)
+    trips["RJ"] = c.total("rj")
+
+    c = Counters()
+    rc = early_rc(graph, machine, c, fast_path=True)
+    trips["LC"] = c.total("lc")
+
+    c = Counters()
+    early_rc(graph, machine, c, fast_path=False)
+    trips["LC-original"] = c.total("lc")
+
+    c = Counters()
+    for b in branches:
+        late_rc_for_branch(graph, machine, b, rc[b], c)
+    trips["LC-reverse"] = c.total("lc_rev")
+
+    c = Counters()
+    suite = BoundSuite(sb, machine, counters=c)
+    _ = suite.pair_bounds
+    trips["PW"] = c.total("pw")
+
+    if include_triplewise:
+        c2 = Counters()
+        suite2 = BoundSuite(sb, machine, counters=c2)
+        _ = suite2.pair_bounds  # prerequisite of the triple filter
+        c2.clear()
+        _ = suite2.triple_results
+        trips["TW"] = c2.total("tw")
+    return trips
+
+
 def bound_costs(
     corpus: Corpus,
     machines: list[MachineConfig],
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> dict[str, BoundCost]:
     """Loop-trip counts of every bound algorithm (Table 2).
 
     Statistics are per (superblock, machine) pair, exactly like the paper's
     "sum of each loop trip count in the algorithm".
     """
+    superblocks = list(corpus)
+    units = [
+        (idx, (machine, include_triplewise))
+        for machine in machines
+        for idx in range(len(superblocks))
+    ]
+    per_unit = corpus_map(_cost_unit, superblocks, units, jobs)
     samples: dict[str, list[int]] = {name: [] for name in _COMPLEXITY}
-    for machine in machines:
-        for sb in corpus:
-            graph = sb.graph
-            branches = sb.branches
-
-            c = Counters()
-            cp_branch_bounds(sb, c)
-            samples["CP"].append(c.total("cp"))
-
-            c = Counters()
-            hu_branch_bounds(sb, machine, c)
-            samples["Hu"].append(c.total("hu"))
-
-            c = Counters()
-            rj_branch_bounds(sb, machine, c)
-            samples["RJ"].append(c.total("rj"))
-
-            c = Counters()
-            rc = early_rc(graph, machine, c, fast_path=True)
-            samples["LC"].append(c.total("lc"))
-
-            c = Counters()
-            early_rc(graph, machine, c, fast_path=False)
-            samples["LC-original"].append(c.total("lc"))
-
-            c = Counters()
-            for b in branches:
-                late_rc_for_branch(graph, machine, b, rc[b], c)
-            samples["LC-reverse"].append(c.total("lc_rev"))
-
-            c = Counters()
-            suite = BoundSuite(sb, machine, counters=c)
-            _ = suite.pair_bounds
-            samples["PW"].append(c.total("pw"))
-
-            if include_triplewise:
-                c2 = Counters()
-                suite2 = BoundSuite(sb, machine, counters=c2)
-                _ = suite2.pair_bounds  # prerequisite of the triple filter
-                c2.clear()
-                _ = suite2.triple_results
-                samples["TW"].append(c2.total("tw"))
+    for trips in per_unit:
+        for name, value in trips.items():
+            samples[name].append(value)
     if not include_triplewise:
         samples.pop("TW")
     out = {}

@@ -51,6 +51,7 @@ def figure8(
     heuristics: tuple[str, ...] = TABLE_HEURISTICS,
     include_triplewise: bool = True,
     summary: CorpusSummary | None = None,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Fraction of superblocks within X extra dynamic cycles of the bound.
 
@@ -59,7 +60,8 @@ def figure8(
     """
     if summary is None:
         summary = evaluate_corpus(
-            corpus, machine, heuristics, include_triplewise=include_triplewise
+            corpus, machine, heuristics,
+            include_triplewise=include_triplewise, jobs=jobs,
         )
     total = len(summary.results)
     series: dict[str, list[tuple[float, float]]] = {}

@@ -121,3 +121,18 @@ def noprofile_weights(sb: Superblock, last_weight: float = 1000.0) -> dict[int, 
     return {
         b: (last_weight if b == sb.last_branch else 1.0) for b in sb.branches
     }
+
+
+@dataclasses.dataclass(frozen=True)
+class NoProfileWeights:
+    """Picklable form of :func:`noprofile_weights` for parallel evaluation.
+
+    ``evaluate_corpus(jobs=N)`` ships the scheduling-weights callable to
+    worker processes; a lambda closing over ``last_weight`` cannot cross
+    that boundary, this frozen dataclass can.
+    """
+
+    last_weight: float = 1000.0
+
+    def __call__(self, sb: Superblock) -> dict[int, float]:
+        return noprofile_weights(sb, self.last_weight)

@@ -31,6 +31,7 @@ def full_report(
     small_corpus: Corpus | None = None,
     include_triplewise: bool = True,
     include_costs: bool = True,
+    jobs: int | None = None,
 ) -> str:
     """Run the full evaluation and return a markdown report.
 
@@ -38,6 +39,7 @@ def full_report(
         small_corpus: corpus for the quadratic-cost experiments
             (Tables 2, 6, 7); defaults to the main corpus.
         include_costs: skip the slow cost tables (2 and 6) when False.
+        jobs: worker processes for every table's corpus fan-out.
     """
     from repro.workloads.stats import characterization_report
 
@@ -65,16 +67,16 @@ def full_report(
         sections.append("")
 
     t0 = time.perf_counter()
-    t1_res = table1(corpus, include_triplewise=include_triplewise)
+    t1_res = table1(corpus, include_triplewise=include_triplewise, jobs=jobs)
     add("Table 1 — bound quality", t1_res.render(), time.perf_counter() - t0)
 
     if include_costs:
         t0 = time.perf_counter()
-        t2_res = table2(small, include_triplewise=include_triplewise)
+        t2_res = table2(small, include_triplewise=include_triplewise, jobs=jobs)
         add("Table 2 — bound cost", t2_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    t3_res = table3(corpus, include_triplewise=include_triplewise)
+    t3_res = table3(corpus, include_triplewise=include_triplewise, jobs=jobs)
     add("Table 3 — scheduler slowdown", t3_res.render(), time.perf_counter() - t0)
     summaries = t3_res.data["summaries"]
 
@@ -89,16 +91,17 @@ def full_report(
         corpus,
         include_triplewise=include_triplewise,
         profiled_summaries=summaries,
+        jobs=jobs,
     )
     add("Table 5 — no profile data", t5_res.render(), time.perf_counter() - t0)
 
     if include_costs:
         t0 = time.perf_counter()
-        t6_res = table6(small, FS4)
+        t6_res = table6(small, FS4, jobs=jobs)
         add("Table 6 — scheduler cost", t6_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    t7_res = table7(small, include_triplewise=include_triplewise)
+    t7_res = table7(small, include_triplewise=include_triplewise, jobs=jobs)
     add("Table 7 — Balance ablation", t7_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
@@ -109,6 +112,7 @@ def full_report(
         FS4,
         include_triplewise=include_triplewise,
         summary=None,
+        jobs=jobs,
     )
     add("Figure 8 — CDF (gcc, FS4)", f8.render(), time.perf_counter() - t0)
 

@@ -17,6 +17,7 @@ from repro.core.config import BalanceConfig
 from repro.eval.metrics import CorpusSummary, SuperblockResult, reweighted
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.perf.workers import corpus_map
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
 
@@ -87,17 +88,31 @@ def evaluate_corpus(
     scheduling_weights: Callable[[Superblock], dict[int, float]] | None = None,
     include_triplewise: bool = True,
     extra_configs: dict[str, BalanceConfig] | None = None,
+    jobs: int | None = None,
 ) -> CorpusSummary:
-    """Evaluate every superblock of ``corpus`` on ``machine``."""
-    results = [
-        evaluate_superblock(
-            sb,
-            machine,
-            heuristics,
-            scheduling_weights,
-            include_triplewise,
-            extra_configs,
-        )
-        for sb in corpus
-    ]
+    """Evaluate every superblock of ``corpus`` on ``machine``.
+
+    Args:
+        jobs: worker processes for the per-superblock fan-out
+            (``None``/``1`` serial, ``0`` = all CPUs); results are
+            identical for any value. An unpicklable
+            ``scheduling_weights`` callable (e.g. a lambda) silently
+            forces the serial path — use a picklable callable such as
+            :class:`repro.eval.metrics.NoProfileWeights` to keep the
+            fan-out parallel.
+    """
+    superblocks = list(corpus)
+    extras = (
+        machine,
+        tuple(heuristics),
+        scheduling_weights,
+        include_triplewise,
+        extra_configs,
+    )
+    results = corpus_map(
+        evaluate_superblock,
+        superblocks,
+        [(idx, extras) for idx in range(len(superblocks))],
+        jobs,
+    )
     return CorpusSummary(machine=machine.name, results=results)

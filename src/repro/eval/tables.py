@@ -16,9 +16,10 @@ from repro.bounds.superblock_bounds import BOUND_NAMES
 from repro.core.config import ABLATION_GRID
 from repro.eval.bounds_eval import bound_costs, bound_quality
 from repro.eval.formatting import format_table
-from repro.eval.metrics import CorpusSummary, noprofile_weights
+from repro.eval.metrics import CorpusSummary, NoProfileWeights
 from repro.eval.sched_eval import TABLE_HEURISTICS, evaluate_corpus
 from repro.machine.machine import FS4, FS6, FS8, GP1, GP2, GP4, MachineConfig
+from repro.perf.workers import corpus_map
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
 
@@ -61,12 +62,13 @@ def table1(
     gp_machines: tuple[MachineConfig, ...] = GP_MACHINES,
     fs_machines: tuple[MachineConfig, ...] = FS_MACHINES,
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> TableResult:
     """Performance of the bounds relative to the tightest lower bound."""
     rows: list[list[Any]] = []
     data: dict[str, Any] = {}
     for group_name, machines in (("GP", gp_machines), ("FS", fs_machines)):
-        quality = bound_quality(corpus, list(machines), include_triplewise)
+        quality = bound_quality(corpus, list(machines), include_triplewise, jobs)
         data[group_name] = quality
         rows.append(
             [f"{group_name} Avg%"]
@@ -96,9 +98,10 @@ def table2(
     corpus: Corpus,
     machines: tuple[MachineConfig, ...] = ALL_MACHINES,
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> TableResult:
     """Computational complexity (loop trip counts) of the bound algorithms."""
-    costs = bound_costs(corpus, list(machines), include_triplewise)
+    costs = bound_costs(corpus, list(machines), include_triplewise, jobs)
     rows = [
         [
             name,
@@ -126,13 +129,15 @@ def table3(
     machines: tuple[MachineConfig, ...] = ALL_MACHINES,
     heuristics: tuple[str, ...] = TABLE_HEURISTICS,
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> TableResult:
     """Slowdown relative to the tightest lower bound, per configuration."""
     summaries: dict[str, CorpusSummary] = {}
     rows: list[list[Any]] = []
     for machine in machines:
         summary = evaluate_corpus(
-            corpus, machine, heuristics, include_triplewise=include_triplewise
+            corpus, machine, heuristics,
+            include_triplewise=include_triplewise, jobs=jobs,
         )
         summaries[machine.name] = summary
         rows.append(
@@ -170,6 +175,7 @@ def table4(
     heuristics: tuple[str, ...] = TABLE_HEURISTICS,
     include_triplewise: bool = True,
     summaries: dict[str, CorpusSummary] | None = None,
+    jobs: int | None = None,
 ) -> TableResult:
     """Percentage of nontrivial superblocks scheduled at the bound.
 
@@ -180,7 +186,8 @@ def table4(
     if summaries is None:
         summaries = {
             m.name: evaluate_corpus(
-                corpus, m, heuristics, include_triplewise=include_triplewise
+                corpus, m, heuristics,
+                include_triplewise=include_triplewise, jobs=jobs,
             )
             for m in machines
         }
@@ -228,6 +235,7 @@ def table5(
     include_triplewise: bool = True,
     last_weight: float = 1000.0,
     profiled_summaries: dict[str, CorpusSummary] | None = None,
+    jobs: int | None = None,
 ) -> TableResult:
     """No-profile experiment: schedulers assume (1, ..., 1, 1000) weights.
 
@@ -242,8 +250,9 @@ def table5(
             corpus,
             machine,
             heuristics,
-            scheduling_weights=lambda sb: noprofile_weights(sb, last_weight),
+            scheduling_weights=NoProfileWeights(last_weight),
             include_triplewise=include_triplewise,
+            jobs=jobs,
         )
         summaries[machine.name] = summary
         rows.append(
@@ -289,11 +298,25 @@ _SCHED_COMPLEXITY = {
 }
 
 
+def _sched_time_unit(sb, machine, name, config, repetitions: int) -> float:
+    """Wall-clock microseconds to schedule one superblock once."""
+    from repro.core.balance import balance_schedule
+
+    t0 = time.perf_counter()
+    for _ in range(repetitions):
+        if config is not None:
+            balance_schedule(sb, machine, config, validate=False)
+        else:
+            get_scheduler(name)(sb, machine, validate=False)
+    return 1e6 * (time.perf_counter() - t0) / repetitions
+
+
 def table6(
     corpus: Corpus,
     machine: MachineConfig = FS4,
     heuristics: tuple[str, ...] = ("sr", "cp", "gstar", "dhasy", "help", "balance"),
     repetitions: int = 1,
+    jobs: int | None = None,
 ) -> TableResult:
     """Measured scheduling cost per heuristic (wall-clock per superblock).
 
@@ -301,8 +324,12 @@ def table6(
     equivalent empirical measure for a Python implementation. The
     ``balance-percycle`` row quantifies the saving of updating the dynamic
     bounds once per cycle instead of once per operation.
+
+    Note that with ``jobs > 1`` the per-superblock timings are taken in
+    concurrently running workers: aggregate throughput improves but the
+    individual measurements pick up scheduling noise, so serial runs are
+    preferred when the absolute microsecond numbers matter.
     """
-    from repro.core.balance import balance_schedule
     from repro.core.config import BalanceConfig
 
     variants = {
@@ -312,20 +339,15 @@ def table6(
     rows: list[list[Any]] = []
     data: dict[str, Any] = {}
     names = list(heuristics) + list(variants)
-    for name in names:
-        per_sb_us: list[float] = []
-        for sb in corpus:
-            t0 = time.perf_counter()
-            for _ in range(repetitions):
-                if name in variants:
-                    balance_schedule(
-                        sb, machine, variants[name], validate=False
-                    )
-                else:
-                    get_scheduler(name)(sb, machine, validate=False)
-            per_sb_us.append(
-                1e6 * (time.perf_counter() - t0) / repetitions
-            )
+    superblocks = list(corpus)
+    units = [
+        (idx, (machine, name, variants.get(name), repetitions))
+        for name in names
+        for idx in range(len(superblocks))
+    ]
+    timings = corpus_map(_sched_time_unit, superblocks, units, jobs)
+    for pos, name in enumerate(names):
+        per_sb_us = timings[pos * len(superblocks) : (pos + 1) * len(superblocks)]
         worst, emp = _SCHED_COMPLEXITY.get(name, ("-", "-"))
         rows.append(
             [
@@ -353,6 +375,7 @@ def table7(
     corpus: Corpus,
     machines: tuple[MachineConfig, ...] = ALL_MACHINES,
     include_triplewise: bool = True,
+    jobs: int | None = None,
 ) -> TableResult:
     """Slowdown of every Balance component combination (Table 7 grid)."""
     labels = {cfg.label(): cfg for cfg in ABLATION_GRID}
@@ -364,6 +387,7 @@ def table7(
             heuristics=("balance",),  # anchor for the trivial classification
             include_triplewise=include_triplewise,
             extra_configs=labels,
+            jobs=jobs,
         )
     combos = [
         "Help",

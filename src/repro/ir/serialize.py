@@ -54,8 +54,14 @@ def superblock_to_dict(sb: Superblock) -> dict[str, Any]:
     }
 
 
-def superblock_from_dict(data: dict[str, Any]) -> Superblock:
-    """Reconstruct a superblock from :func:`superblock_to_dict` output."""
+def superblock_from_dict(data: dict[str, Any], validate: bool = True) -> Superblock:
+    """Reconstruct a superblock from :func:`superblock_to_dict` output.
+
+    Args:
+        validate: run :func:`validate_superblock` on the result. Callers
+            deserializing data they themselves produced (e.g. the
+            parallel-evaluation workers) may skip it for speed.
+    """
     graph = DependenceGraph()
     for idx, entry in enumerate(data["operations"]):
         graph.add_operation(
@@ -76,7 +82,8 @@ def superblock_from_dict(data: dict[str, Any]) -> Superblock:
         exec_freq=float(data.get("exec_freq", 1.0)),
         source=data.get("source", ""),
     )
-    validate_superblock(sb)
+    if validate:
+        validate_superblock(sb)
     return sb
 
 

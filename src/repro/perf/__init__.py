@@ -1,0 +1,28 @@
+"""Performance layer: parallel corpus evaluation and benchmarking.
+
+The evaluation pipeline (Tables 1-7, Figure 8) is embarrassingly parallel
+over (superblock, machine) work units, but a naive ``multiprocessing.map``
+would (a) ship unpicklable lambdas, (b) return results in completion
+order, and (c) pay a per-unit serialization tax. This package provides:
+
+* :class:`repro.perf.runner.ParallelRunner` — chunked process-pool
+  fan-out with input-order (deterministic) result assembly and a serial
+  fallback that bypasses every (de)serialization step, so ``jobs=1``
+  costs nothing over the plain loop.
+* :mod:`repro.perf.workers` — worker-process bootstrap: the corpus is
+  serialized once per worker (via :mod:`repro.ir.serialize`) and work
+  units reference superblocks by index.
+* :mod:`repro.perf.bench` — the perf smoke harness behind
+  ``python -m repro bench`` and ``benchmarks/perf_smoke.py``.
+
+Every eval entry point accepts ``jobs`` and routes through
+:func:`corpus_map`; results are bit-identical between serial and
+parallel paths (guaranteed by tests/test_parallel_eval.py).
+"""
+
+from __future__ import annotations
+
+from repro.perf.runner import ParallelRunner, effective_jobs
+from repro.perf.workers import corpus_map
+
+__all__ = ["ParallelRunner", "corpus_map", "effective_jobs"]

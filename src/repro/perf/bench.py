@@ -1,0 +1,361 @@
+"""Perf smoke harness: tracked metrics for the hot paths of the pipeline.
+
+Times the primitives that dominate the paper's evaluation — Rim & Jain
+relaxation solves and Pairwise tradeoff bounds — plus end-to-end Table 1
+and Table 3 builds on a pinned seeded corpus, and the parallel scaling of
+Table 1 across worker counts. Results are written as ``BENCH_1.json``
+with the schema ``{metric: {value, unit, seed}}`` so future changes have
+a committed trajectory to compare against.
+
+Entry points:
+
+* ``python -m repro bench`` (see :mod:`repro.cli`),
+* ``benchmarks/perf_smoke.py`` (standalone script),
+* :func:`run_bench` / :func:`compare_metrics` for tests.
+
+Regression gate: :func:`compare_metrics` fails a run when any *headline*
+metric is more than ``tolerance`` (default 20%) worse than the committed
+baseline. Throughput metrics (unit ``.../s``) must not drop; elapsed
+metrics (unit ``s``) must not grow. Parallel-scaling metrics are
+informational only — CI machines differ too much in core count for a
+portable gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Pinned bench corpus; changing any of these invalidates the baseline.
+BENCH_SEED = 1999
+BENCH_SCALE = 32
+BENCH_MAX_OPS = 64
+
+#: Metrics the regression gate enforces.
+HEADLINE_METRICS = (
+    "rj_solves_per_sec",
+    "pairwise_bounds_per_sec",
+    "table1_seconds",
+    "table3_seconds",
+)
+
+#: Default location of the committed baseline, relative to the repo root.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_1.json"
+
+
+@dataclass
+class BenchConfig:
+    """Knobs of one bench run (defaults = the pinned configuration)."""
+
+    seed: int = BENCH_SEED
+    scale: int = BENCH_SCALE
+    max_ops: int = BENCH_MAX_OPS
+    repeats: int = 3  #: timing repetitions; best-of-N is reported
+    jobs_scan: tuple[int, ...] = (1, 2, 4, 8)
+    include_scaling: bool = True
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """Reduced configuration for tests and CI smoke runs."""
+        return cls(scale=12, max_ops=32, repeats=1, jobs_scan=(1, 2))
+
+
+@dataclass
+class BenchResult:
+    """Metrics plus free-form notes from one run."""
+
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, value: float, unit: str, seed: int) -> None:
+        self.metrics[name] = {
+            "value": round(float(value), 4), "unit": unit, "seed": seed
+        }
+
+
+def _best_of(repeats: int, fn, clock=time.process_time) -> float:
+    """Smallest elapsed time of ``repeats`` calls (noise-resistant).
+
+    Gated metrics measure *CPU* time by default: on shared hosts,
+    co-tenant interference inflates wall-clock by 30%+ between runs while
+    process time stays stable, and every gated code path is pure
+    single-process compute. Pass ``clock=time.perf_counter`` for
+    wall-clock (parallel scaling, where other processes do the work).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = clock()
+        fn()
+        elapsed = clock() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+#: Minimum timed window for throughput metrics. Sub-10ms measurements
+#: swing by 30%+ even on CPU-time clocks; the inner loop is repeated
+#: until one measurement spans at least this long.
+MIN_TIMED_WINDOW = 0.25
+
+
+def _best_rate(repeats: int, fn, work_per_call: int) -> float:
+    """Best observed rate (work units per CPU-second) over ``repeats``.
+
+    ``fn`` is repeated within each timed window until the window exceeds
+    :data:`MIN_TIMED_WINDOW`, sized from a calibration call.
+    """
+    t0 = time.process_time()
+    fn()  # warm-up doubles as calibration
+    calibration = time.process_time() - t0
+    inner = max(1, math.ceil(MIN_TIMED_WINDOW / max(calibration, 1e-9)))
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.process_time()
+        for _ in range(inner):
+            fn()
+        elapsed = time.process_time() - t0
+        if elapsed < best:
+            best = elapsed
+    return work_per_call * inner / best
+
+
+def _bench_corpus(config: BenchConfig):
+    from repro.workloads.corpus import specint95_corpus
+
+    return specint95_corpus(
+        scale=config.scale, seed=config.seed, max_ops=config.max_ops
+    )
+
+
+def _time_rj_solves(corpus, machines, repeats: int) -> float:
+    """Rim & Jain branch-bound solves per second."""
+    from repro.bounds.branch_rj import rj_branch_bounds
+
+    solves = sum(len(sb.branches) for sb in corpus) * len(machines)
+
+    def run() -> None:
+        for machine in machines:
+            for sb in corpus:
+                rj_branch_bounds(sb, machine)
+
+    return _best_rate(repeats, run, solves)
+
+
+def _time_pairwise(corpus, machines, repeats: int) -> float:
+    """Full Pairwise tradeoff bounds (all kept pairs) per second."""
+    from repro.bounds.superblock_bounds import BoundSuite
+
+    def run() -> int:
+        count = 0
+        for machine in machines:
+            for sb in corpus:
+                suite = BoundSuite(sb, machine, include_triplewise=False)
+                count += len(suite.pair_bounds)
+        return count
+
+    pair_count = run()  # pre-warm so calibration sees steady state
+    return _best_rate(repeats, run, pair_count)
+
+
+def run_bench(config: BenchConfig | None = None) -> BenchResult:
+    """Run the full smoke suite and return its metrics."""
+    from repro.eval.tables import table1, table3
+    from repro.machine.machine import FS4, GP2
+
+    config = config or BenchConfig()
+    result = BenchResult()
+    seed = config.seed
+    corpus = _bench_corpus(config)
+    machines = (GP2, FS4)
+    result.notes.append(
+        f"corpus scale={config.scale} seed={seed} max_ops={config.max_ops}, "
+        f"machines={'+'.join(m.name for m in machines)}"
+    )
+
+    result.add(
+        "rj_solves_per_sec",
+        _time_rj_solves(corpus, machines, config.repeats),
+        "solves/s",
+        seed,
+    )
+    result.add(
+        "pairwise_bounds_per_sec",
+        _time_pairwise(corpus, machines, config.repeats),
+        "bounds/s",
+        seed,
+    )
+
+    t1_seconds = _best_of(
+        config.repeats,
+        lambda: table1(corpus, (GP2,), (FS4,), include_triplewise=True),
+    )
+    result.add("table1_seconds", t1_seconds, "s", seed)
+    t3_seconds = _best_of(
+        config.repeats,
+        lambda: table3(
+            corpus, machines, include_triplewise=False
+        ),
+    )
+    result.add("table3_seconds", t3_seconds, "s", seed)
+
+    if config.include_scaling:
+        # Speedups are relative to the jobs=1 scan point (same warm state),
+        # not the cold table1_seconds measurement above.
+        scan_base: float | None = None
+        for jobs in config.jobs_scan:
+            # Wall-clock here: worker processes burn CPU the parent's
+            # process-time clock never sees.
+            elapsed = _best_of(
+                1,
+                lambda jobs=jobs: table1(
+                    corpus, (GP2,), (FS4,), include_triplewise=True, jobs=jobs
+                ),
+                clock=time.perf_counter,
+            )
+            if scan_base is None:
+                scan_base = elapsed
+            result.add(f"table1_jobs{jobs}_seconds", elapsed, "s", seed)
+            result.add(
+                f"table1_jobs{jobs}_speedup", scan_base / elapsed, "x", seed
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+def compare_metrics(
+    current: dict[str, dict[str, Any]],
+    baseline: dict[str, dict[str, Any]],
+    tolerance: float = 0.20,
+    headline: tuple[str, ...] = HEADLINE_METRICS,
+) -> list[str]:
+    """Regression report: one line per headline metric that got worse.
+
+    A throughput metric (unit ending in ``/s``) regresses when it drops
+    more than ``tolerance`` below the baseline; an elapsed metric (unit
+    ``s``) when it grows more than ``tolerance`` above it. Returns an
+    empty list when everything is within bounds.
+    """
+    failures: list[str] = []
+    for name in headline:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            continue
+        base_v, cur_v = float(base["value"]), float(cur["value"])
+        if base_v <= 0:
+            continue
+        unit = str(base.get("unit", ""))
+        if unit.endswith("/s"):
+            ratio = cur_v / base_v
+            if ratio < 1.0 - tolerance:
+                failures.append(
+                    f"{name}: {cur_v:.1f} {unit} is {100 * (1 - ratio):.1f}% "
+                    f"below baseline {base_v:.1f}"
+                )
+        else:
+            ratio = cur_v / base_v
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}: {cur_v:.3f} {unit} is {100 * (ratio - 1):.1f}% "
+                    f"above baseline {base_v:.3f}"
+                )
+    return failures
+
+
+def render_metrics(result: BenchResult) -> str:
+    lines = ["perf smoke metrics:"]
+    for note in result.notes:
+        lines.append(f"  # {note}")
+    width = max((len(n) for n in result.metrics), default=0)
+    for name, entry in result.metrics.items():
+        mark = "  *" if name in HEADLINE_METRICS else ""
+        lines.append(
+            f"  {name:<{width}s} = {entry['value']:>12.4f} {entry['unit']}{mark}"
+        )
+    if any(n in HEADLINE_METRICS for n in result.metrics):
+        lines.append("  (* = gated against the committed baseline)")
+    return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> dict[str, dict[str, Any]]:
+    with Path(path).open() as fh:
+        return json.load(fh)
+
+
+def save_metrics(result: BenchResult, path: str | Path) -> None:
+    with Path(path).open("w") as fh:
+        json.dump(result.metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (benchmarks/perf_smoke.py)
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_smoke",
+        description="Balance-scheduling perf smoke suite",
+    )
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--scale", type=int, default=BENCH_SCALE)
+    parser.add_argument("--max-ops", type=int, default=BENCH_MAX_OPS)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced CI configuration"
+    )
+    parser.add_argument(
+        "--no-scaling", action="store_true", help="skip the --jobs scaling scan"
+    )
+    parser.add_argument("--out", help="write metrics JSON to this path")
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="compare against a baseline JSON (default: committed BENCH_1.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional regression for headline metrics",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = BenchConfig.quick()
+    else:
+        config = BenchConfig(
+            seed=args.seed,
+            scale=args.scale,
+            max_ops=args.max_ops,
+            repeats=args.repeats,
+        )
+    if args.no_scaling:
+        config.include_scaling = False
+
+    result = run_bench(config)
+    print(render_metrics(result))
+    if args.out:
+        save_metrics(result, args.out)
+        print(f"metrics written to {args.out}")
+    if args.check:
+        failures = compare_metrics(
+            result.metrics, load_baseline(args.check), args.tolerance
+        )
+        if failures:
+            print(f"PERF REGRESSION vs {args.check}:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"all headline metrics within {100 * args.tolerance:.0f}% of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

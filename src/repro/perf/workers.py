@@ -1,0 +1,92 @@
+"""Worker-process plumbing for parallel corpus evaluation.
+
+The expensive part of shipping a work unit to another process is the
+superblock itself, so the corpus is transferred **once per worker** via
+the process-pool initializer (:func:`init_worker`), using the stable
+JSON form from :mod:`repro.ir.serialize`. Work units then reference
+superblocks by corpus index and carry only small picklable extras
+(machine configs, flag tuples).
+
+:func:`corpus_map` is the single entry point the eval layer uses. Its
+serial path calls the kernel directly on the in-memory superblocks —
+zero (de)serialization, zero overhead versus the pre-parallel code — and
+its parallel path reconstructs each superblock in the workers. Both
+paths run the *same kernel function* on semantically identical inputs,
+which is what makes serial and parallel results bit-identical.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.ir.superblock import Superblock
+from repro.perf.runner import ParallelRunner
+
+#: Per-process corpus, installed by :func:`init_worker`.
+_WORKER_SUPERBLOCKS: list[Superblock] = []
+
+
+def corpus_payload(superblocks: Sequence[Superblock]) -> list[dict[str, Any]]:
+    """Serialize superblocks for transfer to worker processes."""
+    from repro.ir.serialize import superblock_to_dict
+
+    return [superblock_to_dict(sb) for sb in superblocks]
+
+
+def init_worker(payload: list[dict[str, Any]]) -> None:
+    """Process-pool initializer: rebuild the corpus in this worker."""
+    from repro.ir.serialize import superblock_from_dict
+
+    global _WORKER_SUPERBLOCKS
+    _WORKER_SUPERBLOCKS = [
+        superblock_from_dict(entry, validate=False) for entry in payload
+    ]
+
+
+def _run_unit(unit: tuple[Callable[..., Any], int, tuple[Any, ...]]) -> Any:
+    """Worker-side dispatcher: resolve the superblock index and call."""
+    kernel, sb_index, extras = unit
+    return kernel(_WORKER_SUPERBLOCKS[sb_index], *extras)
+
+
+def is_picklable(obj: Any) -> bool:
+    """True when ``obj`` survives pickling (process-pool transferable)."""
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def corpus_map(
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """Evaluate ``kernel(superblocks[i], *extras)`` for every unit.
+
+    Args:
+        kernel: a picklable module-level function taking a superblock
+            first; anything unpicklable in ``extras`` silently forces the
+            serial path (correct, just not parallel).
+        units: ``(superblock_index, extras)`` pairs; results come back in
+            this order regardless of worker completion order.
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all CPUs).
+    """
+    runner = ParallelRunner(jobs, chunk_size=chunk_size)
+    if runner.parallel and len(units) > 1:
+        if all(is_picklable(extras) for _, extras in units):
+            parallel = ParallelRunner(
+                jobs,
+                chunk_size=chunk_size,
+                initializer=init_worker,
+                initargs=(corpus_payload(superblocks),),
+            )
+            return parallel.map(
+                _run_unit, [(kernel, i, extras) for i, extras in units]
+            )
+    return [kernel(superblocks[i], *extras) for i, extras in units]

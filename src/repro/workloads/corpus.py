@@ -61,6 +61,38 @@ class Corpus:
             "max_branches": max(branches, default=0),
         }
 
+    # -- worker transfer ------------------------------------------------
+    def payload(self) -> list[dict]:
+        """JSON-compatible worker-transfer form of every superblock.
+
+        This is what :mod:`repro.perf.workers` ships to evaluation worker
+        processes (once per worker, via the pool initializer);
+        :meth:`from_payload` reverses it.
+        """
+        from repro.ir.serialize import superblock_to_dict
+
+        return [superblock_to_dict(sb) for sb in self.superblocks]
+
+    @classmethod
+    def from_payload(
+        cls, name: str, entries: list[dict], validate: bool = False
+    ) -> "Corpus":
+        """Rebuild a corpus from :meth:`payload` output.
+
+        Validation defaults to off: payloads are produced by this library
+        from already-validated superblocks, and the workers are on the
+        hot path.
+        """
+        from repro.ir.serialize import superblock_from_dict
+
+        return cls(
+            name=name,
+            superblocks=[
+                superblock_from_dict(entry, validate=validate)
+                for entry in entries
+            ],
+        )
+
     # -- persistence ----------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Write the corpus as JSON Lines (one superblock per line)."""

@@ -1,0 +1,74 @@
+"""The incremental Pairwise sweep must match the naive per-separation build.
+
+``PairwiseBounder(incremental=True)`` (the default) rebuilds each
+separation's ``late`` map from the cached relative frame and warm-starts
+consecutive separations; ``incremental=False`` keeps the original
+three-term min/max construction per node per separation. The two must
+produce identical ``PairBound`` results — curves included — on the
+paper's worked examples and on random superblocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bounds.pairwise import PairwiseBounder
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.ir.examples import figure1, figure2, figure3, figure4
+from repro.machine.machine import FS4, GP1, GP2
+from repro.workloads.corpus import specint95_corpus
+
+
+def _curves_for(sb, machine, incremental: bool):
+    suite = BoundSuite(sb, machine)
+    bounder = PairwiseBounder(
+        sb.graph,
+        machine,
+        suite.early_rc,
+        suite.late_rc,
+        sb.branch_latency,
+        incremental=incremental,
+    )
+    weights = sb.weights
+    return {
+        (i, j): bounder.pair_bound(i, j, weights[i], weights[j])
+        for i, j in itertools.combinations(sb.branches, 2)
+        if sb.graph.is_ancestor(i, j)
+    }
+
+
+@pytest.mark.parametrize(
+    "example", [figure1, figure2, figure3, figure4], ids=lambda f: f.__name__
+)
+@pytest.mark.parametrize("machine", [GP1, GP2, FS4], ids=lambda m: m.name)
+def test_incremental_matches_naive_on_paper_examples(example, machine):
+    sb = example()
+    assert _curves_for(sb, machine, True) == _curves_for(sb, machine, False)
+
+
+def test_incremental_matches_naive_on_random_graphs():
+    """50 random seeded superblocks, full PairBound equality per pair."""
+    corpus = specint95_corpus(scale=50, seed=99, max_ops=30)
+    checked_pairs = 0
+    for sb in list(corpus)[:50]:
+        for machine in (GP2, FS4):
+            fast = _curves_for(sb, machine, True)
+            naive = _curves_for(sb, machine, False)
+            assert fast == naive, f"{sb.name} on {machine.name}"
+            checked_pairs += len(fast)
+    assert checked_pairs > 0
+
+
+def test_incremental_is_default_and_used_by_suite():
+    """BoundSuite's pair bounds come from the incremental path."""
+    sb = figure2()
+    suite = BoundSuite(sb, GP2)
+    bounder = PairwiseBounder(
+        sb.graph, GP2, suite.early_rc, suite.late_rc, sb.branch_latency
+    )
+    assert bounder._incremental  # default on
+    weights = sb.weights
+    for (i, j), pb in suite.pair_bounds.items():
+        assert bounder.pair_bound(i, j, weights[i], weights[j]) == pb

@@ -1,0 +1,181 @@
+"""Parallel evaluation must be indistinguishable from serial evaluation.
+
+The contract of :mod:`repro.perf` is that ``jobs`` only changes wall-clock
+time: every eval entry point returns bit-identical results for ``jobs=1``,
+``jobs=2`` and ``jobs=os.cpu_count()``, and the table renderings are
+byte-identical strings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.bounds_eval import bound_costs, bound_quality
+from repro.eval.metrics import NoProfileWeights
+from repro.eval.sched_eval import evaluate_corpus
+from repro.eval.tables import table1, table3
+from repro.machine.machine import FS4, GP2
+from repro.perf.runner import ParallelRunner, effective_jobs
+from repro.perf.workers import corpus_map, is_picklable
+from repro.workloads.corpus import Corpus, specint95_corpus
+
+#: Small heuristic set keeps the scheduling fan-out fast in CI.
+FAST_HEURISTICS = ("cp", "dhasy", "balance")
+
+JOB_COUNTS = (1, 2, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="module")
+def par_corpus() -> Corpus:
+    """The seeded ~20-superblock corpus of the parallel-identity property."""
+    return specint95_corpus(scale=20, seed=13, max_ops=36)
+
+
+# ---------------------------------------------------------------------------
+# ParallelRunner unit behavior
+# ---------------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+_INIT_STATE: list[str] = []
+
+
+def _set_state(tag: str) -> None:
+    _INIT_STATE.append(tag)
+
+
+def test_runner_preserves_input_order():
+    items = list(range(57))
+    expected = [x * x for x in items]
+    assert ParallelRunner(jobs=1).map(_square, items) == expected
+    assert ParallelRunner(jobs=3).map(_square, items) == expected
+    assert ParallelRunner(jobs=3, chunk_size=5).map(_square, items) == expected
+
+
+def test_runner_serial_fallback_runs_initializer_inline():
+    _INIT_STATE.clear()
+    runner = ParallelRunner(jobs=1, initializer=_set_state, initargs=("here",))
+    assert runner.map(_square, [2, 3]) == [4, 9]
+    assert _INIT_STATE == ["here"]
+
+
+def test_effective_jobs_normalization():
+    assert effective_jobs(None) == 1
+    assert effective_jobs(1) == 1
+    assert effective_jobs(5) == 5
+    assert effective_jobs(0) >= 1  # all CPUs
+    assert not ParallelRunner(jobs=1).parallel
+    assert ParallelRunner(jobs=2).parallel
+
+
+def test_corpus_map_serial_for_unpicklable_extras(par_corpus):
+    """Unpicklable extras (a lambda) silently force the serial path."""
+    weigher = lambda sb: {b: 1.0 for b in sb.branches}  # noqa: E731
+    assert not is_picklable(weigher)
+    superblocks = list(par_corpus)[:3]
+    out = corpus_map(
+        _name_with, superblocks, [(i, (weigher,)) for i in range(3)], jobs=2
+    )
+    assert out == [sb.name for sb in superblocks]
+
+
+def _name_with(sb, weigher) -> str:
+    return sb.name
+
+
+# ---------------------------------------------------------------------------
+# jobs=1 == jobs=2 == jobs=cpu_count property
+# ---------------------------------------------------------------------------
+def test_bound_quality_identical_across_jobs(par_corpus):
+    reference = bound_quality(
+        par_corpus, [GP2, FS4], include_triplewise=False, jobs=1
+    )
+    for jobs in JOB_COUNTS[1:]:
+        assert (
+            bound_quality(
+                par_corpus, [GP2, FS4], include_triplewise=False, jobs=jobs
+            )
+            == reference
+        )
+
+
+def test_bound_costs_identical_across_jobs(par_corpus):
+    reference = bound_costs(par_corpus, [GP2], include_triplewise=False, jobs=1)
+    assert (
+        bound_costs(par_corpus, [GP2], include_triplewise=False, jobs=2)
+        == reference
+    )
+
+
+def test_evaluate_corpus_identical_across_jobs(par_corpus):
+    reference = evaluate_corpus(
+        par_corpus, GP2, FAST_HEURISTICS, include_triplewise=False, jobs=1
+    )
+    for jobs in JOB_COUNTS[1:]:
+        summary = evaluate_corpus(
+            par_corpus, GP2, FAST_HEURISTICS, include_triplewise=False, jobs=jobs
+        )
+        assert summary == reference
+
+
+def test_evaluate_corpus_parallel_with_scheduling_weights(par_corpus):
+    """The no-profile weights callable crosses the process boundary."""
+    assert is_picklable(NoProfileWeights(1000.0))
+    reference = evaluate_corpus(
+        par_corpus,
+        FS4,
+        FAST_HEURISTICS,
+        scheduling_weights=NoProfileWeights(1000.0),
+        include_triplewise=False,
+        jobs=1,
+    )
+    parallel = evaluate_corpus(
+        par_corpus,
+        FS4,
+        FAST_HEURISTICS,
+        scheduling_weights=NoProfileWeights(1000.0),
+        include_triplewise=False,
+        jobs=2,
+    )
+    assert parallel == reference
+
+
+def test_tables_byte_identical_across_jobs(par_corpus):
+    t1_serial = table1(
+        par_corpus, (GP2,), (FS4,), include_triplewise=False, jobs=1
+    ).render()
+    t1_parallel = table1(
+        par_corpus, (GP2,), (FS4,), include_triplewise=False, jobs=2
+    ).render()
+    assert t1_parallel == t1_serial
+
+    t3_serial = table3(
+        par_corpus,
+        (GP2,),
+        heuristics=FAST_HEURISTICS,
+        include_triplewise=False,
+        jobs=1,
+    ).render()
+    t3_parallel = table3(
+        par_corpus,
+        (GP2,),
+        heuristics=FAST_HEURISTICS,
+        include_triplewise=False,
+        jobs=2,
+    ).render()
+    assert t3_parallel == t3_serial
+
+
+# ---------------------------------------------------------------------------
+# Worker-transfer round trip
+# ---------------------------------------------------------------------------
+def test_corpus_payload_round_trip(par_corpus):
+    rebuilt = Corpus.from_payload(par_corpus.name, par_corpus.payload())
+    assert len(rebuilt) == len(par_corpus)
+    for original, copy in zip(par_corpus, rebuilt):
+        assert copy.name == original.name
+        assert copy.weights == original.weights
+        assert list(copy.graph.edges()) == list(original.graph.edges())

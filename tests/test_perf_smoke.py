@@ -1,0 +1,111 @@
+"""Perf smoke harness: schema, regression gate, and allocator micro-paths.
+
+The full suite runs via ``python -m repro bench`` / ``benchmarks/
+run_bench.sh``; here we exercise the quick subset (pytest marker
+``perf``) so tier-1 keeps covering the harness without paying full bench
+runtimes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bounds.rim_jain import SlotAllocator
+from repro.perf.bench import (
+    HEADLINE_METRICS,
+    BenchConfig,
+    BenchResult,
+    compare_metrics,
+    render_metrics,
+    run_bench,
+    save_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_result() -> BenchResult:
+    config = BenchConfig.quick()
+    config.include_scaling = False
+    return run_bench(config)
+
+
+@pytest.mark.perf
+def test_quick_bench_schema(quick_result, tmp_path_factory):
+    """Every metric follows the BENCH JSON schema {value, unit, seed}."""
+    assert set(HEADLINE_METRICS) <= set(quick_result.metrics)
+    for name, entry in quick_result.metrics.items():
+        assert set(entry) == {"value", "unit", "seed"}, name
+        assert entry["value"] > 0
+        assert entry["seed"] == BenchConfig.quick().seed
+    path = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
+    save_metrics(quick_result, path)
+    assert json.loads(path.read_text()) == quick_result.metrics
+    text = render_metrics(quick_result)
+    assert "rj_solves_per_sec" in text
+
+
+@pytest.mark.perf
+def test_quick_bench_self_comparison_passes(quick_result):
+    assert compare_metrics(quick_result.metrics, quick_result.metrics) == []
+
+
+def _metric(value: float, unit: str) -> dict:
+    return {"value": value, "unit": unit, "seed": 1999}
+
+
+def test_compare_metrics_direction_and_tolerance():
+    baseline = {
+        "rj_solves_per_sec": _metric(1000.0, "solves/s"),
+        "table1_seconds": _metric(10.0, "s"),
+    }
+    # Within 20%: no failures in either direction.
+    ok = {
+        "rj_solves_per_sec": _metric(850.0, "solves/s"),
+        "table1_seconds": _metric(11.5, "s"),
+    }
+    assert compare_metrics(ok, baseline) == []
+    # Throughput drop > 20% fails; elapsed growth > 20% fails.
+    bad = {
+        "rj_solves_per_sec": _metric(700.0, "solves/s"),
+        "table1_seconds": _metric(13.0, "s"),
+    }
+    failures = compare_metrics(bad, baseline)
+    assert len(failures) == 2
+    assert any("rj_solves_per_sec" in f for f in failures)
+    assert any("table1_seconds" in f for f in failures)
+    # Improvements never fail.
+    good = {
+        "rj_solves_per_sec": _metric(5000.0, "solves/s"),
+        "table1_seconds": _metric(1.0, "s"),
+    }
+    assert compare_metrics(good, baseline) == []
+    # Missing metrics are ignored (forward/backward compatible baselines).
+    assert compare_metrics({}, baseline) == []
+
+
+# ---------------------------------------------------------------------------
+# SlotAllocator micro-optimization: fast exit must not change behavior
+# ---------------------------------------------------------------------------
+def test_slot_allocator_fast_exit_preserves_semantics():
+    alloc = SlotAllocator(units=2)
+    # No skip pointers yet: queries return the requested cycle.
+    assert alloc.allocate(3) == 3
+    assert alloc.allocate(3) == 3  # second unit of cycle 3
+    assert alloc.used_in(3) == 2
+    # Cycle 3 is now full: the skip pointer forwards to 4.
+    assert alloc.allocate(3) == 4
+    assert alloc.allocate(0) == 0
+    assert alloc.allocate(-5) == 0  # clamped to cycle 0
+    # Fill 4 as well, then the forwarding chain 3 -> 4 -> 5 must resolve.
+    assert alloc.allocate(4) == 4
+    assert alloc.allocate(0) == 1  # cycle 0 full, skip pointer forwards
+    assert alloc.allocate(3) == 5
+    assert alloc.used_in(4) == 2
+
+
+def test_slot_allocator_single_unit_sequence():
+    alloc = SlotAllocator(units=1)
+    assert [alloc.allocate(0) for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert alloc.allocate(2) == 5
