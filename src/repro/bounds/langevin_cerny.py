@@ -35,18 +35,27 @@ def early_rc(
     counters: Counters | None = None,
     fast_path: bool = True,
     counter_prefix: str = "lc",
+    use_occupancy: bool = True,
 ) -> list[int]:
     """``EarlyRC[v]`` for every operation of ``graph``.
 
     Args:
         fast_path: apply the Theorem 1 shortcut for single-predecessor
             operations (the paper reports it removes ~30% of the work).
+        use_occupancy: model blocking (multi-cycle-occupancy) units in the
+            relaxations. Must be ``False`` when ``graph`` is a *reversed*
+            subgraph: a blocking op occupies cycles after its issue slot in
+            forward time, i.e. *before* it in mirrored time, so applying
+            the forward expansion there over-constrains the relaxation and
+            the resulting bound is no longer valid. Dropping the expansion
+            (every op one slot at its issue cycle) is a relaxation of the
+            mirrored problem, hence sound.
     """
     n = graph.num_operations
     rc = [0] * n
     rclass_all = [machine.resource_of(graph.op(v)) for v in range(n)]
     occ_all = None
-    if not machine.fully_pipelined:
+    if use_occupancy and not machine.fully_pipelined:
         # Theorem 1's proof needs single-cycle occupancy; disable the
         # shortcut on machines with blocking units.
         fast_path = False

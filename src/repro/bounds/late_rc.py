@@ -63,5 +63,13 @@ def late_rc_for_branch(
             the late times).
     """
     rev, remap = reversed_subgraph(graph, branch)
-    rc_rev = early_rc(rev, machine, counters, fast_path, counter_prefix="lc_rev")
+    # The reversed pass must not apply the blocking-unit expansion: a
+    # blocking op occupies cycles *before* its issue slot in mirrored time,
+    # so the forward expansion would over-constrain the relaxation and
+    # yield deadlines tighter than any feasible schedule allows (observed
+    # as Pairwise bounds exceeding achievable WCTs on FS4-NP).
+    rc_rev = early_rc(
+        rev, machine, counters, fast_path, counter_prefix="lc_rev",
+        use_occupancy=False,
+    )
     return {v: branch_early_rc - rc_rev[i] for v, i in remap.items()}

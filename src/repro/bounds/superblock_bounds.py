@@ -36,6 +36,8 @@ from repro.bounds.pairwise import PairBound, PairwiseBounder
 from repro.bounds.triplewise import TripleBound, TriplewiseBounder
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.obs import trace
+from repro.obs.metrics import active_counters
 
 #: Names of the bound families, in the paper's Table 1 order.
 BOUND_NAMES = ("CP", "Hu", "RJ", "LC", "PW", "TW")
@@ -90,7 +92,10 @@ class BoundSuite:
     ) -> None:
         self.sb = sb
         self.machine = machine
-        self.counters = counters
+        # An ambient MetricsRegistry (repro.obs.metrics) supplies the
+        # counters when none are passed explicitly, so corpus_map workers
+        # feed trip counts back to the parent without plumbing changes.
+        self.counters = counters if counters is not None else active_counters()
         self.include_pairwise = include_pairwise
         self.include_triplewise = include_triplewise
         self.lc_fast_path = lc_fast_path
@@ -102,21 +107,23 @@ class BoundSuite:
     @cached_property
     def early_rc(self) -> list[int]:
         """Forward LC bound for every operation."""
-        return early_rc(
-            self.sb.graph, self.machine, self.counters, self.lc_fast_path
-        )
+        with trace.span("bounds.lc", sb=self.sb.name):
+            return early_rc(
+                self.sb.graph, self.machine, self.counters, self.lc_fast_path
+            )
 
     @cached_property
     def late_rc(self) -> dict[int, dict[int, int]]:
         """Resource-aware late times, per branch."""
         rc = self.early_rc
-        return {
-            b: late_rc_for_branch(
-                self.sb.graph, self.machine, b, rc[b], self.counters,
-                self.lc_fast_path,
-            )
-            for b in self.sb.branches
-        }
+        with trace.span("bounds.late_rc", sb=self.sb.name):
+            return {
+                b: late_rc_for_branch(
+                    self.sb.graph, self.machine, b, rc[b], self.counters,
+                    self.lc_fast_path,
+                )
+                for b in self.sb.branches
+            }
 
     @cached_property
     def _pairs_to_compute(self) -> tuple[list[tuple[int, int]], bool]:
@@ -149,10 +156,11 @@ class BoundSuite:
             self.counters,
         )
         weights = self.sb.weights
-        return {
-            (i, j): bounder.pair_bound(i, j, weights[i], weights[j])
-            for i, j in pairs
-        }
+        with trace.span("bounds.pairwise", sb=self.sb.name, pairs=len(pairs)):
+            return {
+                (i, j): bounder.pair_bound(i, j, weights[i], weights[j])
+                for i, j in pairs
+            }
 
     @cached_property
     def pairs_complete(self) -> bool:
@@ -195,22 +203,27 @@ class BoundSuite:
         weights = self.sb.weights
         results: dict[tuple[int, int, int], TripleBound] = {}
         skipped = 0
-        for i, j, k in self._triples_to_compute:
-            # Triples whose pairs are all conflict-free almost never add
-            # information; skip them to keep the O(C^2) grids rare.
-            pb = self.pair_bounds
-            if all(
-                pb.get(p) is not None and pb[p].conflict_free
-                for p in ((i, j), (i, k), (j, k))
-            ):
-                continue
-            tb = bounder.triple_bound(
-                i, j, k, weights[i], weights[j], weights[k]
-            )
-            if tb is None:
-                skipped += 1
-            else:
-                results[(i, j, k)] = tb
+        with trace.span(
+            "bounds.triplewise",
+            sb=self.sb.name,
+            triples=len(self._triples_to_compute),
+        ):
+            for i, j, k in self._triples_to_compute:
+                # Triples whose pairs are all conflict-free almost never
+                # add information; skip them to keep the O(C^2) grids rare.
+                pb = self.pair_bounds
+                if all(
+                    pb.get(p) is not None and pb[p].conflict_free
+                    for p in ((i, j), (i, k), (j, k))
+                ):
+                    continue
+                tb = bounder.triple_bound(
+                    i, j, k, weights[i], weights[j], weights[k]
+                )
+                if tb is None:
+                    skipped += 1
+                else:
+                    results[(i, j, k)] = tb
         return results, skipped
 
     # -- aggregation -----------------------------------------------------
@@ -257,9 +270,12 @@ class BoundSuite:
         """Run every bound family and package the results."""
         sb, machine = self.sb, self.machine
         branch_bounds: dict[str, dict[int, int]] = {}
-        branch_bounds["CP"] = cp_branch_bounds(sb, self.counters)
-        branch_bounds["Hu"] = hu_branch_bounds(sb, machine, self.counters)
-        branch_bounds["RJ"] = rj_branch_bounds(sb, machine, self.counters)
+        with trace.span("bounds.cp", sb=sb.name):
+            branch_bounds["CP"] = cp_branch_bounds(sb, self.counters)
+        with trace.span("bounds.hu", sb=sb.name):
+            branch_bounds["Hu"] = hu_branch_bounds(sb, machine, self.counters)
+        with trace.span("bounds.rj", sb=sb.name):
+            branch_bounds["RJ"] = rj_branch_bounds(sb, machine, self.counters)
         rc = self.early_rc
         branch_bounds["LC"] = {b: rc[b] for b in sb.branches}
 

@@ -9,10 +9,14 @@ Commands:
 * ``figure8``  — regenerate the Figure 8 CDF.
 * ``examples`` — print the Figure 1-4 example schedules.
 * ``bench``    — run the perf smoke suite / regression gate.
+* ``trace``    — render a JSONL trace file (spans or Balance decisions).
 
 Corpus-sweep commands accept ``--jobs N`` to fan the (superblock,
 machine) work units out over N worker processes; outputs are
-byte-identical to the serial run.
+byte-identical to the serial run. Observability flags (see
+docs/observability.md): ``--trace-out PATH`` writes a JSONL span trace
+(for ``schedule`` with the Balance/Help heuristics, a decision trace),
+``--metrics-out PATH`` writes the merged counters/timers JSON.
 """
 
 from __future__ import annotations
@@ -21,11 +25,32 @@ import argparse
 import json
 import sys
 
-from repro.machine.machine import PAPER_MACHINES, machine_by_name
+from repro import __version__
+from repro.machine.machine import _BY_NAME, PAPER_MACHINES, machine_by_name
 
 
 class CommandError(Exception):
     """A command failed; the message is printed and the CLI exits 1."""
+
+
+class _ListMachinesAction(argparse.Action):
+    """``--list-machines``: print every machine model and exit."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        lines = []
+        for name, m in _BY_NAME.items():
+            units = ", ".join(f"{r}x{n}" for r, n in m.units.items())
+            blocking = (
+                "; blocking: "
+                + ", ".join(
+                    f"{op}={occ}" for op, occ in sorted(m.occupancy.items())
+                )
+                if m.occupancy
+                else ""
+            )
+            lines.append(f"{name:8s} units: {units}{blocking}")
+        print("\n".join(lines))
+        parser.exit()
 
 
 def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +72,17 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a JSONL trace here (render with 'python -m repro trace')",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the merged counters/timers JSON here",
+    )
+
+
 def _build_corpus(args):
     from repro.workloads.corpus import specint95_corpus
 
@@ -61,6 +97,47 @@ def _machines(args):
     return tuple(machine_by_name(n) for n in args.machines.split(","))
 
 
+def _observed(args):
+    """Tracer/metrics per the ``--trace-out``/``--metrics-out`` flags.
+
+    Returns an entered :class:`~contextlib.ExitStack` context manager
+    yielding ``(tracer, metrics)`` — either may be ``None`` when the
+    corresponding flag is absent.
+    """
+    from contextlib import ExitStack, contextmanager
+
+    from repro.obs import trace as trace_mod
+    from repro.obs.metrics import MetricsRegistry
+
+    @contextmanager
+    def ctx():
+        tracer = trace_mod.Tracer() if getattr(args, "trace_out", None) else None
+        metrics = (
+            MetricsRegistry() if getattr(args, "metrics_out", None) else None
+        )
+        with ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(trace_mod.install(tracer))
+            if metrics is not None:
+                stack.enter_context(metrics.activated())
+            yield tracer, metrics
+
+    return ctx()
+
+
+def _obs_lines(args, tracer, metrics, recorder=None) -> list[str]:
+    """Write the requested trace/metrics files; report what was written."""
+    lines = []
+    if getattr(args, "trace_out", None):
+        source = recorder if recorder is not None else tracer
+        source.write_jsonl(args.trace_out)
+        lines.append(f"trace written to {args.trace_out}")
+    if metrics is not None:
+        metrics.save(args.metrics_out)
+        lines.append(f"metrics written to {args.metrics_out}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="balance-sched",
@@ -68,6 +145,13 @@ def main(argv: list[str] | None = None) -> int:
             "Reproduction of 'Balance Scheduling: Weighting Branch "
             "Tradeoffs in Superblocks' (MICRO 1999)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--list-machines", action=_ListMachinesAction, nargs=0,
+        help="list the available machine models and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -82,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
+    _add_obs_args(p)
 
     p = sub.add_parser(
         "cfg", help="generate a CFG, select traces, form superblocks"
@@ -93,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("bounds", help="print all bounds for a superblock file")
     p.add_argument("file")
     p.add_argument("--machine", default="GP2")
+    _add_obs_args(p)
 
     for tid in range(1, 8):
         p = sub.add_parser(f"table{tid}", help=f"regenerate paper Table {tid}")
@@ -106,11 +192,13 @@ def main(argv: list[str] | None = None) -> int:
             help="skip the (expensive) Triplewise bound",
         )
         _add_jobs_arg(p)
+        _add_obs_args(p)
 
     p = sub.add_parser("figure8", help="regenerate the Figure 8 CDF (gcc, FS4)")
     _add_corpus_args(p)
     p.add_argument("--machine", default="FS4")
     _add_jobs_arg(p)
+    _add_obs_args(p)
 
     sub.add_parser("examples", help="print the Figure 1-4 example schedules")
 
@@ -125,6 +213,16 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the slow cost tables (2 and 6)",
     )
     _add_jobs_arg(p)
+    _add_obs_args(p)
+
+    p = sub.add_parser(
+        "trace", help="render a JSONL trace (span or decision events)"
+    )
+    p.add_argument("file", help="trace file written by --trace-out")
+    p.add_argument(
+        "--dot", action="store_true",
+        help="emit a Graphviz DOT rendering of a decision trace",
+    )
 
     p = sub.add_parser(
         "bench",
@@ -174,7 +272,24 @@ def run_command(args) -> str:
         machine = machine_by_name(args.machine)
         from repro.schedulers.base import schedule as run_sched
 
-        s = run_sched(sb, machine, args.heuristic)
+        # The Balance engine records a decision trace; other heuristics
+        # fall back to a span trace of their bound computations.
+        recorder = None
+        kwargs = {}
+        if args.trace_out and args.heuristic in ("balance", "help"):
+            from repro.obs.decision_trace import DecisionRecorder
+
+            recorder = DecisionRecorder()
+            kwargs["recorder"] = recorder
+        from repro.obs import trace as trace_mod
+
+        with _observed(args) as (tracer, metrics):
+            if metrics is not None and args.heuristic in ("balance", "help"):
+                kwargs["counters"] = metrics.counters
+            with trace_mod.span(
+                "schedule", superblock=sb.name, heuristic=args.heuristic
+            ):
+                s = run_sched(sb, machine, args.heuristic, **kwargs)
         lines = [
             f"{sb.name} on {machine.name} with {args.heuristic}:",
             f"  WCT = {s.wct:.4f}, length = {s.length} cycles",
@@ -188,6 +303,7 @@ def run_command(args) -> str:
 
             lines.append("")
             lines.append(gantt(sb, machine, s))
+        lines += _obs_lines(args, tracer, metrics, recorder)
         return "\n".join(lines)
 
     if args.command == "cfg":
@@ -215,11 +331,13 @@ def run_command(args) -> str:
         with open(args.file) as fh:
             sb = superblock_from_dict(json.load(fh))
         machine = machine_by_name(args.machine)
-        res = BoundSuite(sb, machine).compute()
+        with _observed(args) as (tracer, metrics):
+            res = BoundSuite(sb, machine).compute()
         lines = [f"{sb.name} on {machine.name}:"]
         for name, wct in res.wct.items():
             mark = "  <- tightest" if wct == res.tightest else ""
             lines.append(f"  {name:3s} = {wct:.4f}{mark}")
+        lines += _obs_lines(args, tracer, metrics)
         return "\n".join(lines)
 
     if args.command.startswith("table"):
@@ -230,32 +348,42 @@ def run_command(args) -> str:
         tid = int(args.command[-1])
         jobs = args.jobs
         kwargs = {}
-        if tid in (1,):
-            gp = tuple(m for m in machines if m.name.startswith("GP"))
-            fs = tuple(m for m in machines if m.name.startswith("FS"))
-            result = tables_mod.table1(
-                corpus,
-                gp or tables_mod.GP_MACHINES,
-                fs or tables_mod.FS_MACHINES,
-                include_triplewise=not args.no_triplewise,
-                jobs=jobs,
-            )
-        elif tid == 6:
-            result = tables_mod.table6(corpus, machines[0], jobs=jobs)
-        else:
-            fn = getattr(tables_mod, f"table{tid}")
-            kwargs["machines"] = machines
-            kwargs["include_triplewise"] = not args.no_triplewise
-            kwargs["jobs"] = jobs
-            result = fn(corpus, **kwargs)
-        return result.render()
+        with _observed(args) as (tracer, metrics):
+            if tid in (1,):
+                gp = tuple(m for m in machines if m.name.startswith("GP"))
+                fs = tuple(m for m in machines if m.name.startswith("FS"))
+                result = tables_mod.table1(
+                    corpus,
+                    gp or tables_mod.GP_MACHINES,
+                    fs or tables_mod.FS_MACHINES,
+                    include_triplewise=not args.no_triplewise,
+                    jobs=jobs,
+                    metrics=metrics,
+                )
+            elif tid == 6:
+                result = tables_mod.table6(
+                    corpus, machines[0], jobs=jobs, metrics=metrics
+                )
+            else:
+                fn = getattr(tables_mod, f"table{tid}")
+                kwargs["machines"] = machines
+                kwargs["include_triplewise"] = not args.no_triplewise
+                kwargs["jobs"] = jobs
+                kwargs["metrics"] = metrics
+                result = fn(corpus, **kwargs)
+        out = [result.render()] + _obs_lines(args, tracer, metrics)
+        return "\n".join(out)
 
     if args.command == "figure8":
         from repro.eval.figures import figure8
 
         corpus = _build_corpus(args).by_benchmark("gcc")
         machine = machine_by_name(args.machine)
-        return figure8(corpus, machine, jobs=args.jobs).render()
+        with _observed(args) as (tracer, metrics):
+            rendered = figure8(
+                corpus, machine, jobs=args.jobs, metrics=metrics
+            ).render()
+        return "\n".join([rendered] + _obs_lines(args, tracer, metrics))
 
     if args.command == "examples":
         from repro.eval.figures import figure_schedules
@@ -264,24 +392,61 @@ def run_command(args) -> str:
 
     if args.command == "report":
         from repro.eval.report import full_report
+        from repro.obs.logsetup import setup_logging
         from repro.workloads.corpus import specint95_corpus
 
+        setup_logging()
         corpus = _build_corpus(args)
         small = specint95_corpus(
             scale=max(8, args.scale // 2), seed=args.seed, max_ops=args.max_ops
         )
-        text = full_report(
-            corpus,
-            small,
-            include_triplewise=not args.no_triplewise,
-            include_costs=not args.no_costs,
-            jobs=args.jobs,
-        )
+        with _observed(args) as (tracer, metrics):
+            text = full_report(
+                corpus,
+                small,
+                include_triplewise=not args.no_triplewise,
+                include_costs=not args.no_costs,
+                jobs=args.jobs,
+                metrics=metrics,
+            )
+        extra = _obs_lines(args, tracer, metrics)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
-            return f"report written to {args.out}"
-        return text
+            return "\n".join([f"report written to {args.out}"] + extra)
+        return "\n".join([text] + extra)
+
+    if args.command == "trace":
+        from repro.obs.decision_trace import (
+            decision_trace_to_dot,
+            load_jsonl,
+            render_decision_trace,
+        )
+        from repro.obs.trace import render_spans
+
+        try:
+            events = load_jsonl(args.file)
+        except FileNotFoundError:
+            raise CommandError(f"trace file not found: {args.file}") from None
+        except json.JSONDecodeError as exc:
+            raise CommandError(f"{args.file} is not valid JSONL: {exc}") from None
+        if not events:
+            raise CommandError(f"{args.file} contains no events")
+        span_events = [e for e in events if e.get("event") == "span"]
+        decision_events = [e for e in events if e.get("event") != "span"]
+        if args.dot:
+            if not decision_events:
+                raise CommandError(
+                    "--dot requires a decision trace (schedule --trace-out "
+                    "with the balance/help heuristic)"
+                )
+            return decision_trace_to_dot(decision_events)
+        parts = []
+        if decision_events:
+            parts.append(render_decision_trace(decision_events))
+        if span_events:
+            parts.append(render_spans(span_events))
+        return "\n\n".join(parts)
 
     if args.command == "bench":
         from repro.perf import bench as bench_mod

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.bounds.instrumentation import Counters
 from repro.bounds.superblock_bounds import BoundSuite
 from repro.core.branch_select import select_with_tradeoffs
+from repro.obs.decision_trace import DecisionRecorder
 from repro.core.config import BALANCE, HELP, BalanceConfig
 from repro.core.dynamic_bounds import DynamicBounds
 from repro.core.op_select import pick_operation
@@ -71,18 +72,28 @@ def balance_schedule(
     counters: Counters | None = None,
     heuristic_name: str | None = None,
     validate: bool = True,
+    recorder: DecisionRecorder | None = None,
 ) -> Schedule:
     """Schedule ``sb`` with the Balance engine under ``config``.
 
     Args:
         suite: optional precomputed :class:`BoundSuite` (reuses its
             ``EarlyRC``/``LateRC``/pairwise caches).
+        recorder: optional :class:`DecisionRecorder` capturing the
+            per-cycle decision trace (dynamic bounds, needs, selections,
+            tradeoff justifications, issues). Recording never changes the
+            schedule (tests/test_decision_trace.py).
     """
     graph = sb.graph
     n = graph.num_operations
     floor, late_cap, anchor, pair_bounds = _static_inputs(
         sb, machine, config, suite, counters
     )
+    if recorder is not None:
+        recorder.begin(
+            sb, machine,
+            heuristic_name or ("balance" if config == BALANCE else config.label()),
+        )
     state = DynamicBounds(sb, machine, floor, late_cap, anchor, counters)
     table = ReservationTable(machine)
     issue: dict[int, int] = {}
@@ -120,6 +131,8 @@ def balance_schedule(
             state_cycle = cycle
             if counters is not None:
                 counters.add("balance.update", 1)
+            if recorder is not None:
+                recorder.cycle(cycle, state.needs)
         elif config.update_per_op:
             if config.light_update:
                 state.light_update(cycle, issue, table, unscheduled_branches)
@@ -140,6 +153,8 @@ def balance_schedule(
                 pair_bounds if config.tradeoff else None,
                 config.max_reorders,
             )
+            if recorder is not None:
+                recorder.selection(cycle, sel)
             if sel.constrained:
                 allowed = sel.candidate_ops()
                 candidates = [v for v in placeable if v in allowed]
@@ -168,6 +183,8 @@ def balance_schedule(
         issue[v] = cycle
         if counters is not None:
             counters.add("balance.decision", 1)
+        if recorder is not None:
+            recorder.issue(cycle, v, rclass[v])
         for w, lat in graph.succs(v):
             preds_left[w] -= 1
             t = cycle + lat
@@ -177,7 +194,10 @@ def balance_schedule(
             unscheduled_branches.remove(v)
 
     name = heuristic_name or ("balance" if config == BALANCE else config.label())
-    return make_schedule(sb, machine, name, issue, validate=validate)
+    result = make_schedule(sb, machine, name, issue, validate=validate)
+    if recorder is not None:
+        recorder.end(result)
+    return result
 
 
 @register("balance")
@@ -187,10 +207,11 @@ def balance(
     suite: BoundSuite | None = None,
     counters: Counters | None = None,
     validate: bool = True,
+    recorder: DecisionRecorder | None = None,
 ) -> Schedule:
     """The full Balance heuristic."""
     return balance_schedule(
-        sb, machine, BALANCE, suite, counters, "balance", validate
+        sb, machine, BALANCE, suite, counters, "balance", validate, recorder
     )
 
 
@@ -200,9 +221,10 @@ def help_heuristic(
     machine: MachineConfig,
     counters: Counters | None = None,
     validate: bool = True,
+    recorder: DecisionRecorder | None = None,
 ) -> Schedule:
     """The Help heuristic: Speculative-Hedge-style scoring, no RC bounds,
     no compatible-branch selection (Section 6.2)."""
     return balance_schedule(
-        sb, machine, HELP, None, counters, "help", validate
+        sb, machine, HELP, None, counters, "help", validate, recorder
     )

@@ -48,6 +48,11 @@ class Selection:
     take_each: set[int] = field(default_factory=set)
     take_one: dict[str, set[int]] = field(default_factory=dict)
     rank: float = 0.0
+    #: Pairwise-tradeoff justifications recorded during selection:
+    #: ``(branch, against, kind, bound)`` with kind ``"delayedOK"`` (the
+    #: pair bound proves delaying ``branch`` is free) or ``"swap"`` (the
+    #: bound blames ``against`` and the order was retried).
+    tradeoffs: list[tuple[int, int, str, int]] = field(default_factory=list)
 
     @property
     def constrained(self) -> bool:
@@ -193,6 +198,7 @@ def select_with_tradeoffs(
                         # The pair bound proves i ends up at least this
                         # late anyway: delaying it now is free.
                         sel.delayed_ok.add(i)
+                        sel.tradeoffs.append((i, j, "delayedOK", bound_i))
                     elif (
                         swap is None
                         and needs[j].early + 1 <= bound_j
@@ -200,6 +206,7 @@ def select_with_tradeoffs(
                     ):
                         # The bound blames j: try giving i priority.
                         swap = (i, j)
+                        sel.tradeoffs.append((i, j, "swap", bound_j))
         sel.rank = ranked(sel)
         if best is None or sel.rank > best.rank:
             best = sel

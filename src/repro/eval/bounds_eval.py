@@ -23,6 +23,7 @@ from repro.bounds.late_rc import late_rc_for_branch
 from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.obs.metrics import MetricsRegistry, active_counters
 from repro.perf.workers import corpus_map
 from repro.workloads.corpus import Corpus
 
@@ -59,6 +60,7 @@ def bound_quality(
     machines: list[MachineConfig],
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, BoundQuality]:
     """Quality of each bound family over ``corpus`` x ``machines``.
 
@@ -66,6 +68,8 @@ def bound_quality(
         jobs: worker processes for the (superblock, machine) fan-out;
             ``None``/``1`` runs serially, ``0`` uses all CPUs. Results
             are identical for any value.
+        metrics: optional registry collecting the bound algorithms' trip
+            counters; merged totals are identical for any ``jobs``.
     """
     superblocks = list(corpus)
     units = [
@@ -73,7 +77,7 @@ def bound_quality(
         for machine in machines
         for idx in range(len(superblocks))
     ]
-    per_unit = corpus_map(_quality_unit, superblocks, units, jobs)
+    per_unit = corpus_map(_quality_unit, superblocks, units, jobs, metrics=metrics)
     gaps: dict[str, list[float]] = {name: [] for name in BOUND_NAMES}
     below: dict[str, int] = {name: 0 for name in BOUND_NAMES}
     total = 0
@@ -163,6 +167,13 @@ def _cost_unit(
         c2.clear()
         _ = suite2.triple_results
         trips["TW"] = c2.total("tw")
+
+    # Feed the ambient registry (if any) so Table 2 totals survive the
+    # worker boundary: each algorithm's trips land under "table2.<name>".
+    agg = active_counters()
+    if agg is not None:
+        for name, value in trips.items():
+            agg.add(f"table2.{name}", value)
     return trips
 
 
@@ -171,6 +182,7 @@ def bound_costs(
     machines: list[MachineConfig],
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, BoundCost]:
     """Loop-trip counts of every bound algorithm (Table 2).
 
@@ -183,7 +195,7 @@ def bound_costs(
         for machine in machines
         for idx in range(len(superblocks))
     ]
-    per_unit = corpus_map(_cost_unit, superblocks, units, jobs)
+    per_unit = corpus_map(_cost_unit, superblocks, units, jobs, metrics=metrics)
     samples: dict[str, list[int]] = {name: [] for name in _COMPLEXITY}
     for trips in per_unit:
         for name, value in trips.items():

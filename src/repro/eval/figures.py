@@ -15,6 +15,7 @@ from typing import Any
 from repro.eval.metrics import CorpusSummary
 from repro.eval.sched_eval import TABLE_HEURISTICS, evaluate_corpus
 from repro.machine.machine import FS4, MachineConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
 
@@ -52,6 +53,7 @@ def figure8(
     include_triplewise: bool = True,
     summary: CorpusSummary | None = None,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> FigureResult:
     """Fraction of superblocks within X extra dynamic cycles of the bound.
 
@@ -62,6 +64,7 @@ def figure8(
         summary = evaluate_corpus(
             corpus, machine, heuristics,
             include_triplewise=include_triplewise, jobs=jobs,
+            metrics=metrics,
         )
     total = len(summary.results)
     series: dict[str, list[tuple[float, float]]] = {}

@@ -23,7 +23,12 @@ from repro.eval.tables import (
     table7,
 )
 from repro.machine.machine import FS4
+from repro.obs import trace
+from repro.obs.logsetup import get_logger
+from repro.obs.metrics import MetricsRegistry
 from repro.workloads.corpus import Corpus
+
+log = get_logger("eval.report")
 
 
 def full_report(
@@ -32,6 +37,7 @@ def full_report(
     include_triplewise: bool = True,
     include_costs: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> str:
     """Run the full evaluation and return a markdown report.
 
@@ -40,6 +46,8 @@ def full_report(
             (Tables 2, 6, 7); defaults to the main corpus.
         include_costs: skip the slow cost tables (2 and 6) when False.
         jobs: worker processes for every table's corpus fan-out.
+        metrics: optional registry aggregating every table's counters and
+            per-section timers (identical totals for any ``jobs``).
     """
     from repro.workloads.stats import characterization_report
 
@@ -57,6 +65,11 @@ def full_report(
         "",
     ]
 
+    log.info(
+        "full report: corpus=%s jobs=%s triplewise=%s costs=%s",
+        corpus.name, jobs, include_triplewise, include_costs,
+    )
+
     def add(title: str, body: str, elapsed: float) -> None:
         sections.append(f"## {title}")
         sections.append("")
@@ -65,55 +78,81 @@ def full_report(
         sections.append("```")
         sections.append(f"_(computed in {elapsed:.1f}s)_")
         sections.append("")
+        log.info("%s computed in %.1fs", title, elapsed)
+        if metrics is not None:
+            slug = title.split("—")[0].strip().lower().replace(" ", "")
+            metrics.observe(f"report.{slug}", elapsed)
 
     t0 = time.perf_counter()
-    t1_res = table1(corpus, include_triplewise=include_triplewise, jobs=jobs)
+    with trace.span("report.table1"):
+        t1_res = table1(
+            corpus, include_triplewise=include_triplewise, jobs=jobs,
+            metrics=metrics,
+        )
     add("Table 1 — bound quality", t1_res.render(), time.perf_counter() - t0)
 
     if include_costs:
         t0 = time.perf_counter()
-        t2_res = table2(small, include_triplewise=include_triplewise, jobs=jobs)
+        with trace.span("report.table2"):
+            t2_res = table2(
+                small, include_triplewise=include_triplewise, jobs=jobs,
+                metrics=metrics,
+            )
         add("Table 2 — bound cost", t2_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    t3_res = table3(corpus, include_triplewise=include_triplewise, jobs=jobs)
+    with trace.span("report.table3"):
+        t3_res = table3(
+            corpus, include_triplewise=include_triplewise, jobs=jobs,
+            metrics=metrics,
+        )
     add("Table 3 — scheduler slowdown", t3_res.render(), time.perf_counter() - t0)
     summaries = t3_res.data["summaries"]
 
     t0 = time.perf_counter()
-    t4_res = table4(
-        corpus, include_triplewise=include_triplewise, summaries=summaries
-    )
+    with trace.span("report.table4"):
+        t4_res = table4(
+            corpus, include_triplewise=include_triplewise, summaries=summaries
+        )
     add("Table 4 — optimality", t4_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    t5_res = table5(
-        corpus,
-        include_triplewise=include_triplewise,
-        profiled_summaries=summaries,
-        jobs=jobs,
-    )
+    with trace.span("report.table5"):
+        t5_res = table5(
+            corpus,
+            include_triplewise=include_triplewise,
+            profiled_summaries=summaries,
+            jobs=jobs,
+            metrics=metrics,
+        )
     add("Table 5 — no profile data", t5_res.render(), time.perf_counter() - t0)
 
     if include_costs:
         t0 = time.perf_counter()
-        t6_res = table6(small, FS4, jobs=jobs)
+        with trace.span("report.table6"):
+            t6_res = table6(small, FS4, jobs=jobs, metrics=metrics)
         add("Table 6 — scheduler cost", t6_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
-    t7_res = table7(small, include_triplewise=include_triplewise, jobs=jobs)
+    with trace.span("report.table7"):
+        t7_res = table7(
+            small, include_triplewise=include_triplewise, jobs=jobs,
+            metrics=metrics,
+        )
     add("Table 7 — Balance ablation", t7_res.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()
     gcc = corpus.by_benchmark("gcc")
     fig8_corpus = gcc if len(gcc) else corpus
-    f8 = figure8(
-        fig8_corpus,
-        FS4,
-        include_triplewise=include_triplewise,
-        summary=None,
-        jobs=jobs,
-    )
+    with trace.span("report.figure8"):
+        f8 = figure8(
+            fig8_corpus,
+            FS4,
+            include_triplewise=include_triplewise,
+            summary=None,
+            jobs=jobs,
+            metrics=metrics,
+        )
     add("Figure 8 — CDF (gcc, FS4)", f8.render(), time.perf_counter() - t0)
 
     t0 = time.perf_counter()

@@ -17,6 +17,8 @@ from repro.core.config import BalanceConfig
 from repro.eval.metrics import CorpusSummary, SuperblockResult, reweighted
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, active_counters
 from repro.perf.workers import corpus_map
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
@@ -41,21 +43,28 @@ def evaluate_superblock(
         extra_configs: additional Balance-engine configurations to run,
             keyed by result label (the Table 7 ablation grid).
     """
-    suite = BoundSuite(sb, machine, include_triplewise=include_triplewise)
-    bounds = suite.compute()
+    counters = active_counters()
+    suite = BoundSuite(
+        sb, machine, counters, include_triplewise=include_triplewise
+    )
+    with trace.span("eval.bounds", sb=sb.name, machine=machine.name):
+        bounds = suite.compute()
 
     sched_sb = sb
     sched_suite = suite
     if scheduling_weights is not None:
         sched_sb = reweighted(sb, scheduling_weights(sb))
         sched_suite = BoundSuite(
-            sched_sb, machine, include_triplewise=False
+            sched_sb, machine, counters, include_triplewise=False
         )
 
     wct: dict[str, float] = {}
     for name in heuristics:
         kwargs = {"suite": sched_suite} if name == "balance" else {}
-        s = get_scheduler(name)(sched_sb, machine, validate=False, **kwargs)
+        if name in ("balance", "help"):
+            kwargs["counters"] = counters
+        with trace.span("eval.schedule", sb=sb.name, heuristic=name):
+            s = get_scheduler(name)(sched_sb, machine, validate=False, **kwargs)
         # Evaluate with the *true* weights regardless of scheduling weights.
         wct[name] = sb.weighted_completion_time(
             {b: s.issue[b] for b in sb.branches}
@@ -66,6 +75,7 @@ def evaluate_superblock(
             machine,
             config,
             suite=sched_suite if config.use_rc_bounds else None,
+            counters=counters,
             validate=False,
         )
         wct[label] = sb.weighted_completion_time(
@@ -89,6 +99,7 @@ def evaluate_corpus(
     include_triplewise: bool = True,
     extra_configs: dict[str, BalanceConfig] | None = None,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CorpusSummary:
     """Evaluate every superblock of ``corpus`` on ``machine``.
 
@@ -100,6 +111,8 @@ def evaluate_corpus(
             forces the serial path — use a picklable callable such as
             :class:`repro.eval.metrics.NoProfileWeights` to keep the
             fan-out parallel.
+        metrics: optional registry collecting counters/timers from every
+            work unit; merged totals are identical for any ``jobs``.
     """
     superblocks = list(corpus)
     extras = (
@@ -114,5 +127,6 @@ def evaluate_corpus(
         superblocks,
         [(idx, extras) for idx in range(len(superblocks))],
         jobs,
+        metrics=metrics,
     )
     return CorpusSummary(machine=machine.name, results=results)

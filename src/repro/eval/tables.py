@@ -19,6 +19,8 @@ from repro.eval.formatting import format_table
 from repro.eval.metrics import CorpusSummary, NoProfileWeights
 from repro.eval.sched_eval import TABLE_HEURISTICS, evaluate_corpus
 from repro.machine.machine import FS4, FS6, FS8, GP1, GP2, GP4, MachineConfig
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.workers import corpus_map
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
@@ -63,12 +65,16 @@ def table1(
     fs_machines: tuple[MachineConfig, ...] = FS_MACHINES,
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Performance of the bounds relative to the tightest lower bound."""
     rows: list[list[Any]] = []
     data: dict[str, Any] = {}
     for group_name, machines in (("GP", gp_machines), ("FS", fs_machines)):
-        quality = bound_quality(corpus, list(machines), include_triplewise, jobs)
+        with trace.span("table1.group", group=group_name):
+            quality = bound_quality(
+                corpus, list(machines), include_triplewise, jobs, metrics
+            )
         data[group_name] = quality
         rows.append(
             [f"{group_name} Avg%"]
@@ -99,9 +105,10 @@ def table2(
     machines: tuple[MachineConfig, ...] = ALL_MACHINES,
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Computational complexity (loop trip counts) of the bound algorithms."""
-    costs = bound_costs(corpus, list(machines), include_triplewise, jobs)
+    costs = bound_costs(corpus, list(machines), include_triplewise, jobs, metrics)
     rows = [
         [
             name,
@@ -130,15 +137,18 @@ def table3(
     heuristics: tuple[str, ...] = TABLE_HEURISTICS,
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Slowdown relative to the tightest lower bound, per configuration."""
     summaries: dict[str, CorpusSummary] = {}
     rows: list[list[Any]] = []
     for machine in machines:
-        summary = evaluate_corpus(
-            corpus, machine, heuristics,
-            include_triplewise=include_triplewise, jobs=jobs,
-        )
+        with trace.span("table3.machine", machine=machine.name):
+            summary = evaluate_corpus(
+                corpus, machine, heuristics,
+                include_triplewise=include_triplewise, jobs=jobs,
+                metrics=metrics,
+            )
         summaries[machine.name] = summary
         rows.append(
             [
@@ -176,6 +186,7 @@ def table4(
     include_triplewise: bool = True,
     summaries: dict[str, CorpusSummary] | None = None,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Percentage of nontrivial superblocks scheduled at the bound.
 
@@ -188,6 +199,7 @@ def table4(
             m.name: evaluate_corpus(
                 corpus, m, heuristics,
                 include_triplewise=include_triplewise, jobs=jobs,
+                metrics=metrics,
             )
             for m in machines
         }
@@ -236,6 +248,7 @@ def table5(
     last_weight: float = 1000.0,
     profiled_summaries: dict[str, CorpusSummary] | None = None,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """No-profile experiment: schedulers assume (1, ..., 1, 1000) weights.
 
@@ -253,6 +266,7 @@ def table5(
             scheduling_weights=NoProfileWeights(last_weight),
             include_triplewise=include_triplewise,
             jobs=jobs,
+            metrics=metrics,
         )
         summaries[machine.name] = summary
         rows.append(
@@ -317,6 +331,7 @@ def table6(
     heuristics: tuple[str, ...] = ("sr", "cp", "gstar", "dhasy", "help", "balance"),
     repetitions: int = 1,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Measured scheduling cost per heuristic (wall-clock per superblock).
 
@@ -345,7 +360,7 @@ def table6(
         for name in names
         for idx in range(len(superblocks))
     ]
-    timings = corpus_map(_sched_time_unit, superblocks, units, jobs)
+    timings = corpus_map(_sched_time_unit, superblocks, units, jobs, metrics=metrics)
     for pos, name in enumerate(names):
         per_sb_us = timings[pos * len(superblocks) : (pos + 1) * len(superblocks)]
         worst, emp = _SCHED_COMPLEXITY.get(name, ("-", "-"))
@@ -376,6 +391,7 @@ def table7(
     machines: tuple[MachineConfig, ...] = ALL_MACHINES,
     include_triplewise: bool = True,
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TableResult:
     """Slowdown of every Balance component combination (Table 7 grid)."""
     labels = {cfg.label(): cfg for cfg in ABLATION_GRID}
@@ -388,6 +404,7 @@ def table7(
             include_triplewise=include_triplewise,
             extra_configs=labels,
             jobs=jobs,
+            metrics=metrics,
         )
     combos = [
         "Help",

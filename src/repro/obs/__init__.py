@@ -1,0 +1,54 @@
+"""Observability layer: tracing, metrics, decision traces, and logging.
+
+Four cooperating pieces, all opt-in and free when disabled:
+
+* :mod:`repro.obs.trace` — a span tracer (``with trace.span("name")``)
+  with monotonic-clock timing and nesting; the disabled path is a shared
+  no-op context manager behind one module-global read.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, unifying the
+  loop-trip :class:`~repro.bounds.instrumentation.Counters` with timers
+  and gauges; picklable and mergeable so parallel workers' metrics
+  aggregate deterministically back to the parent.
+* :mod:`repro.obs.decision_trace` — :class:`DecisionRecorder`, the
+  Balance scheduler's per-cycle decision log (dynamic Early/Late bounds,
+  NeedEach/NeedOne, TakeEach/TakeOne, pairwise tradeoff justifications),
+  exported as JSONL and rendered by ``python -m repro trace``.
+* :mod:`repro.obs.logsetup` — :func:`setup_logging`, the package's one
+  logging configuration helper.
+
+See docs/observability.md for span names, the event schema, and a worked
+Figure 2 walkthrough.
+"""
+
+from repro.obs.decision_trace import (
+    DecisionRecorder,
+    decision_trace_to_dot,
+    load_jsonl,
+    render_decision_trace,
+)
+from repro.obs.logsetup import get_logger, setup_logging
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active,
+    active_counters,
+    render_metrics,
+)
+from repro.obs.trace import Tracer, current, install, render_spans, span
+
+__all__ = [
+    "DecisionRecorder",
+    "MetricsRegistry",
+    "Tracer",
+    "active",
+    "active_counters",
+    "current",
+    "decision_trace_to_dot",
+    "get_logger",
+    "install",
+    "load_jsonl",
+    "render_decision_trace",
+    "render_metrics",
+    "render_spans",
+    "setup_logging",
+    "span",
+]

@@ -1,0 +1,257 @@
+"""Balance decision-trace recorder: why a schedule came out the way it did.
+
+The Balance scheduler (Section 5) makes per-cycle branch-tradeoff
+decisions that are invisible in the final schedule: which dynamic
+Early/Late bounds each branch carried, which ``NeedEach``/``NeedOne``
+sets were derived, which compatible set (``TakeEach``/``TakeOne``) was
+selected, and which Pairwise comparison justified delaying a branch. The
+:class:`DecisionRecorder` captures exactly that, as a list of plain-dict
+events suitable for JSONL export and post-hoc rendering (``python -m
+repro trace FILE``).
+
+Event schema (one JSON object per line; ``event`` discriminates):
+
+* ``begin``   — ``superblock``, ``machine``, ``heuristic``, ``branches``,
+  ``weights``.
+* ``cycle``   — ``cycle``, ``branches``: per unscheduled branch its
+  dynamic ``early`` bound, ``late`` map (op -> latest issue), ``need_each``
+  set and ``need_one`` sets per resource class.
+* ``selection`` — ``cycle``, the branch partition (``selected`` /
+  ``delayed`` / ``delayed_ok`` / ``ignored``), the chosen compatible set
+  (``take_each``, ``take_one`` per class), and the selection ``rank``.
+* ``tradeoff`` — ``cycle``, ``branch``, ``against``, ``kind``
+  (``delayedOK`` when the Pairwise bound proves the delay free, ``swap``
+  when it blames an earlier-selected branch), and the pairwise ``bound``
+  that justified it.
+* ``issue``   — ``cycle``, ``op``, ``rclass``.
+* ``end``     — ``wct``, ``length``, final per-branch issue cycles.
+
+Recording is opt-in and structured like :class:`Counters`: every call
+site guards with ``if recorder is not None``, so the disabled path costs
+one comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+class DecisionRecorder:
+    """Accumulates Balance decision events for one scheduling run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    # -- event emitters (called from the Balance engine) ----------------
+    def begin(self, sb, machine, heuristic: str) -> None:
+        self.events.append(
+            {
+                "event": "begin",
+                "superblock": sb.name,
+                "machine": machine.name,
+                "heuristic": heuristic,
+                "branches": list(sb.branches),
+                "weights": {str(b): sb.weights[b] for b in sb.branches},
+            }
+        )
+
+    def cycle(self, cycle: int, needs: dict[int, Any]) -> None:
+        """Snapshot the dynamic bounds of every unscheduled branch."""
+        self.events.append(
+            {
+                "event": "cycle",
+                "cycle": cycle,
+                "branches": {
+                    str(b): {
+                        "early": info.early,
+                        "late": {str(v): t for v, t in sorted(info.late.items())},
+                        "need_each": sorted(info.need_each),
+                        "need_one": {
+                            r: sorted(members)
+                            for r, members in sorted(info.need_one.items())
+                        },
+                    }
+                    for b, info in sorted(needs.items())
+                },
+            }
+        )
+
+    def selection(self, cycle: int, sel) -> None:
+        self.events.append(
+            {
+                "event": "selection",
+                "cycle": cycle,
+                "selected": list(sel.selected),
+                "delayed": list(sel.delayed),
+                "delayed_ok": sorted(sel.delayed_ok),
+                "ignored": list(sel.ignored),
+                "take_each": sorted(sel.take_each),
+                "take_one": {
+                    r: sorted(members)
+                    for r, members in sorted(sel.take_one.items())
+                },
+                "rank": round(sel.rank, 6),
+            }
+        )
+        for branch, against, kind, bound in getattr(sel, "tradeoffs", ()):
+            self.events.append(
+                {
+                    "event": "tradeoff",
+                    "cycle": cycle,
+                    "branch": branch,
+                    "against": against,
+                    "kind": kind,
+                    "bound": bound,
+                }
+            )
+
+    def issue(self, cycle: int, op: int, rclass: str) -> None:
+        self.events.append(
+            {"event": "issue", "cycle": cycle, "op": op, "rclass": rclass}
+        )
+
+    def end(self, schedule) -> None:
+        self.events.append(
+            {
+                "event": "end",
+                "wct": schedule.wct,
+                "length": schedule.length,
+                "issue": {str(b): t for b, t in sorted(schedule.issue.items())},
+            }
+        )
+
+    # -- persistence -----------------------------------------------------
+    def write_jsonl(self, path: str | Path) -> None:
+        with Path(path).open("w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a trace file (decision events and/or span events)."""
+    events: list[dict[str, Any]] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _fmt_set(values: list[Any]) -> str:
+    return "{" + ",".join(str(v) for v in values) + "}"
+
+
+def render_decision_trace(events: list[dict[str, Any]]) -> str:
+    """Text timeline of a Balance decision trace, grouped by cycle."""
+    lines: list[str] = []
+    for e in events:
+        kind = e.get("event")
+        if kind == "begin":
+            weights = ", ".join(
+                f"{b}:{w:.3f}" for b, w in sorted(
+                    e["weights"].items(), key=lambda kv: int(kv[0])
+                )
+            )
+            lines.append(
+                f"{e['superblock']} on {e['machine']} with {e['heuristic']} "
+                f"(branch weights {weights})"
+            )
+        elif kind == "cycle":
+            lines.append(f"cycle {e['cycle']}:")
+            for b, info in sorted(e["branches"].items(), key=lambda kv: int(kv[0])):
+                needs = []
+                if info["need_each"]:
+                    needs.append(f"NeedEach={_fmt_set(info['need_each'])}")
+                for r, members in info["need_one"].items():
+                    needs.append(f"NeedOne[{r}]={_fmt_set(members)}")
+                lines.append(
+                    f"  branch {b}: Early={info['early']}"
+                    + ("  " + " ".join(needs) if needs else "")
+                )
+        elif kind == "selection":
+            parts = [f"selected={_fmt_set(e['selected'])}"]
+            if e["delayed"]:
+                parts.append(f"delayed={_fmt_set(e['delayed'])}")
+            if e["delayed_ok"]:
+                parts.append(f"delayedOK={_fmt_set(e['delayed_ok'])}")
+            if e["ignored"]:
+                parts.append(f"ignored={_fmt_set(e['ignored'])}")
+            parts.append(f"TakeEach={_fmt_set(e['take_each'])}")
+            for r, members in e["take_one"].items():
+                parts.append(f"TakeOne[{r}]={_fmt_set(members)}")
+            parts.append(f"rank={e['rank']:g}")
+            lines.append("  select: " + " ".join(parts))
+        elif kind == "tradeoff":
+            lines.append(
+                f"  tradeoff: branch {e['branch']} vs {e['against']} -> "
+                f"{e['kind']} (pairwise bound {e['bound']})"
+            )
+        elif kind == "issue":
+            lines.append(f"  issue op {e['op']} ({e['rclass']})")
+        elif kind == "end":
+            lines.append(
+                f"done: WCT={e['wct']:.4f}, length={e['length']} cycles, "
+                "issue "
+                + ", ".join(
+                    f"{b}@{t}"
+                    for b, t in sorted(
+                        e["issue"].items(), key=lambda kv: int(kv[0])
+                    )
+                )
+            )
+    return "\n".join(lines)
+
+
+def decision_trace_to_dot(events: list[dict[str, Any]]) -> str:
+    """DOT rendering: one cluster per cycle with its issues and selection."""
+    header = next((e for e in events if e.get("event") == "begin"), None)
+    title = (
+        f"{header['superblock']} / {header['machine']} / {header['heuristic']}"
+        if header
+        else "decision trace"
+    )
+    lines = [
+        "digraph decision_trace {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=10];",
+        f'  label="{title}";',
+    ]
+    cycles: dict[int, dict[str, Any]] = {}
+    for e in events:
+        c = e.get("cycle")
+        if c is None:
+            continue
+        entry = cycles.setdefault(c, {"issues": [], "selections": []})
+        if e["event"] == "issue":
+            entry["issues"].append(e)
+        elif e["event"] == "selection":
+            entry["selections"].append(e)
+    previous = None
+    for c in sorted(cycles):
+        entry = cycles[c]
+        anchor = f"cycle{c}"
+        lines.append(f"  subgraph cluster_{c} {{")
+        lines.append(f'    label="cycle {c}";')
+        sel_bits = []
+        for s in entry["selections"]:
+            if s["selected"]:
+                sel_bits.append("sel " + _fmt_set(s["selected"]))
+            if s["delayed"]:
+                sel_bits.append("del " + _fmt_set(s["delayed"]))
+        sel_label = "; ".join(dict.fromkeys(sel_bits)) or "no needs"
+        lines.append(f'    {anchor} [label="{sel_label}", shape=ellipse];')
+        for e in entry["issues"]:
+            lines.append(
+                f'    op{e["op"]} [label="op {e["op"]}\\n{e["rclass"]}"];'
+            )
+        lines.append("  }")
+        if previous is not None:
+            lines.append(f"  {previous} -> {anchor} [style=dashed];")
+        previous = anchor
+    lines.append("}")
+    return "\n".join(lines)

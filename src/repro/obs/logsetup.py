@@ -1,0 +1,77 @@
+"""Logging configuration for the ``repro`` package.
+
+One helper, :func:`setup_logging`, configures the ``repro`` logger
+hierarchy with a single stderr handler and a compact format. It is
+idempotent (re-calling adjusts the level instead of stacking handlers)
+and deprecation-free (no ``logging.warn``, no root-logger mutation), so
+library users keep full control of their own root configuration.
+
+The evaluation pipeline logs progress — per-table timings in
+:mod:`repro.eval.report`, bench phases in :mod:`repro.perf.bench` — at
+INFO on child loggers (``repro.eval.report``, ``repro.perf.bench``);
+without :func:`setup_logging` those records vanish silently, exactly like
+any other library logging.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def setup_logging(
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger with one stream handler.
+
+    Args:
+        level: threshold for the ``repro`` hierarchy (default INFO).
+        stream: destination (default ``sys.stderr``, resolved at call
+            time so pytest's capture replacement is honored).
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_obs", False):
+            try:
+                handler.setStream(target)  # type: ignore[attr-defined]
+            except ValueError:
+                # setStream flushes the old stream first; swap directly
+                # when that stream has been closed (e.g. a finished
+                # pytest capture).
+                handler.stream = target  # type: ignore[attr-defined]
+            handler.setLevel(level)
+            break
+    else:
+        handler = logging.StreamHandler(target)
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        handler.setLevel(level)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the ``repro`` hierarchy.
+
+    ``name`` may be a module path (``repro.eval.report``) or a suffix
+    (``eval.report``); both land under :data:`ROOT_LOGGER`.
+    """
+    if name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

@@ -1,0 +1,183 @@
+"""Unified metrics registry: counters, timers, and gauges.
+
+:class:`MetricsRegistry` extends the loop-trip :class:`Counters` of
+:mod:`repro.bounds.instrumentation` with accumulating timers and last-set
+gauges, behind one picklable, mergeable object:
+
+* **counters** — exact integer event counts (loop trips, decisions);
+  these are deterministic and must be *identical* for serial and parallel
+  evaluation of the same work (tests/test_parallel_eval.py).
+* **timers** — accumulated wall-clock seconds plus call counts per name;
+  useful for attribution, not for identity (wall time is never
+  deterministic).
+* **gauges** — last-written values (corpus sizes, configuration facts).
+
+Worker integration: :func:`repro.perf.workers.corpus_map` activates a
+fresh registry around each work unit in worker processes, ships the
+serialized delta back with the result, and merges the deltas into the
+caller's registry **in input order** — so counters aggregate exactly as
+they would have serially, fixing the historical silent loss of counters
+under ``--jobs N``.
+
+Activation: library kernels obtain the ambient registry with
+:func:`active` / :func:`active_counters` instead of threading it through
+every signature. The active registry is process-global (the evaluation
+pipeline is single-threaded per process by design).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from repro.bounds.instrumentation import Counters
+
+
+class MetricsRegistry:
+    """Mergeable counters + timers + gauges for one evaluation run."""
+
+    __slots__ = ("counters", "_timers", "_gauges")
+
+    def __init__(self) -> None:
+        self.counters = Counters()
+        self._timers: dict[str, list[float]] = {}  # name -> [total_s, count]
+        self._gauges: dict[str, float] = {}
+
+    # -- counters --------------------------------------------------------
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counters.add(name, amount)
+
+    # -- timers ----------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall-clock duration of the ``with`` body."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    def observe(self, name: str, seconds: float) -> None:
+        entry = self._timers.get(name)
+        if entry is None:
+            self._timers[name] = [seconds, 1]
+        else:
+            entry[0] += seconds
+            entry[1] += 1
+
+    def timer_seconds(self, name: str) -> float:
+        entry = self._timers.get(name)
+        return entry[0] if entry else 0.0
+
+    # -- gauges ----------------------------------------------------------
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    # -- aggregation -----------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters/timers sum;
+        gauges: the merged-in value wins, matching input order)."""
+        self.counters.merge(other.counters)
+        for name, (total, count) in other._timers.items():
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [total, count]
+            else:
+                entry[0] += total
+                entry[1] += count
+        self._gauges.update(other._gauges)
+
+    def merge_dict(self, data: dict[str, Any]) -> None:
+        """Merge a serialized registry (the worker return path)."""
+        for name, value in data.get("counters", {}).items():
+            self.counters.add(name, value)
+        for name, entry in data.get("timers", {}).items():
+            self.observe(name, entry["total_s"])
+            # observe() counted one call; correct to the recorded count.
+            self._timers[name][1] += entry["count"] - 1
+        self._gauges.update(data.get("gauges", {}))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": self.counters.as_dict(),
+            "timers": {
+                name: {"total_s": round(total, 6), "count": count}
+                for name, (total, count) in sorted(self._timers.items())
+            },
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge_dict(data)
+        return reg
+
+    def save(self, path: str | Path) -> None:
+        with Path(path).open("w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = self.as_dict()
+        return (
+            f"MetricsRegistry({len(d['counters'])} counters, "
+            f"{len(d['timers'])} timers, {len(d['gauges'])} gauges)"
+        )
+
+    # -- activation ------------------------------------------------------
+    @contextmanager
+    def activated(self):
+        """Make this registry the ambient one for the ``with`` body."""
+        _STACK.append(self)
+        try:
+            yield self
+        finally:
+            _STACK.pop()
+
+
+#: Activation stack; the innermost activated registry is the ambient one.
+_STACK: list[MetricsRegistry] = []
+
+
+def active() -> MetricsRegistry | None:
+    """The ambient registry, or ``None`` when metering is disabled."""
+    return _STACK[-1] if _STACK else None
+
+
+def active_counters() -> Counters | None:
+    """The ambient registry's counters — the object bound algorithms and
+    schedulers accept as their optional ``counters`` argument."""
+    reg = active()
+    return reg.counters if reg is not None else None
+
+
+def render_metrics(data: dict[str, Any]) -> str:
+    """Human-readable rendering of a serialized registry."""
+    lines: list[str] = []
+    counters = data.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}s} = {counters[name]}")
+    timers = data.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        width = max(len(n) for n in timers)
+        for name in sorted(timers):
+            entry = timers[name]
+            lines.append(
+                f"  {name:<{width}s} = {entry['total_s']:.4f}s "
+                f"over {entry['count']} calls"
+            )
+    gauges = data.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}s} = {gauges[name]}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,165 @@
+"""Span tracer: monotonic-clock phase timing with near-zero disabled cost.
+
+A :class:`Tracer` records *spans* — named, nested, timed phases — as plain
+dicts suitable for JSONL export. Tracing follows the same opt-in
+discipline as :class:`repro.bounds.instrumentation.Counters`: nothing is
+recorded unless a tracer is installed, and the disabled path is a single
+module-global read plus a reusable no-op context manager, so span sites
+may live inside library code without a measurable cost when tracing is
+off (tests/test_obs.py quantifies the contract).
+
+Usage::
+
+    tracer = Tracer()
+    with install(tracer):
+        run_evaluation()
+    tracer.write_jsonl("spans.jsonl")
+
+Library code marks phases with the module-level :func:`span` helper::
+
+    with span("bounds.pairwise", superblock=sb.name):
+        ...
+
+Span sites are intentionally coarse (one per bound family / eval phase,
+never inside inner loops); per-iteration statistics belong to
+:class:`~repro.obs.metrics.MetricsRegistry` counters instead.
+
+Worker processes do not inherit the parent's installed tracer through
+:mod:`repro.perf.workers` — spans describe the orchestrating process;
+per-worker statistics travel through the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+
+class _NoopSpan:
+    """Reusable do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: Singleton returned by :func:`span` when no tracer is installed.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Records nested, named, monotonic-clock-timed spans.
+
+    Events are plain dicts (``{"event": "span", "name", "t0", "dur",
+    "depth", "parent", ...attrs}``) with times in seconds relative to the
+    tracer's creation, so a trace file is self-contained and diffable.
+    """
+
+    __slots__ = ("events", "_origin", "_stack", "_seq")
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self._origin = time.perf_counter()
+        self._stack: list[int] = []  # open span ids, innermost last
+        self._seq = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing one phase; nests via an explicit stack."""
+        span_id = self._seq
+        self._seq += 1
+        parent = self._stack[-1] if self._stack else None
+        depth = len(self._stack)
+        self._stack.append(span_id)
+        t0 = time.perf_counter() - self._origin
+        try:
+            yield
+        finally:
+            dur = time.perf_counter() - self._origin - t0
+            self._stack.pop()
+            event: dict[str, Any] = {
+                "event": "span",
+                "id": span_id,
+                "name": name,
+                "t0": round(t0, 6),
+                "dur": round(dur, 6),
+                "depth": depth,
+            }
+            if parent is not None:
+                event["parent"] = parent
+            if attrs:
+                event["attrs"] = attrs
+            self.events.append(event)
+
+    def spans(self, prefix: str = "") -> list[dict[str, Any]]:
+        """Completed spans, oldest first, optionally filtered by prefix."""
+        ordered = sorted(self.events, key=lambda e: e["t0"])
+        if not prefix:
+            return ordered
+        return [e for e in ordered if e["name"].startswith(prefix)]
+
+    def total(self, name: str) -> float:
+        """Summed duration of all spans with exactly this name."""
+        return sum(e["dur"] for e in self.events if e["name"] == name)
+
+    def write_jsonl(self, path: str | Path) -> None:
+        with Path(path).open("w") as fh:
+            for event in self.spans():
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+#: The installed tracer; ``None`` keeps every span site on the no-op path.
+_TRACER: Tracer | None = None
+
+
+def current() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _TRACER
+
+
+def span(name: str, **attrs: Any):
+    """A span on the installed tracer, or the shared no-op when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+@contextmanager
+def install(tracer: Tracer | None):
+    """Install ``tracer`` as the process-wide tracer for the ``with`` body.
+
+    Installation nests: the previous tracer (usually ``None``) is restored
+    on exit, so library code and tests can scope tracing tightly.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER = previous
+
+
+def render_spans(events: list[dict[str, Any]]) -> str:
+    """Text timeline of span events: indentation mirrors nesting."""
+    lines = ["span timeline (seconds since trace start):"]
+    for e in sorted(events, key=lambda e: (e["t0"], e.get("depth", 0))):
+        indent = "  " * int(e.get("depth", 0))
+        attrs = e.get("attrs") or {}
+        suffix = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"  {e['t0']:>9.4f}s +{e['dur']:.4f}s {indent}{e['name']}{suffix}"
+        )
+    return "\n".join(lines)

@@ -32,6 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.obs.logsetup import get_logger
+
+log = get_logger("perf.bench")
+
 #: Pinned bench corpus; changing any of these invalidates the baseline.
 BENCH_SEED = 1999
 BENCH_SCALE = 32
@@ -72,6 +76,10 @@ class BenchResult:
 
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: Serialized MetricsRegistry (counters/timers/gauges) from one extra
+    #: *untimed* Table 1 build — loop-trip context for the timed numbers.
+    #: Never part of the regression gate.
+    observability: dict[str, Any] = field(default_factory=dict)
 
     def add(self, name: str, value: float, unit: str, seed: int) -> None:
         self.metrics[name] = {
@@ -178,18 +186,21 @@ def run_bench(config: BenchConfig | None = None) -> BenchResult:
         f"machines={'+'.join(m.name for m in machines)}"
     )
 
+    log.info("bench corpus ready (%d superblocks)", len(list(corpus)))
     result.add(
         "rj_solves_per_sec",
         _time_rj_solves(corpus, machines, config.repeats),
         "solves/s",
         seed,
     )
+    log.info("rj hot path timed")
     result.add(
         "pairwise_bounds_per_sec",
         _time_pairwise(corpus, machines, config.repeats),
         "bounds/s",
         seed,
     )
+    log.info("pairwise hot path timed")
 
     t1_seconds = _best_of(
         config.repeats,
@@ -224,6 +235,18 @@ def run_bench(config: BenchConfig | None = None) -> BenchResult:
             result.add(
                 f"table1_jobs{jobs}_speedup", scan_base / elapsed, "x", seed
             )
+
+    # One extra *untimed* Table 1 build with metering on: the counters
+    # give the timed numbers their work-volume context. Kept out of the
+    # timed runs above so metering can never skew the gated metrics.
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.gauge("corpus_superblocks", len(list(corpus)))
+    with registry.timer("table1_metered"):
+        table1(corpus, (GP2,), (FS4,), include_triplewise=True,
+               metrics=registry)
+    result.observability = registry.as_dict()
     return result
 
 
@@ -291,8 +314,14 @@ def load_baseline(path: str | Path) -> dict[str, dict[str, Any]]:
 
 
 def save_metrics(result: BenchResult, path: str | Path) -> None:
+    """Write the BENCH JSON: headline metrics plus, when collected, an
+    ``observability`` block (ignored by :func:`compare_metrics`, which
+    only reads :data:`HEADLINE_METRICS` names)."""
+    payload: dict[str, Any] = dict(result.metrics)
+    if result.observability:
+        payload["observability"] = result.observability
     with Path(path).open("w") as fh:
-        json.dump(result.metrics, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 
@@ -327,6 +356,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.obs.logsetup import setup_logging
+
+    setup_logging()
     if args.quick:
         config = BenchConfig.quick()
     else:
@@ -343,17 +375,20 @@ def main(argv: list[str] | None = None) -> int:
     print(render_metrics(result))
     if args.out:
         save_metrics(result, args.out)
-        print(f"metrics written to {args.out}")
+        log.info("metrics written to %s", args.out)
     if args.check:
         failures = compare_metrics(
             result.metrics, load_baseline(args.check), args.tolerance
         )
         if failures:
-            print(f"PERF REGRESSION vs {args.check}:", file=sys.stderr)
+            log.error("PERF REGRESSION vs %s:", args.check)
             for line in failures:
-                print(f"  {line}", file=sys.stderr)
+                log.error("  %s", line)
             return 1
-        print(f"all headline metrics within {100 * args.tolerance:.0f}% of {args.check}")
+        log.info(
+            "all headline metrics within %.0f%% of %s",
+            100 * args.tolerance, args.check,
+        )
     return 0
 
 

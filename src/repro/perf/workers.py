@@ -13,6 +13,15 @@ zero (de)serialization, zero overhead versus the pre-parallel code — and
 its parallel path reconstructs each superblock in the workers. Both
 paths run the *same kernel function* on semantically identical inputs,
 which is what makes serial and parallel results bit-identical.
+
+Metrics aggregation: pass ``metrics=`` a
+:class:`~repro.obs.metrics.MetricsRegistry` and every work unit runs with
+an *active* registry (see :func:`repro.obs.metrics.active`) whose
+contents flow back to the caller. Serially the caller's registry is
+activated directly; in workers each unit runs under a fresh registry
+whose serialized delta returns with the result and is merged **in input
+order** — counters are additive, so serial and parallel aggregation are
+identical (historically, worker-side counters were silently dropped).
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.ir.superblock import Superblock
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import ParallelRunner
 
 #: Per-process corpus, installed by :func:`init_worker`.
@@ -51,6 +61,22 @@ def _run_unit(unit: tuple[Callable[..., Any], int, tuple[Any, ...]]) -> Any:
     return kernel(_WORKER_SUPERBLOCKS[sb_index], *extras)
 
 
+def _run_unit_metered(
+    unit: tuple[Callable[..., Any], int, tuple[Any, ...]],
+) -> tuple[Any, dict[str, Any]]:
+    """Like :func:`_run_unit`, but captures this unit's metrics delta.
+
+    The unit runs under a fresh active :class:`MetricsRegistry`; its
+    serialized contents travel back with the result so the parent can
+    merge them in input order (see :func:`corpus_map`).
+    """
+    kernel, sb_index, extras = unit
+    registry = MetricsRegistry()
+    with registry.activated():
+        result = kernel(_WORKER_SUPERBLOCKS[sb_index], *extras)
+    return result, registry.as_dict()
+
+
 def is_picklable(obj: Any) -> bool:
     """True when ``obj`` survives pickling (process-pool transferable)."""
     try:
@@ -66,6 +92,7 @@ def corpus_map(
     units: Sequence[tuple[int, tuple[Any, ...]]],
     jobs: int | None = None,
     chunk_size: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list[Any]:
     """Evaluate ``kernel(superblocks[i], *extras)`` for every unit.
 
@@ -76,6 +103,9 @@ def corpus_map(
         units: ``(superblock_index, extras)`` pairs; results come back in
             this order regardless of worker completion order.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all CPUs).
+        metrics: optional registry made *active* for every unit; in the
+            parallel path each unit's per-worker delta merges into it in
+            input order, so totals match the serial path exactly.
     """
     runner = ParallelRunner(jobs, chunk_size=chunk_size)
     if runner.parallel and len(units) > 1:
@@ -86,7 +116,16 @@ def corpus_map(
                 initializer=init_worker,
                 initargs=(corpus_payload(superblocks),),
             )
-            return parallel.map(
-                _run_unit, [(kernel, i, extras) for i, extras in units]
-            )
-    return [kernel(superblocks[i], *extras) for i, extras in units]
+            tagged = [(kernel, i, extras) for i, extras in units]
+            if metrics is None:
+                return parallel.map(_run_unit, tagged)
+            pairs = parallel.map(_run_unit_metered, tagged)
+            results = []
+            for result, delta in pairs:
+                metrics.merge_dict(delta)
+                results.append(result)
+            return results
+    if metrics is None:
+        return [kernel(superblocks[i], *extras) for i, extras in units]
+    with metrics.activated():
+        return [kernel(superblocks[i], *extras) for i, extras in units]

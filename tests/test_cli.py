@@ -97,3 +97,100 @@ class TestCli:
     def test_unknown_machine_rejected(self, sb_file):
         with pytest.raises(KeyError):
             main(["schedule", sb_file, "--machine", "XYZ"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "balance-sched" in capsys.readouterr().out
+
+    def test_list_machines(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--list-machines"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("GP1", "GP2", "GP4", "FS4", "FS6", "FS8", "FS4-NP"):
+            assert name in out
+        assert "blocking" in out  # FS4-NP lists its blocking occupancies
+
+
+class TestCliObservability:
+    def test_schedule_trace_and_metrics_out(self, sb_file, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        metrics_file = tmp_path / "m.json"
+        assert (
+            main([
+                "schedule", sb_file, "--heuristic", "balance",
+                "--trace-out", str(trace_file),
+                "--metrics-out", str(metrics_file),
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "metrics written to" in out
+        events = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        assert events[0]["event"] == "begin"
+        assert events[-1]["event"] == "end"
+        metrics = json.loads(metrics_file.read_text())
+        assert any(k.startswith("balance.") for k in metrics["counters"])
+
+    def test_schedule_trace_out_non_balance_records_spans(
+        self, sb_file, tmp_path
+    ):
+        trace_file = tmp_path / "t.jsonl"
+        main([
+            "schedule", sb_file, "--heuristic", "cp",
+            "--trace-out", str(trace_file),
+        ])
+        events = [
+            json.loads(line) for line in trace_file.read_text().splitlines()
+        ]
+        assert events and all(e["event"] == "span" for e in events)
+
+    def test_bounds_metrics_out(self, sb_file, tmp_path):
+        metrics_file = tmp_path / "m.json"
+        main(["bounds", sb_file, "--metrics-out", str(metrics_file)])
+        counters = json.loads(metrics_file.read_text())["counters"]
+        assert any(k.startswith("lc.") for k in counters)
+
+    def test_table_metrics_identical_across_jobs(self, tmp_path):
+        """Acceptance: tables under --jobs 2 merge counters equal to serial."""
+        base = [
+            "table3", "--scale", "8", "--max-ops", "20",
+            "--machines", "GP2", "--no-triplewise",
+        ]
+        serial, parallel = tmp_path / "m1.json", tmp_path / "m2.json"
+        main(base + ["--jobs", "1", "--metrics-out", str(serial)])
+        main(base + ["--jobs", "2", "--metrics-out", str(parallel)])
+        c1 = json.loads(serial.read_text())["counters"]
+        c2 = json.loads(parallel.read_text())["counters"]
+        assert c1  # counters flowed at all
+        assert c2 == c1
+
+    def test_trace_subcommand_renders(self, sb_file, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        main([
+            "schedule", sb_file, "--heuristic", "balance",
+            "--trace-out", str(trace_file),
+        ])
+        capsys.readouterr()
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "figure2 on GP2 with balance" in out
+        assert "done: WCT=" in out
+
+    def test_trace_subcommand_dot(self, sb_file, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        main([
+            "schedule", sb_file, "--heuristic", "balance",
+            "--trace-out", str(trace_file),
+        ])
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--dot"]) == 0
+        assert "digraph decision_trace" in capsys.readouterr().out
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().err

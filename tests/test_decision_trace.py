@@ -1,0 +1,150 @@
+"""Golden tests for the Balance decision trace (paper Figure 2).
+
+Section 2 of the paper walks Figure 2 through Balance on the 2-wide
+machine: in cycle 0 only heavy branch 6 (weight 0.6) still *needs* op 4
+issued (``NeedEach={4}``), so Balance dedicates a slot to it and fills
+the second slot from the shared ``NeedOne`` pool; branch 3 retires in
+cycle 2, branch 6 in cycle 3, for a weighted completion time of 3.6.
+The recorder must reproduce exactly that narrative — these tests pin the
+event stream, the text rendering, and the end-to-end CLI path
+(``schedule --trace-out``) against it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.balance import balance_schedule
+from repro.ir.examples import figure2
+from repro.ir.serialize import superblock_to_dict
+from repro.machine.machine import GP2
+from repro.obs.decision_trace import (
+    DecisionRecorder,
+    decision_trace_to_dot,
+    load_jsonl,
+    render_decision_trace,
+)
+
+#: The paper's Figure 2 schedule on GP2: issue cycles for every op.
+FIG2_ISSUE = {"0": 0, "1": 1, "2": 1, "3": 2, "4": 0, "5": 2, "6": 3}
+
+
+@pytest.fixture
+def fig2_events() -> list[dict]:
+    recorder = DecisionRecorder()
+    balance_schedule(figure2(), GP2, recorder=recorder)
+    return recorder.events
+
+
+def _events(events, kind, **match):
+    return [
+        e
+        for e in events
+        if e["event"] == kind and all(e.get(k) == v for k, v in match.items())
+    ]
+
+
+class TestGoldenFigure2:
+    def test_begin_carries_branch_weights(self, fig2_events):
+        (begin,) = _events(fig2_events, "begin")
+        assert begin["superblock"] == "figure2"
+        assert begin["machine"] == "GP2"
+        assert begin["heuristic"] == "balance"
+        assert begin["branches"] == [3, 6]
+        assert begin["weights"] == {"3": 0.4, "6": 0.6}
+
+    def test_cycle0_needs_match_paper_walkthrough(self, fig2_events):
+        """Cycle 0: only branch 6 *needs* anything — op 4 each cycle."""
+        (cycle0,) = _events(fig2_events, "cycle", cycle=0)
+        b3, b6 = cycle0["branches"]["3"], cycle0["branches"]["6"]
+        # Dynamic Early bounds are the branches' earliest completions.
+        assert b3["early"] == 2
+        assert b6["early"] == 3
+        # Branch 3 has slack: nothing must issue this very cycle.
+        assert b3["need_each"] == []
+        assert b3["need_one"] == {}
+        # Branch 6 is critical: op 4 in NeedEach, the gp pool in NeedOne.
+        assert b6["need_each"] == [4]
+        assert b6["need_one"] == {"gp": [0, 1, 2, 4]}
+
+    def test_cycle0_selection_dedicates_slot_to_heavy_branch(self, fig2_events):
+        first, second = _events(fig2_events, "selection", cycle=0)
+        # First pass: heavy branch 6 selected, light branch 3 ignored
+        # (no needs), and its NeedEach op 4 becomes TakeEach.
+        assert first["selected"] == [6]
+        assert first["ignored"] == [3]
+        assert first["take_each"] == [4]
+        assert first["rank"] == pytest.approx(0.6)
+        # Second pass (remaining slot): both branches covered by the
+        # shared gp pool {0,1,2}.
+        assert second["selected"] == [6, 3]
+        assert second["take_each"] == []
+        assert second["take_one"] == {"gp": [0, 1, 2]}
+        assert second["rank"] == pytest.approx(1.0)
+
+    def test_issue_order_matches_figure2(self, fig2_events):
+        issued = [(e["cycle"], e["op"]) for e in _events(fig2_events, "issue")]
+        # Op 4 (branch 6's NeedEach) wins the first slot of cycle 0.
+        assert issued[0] == (0, 4)
+        assert sorted(issued) == sorted(
+            (cycle, int(op)) for op, cycle in FIG2_ISSUE.items()
+        )
+
+    def test_end_event_reproduces_schedule_and_wct(self, fig2_events):
+        (end,) = _events(fig2_events, "end")
+        assert end["issue"] == FIG2_ISSUE
+        assert end["wct"] == pytest.approx(3.6)
+        assert end["length"] == 4
+
+    def test_text_rendering_tells_the_story(self, fig2_events):
+        text = render_decision_trace(fig2_events)
+        assert (
+            "figure2 on GP2 with balance (branch weights 3:0.400, 6:0.600)"
+            in text
+        )
+        assert "branch 6: Early=3  NeedEach={4} NeedOne[gp]={0,1,2,4}" in text
+        assert "select: selected={6} ignored={3} TakeEach={4} rank=0.6" in text
+        assert "issue op 4 (gp)" in text
+        assert "done: WCT=3.6000, length=4 cycles" in text
+        assert "3@2" in text and "6@3" in text
+
+    def test_dot_rendering_clusters_cycles(self, fig2_events):
+        dot = decision_trace_to_dot(fig2_events)
+        assert dot.startswith("digraph decision_trace")
+        assert 'label="figure2 / GP2 / balance"' in dot
+        for cycle in range(4):
+            assert f'label="cycle {cycle}"' in dot
+        assert 'op4 [label="op 4\\ngp"]' in dot
+        assert "cycle0 -> cycle1" in dot
+
+
+class TestCliTraceRoundTrip:
+    def test_schedule_trace_out_is_the_golden_trace(self, tmp_path, capsys):
+        """Acceptance path: ``schedule --trace-out`` emits the Figure 2 trace."""
+        sb_file = tmp_path / "fig2.json"
+        sb_file.write_text(json.dumps(superblock_to_dict(figure2())))
+        trace_file = tmp_path / "t.jsonl"
+        assert (
+            main([
+                "schedule", str(sb_file), "--machine", "GP2",
+                "--heuristic", "balance", "--trace-out", str(trace_file),
+            ])
+            == 0
+        )
+        assert "trace written to" in capsys.readouterr().out
+        events = load_jsonl(trace_file)
+        (end,) = _events(events, "end")
+        assert end["issue"] == FIG2_ISSUE
+        assert end["wct"] == pytest.approx(3.6)
+        (cycle0,) = _events(events, "cycle", cycle=0)
+        assert cycle0["branches"]["6"]["need_each"] == [4]
+
+    def test_recorder_jsonl_round_trip(self, tmp_path, fig2_events):
+        recorder = DecisionRecorder()
+        recorder.events = fig2_events
+        path = tmp_path / "trace.jsonl"
+        recorder.write_jsonl(path)
+        assert load_jsonl(path) == fig2_events

@@ -17,6 +17,7 @@ from repro.eval.metrics import NoProfileWeights
 from repro.eval.sched_eval import evaluate_corpus
 from repro.eval.tables import table1, table3
 from repro.machine.machine import FS4, GP2
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import ParallelRunner, effective_jobs
 from repro.perf.workers import corpus_map, is_picklable
 from repro.workloads.corpus import Corpus, specint95_corpus
@@ -167,6 +168,48 @@ def test_tables_byte_identical_across_jobs(par_corpus):
         jobs=2,
     ).render()
     assert t3_parallel == t3_serial
+
+
+# ---------------------------------------------------------------------------
+# Metrics aggregation: counters survive the process boundary
+# ---------------------------------------------------------------------------
+def test_evaluate_corpus_counters_identical_across_jobs(par_corpus):
+    """Regression: worker Counters used to be silently lost under jobs>1.
+
+    Each worker now runs under its own registry and ships its delta back;
+    the parent merge must reproduce the serial totals exactly.
+    """
+    registries = {}
+    for jobs in JOB_COUNTS:
+        registries[jobs] = reg = MetricsRegistry()
+        evaluate_corpus(
+            par_corpus,
+            GP2,
+            FAST_HEURISTICS,
+            include_triplewise=False,
+            jobs=jobs,
+            metrics=reg,
+        )
+    reference = registries[1].counters.as_dict()
+    assert reference  # serial run actually counted something
+    assert any(name.startswith("balance.") for name in reference)
+    for jobs in JOB_COUNTS[1:]:
+        assert registries[jobs].counters.as_dict() == reference
+
+
+def test_bound_costs_counters_identical_across_jobs(par_corpus):
+    serial, parallel = MetricsRegistry(), MetricsRegistry()
+    bound_costs(
+        par_corpus, [GP2], include_triplewise=False, jobs=1, metrics=serial
+    )
+    bound_costs(
+        par_corpus, [GP2], include_triplewise=False, jobs=2, metrics=parallel
+    )
+    reference = serial.counters.as_dict()
+    # Table 2's per-bound loop-trip counters must all be present...
+    assert {"table2.CP", "table2.RJ", "table2.LC", "table2.PW"} <= set(reference)
+    # ...and identical after the parallel merge.
+    assert parallel.counters.as_dict() == reference
 
 
 # ---------------------------------------------------------------------------

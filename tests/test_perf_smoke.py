@@ -41,7 +41,13 @@ def test_quick_bench_schema(quick_result, tmp_path_factory):
         assert entry["seed"] == BenchConfig.quick().seed
     path = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
     save_metrics(quick_result, path)
-    assert json.loads(path.read_text()) == quick_result.metrics
+    saved = json.loads(path.read_text())
+    observability = saved.pop("observability")
+    assert saved == quick_result.metrics
+    # The appended observability block carries the metered Table 1 run.
+    assert observability == quick_result.observability
+    assert observability["counters"]  # loop trips survived aggregation
+    assert "table1_metered" in observability["timers"]
     text = render_metrics(quick_result)
     assert "rj_solves_per_sec" in text
 

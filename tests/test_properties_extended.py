@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.bounds.superblock_bounds import BoundSuite
@@ -116,6 +116,10 @@ def test_simulation_mean_is_between_exit_extremes(runs, seed):
 
 @given(seed=st.integers(0, 500))
 @settings(max_examples=10, deadline=None)
+# Regression: the reversed-graph LateRC pass used to apply the blocking-unit
+# expansion in mirrored time, making the Pairwise bound exceed an achievable
+# schedule on FS4-NP for this corpus seed.
+@example(seed=306)
 def test_nonpipelined_bounds_never_exceed_schedules(seed):
     from repro.workloads.generator import generate_superblock
     from repro.workloads.profiles import profile_by_name
