@@ -135,6 +135,18 @@ class TriplewiseBounder:
         Requires ``i < j < k`` in program order (ancestor chain through
         control edges).
         """
+        if not (i < j < k):
+            raise ValueError(
+                f"triple ({i}, {j}, {k}) is not in program order; triplewise "
+                "bounds require ordered superblock exits"
+            )
+        if not (
+            self._graph.is_ancestor(i, j) and self._graph.is_ancestor(j, k)
+        ):
+            raise ValueError(
+                f"branches ({i}, {j}, {k}) are not an ancestor chain; "
+                "triplewise bounds require ordered superblock exits"
+            )
         rc = self._early_rc
         l_min = self._l_br
         limit_1 = rc[j] + 1
@@ -153,9 +165,18 @@ class TriplewiseBounder:
         evaluated = 0
 
         def consider(x: int, y: int, z: int) -> None:
+            # Ties (duplicate weights, zero weights) break toward the
+            # componentwise-largest point: at equal cost the larger
+            # components are the tighter per-branch information for the
+            # LP combination, and the rule is deterministic regardless of
+            # grid iteration order.
             nonlocal best
             cost = w_i * x + w_j * y + w_k * z
-            if best is None or cost < best[0]:
+            if (
+                best is None
+                or cost < best[0]
+                or (cost == best[0] and (x, y, z) > (best[1], best[2], best[3]))
+            ):
                 best = (cost, x, y, z)
 
         for l2 in range(l_min, limit_2 + 1):

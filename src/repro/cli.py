@@ -8,6 +8,7 @@ Commands:
 * ``table1`` .. ``table7`` — regenerate a paper table.
 * ``figure8``  — regenerate the Figure 8 CDF.
 * ``examples`` — print the Figure 1-4 example schedules.
+* ``verify``   — differential soundness audit (see docs/verification.md).
 * ``bench``    — run the perf smoke suite / regression gate.
 * ``trace``    — render a JSONL trace file (spans or Balance decisions).
 
@@ -223,6 +224,30 @@ def main(argv: list[str] | None = None) -> int:
         "--dot", action="store_true",
         help="emit a Graphviz DOT rendering of a decision trace",
     )
+
+    p = sub.add_parser(
+        "verify",
+        help="differential soundness audit (schedulers, bounds, simulator)",
+    )
+    p.add_argument(
+        "--fuzz", type=int, default=200, metavar="N",
+        help="number of fuzz cases (default 200)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzz corpus seed")
+    p.add_argument(
+        "--family", action="append", metavar="F",
+        help="restrict to an oracle family (legality, bounds, sim); "
+        "repeatable, default all",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration (25 small cases)",
+    )
+    p.add_argument(
+        "--no-minimize", action="store_true",
+        help="report raw counterexamples without shrinking them",
+    )
+    _add_obs_args(p)
 
     p = sub.add_parser(
         "bench",
@@ -447,6 +472,33 @@ def run_command(args) -> str:
         if span_events:
             parts.append(render_spans(span_events))
         return "\n\n".join(parts)
+
+    if args.command == "verify":
+        from dataclasses import replace as _dc_replace
+
+        from repro.verify import FAMILIES, VerifyConfig, render_report, run_verify
+
+        config = VerifyConfig.quick() if args.quick else VerifyConfig()
+        overrides = {}
+        if not args.quick or args.fuzz != 200:
+            overrides["fuzz"] = args.fuzz
+        if args.family:
+            unknown = [f for f in args.family if f not in FAMILIES]
+            if unknown:
+                raise CommandError(
+                    f"unknown oracle family {unknown[0]!r}; "
+                    f"choose from: {', '.join(FAMILIES)}"
+                )
+            overrides["families"] = tuple(dict.fromkeys(args.family))
+        if args.no_minimize:
+            overrides["minimize"] = False
+        config = _dc_replace(config, seed=args.seed, **overrides)
+        with _observed(args) as (tracer, metrics):
+            report = run_verify(config)
+        lines = [render_report(report)] + _obs_lines(args, tracer, metrics)
+        if not report.ok:
+            raise CommandError("\n".join(lines))
+        return "\n".join(lines)
 
     if args.command == "bench":
         from repro.perf import bench as bench_mod

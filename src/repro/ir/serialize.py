@@ -25,7 +25,10 @@ explicitly so a file is self-contained.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.schedulers.schedule import Schedule
 
 from repro.ir.depgraph import DependenceGraph
 from repro.ir.operation import Operation, opcode
@@ -95,3 +98,45 @@ def dumps(sb: Superblock, indent: int | None = None) -> str:
 def loads(text: str) -> Superblock:
     """Deserialize a superblock from a JSON string."""
     return superblock_from_dict(json.loads(text))
+
+
+def schedule_to_dict(schedule: "Schedule") -> dict[str, Any]:
+    """Convert a schedule to a JSON-compatible dict.
+
+    The issue map is stored as ``[op, cycle]`` pairs sorted by op index,
+    so re-serializing a round-tripped schedule is bit-identical.
+    """
+    out: dict[str, Any] = {
+        "superblock": schedule.superblock,
+        "machine": schedule.machine,
+        "heuristic": schedule.heuristic,
+        "issue": [[v, t] for v, t in sorted(schedule.issue.items())],
+        "wct": schedule.wct,
+    }
+    if schedule.stats:
+        out["stats"] = schedule.stats
+    return out
+
+
+def schedule_from_dict(data: dict[str, Any]) -> "Schedule":
+    """Reconstruct a schedule from :func:`schedule_to_dict` output."""
+    from repro.schedulers.schedule import Schedule
+
+    return Schedule(
+        superblock=data["superblock"],
+        machine=data["machine"],
+        heuristic=data["heuristic"],
+        issue={int(v): int(t) for v, t in data["issue"]},
+        wct=float(data["wct"]),
+        stats=dict(data.get("stats", {})),
+    )
+
+
+def dumps_schedule(schedule: "Schedule", indent: int | None = None) -> str:
+    """Serialize a schedule to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def loads_schedule(text: str) -> "Schedule":
+    """Deserialize a schedule from a JSON string."""
+    return schedule_from_dict(json.loads(text))

@@ -30,6 +30,16 @@ class IlpSizeExceeded(RuntimeError):
     """The time-indexed formulation would be too large to solve."""
 
 
+def _serial_horizon(sb: Superblock, machine: MachineConfig) -> int:
+    """A horizon provably admitting a WCT-optimal schedule."""
+    graph = sb.graph
+    total = 0
+    for v in range(graph.num_operations):
+        out = max((lat for _dst, lat in graph.succs(v)), default=0)
+        total += max(machine.occupancy_of(graph.op(v)), out, 1)
+    return total
+
+
 @register("ilp")
 def ilp_schedule(
     sb: Superblock,
@@ -41,26 +51,25 @@ def ilp_schedule(
     """Provably optimal schedule via a time-indexed MILP.
 
     Args:
-        horizon: schedule-length upper bound; defaults to the best
-            heuristic schedule's length (which always admits an optimum).
+        horizon: schedule-length upper bound; defaults to the serial
+            bound ``sum_v max(occ(v), max outgoing latency, 1)``. A
+            heuristic schedule's *length* is NOT a sound default: the
+            WCT optimum may be longer than any makespan-greedy schedule
+            (it can delay a low-weight final jump to issue high-weight
+            branches earlier). The serial bound is sound because any
+            schedule left-compacts without raising a branch's issue
+            cycle, and in a compacted schedule every cycle before an
+            op's issue lies in some other op's ``max(occ, lat)`` window.
         max_variables: guard on ``V * T``.
     """
     import numpy as np
     from scipy import sparse
     from scipy.optimize import Bounds, LinearConstraint, milp
 
-    from repro.schedulers.dhasy import dhasy_schedule
-    from repro.core.balance import balance
-
     graph = sb.graph
     n = graph.num_operations
     if horizon is None:
-        seed_schedules = [
-            dhasy_schedule(sb, machine, validate=False),
-            balance(sb, machine, validate=False),
-        ]
-        incumbent = min(seed_schedules, key=lambda s: s.wct)
-        horizon = incumbent.length
+        horizon = _serial_horizon(sb, machine)
     T = horizon
     early = graph.early_dc()
     if n * T > max_variables:

@@ -83,7 +83,19 @@ def make_schedule(
 def validate_schedule(
     sb: Superblock, machine: MachineConfig, schedule: Schedule
 ) -> None:
-    """Check completeness, dependences, and resource capacity.
+    """Check completeness, dependences, branch legality, and resources.
+
+    Beyond dependence latencies and per-cycle resource/occupancy capacity
+    (on pipelined and blocking machines alike), this enforces two
+    superblock-specific legality rules that dependence edges alone do not
+    imply for hand-built schedules:
+
+    * **branch order** — exits must issue in program order, separated by
+      at least the branch latency (branches can never be reordered);
+    * **liveness past the last exit** — control definitively leaves the
+      superblock at ``issue[last] + l_br``; an operation issued at or
+      after that cycle executes on no path, so its value is dead on every
+      exit it is live past.
 
     Raises:
         ScheduleError: on the first violated constraint.
@@ -93,6 +105,9 @@ def validate_schedule(
     missing = [v for v in range(n) if v not in issue]
     if missing:
         raise ScheduleError(f"operations {missing} are not scheduled")
+    extra = [v for v in issue if not 0 <= v < n]
+    if extra:
+        raise ScheduleError(f"unknown operations {extra} in schedule")
     for v, t in issue.items():
         if t < 0:
             raise ScheduleError(f"operation {v} issues at negative cycle {t}")
@@ -101,6 +116,23 @@ def validate_schedule(
             raise ScheduleError(
                 f"dependence violated: op {dst} at cycle {issue[dst]} but "
                 f"op {src} (latency {lat}) issues at cycle {issue[src]}"
+            )
+    l_br = sb.branch_latency
+    for prev, nxt in zip(sb.branches, sb.branches[1:]):
+        if issue[nxt] < issue[prev] + l_br:
+            raise ScheduleError(
+                f"branch order violated: exit {nxt} at cycle {issue[nxt]} "
+                f"does not follow exit {prev} (cycle {issue[prev]}) by the "
+                f"branch latency {l_br}"
+            )
+    leave_at = issue[sb.last_branch] + l_br
+    for v, t in issue.items():
+        if v != sb.last_branch and t >= leave_at:
+            raise ScheduleError(
+                f"op {v} issues at cycle {t}, but control leaves the "
+                f"superblock at cycle {leave_at} (last exit "
+                f"{sb.last_branch} + branch latency {l_br}); the op would "
+                "execute on no path"
             )
     demand: dict[tuple[int, str], int] = defaultdict(int)
     for v, t in issue.items():

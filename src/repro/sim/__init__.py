@@ -3,6 +3,7 @@
 from repro.sim.executor import (
     RunResult,
     SimStats,
+    exact_sim_moments,
     expected_speculation_waste,
     run_once,
     simulate,
@@ -11,6 +12,7 @@ from repro.sim.executor import (
 __all__ = [
     "RunResult",
     "SimStats",
+    "exact_sim_moments",
     "expected_speculation_waste",
     "run_once",
     "simulate",

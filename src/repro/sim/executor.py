@@ -94,25 +94,95 @@ def _sample_exit(sb: Superblock, rng: random.Random) -> int:
     return sb.last_branch  # numerical remainder
 
 
+#: Runs per RNG substream. Chunking is a property of the *workload*, not
+#: of the worker count: chunk ``c`` always draws from
+#: ``random.Random(f"sim/{name}/{seed}/{c}")``, so the aggregate is
+#: bit-identical for any ``jobs`` value and reproducible across reruns.
+CHUNK_RUNS = 512
+
+#: Worker-process state installed by :func:`_sim_init` (fork-safe: plain
+#: module globals, set before any chunk executes).
+_WORK: tuple[Superblock, MachineConfig, Schedule, int] | None = None
+
+
+def _chunk_stats(
+    sb: Superblock,
+    machine: MachineConfig,
+    schedule: Schedule,
+    seed: int,
+    chunk: int,
+    runs: int,
+) -> tuple[int, float, dict[int, int]]:
+    """Statistics of one substream: (total cycles, total waste, exits)."""
+    rng = random.Random(f"sim/{sb.name}/{seed}/{chunk}")
+    total_cycles = 0
+    total_waste = 0.0
+    exit_counts: dict[int, int] = {}
+    for _ in range(runs):
+        result = run_once(sb, machine, schedule, rng)
+        total_cycles += result.cycles
+        total_waste += result.waste_fraction
+        exit_counts[result.exit_branch] = (
+            exit_counts.get(result.exit_branch, 0) + 1
+        )
+    return total_cycles, total_waste, exit_counts
+
+
+def _sim_init(
+    sb: Superblock, machine: MachineConfig, schedule: Schedule, seed: int
+) -> None:
+    global _WORK
+    _WORK = (sb, machine, schedule, seed)
+
+
+def _sim_chunk(item: tuple[int, int]) -> tuple[int, float, dict[int, int]]:
+    assert _WORK is not None
+    sb, machine, schedule, seed = _WORK
+    chunk, runs = item
+    return _chunk_stats(sb, machine, schedule, seed, chunk, runs)
+
+
 def simulate(
     sb: Superblock,
     machine: MachineConfig,
     schedule: Schedule,
     runs: int = 1000,
     seed: int = 0,
+    jobs: int = 1,
 ) -> SimStats:
-    """Monte Carlo execution; the mean cycle count estimates the WCT."""
+    """Monte Carlo execution; the mean cycle count estimates the WCT.
+
+    Args:
+        jobs: worker processes for the run fan-out (``1`` = serial,
+            ``0`` = all CPUs). Every chunk of :data:`CHUNK_RUNS` runs uses
+            its own seeded substream, so the statistics are identical for
+            any ``jobs`` value.
+    """
     if runs <= 0:
         raise ValueError("need at least one run")
-    rng = random.Random(f"sim/{sb.name}/{seed}")
+    chunks = [
+        (c, min(CHUNK_RUNS, runs - c * CHUNK_RUNS))
+        for c in range(-(-runs // CHUNK_RUNS))
+    ]
+    if jobs == 1 or len(chunks) <= 1:
+        parts = [
+            _chunk_stats(sb, machine, schedule, seed, c, n) for c, n in chunks
+        ]
+    else:
+        from repro.perf.runner import ParallelRunner
+
+        runner = ParallelRunner(
+            jobs, initializer=_sim_init, initargs=(sb, machine, schedule, seed)
+        )
+        parts = runner.map(_sim_chunk, chunks)
     total_cycles = 0
     total_waste = 0.0
     exit_counts: dict[int, int] = {b: 0 for b in sb.branches}
-    for _ in range(runs):
-        result = run_once(sb, machine, schedule, rng)
-        total_cycles += result.cycles
-        total_waste += result.waste_fraction
-        exit_counts[result.exit_branch] += 1
+    for cycles, waste, exits in parts:
+        total_cycles += cycles
+        total_waste += waste
+        for b, count in exits.items():
+            exit_counts[b] += count
     return SimStats(
         runs=runs,
         mean_cycles=total_cycles / runs,
@@ -120,6 +190,23 @@ def simulate(
         exit_counts=exit_counts,
         mean_waste_fraction=total_waste / runs,
     )
+
+
+def exact_sim_moments(sb: Superblock, schedule: Schedule) -> tuple[float, float]:
+    """Exact ``(mean, variance)`` of the dynamic cycle count.
+
+    The cycle count of one run is a deterministic function of the sampled
+    exit (``issue[b] + l_br``), so both moments are closed-form over the
+    exit distribution. The mean *is* the WCT; the variance feeds the
+    confidence interval of the sim-vs-static verification oracle.
+    """
+    mean = 0.0
+    second = 0.0
+    for b, w in sb.weights.items():
+        cycles = schedule.issue[b] + sb.branch_latency
+        mean += w * cycles
+        second += w * cycles * cycles
+    return mean, max(0.0, second - mean * mean)
 
 
 def expected_speculation_waste(sb: Superblock, schedule: Schedule) -> float:

@@ -1,0 +1,66 @@
+"""Differential verification: the soundness audit subsystem.
+
+The paper's whole argument (Sections 3-5) rests on every lower bound being
+a *true* lower bound on the weighted completion time — and PR 2's LateRC
+fix showed that this stack can be unsound without any test failing. This
+package cross-checks every layer against independent oracles on small,
+exhaustively solvable instances:
+
+* **legality** — every scheduler's output passes the hardened
+  :func:`~repro.schedulers.schedule.validate_schedule` and its reported
+  WCT matches recomputation from the issue cycles;
+* **bounds** — every bound family (LC, LateRC-backed PW/TW, RJ, Hu, CP,
+  lp_combine) is ``<=`` the ILP/branch-and-bound optimal WCT, the two
+  exact solvers agree with each other, and the incremental Pairwise sweep
+  equals the naive one point for point;
+* **sim** — Monte Carlo mean cycles converge to the schedule's WCT within
+  an exact-variance confidence interval.
+
+Run it as ``python -m repro verify [--fuzz N] [--seed S] [--family F]``;
+see docs/verification.md for the workflow, including how to minimize and
+pin a counterexample when an oracle fires.
+"""
+
+from repro.verify.generators import (
+    VerifyCase,
+    fuzz_cases,
+    machine_from_dict,
+    machine_to_dict,
+    random_machine,
+    random_superblock,
+)
+from repro.verify.minimize import minimize_superblock
+from repro.verify.oracles import (
+    Finding,
+    check_bounds,
+    check_schedulers,
+    check_sim,
+    exact_wct,
+)
+from repro.verify.runner import (
+    FAMILIES,
+    VerifyConfig,
+    VerifyReport,
+    render_report,
+    run_verify,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Finding",
+    "VerifyCase",
+    "VerifyConfig",
+    "VerifyReport",
+    "check_bounds",
+    "check_schedulers",
+    "check_sim",
+    "exact_wct",
+    "fuzz_cases",
+    "machine_from_dict",
+    "machine_to_dict",
+    "minimize_superblock",
+    "random_machine",
+    "random_superblock",
+    "render_report",
+    "run_verify",
+]

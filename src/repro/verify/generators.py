@@ -1,0 +1,178 @@
+"""Seeded fuzz-case generation for the verification oracles.
+
+The generator deliberately favors the *corners* the main corpus generator
+smooths over — empty blocks, zero-probability exits, long-latency chains,
+duplicate weights, blocking (non-pipelined) units — because that is where
+bound and scheduler bugs hide. Every case is derived from
+``random.Random(f"verify/{seed}/{index}")``, so a failing case index
+reproduces in isolation and across machines.
+
+Instances are kept small enough for the exact solvers: the ILP reference
+is ``O(V * T)`` variables and the branch-and-bound search is exponential,
+so the default caps (14 ops, 4 exits) keep one case in the milliseconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.superblock import Superblock
+from repro.machine.machine import (
+    FS4,
+    FS4_NP,
+    FS6,
+    GP1,
+    GP2,
+    GP4,
+    MachineConfig,
+)
+
+#: Opcode pool: weighted toward unit-latency integer ops, with enough
+#: multi-latency (load/fmul) and blocking-eligible (fdiv) traffic to
+#: exercise the latency and occupancy paths.
+_OPCODES = (
+    ["add"] * 4
+    + ["sub", "cmp", "mov", "mul", "xor"]
+    + ["load"] * 3
+    + ["store"]
+    + ["fadd", "fmul", "fdiv"]
+)
+
+#: Fixed machine pool; the remaining draws build random blocking variants.
+_FIXED_MACHINES = (GP1, GP2, GP4, FS4, FS6, FS4_NP)
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One fuzz case: a small superblock and the machine to audit it on."""
+
+    index: int
+    sb: Superblock
+    machine: MachineConfig
+
+
+def machine_to_dict(machine: MachineConfig) -> dict[str, Any]:
+    """JSON-compatible description of a machine (for pinned findings)."""
+    out: dict[str, Any] = {
+        "name": machine.name,
+        "units": dict(machine.units),
+    }
+    if machine.occupancy:
+        out["occupancy"] = dict(machine.occupancy)
+    return out
+
+
+def machine_from_dict(data: dict[str, Any]) -> MachineConfig:
+    """Reconstruct a machine from :func:`machine_to_dict` output."""
+    return MachineConfig(
+        name=data["name"],
+        units={str(k): int(v) for k, v in data["units"].items()},
+        occupancy={
+            str(k): int(v) for k, v in data.get("occupancy", {}).items()
+        },
+    )
+
+
+def random_machine(rng: random.Random, allow_blocking: bool = True) -> MachineConfig:
+    """Sample a machine: a paper configuration or a blocking variant."""
+    roll = rng.random()
+    if roll < 0.7 or not allow_blocking:
+        pool = _FIXED_MACHINES if allow_blocking else _FIXED_MACHINES[:-1]
+        return rng.choice(pool)
+    # Random blocking variant of a GP/FS base: pick 1-2 opcodes and give
+    # them multi-cycle initiation intervals.
+    base = rng.choice((GP1, GP2, FS4, FS6))
+    occupancy: dict[str, int] = {}
+    for op_name in rng.sample(("load", "fmul", "fdiv", "mul", "store"), 2):
+        if rng.random() < 0.75:
+            occupancy[op_name] = rng.randint(2, 4)
+    if not occupancy:
+        occupancy["load"] = 2
+    tag = "".join(f"{k}{v}" for k, v in sorted(occupancy.items()))
+    return MachineConfig(
+        name=f"{base.name}-B{tag}",
+        units=dict(base.units),
+        occupancy=occupancy,
+    )
+
+
+def random_superblock(
+    rng: random.Random,
+    max_ops: int = 14,
+    max_branches: int = 4,
+) -> Superblock:
+    """Generate one small, valid, corner-heavy superblock."""
+    n_branches = rng.randint(1, max_branches)
+    builder = SuperblockBuilder(f"fuzz{rng.randrange(10**9):09d}")
+    all_ops: list[int] = []
+    side_probs = _side_exit_probs(rng, n_branches)
+    budget = rng.randint(0, max_ops)
+    for blk in range(n_branches):
+        # Empty blocks are a deliberate corner (probability ~1/4).
+        block_len = 0 if rng.random() < 0.25 else rng.randint(
+            0, max(1, budget // n_branches)
+        )
+        block_ops: list[int] = []
+        for _ in range(block_len):
+            pool = all_ops + block_ops
+            k = min(len(pool), rng.randint(0, 2))
+            preds = rng.sample(pool, k=k) if k else None
+            builder.op(rng.choice(_OPCODES), preds=preds)
+            block_ops.append(builder.next_index - 1)
+        all_ops.extend(block_ops)
+        if blk == n_branches - 1:
+            sinks = [
+                v for v in all_ops if not builder._graph.succs(v)  # noqa: SLF001
+            ]
+            return builder.last_exit(preds=sinks or None)
+        k = min(len(block_ops), rng.randint(0, 2))
+        preds = rng.sample(block_ops, k=k) if k else None
+        builder.exit(side_probs[blk], preds=preds)
+    raise AssertionError("unreachable: the last block always returns")
+
+
+def _side_exit_probs(rng: random.Random, n_branches: int) -> list[float]:
+    """Side-exit probabilities with corner cases baked in.
+
+    Roughly one case in five gets a zero-probability side exit and one in
+    five gets duplicated weights — both historically fertile ground for
+    tie-handling bugs in the tradeoff bounds.
+    """
+    probs: list[float] = []
+    remaining = 1.0
+    duplicate = rng.random() < 0.2
+    dup_value = round(rng.uniform(0.05, 1.0 / max(1, n_branches)), 3)
+    for _ in range(max(0, n_branches - 1)):
+        if rng.random() < 0.2:
+            p = 0.0
+        elif duplicate:
+            p = min(dup_value, round(remaining, 6))
+        else:
+            p = round(remaining * rng.uniform(0.05, 0.6), 6)
+        probs.append(p)
+        remaining -= p
+    return probs
+
+
+def fuzz_cases(
+    count: int,
+    seed: int = 0,
+    max_ops: int = 14,
+    max_branches: int = 4,
+    allow_blocking: bool = True,
+) -> list[VerifyCase]:
+    """The deterministic fuzz corpus for one verification run."""
+    cases = []
+    for index in range(count):
+        rng = random.Random(f"verify/{seed}/{index}")
+        cases.append(
+            VerifyCase(
+                index=index,
+                sb=random_superblock(rng, max_ops, max_branches),
+                machine=random_machine(rng, allow_blocking),
+            )
+        )
+    return cases

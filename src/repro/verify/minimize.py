@@ -1,0 +1,156 @@
+"""Greedy counterexample minimization.
+
+When an oracle fires, the raw fuzz case is rarely the story — the bug
+usually survives in a much smaller superblock. :func:`minimize_superblock`
+shrinks a failing case while a caller-supplied predicate keeps returning
+``True`` ("still fails"), using three structural passes per round:
+
+1. drop a side exit (its probability mass folds into the final exit);
+2. drop a non-branch operation (its edges go with it);
+3. drop a single non-control dependence edge.
+
+Every candidate is re-validated structurally before the predicate runs, so
+the result is always a well-formed superblock ready to be pinned as a
+regression test (docs/verification.md shows the workflow end to end).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.superblock import Superblock
+from repro.ir.validate import SuperblockValidationError, validate_superblock
+
+
+def minimize_superblock(
+    sb: Superblock,
+    predicate: Callable[[Superblock], bool],
+    max_evals: int = 400,
+) -> Superblock:
+    """Shrink ``sb`` while ``predicate`` holds; returns the smallest found.
+
+    The predicate must return ``True`` for ``sb`` itself (the unshrunk
+    counterexample) and for every intermediate result it wants kept; it
+    should catch its own exceptions and translate them into a verdict.
+    """
+    if not predicate(sb):
+        raise ValueError("predicate does not hold for the initial superblock")
+    evals = 0
+    current = sb
+    shrunk = True
+    while shrunk and evals < max_evals:
+        shrunk = False
+        for candidate in _candidates(current):
+            evals += 1
+            if evals > max_evals:
+                break
+            if predicate(candidate):
+                current = candidate
+                shrunk = True
+                break
+    return current
+
+
+def _candidates(sb: Superblock):
+    """Yield structurally valid one-step shrinks of ``sb``, smallest first."""
+    branches = sb.branches
+    # Pass 1: drop one side exit (never the final exit).
+    for b in branches[:-1]:
+        candidate = _try_build(_without_op(sb, b))
+        if candidate is not None:
+            yield candidate
+    # Pass 2: drop one non-branch operation.
+    for v in range(sb.num_operations):
+        if sb.op(v).is_branch:
+            continue
+        candidate = _try_build(_without_op(sb, v))
+        if candidate is not None:
+            yield candidate
+    # Pass 3: drop one non-control dependence edge.
+    control = set(zip(branches, branches[1:]))
+    for src, dst, _lat in sb.graph.edges():
+        if (src, dst) in control:
+            continue
+        candidate = _try_build(_without_edge(sb, src, dst))
+        if candidate is not None:
+            yield candidate
+
+
+def _without_op(sb: Superblock, drop: int) -> Superblock | None:
+    """Rebuild ``sb`` without operation ``drop``, remapping indices."""
+    keep = [v for v in range(sb.num_operations) if v != drop]
+    if not keep:
+        return None
+    remap = {v: i for i, v in enumerate(keep)}
+    graph = DependenceGraph()
+    dropped_op = sb.op(drop)
+    extra_prob = dropped_op.exit_prob if dropped_op.is_branch else 0.0
+    last = sb.last_branch
+    for v in keep:
+        op = sb.op(v)
+        exit_prob = op.exit_prob
+        if v == last and extra_prob:
+            # Fold the dropped exit's probability into the fall-through.
+            exit_prob = min(1.0, round(exit_prob + extra_prob, 9))
+        graph.add_operation(
+            dataclasses.replace(op, index=remap[v], exit_prob=exit_prob)
+        )
+    for src, dst, lat in sb.graph.edges():
+        if src == drop or dst == drop:
+            continue
+        graph.add_edge(remap[src], remap[dst], lat)
+    # Bridge the control chain around a dropped branch.
+    if dropped_op.is_branch:
+        remaining = [b for b in sb.branches if b != drop]
+        for prev, nxt in zip(remaining, remaining[1:]):
+            if not graph.has_edge(remap[prev], remap[nxt]):
+                graph.add_edge(remap[prev], remap[nxt], sb.op(prev).latency)
+    _tie_orphans(graph)
+    graph.freeze()
+    return Superblock(
+        name=sb.name, graph=graph, exec_freq=sb.exec_freq, source=sb.source
+    )
+
+
+def _without_edge(sb: Superblock, src: int, dst: int) -> Superblock:
+    """Rebuild ``sb`` without the single edge ``(src, dst)``."""
+    graph = DependenceGraph()
+    for op in sb.operations:
+        graph.add_operation(op)
+    for s, d, lat in sb.graph.edges():
+        if (s, d) != (src, dst):
+            graph.add_edge(s, d, lat)
+    _tie_orphans(graph)
+    graph.freeze()
+    return Superblock(
+        name=sb.name, graph=graph, exec_freq=sb.exec_freq, source=sb.source
+    )
+
+
+def _tie_orphans(graph: DependenceGraph) -> None:
+    """Feed orphaned sinks into the final exit.
+
+    A shrink can leave a non-branch operation with no consumers; such an
+    op no longer reaches any exit, so schedulers would be free to park it
+    anywhere (including past the last branch). Tying it to the final exit
+    preserves the corpus-wide invariant that every operation matters to
+    some exit.
+    """
+    n = graph.num_operations
+    last = n - 1
+    for v in range(n - 1):
+        if not graph.op(v).is_branch and not graph.succs(v):
+            graph.add_edge(v, last, graph.op(v).latency)
+
+
+def _try_build(candidate: Superblock | None) -> Superblock | None:
+    """Return the candidate only if it is structurally valid."""
+    if candidate is None:
+        return None
+    try:
+        validate_superblock(candidate)
+    except SuperblockValidationError:
+        return None
+    return candidate

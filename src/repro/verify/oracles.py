@@ -1,0 +1,361 @@
+"""The four verification oracles.
+
+Each oracle inspects one (superblock, machine) case and returns a list of
+:class:`Finding` records — empty means the case passed. Findings carry the
+serialized superblock and machine so any failure is reproducible from the
+report alone (see docs/verification.md for the pin-a-counterexample
+workflow).
+
+Oracle design notes:
+
+* The **exact reference** prefers the time-indexed ILP (it models blocking
+  units directly); on fully pipelined machines the branch-and-bound search
+  runs as well and the two must agree — two independent exact solvers
+  disagreeing is itself a high-value finding.
+* Bound soundness is checked against the exact WCT when available and
+  against the best *feasible* schedule always: a lower bound exceeding any
+  validated schedule's WCT is unsound no matter what the optimum is.
+* The sim oracle uses the exact per-exit cycle distribution to build a
+  z-score confidence interval, so the tolerance is principled rather than
+  an arbitrary epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bounds.pairwise import PairwiseBounder
+from repro.bounds.superblock_bounds import BoundSuite, SuperblockBounds
+from repro.ir.serialize import superblock_to_dict
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.ilp import IlpSizeExceeded, ilp_schedule
+from repro.schedulers.optimal import SearchBudgetExceeded
+from repro.schedulers.schedule import Schedule, ScheduleError, validate_schedule
+from repro.sim.executor import exact_sim_moments, simulate
+from repro.verify.generators import machine_to_dict
+
+#: Absolute slack for float comparisons between bounds and WCTs.
+EPS = 1e-6
+
+#: Schedulers audited by the differential fuzzer, in registry order.
+SCHEDULERS = ("cp", "sr", "gstar", "dhasy", "help", "balance", "best")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified-false invariant, with everything needed to reproduce."""
+
+    oracle: str  #: family that fired ("legality", "bounds", "sim", ...)
+    check: str  #: specific invariant, e.g. "PW<=optimal"
+    detail: str  #: human-readable violation description
+    superblock: dict[str, Any] = field(default_factory=dict)
+    machine: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "check": self.check,
+            "detail": self.detail,
+            "superblock": self.superblock,
+            "machine": self.machine,
+        }
+
+
+def _finding(
+    oracle: str, check: str, detail: str, sb: Superblock, machine: MachineConfig
+) -> Finding:
+    return Finding(
+        oracle=oracle,
+        check=check,
+        detail=detail,
+        superblock=superblock_to_dict(sb),
+        machine=machine_to_dict(machine),
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact reference
+# ----------------------------------------------------------------------
+def exact_wct(
+    sb: Superblock,
+    machine: MachineConfig,
+    ilp_max_variables: int = 20_000,
+    bb_budget: int = 300_000,
+) -> tuple[float | None, list[Finding]]:
+    """Exact optimal WCT, cross-validated between the two exact solvers.
+
+    Returns ``(wct, findings)``; ``wct`` is ``None`` when the instance is
+    too large for both solvers (the case is then skipped, never silently
+    passed).
+    """
+    findings: list[Finding] = []
+    ilp: Schedule | None = None
+    bb: Schedule | None = None
+    try:
+        ilp = ilp_schedule(
+            sb, machine, max_variables=ilp_max_variables, validate=False
+        )
+    except IlpSizeExceeded:
+        pass
+    if machine.fully_pipelined:
+        try:
+            bb = get_scheduler("optimal")(
+                sb, machine, budget=bb_budget, validate=False
+            )
+        except SearchBudgetExceeded:
+            pass
+    for name, exact in (("ilp", ilp), ("optimal", bb)):
+        if exact is None:
+            continue
+        try:
+            validate_schedule(sb, machine, exact)
+        except ScheduleError as exc:
+            findings.append(
+                _finding(
+                    "bounds", f"{name}-valid",
+                    f"exact scheduler {name} produced an invalid schedule: {exc}",
+                    sb, machine,
+                )
+            )
+    if ilp is not None and bb is not None and abs(ilp.wct - bb.wct) > EPS:
+        findings.append(
+            _finding(
+                "bounds", "ilp==optimal",
+                f"exact solvers disagree: ILP WCT {ilp.wct:.6f} vs "
+                f"branch-and-bound WCT {bb.wct:.6f}",
+                sb, machine,
+            )
+        )
+    if ilp is not None:
+        return ilp.wct, findings
+    if bb is not None:
+        return bb.wct, findings
+    return None, findings
+
+
+# ----------------------------------------------------------------------
+# Oracle 1+3: schedule legality and the cross-scheduler differential
+# ----------------------------------------------------------------------
+def check_schedulers(
+    sb: Superblock,
+    machine: MachineConfig,
+    opt_wct: float | None = None,
+    schedulers: tuple[str, ...] = SCHEDULERS,
+) -> tuple[list[Finding], dict[str, Schedule]]:
+    """Every scheduler must emit a validating schedule with a true WCT.
+
+    Checks per scheduler: (a) :func:`validate_schedule` passes — latencies,
+    resource/ERC occupancy on pipelined and blocking machines, branch
+    order, liveness past the last exit; (b) the reported WCT equals
+    recomputation from the issue cycles; (c) no heuristic beats the exact
+    optimum when one is known.
+    """
+    findings: list[Finding] = []
+    schedules: dict[str, Schedule] = {}
+    for name in schedulers:
+        try:
+            s = get_scheduler(name)(sb, machine, validate=False)
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            findings.append(
+                _finding(
+                    "legality", f"{name}-runs",
+                    f"scheduler {name} raised {type(exc).__name__}: {exc}",
+                    sb, machine,
+                )
+            )
+            continue
+        schedules[name] = s
+        try:
+            validate_schedule(sb, machine, s)
+        except ScheduleError as exc:
+            findings.append(
+                _finding(
+                    "legality", f"{name}-valid",
+                    f"scheduler {name} produced an invalid schedule: {exc}",
+                    sb, machine,
+                )
+            )
+        recomputed = sb.weighted_completion_time(
+            {b: s.issue[b] for b in sb.branches}
+        )
+        if abs(recomputed - s.wct) > EPS:
+            findings.append(
+                _finding(
+                    "legality", f"{name}-wct",
+                    f"scheduler {name} reports WCT {s.wct:.6f} but its issue "
+                    f"cycles recompute to {recomputed:.6f}",
+                    sb, machine,
+                )
+            )
+        if opt_wct is not None and s.wct < opt_wct - EPS:
+            findings.append(
+                _finding(
+                    "legality", f"{name}-beats-optimal",
+                    f"heuristic {name} WCT {s.wct:.6f} is below the exact "
+                    f"optimum {opt_wct:.6f} — the exact reference or the "
+                    "heuristic's schedule is wrong",
+                    sb, machine,
+                )
+            )
+    return findings, schedules
+
+
+# ----------------------------------------------------------------------
+# Oracle 2: bound soundness vs the exact optimum
+# ----------------------------------------------------------------------
+def check_bounds(
+    sb: Superblock,
+    machine: MachineConfig,
+    opt_wct: float | None,
+    feasible_wct: float | None = None,
+) -> tuple[list[Finding], SuperblockBounds]:
+    """Every bound family must under-approximate every achievable WCT.
+
+    ``opt_wct`` is the exact reference (skipped when None);
+    ``feasible_wct`` is the best *validated* heuristic WCT — a weaker but
+    always-available ceiling. Also asserts the dominance chain, the
+    incremental==naive Pairwise contract, and that the LP combination
+    dominates the Theorem 3 average it generalizes.
+    """
+    findings: list[Finding] = []
+    suite = BoundSuite(sb, machine)
+    res = suite.compute()
+    ceilings = []
+    if opt_wct is not None:
+        ceilings.append(("optimal", opt_wct))
+    if feasible_wct is not None:
+        ceilings.append(("best-heuristic", feasible_wct))
+    for name, wct in res.wct.items():
+        for kind, ceiling in ceilings:
+            if wct > ceiling + EPS:
+                findings.append(
+                    _finding(
+                        "bounds", f"{name}<={kind}",
+                        f"bound {name} = {wct:.6f} exceeds the {kind} WCT "
+                        f"{ceiling:.6f}: the bound is not a true lower bound",
+                        sb, machine,
+                    )
+                )
+    chain = (("CP", "Hu"), ("CP", "RJ"), ("RJ", "LC"), ("LC", "PW"), ("PW", "TW"))
+    for weaker, stronger in chain:
+        if res.wct[weaker] > res.wct[stronger] + EPS:
+            findings.append(
+                _finding(
+                    "bounds", f"{weaker}<={stronger}",
+                    f"dominance chain broken: {weaker} = "
+                    f"{res.wct[weaker]:.6f} > {stronger} = "
+                    f"{res.wct[stronger]:.6f}",
+                    sb, machine,
+                )
+            )
+    if res.pairs_complete and len(sb.branches) >= 2:
+        theorem3 = suite.theorem3_average()
+        lp = suite.lp_bound(include_triples=False)
+        if lp < theorem3 - EPS:
+            findings.append(
+                _finding(
+                    "bounds", "lp>=theorem3",
+                    f"LP combination {lp:.6f} is below the Theorem 3 "
+                    f"average {theorem3:.6f} it generalizes",
+                    sb, machine,
+                )
+            )
+    findings.extend(_check_pairwise_incremental(sb, machine, suite))
+    return findings, res
+
+
+def _check_pairwise_incremental(
+    sb: Superblock, machine: MachineConfig, suite: BoundSuite
+) -> list[Finding]:
+    """The warm-started Pairwise sweep must equal the naive one exactly."""
+    if len(sb.branches) < 2:
+        return []
+    naive = PairwiseBounder(
+        sb.graph,
+        machine,
+        suite.early_rc,
+        suite.late_rc,
+        sb.branch_latency,
+        incremental=False,
+    )
+    findings: list[Finding] = []
+    weights = sb.weights
+    for (i, j), pb in suite.pair_bounds.items():
+        ref = naive.pair_bound(i, j, weights[i], weights[j])
+        if (pb.x, pb.y) != (ref.x, ref.y) or pb.curve != ref.curve:
+            findings.append(
+                _finding(
+                    "bounds", "incremental==naive",
+                    f"pair ({i}, {j}): incremental sweep gives "
+                    f"(x={pb.x}, y={pb.y}) with {len(pb.curve)} points, "
+                    f"naive gives (x={ref.x}, y={ref.y}) with "
+                    f"{len(ref.curve)} points",
+                    sb, machine,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Oracle 4: dynamic simulation vs static WCT
+# ----------------------------------------------------------------------
+def check_sim(
+    sb: Superblock,
+    machine: MachineConfig,
+    schedule: Schedule,
+    runs: int = 4000,
+    seed: int = 0,
+    z: float = 6.0,
+) -> list[Finding]:
+    """Monte Carlo mean must converge to the WCT within CI bounds.
+
+    The per-run cycle count is a deterministic function of the sampled
+    exit, so its exact variance is closed-form; the check is a ``z``-sigma
+    interval (defaults to 6 — about 1e-9 false-positive probability per
+    case) plus a small absolute epsilon for the zero-variance case.
+    """
+    findings: list[Finding] = []
+    stats = simulate(sb, machine, schedule, runs=runs, seed=seed)
+    mean, variance = exact_sim_moments(sb, schedule)
+    tol = z * (variance / runs) ** 0.5 + EPS
+    if abs(stats.mean_cycles - mean) > tol:
+        findings.append(
+            _finding(
+                "sim", "mean==wct",
+                f"simulated mean {stats.mean_cycles:.6f} deviates from the "
+                f"static WCT {mean:.6f} by more than the {z}-sigma interval "
+                f"{tol:.6f} over {runs} runs",
+                sb, machine,
+            )
+        )
+    if abs(mean - schedule.wct) > EPS:
+        findings.append(
+            _finding(
+                "sim", "moments==wct",
+                f"closed-form sim mean {mean:.6f} disagrees with the "
+                f"schedule's cached WCT {schedule.wct:.6f}",
+                sb, machine,
+            )
+        )
+    if sum(stats.exit_counts.values()) != runs:
+        findings.append(
+            _finding(
+                "sim", "exit-counts",
+                f"exit counts {stats.exit_counts} sum to "
+                f"{sum(stats.exit_counts.values())}, expected {runs}",
+                sb, machine,
+            )
+        )
+    if not 0.0 <= stats.mean_waste_fraction <= 1.0:
+        findings.append(
+            _finding(
+                "sim", "waste-fraction",
+                f"mean waste fraction {stats.mean_waste_fraction} is outside "
+                "[0, 1]",
+                sb, machine,
+            )
+        )
+    return findings

@@ -1,0 +1,218 @@
+"""Verification run orchestration.
+
+``run_verify`` drives the four oracle families over a deterministic fuzz
+corpus, wiring observability in (a ``verify.case`` span per case, counters
+per oracle family) and minimizing the first few counterexamples so a
+failing run ends with something small enough to pin as a regression test.
+
+The division of labor per case:
+
+1. generate the case (``verify.generators``);
+2. solve it exactly (ILP, cross-checked against branch and bound);
+3. run every scheduler and validate every schedule (legality family);
+4. run every bound family and compare against the exact optimum and the
+   best feasible schedule (bounds family);
+5. simulate the best heuristic schedule and check convergence to its WCT
+   (sim family).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.obs import trace
+from repro.obs.metrics import active
+from repro.schedulers.schedule import ScheduleError, validate_schedule
+from repro.verify.generators import VerifyCase, fuzz_cases
+from repro.verify.minimize import minimize_superblock
+from repro.verify.oracles import (
+    Finding,
+    check_bounds,
+    check_schedulers,
+    check_sim,
+    exact_wct,
+)
+
+#: Oracle families selectable via ``--family``.
+FAMILIES = ("legality", "bounds", "sim")
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """One verification run's parameters."""
+
+    fuzz: int = 200
+    seed: int = 0
+    families: tuple[str, ...] = FAMILIES
+    max_ops: int = 14
+    max_branches: int = 4
+    sim_runs: int = 4000
+    allow_blocking: bool = True
+    minimize: bool = True
+    minimize_cap: int = 3  #: counterexamples minimized per run
+
+    def __post_init__(self) -> None:
+        unknown = [f for f in self.families if f not in FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"unknown oracle families {unknown}; known: {list(FAMILIES)}"
+            )
+
+    @classmethod
+    def quick(cls) -> "VerifyConfig":
+        """The CI smoke configuration: small corpus, smaller blocks."""
+        return cls(fuzz=25, max_ops=10, max_branches=3, sim_runs=1500)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one verification run."""
+
+    config: VerifyConfig
+    cases: int = 0
+    checked_exact: int = 0  #: cases with an exact reference available
+    findings: list[Finding] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_verify(config: VerifyConfig) -> VerifyReport:
+    """Run the configured oracle families over the fuzz corpus."""
+    t0 = time.perf_counter()
+    report = VerifyReport(config=config)
+    metrics = active()
+    cases = fuzz_cases(
+        config.fuzz,
+        seed=config.seed,
+        max_ops=config.max_ops,
+        max_branches=config.max_branches,
+        allow_blocking=config.allow_blocking,
+    )
+    minimized = 0
+    for case in cases:
+        with trace.span(
+            "verify.case",
+            index=case.index,
+            sb=case.sb.name,
+            machine=case.machine.name,
+        ):
+            case_findings, had_exact = _run_case(case, config)
+        report.cases += 1
+        if had_exact:
+            report.checked_exact += 1
+        if metrics is not None:
+            metrics.add("verify.cases", 1)
+            if case_findings:
+                metrics.add("verify.findings", len(case_findings))
+        if case_findings and config.minimize and minimized < config.minimize_cap:
+            case_findings = [
+                _minimized(case, f, config) for f in case_findings
+            ]
+            minimized += 1
+        report.findings.extend(case_findings)
+    report.elapsed_s = time.perf_counter() - t0
+    if metrics is not None:
+        metrics.gauge("verify.elapsed_s", round(report.elapsed_s, 3))
+    return report
+
+
+def _run_case(
+    case: VerifyCase, config: VerifyConfig
+) -> tuple[list[Finding], bool]:
+    """Run the selected oracle families on one case.
+
+    Returns the findings plus whether an exact reference was available.
+    """
+    findings: list[Finding] = []
+    sb, machine = case.sb, case.machine
+    need_exact = "bounds" in config.families or "legality" in config.families
+    opt = None
+    if need_exact:
+        with trace.span("verify.exact", sb=sb.name):
+            opt, exact_findings = exact_wct(sb, machine)
+        findings.extend(exact_findings)
+    schedules = {}
+    if "legality" in config.families or "sim" in config.families:
+        with trace.span("verify.schedulers", sb=sb.name):
+            sched_findings, schedules = check_schedulers(sb, machine, opt)
+        if "legality" in config.families:
+            findings.extend(sched_findings)
+    if "bounds" in config.families:
+        feasible = _best_feasible_wct(sb, machine, schedules)
+        with trace.span("verify.bounds", sb=sb.name):
+            bound_findings, _res = check_bounds(sb, machine, opt, feasible)
+        findings.extend(bound_findings)
+    if "sim" in config.families and schedules:
+        best = min(schedules.values(), key=lambda s: s.wct)
+        with trace.span("verify.sim", sb=sb.name):
+            findings.extend(
+                check_sim(
+                    sb, machine, best,
+                    runs=config.sim_runs, seed=config.seed,
+                )
+            )
+    return findings, opt is not None
+
+
+def _best_feasible_wct(sb, machine, schedules) -> float | None:
+    """Lowest WCT among schedules that actually validate."""
+    best = None
+    for s in schedules.values():
+        try:
+            validate_schedule(sb, machine, s)
+        except ScheduleError:
+            continue
+        if best is None or s.wct < best:
+            best = s.wct
+    return best
+
+
+def _minimized(case: VerifyCase, finding: Finding, config: VerifyConfig) -> Finding:
+    """Attach a minimized counterexample to a finding when possible."""
+    from repro.ir.serialize import superblock_to_dict
+
+    oracle, check = finding.oracle, finding.check
+
+    def still_fails(sb) -> bool:
+        try:
+            small_case = VerifyCase(case.index, sb, case.machine)
+            repro, _ = _run_case(small_case, replace(config, minimize=False))
+        except Exception:  # noqa: BLE001 - shrink candidates may crash
+            return False
+        return any(f.oracle == oracle and f.check == check for f in repro)
+
+    try:
+        small = minimize_superblock(case.sb, still_fails, max_evals=150)
+    except ValueError:
+        return finding
+    return replace(finding, superblock=superblock_to_dict(small))
+
+
+def render_report(report: VerifyReport) -> str:
+    """Human-readable verification report."""
+    cfg = report.config
+    lines = [
+        f"verify: {report.cases} cases "
+        f"(seed {cfg.seed}, families {'+'.join(cfg.families)}), "
+        f"{report.checked_exact} with an exact reference, "
+        f"{report.elapsed_s:.1f}s",
+    ]
+    if report.ok:
+        lines.append("all oracles passed: no soundness violations found")
+        return "\n".join(lines)
+    lines.append(f"{len(report.findings)} FINDING(S):")
+    import json
+
+    for k, f in enumerate(report.findings, 1):
+        lines.append(f"[{k}] {f.oracle}/{f.check}: {f.detail}")
+        lines.append(f"    machine: {json.dumps(f.machine, sort_keys=True)}")
+        lines.append(f"    superblock: {json.dumps(f.superblock)}")
+    lines.append(
+        "pin each finding as a regression test before fixing it "
+        "(docs/verification.md)"
+    )
+    return "\n".join(lines)

@@ -194,3 +194,37 @@ class TestCliObservability:
     def test_trace_subcommand_missing_file(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
         assert "not found" in capsys.readouterr().err
+
+
+class TestCliVerify:
+    def test_verify_small_run_passes(self, capsys):
+        assert main(["verify", "--fuzz", "6", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "6 cases" in out
+        assert "no soundness violations" in out
+
+    def test_verify_family_restriction(self, capsys):
+        assert main([
+            "verify", "--fuzz", "4", "--family", "legality",
+        ]) == 0
+        assert "families legality" in capsys.readouterr().out
+
+    def test_verify_unknown_family_rejected(self, capsys):
+        assert main(["verify", "--fuzz", "2", "--family", "nope"]) == 1
+        assert "unknown oracle family" in capsys.readouterr().err
+
+    def test_verify_obs_outputs(self, tmp_path, capsys):
+        trace_file = tmp_path / "verify.jsonl"
+        metrics_file = tmp_path / "verify-metrics.json"
+        assert main([
+            "verify", "--fuzz", "3",
+            "--trace-out", str(trace_file),
+            "--metrics-out", str(metrics_file),
+        ]) == 0
+        events = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+        ]
+        assert any(e.get("name") == "verify.case" for e in events)
+        counters = json.loads(metrics_file.read_text())["counters"]
+        assert counters.get("verify.cases") == 3

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.machine.machine import FS4, GP2
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import FS4, FS4_NP, GP2
 from repro.schedulers.schedule import (
     Schedule,
     ScheduleError,
@@ -70,3 +71,106 @@ class TestValidation:
         issue[5] = 0  # invalid, but validation disabled
         s = make_schedule(two_exit_sb, GP2, "t", issue, validate=False)
         assert isinstance(s, Schedule)
+
+    def test_unknown_operation_detected(self, two_exit_sb):
+        issue = valid_issue(two_exit_sb)
+        issue[99] = 0
+        with pytest.raises(ScheduleError, match="unknown operations"):
+            make_schedule(two_exit_sb, GP2, "t", issue)
+
+
+def _chainless_two_exit():
+    """Two exits with no explicit control edge between them."""
+    from repro.ir.depgraph import DependenceGraph
+    from repro.ir.operation import Operation, opcode
+    from repro.ir.superblock import Superblock
+
+    graph = DependenceGraph()
+    graph.add_operation(
+        Operation(index=0, opcode=opcode("branch"), exit_prob=0.4)
+    )
+    graph.add_operation(
+        Operation(index=1, opcode=opcode("jump"), exit_prob=0.6, block=1)
+    )
+    graph.freeze()
+    return Superblock(name="chainless", graph=graph)
+
+
+class TestBranchLegality:
+    def test_branch_order_violation_detected(self):
+        # Builder-made superblocks carry explicit control edges, so the
+        # dependence check subsumes exit order there. The branch-order
+        # rule exists for hand-built graphs without the control chain —
+        # exits must still issue in program order.
+        sb = _chainless_two_exit()
+        with pytest.raises(ScheduleError, match="branch order"):
+            make_schedule(sb, GP2, "t", {0: 2, 1: 0})
+
+    def test_branches_separated_by_latency_pass(self, two_exit_sb):
+        issue = {0: 0, 1: 1, 2: 1, 3: 3, 4: 0, 5: 2, 6: 4}
+        s = make_schedule(two_exit_sb, GP2, "t", issue)
+        validate_schedule(two_exit_sb, GP2, s)
+
+    def test_chainless_branches_in_order_pass(self):
+        sb = _chainless_two_exit()
+        s = make_schedule(sb, GP2, "t", {0: 0, 1: 1})
+        validate_schedule(sb, GP2, s)
+
+    def test_op_past_last_exit_detected(self):
+        # An op that is live past no exit at all (no consumers) can only
+        # violate the liveness rule, never a dependence: control leaves at
+        # issue[last] + l_br and the op would execute on no path.
+        from repro.ir.depgraph import DependenceGraph
+        from repro.ir.operation import Operation, opcode
+        from repro.ir.superblock import Superblock
+
+        graph = DependenceGraph()
+        graph.add_operation(Operation(index=0, opcode=opcode("add")))
+        graph.add_operation(
+            Operation(index=1, opcode=opcode("jump"), exit_prob=1.0)
+        )
+        graph.freeze()
+        sb = Superblock(name="orphan", graph=graph)
+        with pytest.raises(ScheduleError, match="execute on no path"):
+            make_schedule(sb, GP2, "t", {0: 5, 1: 0})
+        # At any cycle before control leaves, the same op is fine.
+        validate_schedule(
+            sb, GP2, make_schedule(sb, GP2, "t", {0: 0, 1: 1})
+        )
+
+
+class TestBlockingOccupancy:
+    def test_blocking_over_subscription_detected(self):
+        # FS4-NP's single float unit is busy for 9 cycles per fdiv: a
+        # second fdiv inside the occupancy window over-subscribes it even
+        # though the two issue cycles differ.
+        sb = (
+            SuperblockBuilder("divs")
+            .op("fdiv")
+            .op("fdiv")
+            .last_exit(preds=[0, 1])
+        )
+        with pytest.raises(ScheduleError, match="units"):
+            make_schedule(sb, FS4_NP, "t", {0: 0, 1: 5, 2: 14})
+
+    def test_back_to_back_after_occupancy_passes(self):
+        sb = (
+            SuperblockBuilder("divs")
+            .op("fdiv")
+            .op("fdiv")
+            .last_exit(preds=[0, 1])
+        )
+        s = make_schedule(sb, FS4_NP, "t", {0: 0, 1: 9, 2: 18})
+        validate_schedule(sb, FS4_NP, s)
+
+    def test_same_schedule_legal_on_pipelined_twin(self):
+        # The identical issue map that over-subscribes FS4-NP is legal on
+        # pipelined FS4 — the gap was specific to occupancy accounting.
+        sb = (
+            SuperblockBuilder("divs")
+            .op("fdiv")
+            .op("fdiv")
+            .last_exit(preds=[0, 1])
+        )
+        s = make_schedule(sb, FS4, "t", {0: 0, 1: 5, 2: 14})
+        validate_schedule(sb, FS4, s)

@@ -2,11 +2,14 @@
 
 import json
 
+from repro.ir.builder import SuperblockBuilder
 from repro.ir.dot import to_dot
 from repro.ir.examples import figure1, figure2, figure3, figure4
 from repro.ir.serialize import (
     dumps,
+    dumps_schedule,
     loads,
+    loads_schedule,
     superblock_from_dict,
     superblock_to_dict,
 )
@@ -45,6 +48,82 @@ class TestRoundTrip:
 
     def test_json_is_valid(self, two_exit_sb):
         json.loads(dumps(two_exit_sb, indent=2))
+
+    def test_reserialization_is_bit_identical(self, two_exit_sb):
+        text = dumps(two_exit_sb)
+        assert dumps(loads(text)) == text
+
+    def test_empty_block_round_trip(self):
+        # A side exit directly followed by another exit: block 1 holds no
+        # computation at all.
+        sb = (
+            SuperblockBuilder("empty_block")
+            .op("add")
+            .exit(0.4, preds=[0])
+            .exit(0.3)
+            .op("add")
+            .last_exit(preds=[3])
+        )
+        sb2 = loads(dumps(sb))
+        assert sb2.num_branches == 3
+        assert sorted(sb2.graph.edges()) == sorted(sb.graph.edges())
+        assert dumps(sb2) == dumps(sb)
+
+    def test_zero_probability_exit_round_trip(self):
+        sb = (
+            SuperblockBuilder("zero_prob")
+            .op("add")
+            .exit(0.0, preds=[0])
+            .op("add")
+            .last_exit(preds=[2])
+        )
+        sb2 = loads(dumps(sb))
+        assert sb2.weights[1] == 0.0
+        assert sb2.weights[sb2.last_branch] == 1.0
+
+
+class TestScheduleRoundTrip:
+    def _schedule(self, sb, machine):
+        from repro.schedulers.base import schedule as run_sched
+
+        return run_sched(sb, machine, "balance")
+
+    def test_round_trip_preserves_everything(self, two_exit_sb, gp2):
+        s = self._schedule(two_exit_sb, gp2)
+        s2 = loads_schedule(dumps_schedule(s))
+        assert s2.superblock == s.superblock
+        assert s2.machine == s.machine
+        assert s2.heuristic == s.heuristic
+        assert s2.issue == s.issue
+        assert s2.wct == s.wct
+        assert s2.stats == s.stats
+
+    def test_round_tripped_schedule_still_validates(self, two_exit_sb, gp2):
+        from repro.schedulers.schedule import validate_schedule
+
+        s2 = loads_schedule(dumps_schedule(self._schedule(two_exit_sb, gp2)))
+        validate_schedule(two_exit_sb, gp2, s2)
+
+    def test_reserialization_is_bit_identical(self, two_exit_sb, gp2):
+        text = dumps_schedule(self._schedule(two_exit_sb, gp2))
+        assert dumps_schedule(loads_schedule(text)) == text
+
+    def test_non_default_machine_round_trip(self, single_exit_sb):
+        from repro.machine.machine import FS4_NP
+
+        s = self._schedule(single_exit_sb, FS4_NP)
+        s2 = loads_schedule(dumps_schedule(s))
+        assert s2.machine == "FS4-NP"
+        assert s2.issue == s.issue
+
+    def test_issue_keys_are_ints_after_round_trip(self, two_exit_sb, gp2):
+        # JSON would happily turn dict keys into strings; the pair-list
+        # encoding must restore exact int->int maps.
+        s2 = loads_schedule(dumps_schedule(self._schedule(two_exit_sb, gp2)))
+        assert all(
+            isinstance(v, int) and isinstance(t, int)
+            for v, t in s2.issue.items()
+        )
 
 
 class TestDot:

@@ -83,6 +83,65 @@ class TestSimulate:
             simulate(two_exit_sb, GP2, s, runs=0)
 
 
+class TestDeterministicParallelism:
+    """The RNG substream per chunk makes jobs a pure throughput knob."""
+
+    def test_parallel_equals_serial(self, two_exit_sb):
+        # Enough runs for several chunks, plus a ragged tail.
+        s = schedule(two_exit_sb, GP2, "balance")
+        runs = 1300
+        serial = simulate(two_exit_sb, GP2, s, runs=runs, seed=4, jobs=1)
+        parallel = simulate(two_exit_sb, GP2, s, runs=runs, seed=4, jobs=2)
+        assert serial.mean_cycles == parallel.mean_cycles
+        assert serial.exit_counts == parallel.exit_counts
+        assert serial.mean_waste_fraction == parallel.mean_waste_fraction
+
+    def test_chunk_substreams_independent_of_total(self, two_exit_sb):
+        # The first chunk's draws must not depend on how many chunks
+        # follow: chunking is a property of the workload, not the run.
+        from repro.sim.executor import CHUNK_RUNS, _chunk_stats
+
+        s = schedule(two_exit_sb, GP2, "balance")
+        one = _chunk_stats(two_exit_sb, GP2, s, seed=8, chunk=0, runs=CHUNK_RUNS)
+        again = _chunk_stats(two_exit_sb, GP2, s, seed=8, chunk=0, runs=CHUNK_RUNS)
+        assert one == again
+
+    def test_different_seeds_differ(self, two_exit_sb):
+        s = schedule(two_exit_sb, GP2, "balance")
+        a = simulate(two_exit_sb, GP2, s, runs=2000, seed=1)
+        b = simulate(two_exit_sb, GP2, s, runs=2000, seed=2)
+        assert a.exit_counts != b.exit_counts
+
+
+class TestExactMoments:
+    def test_mean_is_the_wct(self, two_exit_sb):
+        from repro.sim import exact_sim_moments
+
+        s = schedule(two_exit_sb, GP2, "balance")
+        mean, variance = exact_sim_moments(two_exit_sb, s)
+        assert mean == pytest.approx(s.wct)
+        assert variance >= 0.0
+
+    def test_single_exit_has_zero_variance(self, single_exit_sb):
+        from repro.sim import exact_sim_moments
+
+        s = schedule(single_exit_sb, GP2, "balance")
+        mean, variance = exact_sim_moments(single_exit_sb, s)
+        assert mean == pytest.approx(s.wct)
+        assert variance == pytest.approx(0.0)
+
+    def test_monte_carlo_within_exact_ci(self):
+        from repro.sim import exact_sim_moments
+
+        sb = figure1(side_prob=0.3)
+        s = schedule(sb, GP2, "balance")
+        mean, variance = exact_sim_moments(sb, s)
+        runs = 20_000
+        stats = simulate(sb, GP2, s, runs=runs, seed=17)
+        sigma = (variance / runs) ** 0.5
+        assert abs(stats.mean_cycles - mean) <= 6 * sigma + 1e-9
+
+
 class TestSpeculationWaste:
     def test_closed_form_matches_monte_carlo(self):
         sb = figure1(side_prob=0.3)

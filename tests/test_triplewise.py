@@ -99,3 +99,57 @@ class TestTripleBound:
         assert tb is not None
         floor = 0.3 * rc[2] + 0.3 * rc[4] + 0.4 * rc[6]
         assert tb.cost(0.3, 0.3, 0.4) >= floor - 1e-9
+
+
+class TestDegenerateTriples:
+    def test_unordered_triple_rejected(self):
+        sb = three_exit_sb()
+        bounder, _rc = make_bounder(sb, GP1)
+        with pytest.raises(ValueError, match="program order"):
+            bounder.triple_bound(4, 2, 6, 0.3, 0.3, 0.4)
+        with pytest.raises(ValueError, match="program order"):
+            bounder.triple_bound(2, 2, 6, 0.3, 0.3, 0.4)
+
+    def test_non_ancestor_chain_rejected(self):
+        # Ordered indices that are not an exit chain (op 3 is not a
+        # branch, so there is no control ancestry through it).
+        sb = three_exit_sb()
+        bounder, _rc = make_bounder(sb, GP1)
+        with pytest.raises(ValueError, match="ancestor"):
+            bounder.triple_bound(0, 1, 6, 0.3, 0.3, 0.4)
+
+    def test_duplicate_weight_ties_are_deterministic(self):
+        # Equal weights produce cost ties across the covering grid; the
+        # tie-break must pick the same (componentwise-largest) point on
+        # every run.
+        sb = three_exit_sb()
+        results = set()
+        for _ in range(3):
+            bounder, _rc = make_bounder(sb, GP1)
+            tb = bounder.triple_bound(2, 4, 6, 1 / 3, 1 / 3, 1 / 3)
+            results.add((tb.x, tb.y, tb.z))
+        assert len(results) == 1
+
+    def test_zero_weight_component_still_sound(self):
+        sb = three_exit_sb()
+        bounder, rc = make_bounder(sb, GP1)
+        tb = bounder.triple_bound(2, 4, 6, 0.0, 0.5, 0.5)
+        assert tb is not None
+        assert tb.x >= rc[2] or tb.x == rc[2]
+        assert tb.cost(0.0, 0.5, 0.5) >= 0.5 * rc[4] + 0.5 * rc[6] - 1e-9
+
+
+class TestTwoBranchFallback:
+    def test_suite_reports_tw_equal_pw_below_three_exits(self, two_exit_sb):
+        from repro.bounds.superblock_bounds import BoundSuite
+
+        res = BoundSuite(two_exit_sb, GP2, include_triplewise=True).compute()
+        assert res.wct["TW"] == res.wct["PW"]
+        assert res.triple_bounds == {}
+        assert res.triples_skipped == 0
+
+    def test_single_exit_falls_all_the_way_back(self, single_exit_sb):
+        from repro.bounds.superblock_bounds import BoundSuite
+
+        res = BoundSuite(single_exit_sb, GP2, include_triplewise=True).compute()
+        assert res.wct["TW"] == res.wct["PW"]

@@ -1,0 +1,239 @@
+"""Tests for the differential verification subsystem (repro.verify).
+
+Includes the pinned minimal counterexamples for the bugs the fuzzer
+flushed out while the subsystem was built (docs/verification.md tells the
+story); they must stay here even if the fuzz corpus changes.
+"""
+
+import pytest
+
+from repro.ir.serialize import superblock_from_dict
+from repro.ir.validate import validate_superblock
+from repro.machine.machine import GP1, GP2
+from repro.schedulers.base import schedule as run_sched
+from repro.schedulers.ilp import ilp_schedule
+from repro.schedulers.optimal import optimal_schedule
+from repro.schedulers.schedule import validate_schedule
+from repro.verify import (
+    FAMILIES,
+    VerifyConfig,
+    fuzz_cases,
+    machine_from_dict,
+    machine_to_dict,
+    minimize_superblock,
+    run_verify,
+)
+from repro.verify.oracles import check_bounds, check_sim, exact_wct
+from repro.verify.runner import render_report
+
+
+# The minimized fuzz case (seed 2) that exposed the unsound default ILP
+# horizon: the WCT optimum issues the final jump at cycle 12, one past the
+# best heuristic schedule's length, so a heuristic-length horizon excluded
+# the true optimum and the "exact" reference reported an inflated WCT.
+ILP_HORIZON_CASE = {
+    "name": "fuzz022128870",
+    "exec_freq": 1.0,
+    "source": "",
+    "operations": [
+        {"opcode": "sub"},
+        {"opcode": "fdiv"},
+        {"opcode": "branch", "exit_prob": 0.438527},
+        {"opcode": "branch", "exit_prob": 0.241929, "block": 1},
+        {"opcode": "jump", "exit_prob": 0.319544, "block": 3},
+    ],
+    "edges": [[0, 1, 1], [1, 4, 9], [2, 3, 1], [3, 4, 1]],
+}
+
+# Same root cause on a blocking machine, where the ILP is the *only* exact
+# reference (branch and bound rejects non-pipelined machines) — so the
+# inflated optimum made every validated heuristic look "better than
+# optimal".
+ILP_HORIZON_BLOCKING_CASE = {
+    "name": "fuzz487637280",
+    "exec_freq": 1.0,
+    "source": "",
+    "operations": [
+        {"opcode": "branch", "exit_prob": 0.595001},
+        {"opcode": "mov", "block": 1},
+        {"opcode": "branch", "exit_prob": 0.126524, "block": 1},
+        {"opcode": "fdiv", "block": 2},
+        {"opcode": "jump", "exit_prob": 0.278475, "block": 3},
+    ],
+    "edges": [[0, 2, 1], [1, 3, 1], [2, 4, 1], [3, 4, 9]],
+}
+ILP_HORIZON_BLOCKING_MACHINE = {
+    "name": "GP1-Bfdiv2store2",
+    "units": {"gp": 1},
+    "occupancy": {"fdiv": 2, "store": 2},
+}
+
+
+class TestIlpHorizonRegression:
+    def test_ilp_matches_branch_and_bound_on_pinned_case(self):
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        ilp = ilp_schedule(sb, GP1)
+        bnb = optimal_schedule(sb, GP1)
+        assert ilp.wct == pytest.approx(bnb.wct)
+        assert ilp.wct == pytest.approx(5.076457, abs=1e-6)
+
+    def test_default_horizon_admits_the_longer_optimum(self):
+        # The optimum needs 13 cycles; the buggy heuristic-length default
+        # was 12. The serial bound must cover it.
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        ilp = ilp_schedule(sb, GP1)
+        assert ilp.stats["horizon"] >= 13
+        assert max(ilp.issue.values()) == 12
+
+    def test_no_heuristic_beats_ilp_on_pinned_blocking_case(self):
+        sb = superblock_from_dict(ILP_HORIZON_BLOCKING_CASE)
+        machine = machine_from_dict(ILP_HORIZON_BLOCKING_MACHINE)
+        ilp = ilp_schedule(sb, machine)
+        validate_schedule(sb, machine, ilp)
+        for heuristic in ("sr", "gstar", "balance"):
+            s = run_sched(sb, machine, heuristic)
+            validate_schedule(sb, machine, s)
+            assert ilp.wct <= s.wct + 1e-9, heuristic
+
+    def test_explicit_short_horizon_still_respected(self):
+        # An explicit horizon is the caller's contract; only the *default*
+        # had to change.
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        s = ilp_schedule(sb, GP1, horizon=20)
+        assert s.stats["horizon"] == 20
+
+
+class TestGenerators:
+    def test_fuzz_cases_are_valid_and_deterministic(self):
+        a = fuzz_cases(30, seed=5)
+        b = fuzz_cases(30, seed=5)
+        assert len(a) == 30
+        for ca, cb in zip(a, b):
+            validate_superblock(ca.sb)
+            assert ca.sb.name == cb.sb.name
+            assert ca.machine.name == cb.machine.name
+            assert list(ca.sb.graph.edges()) == list(cb.sb.graph.edges())
+
+    def test_fuzz_covers_the_corners(self):
+        cases = fuzz_cases(120, seed=0)
+        sbs = [c.sb for c in cases]
+        assert any(
+            sb.weights[b] == 0.0 for sb in sbs for b in sb.branches[:-1]
+        ), "no zero-probability exit generated"
+        assert any(sb.num_branches == 1 for sb in sbs)
+        assert any(not c.machine.fully_pipelined for c in cases)
+        assert any(c.machine.occupancy and "-B" in c.machine.name for c in cases)
+
+    def test_machine_round_trip(self):
+        cases = fuzz_cases(40, seed=3)
+        for c in cases:
+            m = machine_from_dict(machine_to_dict(c.machine))
+            assert m.units == c.machine.units
+            assert dict(m.occupancy) == dict(c.machine.occupancy)
+
+
+class TestOracles:
+    def test_exact_wct_agrees_with_bnb_on_pipelined(self):
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        wct, findings = exact_wct(sb, GP1)
+        assert findings == []
+        assert wct == pytest.approx(optimal_schedule(sb, GP1).wct)
+
+    def test_bounds_oracle_flags_an_unsound_bound(self):
+        # Feed an artificially low "optimum": every bound above it must be
+        # reported, proving the oracle actually bites.
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        findings, _ = check_bounds(sb, GP1, opt_wct=0.5, feasible_wct=None)
+        assert findings, "no bound exceeded an impossible optimum of 0.5"
+        assert all(f.oracle == "bounds" for f in findings)
+
+    def test_sim_oracle_flags_a_wrong_wct(self):
+        sb = superblock_from_dict(ILP_HORIZON_CASE)
+        s = run_sched(sb, GP1, "sr")
+        wrong = s.replace(wct=s.wct + 2.0) if hasattr(s, "replace") else None
+        if wrong is None:
+            import dataclasses
+
+            wrong = dataclasses.replace(s, wct=s.wct + 2.0)
+        findings = check_sim(sb, GP1, wrong, runs=800, seed=1)
+        assert findings, "sim oracle accepted a schedule with a wrong WCT"
+
+
+class TestRunner:
+    def test_quick_profile_is_clean(self):
+        report = run_verify(VerifyConfig.quick())
+        assert report.ok, render_report(report)
+        assert report.cases == 25
+        assert report.checked_exact > 0
+
+    def test_family_restriction(self):
+        cfg = VerifyConfig(fuzz=4, families=("legality",), sim_runs=100)
+        report = run_verify(cfg)
+        assert report.ok
+        assert report.cases == 4
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            VerifyConfig(families=("legality", "nope"))
+
+    def test_families_constant_matches_config_default(self):
+        assert VerifyConfig().families == FAMILIES
+
+    def test_render_report_mentions_outcome(self):
+        report = run_verify(VerifyConfig(fuzz=2, sim_runs=100))
+        text = render_report(report)
+        assert "2 cases" in text
+        assert "no soundness violations" in text
+
+
+class TestMinimize:
+    def test_shrinks_while_predicate_holds(self):
+        cases = fuzz_cases(20, seed=1, max_ops=14)
+        sb = max((c.sb for c in cases), key=lambda s: s.num_operations)
+        small = minimize_superblock(sb, lambda s: s.num_branches >= 1)
+        validate_superblock(small)
+        assert small.num_operations <= sb.num_operations
+        # A single jump is the fixed point of "at least one branch".
+        assert small.num_operations == 1
+
+    def test_rejects_non_failing_seed(self):
+        cases = fuzz_cases(1, seed=0)
+        with pytest.raises(ValueError, match="predicate does not hold"):
+            minimize_superblock(cases[0].sb, lambda s: False)
+
+    def test_preserves_failure_specific_structure(self):
+        cases = fuzz_cases(30, seed=2, max_ops=12)
+        sb = next(c.sb for c in cases if c.sb.num_branches >= 3)
+        small = minimize_superblock(sb, lambda s: s.num_branches >= 3)
+        validate_superblock(small)
+        assert small.num_branches == 3
+
+    def test_minimized_blocks_still_exercise_the_oracles(self):
+        # The shrunk pinned case must still round-trip through the full
+        # oracle stack without spurious findings.
+        for data, machine in (
+            (ILP_HORIZON_CASE, GP1),
+            (
+                ILP_HORIZON_BLOCKING_CASE,
+                machine_from_dict(ILP_HORIZON_BLOCKING_MACHINE),
+            ),
+        ):
+            sb = superblock_from_dict(data)
+            wct, findings = exact_wct(sb, machine)
+            assert wct is not None
+            assert findings == []
+            bound_findings, _ = check_bounds(
+                sb, machine, wct, feasible_wct=None
+            )
+            assert bound_findings == []
+
+
+class TestCrossSchedulerSoundness:
+    def test_every_bound_below_optimal_on_gp2_fuzz(self):
+        for case in fuzz_cases(12, seed=9, allow_blocking=False):
+            wct, findings = exact_wct(case.sb, GP2)
+            assert findings == []
+            if wct is None:
+                continue
+            bound_findings, _ = check_bounds(case.sb, GP2, wct, None)
+            assert bound_findings == [], case.sb.name
