@@ -6,4 +6,6 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Warm-cache speedup gate (skipped on CI runners: wall-clock based).
+python -m pytest tests/test_cache_integration.py -m perf -q
 exec python benchmarks/perf_smoke.py --check benchmarks/BENCH_1.json "$@"

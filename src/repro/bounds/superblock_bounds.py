@@ -25,7 +25,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import Any, Callable, TypeVar
 
+from repro import cache as result_cache
 from repro.bounds.branch_rj import rj_branch_bounds
 from repro.bounds.critical_path import cp_branch_bounds
 from repro.bounds.hu import hu_branch_bounds
@@ -41,6 +43,13 @@ from repro.obs.metrics import active_counters
 
 #: Names of the bound families, in the paper's Table 1 order.
 BOUND_NAMES = ("CP", "Hu", "RJ", "LC", "PW", "TW")
+
+#: Cache version of every bound computed through :class:`BoundSuite`.
+#: Bump whenever any bound algorithm's output could change — stale
+#: entries are then unreachable by construction (docs/caching.md).
+BOUNDS_CACHE_VERSION = 1
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -103,13 +112,68 @@ class BoundSuite:
         self.triple_cap = triple_cap
         self.triple_budget = triple_budget
 
+    # -- result cache plumbing ------------------------------------------
+    @cached_property
+    def _cache_parts(self) -> list[Any]:
+        """Content digests shared by every cached step of this suite."""
+        return [
+            result_cache.superblock_digest(self.sb),
+            result_cache.machine_digest(self.machine),
+            self.lc_fast_path,
+        ]
+
+    def _cached_step(
+        self,
+        algorithm: str,
+        extra_parts: list[Any],
+        compute: Callable[[], _T],
+    ) -> _T:
+        """Memoize one bound computation under the ambient result cache.
+
+        Each entry stores ``(result, counter_delta)``: a hit replays the
+        exact loop-trip counters the computation would have produced, so
+        warm metrics match cold metrics bit for bit. Dependencies of a
+        step (e.g. ``early_rc`` for the Pairwise sweep) must be
+        materialized *before* the step runs so their deltas are captured
+        by their own entries, never double-counted by this one.
+        """
+        cache = result_cache.active()
+        if cache is None:
+            return compute()
+        key = result_cache.cache_key(
+            algorithm, BOUNDS_CACHE_VERSION, self._cache_parts + extra_parts
+        )
+        hit, value = cache.get(key)
+        if hit:
+            result, delta = value
+            if self.counters is not None:
+                for name, amount in delta.items():
+                    self.counters.add(name, amount)
+            return result
+        original = self.counters
+        capture = Counters()
+        self.counters = capture
+        try:
+            result = compute()
+        finally:
+            self.counters = original
+        if original is not None:
+            original.merge(capture)
+        cache.put(key, (result, capture.as_dict()))
+        return result
+
     # -- cached intermediates -------------------------------------------
     @cached_property
     def early_rc(self) -> list[int]:
         """Forward LC bound for every operation."""
         with trace.span("bounds.lc", sb=self.sb.name):
-            return early_rc(
-                self.sb.graph, self.machine, self.counters, self.lc_fast_path
+            return self._cached_step(
+                "bounds.early_rc",
+                [],
+                lambda: early_rc(
+                    self.sb.graph, self.machine, self.counters,
+                    self.lc_fast_path,
+                ),
             )
 
     @cached_property
@@ -117,13 +181,17 @@ class BoundSuite:
         """Resource-aware late times, per branch."""
         rc = self.early_rc
         with trace.span("bounds.late_rc", sb=self.sb.name):
-            return {
-                b: late_rc_for_branch(
-                    self.sb.graph, self.machine, b, rc[b], self.counters,
-                    self.lc_fast_path,
-                )
-                for b in self.sb.branches
-            }
+            return self._cached_step(
+                "bounds.late_rc",
+                [],
+                lambda: {
+                    b: late_rc_for_branch(
+                        self.sb.graph, self.machine, b, rc[b], self.counters,
+                        self.lc_fast_path,
+                    )
+                    for b in self.sb.branches
+                },
+            )
 
     @cached_property
     def _pairs_to_compute(self) -> tuple[list[tuple[int, int]], bool]:
@@ -147,20 +215,28 @@ class BoundSuite:
     def pair_bounds(self) -> dict[tuple[int, int], PairBound]:
         """Pairwise tradeoff bounds, keyed by ordered branch pair."""
         pairs, _complete = self._pairs_to_compute
-        bounder = PairwiseBounder(
-            self.sb.graph,
-            self.machine,
-            self.early_rc,
-            self.late_rc,
-            self.sb.branch_latency,
-            self.counters,
-        )
+        early = self.early_rc  # materialize: cached under their own keys
+        late = self.late_rc
         weights = self.sb.weights
-        with trace.span("bounds.pairwise", sb=self.sb.name, pairs=len(pairs)):
+
+        def sweep() -> dict[tuple[int, int], PairBound]:
+            bounder = PairwiseBounder(
+                self.sb.graph,
+                self.machine,
+                early,
+                late,
+                self.sb.branch_latency,
+                self.counters,
+            )
             return {
                 (i, j): bounder.pair_bound(i, j, weights[i], weights[j])
                 for i, j in pairs
             }
+
+        with trace.span("bounds.pairwise", sb=self.sb.name, pairs=len(pairs)):
+            return self._cached_step(
+                "bounds.pairwise", [self.pair_cap, sorted(pairs)], sweep
+            )
 
     @cached_property
     def pairs_complete(self) -> bool:
@@ -191,27 +267,27 @@ class BoundSuite:
     @cached_property
     def triple_results(self) -> tuple[dict[tuple[int, int, int], TripleBound], int]:
         """Triple bounds plus the number of skipped (over-budget) triples."""
-        bounder = TriplewiseBounder(
-            self.sb.graph,
-            self.machine,
-            self.early_rc,
-            self.late_rc,
-            self.sb.branch_latency,
-            self.counters,
-            self.triple_budget,
-        )
+        early = self.early_rc  # materialize: cached under their own keys
+        late = self.late_rc
+        pb = self.pair_bounds
         weights = self.sb.weights
-        results: dict[tuple[int, int, int], TripleBound] = {}
-        skipped = 0
-        with trace.span(
-            "bounds.triplewise",
-            sb=self.sb.name,
-            triples=len(self._triples_to_compute),
-        ):
-            for i, j, k in self._triples_to_compute:
+        triples = self._triples_to_compute
+
+        def grid() -> tuple[dict[tuple[int, int, int], TripleBound], int]:
+            bounder = TriplewiseBounder(
+                self.sb.graph,
+                self.machine,
+                early,
+                late,
+                self.sb.branch_latency,
+                self.counters,
+                self.triple_budget,
+            )
+            results: dict[tuple[int, int, int], TripleBound] = {}
+            skipped = 0
+            for i, j, k in triples:
                 # Triples whose pairs are all conflict-free almost never
                 # add information; skip them to keep the O(C^2) grids rare.
-                pb = self.pair_bounds
                 if all(
                     pb.get(p) is not None and pb[p].conflict_free
                     for p in ((i, j), (i, k), (j, k))
@@ -224,7 +300,16 @@ class BoundSuite:
                     skipped += 1
                 else:
                     results[(i, j, k)] = tb
-        return results, skipped
+            return results, skipped
+
+        with trace.span(
+            "bounds.triplewise", sb=self.sb.name, triples=len(triples)
+        ):
+            return self._cached_step(
+                "bounds.triplewise",
+                [self.triple_cap, self.triple_budget, self.pair_cap],
+                grid,
+            )
 
     # -- aggregation -----------------------------------------------------
     def _naive_wct(self, branch_bounds: dict[int, int]) -> float:
@@ -271,11 +356,21 @@ class BoundSuite:
         sb, machine = self.sb, self.machine
         branch_bounds: dict[str, dict[int, int]] = {}
         with trace.span("bounds.cp", sb=sb.name):
-            branch_bounds["CP"] = cp_branch_bounds(sb, self.counters)
+            branch_bounds["CP"] = self._cached_step(
+                "bounds.cp", [], lambda: cp_branch_bounds(sb, self.counters)
+            )
         with trace.span("bounds.hu", sb=sb.name):
-            branch_bounds["Hu"] = hu_branch_bounds(sb, machine, self.counters)
+            branch_bounds["Hu"] = self._cached_step(
+                "bounds.hu",
+                [],
+                lambda: hu_branch_bounds(sb, machine, self.counters),
+            )
         with trace.span("bounds.rj", sb=sb.name):
-            branch_bounds["RJ"] = rj_branch_bounds(sb, machine, self.counters)
+            branch_bounds["RJ"] = self._cached_step(
+                "bounds.rj",
+                [],
+                lambda: rj_branch_bounds(sb, machine, self.counters),
+            )
         rc = self.early_rc
         branch_bounds["LC"] = {b: rc[b] for b in sb.branches}
 

@@ -1,0 +1,151 @@
+"""Content-addressed result cache with incremental evaluation.
+
+Every expensive computation in this library — bound suites, Pairwise and
+Triplewise sweeps, exact ILP/branch-and-bound solves, whole evaluation
+work units — is a pure function of ``(superblock, machine, algorithm,
+parameters)``. This package memoizes those functions on disk, keyed by a
+canonical content hash (:mod:`repro.cache.keys`), so a warm re-run of the
+table/figure/report pipeline skips straight to the answers.
+
+Design invariants (docs/caching.md):
+
+* **Bit-identical output.** Cache entries store the computation's result
+  *and* its metric counter deltas; a hit replays both, so a warm run
+  renders byte-for-byte the same tables and (counter) metrics as a cold
+  or uncached run. Wall-clock timers are exempt — time is not cacheable.
+* **Versioned invalidation.** Keys fold in a global schema version plus a
+  per-algorithm version constant (bumped whenever an implementation's
+  output could change), so stale results can never be served — the old
+  keys simply never match again.
+* **Crash safety.** Writes are atomic; corrupt or truncated entries are
+  deleted on first contact, counted (``cache.corrupt``), and recomputed.
+
+Usage follows the ambient pattern of :mod:`repro.obs`: callers install a
+cache for a scope and library code picks it up::
+
+    from repro import cache
+    with cache.install(cache.ResultCache("~/.cache/repro")):
+        run_tables()
+
+When no cache is installed every ``cached()`` call degrades to a plain
+function call with zero overhead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import contextmanager
+from typing import Any, TypeVar
+
+from repro.cache.keys import (
+    SCHEMA_VERSION,
+    Unkeyable,
+    cache_key,
+    canonical_json,
+    canonical_machine,
+    canonical_superblock,
+    canonical_value,
+    digest,
+    machine_digest,
+    superblock_digest,
+    superblock_identity_digest,
+)
+from repro.cache.store import CacheStats, GcResult, ResultCache
+
+T = TypeVar("T")
+
+#: Installation stack; the innermost installed cache is the ambient one.
+_STACK: list[ResultCache] = []
+
+
+def active() -> ResultCache | None:
+    """The ambient cache, or ``None`` when caching is disabled."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def install(cache: ResultCache | None):
+    """Make ``cache`` the ambient cache for the ``with`` body.
+
+    Installing ``None`` is a no-op scope, so call sites can write
+    ``with cache.install(maybe_cache):`` unconditionally.
+    """
+    if cache is None:
+        yield None
+        return
+    _STACK.append(cache)
+    try:
+        yield cache
+    finally:
+        _STACK.pop()
+
+
+def deactivate() -> None:
+    """Drop every installed cache in this process.
+
+    Called from worker-process initializers: the corpus engine performs
+    cache lookups and write-backs **in the parent** (misses only are
+    fanned out), so a forked worker must not inherit the parent's cache —
+    double writes would be harmless but wasteful, and worker-side hits
+    would skew the parent's accounting.
+    """
+    _STACK.clear()
+
+
+def cached(algorithm: str, version: int, parts: Any, compute: Callable[[], T]) -> T:
+    """Memoize ``compute()`` under the ambient cache.
+
+    With no cache installed, or when ``parts`` has no canonical form,
+    this is exactly ``compute()``.
+    """
+    cache = active()
+    if cache is None:
+        return compute()
+    try:
+        key = cache_key(algorithm, version, parts)
+    except Unkeyable:
+        return compute()
+    hit, value = cache.get(key)
+    if hit:
+        return value
+    value = compute()
+    cache.put(key, value)
+    return value
+
+
+def kernel_version(version: int):
+    """Mark a corpus-map kernel as cacheable at ``version``.
+
+    The corpus engine only caches kernels that opt in (timing kernels,
+    for instance, must never be cached); bump the version whenever the
+    kernel's output could change.
+    """
+
+    def mark(fn):
+        fn.__cache_version__ = version
+        return fn
+
+    return mark
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "GcResult",
+    "ResultCache",
+    "Unkeyable",
+    "active",
+    "cache_key",
+    "cached",
+    "canonical_json",
+    "canonical_machine",
+    "canonical_superblock",
+    "canonical_value",
+    "deactivate",
+    "digest",
+    "install",
+    "kernel_version",
+    "machine_digest",
+    "superblock_digest",
+    "superblock_identity_digest",
+]

@@ -1,0 +1,165 @@
+"""Canonical serialization and content hashing for cache keys.
+
+A cache key must identify the *semantics* of a computation, nothing else:
+two superblocks that differ only in edge-list order, dict-key order, or
+cosmetic metadata (``name``, ``source``) must hash identically, while any
+semantic change — an opcode, a latency, an exit probability, a machine
+parameter — must change the hash. The canonical form is therefore built
+from sorted, minimal JSON (``sort_keys=True``, no whitespace, ``NaN``
+rejected) and hashed with SHA-256.
+
+Two digests exist per superblock:
+
+* :func:`superblock_digest` — semantic content only (operations + edges).
+  Used by algorithm-level caches (bounds, exact solvers) whose stored
+  values are identity-free and therefore shareable between structurally
+  identical blocks.
+* :func:`superblock_identity_digest` — semantic content *plus* the
+  block's identity (``name``, ``exec_freq``). Used by the generic
+  corpus-kernel cache, whose stored values may embed the block's name.
+
+Key assembly (:func:`cache_key`) folds in a global schema version, the
+algorithm name, and the per-algorithm version constant, so bumping either
+can never serve stale results — the key simply never matches again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+#: Global cache schema version: bump to invalidate every existing entry
+#: (e.g. when the on-disk value encoding changes).
+SCHEMA_VERSION = 1
+
+
+class Unkeyable(TypeError):
+    """An object has no canonical form and cannot participate in a key."""
+
+
+def canonical_json(obj: Any) -> str:
+    """Minimal, key-sorted, NaN-free JSON — the canonical text form."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Domain objects
+# ----------------------------------------------------------------------
+def canonical_superblock(sb: Superblock) -> dict[str, Any]:
+    """Semantic content of a superblock, in canonical order.
+
+    Operation order is semantic (indices are referenced by edges and the
+    branch sequence) and is kept positional; edge order is not and is
+    sorted. Cosmetic fields (``name``, ``source``, per-op ``name``) and
+    the evaluation-only ``exec_freq`` are excluded.
+    """
+    return {
+        "ops": [
+            [op.opcode.name, repr(float(op.exit_prob)), op.block]
+            for op in sb.operations
+        ],
+        "edges": sorted([src, dst, lat] for src, dst, lat in sb.graph.edges()),
+    }
+
+
+def superblock_digest(sb: Superblock) -> str:
+    """Content digest of a superblock's semantics (identity-free)."""
+    return digest(canonical_superblock(sb))
+
+
+def superblock_identity_digest(sb: Superblock) -> str:
+    """Content digest including the block's identity fields.
+
+    Corpus kernels return values that may embed ``sb.name`` and
+    ``sb.exec_freq`` (e.g. :class:`~repro.eval.metrics.SuperblockResult`),
+    so their cache entries must not be shared across identically-shaped
+    blocks with different identities.
+    """
+    body = canonical_superblock(sb)
+    body["name"] = sb.name
+    body["exec_freq"] = repr(float(sb.exec_freq))
+    return digest(body)
+
+
+def canonical_machine(machine: MachineConfig) -> dict[str, Any]:
+    """Semantic content of a machine configuration."""
+    return {
+        "units": dict(machine.units),
+        "class_map": {oc.value: rc for oc, rc in machine.class_map.items()},
+        "occupancy": dict(machine.occupancy),
+    }
+
+
+def machine_digest(machine: MachineConfig) -> str:
+    """Content digest of a machine configuration (name excluded)."""
+    return digest(canonical_machine(machine))
+
+
+# ----------------------------------------------------------------------
+# Generic parameter encoding
+# ----------------------------------------------------------------------
+def canonical_value(obj: Any) -> Any:
+    """Recursively convert ``obj`` to a JSON-canonical structure.
+
+    Supports the primitives, containers, and the frozen dataclasses the
+    evaluation layer passes as kernel extras (machine configs, Balance
+    configurations, picklable weight callables). Anything else — above
+    all arbitrary callables such as lambdas — raises :class:`Unkeyable`,
+    which callers treat as "do not cache this work unit".
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips; json would re-parse 1.0 == 1
+    if isinstance(obj, MachineConfig):
+        return {"__machine__": canonical_machine(obj)}
+    if isinstance(obj, Superblock):
+        return {"__superblock__": superblock_identity_digest(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical_value(v) for v in obj)
+    if isinstance(obj, dict):
+        items = [
+            (canonical_json(canonical_value(k)), canonical_value(v))
+            for k, v in obj.items()
+        ]
+        return {"__dict__": sorted(items)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: canonical_value(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    raise Unkeyable(f"cannot derive a canonical cache key from {type(obj)!r}")
+
+
+def cache_key(algorithm: str, version: int, parts: Any) -> str:
+    """Assemble the full content-addressed key for one computation.
+
+    Args:
+        algorithm: stable algorithm identifier (``"bounds"``, ``"ilp"``,
+            a kernel's qualified name, ...).
+        version: the per-algorithm version constant; bump it whenever the
+            implementation's output could change.
+        parts: everything the output depends on (digests, parameters);
+            must be canonicalizable by :func:`canonical_value`.
+    """
+    return digest(
+        ["repro-cache", SCHEMA_VERSION, algorithm, version, canonical_value(parts)]
+    )

@@ -1,0 +1,303 @@
+"""Content-addressed result cache: sharded disk store + in-memory LRU.
+
+Layout: one file per entry under ``<dir>/objects/<key[:2]>/<key[2:]>``,
+sharded on the first key byte so no directory grows unboundedly. Every
+file carries a magic header and a SHA-256 payload digest::
+
+    RPRC1\\n | sha256(payload) (32 bytes) | payload (pickle)
+
+Writes are atomic (temp file in the same directory + ``os.replace``), so
+a reader never observes a partially written entry; a corrupt or truncated
+entry — wrong magic, digest mismatch, unpicklable payload — is deleted on
+first contact, counted under ``cache.corrupt``, and reported as a miss so
+the caller simply recomputes.
+
+A small LRU dictionary fronts the disk store: repeated lookups within one
+process (the Pairwise sweep re-reading a suite entry, a warm table build)
+never touch the filesystem twice. Hits, misses, writes, evictions, and
+corruption are counted on the cache object itself (:class:`CacheStats`)
+— never into whatever :class:`~repro.obs.metrics.MetricsRegistry` happens
+to be active, because during metered evaluation that registry is a
+per-unit capture whose contents are *stored in cache entries*; leaking
+bookkeeping there would make cold and uncached runs report different
+counters. Call :meth:`ResultCache.publish_metrics` at scope end to
+surface the totals in :mod:`repro.obs` under ``cache.*``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs import trace
+from repro.obs.metrics import active as _active_metrics
+
+_MAGIC = b"RPRC1\n"
+_DIGEST_LEN = 32
+
+#: A sentinel distinguishing "miss" from a cached ``None`` value.
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Event counts for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    #: Hits served from the in-memory LRU (subset of ``hits``).
+    memory_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "memory_hits": self.memory_hits,
+        }
+
+
+@dataclass
+class GcResult:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    removed: int = 0
+    kept: int = 0
+    bytes_freed: int = 0
+    bytes_kept: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class ResultCache:
+    """Disk-backed, content-addressed result cache with an LRU front.
+
+    Args:
+        directory: cache root; created on first write.
+        memory_entries: capacity of the in-memory LRU front (0 disables
+            it); eviction is by least-recent use and never touches disk.
+        readonly: serve hits but never write (useful for audits).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        memory_entries: int = 512,
+        readonly: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.readonly = readonly
+        self.stats = CacheStats()
+        self._memory_entries = max(0, memory_entries)
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+
+    # -- paths -----------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.directory / "objects"
+
+    def path_for(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / key[2:]
+
+    # -- counting --------------------------------------------------------
+    def _count(self, event: str, amount: int = 1) -> None:
+        setattr(self.stats, event, getattr(self.stats, event) + amount)
+
+    def publish_metrics(self, registry: Any = None) -> None:
+        """Push lifetime totals into a metrics registry as ``cache.*``.
+
+        Uses the ambient registry when none is given. Intended to run
+        once at scope end (the CLI cache scope does), keeping the cache's
+        own bookkeeping out of per-unit metric deltas.
+        """
+        registry = _active_metrics() if registry is None else registry
+        if registry is None:
+            return
+        for event, amount in self.stats.as_dict().items():
+            registry.add(f"cache.{event}", amount)
+
+    # -- core API --------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Look up a key; returns ``(hit, value)``.
+
+        A corrupt entry is deleted, counted, and reported as a miss.
+        """
+        value = self._memory_get(key)
+        if value is not _MISS:
+            self._count("hits")
+            self._count("memory_hits")
+            return True, value
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._count("misses")
+            return False, None
+        value = self._decode(raw)
+        if value is _MISS:
+            self._count("corrupt")
+            self._count("misses")
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone / perms
+                pass
+            return False, None
+        self._memory_put(key, value)
+        self._count("hits")
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value atomically; last writer wins."""
+        self._memory_put(key, value)
+        if self.readonly:
+            return
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._count("writes")
+
+    @staticmethod
+    def _decode(raw: bytes) -> Any:
+        """Payload of an entry blob, or the miss sentinel when corrupt."""
+        if not raw.startswith(_MAGIC):
+            return _MISS
+        header_len = len(_MAGIC) + _DIGEST_LEN
+        if len(raw) < header_len:
+            return _MISS
+        expected = raw[len(_MAGIC) : header_len]
+        payload = raw[header_len:]
+        if hashlib.sha256(payload).digest() != expected:
+            return _MISS
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any unpickling failure is corruption
+            return _MISS
+
+    # -- memory LRU ------------------------------------------------------
+    def _memory_get(self, key: str) -> Any:
+        if key not in self._memory:
+            return _MISS
+        self._memory.move_to_end(key)
+        return self._memory[key]
+
+    def _memory_put(self, key: str, value: Any) -> None:
+        if self._memory_entries == 0:
+            return
+        if key in self._memory:
+            self._memory.move_to_end(key)
+        self._memory[key] = value
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+            self._count("evictions")
+
+    # -- maintenance -----------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Every entry file currently in the store, unordered."""
+        if not self.objects_dir.is_dir():
+            return []
+        return [p for p in self.objects_dir.glob("*/*") if p.is_file()]
+
+    def summary(self) -> dict[str, Any]:
+        """Disk-store summary for ``cache stats`` and reports."""
+        files = self.entries()
+        total = 0
+        for path in files:
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return {
+            "directory": str(self.directory),
+            "entries": len(files),
+            "bytes": total,
+            "shards": len({p.parent.name for p in files}),
+        }
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> GcResult:
+        """Trim the disk store by age and/or total size.
+
+        Entries older than ``max_age_s`` are removed first; the remainder
+        is trimmed least-recently-modified-first until it fits in
+        ``max_bytes``. Removals count as evictions.
+        """
+        result = GcResult()
+        now = time.time() if now is None else now
+        with trace.span("cache.gc"):
+            stamped: list[tuple[float, int, Path]] = []
+            for path in self.entries():
+                try:
+                    st = path.stat()
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                stamped.append((st.st_mtime, st.st_size, path))
+            stamped.sort()  # oldest first
+            keep: list[tuple[float, int, Path]] = []
+            for mtime, size, path in stamped:
+                if max_age_s is not None and now - mtime > max_age_s:
+                    self._remove(path, size, result)
+                else:
+                    keep.append((mtime, size, path))
+            if max_bytes is not None:
+                total = sum(size for _, size, _ in keep)
+                for mtime, size, path in keep:
+                    if total <= max_bytes:
+                        result.kept += 1
+                        result.bytes_kept += size
+                        continue
+                    self._remove(path, size, result)
+                    total -= size
+            else:
+                result.kept += len(keep)
+                result.bytes_kept += sum(size for _, size, _ in keep)
+        self._memory.clear()
+        return result
+
+    def _remove(self, path: Path, size: int, result: GcResult) -> None:
+        try:
+            path.unlink()
+        except OSError as exc:  # pragma: no cover - perms/races
+            result.errors.append(f"{path}: {exc}")
+            return
+        result.removed += 1
+        result.bytes_freed += size
+        self._count("evictions")
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - perms/races
+                pass
+        self._memory.clear()
+        return removed

@@ -84,6 +84,23 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache directory (default: the "
+        "REPRO_CACHE_DIR environment variable; unset = no caching); "
+        "outputs are bit-identical with or without it",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even when REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache hit/miss statistics after the command",
+    )
+
+
 def _build_corpus(args):
     from repro.workloads.corpus import specint95_corpus
 
@@ -124,6 +141,62 @@ def _observed(args):
             yield tracer, metrics
 
     return ctx()
+
+
+def _resolve_cache_dir(args) -> str | None:
+    """Cache directory per flags and environment, ``None`` = disabled."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    ) or None
+
+
+def _cache_scope(args):
+    """Entered context manager installing the result cache, if any.
+
+    Yields the :class:`~repro.cache.ResultCache` (or ``None``). On exit
+    the cache's lifetime totals are published to the ambient metrics
+    registry — after the fact, so the bookkeeping never contaminates the
+    per-unit counter deltas stored in cache entries.
+    """
+    from contextlib import contextmanager
+
+    from repro import cache as result_cache
+
+    @contextmanager
+    def ctx():
+        directory = _resolve_cache_dir(args)
+        if directory is None:
+            yield None
+            return
+        cache = result_cache.ResultCache(directory)
+        with result_cache.install(cache):
+            try:
+                yield cache
+            finally:
+                cache.publish_metrics()
+
+    return ctx()
+
+
+def _cache_lines(args, cache) -> list[str]:
+    """The ``--cache-stats`` report, empty without the flag."""
+    if not getattr(args, "cache_stats", False):
+        return []
+    if cache is None:
+        return ["cache: disabled (pass --cache-dir or set REPRO_CACHE_DIR)"]
+    s = cache.stats
+    summary = cache.summary()
+    return [
+        f"cache {summary['directory']}: "
+        f"{s.hits} hits ({s.memory_hits} from memory), {s.misses} misses, "
+        f"{s.writes} writes, {s.corrupt} corrupt, {s.evictions} evictions; "
+        f"store: {summary['entries']} entries, {summary['bytes']} bytes "
+        f"in {summary['shards']} shards"
+    ]
 
 
 def _obs_lines(args, tracer, metrics, recorder=None) -> list[str]:
@@ -168,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
     _add_obs_args(p)
+    _add_cache_args(p)
 
     p = sub.add_parser(
         "cfg", help="generate a CFG, select traces, form superblocks"
@@ -180,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("file")
     p.add_argument("--machine", default="GP2")
     _add_obs_args(p)
+    _add_cache_args(p)
 
     for tid in range(1, 8):
         p = sub.add_parser(f"table{tid}", help=f"regenerate paper Table {tid}")
@@ -194,12 +269,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         _add_jobs_arg(p)
         _add_obs_args(p)
+        _add_cache_args(p)
 
     p = sub.add_parser("figure8", help="regenerate the Figure 8 CDF (gcc, FS4)")
     _add_corpus_args(p)
     p.add_argument("--machine", default="FS4")
     _add_jobs_arg(p)
     _add_obs_args(p)
+    _add_cache_args(p)
 
     sub.add_parser("examples", help="print the Figure 1-4 example schedules")
 
@@ -215,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_jobs_arg(p)
     _add_obs_args(p)
+    _add_cache_args(p)
 
     p = sub.add_parser(
         "trace", help="render a JSONL trace (span or decision events)"
@@ -236,7 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0, help="fuzz corpus seed")
     p.add_argument(
         "--family", action="append", metavar="F",
-        help="restrict to an oracle family (legality, bounds, sim); "
+        help="restrict to an oracle family (legality, bounds, sim, cache); "
         "repeatable, default all",
     )
     p.add_argument(
@@ -247,7 +325,36 @@ def main(argv: list[str] | None = None) -> int:
         "--no-minimize", action="store_true",
         help="report raw counterexamples without shrinking them",
     )
+    p.add_argument(
+        "--findings-out", metavar="PATH",
+        help="write the (minimized) counterexamples as JSON here, "
+        "pass or fail — CI uploads this file as an artifact",
+    )
     _add_obs_args(p)
+
+    p = sub.add_parser(
+        "cache", help="inspect or maintain a result cache directory"
+    )
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    for cname, chelp in (
+        ("stats", "print a summary of the on-disk store"),
+        ("gc", "trim the store by total size and/or entry age"),
+        ("clear", "delete every entry in the store"),
+    ):
+        cp = csub.add_parser(cname, help=chelp)
+        cp.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="cache directory (default: REPRO_CACHE_DIR)",
+        )
+        if cname == "gc":
+            cp.add_argument(
+                "--max-mb", type=float, metavar="MB",
+                help="trim least-recently-used entries beyond this size",
+            )
+            cp.add_argument(
+                "--max-age-days", type=float, metavar="DAYS",
+                help="remove entries older than this",
+            )
 
     p = sub.add_parser(
         "bench",
@@ -290,7 +397,6 @@ def run_command(args) -> str:
 
     if args.command == "schedule":
         from repro.ir.serialize import superblock_from_dict
-        import json
 
         with open(args.file) as fh:
             sb = superblock_from_dict(json.load(fh))
@@ -308,7 +414,7 @@ def run_command(args) -> str:
             kwargs["recorder"] = recorder
         from repro.obs import trace as trace_mod
 
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
             if metrics is not None and args.heuristic in ("balance", "help"):
                 kwargs["counters"] = metrics.counters
             with trace_mod.span(
@@ -329,6 +435,7 @@ def run_command(args) -> str:
             lines.append("")
             lines.append(gantt(sb, machine, s))
         lines += _obs_lines(args, tracer, metrics, recorder)
+        lines += _cache_lines(args, rcache)
         return "\n".join(lines)
 
     if args.command == "cfg":
@@ -351,18 +458,18 @@ def run_command(args) -> str:
     if args.command == "bounds":
         from repro.bounds.superblock_bounds import BoundSuite
         from repro.ir.serialize import superblock_from_dict
-        import json
 
         with open(args.file) as fh:
             sb = superblock_from_dict(json.load(fh))
         machine = machine_by_name(args.machine)
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
             res = BoundSuite(sb, machine).compute()
         lines = [f"{sb.name} on {machine.name}:"]
         for name, wct in res.wct.items():
             mark = "  <- tightest" if wct == res.tightest else ""
             lines.append(f"  {name:3s} = {wct:.4f}{mark}")
         lines += _obs_lines(args, tracer, metrics)
+        lines += _cache_lines(args, rcache)
         return "\n".join(lines)
 
     if args.command.startswith("table"):
@@ -373,7 +480,7 @@ def run_command(args) -> str:
         tid = int(args.command[-1])
         jobs = args.jobs
         kwargs = {}
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
             if tid in (1,):
                 gp = tuple(m for m in machines if m.name.startswith("GP"))
                 fs = tuple(m for m in machines if m.name.startswith("FS"))
@@ -397,6 +504,7 @@ def run_command(args) -> str:
                 kwargs["metrics"] = metrics
                 result = fn(corpus, **kwargs)
         out = [result.render()] + _obs_lines(args, tracer, metrics)
+        out += _cache_lines(args, rcache)
         return "\n".join(out)
 
     if args.command == "figure8":
@@ -404,11 +512,15 @@ def run_command(args) -> str:
 
         corpus = _build_corpus(args).by_benchmark("gcc")
         machine = machine_by_name(args.machine)
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
             rendered = figure8(
                 corpus, machine, jobs=args.jobs, metrics=metrics
             ).render()
-        return "\n".join([rendered] + _obs_lines(args, tracer, metrics))
+        return "\n".join(
+            [rendered]
+            + _obs_lines(args, tracer, metrics)
+            + _cache_lines(args, rcache)
+        )
 
     if args.command == "examples":
         from repro.eval.figures import figure_schedules
@@ -425,7 +537,7 @@ def run_command(args) -> str:
         small = specint95_corpus(
             scale=max(8, args.scale // 2), seed=args.seed, max_ops=args.max_ops
         )
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
             text = full_report(
                 corpus,
                 small,
@@ -434,7 +546,7 @@ def run_command(args) -> str:
                 jobs=args.jobs,
                 metrics=metrics,
             )
-        extra = _obs_lines(args, tracer, metrics)
+        extra = _obs_lines(args, tracer, metrics) + _cache_lines(args, rcache)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
@@ -473,6 +585,48 @@ def run_command(args) -> str:
             parts.append(render_spans(span_events))
         return "\n\n".join(parts)
 
+    if args.command == "cache":
+        import os
+
+        from repro import cache as result_cache
+
+        directory = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if not directory:
+            raise CommandError(
+                "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+            )
+        cache = result_cache.ResultCache(directory)
+        if args.cache_command == "stats":
+            summary = cache.summary()
+            return "\n".join(f"{k}: {v}" for k, v in summary.items())
+        if args.cache_command == "gc":
+            if args.max_mb is None and args.max_age_days is None:
+                raise CommandError(
+                    "cache gc needs --max-mb and/or --max-age-days"
+                )
+            result = cache.gc(
+                max_bytes=(
+                    int(args.max_mb * 1024 * 1024)
+                    if args.max_mb is not None
+                    else None
+                ),
+                max_age_s=(
+                    args.max_age_days * 86400.0
+                    if args.max_age_days is not None
+                    else None
+                ),
+            )
+            lines = [
+                f"removed {result.removed} entries "
+                f"({result.bytes_freed} bytes)",
+                f"kept {result.kept} entries ({result.bytes_kept} bytes)",
+            ]
+            lines += [f"error: {err}" for err in result.errors]
+            return "\n".join(lines)
+        assert args.cache_command == "clear"
+        removed = cache.clear()
+        return f"removed {removed} entries from {directory}"
+
     if args.command == "verify":
         from dataclasses import replace as _dc_replace
 
@@ -496,6 +650,23 @@ def run_command(args) -> str:
         with _observed(args) as (tracer, metrics):
             report = run_verify(config)
         lines = [render_report(report)] + _obs_lines(args, tracer, metrics)
+        if args.findings_out:
+            with open(args.findings_out, "w") as fh:
+                json.dump(
+                    {
+                        "ok": report.ok,
+                        "cases": report.cases,
+                        "checked_exact": report.checked_exact,
+                        "elapsed_s": report.elapsed_s,
+                        "seed": config.seed,
+                        "families": list(config.families),
+                        "findings": [f.to_dict() for f in report.findings],
+                    },
+                    fh,
+                    indent=2,
+                )
+                fh.write("\n")
+            lines.append(f"findings written to {args.findings_out}")
         if not report.ok:
             raise CommandError("\n".join(lines))
         return "\n".join(lines)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro import cache as result_cache
 from repro.bounds.branch_rj import rj_branch_bounds
 from repro.bounds.critical_path import cp_branch_bounds
 from repro.bounds.hu import hu_branch_bounds
@@ -41,6 +42,7 @@ class BoundQuality:
     below_tightest_percent: float
 
 
+@result_cache.kernel_version(1)
 def _quality_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
 ) -> list[tuple[float, bool]]:
@@ -122,6 +124,7 @@ _COMPLEXITY = {
 }
 
 
+@result_cache.kernel_version(1)
 def _cost_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
 ) -> dict[str, int]:

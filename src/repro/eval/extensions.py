@@ -14,7 +14,6 @@
 from __future__ import annotations
 
 import random
-import statistics
 from collections.abc import Iterable
 
 from repro.eval.metrics import CorpusSummary

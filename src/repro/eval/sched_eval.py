@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro import cache as result_cache
 from repro.bounds.superblock_bounds import BoundSuite
 from repro.core.balance import balance_schedule
 from repro.core.config import BalanceConfig
@@ -27,6 +28,7 @@ from repro.workloads.corpus import Corpus
 TABLE_HEURISTICS = ("sr", "cp", "gstar", "dhasy", "help", "balance", "best")
 
 
+@result_cache.kernel_version(1)
 def evaluate_superblock(
     sb: Superblock,
     machine: MachineConfig,

@@ -26,11 +26,14 @@ identical (historically, worker-side counters were silently dropped).
 
 from __future__ import annotations
 
+import os
 import pickle
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from repro import cache as result_cache
 from repro.ir.superblock import Superblock
+from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import ParallelRunner
 
@@ -45,14 +48,26 @@ def corpus_payload(superblocks: Sequence[Superblock]) -> list[dict[str, Any]]:
     return [superblock_to_dict(sb) for sb in superblocks]
 
 
-def init_worker(payload: list[dict[str, Any]]) -> None:
-    """Process-pool initializer: rebuild the corpus in this worker."""
+def init_worker(
+    payload: list[dict[str, Any]], parent_pid: int | None = None
+) -> None:
+    """Process-pool initializer: rebuild the corpus in this worker.
+
+    In a *forked* worker the parent's ambient result cache must be
+    dropped: lookups and write-backs happen in the parent (only misses
+    are fanned out), so worker-side cache traffic would be duplicated
+    work with skewed accounting. The parent pid distinguishes a real
+    worker from the inline serial fallback, which runs this initializer
+    in the parent process itself.
+    """
     from repro.ir.serialize import superblock_from_dict
 
     global _WORKER_SUPERBLOCKS
     _WORKER_SUPERBLOCKS = [
         superblock_from_dict(entry, validate=False) for entry in payload
     ]
+    if parent_pid is not None and os.getpid() != parent_pid:
+        result_cache.deactivate()
 
 
 def _run_unit(unit: tuple[Callable[..., Any], int, tuple[Any, ...]]) -> Any:
@@ -86,6 +101,32 @@ def is_picklable(obj: Any) -> bool:
     return True
 
 
+def _unit_cache_key(
+    kernel: Callable[..., Any], sb: Superblock, extras: tuple[Any, ...]
+) -> str | None:
+    """Content-addressed key for one work unit, or ``None`` if uncacheable.
+
+    Only kernels that opted in via :func:`repro.cache.kernel_version` are
+    cached (timing kernels must never be), and only when every extra has
+    a canonical form — a lambda in the extras disables caching for the
+    unit, never correctness.
+    """
+    version = getattr(kernel, "__cache_version__", None)
+    if version is None:
+        return None
+    try:
+        return result_cache.cache_key(
+            f"kernel:{kernel.__module__}.{kernel.__qualname__}",
+            version,
+            [
+                result_cache.superblock_identity_digest(sb),
+                result_cache.canonical_value(list(extras)),
+            ],
+        )
+    except result_cache.Unkeyable:
+        return None
+
+
 def corpus_map(
     kernel: Callable[..., Any],
     superblocks: Sequence[Superblock],
@@ -106,7 +147,35 @@ def corpus_map(
         metrics: optional registry made *active* for every unit; in the
             parallel path each unit's per-worker delta merges into it in
             input order, so totals match the serial path exactly.
+
+    With an ambient result cache installed (:func:`repro.cache.install`)
+    and a cache-versioned kernel, lookups happen here in the parent, only
+    the misses are fanned out (or computed inline), and the missing
+    entries — each one ``(result, metrics delta)`` — are written back in
+    input order, so the returned list and the merged metrics counters are
+    bit-identical to an uncached or serial run.
     """
+    cache = result_cache.active()
+    if cache is not None:
+        keyed = _corpus_map_cached(
+            cache, kernel, superblocks, units, jobs, chunk_size, metrics
+        )
+        if keyed is not None:
+            return keyed
+    return _corpus_map_uncached(
+        kernel, superblocks, units, jobs, chunk_size, metrics
+    )
+
+
+def _corpus_map_uncached(
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int | None,
+    chunk_size: int | None,
+    metrics: MetricsRegistry | None,
+) -> list[Any]:
+    """The pre-cache evaluation path, byte-identical to its history."""
     runner = ParallelRunner(jobs, chunk_size=chunk_size)
     if runner.parallel and len(units) > 1:
         if all(is_picklable(extras) for _, extras in units):
@@ -114,7 +183,7 @@ def corpus_map(
                 jobs,
                 chunk_size=chunk_size,
                 initializer=init_worker,
-                initargs=(corpus_payload(superblocks),),
+                initargs=(corpus_payload(superblocks), os.getpid()),
             )
             tagged = [(kernel, i, extras) for i, extras in units]
             if metrics is None:
@@ -129,3 +198,91 @@ def corpus_map(
         return [kernel(superblocks[i], *extras) for i, extras in units]
     with metrics.activated():
         return [kernel(superblocks[i], *extras) for i, extras in units]
+
+
+def _corpus_map_cached(
+    cache: "result_cache.ResultCache",
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int | None,
+    chunk_size: int | None,
+    metrics: MetricsRegistry | None,
+) -> list[Any] | None:
+    """Cache-aware fan-out; ``None`` when no unit is cacheable.
+
+    Every miss runs *metered* (a fresh registry per unit) so its counter
+    delta can be stored with the result; a later hit replays the stored
+    delta, keeping warm-run metrics counters identical to cold ones.
+    """
+    keys = [_unit_cache_key(kernel, superblocks[i], extras) for i, extras in units]
+    if all(key is None for key in keys):
+        return None
+    hits: dict[int, tuple[Any, dict[str, Any]]] = {}
+    with trace.span("cache.lookup", kernel=kernel.__qualname__, units=len(units)):
+        for idx, key in enumerate(keys):
+            if key is None:
+                continue
+            hit, value = cache.get(key)
+            if hit:
+                hits[idx] = value
+    miss_indices = [idx for idx in range(len(units)) if idx not in hits]
+    miss_pairs = _compute_metered(
+        kernel,
+        superblocks,
+        [units[idx] for idx in miss_indices],
+        jobs,
+        chunk_size,
+    )
+    computed = dict(zip(miss_indices, miss_pairs))
+    # Assemble results, merge metric deltas, and write back the misses —
+    # all in input order, exactly like the serial path.
+    results: list[Any] = []
+    for idx in range(len(units)):
+        if idx in hits:
+            result, delta = hits[idx]
+        else:
+            result, delta = computed[idx]
+            if keys[idx] is not None:
+                cache.put(keys[idx], (result, delta))
+        if metrics is not None:
+            metrics.merge_dict(delta)
+        results.append(result)
+    return results
+
+
+def _compute_metered(
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int | None,
+    chunk_size: int | None,
+) -> list[tuple[Any, dict[str, Any]]]:
+    """Evaluate units, each returning ``(result, metrics delta)``."""
+    if not units:
+        return []
+    runner = ParallelRunner(jobs, chunk_size=chunk_size)
+    if (
+        runner.parallel
+        and len(units) > 1
+        and all(is_picklable(extras) for _, extras in units)
+    ):
+        parallel = ParallelRunner(
+            jobs,
+            chunk_size=chunk_size,
+            initializer=init_worker,
+            initargs=(corpus_payload(superblocks), os.getpid()),
+        )
+        return parallel.map(
+            _run_unit_metered, [(kernel, i, extras) for i, extras in units]
+        )
+    # Inline path: evaluate against the in-memory corpus directly (the
+    # worker-side dispatcher resolves indices against the worker globals,
+    # which are not populated in the parent).
+    out: list[tuple[Any, dict[str, Any]]] = []
+    for i, extras in units:
+        registry = MetricsRegistry()
+        with registry.activated():
+            result = kernel(superblocks[i], *extras)
+        out.append((result, registry.as_dict()))
+    return out

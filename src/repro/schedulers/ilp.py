@@ -20,10 +20,14 @@ problems above a size guard are rejected (time-indexed ILPs grow as
 
 from __future__ import annotations
 
+from repro import cache as result_cache
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
 from repro.schedulers.base import register
 from repro.schedulers.schedule import Schedule, make_schedule
+
+#: Cache version of the ILP solver; bump when the formulation changes.
+ILP_CACHE_VERSION = 1
 
 
 class IlpSizeExceeded(RuntimeError):
@@ -77,6 +81,26 @@ def ilp_schedule(
             f"{sb.name}: {n} ops x {T} cycles = {n * T} variables exceeds "
             f"the {max_variables} guard"
         )
+
+    cache = result_cache.active()
+    if cache is not None:
+        # The horizon is folded into the key (it bounds the search space),
+        # so an explicit-horizon call never reuses a default-horizon entry.
+        key = result_cache.cache_key(
+            "ilp",
+            ILP_CACHE_VERSION,
+            [
+                result_cache.superblock_digest(sb),
+                result_cache.machine_digest(machine),
+                T,
+            ],
+        )
+        hit, value = cache.get(key)
+        if hit:
+            issue, stats = value
+            return make_schedule(
+                sb, machine, "ilp", issue, stats=dict(stats), validate=validate
+            )
 
     # Variable layout: x[v, t] -> v * T + t.
     def var(v: int, t: int) -> int:
@@ -154,6 +178,8 @@ def ilp_schedule(
         ts = [t for t in range(T) if x[var(v, t)] == 1]
         assert len(ts) == 1, f"op {v} assigned {ts}"
         issue[v] = ts[0]
+    if cache is not None:
+        cache.put(key, (issue, {"horizon": T}))
     return make_schedule(
         sb, machine, "ilp", issue, stats={"horizon": T}, validate=validate
     )

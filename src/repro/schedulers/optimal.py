@@ -16,10 +16,16 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 
+from repro import cache as result_cache
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
 from repro.schedulers.base import register
 from repro.schedulers.schedule import Schedule, make_schedule
+
+#: Cache version of the branch-and-bound search; bump when the search
+#: order, pruning, or seeding changes (any of them can change which of
+#: several optimal schedules is returned).
+BNB_CACHE_VERSION = 1
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -208,6 +214,28 @@ def optimal_schedule(
             "pipelined machines only; model blocking units by expanding "
             "operations into chains (Section 4.1) before calling it"
         )
+    cache = result_cache.active()
+    key = None
+    if cache is not None:
+        # The budget is part of the key: a search that completed within a
+        # large budget must not satisfy a call with a smaller one (which
+        # would have raised SearchBudgetExceeded when computed fresh).
+        key = result_cache.cache_key(
+            "bnb",
+            BNB_CACHE_VERSION,
+            [
+                result_cache.superblock_digest(sb),
+                result_cache.machine_digest(machine),
+                budget,
+            ],
+        )
+        hit, value = cache.get(key)
+        if hit:
+            issue, stats = value
+            return make_schedule(
+                sb, machine, "optimal", issue,
+                stats=dict(stats), validate=validate,
+            )
     search = _Search(sb, machine, budget)
     search.seed(
         [
@@ -218,6 +246,10 @@ def optimal_schedule(
     )
     search.run()
     assert search.best_issue is not None
+    if cache is not None and key is not None:
+        cache.put(
+            key, (search.best_issue, {"nodes": search.nodes_visited})
+        )
     return make_schedule(
         sb,
         machine,

@@ -14,7 +14,10 @@ exhaustively solvable instances:
   exact solvers agree with each other, and the incremental Pairwise sweep
   equals the naive one point for point;
 * **sim** — Monte Carlo mean cycles converge to the schedule's WCT within
-  an exact-variance confidence interval.
+  an exact-variance confidence interval;
+* **cache** — results served from the content-addressed result cache
+  (:mod:`repro.cache`) are bit-identical, bounds and trip counters alike,
+  to freshly computed ones, cold and warm.
 
 Run it as ``python -m repro verify [--fuzz N] [--seed S] [--family F]``;
 see docs/verification.md for the workflow, including how to minimize and
@@ -33,6 +36,7 @@ from repro.verify.minimize import minimize_superblock
 from repro.verify.oracles import (
     Finding,
     check_bounds,
+    check_cache,
     check_schedulers,
     check_sim,
     exact_wct,
@@ -52,6 +56,7 @@ __all__ = [
     "VerifyConfig",
     "VerifyReport",
     "check_bounds",
+    "check_cache",
     "check_schedulers",
     "check_sim",
     "exact_wct",

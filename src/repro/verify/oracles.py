@@ -359,3 +359,109 @@ def check_sim(
             )
         )
     return findings
+
+
+# ----------------------------------------------------------------------
+# Result-cache oracle
+# ----------------------------------------------------------------------
+def _bounds_snapshot(
+    sb: Superblock, machine: MachineConfig
+) -> tuple[Any, dict[str, int]]:
+    """Every bound (plus the pair table) and the trip counters, one run."""
+    from repro.bounds.instrumentation import Counters
+
+    counters = Counters()
+    suite = BoundSuite(sb, machine, counters=counters)
+    res = suite.compute()
+    return (res.wct, res.tightest, suite.pair_bounds), counters.as_dict()
+
+
+def check_cache(sb: Superblock, machine: MachineConfig) -> list[Finding]:
+    """Cached results must be bit-identical to freshly computed ones.
+
+    Runs the bound suite and the exact solvers three ways — uncached, cold
+    through a fresh temp-directory cache, and warm from the entries the
+    cold run just wrote — and fires on ANY divergence: differing bounds or
+    schedules, differing trip counters (stored metric deltas must replay
+    exactly), or a warm run that missed (entries must round-trip the disk
+    format).
+    """
+    import shutil
+    import tempfile
+
+    from repro import cache as result_cache
+
+    findings: list[Finding] = []
+
+    def snapshot() -> tuple[Any, Any]:
+        payload, counters = _bounds_snapshot(sb, machine)
+        exact: dict[str, Any] = {}
+        try:
+            s = ilp_schedule(sb, machine, validate=False)
+            exact["ilp"] = (s.issue, s.wct)
+        except IlpSizeExceeded:
+            pass
+        if machine.fully_pipelined:
+            try:
+                s = get_scheduler("optimal")(
+                    sb, machine, budget=300_000, validate=False
+                )
+                exact["optimal"] = (s.issue, s.wct)
+            except SearchBudgetExceeded:
+                pass
+        return (payload, exact), counters
+
+    ref, ref_counters = snapshot()
+    tmp = tempfile.mkdtemp(prefix="repro-verify-cache-")
+    try:
+        cold_cache = result_cache.ResultCache(tmp)
+        with result_cache.install(cold_cache):
+            cold, cold_counters = snapshot()
+        warm_cache = result_cache.ResultCache(tmp)
+        with result_cache.install(warm_cache):
+            warm, warm_counters = snapshot()
+        for label, got, got_counters in (
+            ("cold", cold, cold_counters),
+            ("warm", warm, warm_counters),
+        ):
+            if got != ref:
+                findings.append(
+                    _finding(
+                        "cache",
+                        f"{label}==uncached",
+                        f"{label} cached results diverge from the uncached "
+                        f"reference: {got!r} != {ref!r}",
+                        sb, machine,
+                    )
+                )
+            if got_counters != ref_counters:
+                findings.append(
+                    _finding(
+                        "cache",
+                        f"{label}-counters",
+                        f"{label} run trip counters diverge from the "
+                        f"uncached reference: {got_counters!r} != "
+                        f"{ref_counters!r}",
+                        sb, machine,
+                    )
+                )
+        if cold_cache.stats.writes == 0:
+            findings.append(
+                _finding(
+                    "cache", "cold-writes",
+                    "cold run wrote no cache entries", sb, machine,
+                )
+            )
+        if warm_cache.stats.misses or warm_cache.stats.corrupt:
+            findings.append(
+                _finding(
+                    "cache", "warm-no-miss",
+                    f"warm run missed ({warm_cache.stats.misses} misses, "
+                    f"{warm_cache.stats.corrupt} corrupt) on entries the "
+                    f"cold run just wrote",
+                    sb, machine,
+                )
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return findings

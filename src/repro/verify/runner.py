@@ -29,13 +29,14 @@ from repro.verify.minimize import minimize_superblock
 from repro.verify.oracles import (
     Finding,
     check_bounds,
+    check_cache,
     check_schedulers,
     check_sim,
     exact_wct,
 )
 
 #: Oracle families selectable via ``--family``.
-FAMILIES = ("legality", "bounds", "sim")
+FAMILIES = ("legality", "bounds", "sim", "cache")
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,9 @@ def _run_case(
                     runs=config.sim_runs, seed=config.seed,
                 )
             )
+    if "cache" in config.families:
+        with trace.span("verify.cache", sb=sb.name):
+            findings.extend(check_cache(sb, machine))
     return findings, opt is not None
 
 

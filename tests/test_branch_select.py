@@ -124,7 +124,7 @@ class TestTradeoffs:
         pair_bounds = {
             (6, 18): bounder.pair_bound(6, 18, 0.2, 0.8)
         }
-        ready = lambda v: state.early[v] <= 0
+        ready = lambda v: state.early[v] <= 0  # noqa: E731
         with_t = select_with_tradeoffs(
             sb, GP2, state, list(sb.branches), {"gp": 2}, ready, pair_bounds
         )

@@ -1,0 +1,357 @@
+"""Unit tests for the content-addressed result cache (repro.cache).
+
+Covers the two key invariants the caching design rests on:
+
+* **Canonical hashing** — cosmetic permutations (edge-list order, dict-key
+  order, block names) hash identically, while every semantic change (an
+  opcode, a latency, a probability, a machine parameter, a version bump)
+  changes the hash.
+* **Store robustness** — atomic round-trips, LRU eviction, gc, and the
+  corrupt-entry contract: garbage on disk is deleted, counted under
+  ``cache.corrupt``, and transparently recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro import cache as result_cache
+from repro.cache.keys import (
+    Unkeyable,
+    cache_key,
+    canonical_value,
+    machine_digest,
+    superblock_digest,
+    superblock_identity_digest,
+)
+from repro.cache.store import _MAGIC, ResultCache
+from repro.ir.builder import SuperblockBuilder
+from repro.ir.serialize import superblock_from_dict, superblock_to_dict
+from repro.machine.machine import FS4, GP2, MachineConfig
+
+
+def _sample_sb(name: str = "sample", exec_freq: float = 1.0):
+    return (
+        SuperblockBuilder(name, exec_freq=exec_freq)
+        .op("add")
+        .op("load", preds=[0])
+        .op("add", preds={1: 3})
+        .exit(0.25, preds=[0, 2])
+        .op("mul", preds=[1])
+        .last_exit(preds=[4])
+    )
+
+
+class TestCanonicalHashing:
+    def test_digest_is_deterministic(self):
+        assert superblock_digest(_sample_sb()) == superblock_digest(_sample_sb())
+
+    def test_edge_reordering_is_cosmetic(self):
+        data = superblock_to_dict(_sample_sb())
+        shuffled = dict(data, edges=list(reversed(data["edges"])))
+        a = superblock_from_dict(data)
+        b = superblock_from_dict(shuffled)
+        assert superblock_digest(a) == superblock_digest(b)
+
+    def test_name_and_exec_freq_are_cosmetic(self):
+        a = _sample_sb("alpha", exec_freq=1.0)
+        b = _sample_sb("beta", exec_freq=99.0)
+        assert superblock_digest(a) == superblock_digest(b)
+
+    def test_identity_digest_separates_names(self):
+        a = _sample_sb("alpha")
+        b = _sample_sb("beta")
+        assert superblock_identity_digest(a) != superblock_identity_digest(b)
+        assert superblock_identity_digest(a) == superblock_identity_digest(
+            _sample_sb("alpha")
+        )
+
+    def test_latency_change_changes_digest(self):
+        base = _sample_sb()
+        data = superblock_to_dict(base)
+        bumped = dict(data, edges=[
+            [src, dst, lat + (1 if (src, dst) == (1, 2) else 0)]
+            for src, dst, lat in data["edges"]
+        ])
+        assert superblock_digest(base) != superblock_digest(
+            superblock_from_dict(bumped)
+        )
+
+    def test_probability_change_changes_digest(self):
+        a = (
+            SuperblockBuilder("p")
+            .op("add").exit(0.25, preds=[0]).op("add").last_exit(preds=[1])
+        )
+        b = (
+            SuperblockBuilder("p")
+            .op("add").exit(0.26, preds=[0]).op("add").last_exit(preds=[1])
+        )
+        assert superblock_digest(a) != superblock_digest(b)
+
+    def test_opcode_change_changes_digest(self):
+        a = (
+            SuperblockBuilder("o").op("add").last_exit(preds=[0])
+        )
+        b = (
+            SuperblockBuilder("o").op("load").last_exit(preds=[0])
+        )
+        assert superblock_digest(a) != superblock_digest(b)
+
+    def test_machine_digest_ignores_name_and_dict_order(self):
+        a = dataclasses.replace(GP2, name="renamed")
+        assert machine_digest(a) == machine_digest(GP2)
+        flipped = dataclasses.replace(
+            GP2,
+            units=dict(reversed(list(GP2.units.items()))),
+            class_map=dict(reversed(list(GP2.class_map.items()))),
+        )
+        assert machine_digest(flipped) == machine_digest(GP2)
+
+    def test_machine_units_change_changes_digest(self):
+        assert machine_digest(GP2) != machine_digest(FS4)
+        wider = dataclasses.replace(
+            GP2, units={k: v + 1 for k, v in GP2.units.items()}
+        )
+        assert machine_digest(wider) != machine_digest(GP2)
+
+    def test_occupancy_change_changes_digest(self):
+        blocking = dataclasses.replace(GP2, occupancy={"div": 4})
+        assert machine_digest(blocking) != machine_digest(GP2)
+
+    def test_version_and_algorithm_separate_keys(self):
+        parts = [superblock_digest(_sample_sb()), machine_digest(GP2)]
+        assert cache_key("bounds", 1, parts) != cache_key("bounds", 2, parts)
+        assert cache_key("bounds", 1, parts) != cache_key("ilp", 1, parts)
+        assert cache_key("bounds", 1, parts) == cache_key("bounds", 1, list(parts))
+
+    def test_canonical_value_dict_order_invariant(self):
+        assert canonical_value({"a": 1, "b": 2.5}) == canonical_value(
+            {"b": 2.5, "a": 1}
+        )
+
+    def test_canonical_value_distinguishes_float_from_int(self):
+        assert canonical_value(1.0) != canonical_value(1)
+
+    def test_canonical_value_rejects_lambdas(self):
+        with pytest.raises(Unkeyable):
+            canonical_value(lambda sb: {})
+
+
+class TestResultCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["x"])
+        assert cache.get(key) == (False, None)
+        value = ({"wct": 3.5}, {"counters": {"rj.place": 4}})
+        cache.put(key, value)
+        fresh = ResultCache(tmp_path)  # no memory front: exercises disk
+        assert fresh.get(key) == (True, value)
+        assert fresh.stats.hits == 1 and fresh.stats.memory_hits == 0
+
+    def test_memory_lru_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=2)
+        keys = [cache_key("t", 1, [i]) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert cache.stats.evictions == 1
+        # Oldest fell out of memory but is still served from disk.
+        assert cache.get(keys[0]) == (True, 0)
+        assert cache.stats.memory_hits == 0
+        # Most-recently-used entries are still memory-resident.
+        cache.get(keys[2])
+        assert cache.stats.memory_hits == 1
+
+    def test_lru_recency_order(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=2)
+        a, b, c = (cache_key("t", 1, [i]) for i in "abc")
+        cache.put(a, 1)
+        cache.put(b, 2)
+        cache.get(a)  # refresh a; b is now least-recent
+        cache.put(c, 3)  # evicts b
+        cache.get(a)
+        cache.get(c)
+        assert cache.stats.memory_hits == 3
+        cache.get(b)
+        assert cache.stats.memory_hits == 3  # b came from disk
+
+    def test_corrupt_entry_is_deleted_counted_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["corrupt"])
+        cache.put(key, {"answer": 42})
+        path = cache.path_for(key)
+        path.write_bytes(b"\x00garbage bytes, not a cache entry\xff")
+        fresh = ResultCache(tmp_path)
+        hit, value = fresh.get(key)
+        assert (hit, value) == (False, None)
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert not path.exists(), "corrupt entry must be deleted on contact"
+        # The caller recomputes and writes back; the store heals.
+        fresh.put(key, {"answer": 42})
+        assert ResultCache(tmp_path).get(key) == (True, {"answer": 42})
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["trunc"])
+        cache.put(key, list(range(100)))
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == (False, None)
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_digest_mismatch_is_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["flip"])
+        cache.put(key, "payload")
+        path = cache.path_for(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit; magic + digest stay intact
+        path.write_bytes(bytes(blob))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) == (False, None)
+        assert fresh.stats.corrupt == 1
+
+    def test_unpicklable_payload_is_corrupt(self, tmp_path):
+        import hashlib
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["unpickle"])
+        payload = b"definitely not a pickle"
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(_MAGIC + hashlib.sha256(payload).digest() + payload)
+        assert cache.get(key) == (False, None)
+        assert cache.stats.corrupt == 1
+
+    def test_readonly_serves_but_never_writes(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["ro"])
+        writer.put(key, "v")
+        ro = ResultCache(tmp_path, readonly=True)
+        assert ro.get(key) == (True, "v")
+        other = cache_key("t", 1, ["ro2"])
+        ro.put(other, "w")
+        assert ResultCache(tmp_path).get(other) == (False, None)
+
+    def test_gc_by_age_and_size(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [cache_key("t", 1, [i]) for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, b"x" * 100)
+        import os
+
+        # Backdate the first two entries by an hour.
+        for key in keys[:2]:
+            os.utime(cache.path_for(key), (1_000_000, 1_000_000))
+        now = 1_000_000 + 3600.0
+        res = cache.gc(max_age_s=60, now=now)
+        assert res.removed == 2 and res.kept == 2
+        assert cache.stats.evictions == 2
+        # Size trim: keep at most one entry's worth of bytes.
+        entry_bytes = cache.path_for(keys[2]).stat().st_size
+        res = cache.gc(max_bytes=entry_bytes, now=now)
+        assert res.removed == 1 and res.kept == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(cache_key("t", 1, [i]), i)
+        assert cache.clear() == 3
+        assert cache.summary()["entries"] == 0
+
+    def test_summary_counts_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [cache_key("t", 1, [i]) for i in range(5)]
+        for key in keys:
+            cache.put(key, "v")
+        summary = cache.summary()
+        assert summary["entries"] == 5
+        assert summary["shards"] == len({k[:2] for k in keys})
+        assert summary["bytes"] > 0
+
+    def test_values_survive_pickle_boundary(self, tmp_path):
+        """Entries hold arbitrary picklable values, not just JSON."""
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["obj"])
+        value = {"issue": {0: 0, 3: 1}, "delta": {"timers": {}}}
+        cache.put(key, pickle.loads(pickle.dumps(value)))
+        assert ResultCache(tmp_path).get(key) == (True, value)
+
+
+class TestAmbientApi:
+    def test_install_and_active(self, tmp_path):
+        assert result_cache.active() is None
+        cache = ResultCache(tmp_path)
+        with result_cache.install(cache):
+            assert result_cache.active() is cache
+            inner = ResultCache(tmp_path / "inner")
+            with result_cache.install(inner):
+                assert result_cache.active() is inner
+            assert result_cache.active() is cache
+        assert result_cache.active() is None
+
+    def test_install_none_is_noop_scope(self):
+        with result_cache.install(None):
+            assert result_cache.active() is None
+
+    def test_cached_helper(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        assert result_cache.cached("t", 1, ["k"], compute) == 7
+        assert len(calls) == 1  # no cache installed: plain call
+        with result_cache.install(ResultCache(tmp_path)):
+            assert result_cache.cached("t", 1, ["k"], compute) == 7
+            assert result_cache.cached("t", 1, ["k"], compute) == 7
+        assert len(calls) == 2  # second call inside the scope was a hit
+
+    def test_cached_unkeyable_degrades(self, tmp_path):
+        with result_cache.install(ResultCache(tmp_path)):
+            out = result_cache.cached(
+                "t", 1, [lambda: None], lambda: "computed"
+            )
+        assert out == "computed"
+
+    def test_kernel_version_marks(self):
+        @result_cache.kernel_version(3)
+        def kernel(sb):
+            return sb
+
+        assert kernel.__cache_version__ == 3
+
+    def test_deactivate_clears_stack(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result_cache._STACK.append(cache)
+        try:
+            assert result_cache.active() is cache
+            result_cache.deactivate()
+            assert result_cache.active() is None
+        finally:
+            result_cache._STACK.clear()
+
+    def test_publish_metrics(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", 1, ["m"])
+        cache.get(key)
+        cache.put(key, 1)
+        cache.get(key)
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        counters = registry.as_dict()["counters"]
+        assert counters["cache.hits"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.writes"] == 1
+
+    def test_publish_metrics_without_registry_is_noop(self, tmp_path):
+        ResultCache(tmp_path).publish_metrics()  # no ambient registry

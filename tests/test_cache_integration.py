@@ -1,0 +1,222 @@
+"""Integration tests: caching must be invisible except for speed.
+
+The contract (docs/caching.md): for any entry point — bound suites, exact
+solvers, corpus sweeps, the table/figure CLI — running uncached, running
+cold through a cache, and running warm from that cache all produce
+bit-identical results AND bit-identical merged metric counters, serial or
+parallel. The cache may only change wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import cache as result_cache
+from repro.bounds.superblock_bounds import BoundSuite
+from repro.cli import main
+from repro.eval.bounds_eval import bound_quality
+from repro.eval.sched_eval import evaluate_corpus
+from repro.ir.examples import figure2
+from repro.machine.machine import GP2
+from repro.obs.metrics import MetricsRegistry
+from repro.schedulers.ilp import ilp_schedule
+from repro.schedulers.optimal import optimal_schedule
+from repro.workloads.corpus import specint95_corpus
+
+FAST_HEURISTICS = ("cp", "dhasy", "balance")
+
+
+@pytest.fixture(scope="module")
+def cache_corpus():
+    return specint95_corpus(scale=8, max_ops=24, seed=5)
+
+
+def _evaluate(corpus, jobs=None):
+    metrics = MetricsRegistry()
+    quality = bound_quality(corpus, [GP2], jobs=jobs, metrics=metrics)
+    summary = evaluate_corpus(
+        corpus, GP2, heuristics=FAST_HEURISTICS, jobs=jobs, metrics=metrics
+    )
+    return quality, summary, metrics.as_dict()
+
+
+class TestCorpusCacheIdentity:
+    def test_cold_warm_serial_parallel_identical(self, cache_corpus, tmp_path):
+        ref = _evaluate(cache_corpus)
+        cold_cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(cold_cache):
+            cold = _evaluate(cache_corpus)
+        assert cold_cache.stats.writes > 0
+        warm_cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(warm_cache):
+            warm = _evaluate(cache_corpus)
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits > 0
+        par_cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(par_cache):
+            par_warm = _evaluate(cache_corpus, jobs=2)
+        with result_cache.install(result_cache.ResultCache(tmp_path / "p")):
+            par_cold = _evaluate(cache_corpus, jobs=2)
+        assert cold == ref
+        assert warm == ref
+        assert par_warm == ref
+        assert par_cold == ref
+
+    def test_cache_bookkeeping_stays_out_of_metrics(self, cache_corpus, tmp_path):
+        """Stored metric deltas must never contain cache.* counters."""
+        with result_cache.install(result_cache.ResultCache(tmp_path)):
+            _quality, _summary, metrics = _evaluate(cache_corpus)
+        assert not [k for k in metrics["counters"] if k.startswith("cache.")]
+
+
+class TestBoundSuiteCache:
+    def test_suite_cold_and_warm_match_uncached(self, tmp_path):
+        sb = figure2()
+        ref = BoundSuite(sb, GP2).compute()
+        with result_cache.install(result_cache.ResultCache(tmp_path)):
+            cold = BoundSuite(sb, GP2).compute()
+        warm_cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(warm_cache):
+            warm = BoundSuite(sb, GP2).compute()
+        assert cold.wct == ref.wct and cold.tightest == ref.tightest
+        assert warm.wct == ref.wct and warm.tightest == ref.tightest
+        assert warm_cache.stats.misses == 0
+
+
+class TestExactSolverCache:
+    def test_ilp_warm_hit_returns_identical_schedule(self, tmp_path):
+        sb = figure2()
+        ref = ilp_schedule(sb, GP2)
+        cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(cache):
+            cold = ilp_schedule(sb, GP2)
+            warm = ilp_schedule(sb, GP2)
+        assert cold.issue == ref.issue and cold.wct == ref.wct
+        assert warm.issue == ref.issue and warm.stats == ref.stats
+        assert cache.stats.hits >= 1
+
+    def test_bnb_warm_hit_returns_identical_schedule(self, tmp_path):
+        sb = figure2()
+        ref = optimal_schedule(sb, GP2)
+        cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(cache):
+            cold = optimal_schedule(sb, GP2)
+            warm = optimal_schedule(sb, GP2)
+        assert cold.issue == ref.issue and warm.issue == ref.issue
+        assert warm.wct == ref.wct
+        assert cache.stats.hits >= 1
+
+    def test_bnb_budget_in_key(self, tmp_path):
+        """A completed large-budget search must not satisfy a smaller one."""
+        sb = figure2()
+        cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(cache):
+            optimal_schedule(sb, GP2, budget=2_000_000)
+            before = cache.stats.hits
+            optimal_schedule(sb, GP2, budget=1_000_000)
+            assert cache.stats.hits == before  # different budget: no hit
+
+
+class TestCliCacheFlags:
+    TABLE_ARGS = ["table3", "--scale", "8", "--max-ops", "24", "--seed", "5",
+                  "--machines", "GP2", "--no-triplewise"]
+
+    def test_table_output_identical_with_and_without_cache(
+        self, tmp_path, capsys
+    ):
+        assert main(self.TABLE_ARGS) == 0
+        ref = capsys.readouterr().out
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.TABLE_ARGS + ["--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.TABLE_ARGS + ["--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert cold == ref
+        assert warm == ref
+
+    def test_cache_stats_flag(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(self.TABLE_ARGS + ["--cache-dir", cache_dir, "--cache-stats"])
+        out = capsys.readouterr().out
+        assert "misses" in out and "entries" in out
+
+    def test_env_var_enables_and_no_cache_disables(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cache_dir = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        main(self.TABLE_ARGS + ["--cache-stats"])
+        out = capsys.readouterr().out
+        assert "writes" in out
+        assert cache_dir.is_dir()
+        main(self.TABLE_ARGS + ["--no-cache", "--cache-stats"])
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+
+    def test_cache_subcommands(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(self.TABLE_ARGS + ["--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "bytes:" in out
+        assert main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--max-age-days", "30"]) == 0
+        assert "kept" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_gc_requires_a_limit(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 1
+        assert "--max-mb" in capsys.readouterr().err
+
+    def test_cache_without_directory_rejected(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 1
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+    def test_verify_findings_out(self, tmp_path, capsys):
+        path = tmp_path / "findings.json"
+        assert main(["verify", "--quick", "--fuzz", "5",
+                     "--findings-out", str(path)]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert data["cases"] == 5
+        assert data["findings"] == []
+
+    def test_verify_cache_family(self, capsys):
+        assert main(["verify", "--quick", "--fuzz", "5",
+                     "--family", "cache"]) == 0
+        assert "families cache" in capsys.readouterr().out
+
+
+@pytest.mark.perf
+@pytest.mark.skipif(
+    bool(os.environ.get("CI")),
+    reason="wall-clock speedup gate is too noisy for shared CI runners; "
+    "run locally via benchmarks/run_bench.sh",
+)
+class TestWarmCachePerf:
+    def test_warm_tables_at_least_3x_faster(self, tmp_path, capsys):
+        """ISSUE 4 acceptance: a warm second `tables` run is >=3x faster."""
+        args = ["table3", "--scale", "24", "--max-ops", "60", "--seed", "7",
+                "--cache-dir", str(tmp_path / "cache")]
+        t0 = time.perf_counter()
+        assert main(args) == 0
+        cold_s = time.perf_counter() - t0
+        cold_out = capsys.readouterr().out
+        t0 = time.perf_counter()
+        assert main(args) == 0
+        warm_s = time.perf_counter() - t0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        assert warm_s * 3 <= cold_s, (
+            f"warm run {warm_s:.3f}s not >=3x faster than cold {cold_s:.3f}s"
+        )
