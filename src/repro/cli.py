@@ -9,15 +9,22 @@ Commands:
 * ``figure8``  — regenerate the Figure 8 CDF.
 * ``examples`` — print the Figure 1-4 example schedules.
 * ``verify``   — differential soundness audit (see docs/verification.md).
-* ``bench``    — run the perf smoke suite / regression gate.
+* ``bench``    — run the perf smoke suite / regression gate; also
+  ``--compare A B`` and ``--trend`` analytics over the bench history.
 * ``trace``    — render a JSONL trace file (spans or Balance decisions).
+* ``profile``  — wrap any command in a profiling capture with per-span
+  hotspot attribution (``profile table1 --quick``).
+* ``export``   — convert artifacts to standard formats: span JSONL to
+  Chrome trace-event JSON (Perfetto), metrics JSON to Prometheus text.
 
 Corpus-sweep commands accept ``--jobs N`` to fan the (superblock,
 machine) work units out over N worker processes; outputs are
 byte-identical to the serial run. Observability flags (see
 docs/observability.md): ``--trace-out PATH`` writes a JSONL span trace
 (for ``schedule`` with the Balance/Help heuristics, a decision trace),
-``--metrics-out PATH`` writes the merged counters/timers JSON.
+``--metrics-out PATH`` writes the merged counters/timers JSON, and
+``--profile-out PATH`` on ``schedule``/``bounds``/``report`` captures a
+profile of the command without the ``profile`` wrapper.
 """
 
 from __future__ import annotations
@@ -84,6 +91,15 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile-out", metavar="PATH",
+        help="profile this command and write the hotspot report JSON here "
+        "(shorthand for the 'profile' wrapper; incompatible with "
+        "--trace-out)",
+    )
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", metavar="DIR",
@@ -102,11 +118,15 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_corpus(args):
+    from repro.obs import trace as trace_mod
     from repro.workloads.corpus import specint95_corpus
 
-    return specint95_corpus(
-        scale=args.scale, seed=args.seed, max_ops=args.max_ops
-    )
+    with trace_mod.span(
+        "corpus.build", scale=args.scale, seed=args.seed, max_ops=args.max_ops
+    ):
+        return specint95_corpus(
+            scale=args.scale, seed=args.seed, max_ops=args.max_ops
+        )
 
 
 def _machines(args):
@@ -212,7 +232,8 @@ def _obs_lines(args, tracer, metrics, recorder=None) -> list[str]:
     return lines
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (also used to re-parse wrapped commands)."""
     parser = argparse.ArgumentParser(
         prog="balance-sched",
         description=(
@@ -241,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
         "--gantt", action="store_true", help="render an ASCII Gantt chart"
     )
     _add_obs_args(p)
+    _add_profile_arg(p)
     _add_cache_args(p)
 
     p = sub.add_parser(
@@ -254,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("file")
     p.add_argument("--machine", default="GP2")
     _add_obs_args(p)
+    _add_profile_arg(p)
     _add_cache_args(p)
 
     for tid in range(1, 8):
@@ -292,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_jobs_arg(p)
     _add_obs_args(p)
+    _add_profile_arg(p)
     _add_cache_args(p)
 
     p = sub.add_parser(
@@ -371,8 +395,91 @@ def main(argv: list[str] | None = None) -> int:
         "(default: the committed benchmarks/BENCH_1.json)",
     )
     p.add_argument("--tolerance", type=float, default=0.20)
+    p.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        help="compare two BENCH JSON files without running the bench; "
+        "exits nonzero when any metric regresses past --tolerance",
+    )
+    p.add_argument(
+        "--trend", action="store_true",
+        help="render the metric trajectory from the bench history "
+        "without running the bench",
+    )
+    p.add_argument(
+        "--history", metavar="PATH",
+        help="bench history JSONL "
+        "(default: the committed benchmarks/BENCH_history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the bench history",
+    )
+    p.add_argument(
+        "--label", metavar="L",
+        help="restrict --trend to records with this label (quick/full)",
+    )
 
-    args = parser.parse_args(argv)
+    p = sub.add_parser(
+        "profile",
+        help="wrap any command in a profiling capture (per-span hotspots)",
+    )
+    p.add_argument(
+        "--engine", choices=("sampling", "cprofile"), default="sampling",
+        help="capture engine: statistical sampling (default, near-zero "
+        "perturbation) or deterministic cProfile",
+    )
+    p.add_argument(
+        "--interval-ms", type=float, default=4.0,
+        help="sampling period in milliseconds (sampling engine only)",
+    )
+    p.add_argument(
+        "--top", type=int, default=5,
+        help="functions shown per span in the report",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", help="write the hotspot report JSON here"
+    )
+    p.add_argument(
+        "--spans-out", metavar="PATH",
+        help="also write the captured span JSONL here "
+        "(feed it to 'export chrome-trace')",
+    )
+    p.add_argument(
+        "wrapped", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the command to profile, with its flags "
+        "(e.g. 'profile table1 --quick'; --quick on corpus commands "
+        "is shorthand for --scale 12 --max-ops 32)",
+    )
+
+    p = sub.add_parser(
+        "export", help="convert observability artifacts to standard formats"
+    )
+    esub = p.add_subparsers(dest="export_command", required=True)
+    ep = esub.add_parser(
+        "chrome-trace",
+        help="span JSONL -> Chrome trace-event JSON "
+        "(load in https://ui.perfetto.dev or chrome://tracing)",
+    )
+    ep.add_argument("file", help="span JSONL written by --trace-out")
+    ep.add_argument("--out", metavar="PATH", help="output path (default: stdout)")
+    ep.add_argument(
+        "--process-name", default="repro",
+        help="process label shown in the timeline UI",
+    )
+    ep = esub.add_parser(
+        "prometheus",
+        help="metrics JSON -> Prometheus text exposition format",
+    )
+    ep.add_argument("file", help="metrics JSON written by --metrics-out")
+    ep.add_argument("--out", metavar="PATH", help="output path (default: stdout)")
+    ep.add_argument(
+        "--prefix", default="repro", help="metric name prefix"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     try:
         out = run_command(args)
     except CommandError as exc:
@@ -382,8 +489,66 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+#: Modules imported before a profiling capture starts: lazy imports
+#: otherwise land inside the profiled window as unattributed root
+#: self-time, diluting span attribution with one-off import cost.
+_PROFILE_PRELOADS = (
+    "repro.bounds.branch_rj",
+    "repro.bounds.superblock_bounds",
+    "repro.eval.figures",
+    "repro.eval.report",
+    "repro.eval.tables",
+    "repro.perf.workers",
+    "repro.schedulers.base",
+    "repro.workloads.corpus",
+)
+
+#: Commands whose corpus flags the profile wrapper's ``--quick``
+#: shorthand expands into (verify/bench define their own ``--quick``).
+_QUICK_COMMANDS = (
+    "corpus",
+    "figure8",
+    "report",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+)
+
+
+def _preload_for_profile() -> None:
+    import importlib
+
+    for module in _PROFILE_PRELOADS:
+        importlib.import_module(module)
+
+
 def run_command(args) -> str:
     """Execute a parsed command and return its textual output."""
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        if getattr(args, "trace_out", None):
+            raise CommandError(
+                "--profile-out installs its own tracer and cannot be "
+                "combined with --trace-out; use the 'profile' wrapper "
+                "with --spans-out to capture both"
+            )
+        from repro.obs.profile import ProfileSession
+
+        args.profile_out = None
+        _preload_for_profile()
+        session = ProfileSession()
+        with session.capture(f"cmd.{args.command}"):
+            out = _dispatch(args)
+        session.report().save(profile_out)
+        return "\n".join([out, f"profile report written to {profile_out}"])
+    return _dispatch(args)
+
+
+def _dispatch(args) -> str:
     if args.command == "corpus":
         corpus = _build_corpus(args)
         if args.out:
@@ -475,12 +640,12 @@ def run_command(args) -> str:
     if args.command.startswith("table"):
         from repro.eval import tables as tables_mod
 
-        corpus = _build_corpus(args)
         machines = _machines(args)
         tid = int(args.command[-1])
         jobs = args.jobs
         kwargs = {}
         with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+            corpus = _build_corpus(args)
             if tid in (1,):
                 gp = tuple(m for m in machines if m.name.startswith("GP"))
                 fs = tuple(m for m in machines if m.name.startswith("FS"))
@@ -510,9 +675,9 @@ def run_command(args) -> str:
     if args.command == "figure8":
         from repro.eval.figures import figure8
 
-        corpus = _build_corpus(args).by_benchmark("gcc")
         machine = machine_by_name(args.machine)
         with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+            corpus = _build_corpus(args).by_benchmark("gcc")
             rendered = figure8(
                 corpus, machine, jobs=args.jobs, metrics=metrics
             ).render()
@@ -533,11 +698,13 @@ def run_command(args) -> str:
         from repro.workloads.corpus import specint95_corpus
 
         setup_logging()
-        corpus = _build_corpus(args)
-        small = specint95_corpus(
-            scale=max(8, args.scale // 2), seed=args.seed, max_ops=args.max_ops
-        )
         with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+            corpus = _build_corpus(args)
+            small = specint95_corpus(
+                scale=max(8, args.scale // 2),
+                seed=args.seed,
+                max_ops=args.max_ops,
+            )
             text = full_report(
                 corpus,
                 small,
@@ -565,11 +732,24 @@ def run_command(args) -> str:
             events = load_jsonl(args.file)
         except FileNotFoundError:
             raise CommandError(f"trace file not found: {args.file}") from None
-        except json.JSONDecodeError as exc:
-            raise CommandError(f"{args.file} is not valid JSONL: {exc}") from None
+        except ValueError as exc:
+            # covers truncated/corrupt JSONL and non-object lines, with
+            # the offending line number in the message
+            raise CommandError(str(exc)) from None
         if not events:
-            raise CommandError(f"{args.file} contains no events")
+            raise CommandError(
+                f"{args.file} contains no events (empty trace — did the "
+                "traced command run any spans?)"
+            )
         span_events = [e for e in events if e.get("event") == "span"]
+        for e in span_events:
+            missing = [k for k in ("name", "t0", "dur") if k not in e]
+            if missing:
+                raise CommandError(
+                    f"{args.file}: span event missing required key(s) "
+                    f"{', '.join(missing)} — damaged or incompatible "
+                    "trace file"
+                )
         decision_events = [e for e in events if e.get("event") != "span"]
         if args.dot:
             if not decision_events:
@@ -672,7 +852,42 @@ def run_command(args) -> str:
         return "\n".join(lines)
 
     if args.command == "bench":
+        from repro.obs import trend as trend_mod
         from repro.perf import bench as bench_mod
+
+        history_path = args.history or str(trend_mod.DEFAULT_HISTORY)
+        if args.compare:
+            payloads = []
+            for path in args.compare:
+                try:
+                    with open(path) as fh:
+                        payloads.append(json.load(fh))
+                except FileNotFoundError:
+                    raise CommandError(
+                        f"bench file not found: {path}"
+                    ) from None
+                except json.JSONDecodeError as exc:
+                    raise CommandError(
+                        f"{path} is not valid JSON: {exc}"
+                    ) from None
+            comparison = trend_mod.compare_runs(
+                payloads[1], payloads[0], threshold=args.tolerance
+            )
+            rendered = trend_mod.render_comparison(comparison)
+            if not comparison.ok:
+                raise CommandError(rendered)
+            return rendered
+        if args.trend:
+            try:
+                records = trend_mod.load_history(history_path)
+            except FileNotFoundError:
+                raise CommandError(
+                    f"no bench history at {history_path} — run "
+                    "'python -m repro bench' first"
+                ) from None
+            except ValueError as exc:
+                raise CommandError(str(exc)) from None
+            return trend_mod.render_trend(records, label=args.label)
 
         config = (
             bench_mod.BenchConfig.quick()
@@ -714,7 +929,134 @@ def run_command(args) -> str:
                 f"all headline metrics within {100 * args.tolerance:.0f}% "
                 f"of {baseline}"
             )
+        if not args.no_history:
+            payload: dict = dict(result.metrics)
+            if result.observability:
+                payload["observability"] = result.observability
+            record = trend_mod.make_record(
+                payload,
+                label="quick" if args.quick else "full",
+                config={
+                    "seed": config.seed,
+                    "scale": config.scale,
+                    "max_ops": config.max_ops,
+                    "repeats": config.repeats,
+                },
+            )
+            trend_mod.append_record(record, history_path)
+            lines.append(f"history appended to {history_path}")
         return "\n".join(lines)
+
+    if args.command == "profile":
+        from repro.obs.profile import ProfileConfig, ProfileSession
+
+        wrapped = [a for a in args.wrapped if a != "--"]
+        if not wrapped:
+            raise CommandError(
+                "profile: nothing to profile — give a command, e.g. "
+                "'python -m repro profile table1 --quick'"
+            )
+        if wrapped[0] == "profile":
+            raise CommandError("profile cannot wrap itself")
+        for flag in ("--trace-out", "--profile-out"):
+            if any(a == flag or a.startswith(flag + "=") for a in wrapped):
+                raise CommandError(
+                    f"the wrapped command may not use {flag} (profile "
+                    "installs its own tracer); use 'profile --spans-out "
+                    "PATH' to keep the span JSONL"
+                )
+        if wrapped[0] in _QUICK_COMMANDS and "--quick" in wrapped:
+            idx = wrapped.index("--quick")
+            wrapped[idx:idx + 1] = ["--scale", "12", "--max-ops", "32"]
+        try:
+            inner = build_parser().parse_args(wrapped)
+        except SystemExit:
+            raise CommandError(
+                "profile: could not parse the wrapped command "
+                f"{' '.join(wrapped)!r}"
+            ) from None
+        try:
+            config = ProfileConfig(
+                engine=args.engine,
+                interval_s=args.interval_ms / 1e3,
+                top=args.top,
+            )
+        except ValueError as exc:
+            raise CommandError(str(exc)) from None
+        _preload_for_profile()
+        session = ProfileSession(config)
+        with session.capture(f"cmd.{inner.command}"):
+            inner_out = run_command(inner)
+        report = session.report()
+        lines = [inner_out, "", report.render(top=args.top)]
+        if args.spans_out:
+            session.tracer.write_jsonl(args.spans_out)
+            lines.append(f"spans written to {args.spans_out}")
+        if args.out:
+            report.save(args.out)
+            lines.append(f"profile report written to {args.out}")
+        return "\n".join(lines)
+
+    if args.command == "export":
+        from repro.obs import export as export_mod
+
+        if args.export_command == "chrome-trace":
+            from repro.obs.decision_trace import load_jsonl
+
+            try:
+                events = load_jsonl(args.file)
+            except FileNotFoundError:
+                raise CommandError(
+                    f"trace file not found: {args.file}"
+                ) from None
+            except ValueError as exc:
+                raise CommandError(str(exc)) from None
+            try:
+                doc = export_mod.spans_to_chrome_trace(
+                    events, process_name=args.process_name
+                )
+            except ValueError as exc:
+                raise CommandError(f"{args.file}: {exc}") from None
+            problems = export_mod.validate_chrome_trace(doc)
+            if problems:
+                raise CommandError(
+                    "exported document failed trace-event validation:\n"
+                    + "\n".join(f"  {p}" for p in problems)
+                )
+            if args.out:
+                export_mod.write_chrome_trace(doc, args.out)
+                spans = sum(
+                    1 for e in doc["traceEvents"] if e.get("ph") == "X"
+                )
+                return (
+                    f"chrome trace written to {args.out} ({spans} spans; "
+                    "load it in https://ui.perfetto.dev)"
+                )
+            return json.dumps(doc, indent=1, sort_keys=True)
+
+        assert args.export_command == "prometheus"
+        try:
+            with open(args.file) as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            raise CommandError(
+                f"metrics file not found: {args.file}"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise CommandError(f"{args.file} is not valid JSON: {exc}") from None
+        if not isinstance(data, dict) or not any(
+            key in data for key in ("counters", "timers", "gauges")
+        ):
+            raise CommandError(
+                f"{args.file} does not look like a --metrics-out dump "
+                "(expected counters/timers/gauges keys)"
+            )
+        text = export_mod.metrics_to_prometheus(data, prefix=args.prefix)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            return f"prometheus metrics written to {args.out}"
+        return text.rstrip("\n")
 
     raise ValueError(f"unknown command {args.command!r}")
 

@@ -1,6 +1,6 @@
 """Observability layer: tracing, metrics, decision traces, and logging.
 
-Four cooperating pieces, all opt-in and free when disabled:
+Seven cooperating pieces, all opt-in and free when disabled:
 
 * :mod:`repro.obs.trace` — a span tracer (``with trace.span("name")``)
   with monotonic-clock timing and nesting; the disabled path is a shared
@@ -15,6 +15,14 @@ Four cooperating pieces, all opt-in and free when disabled:
   exported as JSONL and rendered by ``python -m repro trace``.
 * :mod:`repro.obs.logsetup` — :func:`setup_logging`, the package's one
   logging configuration helper.
+* :mod:`repro.obs.profile` — :class:`ProfileSession`, sampling/cProfile
+  capture with per-span hotspot attribution (``python -m repro profile``).
+* :mod:`repro.obs.export` — one-way bridges to standard tooling: span
+  JSONL to Chrome trace-event JSON (Perfetto / ``chrome://tracing``),
+  metrics dumps to Prometheus text exposition.
+* :mod:`repro.obs.trend` — bench history records, direction-aware run
+  comparison, and sparkline trend rendering
+  (``python -m repro bench --compare/--trend``).
 
 See docs/observability.md for span names, the event schema, and a worked
 Figure 2 walkthrough.
@@ -26,6 +34,12 @@ from repro.obs.decision_trace import (
     load_jsonl,
     render_decision_trace,
 )
+from repro.obs.export import (
+    metrics_to_prometheus,
+    spans_to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.logsetup import get_logger, setup_logging
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -33,22 +47,44 @@ from repro.obs.metrics import (
     active_counters,
     render_metrics,
 )
+from repro.obs.profile import ProfileConfig, ProfileReport, ProfileSession
 from repro.obs.trace import Tracer, current, install, render_spans, span
+from repro.obs.trend import (
+    append_record,
+    compare_runs,
+    load_history,
+    make_record,
+    render_comparison,
+    render_trend,
+)
 
 __all__ = [
     "DecisionRecorder",
     "MetricsRegistry",
+    "ProfileConfig",
+    "ProfileReport",
+    "ProfileSession",
     "Tracer",
     "active",
     "active_counters",
+    "append_record",
+    "compare_runs",
     "current",
     "decision_trace_to_dot",
     "get_logger",
     "install",
+    "load_history",
     "load_jsonl",
+    "make_record",
+    "metrics_to_prometheus",
+    "render_comparison",
     "render_decision_trace",
     "render_metrics",
     "render_spans",
+    "render_trend",
     "setup_logging",
     "span",
+    "spans_to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -132,13 +132,32 @@ class DecisionRecorder:
 
 
 def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Load a trace file (decision events and/or span events)."""
+    """Load a trace file (decision events and/or span events).
+
+    Blank lines are skipped. A malformed line (truncated write, stray
+    text) or a non-object line raises ``ValueError`` naming the line
+    number, so a damaged trace fails with a pointer to the damage
+    instead of a traceback deep inside a renderer.
+    """
     events: list[dict[str, Any]] = []
     with Path(path).open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg}) — "
+                    "truncated or corrupted trace file?"
+                ) from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object per line, "
+                    f"got {type(event).__name__}"
+                )
+            events.append(event)
     return events
 
 
@@ -208,7 +227,13 @@ def render_decision_trace(events: list[dict[str, Any]]) -> str:
 
 
 def decision_trace_to_dot(events: list[dict[str, Any]]) -> str:
-    """DOT rendering: one cluster per cycle with its issues and selection."""
+    """DOT rendering: one cluster per cycle with its issues and selection.
+
+    The selection ellipse carries the full branch partition (``sel`` /
+    ``del`` / ``delOK`` / ``ign``); every ``tradeoff`` event becomes a
+    note node attached to its cycle so the Pairwise justification for a
+    delay is visible next to the decision it excused.
+    """
     header = next((e for e in events if e.get("event") == "begin"), None)
     title = (
         f"{header['superblock']} / {header['machine']} / {header['heuristic']}"
@@ -226,11 +251,15 @@ def decision_trace_to_dot(events: list[dict[str, Any]]) -> str:
         c = e.get("cycle")
         if c is None:
             continue
-        entry = cycles.setdefault(c, {"issues": [], "selections": []})
+        entry = cycles.setdefault(
+            c, {"issues": [], "selections": [], "tradeoffs": []}
+        )
         if e["event"] == "issue":
             entry["issues"].append(e)
         elif e["event"] == "selection":
             entry["selections"].append(e)
+        elif e["event"] == "tradeoff":
+            entry["tradeoffs"].append(e)
     previous = None
     for c in sorted(cycles):
         entry = cycles[c]
@@ -243,11 +272,25 @@ def decision_trace_to_dot(events: list[dict[str, Any]]) -> str:
                 sel_bits.append("sel " + _fmt_set(s["selected"]))
             if s["delayed"]:
                 sel_bits.append("del " + _fmt_set(s["delayed"]))
+            if s.get("delayed_ok"):
+                sel_bits.append("delOK " + _fmt_set(s["delayed_ok"]))
+            if s.get("ignored"):
+                sel_bits.append("ign " + _fmt_set(s["ignored"]))
         sel_label = "; ".join(dict.fromkeys(sel_bits)) or "no needs"
         lines.append(f'    {anchor} [label="{sel_label}", shape=ellipse];')
         for e in entry["issues"]:
             lines.append(
                 f'    op{e["op"]} [label="op {e["op"]}\\n{e["rclass"]}"];'
+            )
+        for i, t in enumerate(entry["tradeoffs"]):
+            node = f"tr{c}_{i}"
+            lines.append(
+                f'    {node} [label="branch {t["branch"]} vs {t["against"]}'
+                f'\\n{t["kind"]} (bound {t["bound"]})", '
+                "shape=note, fontsize=9];"
+            )
+            lines.append(
+                f"    {anchor} -> {node} [style=dotted, arrowhead=none];"
             )
         lines.append("  }")
         if previous is not None:

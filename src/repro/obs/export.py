@@ -1,0 +1,228 @@
+"""Exporters: span JSONL to Chrome trace-event JSON, metrics to Prometheus.
+
+Two one-way bridges from the repo's native observability formats to
+standard tooling:
+
+* :func:`spans_to_chrome_trace` turns span events (the
+  :class:`~repro.obs.trace.Tracer` JSONL schema) into the Chrome
+  trace-event *JSON object format* — ``{"traceEvents": [...]}`` with
+  complete (``"ph": "X"``) events — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``. The main process
+  gets one timeline track; every worker unit merged by
+  :func:`repro.perf.workers.corpus_map` (``origin="worker"`` attrs) gets
+  its own track, so parallel runs render as a complete per-unit
+  timeline.
+* :func:`metrics_to_prometheus` turns a serialized
+  :class:`~repro.obs.metrics.MetricsRegistry` dump into the Prometheus
+  text exposition format (version 0.0.4): counters become ``_total``
+  counters, timers become ``_seconds_total`` / ``_calls_total`` pairs,
+  gauges stay gauges.
+
+Both are pure functions over the already-written artifacts — exporting
+never re-runs anything and never touches the hot path. The CLI front end
+is ``python -m repro export {chrome-trace,prometheus} FILE``.
+
+:func:`validate_chrome_trace` checks an exported document against the
+trace-event schema (the subset this exporter emits); tests and the
+``--validate`` CLI flag use it so a malformed export fails loudly here
+rather than silently rendering an empty timeline in Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+#: Single logical process id for the whole run.
+_PID = 1
+
+#: Thread id of the orchestrating process's timeline track.
+MAIN_TID = 1
+
+#: Worker-unit tracks start here (tid = WORKER_TID_BASE + unit index).
+WORKER_TID_BASE = 2
+
+
+def _event_tid(event: dict[str, Any]) -> int:
+    attrs = event.get("attrs") or {}
+    if attrs.get("origin") == "worker":
+        return WORKER_TID_BASE + int(attrs.get("unit", 0))
+    return MAIN_TID
+
+
+def spans_to_chrome_trace(
+    events: list[dict[str, Any]], process_name: str = "repro"
+) -> dict[str, Any]:
+    """Convert span events into a Chrome trace-event JSON document.
+
+    Non-span events (e.g. Balance decision events in a mixed trace file)
+    are ignored; raises ``ValueError`` when no span events remain, so the
+    caller can point at the decision-trace renderer instead.
+
+    Times: the span schema records seconds relative to trace start;
+    trace-event wants microseconds (``ts``/``dur``). Span attrs ride
+    along in ``args``.
+    """
+    spans = [e for e in events if e.get("event") == "span"]
+    if not spans:
+        raise ValueError(
+            "no span events to export (decision traces render with "
+            "'python -m repro trace', not the Chrome exporter)"
+        )
+    trace_events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": MAIN_TID,
+            "args": {"name": process_name},
+        }
+    ]
+    named_tids: set[int] = set()
+    body: list[dict[str, Any]] = []
+    for e in sorted(spans, key=lambda e: (e["t0"], e.get("depth", 0))):
+        tid = _event_tid(e)
+        if tid not in named_tids:
+            named_tids.add(tid)
+            label = (
+                "main"
+                if tid == MAIN_TID
+                else f"worker unit {tid - WORKER_TID_BASE}"
+            )
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        args: dict[str, Any] = dict(e.get("attrs") or {})
+        args["depth"] = e.get("depth", 0)
+        body.append(
+            {
+                "name": e["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": round(float(e["t0"]) * 1e6, 3),
+                "dur": round(float(e["dur"]) * 1e6, 3),
+                "pid": _PID,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events + body, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Schema check for an exported document; returns the problems found.
+
+    Covers the trace-event JSON object format subset this exporter
+    emits: a ``traceEvents`` list whose entries carry ``ph``/``pid``;
+    complete events additionally need a non-empty ``name`` and
+    non-negative numeric ``ts``/``dur``. An empty list means valid.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not any(e.get("ph") == "X" for e in events if isinstance(e, dict)):
+        problems.append("no complete ('ph': 'X') events")
+    for idx, e in enumerate(events):
+        if not isinstance(e, dict):
+            problems.append(f"event {idx}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            problems.append(f"event {idx}: unknown phase {ph!r}")
+        if not isinstance(e.get("pid"), int):
+            problems.append(f"event {idx}: pid missing or not an int")
+        if ph != "X":
+            continue
+        if not e.get("name"):
+            problems.append(f"event {idx}: complete event without a name")
+        for key in ("ts", "dur"):
+            value = e.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"event {idx}: {key} missing, non-numeric, or negative"
+                )
+        if not isinstance(e.get("tid"), int):
+            problems.append(f"event {idx}: tid missing or not an int")
+    return problems
+
+
+def write_chrome_trace(doc: dict[str, Any], path: str | Path) -> None:
+    with Path(path).open("w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{prefix}_{cleaned}"
+
+
+def metrics_to_prometheus(data: dict[str, Any], prefix: str = "repro") -> str:
+    """Render a serialized registry in Prometheus text exposition format.
+
+    ``data`` is the :meth:`MetricsRegistry.as_dict` shape (what
+    ``--metrics-out`` writes): ``{"counters": {...}, "timers":
+    {name: {"total_s", "count"}}, "gauges": {...}}``. Dots and other
+    illegal characters in metric names become underscores; the original
+    dotted name is preserved in a ``name`` label so nothing is lost to
+    sanitization collisions.
+    """
+    lines: list[str] = []
+
+    def emit(metric: str, kind: str, help_text: str, value: Any, raw: str) -> None:
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f'{metric}{{name="{raw}"}} {value}')
+
+    for name in sorted(data.get("counters", {})):
+        emit(
+            _metric_name(prefix, name) + "_total",
+            "counter",
+            f"repro counter {name}",
+            data["counters"][name],
+            name,
+        )
+    for name in sorted(data.get("timers", {})):
+        entry = data["timers"][name]
+        base = _metric_name(prefix, name)
+        emit(
+            base + "_seconds_total",
+            "counter",
+            f"repro timer {name} accumulated seconds",
+            entry["total_s"],
+            name,
+        )
+        emit(
+            base + "_calls_total",
+            "counter",
+            f"repro timer {name} call count",
+            entry["count"],
+            name,
+        )
+    for name in sorted(data.get("gauges", {})):
+        emit(
+            _metric_name(prefix, name),
+            "gauge",
+            f"repro gauge {name}",
+            data["gauges"][name],
+            name,
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

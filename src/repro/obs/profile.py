@@ -1,0 +1,402 @@
+"""Profiling subsystem: per-span time accounting and function hotspots.
+
+Spans (``repro.obs.trace``) say which *phase* the time went to; this
+module answers "where did the time go *inside* a phase". A
+:class:`ProfileSession` wraps any command in a root span, installs a
+tracer, and runs one of two capture engines:
+
+* ``sampling`` (default) — a background thread samples the command
+  thread's Python stack every few milliseconds via
+  ``sys._current_frames`` and attributes each sample to the innermost
+  *open span* (:meth:`Tracer.open_names`), yielding a per-span hotspot
+  table (top functions per ``bounds.pairwise``, ``eval.schedule``,
+  ``cache.lookup``, …) with near-zero perturbation of the timed code.
+* ``cprofile`` — the deterministic stdlib tracer; exact call counts and
+  self/cumulative times, but one global function table (cProfile cannot
+  be partitioned per span) and noticeably more overhead.
+
+Either way the report also contains the **span accounting** table built
+from the tracer alone: per span name the call count, total and *self*
+time (total minus direct children), and the share of command wall time
+attributed below the root span. Worker-origin spans (merged by
+``corpus_map`` under ``--jobs N``) are tallied separately — their
+durations are worker CPU time on another process's clock and would
+double-count against the parent's wall clock.
+
+The CLI front ends are ``python -m repro profile <command> ...`` and the
+``--profile-out PATH`` shorthand on ``schedule``/``bounds``/``report``
+(docs/observability.md has a worked example).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Tracer, install
+
+#: Report schema version (bump on breaking JSON shape changes).
+SCHEMA_VERSION = 1
+
+ENGINES = ("sampling", "cprofile")
+
+
+@dataclass
+class ProfileConfig:
+    """Knobs of one profiled run."""
+
+    engine: str = "sampling"
+    interval_s: float = 0.004  #: sampling period
+    top: int = 5  #: functions shown per span (sampling) / overall rows
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown profile engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+
+
+def _short_path(path: str) -> str:
+    """Compress an absolute source path to something readable in a table."""
+    if "/repro/" in path:
+        return "repro/" + path.rsplit("/repro/", 1)[1]
+    if path.startswith("<"):  # builtins, frozen importlib
+        return path
+    return path.rsplit("/", 1)[-1]
+
+
+def _frame_label(frame: Any) -> str:
+    code = frame.f_code
+    return f"{_short_path(code.co_filename)}:{code.co_name}"
+
+
+class _SamplingCollector:
+    """Background-thread stack sampler attributing samples to open spans."""
+
+    engine = "sampling"
+
+    def __init__(self, tracer: Tracer, interval_s: float) -> None:
+        self._tracer = tracer
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._target_ident: int | None = None
+        self.samples = 0
+        self.span_samples: Counter[str] = Counter()
+        self.by_span: dict[str, Counter[str]] = defaultdict(Counter)
+
+    def start(self) -> None:
+        self._target_ident = threading.get_ident()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is None:
+                continue
+            names = self._tracer.open_names()
+            leaf = names[-1] if names else "<no span>"
+            self.samples += 1
+            self.span_samples[leaf] += 1
+            self.by_span[leaf][_frame_label(frame)] += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def hotspots(self, top: int) -> dict[str, Any]:
+        by_span = []
+        for span_name, count in self.span_samples.most_common():
+            functions = [
+                {
+                    "where": where,
+                    "samples": n,
+                    "percent": round(100.0 * n / count, 1),
+                }
+                for where, n in self.by_span[span_name].most_common(top)
+            ]
+            by_span.append(
+                {
+                    "span": span_name,
+                    "samples": count,
+                    "percent": round(100.0 * count / max(self.samples, 1), 1),
+                    "functions": functions,
+                }
+            )
+        return {
+            "engine": self.engine,
+            "interval_ms": round(self.interval_s * 1e3, 3),
+            "samples": self.samples,
+            "by_span": by_span,
+        }
+
+
+class _CProfileCollector:
+    """Deterministic capture via the stdlib cProfile tracer."""
+
+    engine = "cprofile"
+
+    #: Function rows kept in the JSON report (render shows fewer).
+    MAX_ROWS = 40
+
+    def __init__(self) -> None:
+        import cProfile
+
+        self._profile = cProfile.Profile()
+
+    def start(self) -> None:
+        self._profile.enable()
+
+    def stop(self) -> None:
+        self._profile.disable()
+
+    def hotspots(self, top: int) -> dict[str, Any]:
+        import pstats
+
+        stats = pstats.Stats(self._profile)
+        rows = []
+        for (filename, line, func), (_cc, nc, tt, ct, _callers) in stats.stats.items():
+            rows.append(
+                {
+                    "where": f"{_short_path(filename)}:{line}({func})",
+                    "calls": nc,
+                    "self_s": round(tt, 6),
+                    "cum_s": round(ct, 6),
+                }
+            )
+        rows.sort(key=lambda r: (-r["self_s"], r["where"]))
+        return {"engine": self.engine, "functions": rows[: self.MAX_ROWS]}
+
+
+def _make_collector(config: ProfileConfig, tracer: Tracer):
+    if config.engine == "cprofile":
+        return _CProfileCollector()
+    return _SamplingCollector(tracer, config.interval_s)
+
+
+# ---------------------------------------------------------------------------
+# Span accounting
+# ---------------------------------------------------------------------------
+def span_accounting(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Per-span-name time table from completed tracer events.
+
+    Self time is a span's duration minus its direct children's durations
+    — self times of the main-process spans therefore partition the root
+    wall clock exactly. Worker-origin events (``origin="worker"`` attrs)
+    are excluded from the partition (their durations live on worker
+    clocks) and summarized separately.
+    """
+    main_events = []
+    worker_total = 0.0
+    worker_count = 0
+    for e in events:
+        if (e.get("attrs") or {}).get("origin") == "worker":
+            worker_total += e["dur"]
+            worker_count += 1
+        else:
+            main_events.append(e)
+    children: dict[int, float] = defaultdict(float)
+    for e in main_events:
+        parent = e.get("parent")
+        if parent is not None:
+            children[parent] += e["dur"]
+    per_name: dict[str, dict[str, float]] = {}
+    wall = 0.0
+    root_self = 0.0
+    for e in main_events:
+        self_s = max(0.0, e["dur"] - children.get(e["id"], 0.0))
+        entry = per_name.setdefault(
+            e["name"], {"calls": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["calls"] += 1
+        entry["total_s"] += e["dur"]
+        entry["self_s"] += self_s
+        if e.get("depth", 0) == 0:
+            wall += e["dur"]
+            root_self += self_s
+    rows = [
+        {
+            "name": name,
+            "calls": entry["calls"],
+            "total_s": round(entry["total_s"], 6),
+            "self_s": round(entry["self_s"], 6),
+            "self_percent": round(100.0 * entry["self_s"] / wall, 1) if wall else 0.0,
+            "total_percent": round(100.0 * entry["total_s"] / wall, 1) if wall else 0.0,
+        }
+        for name, entry in per_name.items()
+    ]
+    rows.sort(key=lambda r: (-r["self_s"], r["name"]))
+    attributed = 100.0 * (wall - root_self) / wall if wall else 0.0
+    return {
+        "wall_s": round(wall, 6),
+        "attributed_percent": round(attributed, 1),
+        "spans": rows,
+        "worker_spans": {
+            "count": worker_count,
+            "total_s": round(worker_total, 6),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Session and report
+# ---------------------------------------------------------------------------
+@dataclass
+class ProfileReport:
+    """One profiled run: span accounting plus engine hotspots."""
+
+    engine: str
+    root: str
+    wall_s: float
+    attributed_percent: float
+    spans: list[dict[str, Any]]
+    worker_spans: dict[str, Any]
+    hotspots: dict[str, Any]
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "engine": self.engine,
+            "root": self.root,
+            "wall_s": self.wall_s,
+            "attributed_percent": self.attributed_percent,
+            "spans": self.spans,
+            "worker_spans": self.worker_spans,
+            "hotspots": self.hotspots,
+            "config": self.config,
+        }
+
+    def save(self, path: str | Path) -> None:
+        with Path(path).open("w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def render(self, top: int = 5) -> str:
+        lines = [
+            f"profile ({self.engine}): {self.root} — wall {self.wall_s:.3f}s, "
+            f"{self.attributed_percent:.1f}% attributed below the command span"
+        ]
+        if self.spans:
+            width = max(len(r["name"]) for r in self.spans)
+            lines.append(
+                f"  {'span':<{width}s}  {'calls':>6s}  {'total':>9s}  "
+                f"{'self':>9s}  {'%wall':>6s}"
+            )
+            for r in self.spans:
+                lines.append(
+                    f"  {r['name']:<{width}s}  {r['calls']:>6d}  "
+                    f"{r['total_s']:>8.3f}s  {r['self_s']:>8.3f}s  "
+                    f"{r['self_percent']:>6.1f}"
+                )
+        if self.worker_spans.get("count"):
+            lines.append(
+                f"  (+ {self.worker_spans['count']} worker spans, "
+                f"{self.worker_spans['total_s']:.3f}s of worker CPU — "
+                "on worker clocks, not counted against wall)"
+            )
+        lines.extend(self._render_hotspots(top))
+        return "\n".join(lines)
+
+    def _render_hotspots(self, top: int) -> list[str]:
+        h = self.hotspots
+        lines: list[str] = []
+        if h.get("engine") == "sampling":
+            lines.append(
+                f"hotspots ({h['samples']} samples @ {h['interval_ms']:.1f}ms):"
+            )
+            if not h["samples"]:
+                lines.append(
+                    "  (no samples — the command finished within one "
+                    "sampling interval)"
+                )
+            for entry in h.get("by_span", []):
+                lines.append(
+                    f"  {entry['span']} — {entry['percent']:.1f}% of samples"
+                )
+                for fn in entry["functions"][:top]:
+                    lines.append(
+                        f"      {fn['percent']:>5.1f}%  {fn['where']}"
+                    )
+        elif h.get("engine") == "cprofile":
+            lines.append("hotspots (cProfile, by self time):")
+            lines.append(
+                f"  {'self':>9s}  {'cum':>9s}  {'calls':>8s}  function"
+            )
+            for fn in h.get("functions", [])[: max(top * 3, top)]:
+                lines.append(
+                    f"  {fn['self_s']:>8.4f}s  {fn['cum_s']:>8.4f}s  "
+                    f"{fn['calls']:>8d}  {fn['where']}"
+                )
+        return lines
+
+
+class ProfileSession:
+    """Wraps one command in a root span plus a capture engine.
+
+    Usage::
+
+        session = ProfileSession(ProfileConfig(engine="sampling"))
+        with session.capture("cmd.table1"):
+            run_command(args)
+        report = session.report()
+        report.save("hotspots.json")
+
+    ``capture`` installs the session's own tracer, so it must not be
+    combined with ``--trace-out`` (two tracers cannot both receive the
+    library's spans); the CLI rejects that combination up front.
+    """
+
+    def __init__(self, config: ProfileConfig | None = None) -> None:
+        self.config = config or ProfileConfig()
+        self.tracer = Tracer()
+        self._collector = _make_collector(self.config, self.tracer)
+        self._root: str | None = None
+        self._elapsed: float | None = None
+
+    @contextmanager
+    def capture(self, root_name: str, **attrs: Any):
+        """Run the ``with`` body under the root span and the engine."""
+        self._root = root_name
+        t0 = time.perf_counter()
+        with install(self.tracer):
+            self._collector.start()
+            try:
+                with self.tracer.span(root_name, **attrs):
+                    yield self
+            finally:
+                self._collector.stop()
+                self._elapsed = time.perf_counter() - t0
+
+    def report(self) -> ProfileReport:
+        if self._root is None:
+            raise RuntimeError("report() before capture() completed")
+        accounting = span_accounting(self.tracer.spans())
+        return ProfileReport(
+            engine=self.config.engine,
+            root=self._root,
+            wall_s=accounting["wall_s"],
+            attributed_percent=accounting["attributed_percent"],
+            spans=accounting["spans"],
+            worker_spans=accounting["worker_spans"],
+            hotspots=self._collector.hotspots(self.config.top),
+            config={
+                "engine": self.config.engine,
+                "interval_ms": round(self.config.interval_s * 1e3, 3),
+                "top": self.config.top,
+            },
+        )

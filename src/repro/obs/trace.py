@@ -25,8 +25,12 @@ never inside inner loops); per-iteration statistics belong to
 :class:`~repro.obs.metrics.MetricsRegistry` counters instead.
 
 Worker processes do not inherit the parent's installed tracer through
-:mod:`repro.perf.workers` — spans describe the orchestrating process;
-per-worker statistics travel through the metrics registry.
+:mod:`repro.perf.workers`; instead each work unit runs under a fresh
+worker-side tracer whose completed events return with the result and are
+folded back via :meth:`Tracer.merge_events` **in input order** — the
+span-side mirror of the metrics-delta merge — so parallel runs produce
+the same span inventory as serial ones (``origin="worker"`` attrs mark
+the merged events).
 """
 
 from __future__ import annotations
@@ -67,7 +71,7 @@ class Tracer:
     def __init__(self) -> None:
         self.events: list[dict[str, Any]] = []
         self._origin = time.perf_counter()
-        self._stack: list[int] = []  # open span ids, innermost last
+        self._stack: list[tuple[int, str]] = []  # open (id, name), innermost last
         self._seq = 0
 
     @contextmanager
@@ -75,9 +79,9 @@ class Tracer:
         """Context manager timing one phase; nests via an explicit stack."""
         span_id = self._seq
         self._seq += 1
-        parent = self._stack[-1] if self._stack else None
+        parent = self._stack[-1][0] if self._stack else None
         depth = len(self._stack)
-        self._stack.append(span_id)
+        self._stack.append((span_id, name))
         t0 = time.perf_counter() - self._origin
         try:
             yield
@@ -97,6 +101,57 @@ class Tracer:
             if attrs:
                 event["attrs"] = attrs
             self.events.append(event)
+
+    def open_names(self) -> tuple[str, ...]:
+        """Names of the currently open spans, outermost first.
+
+        Read by the sampling profiler (from another thread) to attribute
+        stack samples to the active span; a tuple snapshot keeps the read
+        safe against concurrent pushes and pops.
+        """
+        return tuple(name for _, name in self._stack)
+
+    def elapsed(self) -> float:
+        """Seconds since this tracer's origin (its creation time)."""
+        return time.perf_counter() - self._origin
+
+    def merge_events(self, events: list[dict[str, Any]], **attrs: Any) -> None:
+        """Fold another tracer's completed events into this one.
+
+        This is the span-side mirror of the metrics-delta merge: a worker
+        process runs one unit under a fresh tracer and ships the finished
+        events back; the parent calls ``merge_events`` per unit **in
+        input order**. Ids are remapped into this tracer's sequence,
+        times are rebased at the current elapsed time (relative order
+        within the delta is preserved), nesting is grafted under the
+        currently open span, and ``attrs`` (e.g. ``origin="worker"``,
+        ``unit=i``) are stamped onto every merged event so exporters can
+        place each unit on its own timeline track.
+        """
+        if not events:
+            return
+        now = self.elapsed()
+        base_depth = len(self._stack)
+        graft_parent = self._stack[-1][0] if self._stack else None
+        id_map: dict[int, int] = {}
+        for e in sorted(events, key=lambda e: (e["t0"], -e.get("depth", 0))):
+            new_id = self._seq
+            self._seq += 1
+            id_map[e["id"]] = new_id
+            merged = dict(e)
+            merged["id"] = new_id
+            merged["t0"] = round(now + e["t0"], 6)
+            merged["depth"] = e.get("depth", 0) + base_depth
+            old_parent = e.get("parent")
+            if old_parent is not None and old_parent in id_map:
+                merged["parent"] = id_map[old_parent]
+            elif graft_parent is not None:
+                merged["parent"] = graft_parent
+            else:
+                merged.pop("parent", None)
+            if attrs:
+                merged["attrs"] = {**(e.get("attrs") or {}), **attrs}
+            self.events.append(merged)
 
     def spans(self, prefix: str = "") -> list[dict[str, Any]]:
         """Completed spans, oldest first, optionally filtered by prefix."""

@@ -1,0 +1,335 @@
+"""Bench trend analytics: history records, run comparison, trend rendering.
+
+``python -m repro bench`` measures one commit; this module strings the
+measurements into a trajectory. Three pieces:
+
+* **History** — :func:`make_record` wraps a BENCH metrics payload (the
+  ``{metric: {value, unit, seed}}`` shape ``save_metrics`` writes) in a
+  schema-versioned record carrying the git SHA, a label (``full`` /
+  ``quick``) and the bench config; :func:`append_record` appends it to
+  ``benchmarks/BENCH_history.jsonl``. One JSONL line per run keeps the
+  file merge-friendly and ``git log``-diffable.
+* **Comparison** — :func:`compare_runs` computes per-metric deltas
+  between two payloads with direction-aware regression checks: a
+  throughput metric (unit ``.../s``) regresses when it *drops* more than
+  the threshold, an elapsed metric (unit ``s``) when it *grows* more
+  than the threshold, and ratio metrics (unit ``x``, e.g. parallel
+  speedups) are informational only — machines differ too much in core
+  count for a portable gate. Non-metric keys in the payload (the
+  ``observability`` block) are ignored.
+* **Trend** — :func:`render_trend` draws a sparkline per metric across
+  the history so drift is visible at a glance in CI logs.
+
+CLI front ends: ``bench`` appends to the history by default;
+``bench --compare A.json B.json`` and ``bench --trend`` render the
+analytics (nonzero exit on regression). See docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: History record schema version (bump on breaking shape changes).
+SCHEMA_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default history file, relative to the repo root.
+DEFAULT_HISTORY = _REPO_ROOT / "benchmarks" / "BENCH_history.jsonl"
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def git_sha(short: bool = True) -> str | None:
+    """Current commit SHA, or ``None`` outside a git checkout."""
+    cmd = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        out = subprocess.run(
+            cmd,
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out or None
+
+
+def metric_entries(payload: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """The ``{value, unit}``-shaped entries of a BENCH payload.
+
+    Filters out the ``observability`` block and any other non-metric
+    keys, so every consumer below shares one definition of "metric".
+    """
+    return {
+        name: entry
+        for name, entry in payload.items()
+        if isinstance(entry, dict) and "value" in entry and "unit" in entry
+    }
+
+
+# ---------------------------------------------------------------------------
+# History
+# ---------------------------------------------------------------------------
+def make_record(
+    payload: dict[str, Any],
+    label: str = "full",
+    config: dict[str, Any] | None = None,
+    timestamp: float | None = None,
+    sha: str | None = None,
+) -> dict[str, Any]:
+    """A schema-versioned history record for one bench run.
+
+    ``payload`` is the BENCH JSON shape (metrics plus an optional
+    ``observability`` block); counters from the observability block ride
+    along so the history captures work volume, not just timings.
+    """
+    record: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "timestamp": round(
+            time.time() if timestamp is None else timestamp, 3
+        ),
+        "git_sha": git_sha() if sha is None else sha,
+        "label": label,
+        "config": config or {},
+        "metrics": metric_entries(payload),
+    }
+    observability = payload.get("observability")
+    if isinstance(observability, dict) and observability.get("counters"):
+        record["counters"] = observability["counters"]
+    return record
+
+
+def append_record(
+    record: dict[str, Any], path: str | Path = DEFAULT_HISTORY
+) -> Path:
+    """Append one record to the history JSONL; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: str | Path = DEFAULT_HISTORY) -> list[dict[str, Any]]:
+    """Parse a history JSONL, oldest first; blank lines are skipped.
+
+    Raises ``ValueError`` naming the offending line on malformed JSON or
+    a record without the expected shape, so a corrupted history fails
+    loudly instead of silently shortening the trend.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc.msg})"
+                ) from None
+            if not isinstance(record, dict) or "metrics" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: not a bench history record "
+                    "(missing 'metrics')"
+                )
+            records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One metric's movement between a baseline and a current run."""
+
+    name: str
+    unit: str
+    baseline: float
+    current: float
+    delta_percent: float  #: signed percent change of the raw value
+    better: str  #: "higher" | "lower" | "info"
+    regressed: bool
+
+
+@dataclass
+class Comparison:
+    """compare_runs output: per-metric deltas plus bookkeeping."""
+
+    deltas: list[MetricDelta] = field(default_factory=list)
+    threshold: float = 0.20
+    only_baseline: list[str] = field(default_factory=list)
+    only_current: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _direction(unit: str) -> str:
+    if unit.endswith("/s"):
+        return "higher"
+    if unit == "s":
+        return "lower"
+    return "info"  # ratios ("x") and anything unrecognized: no gate
+
+
+def compare_runs(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.20,
+) -> Comparison:
+    """Direction-aware per-metric deltas between two BENCH payloads.
+
+    Accepts either raw BENCH JSON payloads or history records (the
+    ``metrics`` sub-dict of a record works as-is since it round-trips
+    the payload shape). Metrics present on only one side are listed, not
+    compared.
+    """
+    cur = metric_entries(current)
+    base = metric_entries(baseline)
+    comparison = Comparison(
+        threshold=threshold,
+        only_baseline=sorted(set(base) - set(cur)),
+        only_current=sorted(set(cur) - set(base)),
+    )
+    for name in sorted(set(base) & set(cur)):
+        base_v = float(base[name]["value"])
+        cur_v = float(cur[name]["value"])
+        unit = str(base[name].get("unit", ""))
+        better = _direction(unit)
+        if base_v > 0:
+            delta = 100.0 * (cur_v - base_v) / base_v
+        else:
+            delta = 0.0
+        regressed = False
+        if base_v > 0 and better == "higher":
+            regressed = cur_v / base_v < 1.0 - threshold
+        elif base_v > 0 and better == "lower":
+            regressed = cur_v / base_v > 1.0 + threshold
+        comparison.deltas.append(
+            MetricDelta(
+                name=name,
+                unit=unit,
+                baseline=base_v,
+                current=cur_v,
+                delta_percent=round(delta, 1),
+                better=better,
+                regressed=regressed,
+            )
+        )
+    return comparison
+
+
+def render_comparison(comparison: Comparison) -> str:
+    lines = [
+        f"bench comparison (regression threshold "
+        f"{100 * comparison.threshold:.0f}%):"
+    ]
+    if comparison.deltas:
+        width = max(len(d.name) for d in comparison.deltas)
+        lines.append(
+            f"  {'metric':<{width}s}  {'baseline':>12s}  {'current':>12s}  "
+            f"{'delta':>8s}"
+        )
+        for d in comparison.deltas:
+            if d.regressed:
+                verdict = "REGRESSED"
+            elif d.better == "info":
+                verdict = "(info)"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"  {d.name:<{width}s}  {d.baseline:>12.4f}  "
+                f"{d.current:>12.4f}  {d.delta_percent:>+7.1f}%  {verdict}"
+            )
+    for name in comparison.only_baseline:
+        lines.append(f"  {name}: only in baseline (skipped)")
+    for name in comparison.only_current:
+        lines.append(f"  {name}: only in current (skipped)")
+    if comparison.ok:
+        lines.append("  no regressions")
+    else:
+        lines.append(
+            f"  {len(comparison.regressions)} regression(s): "
+            + ", ".join(d.name for d in comparison.regressions)
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trend
+# ---------------------------------------------------------------------------
+def sparkline(values: list[float]) -> str:
+    """Unicode sparkline of a numeric series (flat series render flat)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def render_trend(
+    records: list[dict[str, Any]],
+    metrics: tuple[str, ...] | None = None,
+    label: str | None = None,
+) -> str:
+    """Per-metric sparkline trends across history records, oldest first.
+
+    ``metrics`` restricts the table (default: every metric in the newest
+    record); ``label`` filters records by their run label so ``quick``
+    CI runs don't pollute a ``full`` trajectory (and vice versa).
+    """
+    if label is not None:
+        records = [r for r in records if r.get("label") == label]
+    if not records:
+        return "bench trend: no matching history records"
+    names = metrics or tuple(sorted(records[-1].get("metrics", {})))
+    first_sha = records[0].get("git_sha") or "?"
+    last_sha = records[-1].get("git_sha") or "?"
+    suffix = f", label={label}" if label is not None else ""
+    lines = [
+        f"bench trend: {len(records)} record(s), "
+        f"{first_sha} .. {last_sha}{suffix}"
+    ]
+    width = max((len(n) for n in names), default=0)
+    for name in names:
+        series = [
+            float(r["metrics"][name]["value"])
+            for r in records
+            if name in r.get("metrics", {})
+        ]
+        if not series:
+            lines.append(f"  {name:<{width}s}  (no data)")
+            continue
+        unit = next(
+            str(r["metrics"][name].get("unit", ""))
+            for r in records
+            if name in r.get("metrics", {})
+        )
+        first, last = series[0], series[-1]
+        change = (
+            f" ({100.0 * (last - first) / first:+.1f}%)" if first > 0 else ""
+        )
+        lines.append(
+            f"  {name:<{width}s}  {sparkline(series)}  "
+            f"{first:.4g} -> {last:.4g} {unit}{change}"
+        )
+    return "\n".join(lines)

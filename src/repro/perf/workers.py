@@ -22,6 +22,18 @@ activated directly; in workers each unit runs under a fresh registry
 whose serialized delta returns with the result and is merged **in input
 order** — counters are additive, so serial and parallel aggregation are
 identical (historically, worker-side counters were silently dropped).
+
+Span aggregation mirrors the metrics fix: when a tracer is installed in
+the parent (or passed explicitly as ``spans=``), each parallel work unit
+runs under a fresh worker-side :class:`~repro.obs.trace.Tracer` whose
+completed events return with the result; the parent merges them — again
+in input order — via :meth:`~repro.obs.trace.Tracer.merge_events`, so
+serial and parallel runs record the same span inventory (names and
+counts; wall-clock values naturally differ). Merged events carry
+``origin="worker"`` and ``unit=<input index>`` attrs. With a result
+cache active, hits replay stored *metric* deltas but not spans — a warm
+hit does no kernel work, so there is no time to account for; only the
+misses contribute worker spans.
 """
 
 from __future__ import annotations
@@ -92,6 +104,24 @@ def _run_unit_metered(
     return result, registry.as_dict()
 
 
+def _run_unit_observed(
+    unit: tuple[Callable[..., Any], int, tuple[Any, ...]],
+) -> tuple[Any, dict[str, Any], list[dict[str, Any]]]:
+    """Like :func:`_run_unit_metered`, but also captures the unit's spans.
+
+    A fresh worker-side :class:`~repro.obs.trace.Tracer` is installed for
+    the duration of the unit; its completed events travel back with the
+    result so the parent can fold them into its own tracer in input order
+    (:meth:`~repro.obs.trace.Tracer.merge_events`).
+    """
+    kernel, sb_index, extras = unit
+    registry = MetricsRegistry()
+    tracer = trace.Tracer()
+    with trace.install(tracer), registry.activated():
+        result = kernel(_WORKER_SUPERBLOCKS[sb_index], *extras)
+    return result, registry.as_dict(), tracer.spans()
+
+
 def is_picklable(obj: Any) -> bool:
     """True when ``obj`` survives pickling (process-pool transferable)."""
     try:
@@ -134,6 +164,7 @@ def corpus_map(
     jobs: int | None = None,
     chunk_size: int | None = None,
     metrics: MetricsRegistry | None = None,
+    spans: "trace.Tracer | None" = None,
 ) -> list[Any]:
     """Evaluate ``kernel(superblocks[i], *extras)`` for every unit.
 
@@ -147,24 +178,49 @@ def corpus_map(
         metrics: optional registry made *active* for every unit; in the
             parallel path each unit's per-worker delta merges into it in
             input order, so totals match the serial path exactly.
+        spans: tracer collecting every unit's spans; defaults to the
+            installed tracer (:func:`repro.obs.trace.current`), so CLI
+            ``--trace-out`` runs get complete timelines under any
+            ``--jobs N`` without threading a tracer through every
+            signature. Parallel units run under worker-side tracers whose
+            events merge back in input order with ``origin="worker"`` /
+            ``unit=i`` attrs; serial units record into the tracer
+            directly. Span *inventories* (names and counts) are identical
+            for any job count.
 
     With an ambient result cache installed (:func:`repro.cache.install`)
     and a cache-versioned kernel, lookups happen here in the parent, only
     the misses are fanned out (or computed inline), and the missing
     entries — each one ``(result, metrics delta)`` — are written back in
     input order, so the returned list and the merged metrics counters are
-    bit-identical to an uncached or serial run.
+    bit-identical to an uncached or serial run. Cache hits replay metric
+    deltas but never spans (a hit does no kernel work).
     """
+    tracer = spans if spans is not None else trace.current()
     cache = result_cache.active()
     if cache is not None:
         keyed = _corpus_map_cached(
-            cache, kernel, superblocks, units, jobs, chunk_size, metrics
+            cache, kernel, superblocks, units, jobs, chunk_size, metrics, tracer
         )
         if keyed is not None:
             return keyed
     return _corpus_map_uncached(
-        kernel, superblocks, units, jobs, chunk_size, metrics
+        kernel, superblocks, units, jobs, chunk_size, metrics, tracer
     )
+
+
+def _serial_span_scope(tracer: "trace.Tracer | None"):
+    """Context manager making ``tracer`` current for inline units.
+
+    When the tracer *is* already the installed one (the CLI case), spans
+    record into it without help; re-installing is still harmless because
+    installation nests. ``None`` yields a no-op scope.
+    """
+    from contextlib import nullcontext
+
+    if tracer is None or tracer is trace.current():
+        return nullcontext()
+    return trace.install(tracer)
 
 
 def _corpus_map_uncached(
@@ -174,6 +230,7 @@ def _corpus_map_uncached(
     jobs: int | None,
     chunk_size: int | None,
     metrics: MetricsRegistry | None,
+    tracer: "trace.Tracer | None" = None,
 ) -> list[Any]:
     """The pre-cache evaluation path, byte-identical to its history."""
     runner = ParallelRunner(jobs, chunk_size=chunk_size)
@@ -186,18 +243,28 @@ def _corpus_map_uncached(
                 initargs=(corpus_payload(superblocks), os.getpid()),
             )
             tagged = [(kernel, i, extras) for i, extras in units]
-            if metrics is None:
+            if metrics is None and tracer is None:
                 return parallel.map(_run_unit, tagged)
-            pairs = parallel.map(_run_unit_metered, tagged)
+            if tracer is None:
+                pairs = parallel.map(_run_unit_metered, tagged)
+                results = []
+                for result, delta in pairs:
+                    metrics.merge_dict(delta)
+                    results.append(result)
+                return results
+            triples = parallel.map(_run_unit_observed, tagged)
             results = []
-            for result, delta in pairs:
-                metrics.merge_dict(delta)
+            for idx, (result, delta, span_events) in enumerate(triples):
+                if metrics is not None:
+                    metrics.merge_dict(delta)
+                tracer.merge_events(span_events, origin="worker", unit=idx)
                 results.append(result)
             return results
-    if metrics is None:
-        return [kernel(superblocks[i], *extras) for i, extras in units]
-    with metrics.activated():
-        return [kernel(superblocks[i], *extras) for i, extras in units]
+    with _serial_span_scope(tracer):
+        if metrics is None:
+            return [kernel(superblocks[i], *extras) for i, extras in units]
+        with metrics.activated():
+            return [kernel(superblocks[i], *extras) for i, extras in units]
 
 
 def _corpus_map_cached(
@@ -208,12 +275,14 @@ def _corpus_map_cached(
     jobs: int | None,
     chunk_size: int | None,
     metrics: MetricsRegistry | None,
+    tracer: "trace.Tracer | None" = None,
 ) -> list[Any] | None:
     """Cache-aware fan-out; ``None`` when no unit is cacheable.
 
     Every miss runs *metered* (a fresh registry per unit) so its counter
     delta can be stored with the result; a later hit replays the stored
     delta, keeping warm-run metrics counters identical to cold ones.
+    Spans (when a tracer is collecting) come from the misses only.
     """
     keys = [_unit_cache_key(kernel, superblocks[i], extras) for i, extras in units]
     if all(key is None for key in keys):
@@ -233,6 +302,8 @@ def _corpus_map_cached(
         [units[idx] for idx in miss_indices],
         jobs,
         chunk_size,
+        tracer,
+        unit_ids=miss_indices,
     )
     computed = dict(zip(miss_indices, miss_pairs))
     # Assemble results, merge metric deltas, and write back the misses —
@@ -257,8 +328,16 @@ def _compute_metered(
     units: Sequence[tuple[int, tuple[Any, ...]]],
     jobs: int | None,
     chunk_size: int | None,
+    tracer: "trace.Tracer | None" = None,
+    unit_ids: Sequence[int] | None = None,
 ) -> list[tuple[Any, dict[str, Any]]]:
-    """Evaluate units, each returning ``(result, metrics delta)``."""
+    """Evaluate units, each returning ``(result, metrics delta)``.
+
+    With a ``tracer``, every unit's spans are collected too — merged from
+    worker deltas in input order (parallel) or recorded directly
+    (inline). ``unit_ids`` label merged worker events with the caller's
+    original unit indices (the cached path computes misses only).
+    """
     if not units:
         return []
     runner = ParallelRunner(jobs, chunk_size=chunk_size)
@@ -273,16 +352,24 @@ def _compute_metered(
             initializer=init_worker,
             initargs=(corpus_payload(superblocks), os.getpid()),
         )
-        return parallel.map(
-            _run_unit_metered, [(kernel, i, extras) for i, extras in units]
-        )
+        tagged = [(kernel, i, extras) for i, extras in units]
+        if tracer is None:
+            return parallel.map(_run_unit_metered, tagged)
+        triples = parallel.map(_run_unit_observed, tagged)
+        out = []
+        for pos, (result, delta, span_events) in enumerate(triples):
+            unit_id = unit_ids[pos] if unit_ids is not None else pos
+            tracer.merge_events(span_events, origin="worker", unit=unit_id)
+            out.append((result, delta))
+        return out
     # Inline path: evaluate against the in-memory corpus directly (the
     # worker-side dispatcher resolves indices against the worker globals,
     # which are not populated in the parent).
-    out: list[tuple[Any, dict[str, Any]]] = []
-    for i, extras in units:
-        registry = MetricsRegistry()
-        with registry.activated():
-            result = kernel(superblocks[i], *extras)
-        out.append((result, registry.as_dict()))
+    out = []
+    with _serial_span_scope(tracer):
+        for i, extras in units:
+            registry = MetricsRegistry()
+            with registry.activated():
+                result = kernel(superblocks[i], *extras)
+            out.append((result, registry.as_dict()))
     return out

@@ -228,3 +228,268 @@ class TestCliVerify:
         assert any(e.get("name") == "verify.case" for e in events)
         counters = json.loads(metrics_file.read_text())["counters"]
         assert counters.get("verify.cases") == 3
+
+
+class TestCliTraceHardening:
+    def test_empty_file_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", str(path)]) == 1
+        assert "contains no events" in capsys.readouterr().err
+
+    def test_truncated_file_names_the_line(self, tmp_path, capsys):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            '{"event":"span","id":0,"name":"a","t0":0,"dur":1,"depth":0}\n'
+            '{"event":"sp'
+        )
+        assert main(["trace", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert ":2:" in err and "truncated" in err
+
+    def test_non_object_line_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1,2]\n")
+        assert main(["trace", str(path)]) == 1
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_span_event_missing_keys_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text('{"event":"span","name":"a"}\n')
+        assert main(["trace", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "missing required key" in err and "t0" in err
+
+    def test_mixed_span_and_decision_events_render(self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"event":"span","id":0,"name":"phase.x","t0":0.0,"dur":0.5,'
+            '"depth":0}\n'
+            '{"event":"issue","cycle":0,"op":4,"rclass":"gp"}\n'
+        )
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase.x" in out and "issue op 4" in out
+
+
+class TestCliProfile:
+    def test_profile_wraps_a_command(self, capsys):
+        assert main(["profile", "--interval-ms", "2", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out  # wrapped command output survives
+        assert "profile (sampling): cmd.examples" in out
+        assert "attributed below the command span" in out
+
+    def test_profile_report_and_spans_out(self, sb_file, tmp_path, capsys):
+        hotspots = tmp_path / "hot.json"
+        spans = tmp_path / "spans.jsonl"
+        assert main([
+            "profile", "--out", str(hotspots), "--spans-out", str(spans),
+            "bounds", sb_file,
+        ]) == 0
+        report = json.loads(hotspots.read_text())
+        assert report["schema"] == 1
+        assert report["root"] == "cmd.bounds"
+        events = [
+            json.loads(line) for line in spans.read_text().splitlines()
+        ]
+        assert any(e["name"] == "cmd.bounds" for e in events)
+
+    def test_profile_cprofile_engine(self, sb_file, capsys):
+        assert main([
+            "profile", "--engine", "cprofile", "bounds", sb_file,
+        ]) == 0
+        assert "hotspots (cProfile" in capsys.readouterr().out
+
+    def test_profile_without_command_rejected(self, capsys):
+        assert main(["profile"]) == 1
+        assert "nothing to profile" in capsys.readouterr().err
+
+    def test_profile_cannot_nest(self, capsys):
+        assert main(["profile", "profile", "examples"]) == 1
+        assert "cannot wrap itself" in capsys.readouterr().err
+
+    def test_profile_rejects_trace_out_in_wrapped(self, tmp_path, capsys):
+        assert main([
+            "profile", "examples", "--trace-out", str(tmp_path / "t.jsonl"),
+        ]) == 1
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_profile_rejects_unparseable_wrapped(self, capsys):
+        assert main(["profile", "frobnicate"]) == 1
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_profile_quick_shorthand_on_corpus_commands(self, capsys):
+        # table1 has no --quick of its own; the wrapper translates it
+        assert main([
+            "profile", "table1", "--quick", "--no-triplewise",
+            "--machines", "GP2,FS4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "profile (sampling)" in out
+
+    def test_profile_out_shorthand_flag(self, sb_file, tmp_path, capsys):
+        prof = tmp_path / "prof.json"
+        assert main(["bounds", sb_file, "--profile-out", str(prof)]) == 0
+        assert "profile report written to" in capsys.readouterr().out
+        assert json.loads(prof.read_text())["root"] == "cmd.bounds"
+
+    def test_profile_out_conflicts_with_trace_out(
+        self, sb_file, tmp_path, capsys
+    ):
+        assert main([
+            "bounds", sb_file,
+            "--profile-out", str(tmp_path / "p.json"),
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        ]) == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+
+class TestCliExport:
+    @pytest.fixture
+    def span_file(self, sb_file, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        main([
+            "schedule", sb_file, "--heuristic", "cp",
+            "--trace-out", str(path),
+        ])
+        return str(path)
+
+    def test_chrome_trace_export_validates_and_loads(
+        self, span_file, tmp_path, capsys
+    ):
+        out = tmp_path / "chrome.json"
+        assert main([
+            "export", "chrome-trace", span_file, "--out", str(out),
+        ]) == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        assert all(
+            e["name"] and e["ts"] >= 0 and e["dur"] >= 0 for e in complete
+        )
+
+    def test_chrome_trace_to_stdout(self, span_file, capsys):
+        assert main(["export", "chrome-trace", span_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "traceEvents" in doc
+
+    def test_chrome_trace_rejects_decision_trace(
+        self, sb_file, tmp_path, capsys
+    ):
+        path = tmp_path / "decisions.jsonl"
+        main([
+            "schedule", sb_file, "--heuristic", "balance",
+            "--trace-out", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["export", "chrome-trace", str(path)]) == 1
+        assert "no span events" in capsys.readouterr().err
+
+    def test_chrome_trace_missing_file(self, tmp_path, capsys):
+        assert main([
+            "export", "chrome-trace", str(tmp_path / "nope.jsonl"),
+        ]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_prometheus_export(self, sb_file, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        main(["bounds", sb_file, "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["export", "prometheus", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE " in out
+        assert "_total{" in out
+
+    def test_prometheus_rejects_non_metrics_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        assert main(["export", "prometheus", str(path)]) == 1
+        assert "does not look like" in capsys.readouterr().err
+
+
+class TestCliBenchAnalytics:
+    BASE = {
+        "rj_solves_per_sec": {"value": 1000.0, "unit": "solves/s",
+                              "seed": 1999},
+        "table1_seconds": {"value": 2.0, "unit": "s", "seed": 1999},
+        "table1_jobs2_speedup": {"value": 1.7, "unit": "x", "seed": 1999},
+    }
+
+    def _write(self, tmp_path, name, **overrides):
+        payload = json.loads(json.dumps(self.BASE))
+        for metric, value in overrides.items():
+            payload[metric]["value"] = value
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_compare_flags_injected_25_percent_slowdown(
+        self, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json")
+        slow = self._write(tmp_path, "slow.json", table1_seconds=2.5)
+        assert main(["bench", "--compare", base, slow]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSED" in err and "table1_seconds" in err
+
+    def test_compare_passes_within_tolerance(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        ok = self._write(tmp_path, "ok.json", table1_seconds=2.2)
+        assert main(["bench", "--compare", base, ok]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json")
+        slow = self._write(tmp_path, "slow.json", table1_seconds=2.5)
+        assert main([
+            "bench", "--compare", base, slow, "--tolerance", "0.30",
+        ]) == 0
+
+    def test_compare_missing_file(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json")
+        assert main([
+            "bench", "--compare", base, str(tmp_path / "nope.json"),
+        ]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_trend_renders_history(self, tmp_path, capsys):
+        from repro.obs import trend
+
+        history = tmp_path / "hist.jsonl"
+        for i in range(3):
+            trend.append_record(
+                trend.make_record(
+                    {"table1_seconds": {"value": 2.0 + 0.1 * i, "unit": "s",
+                                        "seed": 1999}},
+                    timestamp=float(i), sha=f"sha{i}",
+                ),
+                history,
+            )
+        assert main(["bench", "--trend", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "3 record(s)" in out and "table1_seconds" in out
+
+    def test_trend_without_history_clear_error(self, tmp_path, capsys):
+        assert main([
+            "bench", "--trend", "--history", str(tmp_path / "none.jsonl"),
+        ]) == 1
+        assert "no bench history" in capsys.readouterr().err
+
+    def test_quick_bench_appends_history_record(self, tmp_path, capsys):
+        """Acceptance: every bench run adds one record to the history."""
+        from repro.obs import trend
+
+        history = tmp_path / "hist.jsonl"
+        assert main([
+            "bench", "--quick", "--no-scaling",
+            "--history", str(history),
+        ]) == 0
+        assert "history appended to" in capsys.readouterr().out
+        records = trend.load_history(history)
+        assert len(records) == 1
+        assert records[0]["label"] == "quick"
+        assert records[0]["schema"] == trend.SCHEMA_VERSION
+        assert "table1_seconds" in records[0]["metrics"]
+        assert records[0]["counters"]  # observability counters ride along

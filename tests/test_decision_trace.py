@@ -148,3 +148,74 @@ class TestCliTraceRoundTrip:
         path = tmp_path / "trace.jsonl"
         recorder.write_jsonl(path)
         assert load_jsonl(path) == fig2_events
+
+
+# ---------------------------------------------------------------------------
+# DOT rendering beyond the Figure 2 golden path
+# ---------------------------------------------------------------------------
+def _synthetic_events() -> list[dict]:
+    """A trace with tradeoff events and a multi-branch selection partition."""
+    return [
+        {"event": "begin", "superblock": "synth", "machine": "GP2",
+         "heuristic": "balance", "branches": [2, 5, 7],
+         "weights": {"2": 0.2, "5": 0.3, "7": 0.5}},
+        {"event": "selection", "cycle": 0, "selected": [7], "delayed": [5],
+         "delayed_ok": [2], "ignored": [5], "take_each": [1],
+         "take_one": {"gp": [3, 4]}, "rank": 1.5},
+        {"event": "tradeoff", "cycle": 0, "branch": 2, "against": 7,
+         "kind": "delayedOK", "bound": 3.25},
+        {"event": "tradeoff", "cycle": 0, "branch": 5, "against": 7,
+         "kind": "swap", "bound": 2.5},
+        {"event": "issue", "cycle": 0, "op": 1, "rclass": "gp"},
+        {"event": "selection", "cycle": 1, "selected": [2, 5], "delayed": [],
+         "delayed_ok": [], "ignored": [], "take_each": [3],
+         "take_one": {}, "rank": 0.5},
+        {"event": "end", "wct": 2.9, "length": 3,
+         "issue": {"2": 1, "5": 1, "7": 0}},
+    ]
+
+
+class TestDotTradeoffsAndPartitions:
+    def test_tradeoff_events_become_note_nodes(self):
+        dot = decision_trace_to_dot(_synthetic_events())
+        assert (
+            'tr0_0 [label="branch 2 vs 7\\ndelayedOK (bound 3.25)"' in dot
+        )
+        assert 'tr0_1 [label="branch 5 vs 7\\nswap (bound 2.5)"' in dot
+        assert "shape=note" in dot
+        assert "cycle0 -> tr0_0 [style=dotted" in dot
+        assert "cycle0 -> tr0_1 [style=dotted" in dot
+
+    def test_selection_label_carries_full_partition(self):
+        dot = decision_trace_to_dot(_synthetic_events())
+        assert "sel {7}" in dot
+        assert "del {5}" in dot
+        assert "delOK {2}" in dot
+        assert "ign {5}" in dot
+
+    def test_multi_branch_selection_renders(self):
+        dot = decision_trace_to_dot(_synthetic_events())
+        assert "sel {2,5}" in dot  # cycle 1 selects two branches at once
+
+    def test_cycles_without_tradeoffs_have_no_note_nodes(self):
+        dot = decision_trace_to_dot(_synthetic_events())
+        assert "tr1_" not in dot
+
+
+class TestLoadJsonlHardening:
+    def test_truncated_line_names_the_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "begin"}\n{"event": "sp')
+        with pytest.raises(ValueError, match=r":2:.*truncated"):
+            load_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match=r":1:.*expected a JSON object"):
+            load_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n{"event": "begin"}\n\n')
+        assert load_jsonl(path) == [{"event": "begin"}]

@@ -1,0 +1,161 @@
+"""Exporters: span JSONL -> Chrome trace-event JSON, metrics -> Prometheus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import export
+from repro.obs.trace import Tracer
+
+
+def _sample_events():
+    """A small trace: root > child, plus one merged worker-unit span."""
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("child", kind="inner"):
+            pass
+    tracer.merge_events(
+        [
+            {
+                "event": "span",
+                "id": 0,
+                "name": "unit.work",
+                "t0": 0.0,
+                "dur": 0.001,
+                "depth": 0,
+            }
+        ],
+        origin="worker",
+        unit=3,
+    )
+    return tracer.spans()
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        doc = export.spans_to_chrome_trace(_sample_events())
+        assert doc["displayTimeUnit"] == "ms"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"root", "child", "unit.work"}
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_worker_spans_get_their_own_track(self):
+        doc = export.spans_to_chrome_trace(_sample_events())
+        complete = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert complete["root"]["tid"] == export.MAIN_TID
+        assert complete["unit.work"]["tid"] == export.WORKER_TID_BASE + 3
+        labels = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "worker unit 3" in labels
+
+    def test_times_scaled_to_microseconds(self):
+        events = _sample_events()
+        doc = export.spans_to_chrome_trace(events)
+        root_src = next(e for e in events if e["name"] == "root")
+        root_out = next(
+            e
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "root"
+        )
+        assert root_out["ts"] == pytest.approx(root_src["t0"] * 1e6)
+        assert root_out["dur"] == pytest.approx(root_src["dur"] * 1e6)
+
+    def test_attrs_ride_in_args(self):
+        doc = export.spans_to_chrome_trace(_sample_events())
+        child = next(
+            e
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "child"
+        )
+        assert child["args"]["kind"] == "inner"
+        assert child["args"]["depth"] == 1
+
+    def test_non_span_events_ignored(self):
+        events = _sample_events() + [{"event": "begin", "superblock": "x"}]
+        doc = export.spans_to_chrome_trace(events)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+
+    def test_no_span_events_raises(self):
+        with pytest.raises(ValueError, match="no span events"):
+            export.spans_to_chrome_trace([{"event": "begin"}])
+
+    def test_exporter_output_validates(self):
+        doc = export.spans_to_chrome_trace(_sample_events())
+        assert export.validate_chrome_trace(doc) == []
+
+    def test_validator_flags_problems(self):
+        assert export.validate_chrome_trace({}) == [
+            "traceEvents is missing or not a list"
+        ]
+        problems = export.validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "Z", "pid": 1},
+                    {"ph": "X", "pid": "one", "tid": 1, "name": "", "ts": -1},
+                ]
+            }
+        )
+        assert any("unknown phase" in p for p in problems)
+        assert any("pid" in p for p in problems)
+        assert any("without a name" in p for p in problems)
+        assert any("negative" in p for p in problems)
+
+    def test_write_round_trip(self, tmp_path):
+        doc = export.spans_to_chrome_trace(_sample_events())
+        path = tmp_path / "trace.json"
+        export.write_chrome_trace(doc, path)
+        loaded = json.loads(path.read_text())
+        assert export.validate_chrome_trace(loaded) == []
+        assert loaded == json.loads(json.dumps(doc))
+
+
+class TestPrometheus:
+    DATA = {
+        "counters": {"cp.visit": 10, "9bad name!": 2},
+        "timers": {"eval.schedule": {"total_s": 1.5, "count": 3}},
+        "gauges": {"corpus_superblocks": 20},
+    }
+
+    def test_counter_rendering(self):
+        text = export.metrics_to_prometheus(self.DATA)
+        assert '# TYPE repro_cp_visit_total counter' in text
+        assert 'repro_cp_visit_total{name="cp.visit"} 10' in text
+
+    def test_name_sanitization_keeps_original_in_label(self):
+        text = export.metrics_to_prometheus(self.DATA)
+        assert '{name="9bad name!"} 2' in text
+        # sanitized names never start with a digit or contain spaces
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            metric = line.split("{", 1)[0]
+            assert not metric[0].isdigit()
+            assert " " not in metric
+
+    def test_timer_becomes_seconds_and_calls(self):
+        text = export.metrics_to_prometheus(self.DATA)
+        assert (
+            'repro_eval_schedule_seconds_total{name="eval.schedule"} 1.5'
+            in text
+        )
+        assert (
+            'repro_eval_schedule_calls_total{name="eval.schedule"} 3' in text
+        )
+
+    def test_gauge_rendering_and_prefix(self):
+        text = export.metrics_to_prometheus(self.DATA, prefix="bal")
+        assert "# TYPE bal_corpus_superblocks gauge" in text
+        assert 'bal_corpus_superblocks{name="corpus_superblocks"} 20' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert export.metrics_to_prometheus({}) == ""

@@ -9,6 +9,7 @@ byte-identical strings.
 from __future__ import annotations
 
 import os
+from collections import Counter
 
 import pytest
 
@@ -17,6 +18,7 @@ from repro.eval.metrics import NoProfileWeights
 from repro.eval.sched_eval import evaluate_corpus
 from repro.eval.tables import table1, table3
 from repro.machine.machine import FS4, GP2
+from repro.obs import trace as trace_mod
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import ParallelRunner, effective_jobs
 from repro.perf.workers import corpus_map, is_picklable
@@ -210,6 +212,107 @@ def test_bound_costs_counters_identical_across_jobs(par_corpus):
     assert {"table2.CP", "table2.RJ", "table2.LC", "table2.PW"} <= set(reference)
     # ...and identical after the parallel merge.
     assert parallel.counters.as_dict() == reference
+
+
+# ---------------------------------------------------------------------------
+# Span aggregation: worker spans survive the process boundary
+# ---------------------------------------------------------------------------
+def _span_inventory(tracer: trace_mod.Tracer) -> "Counter[str]":
+    return Counter(e["name"] for e in tracer.spans())
+
+
+def _span_kernel(sb) -> str:
+    with trace_mod.span("test.unit", sb=sb.name):
+        return sb.name
+
+
+def test_evaluate_corpus_spans_identical_across_jobs(par_corpus):
+    """Regression: worker spans used to be silently lost under jobs>1.
+
+    Mirror of the counter-loss fix: each worker unit runs under a fresh
+    tracer whose events merge back in input order, so the span inventory
+    (names and counts) is identical for any job count.
+    """
+    tracers = {}
+    for jobs in JOB_COUNTS:
+        tracers[jobs] = tracer = trace_mod.Tracer()
+        with trace_mod.install(tracer):
+            evaluate_corpus(
+                par_corpus,
+                GP2,
+                FAST_HEURISTICS,
+                include_triplewise=False,
+                jobs=jobs,
+            )
+    reference = _span_inventory(tracers[1])
+    assert reference  # serial run recorded spans at all
+    assert any(name.startswith("bounds.") for name in reference)
+    for jobs in JOB_COUNTS[1:]:
+        assert _span_inventory(tracers[jobs]) == reference
+
+
+def test_parallel_spans_marked_with_origin_and_unit(par_corpus):
+    tracer = trace_mod.Tracer()
+    with trace_mod.install(tracer):
+        bound_quality(par_corpus, [GP2], include_triplewise=False, jobs=2)
+    worker = [
+        e
+        for e in tracer.spans()
+        if (e.get("attrs") or {}).get("origin") == "worker"
+    ]
+    assert worker
+    units = sorted({e["attrs"]["unit"] for e in worker})
+    assert units == list(range(len(units)))  # every unit contributed
+
+
+def test_merged_spans_arrive_in_input_order(par_corpus):
+    """Unit attrs must be non-decreasing in merge order (determinism)."""
+    tracer = trace_mod.Tracer()
+    with trace_mod.install(tracer):
+        bound_quality(par_corpus, [GP2], include_triplewise=False, jobs=3)
+    units = [
+        e["attrs"]["unit"]
+        for e in tracer.events
+        if (e.get("attrs") or {}).get("origin") == "worker"
+    ]
+    assert units == sorted(units)
+
+
+def test_corpus_map_explicit_spans_argument(par_corpus):
+    """corpus_map(spans=...) collects one span per unit, serial or not."""
+    superblocks = list(par_corpus)[:4]
+    expected = [sb.name for sb in superblocks]
+    inventories = {}
+    for jobs in (1, 2):
+        tracer = trace_mod.Tracer()
+        out = corpus_map(
+            _span_kernel,
+            superblocks,
+            [(i, ()) for i in range(4)],
+            jobs=jobs,
+            spans=tracer,
+        )
+        assert out == expected
+        inventories[jobs] = _span_inventory(tracer)
+    assert inventories[1] == inventories[2] == Counter({"test.unit": 4})
+
+
+def test_spans_and_metrics_collected_together(par_corpus):
+    """The observed worker path ships both deltas without cross-talk."""
+    serial_reg, parallel_reg = MetricsRegistry(), MetricsRegistry()
+    serial_tr, parallel_tr = trace_mod.Tracer(), trace_mod.Tracer()
+    with trace_mod.install(serial_tr):
+        bound_quality(
+            par_corpus, [GP2], include_triplewise=False, jobs=1,
+            metrics=serial_reg,
+        )
+    with trace_mod.install(parallel_tr):
+        bound_quality(
+            par_corpus, [GP2], include_triplewise=False, jobs=2,
+            metrics=parallel_reg,
+        )
+    assert parallel_reg.counters.as_dict() == serial_reg.counters.as_dict()
+    assert _span_inventory(parallel_tr) == _span_inventory(serial_tr)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Profiling subsystem: span accounting math and both capture engines."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    SCHEMA_VERSION,
+    ProfileConfig,
+    ProfileSession,
+    span_accounting,
+)
+from repro.obs.trace import span
+
+
+def _busy(seconds: float) -> None:
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        sum(i * i for i in range(50))
+
+
+def _synthetic_events():
+    # root(1.0s) > a(0.6s) > a.inner(0.2s); root > b(0.3s)
+    return [
+        {"event": "span", "id": 0, "name": "root", "t0": 0.0, "dur": 1.0,
+         "depth": 0},
+        {"event": "span", "id": 1, "name": "a", "t0": 0.0, "dur": 0.6,
+         "depth": 1, "parent": 0},
+        {"event": "span", "id": 2, "name": "b", "t0": 0.6, "dur": 0.3,
+         "depth": 1, "parent": 0},
+        {"event": "span", "id": 3, "name": "a.inner", "t0": 0.1, "dur": 0.2,
+         "depth": 2, "parent": 1},
+    ]
+
+
+class TestSpanAccounting:
+    def test_self_time_partitions_wall(self):
+        acc = span_accounting(_synthetic_events())
+        assert acc["wall_s"] == pytest.approx(1.0)
+        by_name = {r["name"]: r for r in acc["spans"]}
+        # self = dur - direct children
+        assert by_name["root"]["self_s"] == pytest.approx(0.1)
+        assert by_name["a"]["self_s"] == pytest.approx(0.4)
+        assert by_name["a.inner"]["self_s"] == pytest.approx(0.2)
+        assert by_name["b"]["self_s"] == pytest.approx(0.3)
+        # attributed = everything below the root
+        assert acc["attributed_percent"] == pytest.approx(90.0)
+        total_self = sum(r["self_s"] for r in acc["spans"])
+        assert total_self == pytest.approx(acc["wall_s"])
+
+    def test_worker_spans_excluded_from_wall_partition(self):
+        events = _synthetic_events() + [
+            {"event": "span", "id": 4, "name": "unit.work", "t0": 0.2,
+             "dur": 5.0, "depth": 2, "parent": 1,
+             "attrs": {"origin": "worker", "unit": 0}},
+        ]
+        acc = span_accounting(events)
+        # worker CPU time (another clock) must not distort main self times
+        by_name = {r["name"]: r for r in acc["spans"]}
+        assert "unit.work" not in by_name
+        assert by_name["a"]["self_s"] == pytest.approx(0.4)
+        assert acc["worker_spans"] == {"count": 1, "total_s": 5.0}
+
+    def test_rows_sorted_by_self_time(self):
+        rows = span_accounting(_synthetic_events())["spans"]
+        selfs = [r["self_s"] for r in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_empty_events(self):
+        acc = span_accounting([])
+        assert acc["wall_s"] == 0.0
+        assert acc["attributed_percent"] == 0.0
+        assert acc["spans"] == []
+
+
+class TestProfileConfig:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown profile engine"):
+            ProfileConfig(engine="perf")
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            ProfileConfig(interval_s=0.0)
+
+
+class TestProfileSession:
+    def test_sampling_capture_attributes_the_hot_span(self):
+        session = ProfileSession(ProfileConfig(interval_s=0.002))
+        with session.capture("cmd.test"):
+            with span("phase.hot"):
+                _busy(0.08)
+        report = session.report()
+        assert report.engine == "sampling"
+        assert report.root == "cmd.test"
+        assert report.attributed_percent > 90.0
+        names = {r["name"] for r in report.spans}
+        assert {"cmd.test", "phase.hot"} <= names
+        hot = report.hotspots
+        assert hot["samples"] > 0
+        assert hot["by_span"][0]["span"] == "phase.hot"
+        assert hot["by_span"][0]["functions"]
+
+    def test_cprofile_capture_builds_function_table(self):
+        session = ProfileSession(ProfileConfig(engine="cprofile"))
+        with session.capture("cmd.test"):
+            with span("phase.hot"):
+                sum(i * i for i in range(50_000))
+        report = session.report()
+        assert report.engine == "cprofile"
+        functions = report.hotspots["functions"]
+        assert functions
+        assert all(
+            isinstance(f["calls"], int) and f["self_s"] >= 0
+            for f in functions
+        )
+        # deterministic engine: the generator expression must be visible
+        assert any("genexpr" in f["where"] for f in functions)
+
+    def test_report_save_round_trip(self, tmp_path):
+        session = ProfileSession(ProfileConfig(interval_s=0.002))
+        with session.capture("cmd.test"):
+            with span("phase.a"):
+                _busy(0.01)
+        report = session.report()
+        path = tmp_path / "hotspots.json"
+        report.save(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert loaded["root"] == "cmd.test"
+        assert loaded["engine"] == "sampling"
+        assert {r["name"] for r in loaded["spans"]} >= {"cmd.test", "phase.a"}
+
+    def test_render_mentions_wall_and_attribution(self):
+        session = ProfileSession(ProfileConfig(interval_s=0.002))
+        with session.capture("cmd.test"):
+            _busy(0.01)
+        text = session.report().render()
+        assert "profile (sampling): cmd.test" in text
+        assert "attributed below the command span" in text
+        assert "hotspots (" in text
+
+    def test_report_before_capture_raises(self):
+        with pytest.raises(RuntimeError):
+            ProfileSession().report()
+
+    def test_capture_uninstalls_tracer_on_exit(self):
+        from repro.obs import trace as trace_mod
+
+        session = ProfileSession(ProfileConfig(interval_s=0.002))
+        with session.capture("cmd.test"):
+            assert trace_mod.current() is session.tracer
+        assert trace_mod.current() is None

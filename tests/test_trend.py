@@ -1,0 +1,179 @@
+"""Bench trend analytics: history records, comparison gate, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trend
+
+
+def _payload(t1: float = 2.0, rate: float = 1000.0) -> dict:
+    return {
+        "table1_seconds": {"value": t1, "unit": "s", "seed": 1999},
+        "rj_solves_per_sec": {"value": rate, "unit": "solves/s", "seed": 1999},
+        "table1_jobs2_speedup": {"value": 1.7, "unit": "x", "seed": 1999},
+        "observability": {"counters": {"cp.visit": 7}},
+    }
+
+
+class TestHistoryRecords:
+    def test_make_record_shape(self):
+        record = trend.make_record(
+            _payload(), label="quick", config={"scale": 12},
+            timestamp=123.0, sha="abc123",
+        )
+        assert record["schema"] == trend.SCHEMA_VERSION
+        assert record["timestamp"] == 123.0
+        assert record["git_sha"] == "abc123"
+        assert record["label"] == "quick"
+        assert record["config"] == {"scale": 12}
+        # metrics filtered to {value, unit} entries only
+        assert "observability" not in record["metrics"]
+        assert set(record["metrics"]) == {
+            "table1_seconds", "rj_solves_per_sec", "table1_jobs2_speedup",
+        }
+        # counters ride along from the observability block
+        assert record["counters"] == {"cp.visit": 7}
+
+    def test_git_sha_resolves_in_this_checkout(self):
+        sha = trend.git_sha()
+        assert sha is None or (len(sha) >= 7 and sha.isalnum())
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        for i in range(3):
+            trend.append_record(
+                trend.make_record(
+                    _payload(t1=2.0 + i), timestamp=float(i), sha=f"sha{i}"
+                ),
+                path,
+            )
+        records = trend.load_history(path)
+        assert len(records) == 3
+        assert [r["git_sha"] for r in records] == ["sha0", "sha1", "sha2"]
+        assert records[2]["metrics"]["table1_seconds"]["value"] == 4.0
+
+    def test_load_history_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        good = json.dumps(trend.make_record(_payload(), timestamp=0.0, sha="x"))
+        path.write_text(good + "\n{broken\n")
+        with pytest.raises(ValueError, match=r":2:"):
+            trend.load_history(path)
+
+    def test_load_history_rejects_non_records(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"not": "a record"}\n')
+        with pytest.raises(ValueError, match="missing 'metrics'"):
+            trend.load_history(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        good = json.dumps(trend.make_record(_payload(), timestamp=0.0, sha="x"))
+        path.write_text("\n" + good + "\n\n")
+        assert len(trend.load_history(path)) == 1
+
+
+class TestCompareRuns:
+    def test_injected_25_percent_slowdown_regresses(self):
+        """Acceptance pin: a 25% elapsed-time regression trips the default
+        20% threshold."""
+        comparison = trend.compare_runs(
+            current=_payload(t1=2.5), baseline=_payload(t1=2.0)
+        )
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == ["table1_seconds"]
+        assert comparison.regressions[0].delta_percent == pytest.approx(25.0)
+
+    def test_throughput_drop_regresses(self):
+        comparison = trend.compare_runs(
+            current=_payload(rate=700.0), baseline=_payload(rate=1000.0)
+        )
+        assert [d.name for d in comparison.regressions] == [
+            "rj_solves_per_sec"
+        ]
+
+    def test_improvements_never_regress(self):
+        comparison = trend.compare_runs(
+            current=_payload(t1=1.0, rate=2000.0), baseline=_payload()
+        )
+        assert comparison.ok
+
+    def test_ratio_metrics_are_informational(self):
+        current = _payload()
+        current["table1_jobs2_speedup"]["value"] = 0.5  # halved speedup
+        comparison = trend.compare_runs(current, _payload())
+        assert comparison.ok
+        delta = next(
+            d for d in comparison.deltas if d.name == "table1_jobs2_speedup"
+        )
+        assert delta.better == "info"
+
+    def test_threshold_is_configurable(self):
+        assert trend.compare_runs(
+            _payload(t1=2.5), _payload(t1=2.0), threshold=0.30
+        ).ok
+
+    def test_observability_block_never_compared(self):
+        comparison = trend.compare_runs(_payload(), _payload())
+        assert all(d.name != "observability" for d in comparison.deltas)
+
+    def test_one_sided_metrics_listed_not_compared(self):
+        current = _payload()
+        extra = current.pop("rj_solves_per_sec")
+        current["new_metric"] = extra
+        comparison = trend.compare_runs(current, _payload())
+        assert comparison.only_baseline == ["rj_solves_per_sec"]
+        assert comparison.only_current == ["new_metric"]
+        assert comparison.ok
+
+    def test_render_flags_regressions(self):
+        text = trend.render_comparison(
+            trend.compare_runs(_payload(t1=2.5), _payload(t1=2.0))
+        )
+        assert "REGRESSED" in text
+        assert "+25.0%" in text
+        assert "1 regression(s): table1_seconds" in text
+        ok_text = trend.render_comparison(
+            trend.compare_runs(_payload(), _payload())
+        )
+        assert "no regressions" in ok_text
+
+
+class TestTrendRendering:
+    def test_sparkline_shape(self):
+        assert trend.sparkline([]) == ""
+        assert trend.sparkline([1.0, 1.0, 1.0]) == "▄▄▄"
+        ascending = trend.sparkline([1.0, 2.0, 3.0])
+        assert ascending[0] == "▁" and ascending[-1] == "█"
+
+    def _records(self):
+        return [
+            trend.make_record(
+                _payload(t1=2.0 + 0.1 * i),
+                label="full" if i % 2 == 0 else "quick",
+                timestamp=float(i),
+                sha=f"sha{i}",
+            )
+            for i in range(4)
+        ]
+
+    def test_render_trend_shows_series(self):
+        text = trend.render_trend(self._records())
+        assert "4 record(s), sha0 .. sha3" in text
+        assert "table1_seconds" in text
+        assert "(+15.0%)" in text  # 2.0 -> 2.3
+
+    def test_render_trend_label_filter(self):
+        text = trend.render_trend(self._records(), label="quick")
+        assert "2 record(s), sha1 .. sha3" in text
+        assert trend.render_trend([], label="full") == (
+            "bench trend: no matching history records"
+        )
+
+    def test_render_trend_metric_restriction(self):
+        text = trend.render_trend(
+            self._records(), metrics=("table1_seconds",)
+        )
+        assert "rj_solves_per_sec" not in text
