@@ -19,11 +19,20 @@ def rj_branch_bound(
     machine: MachineConfig,
     branch: int,
     counters: Counters | None = None,
+    early: list[int] | None = None,
 ) -> int:
-    """RJ lower bound on the issue cycle of one branch."""
+    """RJ lower bound on the issue cycle of one branch.
+
+    Args:
+        early: precomputed ``graph.early_dc()`` release times. The table
+            is branch-independent, so :func:`rj_branch_bounds` computes it
+            once and threads it through instead of copying the cached list
+            once per branch.
+    """
     graph = sb.graph
     nodes = subgraph_nodes(graph, branch)
-    early = graph.early_dc()
+    if early is None:
+        early = graph.early_dc()
     dist = dist_to_sink(graph, branch, nodes)
     late = deadlines_for_sink(early[branch], dist)
     rclass = {v: machine.resource_of(graph.op(v)) for v in nodes}
@@ -47,5 +56,14 @@ def rj_branch_bound(
 def rj_branch_bounds(
     sb: Superblock, machine: MachineConfig, counters: Counters | None = None
 ) -> dict[int, int]:
-    """RJ bound for every exit branch."""
-    return {b: rj_branch_bound(sb, machine, b, counters) for b in sb.branches}
+    """RJ bound for every exit branch.
+
+    ``early_dc`` is hoisted out of the per-branch loop: the release times
+    do not depend on the branch, and each ``graph.early_dc()`` call copies
+    the cached O(n) list (tests/test_bounds_basic.py pins the single call).
+    """
+    early = sb.graph.early_dc()
+    return {
+        b: rj_branch_bound(sb, machine, b, counters, early=early)
+        for b in sb.branches
+    }

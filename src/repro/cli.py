@@ -76,7 +76,10 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the corpus fan-out "
-        "(1 = serial, 0 = all CPUs); results are identical for any N",
+        "(1 = serial, 0 = all CPUs); results are identical for any N. "
+        "Runs below the dispatch break-even point fall back to the "
+        "serial path so small corpora never pay pool overhead "
+        "(override with REPRO_PAR_BREAK_EVEN)",
     )
 
 
@@ -338,7 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0, help="fuzz corpus seed")
     p.add_argument(
         "--family", action="append", metavar="F",
-        help="restrict to an oracle family (legality, bounds, sim, cache); "
+        help="restrict to an oracle family "
+        "(legality, bounds, sim, cache, pack); "
         "repeatable, default all",
     )
     p.add_argument(
@@ -919,7 +923,7 @@ def _dispatch(args) -> str:
                 ) from None
             failures = bench_mod.compare_metrics(
                 result.metrics, baseline_metrics, args.tolerance
-            )
+            ) + bench_mod.check_speedup_floors(result.metrics)
             if failures:
                 raise CommandError(
                     f"PERF REGRESSION vs {baseline}:\n"

@@ -25,6 +25,7 @@ from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
 from repro.obs.metrics import MetricsRegistry, active_counters
+from repro.perf.runner import parallel_cost_weight
 from repro.perf.workers import corpus_map
 from repro.workloads.corpus import Corpus
 
@@ -42,6 +43,7 @@ class BoundQuality:
     below_tightest_percent: float
 
 
+@parallel_cost_weight(2.0)
 @result_cache.kernel_version(1)
 def _quality_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
@@ -124,6 +126,7 @@ _COMPLEXITY = {
 }
 
 
+@parallel_cost_weight(4.0)
 @result_cache.kernel_version(1)
 def _cost_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool

@@ -20,6 +20,7 @@ from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry, active_counters
+from repro.perf.runner import parallel_cost_weight
 from repro.perf.workers import corpus_map
 from repro.schedulers.base import get_scheduler
 from repro.workloads.corpus import Corpus
@@ -28,6 +29,7 @@ from repro.workloads.corpus import Corpus
 TABLE_HEURISTICS = ("sr", "cp", "gstar", "dhasy", "help", "balance", "best")
 
 
+@parallel_cost_weight(8.0)
 @result_cache.kernel_version(1)
 def evaluate_superblock(
     sb: Superblock,

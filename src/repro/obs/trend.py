@@ -13,9 +13,14 @@ measurements into a trajectory. Three pieces:
   between two payloads with direction-aware regression checks: a
   throughput metric (unit ``.../s``) regresses when it *drops* more than
   the threshold, an elapsed metric (unit ``s``) when it *grows* more
-  than the threshold, and ratio metrics (unit ``x``, e.g. parallel
-  speedups) are informational only — machines differ too much in core
-  count for a portable gate. Non-metric keys in the payload (the
+  than the threshold (waived below :data:`MIN_GATED_SECONDS`, where
+  timer noise dominates), and ratio metrics (unit ``x``) are
+  informational by default — machines differ too much in core count for
+  a portable gate. Exception: a ``...jobsN_speedup`` ratio *is* gated
+  higher-is-better when both payloads record the same
+  ``bench_usable_cores`` count and that count covers the metric's
+  ``N`` workers — same-class hardware comparing a speedup it can
+  actually express. Non-metric keys in the payload (the
   ``observability`` block) are ignored.
 * **Trend** — :func:`render_trend` draws a sparkline per metric across
   the history so drift is visible at a glance in CI logs.
@@ -28,6 +33,7 @@ analytics (nonzero exit on regression). See docs/performance.md.
 from __future__ import annotations
 
 import json
+import re
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -189,6 +195,26 @@ def _direction(unit: str) -> str:
     return "info"  # ratios ("x") and anything unrecognized: no gate
 
 
+#: Elapsed metrics where both sides sit under this many seconds are
+#: informational: at that scale timer noise swamps any real change (the
+#: pool dispatch overhead lives here).
+MIN_GATED_SECONDS = 0.05
+
+#: Speedup metrics carry their worker count in the name (jobs8 -> 8).
+_SPEEDUP_JOBS = re.compile(r"jobs(\d+)_speedup$")
+
+
+def _usable_cores(entries: dict[str, dict[str, Any]]) -> float | None:
+    """The run's recorded ``bench_usable_cores``, if present and numeric."""
+    entry = entries.get("bench_usable_cores")
+    if entry is None:
+        return None
+    try:
+        return float(entry["value"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def compare_runs(
     current: dict[str, Any],
     baseline: dict[str, Any],
@@ -208,11 +234,24 @@ def compare_runs(
         only_baseline=sorted(set(base) - set(cur)),
         only_current=sorted(set(cur) - set(base)),
     )
+    cores_cur = _usable_cores(cur)
+    cores_base = _usable_cores(base)
     for name in sorted(set(base) & set(cur)):
         base_v = float(base[name]["value"])
         cur_v = float(cur[name]["value"])
         unit = str(base[name].get("unit", ""))
         better = _direction(unit)
+        if unit == "x":
+            jobs_n = _SPEEDUP_JOBS.search(name)
+            if (
+                jobs_n is not None
+                and cores_cur is not None
+                and cores_cur == cores_base
+                and cores_cur >= int(jobs_n.group(1))
+            ):
+                better = "higher"
+        elif better == "lower" and max(cur_v, base_v) < MIN_GATED_SECONDS:
+            better = "info"
         if base_v > 0:
             delta = 100.0 * (cur_v - base_v) / base_v
         else:

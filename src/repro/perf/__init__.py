@@ -5,13 +5,20 @@ over (superblock, machine) work units, but a naive ``multiprocessing.map``
 would (a) ship unpicklable lambdas, (b) return results in completion
 order, and (c) pay a per-unit serialization tax. This package provides:
 
-* :class:`repro.perf.runner.ParallelRunner` — chunked process-pool
-  fan-out with input-order (deterministic) result assembly and a serial
-  fallback that bypasses every (de)serialization step, so ``jobs=1``
-  costs nothing over the plain loop.
-* :mod:`repro.perf.workers` — worker-process bootstrap: the corpus is
-  serialized once per worker (via :mod:`repro.ir.serialize`) and work
-  units reference superblocks by index.
+* :mod:`repro.perf.pack` — array-packed binary codec for superblocks and
+  machine configs: workers receive one flat buffer per corpus instead of
+  pickled object graphs, with an exact round-trip for everything the
+  bounds/schedulers read.
+* :class:`repro.perf.runner.WorkerPool` — a persistent, fork-started
+  process pool bound to a packed corpus and reused across consecutive
+  ``corpus_map`` calls; work travels in cost-model-sized batches
+  (:func:`repro.perf.runner.plan_batches`). A break-even guard
+  (:func:`repro.perf.runner.should_fan_out`) routes paper-size runs to
+  the serial path so ``--jobs N`` never loses to ``jobs=1``.
+* :class:`repro.perf.runner.ParallelRunner` — the legacy fork-per-map
+  engine, still used for generic item mapping (simulation runs).
+* :mod:`repro.perf.workers` — worker bootstrap and the
+  :func:`~repro.perf.workers.corpus_map` entry point.
 * :mod:`repro.perf.bench` — the perf smoke harness behind
   ``python -m repro bench`` and ``benchmarks/perf_smoke.py``.
 
@@ -22,7 +29,26 @@ parallel paths (guaranteed by tests/test_parallel_eval.py).
 
 from __future__ import annotations
 
-from repro.perf.runner import ParallelRunner, effective_jobs
+from repro.perf.runner import (
+    DispatchStats,
+    ParallelRunner,
+    WorkerCrashError,
+    WorkerPool,
+    effective_jobs,
+    force_parallel,
+    last_dispatch_stats,
+    shutdown_pools,
+)
 from repro.perf.workers import corpus_map
 
-__all__ = ["ParallelRunner", "corpus_map", "effective_jobs"]
+__all__ = [
+    "DispatchStats",
+    "ParallelRunner",
+    "WorkerCrashError",
+    "WorkerPool",
+    "corpus_map",
+    "effective_jobs",
+    "force_parallel",
+    "last_dispatch_stats",
+    "shutdown_pools",
+]

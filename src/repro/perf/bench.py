@@ -16,9 +16,21 @@ Entry points:
 Regression gate: :func:`compare_metrics` fails a run when any *headline*
 metric is more than ``tolerance`` (default 20%) worse than the committed
 baseline. Throughput metrics (unit ``.../s``) must not drop; elapsed
-metrics (unit ``s``) must not grow. Parallel-scaling metrics are
-informational only — CI machines differ too much in core count for a
-portable gate.
+metrics (unit ``s``) must not grow. Parallel-scaling metrics get
+*absolute floors* instead (:func:`check_speedup_floors`): a relative
+gate can't compare speedups across machines with different core counts,
+so each floor is waived below the core count whose parallelism it
+claims to exploit (``bench_usable_cores`` records the host's count).
+
+Two scaling scans run:
+
+* the **paper-size** corpus with the break-even guard active — here the
+  guard routes ``jobs=2`` serially, so ``table1_jobs2_speedup`` ~ 1.0
+  by construction (the satellite guarantee that ``--jobs`` never loses);
+* a **scaled** corpus with the guard bypassed
+  (:func:`repro.perf.runner.force_parallel`) — this measures the
+  persistent pool itself and produces ``table1_jobs8_speedup`` plus the
+  pack/dispatch overhead metrics.
 """
 
 from __future__ import annotations
@@ -61,13 +73,22 @@ class BenchConfig:
     scale: int = BENCH_SCALE
     max_ops: int = BENCH_MAX_OPS
     repeats: int = 3  #: timing repetitions; best-of-N is reported
-    jobs_scan: tuple[int, ...] = (1, 2, 4, 8)
+    #: Paper-size scan, break-even guard active (jobs=2 must not lose).
+    jobs_scan: tuple[int, ...] = (1, 2)
+    #: Corpus scale and worker counts of the pool scan (guard bypassed).
+    #: Must not share a >1 entry with ``jobs_scan`` — speedup metric
+    #: names would collide.
+    scaled_scale: int = 128
+    scaled_jobs: tuple[int, ...] = (1, 8)
     include_scaling: bool = True
 
     @classmethod
     def quick(cls) -> "BenchConfig":
         """Reduced configuration for tests and CI smoke runs."""
-        return cls(scale=12, max_ops=32, repeats=1, jobs_scan=(1, 2))
+        return cls(
+            scale=12, max_ops=32, repeats=1, jobs_scan=(1, 2),
+            scaled_scale=40,
+        )
 
 
 @dataclass
@@ -103,6 +124,34 @@ def _best_of(repeats: int, fn, clock=time.process_time) -> float:
         elapsed = clock() - t0
         if elapsed < best:
             best = elapsed
+    return best
+
+
+def _interleaved_scan(
+    jobs_values: tuple[int, ...], fn, repeats: int
+) -> dict[int, float]:
+    """Best-of wall-clock per jobs value, rounds interleaved across values.
+
+    A sequential best-of per point lets slow drift inside the process
+    (allocator growth, GC pressure) systematically penalize whichever
+    point is measured last — visible as a ~3-5% phantom slowdown between
+    two identical code paths. Interleaving the rounds (jobs A, jobs B,
+    jobs A, ...) exposes every point to the same drift. Wall-clock,
+    because worker processes burn CPU the parent's process-time clock
+    never sees; a ``gc.collect()`` before each timing keeps collection
+    pauses out of the measured window.
+    """
+    import gc
+
+    best: dict[int, float] = {jobs: float("inf") for jobs in jobs_values}
+    for _ in range(repeats):
+        for jobs in jobs_values:
+            gc.collect()
+            t0 = time.perf_counter()
+            fn(jobs)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best[jobs]:
+                best[jobs] = elapsed
     return best
 
 
@@ -215,25 +264,93 @@ def run_bench(config: BenchConfig | None = None) -> BenchResult:
     )
     result.add("table3_seconds", t3_seconds, "s", seed)
 
+    dispatch_stats = None
     if config.include_scaling:
-        # Speedups are relative to the jobs=1 scan point (same warm state),
-        # not the cold table1_seconds measurement above.
-        scan_base: float | None = None
+        from repro.perf.runner import (
+            effective_jobs, force_parallel, last_dispatch_stats,
+        )
+        from repro.perf.workers import corpus_payload
+        from repro.workloads.corpus import specint95_corpus
+
+        result.add("bench_usable_cores", effective_jobs(0), "cores", seed)
+
+        # Paper-size scan, break-even guard active: the guard routes
+        # these runs serially, so jobs=2 tracks jobs=1 by construction.
+        # Speedups are relative to the jobs=1 scan point (same warm
+        # state), not the cold table1_seconds measurement above.
+        scan_times = _interleaved_scan(
+            config.jobs_scan,
+            lambda jobs: table1(
+                corpus, (GP2,), (FS4,), include_triplewise=True, jobs=jobs
+            ),
+            config.repeats,
+        )
+        scan_base = scan_times[config.jobs_scan[0]]
         for jobs in config.jobs_scan:
-            # Wall-clock here: worker processes burn CPU the parent's
-            # process-time clock never sees.
-            elapsed = _best_of(
-                1,
-                lambda jobs=jobs: table1(
-                    corpus, (GP2,), (FS4,), include_triplewise=True, jobs=jobs
-                ),
-                clock=time.perf_counter,
-            )
-            if scan_base is None:
-                scan_base = elapsed
-            result.add(f"table1_jobs{jobs}_seconds", elapsed, "s", seed)
             result.add(
-                f"table1_jobs{jobs}_speedup", scan_base / elapsed, "x", seed
+                f"table1_jobs{jobs}_seconds", scan_times[jobs], "s", seed
+            )
+            if jobs > 1:
+                result.add(
+                    f"table1_jobs{jobs}_speedup",
+                    scan_base / scan_times[jobs],
+                    "x",
+                    seed,
+                )
+
+        # Scaled scan, guard bypassed: exercises the persistent pool on
+        # a corpus large enough to amortize dispatch. The jobs=8 point
+        # is the headline speedup; its floor only applies on hosts with
+        # >= 8 usable cores (see check_speedup_floors).
+        scaled = specint95_corpus(
+            scale=config.scaled_scale, seed=seed, max_ops=config.max_ops
+        )
+        scaled_blocks = list(scaled)
+        result.notes.append(
+            f"scaled corpus scale={config.scaled_scale} "
+            f"({len(scaled_blocks)} superblocks), pool scan bypasses the "
+            "break-even guard"
+        )
+        result.add(
+            "pack_bytes_per_unit",
+            len(corpus_payload(scaled_blocks)) / max(1, len(scaled_blocks)),
+            "bytes",
+            seed,
+        )
+        with force_parallel():
+            scaled_times = _interleaved_scan(
+                config.scaled_jobs,
+                lambda jobs: table1(
+                    scaled, (GP2,), (FS4,), include_triplewise=True,
+                    jobs=jobs,
+                ),
+                config.repeats,
+            )
+        scaled_base = scaled_times[config.scaled_jobs[0]]
+        for jobs in config.scaled_jobs:
+            result.add(
+                f"table1_scaled_jobs{jobs}_seconds", scaled_times[jobs],
+                "s", seed,
+            )
+            if jobs > 1:
+                result.add(
+                    f"table1_jobs{jobs}_speedup",
+                    scaled_base / scaled_times[jobs],
+                    "x",
+                    seed,
+                )
+        # Pool accounting from the last dispatch of the scan (a pool
+        # dispatch whenever scaled_jobs ends on a >1 worker count).
+        dispatch_stats = last_dispatch_stats()
+        if dispatch_stats is not None and dispatch_stats.mode == "pool":
+            result.add(
+                "pool_dispatch_overhead_seconds",
+                dispatch_stats.overhead_seconds,
+                "s",
+                seed,
+            )
+            result.add(
+                "worker_utilization", dispatch_stats.utilization, "frac", seed
             )
 
     # One extra *untimed* Table 1 build with metering on: the counters
@@ -243,6 +360,17 @@ def run_bench(config: BenchConfig | None = None) -> BenchResult:
 
     registry = MetricsRegistry()
     registry.gauge("corpus_superblocks", len(list(corpus)))
+    if dispatch_stats is not None and dispatch_stats.mode == "pool":
+        registry.gauge("pool.payload_bytes", dispatch_stats.payload_bytes)
+        registry.gauge("pool.batches", dispatch_stats.batches)
+        registry.gauge("pool.units", dispatch_stats.units)
+        registry.gauge(
+            "pool.dispatch_overhead_s",
+            round(dispatch_stats.overhead_seconds, 4),
+        )
+        registry.gauge(
+            "pool.worker_utilization", round(dispatch_stats.utilization, 4)
+        )
     with registry.timer("table1_metered"):
         table1(corpus, (GP2,), (FS4,), include_triplewise=True,
                metrics=registry)
@@ -290,6 +418,53 @@ def compare_metrics(
                     f"{name}: {cur_v:.3f} {unit} is {100 * (ratio - 1):.1f}% "
                     f"above baseline {base_v:.3f}"
                 )
+    return failures
+
+
+#: Absolute floors for the scaling metrics: (metric, required usable
+#: cores, floor). Relative comparison can't gate speedups across hosts
+#: with different core counts, so each floor only applies when the host
+#: has the parallelism the metric claims to exploit. The jobs=2 floor
+#: applies everywhere: the break-even guard routes the paper-size jobs=2
+#: run through the identical serial path, so the ratio is ~1.0 on any
+#: machine (0.9 absorbs timer noise).
+SPEEDUP_FLOORS = (
+    ("table1_jobs2_speedup", 1, 0.9),
+    ("table1_jobs8_speedup", 8, 3.0),
+)
+
+
+def check_speedup_floors(
+    metrics: dict[str, dict[str, Any]],
+    cores: float | None = None,
+    floors: tuple[tuple[str, int, float], ...] = SPEEDUP_FLOORS,
+) -> list[str]:
+    """One failure line per scaling metric below its absolute floor.
+
+    ``cores`` defaults to the ``bench_usable_cores`` metric recorded in
+    the payload (falling back to the live host count); floors whose
+    required core count exceeds it are waived — a 3x jobs=8 target is
+    meaningless on a 1-core container.
+    """
+    if cores is None:
+        entry = metrics.get("bench_usable_cores")
+        if entry is not None:
+            cores = float(entry["value"])
+        else:
+            from repro.perf.runner import effective_jobs
+
+            cores = float(effective_jobs(0))
+    failures: list[str] = []
+    for name, min_cores, floor in floors:
+        entry = metrics.get(name)
+        if entry is None or cores < min_cores:
+            continue
+        value = float(entry["value"])
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.2f}x is below the {floor:.1f}x floor "
+                f"({cores:.0f} usable cores)"
+            )
     return failures
 
 
@@ -379,7 +554,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         failures = compare_metrics(
             result.metrics, load_baseline(args.check), args.tolerance
-        )
+        ) + check_speedup_floors(result.metrics)
         if failures:
             log.error("PERF REGRESSION vs %s:", args.check)
             for line in failures:

@@ -1,0 +1,337 @@
+"""Array-packed binary codec for worker transfer.
+
+The parallel engine's dominant cost used to be serialization: pickling
+(or JSON-encoding) a full ``Superblock`` object graph per worker spawn
+means re-tokenizing dicts, strings and per-op objects on the other side.
+This module flattens a superblock into a handful of typed arrays — one
+``u8`` opcode index per op, one ``u16`` block id per op, three parallel
+edge arrays — plus a tiny embedded opcode name table, so a worker can
+rebuild the corpus with straight ``array.frombytes`` reads instead of a
+parse.
+
+Round-trip contract: ``unpack_superblock(pack_superblock(sb))`` is equal
+to ``sb`` for **everything the bounds and schedulers read** — name,
+source, exec_freq, every operation's (index, opcode, exit_prob, block,
+name) and every dependence edge with its latency. ``Operation.metadata``
+and ``Superblock.attrs`` are presentation-only and excluded, exactly as
+in the JSON form (:mod:`repro.ir.serialize`). The ``pack`` verify family
+and tests/test_pack.py enforce the contract property-style.
+
+Scope: the packed bytes travel parent -> forked worker on the same host
+within one process tree, so the encoding uses **native** byte order and
+``array`` item sizes. It is not an interchange format; the stable
+cross-version form remains the JSON one.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from collections.abc import Sequence
+
+from repro.ir.depgraph import DependenceGraph
+from repro.ir.operation import OPCODES, OpClass, Operation, opcode
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig
+
+#: Layout version; decoders reject anything else.
+PACK_VERSION = 1
+
+_U8_MAX = 0xFF
+_U16_MAX = 0xFFFF
+_U32_MAX = 0xFFFFFFFF
+
+#: Stable OpClass order used by the machine encoding.
+_OP_CLASSES: tuple[OpClass, ...] = tuple(OpClass)
+
+
+class PackError(ValueError):
+    """A value does not fit (or match) the packed encoding."""
+
+
+# ---------------------------------------------------------------------------
+# Byte-stream helpers
+# ---------------------------------------------------------------------------
+class _Writer:
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def _scalar(self, fmt: str, value: int | float, limit: int | None) -> None:
+        if limit is not None and not 0 <= value <= limit:
+            raise PackError(f"value {value} out of range for {fmt!r} field")
+        self._parts.append(struct.pack(fmt, value))
+
+    def u8(self, value: int) -> None:
+        self._scalar("=B", value, _U8_MAX)
+
+    def u16(self, value: int) -> None:
+        self._scalar("=H", value, _U16_MAX)
+
+    def u32(self, value: int) -> None:
+        self._scalar("=I", value, _U32_MAX)
+
+    def f64(self, value: float) -> None:
+        self._scalar("=d", value, None)
+
+    def text(self, value: str) -> None:
+        data = value.encode("utf-8")
+        self.u16(len(data))
+        self._parts.append(data)
+
+    def blob(self, data: bytes) -> None:
+        self.u32(len(data))
+        self._parts.append(data)
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _scalar(self, fmt: str, size: int):
+        try:
+            value = struct.unpack_from(fmt, self._data, self._pos)[0]
+        except struct.error:
+            raise PackError(
+                f"truncated packed payload: scalar {fmt!r} at offset "
+                f"{self._pos} past end ({len(self._data)} bytes)"
+            ) from None
+        self._pos += size
+        return value
+
+    def u8(self) -> int:
+        return self._scalar("=B", 1)
+
+    def u16(self) -> int:
+        return self._scalar("=H", 2)
+
+    def u32(self) -> int:
+        return self._scalar("=I", 4)
+
+    def f64(self) -> float:
+        return self._scalar("=d", 8)
+
+    def text(self) -> str:
+        return self.raw(self.u16()).decode("utf-8")
+
+    def blob(self) -> bytes:
+        return self.raw(self.u32())
+
+    def raw(self, size: int) -> bytes:
+        end = self._pos + size
+        if end > len(self._data):
+            raise PackError(
+                f"truncated packed payload: need {end} bytes, have {len(self._data)}"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def typed(self, typecode: str, count: int) -> array:
+        out = array(typecode)
+        out.frombytes(self.raw(count * out.itemsize))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Superblocks
+# ---------------------------------------------------------------------------
+def pack_superblock(sb: Superblock) -> bytes:
+    """Flatten one superblock into the packed byte form."""
+    graph = sb.graph
+    n_ops = graph.num_operations
+    if n_ops > _U16_MAX:
+        raise PackError(f"superblock {sb.name!r} has {n_ops} ops (u16 limit)")
+    w = _Writer()
+    w.u16(PACK_VERSION)
+    w.text(sb.name)
+    w.text(sb.source)
+    w.f64(sb.exec_freq)
+    w.u16(n_ops)
+
+    # Opcode table in first-use order; ops store a u8 index into it. The
+    # decoder resolves names through the catalog, so an opcode that is
+    # *named* like a catalog entry but differs in class/latency would
+    # silently decode wrong — refuse it here instead.
+    table: dict[str, int] = {}
+    codes = array("B")
+    blocks = array("H")
+    exit_probs = array("d")
+    named: list[tuple[int, str]] = []
+    for op in sb.operations:
+        cname = op.opcode.name
+        if OPCODES.get(cname) != op.opcode:
+            raise PackError(
+                f"operation {op.index} of {sb.name!r} uses opcode {cname!r} "
+                "which is not the catalog opcode; the packed form stores "
+                "opcode names only"
+            )
+        idx = table.setdefault(cname, len(table))
+        codes.append(idx)
+        if op.block > _U16_MAX:
+            raise PackError(f"op {op.index} block id {op.block} exceeds u16")
+        blocks.append(op.block)
+        if op.is_branch:
+            exit_probs.append(op.exit_prob)
+        if op.name:
+            named.append((op.index, op.name))
+    w.u8(len(table))
+    for cname in table:
+        w.text(cname)
+    w.raw(codes.tobytes())
+    w.raw(blocks.tobytes())
+    w.u16(len(exit_probs))
+    w.raw(exit_probs.tobytes())
+    w.u16(len(named))
+    for op_index, label in named:
+        w.u16(op_index)
+        w.text(label)
+
+    srcs = array("H")
+    dsts = array("H")
+    lats = array("I")
+    for src, dst, lat in graph.edges():
+        srcs.append(src)
+        dsts.append(dst)
+        if lat > _U32_MAX:
+            raise PackError(f"edge ({src},{dst}) latency {lat} exceeds u32")
+        lats.append(lat)
+    w.u32(len(srcs))
+    w.raw(srcs.tobytes())
+    w.raw(dsts.tobytes())
+    w.raw(lats.tobytes())
+    return w.getvalue()
+
+
+def unpack_superblock(data: bytes) -> Superblock:
+    """Rebuild a superblock from :func:`pack_superblock` bytes.
+
+    Uses the public :class:`DependenceGraph` construction API, so edge
+    deduplication and validation semantics are identical to the JSON
+    deserializer's.
+    """
+    r = _Reader(data)
+    version = r.u16()
+    if version != PACK_VERSION:
+        raise PackError(f"packed version {version} != supported {PACK_VERSION}")
+    name = r.text()
+    source = r.text()
+    exec_freq = r.f64()
+    n_ops = r.u16()
+    table = [opcode(r.text()) for _ in range(r.u8())]
+    codes = r.typed("B", n_ops)
+    blocks = r.typed("H", n_ops)
+    exit_probs = iter(r.typed("d", r.u16()))
+    names = {}
+    for _ in range(r.u16()):
+        op_index = r.u16()
+        names[op_index] = r.text()
+
+    graph = DependenceGraph()
+    for i in range(n_ops):
+        code = table[codes[i]]
+        is_branch = code.op_class is OpClass.BRANCH
+        graph.add_operation(
+            Operation(
+                index=i,
+                opcode=code,
+                exit_prob=next(exit_probs) if is_branch else 0.0,
+                block=blocks[i],
+                name=names.get(i, ""),
+            )
+        )
+    n_edges = r.u32()
+    srcs = r.typed("H", n_edges)
+    dsts = r.typed("H", n_edges)
+    lats = r.typed("I", n_edges)
+    for k in range(n_edges):
+        graph.add_edge(srcs[k], dsts[k], lats[k])
+    graph.freeze()
+    return Superblock(name=name, graph=graph, exec_freq=exec_freq, source=source)
+
+
+def pack_corpus(superblocks: Sequence[Superblock]) -> bytes:
+    """Pack an ordered corpus as length-prefixed superblock blocks."""
+    w = _Writer()
+    w.u16(PACK_VERSION)
+    w.u32(len(superblocks))
+    for sb in superblocks:
+        w.blob(pack_superblock(sb))
+    return w.getvalue()
+
+
+def unpack_corpus(data: bytes) -> list[Superblock]:
+    """Rebuild a corpus packed by :func:`pack_corpus`, preserving order."""
+    r = _Reader(data)
+    version = r.u16()
+    if version != PACK_VERSION:
+        raise PackError(f"packed version {version} != supported {PACK_VERSION}")
+    return [unpack_superblock(r.blob()) for _ in range(r.u32())]
+
+
+# ---------------------------------------------------------------------------
+# Machines
+# ---------------------------------------------------------------------------
+def pack_machine(machine: MachineConfig) -> bytes:
+    """Flatten a machine config (units, class map, occupancy)."""
+    w = _Writer()
+    w.u16(PACK_VERSION)
+    w.text(machine.name)
+    w.u8(len(machine.units))
+    for rclass, count in machine.units.items():
+        w.text(rclass)
+        w.u16(count)
+    w.u8(len(machine.class_map))
+    for op_class, rclass in machine.class_map.items():
+        w.u8(_OP_CLASSES.index(op_class))
+        w.text(rclass)
+    w.u8(len(machine.occupancy))
+    for op_name, occ in machine.occupancy.items():
+        w.text(op_name)
+        w.u16(occ)
+    return w.getvalue()
+
+
+def unpack_machine(data: bytes) -> MachineConfig:
+    """Rebuild a machine config from :func:`pack_machine` bytes."""
+    r = _Reader(data)
+    version = r.u16()
+    if version != PACK_VERSION:
+        raise PackError(f"packed version {version} != supported {PACK_VERSION}")
+    name = r.text()
+    units = {r.text(): r.u16() for _ in range(r.u8())}
+    class_map = {_OP_CLASSES[r.u8()]: r.text() for _ in range(r.u8())}
+    occupancy = {r.text(): r.u16() for _ in range(r.u8())}
+    return MachineConfig(
+        name=name, units=units, class_map=class_map, occupancy=occupancy
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round-trip equality
+# ---------------------------------------------------------------------------
+def superblocks_equal(a: Superblock, b: Superblock) -> bool:
+    """Structural equality over everything the bounds/schedulers read.
+
+    Dataclass ``==`` on :class:`Superblock` compares the graphs by object
+    identity (``DependenceGraph`` defines no ``__eq__``), so round-trip
+    checks need a field-wise walk: metadata-excluded operations, then the
+    edge list with latencies.
+    """
+    if a.name != b.name or a.source != b.source or a.exec_freq != b.exec_freq:
+        return False
+    if a.graph.num_operations != b.graph.num_operations:
+        return False
+    if any(x != y for x, y in zip(a.operations, b.operations)):
+        return False
+    return sorted(a.graph.edges()) == sorted(b.graph.edges())

@@ -1,22 +1,63 @@
-"""Process-pool fan-out with deterministic result ordering.
+"""Parallel execution engines with deterministic result ordering.
 
-:class:`ParallelRunner` is deliberately small: it maps a picklable
-module-level function over a list of items, chunking the items to
-amortize inter-process overhead, and reassembles results **in input
-order** no matter which worker finished first. ``jobs <= 1`` (or a tiny
-item count, or an unavailable process pool) degrades to a plain inline
-loop, so callers never need a second code path.
+Two engines live here:
+
+* :class:`WorkerPool` — the persistent engine behind
+  :func:`repro.perf.workers.corpus_map`. One long-lived, fork-started
+  ``ProcessPoolExecutor`` is bound to a packed corpus payload
+  (:mod:`repro.perf.pack`) and cached module-wide, so consecutive
+  ``corpus_map`` calls within a CLI invocation reuse the same warm
+  workers instead of paying spawn + corpus decode per call. Work is
+  submitted as contiguous *batches* sized by a cost model
+  (:func:`plan_batches`), amortizing IPC per batch rather than per unit.
+* :class:`ParallelRunner` — the original fork-per-map engine, kept for
+  generic item mapping (e.g. :mod:`repro.sim` runs) where no corpus is
+  shared and pool persistence buys nothing.
+
+The break-even guard (:func:`should_fan_out`) estimates corpus work in
+abstract points (:func:`unit_cost_points`) and falls back to the serial
+path when a run is too small to repay dispatch overhead — ``--jobs N``
+on a paper-size quick run must never lose to serial. Set the
+``REPRO_PAR_BREAK_EVEN`` environment variable to override the threshold
+(``0`` disables the guard) or use :func:`force_parallel` in benchmarks
+and tests that measure the pool itself.
+
+Every dispatch records a :class:`DispatchStats` snapshot (mode, payload
+bytes, batch count, worker-busy seconds) retrievable via
+:func:`last_dispatch_stats`; the bench harness turns these into the
+``pool_dispatch_overhead_seconds`` / ``worker_utilization`` metrics.
+Stats live outside the metrics registries on purpose: recording them
+into caller registries would break the serial==parallel counter
+bit-identity contract.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.superblock import Superblock
 
 #: Chunks submitted per worker; >1 smooths load imbalance between chunks.
 _CHUNKS_PER_WORKER = 4
+
+#: Estimated work points below which fan-out costs more than it saves.
+#: Calibrated on the bench corpus: one point is roughly one op-branch
+#: visit in the bounds pipeline (~20ns of kernel work), so the default
+#: corresponds to a few hundred milliseconds of serial compute — about
+#: what pool spawn + corpus transfer + result IPC costs to amortize.
+DEFAULT_BREAK_EVEN_POINTS = 16_000
+
+#: Environment override for the break-even threshold (``0`` disables).
+BREAK_EVEN_ENV = "REPRO_PAR_BREAK_EVEN"
 
 
 def effective_jobs(jobs: int | None) -> int:
@@ -35,6 +76,304 @@ def effective_jobs(jobs: int | None) -> int:
     return jobs
 
 
+# ---------------------------------------------------------------------------
+# Cost model and break-even guard
+# ---------------------------------------------------------------------------
+def parallel_cost_weight(weight: float) -> Callable[[Callable], Callable]:
+    """Decorator marking a kernel's cost relative to a bounds-only unit.
+
+    The break-even guard multiplies a corpus's structural work points by
+    this weight; kernels that also run schedulers or per-bound timing
+    loops are several times heavier than a single bound sweep.
+    """
+
+    def mark(fn: Callable) -> Callable:
+        fn.__parallel_cost_weight__ = float(weight)
+        return fn
+
+    return mark
+
+
+def kernel_cost_weight(kernel: Callable) -> float:
+    """The kernel's declared cost weight (default 1.0)."""
+    return float(getattr(kernel, "__parallel_cost_weight__", 1.0))
+
+
+def unit_cost_points(sb: "Superblock") -> int:
+    """Structural work estimate for one work unit on ``sb``.
+
+    The bounds pipeline is dominated by per-branch subgraph sweeps
+    (``ops * branches``-ish) plus edge walks, so
+    ``ops * (branches + 2) + edges`` tracks relative unit cost well
+    enough for a go/no-go decision — it does not need to be exact.
+    """
+    graph = sb.graph
+    return graph.num_operations * (sb.num_branches + 2) + graph.num_edges
+
+
+def break_even_points() -> float:
+    """Active break-even threshold (env-overridable)."""
+    raw = os.environ.get(BREAK_EVEN_ENV)
+    if raw is not None:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_BREAK_EVEN_POINTS
+
+
+_FORCE_PARALLEL = threading.local()
+
+
+@contextmanager
+def force_parallel():
+    """Context: bypass the break-even guard (bench/tests measure the pool)."""
+    previous = getattr(_FORCE_PARALLEL, "on", False)
+    _FORCE_PARALLEL.on = True
+    try:
+        yield
+    finally:
+        _FORCE_PARALLEL.on = previous
+
+
+def parallelism_forced() -> bool:
+    return bool(getattr(_FORCE_PARALLEL, "on", False))
+
+
+def should_fan_out(jobs: int, total_points: float) -> bool:
+    """Whether ``total_points`` of work repays fan-out across ``jobs``.
+
+    Besides the break-even threshold, a host with a single usable core
+    never fans out: with no second core to run a worker, dispatch is
+    pure overhead regardless of how much work there is. Both checks are
+    bypassed by :func:`force_parallel` or ``REPRO_PAR_BREAK_EVEN=0``.
+    """
+    if jobs <= 1:
+        return False
+    if parallelism_forced():
+        return True
+    threshold = break_even_points()
+    if threshold <= 0:
+        return True  # guard explicitly disabled
+    if effective_jobs(0) <= 1:
+        return False
+    return total_points >= threshold
+
+
+def plan_batches(
+    costs: Sequence[float], workers: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Split unit indices into contiguous ``[start, end)`` batches.
+
+    With an explicit ``chunk_size`` the batches are fixed-size (the
+    legacy knob). Otherwise units are accumulated until a batch holds
+    ~``total / (workers * _CHUNKS_PER_WORKER)`` points, so heavy units
+    land in small batches and light ones amortize their IPC — several
+    batches per worker keep the tail balanced. Batching affects only
+    scheduling: results are reassembled per unit in input order.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    if chunk_size is not None:
+        size = max(1, chunk_size)
+        return [(i, min(i + size, n)) for i in range(0, n, size)]
+    target = sum(costs) / max(1, workers * _CHUNKS_PER_WORKER)
+    batches: list[tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for idx, cost in enumerate(costs):
+        acc += cost
+        if acc >= target and idx + 1 < n:
+            batches.append((start, idx + 1))
+            start = idx + 1
+            acc = 0.0
+    batches.append((start, n))
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# Dispatch stats
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DispatchStats:
+    """Snapshot of one ``corpus_map`` dispatch decision and its cost.
+
+    ``mode`` is one of ``"pool"`` (fanned out), ``"serial"`` (jobs<=1 or
+    a single unit), ``"serial-fallback"`` (parallel requested, break-even
+    guard declined), ``"serial-unpicklable"`` (extras can't cross the
+    process boundary) or ``"serial-pool-unavailable"`` (the host refused
+    a process pool).
+    """
+
+    mode: str
+    jobs: int = 1
+    units: int = 0
+    batches: int = 0
+    payload_bytes: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0  #: summed worker-side batch compute time
+    pool_reused: bool = False
+    cost_points: float = 0.0
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Wall time not covered by perfectly-parallel worker compute."""
+        return max(0.0, self.wall_seconds - self.busy_seconds / max(1, self.jobs))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker wall capacity spent computing (0..1)."""
+        capacity = self.jobs * self.wall_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+
+_LAST_DISPATCH: DispatchStats | None = None
+
+
+def record_dispatch(stats: DispatchStats) -> None:
+    """Publish the most recent dispatch snapshot (workers.py calls this)."""
+    global _LAST_DISPATCH
+    _LAST_DISPATCH = stats
+
+
+def last_dispatch_stats() -> DispatchStats | None:
+    """The most recent ``corpus_map`` dispatch snapshot, if any."""
+    return _LAST_DISPATCH
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-batch (signal, OOM kill, ``os._exit``).
+
+    The pool is torn down before this is raised, so a retry gets fresh
+    workers; running with ``jobs=1`` isolates the failing unit.
+    """
+
+
+def _mp_context(start_method: str | None):
+    import multiprocessing as mp
+
+    if start_method is not None:
+        return mp.get_context(start_method)
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return None
+
+
+class WorkerPool:
+    """A long-lived process pool bound to one initialized corpus payload.
+
+    Workers run ``initializer(*initargs)`` once at spawn (decoding the
+    packed corpus into worker globals) and then serve batches for as many
+    ``corpus_map`` calls as arrive while the pool stays cached — spawn
+    and corpus transfer are paid once per (jobs, corpus) pair, not per
+    call.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        fingerprint: str,
+        initializer: Callable[..., None],
+        initargs: tuple[Any, ...] = (),
+        start_method: str | None = None,
+    ) -> None:
+        self.jobs = jobs
+        self.fingerprint = fingerprint
+        self.maps_served = 0
+        self._executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=_mp_context(start_method),
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def run_batches(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Evaluate ``fn(payload)`` for every batch payload, in order.
+
+        Batches complete in any order; results are reassembled by
+        submission index. A dead worker surfaces as
+        :class:`WorkerCrashError` after the pool is evicted and shut
+        down — the parent never hangs on a broken pool.
+        """
+        results: list[Any] = [None] * len(payloads)
+        try:
+            pending = {
+                self._executor.submit(fn, payload): idx
+                for idx, payload in enumerate(payloads)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[pending.pop(future)] = future.result()
+        except BrokenProcessPool as exc:
+            discard_pool(self)
+            raise WorkerCrashError(
+                f"a worker process died while evaluating a batch "
+                f"(pool of {self.jobs}); the pool was shut down — retry "
+                "re-spawns workers, jobs=1 isolates the failing unit"
+            ) from exc
+        self.maps_served += 1
+        return results
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+_POOL: WorkerPool | None = None
+
+
+def acquire_pool(
+    jobs: int,
+    fingerprint: str,
+    initializer: Callable[..., None],
+    initargs: tuple[Any, ...] = (),
+) -> tuple[WorkerPool, bool]:
+    """The cached pool for ``(jobs, fingerprint)``, spawning on miss.
+
+    A single slot is cached: eval pipelines map the same corpus many
+    times in a row, so the most-recent pool is the one that gets reuse.
+    Returns ``(pool, reused)``.
+    """
+    global _POOL
+    if (
+        _POOL is not None
+        and _POOL.jobs == jobs
+        and _POOL.fingerprint == fingerprint
+    ):
+        return _POOL, True
+    shutdown_pools()
+    _POOL = WorkerPool(jobs, fingerprint, initializer, initargs)
+    return _POOL, False
+
+
+def discard_pool(pool: WorkerPool) -> None:
+    """Evict (and close) a pool after a worker crash."""
+    global _POOL
+    if _POOL is pool:
+        _POOL = None
+    pool.close()
+
+
+def shutdown_pools() -> None:
+    """Close the cached worker pool, if any (idempotent; atexit hook)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Legacy fork-per-map engine
+# ---------------------------------------------------------------------------
 def _run_chunk(fn: Callable[[Any], Any], chunk: list[Any]) -> list[Any]:
     """Worker-side driver: evaluate one chunk, preserving its order."""
     return [fn(item) for item in chunk]
@@ -46,6 +385,11 @@ def _chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
 
 class ParallelRunner:
     """Maps a function over work units with optional process-pool fan-out.
+
+    This is the fork-per-map engine: a fresh pool per ``map`` call. The
+    corpus pipeline uses the persistent :class:`WorkerPool` instead;
+    this class remains for generic item mapping (e.g. simulation runs)
+    where there is no shared corpus to keep workers warm for.
 
     Args:
         jobs: worker processes; ``None``/``1`` = serial, ``0`` = all CPUs.
@@ -96,15 +440,6 @@ class ParallelRunner:
             self.initializer(*self.initargs)
         return [fn(item) for item in work]
 
-    def _mp_context(self):
-        import multiprocessing as mp
-
-        if self.start_method is not None:
-            return mp.get_context(self.start_method)
-        if "fork" in mp.get_all_start_methods():
-            return mp.get_context("fork")
-        return None
-
     def _map_parallel(self, fn: Callable[[Any], Any], work: list[Any]) -> list[Any]:
         size = self.chunk_size
         if size is None:
@@ -114,7 +449,7 @@ class ParallelRunner:
         results: list[list[Any] | None] = [None] * len(chunks)
         with ProcessPoolExecutor(
             max_workers=workers,
-            mp_context=self._mp_context(),
+            mp_context=_mp_context(self.start_method),
             initializer=self.initializer,
             initargs=self.initargs,
         ) as pool:

@@ -1,27 +1,37 @@
 """Worker-process plumbing for parallel corpus evaluation.
 
-The expensive part of shipping a work unit to another process is the
-superblock itself, so the corpus is transferred **once per worker** via
-the process-pool initializer (:func:`init_worker`), using the stable
-JSON form from :mod:`repro.ir.serialize`. Work units then reference
-superblocks by corpus index and carry only small picklable extras
-(machine configs, flag tuples).
+The expensive parts of shipping work to another process are the corpus
+and the per-unit IPC, so both are amortized:
+
+* The corpus crosses the process boundary **once per pool**, as one
+  array-packed buffer (:mod:`repro.perf.pack`) decoded by the pool
+  initializer (:func:`init_worker`) — no pickled object graphs, no JSON
+  parse. The pool itself is persistent (:mod:`repro.perf.runner`):
+  consecutive ``corpus_map`` calls against the same corpus and job count
+  reuse the same warm workers within a CLI invocation.
+* Work units reference superblocks by corpus index and travel in
+  contiguous **batches** sized by the cost model
+  (:func:`repro.perf.runner.plan_batches`), each batch returning its
+  results, counter deltas and span events in one message.
 
 :func:`corpus_map` is the single entry point the eval layer uses. Its
 serial path calls the kernel directly on the in-memory superblocks —
 zero (de)serialization, zero overhead versus the pre-parallel code — and
-its parallel path reconstructs each superblock in the workers. Both
-paths run the *same kernel function* on semantically identical inputs,
-which is what makes serial and parallel results bit-identical.
+the break-even guard (:func:`repro.perf.runner.should_fan_out`) routes
+small runs there even when ``jobs > 1``, because paper-size corpora
+finish before a pool earns its keep. Both paths run the *same kernel
+function* on semantically identical inputs, which is what makes serial
+and parallel results bit-identical.
 
 Metrics aggregation: pass ``metrics=`` a
 :class:`~repro.obs.metrics.MetricsRegistry` and every work unit runs with
 an *active* registry (see :func:`repro.obs.metrics.active`) whose
 contents flow back to the caller. Serially the caller's registry is
 activated directly; in workers each unit runs under a fresh registry
-whose serialized delta returns with the result and is merged **in input
-order** — counters are additive, so serial and parallel aggregation are
-identical (historically, worker-side counters were silently dropped).
+whose serialized delta travels back in its batch and is merged **in
+input order**, unit by unit — counters are additive, so serial and
+parallel aggregation are identical (historically, worker-side counters
+were silently dropped).
 
 Span aggregation mirrors the metrics fix: when a tracer is installed in
 the parent (or passed explicitly as ``spans=``), each parallel work unit
@@ -34,12 +44,18 @@ counts; wall-clock values naturally differ). Merged events carry
 cache active, hits replay stored *metric* deltas but not spans — a warm
 hit does no kernel work, so there is no time to account for; only the
 misses contribute worker spans.
+
+A worker that dies mid-batch (signal, OOM kill) surfaces as
+:class:`repro.perf.runner.WorkerCrashError` — never a hang, never a
+silent serial retry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -47,37 +63,45 @@ from repro import cache as result_cache
 from repro.ir.superblock import Superblock
 from repro.obs import trace
 from repro.obs.metrics import MetricsRegistry
-from repro.perf.runner import ParallelRunner
+from repro.perf.runner import (
+    DispatchStats,
+    acquire_pool,
+    effective_jobs,
+    kernel_cost_weight,
+    plan_batches,
+    record_dispatch,
+    should_fan_out,
+    unit_cost_points,
+)
 
 #: Per-process corpus, installed by :func:`init_worker`.
 _WORKER_SUPERBLOCKS: list[Superblock] = []
 
 
-def corpus_payload(superblocks: Sequence[Superblock]) -> list[dict[str, Any]]:
-    """Serialize superblocks for transfer to worker processes."""
-    from repro.ir.serialize import superblock_to_dict
+def corpus_payload(superblocks: Sequence[Superblock]) -> bytes:
+    """Serialize superblocks for transfer to worker processes.
 
-    return [superblock_to_dict(sb) for sb in superblocks]
+    The packed form (:func:`repro.perf.pack.pack_corpus`): deterministic
+    bytes, so its hash doubles as the pool-reuse fingerprint.
+    """
+    from repro.perf.pack import pack_corpus
+
+    return pack_corpus(superblocks)
 
 
-def init_worker(
-    payload: list[dict[str, Any]], parent_pid: int | None = None
-) -> None:
+def init_worker(payload: bytes, parent_pid: int | None = None) -> None:
     """Process-pool initializer: rebuild the corpus in this worker.
 
     In a *forked* worker the parent's ambient result cache must be
     dropped: lookups and write-backs happen in the parent (only misses
     are fanned out), so worker-side cache traffic would be duplicated
     work with skewed accounting. The parent pid distinguishes a real
-    worker from the inline serial fallback, which runs this initializer
-    in the parent process itself.
+    worker from an inline call in the parent process itself.
     """
-    from repro.ir.serialize import superblock_from_dict
+    from repro.perf.pack import unpack_corpus
 
     global _WORKER_SUPERBLOCKS
-    _WORKER_SUPERBLOCKS = [
-        superblock_from_dict(entry, validate=False) for entry in payload
-    ]
+    _WORKER_SUPERBLOCKS = unpack_corpus(payload)
     if parent_pid is not None and os.getpid() != parent_pid:
         result_cache.deactivate()
 
@@ -122,6 +146,30 @@ def _run_unit_observed(
     return result, registry.as_dict(), tracer.spans()
 
 
+#: Worker-side per-unit drivers, keyed by batch mode.
+_UNIT_DRIVERS = {
+    "plain": _run_unit,
+    "metered": _run_unit_metered,
+    "observed": _run_unit_observed,
+}
+
+
+def _run_batch(
+    payload: tuple[Callable[..., Any], list[tuple[int, tuple[Any, ...]]], str],
+) -> tuple[list[Any], float]:
+    """Worker-side batch driver: evaluate units in order, timing the batch.
+
+    Returns the per-unit outputs (shape set by the mode) plus the
+    batch's worker-side compute seconds, which the parent aggregates
+    into the utilization/overhead dispatch stats.
+    """
+    kernel, units, mode = payload
+    run = _UNIT_DRIVERS[mode]
+    t0 = time.perf_counter()
+    out = [run((kernel, sb_index, extras)) for sb_index, extras in units]
+    return out, time.perf_counter() - t0
+
+
 def is_picklable(obj: Any) -> bool:
     """True when ``obj`` survives pickling (process-pool transferable)."""
     try:
@@ -129,6 +177,92 @@ def is_picklable(obj: Any) -> bool:
     except Exception:
         return False
     return True
+
+
+def _plan_dispatch(
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int | None,
+) -> tuple[bool, int, str, float]:
+    """Go/no-go fan-out decision: ``(fan_out, jobs, reason, points)``.
+
+    ``reason`` becomes the :class:`DispatchStats` mode when the decision
+    is serial; the estimated work (kernel weight x structural points per
+    unit) is compared against the break-even threshold.
+    """
+    jobs_n = effective_jobs(jobs)
+    if jobs_n <= 1 or len(units) <= 1:
+        return False, jobs_n, "serial", 0.0
+    total = kernel_cost_weight(kernel) * sum(
+        unit_cost_points(superblocks[i]) for i, _ in units
+    )
+    if not all(is_picklable(extras) for _, extras in units):
+        return False, jobs_n, "serial-unpicklable", total
+    if not should_fan_out(jobs_n, total):
+        return False, jobs_n, "serial-fallback", total
+    return True, jobs_n, "pool", total
+
+
+def _pool_map_units(
+    kernel: Callable[..., Any],
+    superblocks: Sequence[Superblock],
+    units: Sequence[tuple[int, tuple[Any, ...]]],
+    jobs: int,
+    chunk_size: int | None,
+    mode: str,
+    cost_points: float,
+) -> list[Any] | None:
+    """Fan units out over the persistent pool; ``None`` = pool unavailable.
+
+    The per-unit outputs come back flattened in input order. A mid-batch
+    worker death propagates as :class:`WorkerCrashError`; only pool
+    *creation* failures (sandboxes without process support) return
+    ``None`` so the caller can run serially.
+    """
+    t0 = time.perf_counter()
+    payload = corpus_payload(superblocks)
+    fingerprint = hashlib.sha1(payload).hexdigest()
+    costs = [unit_cost_points(superblocks[i]) for i, _ in units]
+    spans = plan_batches(costs, jobs, chunk_size)
+    batches = [
+        (kernel, [units[k] for k in range(start, end)], mode)
+        for start, end in spans
+    ]
+    try:
+        pool, reused = acquire_pool(
+            jobs, fingerprint, init_worker, (payload, os.getpid())
+        )
+        returns = pool.run_batches(_run_batch, batches)
+    except (OSError, ValueError, ImportError):
+        record_dispatch(
+            DispatchStats(
+                mode="serial-pool-unavailable",
+                jobs=jobs,
+                units=len(units),
+                cost_points=cost_points,
+            )
+        )
+        return None
+    flat: list[Any] = []
+    busy = 0.0
+    for batch_out, batch_seconds in returns:
+        flat.extend(batch_out)
+        busy += batch_seconds
+    record_dispatch(
+        DispatchStats(
+            mode="pool",
+            jobs=jobs,
+            units=len(units),
+            batches=len(batches),
+            payload_bytes=len(payload),
+            wall_seconds=time.perf_counter() - t0,
+            busy_seconds=busy,
+            pool_reused=reused,
+            cost_points=cost_points,
+        )
+    )
+    return flat
 
 
 def _unit_cache_key(
@@ -175,6 +309,9 @@ def corpus_map(
         units: ``(superblock_index, extras)`` pairs; results come back in
             this order regardless of worker completion order.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all CPUs).
+            Even with ``jobs > 1`` a run whose estimated work is below
+            the dispatch break-even executes serially (see
+            :func:`repro.perf.runner.should_fan_out`).
         metrics: optional registry made *active* for every unit; in the
             parallel path each unit's per-worker delta merges into it in
             input order, so totals match the serial path exactly.
@@ -232,34 +369,42 @@ def _corpus_map_uncached(
     metrics: MetricsRegistry | None,
     tracer: "trace.Tracer | None" = None,
 ) -> list[Any]:
-    """The pre-cache evaluation path, byte-identical to its history."""
-    runner = ParallelRunner(jobs, chunk_size=chunk_size)
-    if runner.parallel and len(units) > 1:
-        if all(is_picklable(extras) for _, extras in units):
-            parallel = ParallelRunner(
-                jobs,
-                chunk_size=chunk_size,
-                initializer=init_worker,
-                initargs=(corpus_payload(superblocks), os.getpid()),
-            )
-            tagged = [(kernel, i, extras) for i, extras in units]
-            if metrics is None and tracer is None:
-                return parallel.map(_run_unit, tagged)
-            if tracer is None:
-                pairs = parallel.map(_run_unit_metered, tagged)
+    """The uncached evaluation path, byte-identical to its history."""
+    fan_out, jobs_n, reason, points = _plan_dispatch(
+        kernel, superblocks, units, jobs
+    )
+    if fan_out:
+        if metrics is None and tracer is None:
+            mode = "plain"
+        elif tracer is None:
+            mode = "metered"
+        else:
+            mode = "observed"
+        flat = _pool_map_units(
+            kernel, superblocks, units, jobs_n, chunk_size, mode, points
+        )
+        if flat is not None:
+            if mode == "plain":
+                return flat
+            if mode == "metered":
                 results = []
-                for result, delta in pairs:
+                for result, delta in flat:
                     metrics.merge_dict(delta)
                     results.append(result)
                 return results
-            triples = parallel.map(_run_unit_observed, tagged)
             results = []
-            for idx, (result, delta, span_events) in enumerate(triples):
+            for idx, (result, delta, span_events) in enumerate(flat):
                 if metrics is not None:
                     metrics.merge_dict(delta)
                 tracer.merge_events(span_events, origin="worker", unit=idx)
                 results.append(result)
             return results
+    else:
+        record_dispatch(
+            DispatchStats(
+                mode=reason, jobs=jobs_n, units=len(units), cost_points=points
+            )
+        )
     with _serial_span_scope(tracer):
         if metrics is None:
             return [kernel(superblocks[i], *extras) for i, extras in units]
@@ -340,28 +485,29 @@ def _compute_metered(
     """
     if not units:
         return []
-    runner = ParallelRunner(jobs, chunk_size=chunk_size)
-    if (
-        runner.parallel
-        and len(units) > 1
-        and all(is_picklable(extras) for _, extras in units)
-    ):
-        parallel = ParallelRunner(
-            jobs,
-            chunk_size=chunk_size,
-            initializer=init_worker,
-            initargs=(corpus_payload(superblocks), os.getpid()),
+    fan_out, jobs_n, reason, points = _plan_dispatch(
+        kernel, superblocks, units, jobs
+    )
+    if fan_out:
+        mode = "metered" if tracer is None else "observed"
+        flat = _pool_map_units(
+            kernel, superblocks, units, jobs_n, chunk_size, mode, points
         )
-        tagged = [(kernel, i, extras) for i, extras in units]
-        if tracer is None:
-            return parallel.map(_run_unit_metered, tagged)
-        triples = parallel.map(_run_unit_observed, tagged)
-        out = []
-        for pos, (result, delta, span_events) in enumerate(triples):
-            unit_id = unit_ids[pos] if unit_ids is not None else pos
-            tracer.merge_events(span_events, origin="worker", unit=unit_id)
-            out.append((result, delta))
-        return out
+        if flat is not None:
+            if tracer is None:
+                return flat
+            out = []
+            for pos, (result, delta, span_events) in enumerate(flat):
+                unit_id = unit_ids[pos] if unit_ids is not None else pos
+                tracer.merge_events(span_events, origin="worker", unit=unit_id)
+                out.append((result, delta))
+            return out
+    else:
+        record_dispatch(
+            DispatchStats(
+                mode=reason, jobs=jobs_n, units=len(units), cost_points=points
+            )
+        )
     # Inline path: evaluate against the in-memory corpus directly (the
     # worker-side dispatcher resolves indices against the worker globals,
     # which are not populated in the parent).

@@ -1,4 +1,4 @@
-"""The four verification oracles.
+"""The verification oracles.
 
 Each oracle inspects one (superblock, machine) case and returns a list of
 :class:`Finding` records — empty means the case passed. Findings carry the
@@ -464,4 +464,86 @@ def check_cache(sb: Superblock, machine: MachineConfig) -> list[Finding]:
             )
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pack-codec oracle
+# ----------------------------------------------------------------------
+def check_pack(sb: Superblock, machine: MachineConfig) -> list[Finding]:
+    """The array-packed work-unit codec must be invisible to the bounds.
+
+    Round-trips the case through :mod:`repro.perf.pack` — the wire format
+    the worker pool ships — and fires when the decoded structures differ
+    from the originals, when packing is not byte-deterministic (the pool
+    keys worker reuse on a payload fingerprint), or when the bound suite
+    computes anything different on the decoded case than on the original
+    objects (trip counters included: the packed path must replay the
+    object path's work exactly, not just its answers).
+    """
+    from repro.perf import pack as packmod
+
+    try:
+        blob = packmod.pack_superblock(sb)
+        mblob = packmod.pack_machine(machine)
+    except packmod.PackError as exc:
+        return [
+            _finding(
+                "pack", "packable",
+                f"pack refused a generated case: {exc}", sb, machine,
+            )
+        ]
+    findings: list[Finding] = []
+    if (
+        blob != packmod.pack_superblock(sb)
+        or mblob != packmod.pack_machine(machine)
+    ):
+        findings.append(
+            _finding(
+                "pack", "deterministic",
+                "packing the same objects twice produced different bytes",
+                sb, machine,
+            )
+        )
+    decoded = packmod.unpack_superblock(blob)
+    decoded_machine = packmod.unpack_machine(mblob)
+    if not packmod.superblocks_equal(sb, decoded):
+        findings.append(
+            _finding(
+                "pack", "superblock-round-trip",
+                "decoded superblock differs structurally from the original",
+                sb, machine,
+            )
+        )
+    if decoded_machine != machine:
+        findings.append(
+            _finding(
+                "pack", "machine-round-trip",
+                f"decoded machine differs from the original: "
+                f"{decoded_machine!r} != {machine!r}",
+                sb, machine,
+            )
+        )
+    if findings:
+        return findings  # bounds on a mangled decode would double-report
+    ref, ref_counters = _bounds_snapshot(sb, machine)
+    got, got_counters = _bounds_snapshot(decoded, decoded_machine)
+    if got != ref:
+        findings.append(
+            _finding(
+                "pack", "bounds==object-path",
+                f"bounds computed on the decoded case diverge from the "
+                f"object path: {got!r} != {ref!r}",
+                sb, machine,
+            )
+        )
+    if got_counters != ref_counters:
+        findings.append(
+            _finding(
+                "pack", "counters==object-path",
+                f"trip counters on the decoded case diverge from the "
+                f"object path: {got_counters!r} != {ref_counters!r}",
+                sb, machine,
+            )
+        )
     return findings

@@ -1,6 +1,6 @@
 """Verification run orchestration.
 
-``run_verify`` drives the four oracle families over a deterministic fuzz
+``run_verify`` drives the oracle families over a deterministic fuzz
 corpus, wiring observability in (a ``verify.case`` span per case, counters
 per oracle family) and minimizing the first few counterexamples so a
 failing run ends with something small enough to pin as a regression test.
@@ -13,7 +13,9 @@ The division of labor per case:
 4. run every bound family and compare against the exact optimum and the
    best feasible schedule (bounds family);
 5. simulate the best heuristic schedule and check convergence to its WCT
-   (sim family).
+   (sim family);
+6. round-trip the case through the worker pool's array-packed codec and
+   recompute the bounds on the decode (pack family).
 """
 
 from __future__ import annotations
@@ -30,13 +32,14 @@ from repro.verify.oracles import (
     Finding,
     check_bounds,
     check_cache,
+    check_pack,
     check_schedulers,
     check_sim,
     exact_wct,
 )
 
 #: Oracle families selectable via ``--family``.
-FAMILIES = ("legality", "bounds", "sim", "cache")
+FAMILIES = ("legality", "bounds", "sim", "cache", "pack")
 
 
 @dataclass(frozen=True)
@@ -159,6 +162,9 @@ def _run_case(
     if "cache" in config.families:
         with trace.span("verify.cache", sb=sb.name):
             findings.extend(check_cache(sb, machine))
+    if "pack" in config.families:
+        with trace.span("verify.pack", sb=sb.name):
+            findings.extend(check_pack(sb, machine))
     return findings, opt is not None
 
 

@@ -92,6 +92,31 @@ class TestRimJainBranchBound:
         )
         assert rj_branch_bound(sb, GP2, 2) == 3  # load@0, add@2, branch@3
 
+    def test_early_dc_computed_once_per_superblock(self, monkeypatch):
+        """``rj_branch_bounds`` hoists the branch-independent release times.
+
+        ``graph.early_dc()`` copies its cached O(n) list on every call, so
+        the all-branches entry point must fetch it once and thread it
+        through, not once per branch.
+        """
+        from repro.ir.depgraph import DependenceGraph
+
+        sb = figure1()
+        sb.graph.early_dc()  # build the lazy cache outside the counted window
+        calls: list[int] = []
+        uncounted = DependenceGraph.early_dc
+
+        def counted(graph):
+            calls.append(1)
+            return uncounted(graph)
+
+        monkeypatch.setattr(DependenceGraph, "early_dc", counted)
+        reference = {b: rj_branch_bound(sb, GP2, b) for b in sb.branches}
+        assert len(calls) == len(sb.branches)  # the per-branch path: one each
+        calls.clear()
+        assert rj_branch_bounds(sb, GP2) == reference
+        assert calls == [1]
+
 
 class TestLangevinCerny:
     def test_early_rc_dominates_early_dc(self, tiny_corpus):

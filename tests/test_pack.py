@@ -1,0 +1,145 @@
+"""Tests for the array-packed work-unit codec (repro.perf.pack).
+
+The codec is the wire format of the persistent worker pool, so the
+round-trip contract is property-checked over the same fuzz generators
+the verification subsystem uses (blocking machine variants included) on
+top of the targeted corner cases. The ``pack`` verify family runs the
+stronger oracle (bounds recomputed on the decode) over a fresh corpus
+every ``python -m repro verify``; these tests pin the cheap invariants.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ir import SuperblockBuilder
+from repro.ir.operation import opcode
+from repro.machine.machine import FS4_NP, PAPER_MACHINES, MachineConfig
+from repro.perf.pack import (
+    PackError,
+    pack_corpus,
+    pack_machine,
+    pack_superblock,
+    superblocks_equal,
+    unpack_corpus,
+    unpack_machine,
+    unpack_superblock,
+)
+from repro.verify.generators import fuzz_cases
+from repro.workloads.corpus import specint95_corpus
+
+
+def _fuzz(count, seed, **kwargs):
+    return list(fuzz_cases(count, seed=seed, **kwargs))
+
+
+class TestSuperblockRoundTrip:
+    def test_fuzz_cases_round_trip_exactly(self):
+        # Blocking/non-pipelined machine variants are part of the draw.
+        for case in _fuzz(60, seed=123, max_ops=14, max_branches=4):
+            decoded = unpack_superblock(pack_superblock(case.sb))
+            assert superblocks_equal(case.sb, decoded), case.sb.name
+            assert unpack_machine(pack_machine(case.machine)) == case.machine
+
+    def test_packing_is_deterministic(self):
+        for case in _fuzz(20, seed=9, max_ops=12, max_branches=3):
+            assert pack_superblock(case.sb) == pack_superblock(case.sb)
+            assert pack_machine(case.machine) == pack_machine(case.machine)
+
+    def test_degenerate_single_branch_block(self):
+        sb = SuperblockBuilder("tiny").last_exit()
+        decoded = unpack_superblock(pack_superblock(sb))
+        assert superblocks_equal(sb, decoded)
+        assert decoded.branches == sb.branches
+        assert decoded.operations[0].exit_prob == 1.0
+
+    def test_one_op_one_branch_block(self):
+        sb = SuperblockBuilder("pair").op("load").last_exit(preds=[0])
+        decoded = unpack_superblock(pack_superblock(sb))
+        assert superblocks_equal(sb, decoded)
+
+    def test_names_and_explicit_latencies_survive(self):
+        sb = (
+            SuperblockBuilder("labeled", exec_freq=7.5, source="unit-test")
+            .op("load", name="x")
+            .op("add", preds={0: 9})  # explicit non-default latency
+            .exit(0.25, preds=[1], name="guard")
+            .op("fmul")
+            .last_exit(preds=[3])
+        )
+        decoded = unpack_superblock(pack_superblock(sb))
+        assert superblocks_equal(sb, decoded)
+        assert decoded.operations[0].name == "x"
+        assert decoded.operations[2].name == "guard"
+        assert (0, 1, 9) in decoded.graph.edges()
+        assert decoded.exec_freq == 7.5
+        assert decoded.source == "unit-test"
+
+    def test_bounds_identical_on_decoded_case(self):
+        from repro.bounds.superblock_bounds import BoundSuite
+
+        for case in _fuzz(8, seed=4, max_ops=12, max_branches=3):
+            ref = BoundSuite(case.sb, case.machine).compute()
+            got = BoundSuite(
+                unpack_superblock(pack_superblock(case.sb)),
+                unpack_machine(pack_machine(case.machine)),
+            ).compute()
+            assert got.wct == ref.wct
+            assert got.tightest == ref.tightest
+
+
+class TestCorpusRoundTrip:
+    def test_corpus_round_trip_preserves_order(self):
+        blocks = list(specint95_corpus(scale=10, seed=42, max_ops=24))
+        decoded = unpack_corpus(pack_corpus(blocks))
+        assert len(decoded) == len(blocks)
+        for original, copy in zip(blocks, decoded):
+            assert superblocks_equal(original, copy)
+
+    def test_empty_corpus(self):
+        assert unpack_corpus(pack_corpus([])) == []
+
+    def test_corpus_bytes_deterministic(self):
+        blocks = list(specint95_corpus(scale=8, seed=7, max_ops=16))
+        assert pack_corpus(blocks) == pack_corpus(blocks)
+
+
+class TestMachineRoundTrip:
+    @pytest.mark.parametrize(
+        "machine", PAPER_MACHINES + (FS4_NP,), ids=lambda m: m.name
+    )
+    def test_paper_machines_round_trip(self, machine):
+        assert unpack_machine(pack_machine(machine)) == machine
+
+    def test_blocking_variant_round_trips(self):
+        machine = MachineConfig(
+            name="GP2-Bload3",
+            units=dict(PAPER_MACHINES[0].units),
+            occupancy={"load": 3, "fdiv": 4},
+        )
+        assert unpack_machine(pack_machine(machine)) == machine
+
+
+class TestRejections:
+    def test_non_catalog_opcode_is_refused(self):
+        # Same name as a catalog entry, different latency: decoding would
+        # silently resolve it to the catalog op, so packing must refuse.
+        weird = dataclasses.replace(opcode("load"), latency=99)
+        sb = SuperblockBuilder("bad").op(weird).last_exit(preds=[0])
+        with pytest.raises(PackError, match="not the catalog opcode"):
+            pack_superblock(sb)
+
+    def test_truncated_payload_is_refused(self):
+        blob = pack_superblock(SuperblockBuilder("t").op("add").last_exit())
+        with pytest.raises(PackError, match="truncated"):
+            unpack_superblock(blob[: len(blob) - 3])
+
+    def test_version_mismatch_is_refused(self):
+        blob = pack_superblock(SuperblockBuilder("v").last_exit())
+        bumped = bytes([blob[0] ^ 0xFF]) + blob[1:]
+        with pytest.raises(PackError, match="version"):
+            unpack_superblock(bumped)
+        with pytest.raises(PackError, match="version"):
+            unpack_corpus(bumped)
+        with pytest.raises(PackError, match="version"):
+            unpack_machine(bumped)

@@ -9,10 +9,12 @@ byte-identical strings.
 from __future__ import annotations
 
 import os
+import time
 from collections import Counter
 
 import pytest
 
+from repro import cache as result_cache
 from repro.eval.bounds_eval import bound_costs, bound_quality
 from repro.eval.metrics import NoProfileWeights
 from repro.eval.sched_eval import evaluate_corpus
@@ -20,7 +22,8 @@ from repro.eval.tables import table1, table3
 from repro.machine.machine import FS4, GP2
 from repro.obs import trace as trace_mod
 from repro.obs.metrics import MetricsRegistry
-from repro.perf.runner import ParallelRunner, effective_jobs
+from repro.perf import runner as runner_mod
+from repro.perf.runner import ParallelRunner, WorkerCrashError, effective_jobs
 from repro.perf.workers import corpus_map, is_picklable
 from repro.workloads.corpus import Corpus, specint95_corpus
 
@@ -34,6 +37,26 @@ JOB_COUNTS = (1, 2, os.cpu_count() or 1)
 def par_corpus() -> Corpus:
     """The seeded ~20-superblock corpus of the parallel-identity property."""
     return specint95_corpus(scale=20, seed=13, max_ops=36)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _force_pool():
+    """Bypass the break-even guard: this module exercises the pool itself.
+
+    The module corpus is deliberately small (fast CI), so the guard would
+    route every ``jobs>1`` call serially and the worker-path assertions
+    below would never see a worker. Guard behavior has its own tests
+    (the break-even section), which disable the forcing per-test.
+    """
+    with runner_mod.force_parallel():
+        yield
+    runner_mod.shutdown_pools()
+
+
+def _unforce_parallel(monkeypatch) -> None:
+    """Restore default guard behavior inside the forced-pool module."""
+    monkeypatch.setattr(runner_mod._FORCE_PARALLEL, "on", False, raising=False)
+    monkeypatch.delenv(runner_mod.BREAK_EVEN_ENV, raising=False)
 
 
 # ---------------------------------------------------------------------------
@@ -325,3 +348,176 @@ def test_corpus_payload_round_trip(par_corpus):
         assert copy.name == original.name
         assert copy.weights == original.weights
         assert list(copy.graph.edges()) == list(original.graph.edges())
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool lifecycle
+# ---------------------------------------------------------------------------
+def _name_of(sb) -> str:
+    return sb.name
+
+
+def _worker_pid(sb) -> int:
+    return os.getpid()
+
+
+def _die_on(sb, victim: str) -> str:
+    if sb.name == victim:
+        os._exit(3)
+    return sb.name
+
+
+def test_pool_reused_across_consecutive_corpus_maps(par_corpus):
+    runner_mod.shutdown_pools()
+    superblocks = list(par_corpus)[:8]
+    units = [(i, ()) for i in range(len(superblocks))]
+    first = set(corpus_map(_worker_pid, superblocks, units, jobs=2))
+    stats_first = runner_mod.last_dispatch_stats()
+    pool_obj = runner_mod._POOL
+    second = set(corpus_map(_worker_pid, superblocks, units, jobs=2))
+    stats_second = runner_mod.last_dispatch_stats()
+    assert stats_first.mode == stats_second.mode == "pool"
+    assert os.getpid() not in first | second  # units ran in real workers
+    assert not stats_first.pool_reused
+    assert stats_second.pool_reused  # the same warm pool served both calls
+    assert runner_mod._POOL is pool_obj
+    assert pool_obj.maps_served == 2
+
+
+def test_pool_respawns_when_jobs_or_corpus_change(par_corpus):
+    superblocks = list(par_corpus)[:8]
+    units = [(i, ()) for i in range(len(superblocks))]
+    corpus_map(_name_of, superblocks, units, jobs=2)
+    corpus_map(_name_of, superblocks, units, jobs=3)
+    assert not runner_mod.last_dispatch_stats().pool_reused
+    corpus_map(_name_of, superblocks[:5], units[:5], jobs=3)
+    assert not runner_mod.last_dispatch_stats().pool_reused
+
+
+def test_worker_death_mid_batch_raises_clear_error(par_corpus):
+    superblocks = list(par_corpus)[:6]
+    victim = superblocks[3].name
+    units = [(i, (victim,)) for i in range(len(superblocks))]
+    with pytest.raises(WorkerCrashError, match="worker process died"):
+        corpus_map(_die_on, superblocks, units, jobs=2)
+    # The broken pool was evicted: the next call spawns fresh workers and
+    # succeeds instead of hanging or reusing dead processes.
+    out = corpus_map(
+        _name_of, superblocks, [(i, ()) for i in range(len(superblocks))], jobs=2
+    )
+    assert out == [sb.name for sb in superblocks]
+    stats = runner_mod.last_dispatch_stats()
+    assert stats.mode == "pool"
+    assert not stats.pool_reused
+
+
+def test_dispatch_stats_expose_pack_and_batch_accounting(par_corpus):
+    superblocks = list(par_corpus)
+    units = [(i, ()) for i in range(len(superblocks))]
+    corpus_map(_name_of, superblocks, units, jobs=2)
+    stats = runner_mod.last_dispatch_stats()
+    assert stats.mode == "pool"
+    assert stats.units == len(units)
+    assert stats.batches >= 1
+    assert stats.payload_bytes > 0
+    assert stats.wall_seconds > 0.0
+    assert stats.busy_seconds >= 0.0
+    assert 0.0 <= stats.utilization <= 1.0
+    assert stats.overhead_seconds >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Break-even guard: small runs never pay dispatch overhead
+# ---------------------------------------------------------------------------
+def test_small_run_falls_back_to_serial(par_corpus, monkeypatch):
+    _unforce_parallel(monkeypatch)
+    reference = bound_quality(
+        par_corpus, [GP2], include_triplewise=False, jobs=1
+    )
+    assert (
+        bound_quality(par_corpus, [GP2], include_triplewise=False, jobs=2)
+        == reference
+    )
+    stats = runner_mod.last_dispatch_stats()
+    assert stats.mode == "serial-fallback"
+    assert 0 < stats.cost_points < runner_mod.break_even_points()
+
+
+def test_break_even_env_override_enables_pool(par_corpus, monkeypatch):
+    _unforce_parallel(monkeypatch)
+    monkeypatch.setenv(runner_mod.BREAK_EVEN_ENV, "0")
+    bound_quality(par_corpus, [GP2], include_triplewise=False, jobs=2)
+    assert runner_mod.last_dispatch_stats().mode == "pool"
+
+
+def test_quick_run_jobs2_wall_clock_close_to_serial(monkeypatch):
+    """Satellite acceptance: jobs=2 on a quick run is <= 1.1x serial wall.
+
+    The guard routes both sides down the identical serial code path, so
+    the only possible difference is timer noise — allow 10% relative plus
+    a small absolute slack for a run this short.
+    """
+    _unforce_parallel(monkeypatch)
+    corpus = specint95_corpus(scale=12, seed=7, max_ops=32)
+
+    def best_wall(jobs: int) -> float:
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            table1(corpus, (GP2,), (FS4,), include_triplewise=False, jobs=jobs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    serial = best_wall(1)
+    parallel = best_wall(2)
+    assert runner_mod.last_dispatch_stats().mode == "serial-fallback"
+    assert parallel <= serial * 1.1 + 0.05, (
+        f"jobs=2 took {parallel:.3f}s vs serial {serial:.3f}s"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache interactions under the pool: jobs x cold/warm identity
+# ---------------------------------------------------------------------------
+def _quality_with_counters(corpus, jobs):
+    registry = MetricsRegistry()
+    quality = bound_quality(
+        corpus, [GP2], include_triplewise=False, jobs=jobs, metrics=registry
+    )
+    return quality, registry.counters.as_dict()
+
+
+def test_cache_state_identical_across_jobs_and_temperature(
+    par_corpus, tmp_path
+):
+    """Results + counters are bit-identical for jobs in {1,2,8} x cold/warm."""
+    reference = _quality_with_counters(par_corpus, jobs=1)
+    for jobs in (1, 2, 8):
+        cache_dir = tmp_path / f"jobs{jobs}"
+        cold_cache = result_cache.ResultCache(cache_dir)
+        with result_cache.install(cold_cache):
+            cold = _quality_with_counters(par_corpus, jobs=jobs)
+        assert cold == reference
+        assert cold_cache.stats.hits == 0
+        # Every corpus unit plus the BoundSuite-internal steps it runs:
+        assert cold_cache.stats.writes >= len(par_corpus)
+        warm_cache = result_cache.ResultCache(cache_dir)
+        with result_cache.install(warm_cache):
+            warm = _quality_with_counters(par_corpus, jobs=jobs)
+        assert warm == reference
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits >= len(par_corpus)
+
+
+def test_cache_written_by_pool_readable_at_any_job_count(par_corpus, tmp_path):
+    """Lookups are parent-side: entries written under jobs=8 serve any jobs."""
+    reference = _quality_with_counters(par_corpus, jobs=1)
+    cold_cache = result_cache.ResultCache(tmp_path)
+    with result_cache.install(cold_cache):
+        assert _quality_with_counters(par_corpus, jobs=8) == reference
+    assert cold_cache.stats.writes >= len(par_corpus)
+    for jobs in (1, 2, 8):
+        warm_cache = result_cache.ResultCache(tmp_path)
+        with result_cache.install(warm_cache):
+            assert _quality_with_counters(par_corpus, jobs=jobs) == reference
+        assert warm_cache.stats.misses == 0
