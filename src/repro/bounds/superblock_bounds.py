@@ -166,7 +166,9 @@ class BoundSuite:
     @cached_property
     def early_rc(self) -> list[int]:
         """Forward LC bound for every operation."""
-        with trace.span("bounds.lc", sb=self.sb.name):
+        with trace.span(
+            "bounds.lc", sb=self.sb.name, machine=self.machine.name
+        ):
             return self._cached_step(
                 "bounds.early_rc",
                 [],
@@ -180,7 +182,9 @@ class BoundSuite:
     def late_rc(self) -> dict[int, dict[int, int]]:
         """Resource-aware late times, per branch."""
         rc = self.early_rc
-        with trace.span("bounds.late_rc", sb=self.sb.name):
+        with trace.span(
+            "bounds.late_rc", sb=self.sb.name, machine=self.machine.name
+        ):
             return self._cached_step(
                 "bounds.late_rc",
                 [],
@@ -233,7 +237,12 @@ class BoundSuite:
                 for i, j in pairs
             }
 
-        with trace.span("bounds.pairwise", sb=self.sb.name, pairs=len(pairs)):
+        with trace.span(
+            "bounds.pairwise",
+            sb=self.sb.name,
+            machine=self.machine.name,
+            pairs=len(pairs),
+        ):
             return self._cached_step(
                 "bounds.pairwise", [self.pair_cap, sorted(pairs)], sweep
             )
@@ -303,7 +312,10 @@ class BoundSuite:
             return results, skipped
 
         with trace.span(
-            "bounds.triplewise", sb=self.sb.name, triples=len(triples)
+            "bounds.triplewise",
+            sb=self.sb.name,
+            machine=self.machine.name,
+            triples=len(triples),
         ):
             return self._cached_step(
                 "bounds.triplewise",
@@ -355,17 +367,17 @@ class BoundSuite:
         """Run every bound family and package the results."""
         sb, machine = self.sb, self.machine
         branch_bounds: dict[str, dict[int, int]] = {}
-        with trace.span("bounds.cp", sb=sb.name):
+        with trace.span("bounds.cp", sb=sb.name, machine=self.machine.name):
             branch_bounds["CP"] = self._cached_step(
                 "bounds.cp", [], lambda: cp_branch_bounds(sb, self.counters)
             )
-        with trace.span("bounds.hu", sb=sb.name):
+        with trace.span("bounds.hu", sb=sb.name, machine=self.machine.name):
             branch_bounds["Hu"] = self._cached_step(
                 "bounds.hu",
                 [],
                 lambda: hu_branch_bounds(sb, machine, self.counters),
             )
-        with trace.span("bounds.rj", sb=sb.name):
+        with trace.span("bounds.rj", sb=sb.name, machine=self.machine.name):
             branch_bounds["RJ"] = self._cached_step(
                 "bounds.rj",
                 [],

@@ -58,6 +58,12 @@ class CacheStats:
     #: Hits served from the in-memory LRU (subset of ``hits``).
     memory_hits: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,

@@ -16,6 +16,9 @@ Commands:
   hotspot attribution (``profile table1 --quick``).
 * ``export``   — convert artifacts to standard formats: span JSONL to
   Chrome trace-event JSON (Perfetto), metrics JSON to Prometheus text.
+* ``obs``      — query the run ledger: ``summary``, ``blocks``,
+  ``anomalies``, ``diff A B``, and ``dashboard --out report.html`` (a
+  self-contained static HTML performance dashboard).
 
 Corpus-sweep commands accept ``--jobs N`` to fan the (superblock,
 machine) work units out over N worker processes; outputs are
@@ -24,7 +27,11 @@ docs/observability.md): ``--trace-out PATH`` writes a JSONL span trace
 (for ``schedule`` with the Balance/Help heuristics, a decision trace),
 ``--metrics-out PATH`` writes the merged counters/timers JSON, and
 ``--profile-out PATH`` on ``schedule``/``bounds``/``report`` captures a
-profile of the command without the ``profile`` wrapper.
+profile of the command without the ``profile`` wrapper. With
+``--ledger DIR`` (or ``REPRO_LEDGER_DIR``) every run appends a
+schema-versioned record — args, git SHA, span self-times, counters,
+cache/dispatch stats, and a per-block detail table — to a local ledger;
+results stay bit-identical with the ledger on or off.
 """
 
 from __future__ import annotations
@@ -83,6 +90,21 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", metavar="DIR",
+        help="append a run record (args, git SHA, spans, counters, "
+        "cache/dispatch stats, per-block detail) to this ledger "
+        "directory (default: the REPRO_LEDGER_DIR environment "
+        "variable; unset = no ledger); results are bit-identical "
+        "with or without it — query with 'python -m repro obs'",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip the run ledger even when REPRO_LEDGER_DIR is set",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", metavar="PATH",
@@ -92,6 +114,7 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", metavar="PATH",
         help="write the merged counters/timers JSON here",
     )
+    _add_ledger_args(parser)
 
 
 def _add_profile_arg(parser: argparse.ArgumentParser) -> None:
@@ -138,12 +161,30 @@ def _machines(args):
     return tuple(machine_by_name(n) for n in args.machines.split(","))
 
 
-def _observed(args):
-    """Tracer/metrics per the ``--trace-out``/``--metrics-out`` flags.
+def _resolve_ledger_dir(args) -> str | None:
+    """Ledger directory per flags and environment, ``None`` = disabled."""
+    import os
 
-    Returns an entered :class:`~contextlib.ExitStack` context manager
-    yielding ``(tracer, metrics)`` — either may be ``None`` when the
-    corresponding flag is absent.
+    if getattr(args, "no_ledger", False):
+        return None
+    return getattr(args, "ledger", None) or os.environ.get(
+        "REPRO_LEDGER_DIR"
+    ) or None
+
+
+def _observed(args):
+    """Tracer/metrics/ledger per the observability flags.
+
+    Returns an entered context manager yielding ``(tracer, metrics,
+    recorder)`` — each may be ``None`` when the corresponding flag
+    (``--trace-out`` / ``--metrics-out`` / ``--ledger`` or
+    ``REPRO_LEDGER_DIR``) is absent. With a ledger but no
+    ``--trace-out``, a private tracer is installed anyway so the run
+    record gets span self-times and per-block solve attribution; no
+    private *metrics* registry is ever created — counter instrumentation
+    costs real kernel time, so the record carries counters only when the
+    user asked for ``--metrics-out``. The recorder finalizes (and its
+    record is appended to the ledger) on scope exit.
     """
     from contextlib import ExitStack, contextmanager
 
@@ -152,16 +193,57 @@ def _observed(args):
 
     @contextmanager
     def ctx():
+        from repro.obs import ledger as ledger_mod
+        from repro.perf.runner import (
+            publish_dispatch_stats,
+            reset_dispatch_stats,
+        )
+
         tracer = trace_mod.Tracer() if getattr(args, "trace_out", None) else None
         metrics = (
             MetricsRegistry() if getattr(args, "metrics_out", None) else None
         )
+        ledger_dir = _resolve_ledger_dir(args)
+        recorder = None
+        span_source = tracer
+        if ledger_dir is not None:
+            recorder = ledger_mod.RunRecorder(
+                args.command,
+                argv=sys.argv[1:],
+                args=ledger_mod.args_payload(args),
+                directory=ledger_dir,
+            )
+            if span_source is None:
+                # Reuse an already-installed tracer (the profile wrapper's)
+                # rather than shadowing it; otherwise bring a private one
+                # so the run record still gets span attribution.
+                span_source = trace_mod.current() or trace_mod.Tracer()
+        reset_dispatch_stats()
         with ExitStack() as stack:
-            if tracer is not None:
-                stack.enter_context(trace_mod.install(tracer))
+            if span_source is not None and span_source is not trace_mod.current():
+                stack.enter_context(trace_mod.install(span_source))
             if metrics is not None:
                 stack.enter_context(metrics.activated())
-            yield tracer, metrics
+            if recorder is not None:
+                stack.enter_context(ledger_mod.installed(recorder))
+            ok = False
+            try:
+                yield tracer, metrics, recorder
+                ok = True
+            finally:
+                if metrics is not None:
+                    publish_dispatch_stats(metrics)
+                # A run that raised appends nothing: partial records
+                # would pollute the history statistics anomalies use.
+                if ok and recorder is not None:
+                    recorder.finalize(
+                        span_events=(
+                            span_source.spans()
+                            if span_source is not None
+                            else None
+                        ),
+                        metrics=metrics,
+                    )
 
     return ctx()
 
@@ -188,6 +270,7 @@ def _cache_scope(args):
     from contextlib import contextmanager
 
     from repro import cache as result_cache
+    from repro.obs import ledger as ledger_mod
 
     @contextmanager
     def ctx():
@@ -201,6 +284,9 @@ def _cache_scope(args):
                 yield cache
             finally:
                 cache.publish_metrics()
+                recorder = ledger_mod.active_recorder()
+                if recorder is not None:
+                    recorder.attach_cache_stats(cache.stats.as_dict())
 
     return ctx()
 
@@ -219,6 +305,15 @@ def _cache_lines(args, cache) -> list[str]:
         f"{s.writes} writes, {s.corrupt} corrupt, {s.evictions} evictions; "
         f"store: {summary['entries']} entries, {summary['bytes']} bytes "
         f"in {summary['shards']} shards"
+    ]
+
+
+def _ledger_lines(recorder) -> list[str]:
+    """Where the run record landed, empty when the ledger is off."""
+    if recorder is None or recorder.written_path is None:
+        return []
+    return [
+        f"ledger: run {recorder.run_id} appended to {recorder.written_path}"
     ]
 
 
@@ -342,7 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--family", action="append", metavar="F",
         help="restrict to an oracle family "
-        "(legality, bounds, sim, cache, pack); "
+        "(legality, bounds, sim, cache, pack, ledger); "
         "repeatable, default all",
     )
     p.add_argument(
@@ -422,6 +517,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--label", metavar="L",
         help="restrict --trend to records with this label (quick/full)",
     )
+    _add_ledger_args(p)
+
+    p = sub.add_parser(
+        "obs",
+        help="query the run ledger (runs, blocks, anomalies, dashboard)",
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    for oname, ohelp in (
+        ("summary", "table of recent runs, newest first"),
+        ("blocks", "per-block detail table of one run"),
+        ("anomalies", "flag outlier blocks and history regressions"),
+        ("diff", "compare two runs (wall, counters, per-block WCTs)"),
+        ("dashboard", "render the self-contained HTML dashboard"),
+    ):
+        op = osub.add_parser(oname, help=ohelp)
+        op.add_argument(
+            "--ledger", metavar="DIR",
+            help="ledger directory (default: REPRO_LEDGER_DIR)",
+        )
+        if oname == "summary":
+            op.add_argument(
+                "--last", type=int, default=10, metavar="N",
+                help="runs shown (default 10)",
+            )
+        if oname in ("blocks", "anomalies"):
+            op.add_argument(
+                "--run", default="-1", metavar="REF",
+                help="run id (or unique prefix) or negative index "
+                "(default -1, the newest run)",
+            )
+        if oname == "blocks":
+            op.add_argument(
+                "--top", type=int, default=10, metavar="N",
+                help="block rows shown (default 10)",
+            )
+            op.add_argument(
+                "--by", choices=("gap", "solve", "ops"), default="gap",
+                help="sort key: bound gap (default), solve time, or size",
+            )
+        if oname == "anomalies":
+            op.add_argument(
+                "--z", type=float, default=3.5, metavar="T",
+                help="modified z-score threshold (default 3.5)",
+            )
+        if oname == "diff":
+            op.add_argument("run_a", help="baseline run reference")
+            op.add_argument("run_b", help="current run reference")
+        if oname == "dashboard":
+            op.add_argument(
+                "--out", default="dashboard.html", metavar="PATH",
+                help="output HTML path (default dashboard.html)",
+            )
+            op.add_argument(
+                "--top", type=int, default=15, metavar="N",
+                help="block rows in the dashboard table (default 15)",
+            )
+            op.add_argument(
+                "--title", default="repro run ledger",
+                help="dashboard page title",
+            )
 
     p = sub.add_parser(
         "profile",
@@ -583,13 +738,30 @@ def _dispatch(args) -> str:
             kwargs["recorder"] = recorder
         from repro.obs import trace as trace_mod
 
-        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+        import time as time_mod
+
+        with _observed(args) as (tracer, metrics, lrec), _cache_scope(
+            args
+        ) as rcache:
             if metrics is not None and args.heuristic in ("balance", "help"):
                 kwargs["counters"] = metrics.counters
             with trace_mod.span(
                 "schedule", superblock=sb.name, heuristic=args.heuristic
             ):
+                t0 = time_mod.perf_counter()
                 s = run_sched(sb, machine, args.heuristic, **kwargs)
+                solve_s = time_mod.perf_counter() - t0
+            if lrec is not None:
+                lrec.record_block(
+                    sb.name,
+                    machine.name,
+                    ops=sb.num_operations,
+                    branches=sb.num_branches,
+                    edges=sb.graph.num_edges,
+                    wct={args.heuristic: s.wct},
+                    makespan={args.heuristic: s.length},
+                    solve_s=round(solve_s, 6),
+                )
         lines = [
             f"{sb.name} on {machine.name} with {args.heuristic}:",
             f"  WCT = {s.wct:.4f}, length = {s.length} cycles",
@@ -605,6 +777,7 @@ def _dispatch(args) -> str:
             lines.append(gantt(sb, machine, s))
         lines += _obs_lines(args, tracer, metrics, recorder)
         lines += _cache_lines(args, rcache)
+        lines += _ledger_lines(lrec)
         return "\n".join(lines)
 
     if args.command == "cfg":
@@ -631,14 +804,27 @@ def _dispatch(args) -> str:
         with open(args.file) as fh:
             sb = superblock_from_dict(json.load(fh))
         machine = machine_by_name(args.machine)
-        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+        with _observed(args) as (tracer, metrics, lrec), _cache_scope(
+            args
+        ) as rcache:
             res = BoundSuite(sb, machine).compute()
+            if lrec is not None:
+                lrec.record_block(
+                    sb.name,
+                    machine.name,
+                    ops=sb.num_operations,
+                    branches=sb.num_branches,
+                    edges=sb.graph.num_edges,
+                    tightest=res.tightest,
+                    bounds=dict(res.wct),
+                )
         lines = [f"{sb.name} on {machine.name}:"]
         for name, wct in res.wct.items():
             mark = "  <- tightest" if wct == res.tightest else ""
             lines.append(f"  {name:3s} = {wct:.4f}{mark}")
         lines += _obs_lines(args, tracer, metrics)
         lines += _cache_lines(args, rcache)
+        lines += _ledger_lines(lrec)
         return "\n".join(lines)
 
     if args.command.startswith("table"):
@@ -648,7 +834,9 @@ def _dispatch(args) -> str:
         tid = int(args.command[-1])
         jobs = args.jobs
         kwargs = {}
-        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+        with _observed(args) as (tracer, metrics, lrec), _cache_scope(
+            args
+        ) as rcache:
             corpus = _build_corpus(args)
             if tid in (1,):
                 gp = tuple(m for m in machines if m.name.startswith("GP"))
@@ -674,13 +862,16 @@ def _dispatch(args) -> str:
                 result = fn(corpus, **kwargs)
         out = [result.render()] + _obs_lines(args, tracer, metrics)
         out += _cache_lines(args, rcache)
+        out += _ledger_lines(lrec)
         return "\n".join(out)
 
     if args.command == "figure8":
         from repro.eval.figures import figure8
 
         machine = machine_by_name(args.machine)
-        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+        with _observed(args) as (tracer, metrics, lrec), _cache_scope(
+            args
+        ) as rcache:
             corpus = _build_corpus(args).by_benchmark("gcc")
             rendered = figure8(
                 corpus, machine, jobs=args.jobs, metrics=metrics
@@ -689,6 +880,7 @@ def _dispatch(args) -> str:
             [rendered]
             + _obs_lines(args, tracer, metrics)
             + _cache_lines(args, rcache)
+            + _ledger_lines(lrec)
         )
 
     if args.command == "examples":
@@ -702,7 +894,9 @@ def _dispatch(args) -> str:
         from repro.workloads.corpus import specint95_corpus
 
         setup_logging()
-        with _observed(args) as (tracer, metrics), _cache_scope(args) as rcache:
+        with _observed(args) as (tracer, metrics, lrec), _cache_scope(
+            args
+        ) as rcache:
             corpus = _build_corpus(args)
             small = specint95_corpus(
                 scale=max(8, args.scale // 2),
@@ -717,7 +911,11 @@ def _dispatch(args) -> str:
                 jobs=args.jobs,
                 metrics=metrics,
             )
-        extra = _obs_lines(args, tracer, metrics) + _cache_lines(args, rcache)
+        extra = (
+            _obs_lines(args, tracer, metrics)
+            + _cache_lines(args, rcache)
+            + _ledger_lines(lrec)
+        )
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text + "\n")
@@ -831,9 +1029,22 @@ def _dispatch(args) -> str:
         if args.no_minimize:
             overrides["minimize"] = False
         config = _dc_replace(config, seed=args.seed, **overrides)
-        with _observed(args) as (tracer, metrics):
+        with _observed(args) as (tracer, metrics, lrec):
             report = run_verify(config)
-        lines = [render_report(report)] + _obs_lines(args, tracer, metrics)
+            if lrec is not None:
+                lrec.extra["verify"] = {
+                    "ok": report.ok,
+                    "cases": report.cases,
+                    "checked_exact": report.checked_exact,
+                    "findings": len(report.findings),
+                    "families": list(config.families),
+                    "seed": config.seed,
+                }
+        lines = (
+            [render_report(report)]
+            + _obs_lines(args, tracer, metrics)
+            + _ledger_lines(lrec)
+        )
         if args.findings_out:
             with open(args.findings_out, "w") as fh:
                 json.dump(
@@ -900,8 +1111,35 @@ def _dispatch(args) -> str:
         )
         if args.no_scaling:
             config.include_scaling = False
-        result = bench_mod.run_bench(config)
+        from contextlib import ExitStack
+
+        from repro.obs import ledger as ledger_mod
+        from repro.perf.runner import reset_dispatch_stats
+
+        ledger_dir = _resolve_ledger_dir(args)
+        lrec = None
+        with ExitStack() as stack:
+            if ledger_dir is not None:
+                reset_dispatch_stats()
+                lrec = ledger_mod.RunRecorder(
+                    "bench",
+                    argv=sys.argv[1:],
+                    args=ledger_mod.args_payload(args),
+                    directory=ledger_dir,
+                )
+                stack.enter_context(ledger_mod.installed(lrec))
+            result = bench_mod.run_bench(config)
         lines = [bench_mod.render_metrics(result)]
+        if lrec is not None:
+            lrec.extra["bench"] = {
+                name: entry["value"]
+                for name, entry in trend_mod.metric_entries(
+                    result.metrics
+                ).items()
+            }
+            counters = (result.observability or {}).get("counters")
+            lrec.finalize(counters=counters)
+            lines += _ledger_lines(lrec)
         if args.out:
             bench_mod.save_metrics(result, args.out)
             lines.append(f"metrics written to {args.out}")
@@ -925,10 +1163,23 @@ def _dispatch(args) -> str:
                 result.metrics, baseline_metrics, args.tolerance
             ) + bench_mod.check_speedup_floors(result.metrics)
             if failures:
-                raise CommandError(
-                    f"PERF REGRESSION vs {baseline}:\n"
-                    + "\n".join(f"  {line}" for line in failures)
+                message = f"PERF REGRESSION vs {baseline}:\n" + "\n".join(
+                    f"  {line}" for line in failures
                 )
+                # Quote each offending metric's recent trajectory so the
+                # failure message says whether this is a cliff or a drift.
+                names = tuple(
+                    dict.fromkeys(line.split(":", 1)[0] for line in failures)
+                )
+                try:
+                    history = trend_mod.load_history(history_path)
+                except (FileNotFoundError, ValueError):
+                    history = []
+                if history:
+                    message += "\nrecent history:\n" + "\n".join(
+                        trend_mod.metric_trend_lines(history, names)
+                    )
+                raise CommandError(message)
             lines.append(
                 f"all headline metrics within {100 * args.tolerance:.0f}% "
                 f"of {baseline}"
@@ -950,6 +1201,62 @@ def _dispatch(args) -> str:
             trend_mod.append_record(record, history_path)
             lines.append(f"history appended to {history_path}")
         return "\n".join(lines)
+
+    if args.command == "obs":
+        import os
+
+        from repro.obs import anomaly as anomaly_mod
+        from repro.obs import ledger as ledger_mod
+
+        directory = args.ledger or os.environ.get("REPRO_LEDGER_DIR")
+        if not directory:
+            raise CommandError(
+                "no ledger directory: pass --ledger or set REPRO_LEDGER_DIR"
+            )
+        path = ledger_mod.ledger_path(directory)
+        try:
+            records = ledger_mod.load_ledger(path)
+        except FileNotFoundError:
+            raise CommandError(
+                f"no ledger at {path} — run any command with "
+                f"--ledger {directory} first"
+            ) from None
+        except ValueError as exc:
+            # covers corrupt/truncated lines, missing record keys, and
+            # schema-version skew, with the offending line number
+            raise CommandError(str(exc)) from None
+        if not records:
+            raise CommandError(f"{path} contains no runs")
+
+        def _resolve(ref: str):
+            try:
+                return ledger_mod.resolve_run(records, ref)
+            except ValueError as exc:
+                raise CommandError(str(exc)) from None
+
+        if args.obs_command == "summary":
+            return ledger_mod.render_summary(records, last=args.last)
+        if args.obs_command == "blocks":
+            return ledger_mod.render_blocks(
+                _resolve(args.run), top=args.top, by=args.by
+            )
+        if args.obs_command == "anomalies":
+            record = _resolve(args.run)
+            found = anomaly_mod.find_anomalies(
+                records, record, z_threshold=args.z
+            )
+            return anomaly_mod.render_anomalies(found)
+        if args.obs_command == "diff":
+            return ledger_mod.render_diff(
+                _resolve(args.run_a), _resolve(args.run_b)
+            )
+        assert args.obs_command == "dashboard"
+        from repro.obs import dashboard as dashboard_mod
+
+        out = dashboard_mod.write_dashboard(
+            records, args.out, title=args.title, top=args.top
+        )
+        return f"dashboard written to {out} ({len(records)} run(s))"
 
     if args.command == "profile":
         from repro.obs.profile import ProfileConfig, ProfileSession

@@ -24,6 +24,7 @@ from repro.bounds.late_rc import late_rc_for_branch
 from repro.bounds.superblock_bounds import BOUND_NAMES, BoundSuite
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+from repro.obs import ledger
 from repro.obs.metrics import MetricsRegistry, active_counters
 from repro.perf.runner import parallel_cost_weight
 from repro.perf.workers import corpus_map
@@ -44,19 +45,28 @@ class BoundQuality:
 
 
 @parallel_cost_weight(2.0)
-@result_cache.kernel_version(1)
+@result_cache.kernel_version(2)
 def _quality_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
-) -> list[tuple[float, bool]]:
-    """Gap and strictly-below flag per bound family for one work unit."""
+) -> dict:
+    """Bound values plus gap/strictly-below stats for one work unit.
+
+    The ``gaps`` entries carry Table 1's numbers; ``wct``/``tightest``
+    ride along so the run ledger can record per-block bound values
+    without recomputing (and stay bit-identical to the table).
+    """
     bounds = BoundSuite(
         sb, machine, include_triplewise=include_triplewise
     ).compute()
     tight = bounds.tightest
-    return [
-        (bounds.gap_percent(name), bounds.wct[name] < tight - _EPS)
-        for name in BOUND_NAMES
-    ]
+    return {
+        "wct": dict(bounds.wct),
+        "tightest": tight,
+        "gaps": [
+            (bounds.gap_percent(name), bounds.wct[name] < tight - _EPS)
+            for name in BOUND_NAMES
+        ],
+    }
 
 
 def bound_quality(
@@ -82,15 +92,28 @@ def bound_quality(
         for idx in range(len(superblocks))
     ]
     per_unit = corpus_map(_quality_unit, superblocks, units, jobs, metrics=metrics)
+    recorder = ledger.active_recorder()
     gaps: dict[str, list[float]] = {name: [] for name in BOUND_NAMES}
     below: dict[str, int] = {name: 0 for name in BOUND_NAMES}
     total = 0
-    for unit_stats in per_unit:
+    for (idx, (machine, _tw)), unit_stats in zip(units, per_unit):
         total += 1
-        for name, (gap, is_below) in zip(BOUND_NAMES, unit_stats):
+        for name, (gap, is_below) in zip(BOUND_NAMES, unit_stats["gaps"]):
             gaps[name].append(gap)
             if is_below:
                 below[name] += 1
+        if recorder is not None:
+            sb = superblocks[idx]
+            recorder.record_block(
+                sb.name,
+                machine.name,
+                ops=sb.num_operations,
+                branches=sb.num_branches,
+                edges=sb.graph.num_edges,
+                exec_freq=sb.exec_freq,
+                tightest=unit_stats["tightest"],
+                bounds=unit_stats["wct"],
+            )
     return {
         name: BoundQuality(
             name=name,
@@ -202,10 +225,21 @@ def bound_costs(
         for idx in range(len(superblocks))
     ]
     per_unit = corpus_map(_cost_unit, superblocks, units, jobs, metrics=metrics)
+    recorder = ledger.active_recorder()
     samples: dict[str, list[int]] = {name: [] for name in _COMPLEXITY}
-    for trips in per_unit:
+    for (idx, (machine, _tw)), trips in zip(units, per_unit):
         for name, value in trips.items():
             samples[name].append(value)
+        if recorder is not None:
+            sb = superblocks[idx]
+            recorder.record_block(
+                sb.name,
+                machine.name,
+                ops=sb.num_operations,
+                branches=sb.num_branches,
+                edges=sb.graph.num_edges,
+                trips=dict(trips),
+            )
     if not include_triplewise:
         samples.pop("TW")
     out = {}

@@ -18,7 +18,7 @@ from repro.core.config import BalanceConfig
 from repro.eval.metrics import CorpusSummary, SuperblockResult, reweighted
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
-from repro.obs import trace
+from repro.obs import ledger, trace
 from repro.obs.metrics import MetricsRegistry, active_counters
 from repro.perf.runner import parallel_cost_weight
 from repro.perf.workers import corpus_map
@@ -30,7 +30,7 @@ TABLE_HEURISTICS = ("sr", "cp", "gstar", "dhasy", "help", "balance", "best")
 
 
 @parallel_cost_weight(8.0)
-@result_cache.kernel_version(1)
+@result_cache.kernel_version(2)
 def evaluate_superblock(
     sb: Superblock,
     machine: MachineConfig,
@@ -63,16 +63,20 @@ def evaluate_superblock(
         )
 
     wct: dict[str, float] = {}
+    makespan: dict[str, int] = {}
     for name in heuristics:
         kwargs = {"suite": sched_suite} if name == "balance" else {}
         if name in ("balance", "help"):
             kwargs["counters"] = counters
-        with trace.span("eval.schedule", sb=sb.name, heuristic=name):
+        with trace.span(
+            "eval.schedule", sb=sb.name, machine=machine.name, heuristic=name
+        ):
             s = get_scheduler(name)(sched_sb, machine, validate=False, **kwargs)
         # Evaluate with the *true* weights regardless of scheduling weights.
         wct[name] = sb.weighted_completion_time(
             {b: s.issue[b] for b in sb.branches}
         )
+        makespan[name] = s.length
     for label, config in (extra_configs or {}).items():
         s = balance_schedule(
             sched_sb,
@@ -85,13 +89,18 @@ def evaluate_superblock(
         wct[label] = sb.weighted_completion_time(
             {b: s.issue[b] for b in sb.branches}
         )
+        makespan[label] = s.length
 
+    # Makespans ride along unconditionally (never gated on the ledger
+    # being on) so cached results and the ledger-on/off bit-identity
+    # contract both hold regardless of observation state.
     return SuperblockResult(
         name=sb.name,
         exec_freq=sb.exec_freq,
         tightest_bound=bounds.tightest,
         bound_wct=dict(bounds.wct),
         heuristic_wct=wct,
+        stats={"makespan": makespan},
     )
 
 
@@ -133,4 +142,19 @@ def evaluate_corpus(
         jobs,
         metrics=metrics,
     )
+    recorder = ledger.active_recorder()
+    if recorder is not None:
+        for sb, result in zip(superblocks, results):
+            recorder.record_block(
+                sb.name,
+                machine.name,
+                ops=sb.num_operations,
+                branches=sb.num_branches,
+                edges=sb.graph.num_edges,
+                exec_freq=sb.exec_freq,
+                tightest=result.tightest_bound,
+                bounds=dict(result.bound_wct),
+                wct=dict(result.heuristic_wct),
+                makespan=dict(result.stats.get("makespan", {})),
+            )
     return CorpusSummary(machine=machine.name, results=results)

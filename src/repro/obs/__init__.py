@@ -1,6 +1,6 @@
 """Observability layer: tracing, metrics, decision traces, and logging.
 
-Seven cooperating pieces, all opt-in and free when disabled:
+Ten cooperating pieces, all opt-in and free when disabled:
 
 * :mod:`repro.obs.trace` — a span tracer (``with trace.span("name")``)
   with monotonic-clock timing and nesting; the disabled path is a shared
@@ -23,11 +23,30 @@ Seven cooperating pieces, all opt-in and free when disabled:
 * :mod:`repro.obs.trend` — bench history records, direction-aware run
   comparison, and sparkline trend rendering
   (``python -m repro bench --compare/--trend``).
+* :mod:`repro.obs.ledger` — schema-versioned JSONL run records (args,
+  git SHA, spans, counters, cache/dispatch stats, per-block detail)
+  appended by every CLI run (``--ledger`` / ``REPRO_LEDGER_DIR``) and
+  queried by ``python -m repro obs``.
+* :mod:`repro.obs.anomaly` — robust z-score outlier attribution over
+  ledger records: loose-bound blocks, slow solves, wall/cache/
+  utilization regressions against same-command history.
+* :mod:`repro.obs.dashboard` — a self-contained static HTML dashboard
+  (inline SVG sparklines + span flamegraph, per-block outlier tables,
+  bench strip) via ``python -m repro obs dashboard``.
 
 See docs/observability.md for span names, the event schema, and a worked
 Figure 2 walkthrough.
 """
 
+from repro.obs.anomaly import (
+    Anomaly,
+    block_anomalies,
+    find_anomalies,
+    history_anomalies,
+    render_anomalies,
+    robust_z_scores,
+)
+from repro.obs.dashboard import render_dashboard, write_dashboard
 from repro.obs.decision_trace import (
     DecisionRecorder,
     decision_trace_to_dot,
@@ -39,6 +58,17 @@ from repro.obs.export import (
     spans_to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.ledger import (
+    RunRecorder,
+    active_recorder,
+    append_run,
+    installed,
+    load_ledger,
+    render_blocks,
+    render_diff,
+    render_summary,
+    resolve_run,
 )
 from repro.obs.logsetup import get_logger, setup_logging
 from repro.obs.metrics import (
@@ -59,29 +89,45 @@ from repro.obs.trend import (
 )
 
 __all__ = [
+    "Anomaly",
     "DecisionRecorder",
     "MetricsRegistry",
     "ProfileConfig",
     "ProfileReport",
     "ProfileSession",
+    "RunRecorder",
     "Tracer",
     "active",
     "active_counters",
+    "active_recorder",
     "append_record",
+    "append_run",
+    "block_anomalies",
     "compare_runs",
     "current",
     "decision_trace_to_dot",
+    "find_anomalies",
     "get_logger",
+    "history_anomalies",
     "install",
+    "installed",
     "load_history",
     "load_jsonl",
+    "load_ledger",
     "make_record",
     "metrics_to_prometheus",
+    "render_anomalies",
+    "render_blocks",
     "render_comparison",
+    "render_dashboard",
     "render_decision_trace",
+    "render_diff",
     "render_metrics",
     "render_spans",
+    "render_summary",
     "render_trend",
+    "resolve_run",
+    "robust_z_scores",
     "setup_logging",
     "span",
     "spans_to_chrome_trace",

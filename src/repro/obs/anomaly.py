@@ -1,0 +1,284 @@
+"""Statistical anomaly attribution over ledger run records.
+
+Two passes over :mod:`repro.obs.ledger` data:
+
+* **within-run** (:func:`block_anomalies`) — which blocks of one run are
+  outliers against their peers: loose bounds (best heuristic WCT far
+  above the tightest bound, or the widest bound-family gap) and slow
+  solves (attributed span seconds);
+* **across-history** (:func:`history_anomalies`) — how one run compares
+  to prior runs of the same command: wall-clock regressions, cold-cache
+  regressions (hit rate well below the historical median), and low
+  worker-pool utilization.
+
+Outliers are scored with the modified z-score ``0.6745 * (x - median) /
+MAD`` (Iglewicz & Hoaglin), which a single wild value cannot drag the
+way a mean/stdev z-score can; when the MAD degenerates to ~0 the
+population standard deviation stands in. Both passes are advisory: they
+read records, never mutate them, and short histories yield no flags
+rather than noisy ones.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.ledger import block_gap
+
+#: Default modified-z threshold; 3.5 is the Iglewicz–Hoaglin convention.
+DEFAULT_Z = 3.5
+
+#: Minimum prior same-command runs before history comparisons fire.
+MIN_HISTORY = 4
+
+#: Absolute cache hit-rate drop below the historical median that flags.
+CACHE_DROP = 0.2
+
+#: Pool utilization below this fraction of the historical median flags.
+UTILIZATION_FRACTION = 0.5
+
+_NEAR_ZERO = 1e-12
+
+
+@dataclass
+class Anomaly:
+    """One flagged outlier, within a run or against history."""
+
+    kind: str  #: e.g. ``loose-bound``, ``slow-solve``, ``wall-regression``
+    scope: str  #: ``"block"`` or ``"run"``
+    run_id: str
+    subject: str  #: block name (block scope) or command (run scope)
+    value: float
+    baseline: float  #: population median the value was judged against
+    score: float  #: modified z-score (or ratio for threshold rules)
+    detail: str = ""
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scope": self.scope,
+            "run_id": self.run_id,
+            "subject": self.subject,
+            "value": self.value,
+            "baseline": self.baseline,
+            "score": self.score,
+            "detail": self.detail,
+            **({"fields": self.fields} if self.fields else {}),
+        }
+
+
+def robust_z_scores(values: list[float]) -> list[float]:
+    """Modified z-score per value; zeros when the spread degenerates."""
+    if len(values) < 2:
+        return [0.0] * len(values)
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    if mad > _NEAR_ZERO:
+        return [0.6745 * (v - med) / mad for v in values]
+    spread = statistics.pstdev(values)
+    if spread > _NEAR_ZERO:
+        return [(v - med) / spread for v in values]
+    return [0.0] * len(values)
+
+
+def _high_outliers(
+    rows: list[tuple[str, float]], z_threshold: float
+) -> list[tuple[str, float, float, float]]:
+    """(subject, value, median, score) for high-side outliers only."""
+    if len(rows) < 3:
+        return []
+    values = [v for _, v in rows]
+    med = statistics.median(values)
+    out = []
+    for (subject, value), score in zip(rows, robust_z_scores(values)):
+        if score > z_threshold:
+            out.append((subject, value, med, score))
+    return out
+
+
+def block_anomalies(
+    record: dict[str, Any], z_threshold: float = DEFAULT_Z
+) -> list[Anomaly]:
+    """Outlier blocks of one run: loose bounds and slow solves."""
+    run_id = str(record.get("run_id", "?"))
+    blocks = record.get("blocks") or []
+    anomalies: list[Anomaly] = []
+
+    def subject(row: dict[str, Any]) -> str:
+        machine = row.get("machine")
+        return f"{row.get('sb', '?')}@{machine}" if machine else str(
+            row.get("sb", "?")
+        )
+
+    gap_rows = [
+        (subject(row), gap)
+        for row in blocks
+        if (gap := block_gap(row)) is not None
+    ]
+    for name, value, med, score in _high_outliers(gap_rows, z_threshold):
+        anomalies.append(
+            Anomaly(
+                kind="loose-bound",
+                scope="block",
+                run_id=run_id,
+                subject=name,
+                value=round(value, 4),
+                baseline=round(med, 4),
+                score=round(score, 2),
+                detail=(
+                    f"gap {value:.2f}% over the tightest bound vs "
+                    f"run median {med:.2f}%"
+                ),
+            )
+        )
+
+    solve_rows = [
+        (subject(row), float(row["solve_s"]))
+        for row in blocks
+        if row.get("solve_s") is not None
+    ]
+    for name, value, med, score in _high_outliers(solve_rows, z_threshold):
+        anomalies.append(
+            Anomaly(
+                kind="slow-solve",
+                scope="block",
+                run_id=run_id,
+                subject=name,
+                value=round(value, 6),
+                baseline=round(med, 6),
+                score=round(score, 2),
+                detail=(
+                    f"solve {value * 1e3:.2f}ms vs run median "
+                    f"{med * 1e3:.2f}ms"
+                ),
+            )
+        )
+    anomalies.sort(key=lambda a: -a.score)
+    return anomalies
+
+
+def history_anomalies(
+    records: list[dict[str, Any]],
+    target: dict[str, Any],
+    z_threshold: float = DEFAULT_Z,
+    min_records: int = MIN_HISTORY,
+) -> list[Anomaly]:
+    """How ``target`` compares to prior runs of the same command."""
+    run_id = str(target.get("run_id", "?"))
+    command = str(target.get("command", "?"))
+    prior = [
+        r
+        for r in records
+        if r.get("command") == command and r.get("run_id") != target.get("run_id")
+    ]
+    anomalies: list[Anomaly] = []
+    if len(prior) < min_records:
+        return anomalies
+
+    walls = [float(r.get("wall_seconds", 0.0)) for r in prior]
+    wall = float(target.get("wall_seconds", 0.0))
+    scores = robust_z_scores(walls + [wall])
+    if scores[-1] > z_threshold:
+        med = statistics.median(walls)
+        anomalies.append(
+            Anomaly(
+                kind="wall-regression",
+                scope="run",
+                run_id=run_id,
+                subject=command,
+                value=round(wall, 4),
+                baseline=round(med, 4),
+                score=round(scores[-1], 2),
+                detail=(
+                    f"wall {wall:.3f}s vs median {med:.3f}s over "
+                    f"{len(prior)} prior {command} runs"
+                ),
+            )
+        )
+
+    rates = [
+        r["cache"]["hit_rate"]
+        for r in prior
+        if isinstance(r.get("cache"), dict) and "hit_rate" in r["cache"]
+    ]
+    cache = target.get("cache")
+    if len(rates) >= min_records and isinstance(cache, dict):
+        rate = float(cache.get("hit_rate", 0.0))
+        med = statistics.median(rates)
+        if med - rate > CACHE_DROP:
+            anomalies.append(
+                Anomaly(
+                    kind="cache-cold",
+                    scope="run",
+                    run_id=run_id,
+                    subject=command,
+                    value=round(rate, 4),
+                    baseline=round(med, 4),
+                    score=round(med - rate, 2),
+                    detail=(
+                        f"cache hit rate {100 * rate:.0f}% vs median "
+                        f"{100 * med:.0f}% — cold or invalidated cache"
+                    ),
+                )
+            )
+
+    utils = [
+        r["dispatch"]["utilization"]
+        for r in prior
+        if isinstance(r.get("dispatch"), dict)
+        and r["dispatch"].get("mode") == "pool"
+    ]
+    dispatch = target.get("dispatch")
+    if (
+        len(utils) >= min_records
+        and isinstance(dispatch, dict)
+        and dispatch.get("mode") == "pool"
+    ):
+        util = float(dispatch.get("utilization", 0.0))
+        med = statistics.median(utils)
+        if med > _NEAR_ZERO and util < UTILIZATION_FRACTION * med:
+            anomalies.append(
+                Anomaly(
+                    kind="low-utilization",
+                    scope="run",
+                    run_id=run_id,
+                    subject=command,
+                    value=round(util, 4),
+                    baseline=round(med, 4),
+                    score=round(util / med, 2),
+                    detail=(
+                        f"pool utilization {100 * util:.0f}% vs median "
+                        f"{100 * med:.0f}% — workers mostly idle"
+                    ),
+                )
+            )
+    return anomalies
+
+
+def find_anomalies(
+    records: list[dict[str, Any]],
+    run: dict[str, Any] | None = None,
+    z_threshold: float = DEFAULT_Z,
+) -> list[Anomaly]:
+    """Both passes for one run (default: the newest record)."""
+    if not records and run is None:
+        return []
+    target = run if run is not None else records[-1]
+    out = block_anomalies(target, z_threshold)
+    out.extend(history_anomalies(records, target, z_threshold))
+    return out
+
+
+def render_anomalies(anomalies: list[Anomaly]) -> str:
+    """One line per anomaly, or an all-clear."""
+    if not anomalies:
+        return "no anomalies flagged"
+    lines = [f"{len(anomalies)} anomal{'y' if len(anomalies) == 1 else 'ies'}:"]
+    for a in anomalies:
+        lines.append(
+            f"  [{a.kind}] {a.subject}: {a.detail} (score {a.score:.2f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,409 @@
+"""Self-contained static HTML dashboard over the run ledger.
+
+:func:`render_dashboard` turns a list of ledger run records into one
+HTML string with **zero external references** — styles are inline,
+charts are hand-built inline SVG (sparklines per command, a span
+flamegraph from the newest record's ``span_paths``), and no script,
+image, font, or stylesheet is fetched — so the file can be archived as
+a CI artifact or mailed around and render identically anywhere.
+
+Sections: latest-run header, run history (table + wall-time sparklines),
+anomaly table (:mod:`repro.obs.anomaly` within-run and against-history
+passes), per-block detail of the newest block-bearing run, span
+flamegraph, and a bench history strip when ``bench`` runs are present.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any
+
+from repro.obs import anomaly as anomaly_mod
+from repro.obs.ledger import block_gap
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1d2430;
+       background: #fafbfc; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #d8dee6; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .82rem; width: 100%; }
+th, td { text-align: left; padding: .25rem .6rem;
+         border-bottom: 1px solid #e4e8ee; white-space: nowrap; }
+th { color: #5a6678; font-weight: 600; }
+td.num, th.num { text-align: right;
+                 font-variant-numeric: tabular-nums; }
+.mono { font-family: ui-monospace, 'SF Mono', Menlo, monospace; }
+.muted { color: #8a93a3; }
+.flag { color: #b3261e; font-weight: 600; }
+.card { background: #fff; border: 1px solid #e4e8ee; border-radius: 8px;
+        padding: 1rem 1.2rem; margin-top: .8rem; }
+svg text { font-family: ui-monospace, Menlo, monospace; }
+"""
+
+_SPARK_W, _SPARK_H = 140, 26
+_FLAME_W, _ROW_H = 1080, 22
+
+_PALETTE = (
+    "#4c78a8", "#f58518", "#54a24b", "#b279a2", "#e45756",
+    "#72b7b2", "#eeca3b", "#9d755d", "#86b8e1", "#d67195",
+)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _color(name: str) -> str:
+    return _PALETTE[sum(name.encode()) % len(_PALETTE)]
+
+
+def _spark_svg(values: list[float], width: int = _SPARK_W) -> str:
+    """An inline polyline sparkline (last point dotted)."""
+    if not values:
+        return ""
+    if len(values) == 1:
+        values = values * 2
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    pad = 3
+    points = " ".join(
+        f"{i * step:.1f},{pad + (_SPARK_H - 2 * pad) * (1 - (v - lo) / span):.1f}"
+        for i, v in enumerate(values)
+    )
+    last_x = (len(values) - 1) * step
+    last_y = pad + (_SPARK_H - 2 * pad) * (1 - (values[-1] - lo) / span)
+    return (
+        f'<svg width="{width}" height="{_SPARK_H}" '
+        f'viewBox="0 0 {width} {_SPARK_H}">'
+        f'<polyline fill="none" stroke="#4c78a8" stroke-width="1.5" '
+        f'points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5" '
+        f'fill="#e45756"/></svg>'
+    )
+
+
+def _when(record: dict[str, Any]) -> str:
+    from datetime import datetime
+
+    try:
+        stamp = datetime.fromtimestamp(float(record.get("timestamp", 0)))
+    except (OSError, OverflowError, ValueError):
+        return "?"
+    return stamp.strftime("%Y-%m-%d %H:%M")
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+def _header(records: list[dict[str, Any]], title: str) -> str:
+    latest = records[-1]
+    dispatch = latest.get("dispatch") or {}
+    cache = latest.get("cache") or {}
+    bits = [
+        f"<h1>{_esc(title)}</h1>",
+        '<div class="card"><table><tr>',
+        f"<td>runs<br><b>{len(records)}</b></td>",
+        f"<td>latest<br><b class=mono>{_esc(latest.get('run_id', '?'))}</b></td>",
+        f"<td>command<br><b>{_esc(latest.get('command', '?'))}</b></td>",
+        f"<td>when<br><b>{_esc(_when(latest))}</b></td>",
+        f"<td>git<br><b class=mono>{_esc(latest.get('git_sha') or '?')}</b></td>",
+        f"<td>wall<br><b>{float(latest.get('wall_seconds', 0)):.3f}s</b></td>",
+        f"<td>blocks<br><b>{len(latest.get('blocks') or [])}</b></td>",
+    ]
+    if cache:
+        bits.append(
+            f"<td>cache hit rate<br><b>"
+            f"{100 * cache.get('hit_rate', 0.0):.0f}%</b></td>"
+        )
+    if dispatch:
+        bits.append(
+            f"<td>dispatch<br><b>{_esc(dispatch.get('mode', '-'))}"
+            f" ×{dispatch.get('jobs', 1)}</b></td>"
+        )
+    bits.append("</tr></table></div>")
+    return "".join(bits)
+
+
+def _history_section(records: list[dict[str, Any]]) -> str:
+    rows = []
+    for record in reversed(records[-20:]):
+        dispatch = record.get("dispatch") or {}
+        cache = record.get("cache") or {}
+        rate = f"{100 * cache.get('hit_rate', 0.0):.0f}%" if cache else "–"
+        rows.append(
+            "<tr>"
+            f"<td class=mono>{_esc(record.get('run_id', '?'))}</td>"
+            f"<td>{_esc(record.get('command', '?'))}</td>"
+            f"<td>{_esc(_when(record))}</td>"
+            f"<td class=mono>{_esc(record.get('git_sha') or '?')}</td>"
+            f"<td class=num>{float(record.get('wall_seconds', 0)):.3f}s</td>"
+            f"<td class=num>{len(record.get('blocks') or [])}</td>"
+            f"<td class=num>{rate}</td>"
+            f"<td>{_esc(dispatch.get('mode', '–'))}</td>"
+            "</tr>"
+        )
+    commands: dict[str, list[float]] = {}
+    for record in records:
+        commands.setdefault(str(record.get("command", "?")), []).append(
+            float(record.get("wall_seconds", 0.0))
+        )
+    sparks = "".join(
+        f"<tr><td>{_esc(cmd)}</td><td>{_spark_svg(walls)}</td>"
+        f"<td class=num>{walls[-1]:.3f}s</td>"
+        f"<td class='num muted'>×{len(walls)}</td></tr>"
+        for cmd, walls in sorted(commands.items())
+    )
+    return (
+        "<h2>Run history</h2><div class=card><table>"
+        "<tr><th>run</th><th>command</th><th>when</th><th>git</th>"
+        "<th class=num>wall</th><th class=num>blocks</th>"
+        "<th class=num>cache</th><th>mode</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+        + "<h2>Wall time per command</h2><div class=card><table>"
+        "<tr><th>command</th><th>trend</th><th class=num>last</th>"
+        "<th class=num>runs</th></tr>"
+        + sparks
+        + "</table></div>"
+    )
+
+
+def _anomaly_section(
+    records: list[dict[str, Any]],
+    target: dict[str, Any],
+    z_threshold: float,
+) -> str:
+    found = anomaly_mod.find_anomalies(records, target, z_threshold)
+    if not found:
+        body = (
+            '<p class=muted>No anomalies flagged for run '
+            f"<span class=mono>{_esc(target.get('run_id', '?'))}</span>.</p>"
+        )
+    else:
+        rows = "".join(
+            "<tr>"
+            f"<td class=flag>{_esc(a.kind)}</td>"
+            f"<td>{_esc(a.scope)}</td>"
+            f"<td class=mono>{_esc(a.subject)}</td>"
+            f"<td class=num>{a.value:g}</td>"
+            f"<td class=num>{a.baseline:g}</td>"
+            f"<td class=num>{a.score:.2f}</td>"
+            f"<td>{_esc(a.detail)}</td>"
+            "</tr>"
+            for a in found
+        )
+        body = (
+            "<table><tr><th>kind</th><th>scope</th><th>subject</th>"
+            "<th class=num>value</th><th class=num>baseline</th>"
+            "<th class=num>score</th><th>detail</th></tr>"
+            + rows
+            + "</table>"
+        )
+    return (
+        f"<h2>Anomalies (run "
+        f"<span class=mono>{_esc(target.get('run_id', '?'))}</span>)</h2>"
+        f"<div class=card>{body}</div>"
+    )
+
+
+def _blocks_section(target: dict[str, Any], top: int) -> str:
+    blocks = target.get("blocks") or []
+    if not blocks:
+        return ""
+    ordered = sorted(
+        blocks, key=lambda row: block_gap(row) or 0.0, reverse=True
+    )[:top]
+    rows = []
+    for row in ordered:
+        wct = row.get("wct") or {}
+        best = f"{min(wct.values()):.3f}" if wct else "–"
+        gap = block_gap(row)
+        hits = row.get("cache_hits")
+        cache = f"{hits}/{row.get('cache_misses', 0)}" if hits is not None else "–"
+        solve = row.get("solve_s")
+        rows.append(
+            "<tr>"
+            f"<td class=mono>{_esc(row.get('sb', '?'))}</td>"
+            f"<td>{_esc(row.get('machine') or '–')}</td>"
+            f"<td class=num>{row.get('ops', 0)}</td>"
+            f"<td class=num>{row.get('branches', 0)}</td>"
+            f"<td class=num>{row.get('edges', 0)}</td>"
+            f"<td class=num>{row.get('tightest', 0) or 0:.3f}</td>"
+            f"<td class=num>{best}</td>"
+            f"<td class=num>{gap if gap is not None else 0:.2f}%</td>"
+            f"<td class=num>{f'{solve * 1e3:.2f}ms' if solve else '–'}</td>"
+            f"<td class=num>{cache}</td>"
+            "</tr>"
+        )
+    return (
+        f"<h2>Blocks — top {len(ordered)} of {len(blocks)} by gap "
+        f"(run <span class=mono>{_esc(target.get('run_id', '?'))}</span>)</h2>"
+        "<div class=card><table>"
+        "<tr><th>superblock</th><th>machine</th><th class=num>ops</th>"
+        "<th class=num>br</th><th class=num>edges</th>"
+        "<th class=num>tightest</th><th class=num>best wct</th>"
+        "<th class=num>gap</th><th class=num>solve</th>"
+        "<th class=num>cache h/m</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+    )
+
+
+def _flamegraph_section(target: dict[str, Any]) -> str:
+    paths = target.get("span_paths") or []
+    if not paths:
+        return ""
+    # Rebuild the span tree from semicolon-joined paths (icicle layout:
+    # root row on top, children below, width proportional to total time).
+    tree: dict[str, Any] = {"children": {}, "total": 0.0}
+    for entry in paths:
+        parts = str(entry.get("path", "")).split(";")
+        node = tree
+        for part in parts:
+            node = node["children"].setdefault(
+                part, {"children": {}, "total": 0.0}
+            )
+        node["total"] += float(entry.get("total_s", 0.0))
+
+    def roll(node: dict[str, Any]) -> float:
+        own = node["total"]
+        node["total"] = max(
+            own, sum(roll(child) for child in node["children"].values())
+        )
+        return node["total"]
+
+    total = sum(roll(child) for child in tree["children"].values())
+    if total <= 0:
+        return ""
+    rects: list[str] = []
+    depth_max = [0]
+
+    def paint(node: dict[str, Any], name: str, x: float, depth: int) -> None:
+        width = _FLAME_W * node["total"] / total
+        if width < 1.0:
+            return
+        depth_max[0] = max(depth_max[0], depth)
+        y = depth * _ROW_H
+        label = name if width > 8 * len(name) * 0.9 else (
+            name[: max(1, int(width / 8))] if width > 16 else ""
+        )
+        rects.append(
+            f'<g><rect x="{x:.1f}" y="{y}" width="{width:.1f}" '
+            f'height="{_ROW_H - 2}" rx="2" fill="{_color(name)}" '
+            f'fill-opacity="0.85">'
+            f"<title>{_esc(name)} — {node['total']:.4f}s "
+            f"({100 * node['total'] / total:.1f}%)</title></rect>"
+            f'<text x="{x + 4:.1f}" y="{y + _ROW_H - 8}" font-size="11" '
+            f'fill="#fff">{_esc(label)}</text></g>'
+        )
+        cx = x
+        for child_name, child in sorted(
+            node["children"].items(), key=lambda kv: -kv[1]["total"]
+        ):
+            paint(child, child_name, cx, depth + 1)
+            cx += _FLAME_W * child["total"] / total
+
+    x = 0.0
+    for name, node in sorted(
+        tree["children"].items(), key=lambda kv: -kv[1]["total"]
+    ):
+        paint(node, name, x, 0)
+        x += _FLAME_W * node["total"] / total
+    height = (depth_max[0] + 1) * _ROW_H
+    return (
+        f"<h2>Span flamegraph (run "
+        f"<span class=mono>{_esc(target.get('run_id', '?'))}</span>, "
+        f"{total:.3f}s attributed)</h2><div class=card>"
+        f'<svg width="{_FLAME_W}" height="{height}" '
+        f'viewBox="0 0 {_FLAME_W} {height}">'
+        + "".join(rects)
+        + "</svg></div>"
+    )
+
+
+def _bench_section(records: list[dict[str, Any]]) -> str:
+    benches = [
+        r
+        for r in records
+        if r.get("command") == "bench"
+        and isinstance((r.get("extra") or {}).get("bench"), dict)
+    ]
+    if not benches:
+        return ""
+    series: dict[str, list[float]] = {}
+    for record in benches:
+        for name, value in record["extra"]["bench"].items():
+            if isinstance(value, (int, float)):
+                series.setdefault(name, []).append(float(value))
+    rows = "".join(
+        f"<tr><td class=mono>{_esc(name)}</td>"
+        f"<td>{_spark_svg(values)}</td>"
+        f"<td class=num>{values[-1]:g}</td>"
+        f"<td class='num muted'>×{len(values)}</td></tr>"
+        for name, values in sorted(series.items())
+    )
+    return (
+        f"<h2>Bench history ({len(benches)} run(s))</h2>"
+        "<div class=card><table>"
+        "<tr><th>metric</th><th>trend</th><th class=num>last</th>"
+        "<th class=num>points</th></tr>"
+        + rows
+        + "</table></div>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def render_dashboard(
+    records: list[dict[str, Any]],
+    title: str = "repro run ledger",
+    top: int = 15,
+    z_threshold: float = anomaly_mod.DEFAULT_Z,
+) -> str:
+    """The full dashboard HTML for a ledger's records (oldest first)."""
+    if not records:
+        body = "<p class=muted>The ledger has no runs yet.</p>"
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{_esc(title)}</title><style>{_STYLE}</style></head>"
+            f"<body><h1>{_esc(title)}</h1>{body}</body></html>"
+        )
+    # Blocks/anomalies/flame target the newest run that recorded blocks
+    # (an `obs`-only tail of runs would otherwise blank those sections).
+    target = next(
+        (r for r in reversed(records) if r.get("blocks")), records[-1]
+    )
+    sections = [
+        _header(records, title),
+        _history_section(records),
+        _anomaly_section(records, target, z_threshold),
+        _blocks_section(target, top),
+        _flamegraph_section(target),
+        _bench_section(records),
+    ]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_STYLE}</style></head><body>"
+        + "".join(s for s in sections if s)
+        + "</body></html>"
+    )
+
+
+def write_dashboard(
+    records: list[dict[str, Any]],
+    path: str | Path,
+    title: str = "repro run ledger",
+    top: int = 15,
+    z_threshold: float = anomaly_mod.DEFAULT_Z,
+) -> Path:
+    """Render and write the dashboard; returns the output path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        render_dashboard(records, title=title, top=top, z_threshold=z_threshold)
+    )
+    return target

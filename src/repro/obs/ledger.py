@@ -1,0 +1,640 @@
+"""Run ledger: schema-versioned JSONL records of every CLI run.
+
+Every observed CLI command (schedule/bounds/tables/figure8/report/bench/
+verify) can append one JSONL *run record* to a local ledger directory
+(``--ledger DIR`` or the ``REPRO_LEDGER_DIR`` environment variable;
+``--no-ledger`` opts out). A record captures everything needed to ask
+"what did this run do, block by block, and how does that compare to
+history":
+
+* run identity — ``run_id``, timestamp, git SHA, command and argv;
+* timing — total wall seconds plus per-span-name total/self times
+  (:func:`repro.obs.profile.span_accounting`) and capped per-*path*
+  aggregates the dashboard renders as a flamegraph;
+* counters/timers/gauges from the ambient
+  :class:`~repro.obs.metrics.MetricsRegistry` when one is active (the
+  ledger never activates metering itself — counter instrumentation costs
+  real time, and ledger overhead is gated below 5%);
+* cache statistics (hit rate included) and the run's last
+  :class:`~repro.perf.runner.DispatchStats`;
+* a **per-unit block table**: one row per (superblock, machine) with
+  op/branch/edge counts, each bound value and its gap to the tightest,
+  per-heuristic WCT and makespan, attributed solve seconds, and cache
+  hit/miss counts.
+
+Bit-identity contract (the ``ledger`` verify oracle family enforces it):
+the recorder only *reads* ambient state — results, counters, and span
+inventories are identical with the ledger on or off.
+
+Collection follows the ambient-scope idiom of :mod:`repro.obs.trace` and
+:mod:`repro.cache`: the CLI installs a :class:`RunRecorder` via
+:func:`installed`; the eval layer publishes block rows through
+:func:`active_recorder` and stays decoupled otherwise.
+
+Ingestion (:func:`load_ledger`) is hardened like ``trace.load_jsonl``:
+truncated or corrupt lines raise ``ValueError`` naming ``path:lineno``,
+records missing required keys fail loudly, and a record written by a
+*newer* schema version is reported as skew instead of being half-parsed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+#: Run-record schema version (bump on breaking shape changes).
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default ledger directory.
+LEDGER_ENV = "REPRO_LEDGER_DIR"
+
+#: File name of the JSONL ledger inside the ledger directory.
+LEDGER_FILENAME = "LEDGER.jsonl"
+
+#: Keys every run record must carry (schema-independent identity core).
+REQUIRED_KEYS = ("schema", "run_id", "timestamp", "command")
+
+#: Per-path span aggregates kept per record (largest total time first).
+MAX_SPAN_PATHS = 150
+
+_RUN_SEQ = itertools.count()
+
+
+def ledger_path(directory: str | Path) -> Path:
+    """The JSONL file inside a ledger directory."""
+    return Path(directory) / LEDGER_FILENAME
+
+
+def args_payload(args: Any) -> dict[str, Any]:
+    """JSON-safe subset of a parsed argparse namespace."""
+    out: dict[str, Any] = {}
+    for key, value in sorted(vars(args).items()):
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [v for v in value if isinstance(v, (bool, int, float, str))]
+    return out
+
+
+def bound_gaps(wct: dict[str, float], tightest: float) -> dict[str, float]:
+    """Percentage gap of each bound below the tightest.
+
+    Same formula as :meth:`SuperblockBounds.gap_percent`, so ledger rows
+    reproduce the evaluation's numbers bit-for-bit.
+    """
+    if tightest <= 0:
+        return {name: 0.0 for name in wct}
+    return {
+        name: 100.0 * (tightest - value) / tightest
+        for name, value in wct.items()
+    }
+
+
+class RunRecorder:
+    """Collects one CLI run's record; install via :func:`installed`.
+
+    The recorder is passive until :meth:`finalize`: block rows and cache
+    attributions accumulate in memory, and the record is assembled (and
+    appended to ``directory`` when one is set) exactly once at scope end.
+    """
+
+    def __init__(
+        self,
+        command: str,
+        argv: list[str] | None = None,
+        args: dict[str, Any] | None = None,
+        directory: str | Path | None = None,
+    ) -> None:
+        self.command = command
+        self.argv = list(argv or [])
+        self.args = dict(args or {})
+        self.directory = Path(directory) if directory is not None else None
+        self.run_id = (
+            f"{int(time.time() * 1000):x}-{os.getpid():x}-{next(_RUN_SEQ):x}"
+        )
+        #: Free-form extras merged into the record under ``"extra"``
+        #: (e.g. bench headline metrics, verify outcome).
+        self.extra: dict[str, Any] = {}
+        self.record: dict[str, Any] | None = None
+        self.written_path: Path | None = None
+        self._t0 = time.perf_counter()
+        self._blocks: dict[tuple[str, str | None], dict[str, Any]] = {}
+        self._unit_cache: dict[tuple[str, str | None], list[int]] = {}
+        self._cache_stats: dict[str, Any] | None = None
+
+    # -- collection ------------------------------------------------------
+    def record_block(
+        self, sb: str, machine: str | None = None, **fields: Any
+    ) -> None:
+        """Merge per-block facts into the (sb, machine) row.
+
+        Dict-valued fields update key-wise (so bound values and WCTs from
+        different emission sites coexist); scalars overwrite. ``gaps`` is
+        derived from ``bounds`` + ``tightest`` when not given explicitly.
+        """
+        row = self._blocks.setdefault(
+            (sb, machine), {"sb": sb, "machine": machine}
+        )
+        if (
+            "gaps" not in fields
+            and "bounds" in fields
+            and fields.get("tightest") is not None
+        ):
+            fields["gaps"] = bound_gaps(fields["bounds"], fields["tightest"])
+        for key, value in fields.items():
+            if value is None:
+                continue
+            if isinstance(value, dict):
+                row.setdefault(key, {}).update(value)
+            else:
+                row[key] = value
+
+    def record_unit_cache(
+        self, sb: str, machine: str | None, hit: bool
+    ) -> None:
+        """Count one parent-side cache lookup for a work unit."""
+        entry = self._unit_cache.setdefault((sb, machine), [0, 0])
+        entry[0 if hit else 1] += 1
+
+    def attach_cache_stats(self, stats: dict[str, Any]) -> None:
+        """Store the run's cache totals (the CLI cache scope calls this)."""
+        self._cache_stats = dict(stats)
+
+    # -- assembly --------------------------------------------------------
+    def finalize(
+        self,
+        span_events: list[dict[str, Any]] | None = None,
+        metrics: Any = None,
+        counters: dict[str, int] | None = None,
+        dispatch: Any = None,
+    ) -> dict[str, Any]:
+        """Assemble the run record; append it when a directory is set.
+
+        ``metrics`` may be a :class:`MetricsRegistry` or an ``as_dict``
+        payload; ``dispatch`` defaults to the process's last
+        :class:`~repro.perf.runner.DispatchStats`.
+        """
+        from repro.obs.trend import git_sha
+
+        wall = time.perf_counter() - self._t0
+        metrics_dict: dict[str, Any] = {}
+        if metrics is not None:
+            metrics_dict = (
+                metrics if isinstance(metrics, dict) else metrics.as_dict()
+            )
+        if counters and not metrics_dict.get("counters"):
+            metrics_dict = dict(metrics_dict)
+            metrics_dict["counters"] = dict(counters)
+        if dispatch is None:
+            from repro.perf.runner import last_dispatch_stats
+
+            dispatch = last_dispatch_stats()
+        record: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "timestamp": round(time.time(), 3),
+            "git_sha": git_sha(),
+            "command": self.command,
+            "argv": self.argv,
+            "args": self.args,
+            "wall_seconds": round(wall, 6),
+            "counters": metrics_dict.get("counters", {}),
+            "timers": metrics_dict.get("timers", {}),
+            "gauges": metrics_dict.get("gauges", {}),
+            "cache": self._cache_payload(),
+            "dispatch": _dispatch_payload(dispatch),
+            "blocks": self._block_rows(span_events or []),
+        }
+        if span_events:
+            from repro.obs.profile import span_accounting
+
+            record["spans"] = span_accounting(span_events)
+            record["span_paths"] = _span_paths(span_events)
+        if self.extra:
+            record["extra"] = self.extra
+        self.record = record
+        if self.directory is not None:
+            self.written_path = append_run(record, self.directory)
+        return record
+
+    def _cache_payload(self) -> dict[str, Any] | None:
+        if self._cache_stats is None:
+            return None
+        payload = dict(self._cache_stats)
+        looked = payload.get("hits", 0) + payload.get("misses", 0)
+        payload["hit_rate"] = (
+            round(payload.get("hits", 0) / looked, 4) if looked else 0.0
+        )
+        return payload
+
+    def _block_rows(
+        self, span_events: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        solve = _block_solve_times(span_events)
+        rows = []
+        for key in sorted(
+            self._blocks, key=lambda k: (k[0], k[1] or "")
+        ):
+            row = dict(self._blocks[key])
+            sb, machine = key
+            seconds = solve.get((sb, machine))
+            if seconds is None:
+                seconds = solve.get((sb, None))
+            if seconds is not None and "solve_s" not in row:
+                row["solve_s"] = round(seconds, 6)
+            cache = self._unit_cache.get((sb, machine)) or self._unit_cache.get(
+                (sb, None)
+            )
+            if cache is not None:
+                row["cache_hits"], row["cache_misses"] = cache
+            rows.append(row)
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Span attribution helpers
+# ---------------------------------------------------------------------------
+def _block_solve_times(
+    events: list[dict[str, Any]],
+) -> dict[tuple[str, str | None], float]:
+    """Solve seconds per (sb, machine) from sb-attributed span events.
+
+    ``eval.*`` spans count directly; ``bounds.*`` spans count only when
+    not nested under an ``eval.*`` span (the suite runs inside
+    ``eval.bounds`` during scheduler evaluation — counting both would
+    double the time).
+    """
+    by_id = {e["id"]: e for e in events if "id" in e}
+
+    def under_eval(event: dict[str, Any]) -> bool:
+        parent = event.get("parent")
+        guard = 0
+        while parent is not None and guard < 64:
+            parent_event = by_id.get(parent)
+            if parent_event is None:
+                return False
+            if parent_event["name"].startswith("eval."):
+                return True
+            parent = parent_event.get("parent")
+            guard += 1
+        return False
+
+    out: dict[tuple[str, str | None], float] = {}
+    for e in events:
+        attrs = e.get("attrs") or {}
+        sb = attrs.get("sb")
+        if sb is None:
+            continue
+        name = e.get("name", "")
+        if name.startswith("eval."):
+            counted = True
+        elif name.startswith("bounds."):
+            counted = not under_eval(e)
+        else:
+            counted = False
+        if not counted:
+            continue
+        key = (sb, attrs.get("machine"))
+        out[key] = out.get(key, 0.0) + e["dur"]
+    return out
+
+
+def _span_paths(
+    events: list[dict[str, Any]], cap: int = MAX_SPAN_PATHS
+) -> list[dict[str, Any]]:
+    """Aggregate span time by root-to-leaf name path (flamegraph input)."""
+    by_id = {e["id"]: e for e in events if "id" in e}
+    child_dur: dict[int, float] = {}
+    for e in events:
+        parent = e.get("parent")
+        if parent is not None:
+            child_dur[parent] = child_dur.get(parent, 0.0) + e["dur"]
+    agg: dict[tuple[str, ...], list[float]] = {}
+    for e in events:
+        names: list[str] = []
+        cursor: dict[str, Any] | None = e
+        guard = 0
+        while cursor is not None and guard < 64:
+            names.append(cursor["name"])
+            parent = cursor.get("parent")
+            cursor = by_id.get(parent) if parent is not None else None
+            guard += 1
+        path = tuple(reversed(names))
+        self_s = max(0.0, e["dur"] - child_dur.get(e.get("id", -1), 0.0))
+        entry = agg.setdefault(path, [0.0, 0.0, 0])
+        entry[0] += e["dur"]
+        entry[1] += self_s
+        entry[2] += 1
+    rows = [
+        {
+            "path": ";".join(path),
+            "total_s": round(total, 6),
+            "self_s": round(self_s, 6),
+            "count": count,
+        }
+        for path, (total, self_s, count) in agg.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_s"], r["path"]))
+    return rows[:cap]
+
+
+def _dispatch_payload(stats: Any) -> dict[str, Any] | None:
+    if stats is None:
+        return None
+    return {
+        "mode": stats.mode,
+        "jobs": stats.jobs,
+        "units": stats.units,
+        "batches": stats.batches,
+        "payload_bytes": stats.payload_bytes,
+        "wall_seconds": round(stats.wall_seconds, 6),
+        "busy_seconds": round(stats.busy_seconds, 6),
+        "pool_reused": stats.pool_reused,
+        "cost_points": stats.cost_points,
+        "overhead_seconds": round(stats.overhead_seconds, 6),
+        "utilization": round(stats.utilization, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ambient recorder scope
+# ---------------------------------------------------------------------------
+_STACK: list[RunRecorder] = []
+
+
+def active_recorder() -> RunRecorder | None:
+    """The installed recorder, or ``None`` when the ledger is off."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def installed(recorder: RunRecorder):
+    """Make ``recorder`` the ambient one for the ``with`` body (nests)."""
+    _STACK.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _STACK.pop()
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+def append_run(record: dict[str, Any], directory: str | Path) -> Path:
+    """Append one record to the directory's ledger; returns the path."""
+    target = ledger_path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_ledger(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a ledger JSONL, oldest first; blank lines are skipped.
+
+    Raises ``ValueError`` naming ``path:lineno`` on malformed JSON,
+    non-object lines, records missing required keys, and records written
+    by a newer schema than this code understands (version skew) — a
+    damaged or future ledger fails loudly, never silently shortens.
+    """
+    source = Path(path)
+    if source.is_dir():
+        source = ledger_path(source)
+    records: list[dict[str, Any]] = []
+    with source.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{source}:{lineno}: not valid JSON ({exc.msg})"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{source}:{lineno}: not a run record (not a JSON object)"
+                )
+            missing = [k for k in REQUIRED_KEYS if k not in record]
+            if missing:
+                raise ValueError(
+                    f"{source}:{lineno}: not a run record "
+                    f"(missing {', '.join(missing)})"
+                )
+            schema = record["schema"]
+            if not isinstance(schema, int) or schema < 1:
+                raise ValueError(
+                    f"{source}:{lineno}: invalid schema version {schema!r}"
+                )
+            if schema > SCHEMA_VERSION:
+                raise ValueError(
+                    f"{source}:{lineno}: record schema {schema} is newer "
+                    f"than this code supports ({SCHEMA_VERSION}) — "
+                    "upgrade before reading this ledger"
+                )
+            records.append(record)
+    return records
+
+
+def resolve_run(records: list[dict[str, Any]], ref: str) -> dict[str, Any]:
+    """A record by run-id (exact or unique prefix) or negative index.
+
+    ``-1`` is the newest run, ``-2`` the one before, matching Python
+    indexing; raises ``ValueError`` on unknown or ambiguous references.
+    """
+    if not records:
+        raise ValueError("ledger has no runs")
+    try:
+        index = int(ref)
+    except ValueError:
+        index = None
+    if index is not None:
+        try:
+            return records[index]
+        except IndexError:
+            raise ValueError(
+                f"run index {ref} out of range ({len(records)} runs)"
+            ) from None
+    exact = [r for r in records if r.get("run_id") == ref]
+    if exact:
+        return exact[-1]
+    prefixed = [r for r in records if str(r.get("run_id", "")).startswith(ref)]
+    if len(prefixed) == 1:
+        return prefixed[0]
+    if len(prefixed) > 1:
+        raise ValueError(
+            f"run reference {ref!r} is ambiguous "
+            f"({len(prefixed)} matching run ids)"
+        )
+    raise ValueError(f"no run matching {ref!r} in the ledger")
+
+
+# ---------------------------------------------------------------------------
+# Text renderers (the ``repro obs`` subcommands)
+# ---------------------------------------------------------------------------
+def block_gap(row: dict[str, Any]) -> float | None:
+    """A block's looseness: best heuristic WCT's gap over the tightest
+    bound when schedules were recorded, else the widest bound-family gap."""
+    tightest = row.get("tightest")
+    wct = row.get("wct") or {}
+    if tightest and wct:
+        best = min(wct.values())
+        if tightest > 0:
+            return 100.0 * (best - tightest) / tightest
+    gaps = row.get("gaps") or {}
+    if gaps:
+        return max(gaps.values())
+    return None
+
+
+def _when(record: dict[str, Any]) -> str:
+    from datetime import datetime
+
+    try:
+        stamp = datetime.fromtimestamp(float(record.get("timestamp", 0)))
+    except (OSError, OverflowError, ValueError):
+        return "?"
+    return stamp.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _cache_rate(record: dict[str, Any]) -> str:
+    cache = record.get("cache")
+    if not cache:
+        return "-"
+    return f"{100.0 * cache.get('hit_rate', 0.0):.0f}%"
+
+
+def render_summary(records: list[dict[str, Any]], last: int = 10) -> str:
+    """A table of the newest ``last`` runs, newest first."""
+    lines = [f"ledger: {len(records)} run(s)"]
+    width = max(
+        (len(str(r.get("run_id", "?"))) for r in records[-last:]), default=6
+    )
+    header = (
+        f"  {'run_id':<{width}s}  {'command':<9s}  {'when':<19s}  "
+        f"{'sha':<8s}  {'wall':>8s}  {'blocks':>6s}  {'cache':>5s}  mode"
+    )
+    lines.append(header)
+    for record in reversed(records[-last:]):
+        dispatch = record.get("dispatch") or {}
+        lines.append(
+            f"  {str(record.get('run_id', '?')):<{width}s}"
+            f"  {str(record.get('command', '?')):<9s}"
+            f"  {_when(record):<19s}"
+            f"  {str(record.get('git_sha') or '?'):<8s}"
+            f"  {record.get('wall_seconds', 0.0):>7.3f}s"
+            f"  {len(record.get('blocks') or []):>6d}"
+            f"  {_cache_rate(record):>5s}"
+            f"  {dispatch.get('mode', '-')}"
+        )
+    return "\n".join(lines)
+
+
+#: Sort keys accepted by ``repro obs blocks --by``.
+BLOCK_SORTS = ("gap", "solve", "ops")
+
+
+def render_blocks(
+    record: dict[str, Any], top: int = 10, by: str = "gap"
+) -> str:
+    """The per-block detail table of one run, worst-first."""
+    blocks = record.get("blocks") or []
+    if not blocks:
+        return (
+            f"run {record.get('run_id', '?')} "
+            f"({record.get('command', '?')}) recorded no block rows"
+        )
+    if by == "solve":
+        key = lambda row: row.get("solve_s") or 0.0  # noqa: E731
+    elif by == "ops":
+        key = lambda row: row.get("ops") or 0  # noqa: E731
+    else:
+        key = lambda row: block_gap(row) or 0.0  # noqa: E731
+    ordered = sorted(blocks, key=key, reverse=True)[:top]
+    width = max(len(str(row.get("sb", "?"))) for row in ordered)
+    lines = [
+        f"run {record.get('run_id', '?')} ({record.get('command', '?')}): "
+        f"{len(blocks)} block row(s), top {len(ordered)} by {by}",
+        f"  {'sb':<{width}s}  {'machine':<8s}  {'ops':>4s} {'br':>3s} "
+        f"{'edges':>5s}  {'tightest':>9s}  {'gap%':>7s}  {'best wct':>9s}  "
+        f"{'solve_s':>8s}  cache",
+    ]
+    for row in ordered:
+        gap = block_gap(row)
+        wct = row.get("wct") or {}
+        best = f"{min(wct.values()):>9.4f}" if wct else f"{'-':>9s}"
+        hits = row.get("cache_hits")
+        cache = (
+            f"{hits}/{row.get('cache_misses', 0)}" if hits is not None else "-"
+        )
+        solve = row.get("solve_s")
+        solve_text = f"{solve:>8.4f}" if solve is not None else f"{'-':>8s}"
+        lines.append(
+            f"  {str(row.get('sb', '?')):<{width}s}"
+            f"  {str(row.get('machine') or '-'):<8s}"
+            f"  {row.get('ops', 0):>4d} {row.get('branches', 0):>3d} "
+            f"{row.get('edges', 0):>5d}"
+            f"  {row.get('tightest', 0.0) or 0.0:>9.4f}"
+            f"  {gap if gap is not None else 0.0:>7.2f}"
+            f"  {best}"
+            f"  {solve_text}"
+            f"  {cache}"
+        )
+    return "\n".join(lines)
+
+
+def render_diff(a: dict[str, Any], b: dict[str, Any], top: int = 10) -> str:
+    """Compare two run records: wall, counters, and per-block movement."""
+    lines = [
+        f"diff {a.get('run_id', '?')} ({a.get('command', '?')}, "
+        f"{a.get('git_sha') or '?'}) -> {b.get('run_id', '?')} "
+        f"({b.get('command', '?')}, {b.get('git_sha') or '?'})"
+    ]
+    wall_a = float(a.get("wall_seconds", 0.0))
+    wall_b = float(b.get("wall_seconds", 0.0))
+    change = f" ({100.0 * (wall_b - wall_a) / wall_a:+.1f}%)" if wall_a else ""
+    lines.append(f"  wall: {wall_a:.3f}s -> {wall_b:.3f}s{change}")
+    ca, cb = a.get("counters") or {}, b.get("counters") or {}
+    moved = []
+    for name in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(name, 0), cb.get(name, 0)
+        if va != vb:
+            moved.append((abs(vb - va), name, va, vb))
+    if moved:
+        moved.sort(reverse=True)
+        lines.append(f"  counters changed: {len(moved)}")
+        for _, name, va, vb in moved[:top]:
+            lines.append(f"    {name}: {va} -> {vb} ({vb - va:+d})")
+    elif ca or cb:
+        lines.append("  counters identical")
+    rows_a = {
+        (r.get("sb"), r.get("machine")): r for r in a.get("blocks") or []
+    }
+    rows_b = {
+        (r.get("sb"), r.get("machine")): r for r in b.get("blocks") or []
+    }
+    shared = sorted(set(rows_a) & set(rows_b), key=lambda k: (k[0], k[1] or ""))
+    movers = []
+    for key in shared:
+        wct_a, wct_b = rows_a[key].get("wct") or {}, rows_b[key].get("wct") or {}
+        common = set(wct_a) & set(wct_b)
+        if not common:
+            continue
+        delta = max(abs(wct_b[h] - wct_a[h]) for h in common)
+        if delta > 1e-9:
+            movers.append((delta, key))
+    only_a, only_b = len(rows_a) - len(shared), len(rows_b) - len(shared)
+    lines.append(
+        f"  blocks: {len(shared)} shared, {only_a} only in A, "
+        f"{only_b} only in B, {len(movers)} with WCT movement"
+    )
+    movers.sort(reverse=True)
+    for delta, (sb, machine) in movers[:top]:
+        lines.append(f"    {sb}@{machine or '-'}: max |dWCT| = {delta:.4f}")
+    return "\n".join(lines)

@@ -237,8 +237,11 @@ def compare_runs(
     cores_cur = _usable_cores(cur)
     cores_base = _usable_cores(base)
     for name in sorted(set(base) & set(cur)):
-        base_v = float(base[name]["value"])
-        cur_v = float(cur[name]["value"])
+        try:
+            base_v = float(base[name]["value"])
+            cur_v = float(cur[name]["value"])
+        except (TypeError, ValueError):
+            continue  # a non-numeric value cannot be gated or trended
         unit = str(base[name].get("unit", ""))
         better = _direction(unit)
         if unit == "x":
@@ -325,6 +328,46 @@ def sparkline(values: list[float]) -> str:
     return "".join(_SPARK[int((v - lo) * scale)] for v in values)
 
 
+def metric_trend_lines(
+    records: list[dict[str, Any]],
+    names: tuple[str, ...],
+    label: str | None = None,
+) -> list[str]:
+    """One ``name  sparkline  first -> last unit (+x%)`` line per metric.
+
+    The shared trend body: :func:`render_trend` renders whole tables
+    with it and ``bench --check`` failures quote the offending metric's
+    single line for context. ``label`` filters records by run label.
+    """
+    if label is not None:
+        records = [r for r in records if r.get("label") == label]
+    width = max((len(n) for n in names), default=0)
+    lines = []
+    for name in names:
+        series = [
+            float(r["metrics"][name]["value"])
+            for r in records
+            if name in r.get("metrics", {})
+        ]
+        if not series:
+            lines.append(f"  {name:<{width}s}  (no data)")
+            continue
+        unit = next(
+            str(r["metrics"][name].get("unit", ""))
+            for r in records
+            if name in r.get("metrics", {})
+        )
+        first, last = series[0], series[-1]
+        change = (
+            f" ({100.0 * (last - first) / first:+.1f}%)" if first > 0 else ""
+        )
+        lines.append(
+            f"  {name:<{width}s}  {sparkline(series)}  "
+            f"{first:.4g} -> {last:.4g} {unit}{change}"
+        )
+    return lines
+
+
 def render_trend(
     records: list[dict[str, Any]],
     metrics: tuple[str, ...] | None = None,
@@ -348,27 +391,5 @@ def render_trend(
         f"bench trend: {len(records)} record(s), "
         f"{first_sha} .. {last_sha}{suffix}"
     ]
-    width = max((len(n) for n in names), default=0)
-    for name in names:
-        series = [
-            float(r["metrics"][name]["value"])
-            for r in records
-            if name in r.get("metrics", {})
-        ]
-        if not series:
-            lines.append(f"  {name:<{width}s}  (no data)")
-            continue
-        unit = next(
-            str(r["metrics"][name].get("unit", ""))
-            for r in records
-            if name in r.get("metrics", {})
-        )
-        first, last = series[0], series[-1]
-        change = (
-            f" ({100.0 * (last - first) / first:+.1f}%)" if first > 0 else ""
-        )
-        lines.append(
-            f"  {name:<{width}s}  {sparkline(series)}  "
-            f"{first:.4g} -> {last:.4g} {unit}{change}"
-        )
+    lines.extend(metric_trend_lines(records, names))
     return "\n".join(lines)

@@ -244,6 +244,42 @@ def last_dispatch_stats() -> DispatchStats | None:
     return _LAST_DISPATCH
 
 
+def reset_dispatch_stats() -> None:
+    """Clear the last-dispatch snapshot.
+
+    CLI commands call this at observation-scope entry so one process
+    running several commands (tests, the ``obs`` tooling) never
+    attributes a previous command's dispatch to the current record.
+    """
+    global _LAST_DISPATCH
+    _LAST_DISPATCH = None
+
+
+def publish_dispatch_stats(registry: Any, stats: DispatchStats | None = None) -> None:
+    """Surface dispatch stats as gauges on a metrics registry.
+
+    Gauges — not counters — so serial==parallel counter bit-identity is
+    untouched: counter payloads stay comparable across ``--jobs`` while
+    ``--metrics-out`` and the Prometheus exporter still see the last
+    dispatch (``dispatch.mode.<mode>`` is 1.0 for the mode taken).
+    ``registry`` is duck-typed on ``gauge(name, value)``.
+    """
+    if stats is None:
+        stats = last_dispatch_stats()
+    if stats is None or registry is None:
+        return
+    registry.gauge("dispatch.jobs", float(stats.jobs))
+    registry.gauge("dispatch.units", float(stats.units))
+    registry.gauge("dispatch.batches", float(stats.batches))
+    registry.gauge("dispatch.payload_bytes", float(stats.payload_bytes))
+    registry.gauge("dispatch.wall_seconds", stats.wall_seconds)
+    registry.gauge("dispatch.busy_seconds", stats.busy_seconds)
+    registry.gauge("dispatch.overhead_seconds", stats.overhead_seconds)
+    registry.gauge("dispatch.utilization", stats.utilization)
+    registry.gauge("dispatch.pool_reused", 1.0 if stats.pool_reused else 0.0)
+    registry.gauge(f"dispatch.mode.{stats.mode}", 1.0)
+
+
 # ---------------------------------------------------------------------------
 # Persistent worker pool
 # ---------------------------------------------------------------------------

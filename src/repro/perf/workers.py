@@ -61,7 +61,7 @@ from typing import Any
 
 from repro import cache as result_cache
 from repro.ir.superblock import Superblock
-from repro.obs import trace
+from repro.obs import ledger, trace
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.runner import (
     DispatchStats,
@@ -440,6 +440,18 @@ def _corpus_map_cached(
             hit, value = cache.get(key)
             if hit:
                 hits[idx] = value
+    recorder = ledger.active_recorder()
+    if recorder is not None:
+        for idx, key in enumerate(keys):
+            if key is None:
+                continue
+            i, extras = units[idx]
+            machine = extras[0] if extras else None
+            recorder.record_unit_cache(
+                superblocks[i].name,
+                getattr(machine, "name", None),
+                idx in hits,
+            )
     miss_indices = [idx for idx in range(len(units)) if idx not in hits]
     miss_pairs = _compute_metered(
         kernel,

@@ -37,6 +37,8 @@ from repro.verify.oracles import (
     Finding,
     check_bounds,
     check_cache,
+    check_ledger,
+    check_pack,
     check_schedulers,
     check_sim,
     exact_wct,
@@ -57,6 +59,8 @@ __all__ = [
     "VerifyReport",
     "check_bounds",
     "check_cache",
+    "check_ledger",
+    "check_pack",
     "check_schedulers",
     "check_sim",
     "exact_wct",

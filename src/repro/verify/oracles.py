@@ -547,3 +547,114 @@ def check_pack(sb: Superblock, machine: MachineConfig) -> list[Finding]:
             )
         )
     return findings
+
+
+def check_ledger(sb: Superblock, machine: MachineConfig) -> list[Finding]:
+    """Ledger-on runs must be bit-identical to ledger-off runs.
+
+    Evaluates the case twice — once with no recorder installed, once with
+    an active :class:`~repro.obs.ledger.RunRecorder` — each under a fresh
+    tracer and metrics registry, and fires on ANY divergence: results,
+    trip counters, or span-name inventories. Also checks the recorder
+    actually captured the block (with bound/WCT values matching the
+    results) — a ledger that is merely inert would pass the identity
+    check while recording nothing.
+    """
+    from repro.eval.sched_eval import evaluate_corpus
+    from repro.obs import ledger, trace
+    from repro.obs.metrics import MetricsRegistry
+
+    findings: list[Finding] = []
+    heuristics = ("dhasy", "balance")
+
+    def snapshot(recorder: "ledger.RunRecorder | None"):
+        tracer = trace.Tracer()
+        metrics = MetricsRegistry()
+        with trace.install(tracer):
+            if recorder is None:
+                summary = evaluate_corpus(
+                    [sb], machine, heuristics=heuristics,
+                    include_triplewise=False, metrics=metrics,
+                )
+            else:
+                with ledger.installed(recorder):
+                    summary = evaluate_corpus(
+                        [sb], machine, heuristics=heuristics,
+                        include_triplewise=False, metrics=metrics,
+                    )
+        results = [
+            (r.name, r.tightest_bound, r.bound_wct, r.heuristic_wct, r.stats)
+            for r in summary.results
+        ]
+        span_names = sorted(e["name"] for e in tracer.spans())
+        return results, metrics.counters.as_dict(), span_names
+
+    ref, ref_counters, ref_spans = snapshot(None)
+    recorder = ledger.RunRecorder("verify-ledger")
+    got, got_counters, got_spans = snapshot(recorder)
+
+    if got != ref:
+        findings.append(
+            _finding(
+                "ledger", "results==ledger-off",
+                f"results with the ledger on diverge from the ledger-off "
+                f"reference: {got!r} != {ref!r}",
+                sb, machine,
+            )
+        )
+    if got_counters != ref_counters:
+        findings.append(
+            _finding(
+                "ledger", "counters==ledger-off",
+                f"trip counters with the ledger on diverge from the "
+                f"ledger-off reference: {got_counters!r} != "
+                f"{ref_counters!r}",
+                sb, machine,
+            )
+        )
+    if got_spans != ref_spans:
+        findings.append(
+            _finding(
+                "ledger", "spans==ledger-off",
+                f"span inventory with the ledger on diverges from the "
+                f"ledger-off reference: {got_spans!r} != {ref_spans!r}",
+                sb, machine,
+            )
+        )
+
+    record = recorder.finalize()
+    rows = {
+        (row["sb"], row.get("machine")): row for row in record["blocks"]
+    }
+    row = rows.get((sb.name, machine.name))
+    if row is None:
+        findings.append(
+            _finding(
+                "ledger", "block-recorded",
+                f"the recorder captured no block row for "
+                f"({sb.name}, {machine.name}); rows: {sorted(rows)}",
+                sb, machine,
+            )
+        )
+    elif ref:
+        _name, tightest, bound_wct, heuristic_wct, _stats = ref[0]
+        if row.get("tightest") != tightest or row.get("bounds") != bound_wct:
+            findings.append(
+                _finding(
+                    "ledger", "block-bounds-match",
+                    f"recorded block bounds diverge from the results: "
+                    f"{row.get('tightest')!r}/{row.get('bounds')!r} != "
+                    f"{tightest!r}/{bound_wct!r}",
+                    sb, machine,
+                )
+            )
+        if row.get("wct") != heuristic_wct:
+            findings.append(
+                _finding(
+                    "ledger", "block-wct-match",
+                    f"recorded block WCTs diverge from the results: "
+                    f"{row.get('wct')!r} != {heuristic_wct!r}",
+                    sb, machine,
+                )
+            )
+    return findings

@@ -15,7 +15,9 @@ The division of labor per case:
 5. simulate the best heuristic schedule and check convergence to its WCT
    (sim family);
 6. round-trip the case through the worker pool's array-packed codec and
-   recompute the bounds on the decode (pack family).
+   recompute the bounds on the decode (pack family);
+7. evaluate the case with and without an installed run-ledger recorder
+   and require bit-identical results/counters/spans (ledger family).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from repro.verify.oracles import (
     Finding,
     check_bounds,
     check_cache,
+    check_ledger,
     check_pack,
     check_schedulers,
     check_sim,
@@ -39,7 +42,7 @@ from repro.verify.oracles import (
 )
 
 #: Oracle families selectable via ``--family``.
-FAMILIES = ("legality", "bounds", "sim", "cache", "pack")
+FAMILIES = ("legality", "bounds", "sim", "cache", "pack", "ledger")
 
 
 @dataclass(frozen=True)
@@ -165,6 +168,9 @@ def _run_case(
     if "pack" in config.families:
         with trace.span("verify.pack", sb=sb.name):
             findings.extend(check_pack(sb, machine))
+    if "ledger" in config.families:
+        with trace.span("verify.ledger", sb=sb.name):
+            findings.extend(check_ledger(sb, machine))
     return findings, opt is not None
 
 

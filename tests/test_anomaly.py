@@ -1,0 +1,197 @@
+"""Anomaly attribution: robust z-scores, block outliers, history flags.
+
+The seeded-outlier cases are the pinned acceptance fixtures: one block
+with a wide bound gap among tight peers must be flagged ``loose-bound``
+(and surface in the dashboard — tests/test_dashboard.py reuses the same
+fixture), while uniform populations and short histories must stay quiet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import anomaly
+
+
+def _block(sb: str, gap: float, solve: float = 0.001) -> dict:
+    """A block row whose best-WCT gap over the tightest bound is ``gap``%."""
+    return {
+        "sb": sb,
+        "machine": "FS4",
+        "ops": 20,
+        "tightest": 100.0,
+        "wct": {"balance": 100.0 * (1 + gap / 100.0)},
+        "solve_s": solve,
+    }
+
+
+def seeded_outlier_record(run_id: str = "seeded1") -> dict:
+    """Seven tight blocks plus one with a 50% gap: the pinned outlier."""
+    blocks = [_block(f"sb{i:02d}", gap=1.0 + 0.1 * i) for i in range(7)]
+    blocks.append(_block("gcc.sb_outlier", gap=50.0))
+    return {
+        "schema": 1,
+        "run_id": run_id,
+        "timestamp": 1000.0,
+        "command": "table1",
+        "wall_seconds": 2.0,
+        "blocks": blocks,
+    }
+
+
+class TestRobustZ:
+    def test_known_population(self):
+        values = [1.0, 1.0, 2.0, 2.0, 100.0]
+        scores = anomaly.robust_z_scores(values)
+        # median 2, MAD 1: the wild point scores 0.6745 * 98
+        assert scores[-1] == pytest.approx(0.6745 * 98.0)
+        assert all(abs(s) <= 0.6745 for s in scores[:-1])
+
+    def test_degenerate_mad_falls_back_to_pstdev(self):
+        # MAD is 0 (majority identical) but the spread is real
+        values = [1.0, 1.0, 1.0, 1.0, 9.0]
+        scores = anomaly.robust_z_scores(values)
+        assert scores[-1] > 0  # still separable, not silently zeroed
+
+    def test_constant_population_all_zero(self):
+        assert anomaly.robust_z_scores([3.0] * 5) == [0.0] * 5
+
+    def test_tiny_populations_all_zero(self):
+        assert anomaly.robust_z_scores([]) == []
+        assert anomaly.robust_z_scores([7.0]) == [0.0]
+
+
+class TestBlockAnomalies:
+    def test_seeded_loose_bound_outlier_flagged(self):
+        found = anomaly.block_anomalies(seeded_outlier_record())
+        loose = [a for a in found if a.kind == "loose-bound"]
+        assert len(loose) == 1
+        flag = loose[0]
+        assert flag.subject == "gcc.sb_outlier@FS4"
+        assert flag.scope == "block"
+        assert flag.value == pytest.approx(50.0)
+        assert flag.score > anomaly.DEFAULT_Z
+        assert "gap 50.00%" in flag.detail
+
+    def test_uniform_population_stays_quiet(self):
+        record = seeded_outlier_record()
+        record["blocks"] = [_block(f"sb{i}", gap=2.0) for i in range(8)]
+        assert anomaly.block_anomalies(record) == []
+
+    def test_fewer_than_three_rows_never_flag(self):
+        record = seeded_outlier_record()
+        record["blocks"] = [_block("a", 1.0), _block("b", 90.0)]
+        assert anomaly.block_anomalies(record) == []
+
+    def test_slow_solve_outlier_flagged(self):
+        record = seeded_outlier_record()
+        record["blocks"] = [
+            _block(f"sb{i}", gap=2.0, solve=0.001 + 0.0001 * i)
+            for i in range(7)
+        ] + [_block("sb_slow", gap=2.0, solve=0.5)]
+        found = anomaly.block_anomalies(record)
+        assert [a.kind for a in found] == ["slow-solve"]
+        assert found[0].subject == "sb_slow@FS4"
+
+    def test_low_side_never_flags(self):
+        # One unusually *tight* block is good news, not an anomaly
+        record = seeded_outlier_record()
+        record["blocks"] = [
+            _block(f"sb{i}", gap=50.0) for i in range(7)
+        ] + [_block("sb_tight", gap=0.1)]
+        assert anomaly.block_anomalies(record) == []
+
+
+def _run(
+    run_id: str,
+    wall: float = 1.0,
+    hit_rate: float | None = None,
+    utilization: float | None = None,
+    command: str = "table1",
+) -> dict:
+    record = {
+        "schema": 1,
+        "run_id": run_id,
+        "timestamp": 1000.0,
+        "command": command,
+        "wall_seconds": wall,
+        "blocks": [],
+    }
+    if hit_rate is not None:
+        record["cache"] = {"hits": 1, "misses": 1, "hit_rate": hit_rate}
+    if utilization is not None:
+        record["dispatch"] = {
+            "mode": "pool", "jobs": 4, "utilization": utilization,
+        }
+    return record
+
+
+class TestHistoryAnomalies:
+    def test_wall_regression_fires(self):
+        prior = [_run(f"r{i}", wall=1.0 + 0.01 * i) for i in range(6)]
+        target = _run("rT", wall=10.0)
+        found = anomaly.history_anomalies(prior + [target], target)
+        kinds = [a.kind for a in found]
+        assert "wall-regression" in kinds
+        flag = found[kinds.index("wall-regression")]
+        assert flag.scope == "run" and flag.subject == "table1"
+
+    def test_short_history_stays_quiet(self):
+        prior = [_run(f"r{i}", wall=1.0) for i in range(anomaly.MIN_HISTORY - 1)]
+        target = _run("rT", wall=50.0)
+        assert anomaly.history_anomalies(prior + [target], target) == []
+
+    def test_other_commands_do_not_count_as_history(self):
+        prior = [_run(f"r{i}", wall=1.0, command="bench") for i in range(8)]
+        target = _run("rT", wall=50.0)  # a table1 run with no table1 priors
+        assert anomaly.history_anomalies(prior + [target], target) == []
+
+    def test_cache_cold_fires_on_hit_rate_drop(self):
+        prior = [_run(f"r{i}", hit_rate=0.95) for i in range(5)]
+        target = _run("rT", hit_rate=0.05)
+        found = anomaly.history_anomalies(prior + [target], target)
+        cold = [a for a in found if a.kind == "cache-cold"]
+        assert len(cold) == 1
+        assert "cold or invalidated" in cold[0].detail
+
+    def test_small_hit_rate_dip_stays_quiet(self):
+        prior = [_run(f"r{i}", hit_rate=0.95) for i in range(5)]
+        target = _run("rT", hit_rate=0.85)  # within CACHE_DROP
+        found = anomaly.history_anomalies(prior + [target], target)
+        assert all(a.kind != "cache-cold" for a in found)
+
+    def test_low_utilization_fires_in_pool_mode_only(self):
+        prior = [_run(f"r{i}", utilization=0.8) for i in range(5)]
+        target = _run("rT", utilization=0.1)
+        found = anomaly.history_anomalies(prior + [target], target)
+        assert [a.kind for a in found] == ["low-utilization"]
+        serial = _run("rS", utilization=0.1)
+        serial["dispatch"]["mode"] = "serial"
+        assert anomaly.history_anomalies(prior + [serial], serial) == []
+
+
+class TestFindAndRender:
+    def test_find_defaults_to_newest_record(self):
+        records = [_run(f"r{i}") for i in range(5)] + [seeded_outlier_record()]
+        found = anomaly.find_anomalies(records)
+        assert any(a.kind == "loose-bound" for a in found)
+
+    def test_empty_ledger_yields_nothing(self):
+        assert anomaly.find_anomalies([]) == []
+
+    def test_render_lists_each_flag(self):
+        found = anomaly.find_anomalies([seeded_outlier_record()])
+        text = anomaly.render_anomalies(found)
+        assert "[loose-bound] gcc.sb_outlier@FS4" in text
+        assert anomaly.render_anomalies([]) == "no anomalies flagged"
+
+    def test_to_dict_round_trips_fields(self):
+        (flag,) = [
+            a
+            for a in anomaly.block_anomalies(seeded_outlier_record())
+            if a.kind == "loose-bound"
+        ]
+        payload = flag.to_dict()
+        assert payload["kind"] == "loose-bound"
+        assert payload["subject"] == "gcc.sb_outlier@FS4"
+        assert payload["score"] == flag.score

@@ -493,3 +493,194 @@ class TestCliBenchAnalytics:
         assert records[0]["schema"] == trend.SCHEMA_VERSION
         assert "table1_seconds" in records[0]["metrics"]
         assert records[0]["counters"]  # observability counters ride along
+
+
+class TestCliDispatchGauges:
+    def test_dispatch_stats_land_in_metrics_out(self, tmp_path, capsys):
+        """Satellite: DispatchStats surface as dispatch.* gauges (gauges,
+        not counters, so counter bit-identity across --jobs holds)."""
+        metrics = tmp_path / "m.json"
+        assert main([
+            "table3", "--scale", "8", "--max-ops", "20",
+            "--machines", "GP2", "--no-triplewise",
+            "--jobs", "2", "--metrics-out", str(metrics),
+        ]) == 0
+        data = json.loads(metrics.read_text())
+        gauges = data["gauges"]
+        assert gauges["dispatch.jobs"] == 2.0
+        assert gauges["dispatch.units"] > 0
+        assert any(k.startswith("dispatch.mode.") for k in gauges)
+        assert not any(
+            k.startswith("dispatch.") for k in data["counters"]
+        )
+
+    def test_dispatch_gauges_export_to_prometheus(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        main([
+            "table3", "--scale", "8", "--max-ops", "20",
+            "--machines", "GP2", "--no-triplewise",
+            "--jobs", "2", "--metrics-out", str(metrics),
+        ])
+        capsys.readouterr()
+        assert main(["export", "prometheus", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_dispatch_jobs" in out
+        assert "# TYPE repro_dispatch_jobs gauge" in out
+
+
+class TestCliObsLedger:
+    def _seed_ledger(self, tmp_path, capsys):
+        ldir = tmp_path / "ledger"
+        for _ in range(2):
+            assert main([
+                "table3", "--scale", "8", "--max-ops", "20",
+                "--machines", "GP2", "--no-triplewise",
+                "--ledger", str(ldir),
+            ]) == 0
+        capsys.readouterr()
+        return ldir
+
+    def test_obs_summary_lists_runs(self, tmp_path, capsys):
+        ldir = self._seed_ledger(tmp_path, capsys)
+        assert main(["obs", "summary", "--ledger", str(ldir)]) == 0
+        out = capsys.readouterr().out
+        assert "ledger: 2 run(s)" in out
+        assert "table3" in out
+
+    def test_obs_blocks_renders_detail(self, tmp_path, capsys):
+        ldir = self._seed_ledger(tmp_path, capsys)
+        assert main([
+            "obs", "blocks", "--ledger", str(ldir), "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "block row(s), top 3 by gap" in out
+        assert "GP2" in out
+
+    def test_obs_anomalies_runs_clean_history(self, tmp_path, capsys):
+        ldir = self._seed_ledger(tmp_path, capsys)
+        assert main(["obs", "anomalies", "--ledger", str(ldir)]) == 0
+        out = capsys.readouterr().out
+        # two identical runs: whatever is flagged must be block-scope only
+        assert "wall-regression" not in out
+
+    def test_obs_diff_compares_runs(self, tmp_path, capsys):
+        ldir = self._seed_ledger(tmp_path, capsys)
+        assert main([
+            "obs", "diff", "--ledger", str(ldir), "--", "-2", "-1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wall:" in out
+        assert "shared" in out
+
+    def test_obs_without_directory_clear_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        assert main(["obs", "summary"]) == 1
+        assert "no ledger directory" in capsys.readouterr().err
+
+    def test_obs_missing_ledger_clear_error(self, tmp_path, capsys):
+        assert main([
+            "obs", "summary", "--ledger", str(tmp_path / "nowhere"),
+        ]) == 1
+        assert "no ledger at" in capsys.readouterr().err
+
+    def test_obs_corrupt_ledger_names_the_line(self, tmp_path, capsys):
+        from repro.obs import ledger as ledger_mod
+
+        ldir = tmp_path / "ledger"
+        ledger_mod.append_run(
+            {"schema": 1, "run_id": "r0", "timestamp": 0.0,
+             "command": "table1"},
+            ldir,
+        )
+        with ledger_mod.ledger_path(ldir).open("a") as fh:
+            fh.write("{broken\n")
+        assert main(["obs", "summary", "--ledger", str(ldir)]) == 1
+        err = capsys.readouterr().err
+        assert ":2:" in err and "not valid JSON" in err
+
+    def test_obs_schema_skew_clear_error(self, tmp_path, capsys):
+        from repro.obs import ledger as ledger_mod
+
+        ldir = tmp_path / "ledger"
+        ledger_mod.append_run(
+            {"schema": ledger_mod.SCHEMA_VERSION + 1, "run_id": "r0",
+             "timestamp": 0.0, "command": "table1"},
+            ldir,
+        )
+        assert main(["obs", "summary", "--ledger", str(ldir)]) == 1
+        assert "newer than this code" in capsys.readouterr().err
+
+    def test_obs_unknown_run_reference_clear_error(self, tmp_path, capsys):
+        ldir = self._seed_ledger(tmp_path, capsys)
+        assert main([
+            "obs", "blocks", "--ledger", str(ldir), "--run", "zzz",
+        ]) == 1
+        assert "no run matching" in capsys.readouterr().err
+
+
+class TestCliBenchCheckTrendContext:
+    def _fake_result(self, rate: float):
+        from repro.perf.bench import BenchResult
+
+        result = BenchResult()
+        result.add("rj_solves_per_sec", rate, "solves/s", 1999)
+        return result
+
+    def test_check_failure_quotes_metric_history(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """Satellite: a --check failure appends the offending metric's
+        trend line so the log says cliff-or-drift without extra digging."""
+        from repro.obs import trend
+        from repro.perf import bench as bench_mod
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({
+            "rj_solves_per_sec": {"value": 1000.0, "unit": "solves/s",
+                                  "seed": 1999},
+        }))
+        history = tmp_path / "hist.jsonl"
+        for i in range(3):
+            trend.append_record(
+                trend.make_record(
+                    {"rj_solves_per_sec": {"value": 1000.0 - 100.0 * i,
+                                           "unit": "solves/s", "seed": 1999}},
+                    timestamp=float(i), sha=f"sha{i}",
+                ),
+                history,
+            )
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda config: self._fake_result(500.0)
+        )
+        monkeypatch.setattr(bench_mod, "check_speedup_floors", lambda m: [])
+        assert main([
+            "bench", "--check", str(baseline),
+            "--history", str(history), "--no-history",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "PERF REGRESSION" in err
+        assert "recent history:" in err
+        assert "rj_solves_per_sec" in err.split("recent history:")[1]
+        assert "1000 -> 800 solves/s" in err
+
+    def test_check_failure_without_history_omits_section(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.perf import bench as bench_mod
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({
+            "rj_solves_per_sec": {"value": 1000.0, "unit": "solves/s",
+                                  "seed": 1999},
+        }))
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda config: self._fake_result(500.0)
+        )
+        monkeypatch.setattr(bench_mod, "check_speedup_floors", lambda m: [])
+        assert main([
+            "bench", "--check", str(baseline),
+            "--history", str(tmp_path / "none.jsonl"), "--no-history",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "PERF REGRESSION" in err
+        assert "recent history:" not in err

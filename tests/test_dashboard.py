@@ -1,0 +1,168 @@
+"""HTML dashboard: self-containment, seeded outlier, CLI round trip.
+
+Acceptance pins: the rendered HTML references no external resource of
+any kind (``src=``/``href=``/``url(...)`` absent), and the seeded
+loose-bound outlier from tests/test_anomaly.py appears in the anomaly
+table by name.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import dashboard, ledger
+
+
+def _block(sb: str, gap: float, solve: float = 0.001) -> dict:
+    return {
+        "sb": sb,
+        "machine": "FS4",
+        "ops": 20,
+        "branches": 3,
+        "edges": 30,
+        "tightest": 100.0,
+        "wct": {"balance": 100.0 * (1 + gap / 100.0)},
+        "makespan": {"balance": 120},
+        "solve_s": solve,
+    }
+
+
+def _record(run_id: str, command: str = "table1", **extra) -> dict:
+    record = {
+        "schema": 1,
+        "run_id": run_id,
+        "timestamp": 1000.0,
+        "git_sha": "abc1234",
+        "command": command,
+        "wall_seconds": 2.0,
+        "counters": {"cp.visit": 10},
+        "blocks": [],
+    }
+    record.update(extra)
+    return record
+
+
+@pytest.fixture
+def seeded_records() -> list[dict]:
+    """A history whose newest run carries the pinned gap-50 outlier."""
+    history = [_record(f"r{i}") for i in range(4)]
+    blocks = [_block(f"sb{i:02d}", gap=1.0 + 0.1 * i) for i in range(7)]
+    blocks.append(_block("gcc.sb_outlier", gap=50.0))
+    history.append(
+        _record(
+            "seeded1",
+            blocks=blocks,
+            span_paths=[
+                {"path": "table1.machine", "total_s": 1.5,
+                 "self_s": 0.5, "count": 1},
+                {"path": "table1.machine;eval.bounds", "total_s": 1.0,
+                 "self_s": 1.0, "count": 8},
+            ],
+            cache={"hits": 8, "misses": 2, "hit_rate": 0.8},
+            dispatch={"mode": "pool", "jobs": 2, "utilization": 0.7},
+        )
+    )
+    return history
+
+
+class TestRenderDashboard:
+    def test_seeded_outlier_named_in_anomaly_table(self, seeded_records):
+        """Acceptance: the pinned outlier block is reproduced by name."""
+        html = dashboard.render_dashboard(seeded_records)
+        assert "loose-bound" in html
+        assert "gcc.sb_outlier@FS4" in html
+        # ... and the block table ranks it first by gap
+        first_row = html.split("<h2>Blocks")[1]
+        assert first_row.index("gcc.sb_outlier") < first_row.index("sb00")
+
+    def test_html_is_fully_self_contained(self, seeded_records):
+        """Acceptance: zero external references — archivable anywhere."""
+        html = dashboard.render_dashboard(seeded_records)
+        assert re.search(r"(src|href)\s*=", html, re.IGNORECASE) is None
+        assert "url(" not in html and "@import" not in html
+        assert "<script" not in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_sections_render(self, seeded_records):
+        html = dashboard.render_dashboard(seeded_records, title="my runs")
+        assert "<title>my runs</title>" in html
+        assert "<svg" in html  # sparklines + flamegraph
+        assert "Run history" in html
+        assert "Span flamegraph" in html
+        assert "eval.bounds" in html  # flamegraph child rect label/tooltip
+
+    def test_empty_ledger_renders_placeholder(self):
+        html = dashboard.render_dashboard([])
+        assert "no runs yet" in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_quiet_history_says_no_anomalies(self):
+        records = [_record(f"r{i}") for i in range(3)]
+        html = dashboard.render_dashboard(records)
+        assert "No anomalies flagged" in html
+
+    def test_blocks_target_newest_block_bearing_run(self, seeded_records):
+        # an obs-style tail run without blocks must not blank the tables
+        seeded_records.append(_record("tail1", command="report"))
+        html = dashboard.render_dashboard(seeded_records)
+        assert "gcc.sb_outlier" in html
+
+    def test_bench_history_strip(self, seeded_records):
+        for i in range(3):
+            seeded_records.append(
+                _record(
+                    f"b{i}",
+                    command="bench",
+                    extra={"bench": {"rj_solves_per_sec": 1000.0 + i}},
+                )
+            )
+        html = dashboard.render_dashboard(seeded_records)
+        assert "Bench history" in html
+        assert "rj_solves_per_sec" in html
+
+    def test_markup_is_escaped(self, seeded_records):
+        seeded_records[-1]["blocks"][0]["sb"] = "<img>"
+        html = dashboard.render_dashboard(seeded_records)
+        assert "<img>" not in html
+        assert "&lt;img&gt;" in html
+
+    def test_write_dashboard_creates_parents(self, tmp_path, seeded_records):
+        out = tmp_path / "deep" / "dir" / "dash.html"
+        written = dashboard.write_dashboard(seeded_records, out)
+        assert written == out
+        assert "gcc.sb_outlier" in out.read_text()
+
+
+class TestDashboardCli:
+    def test_obs_dashboard_end_to_end(self, tmp_path, capsys):
+        """A real run's ledger renders to a self-contained artifact."""
+        ldir = tmp_path / "ledger"
+        assert main([
+            "table3", "--scale", "8", "--max-ops", "20",
+            "--machines", "GP2", "--no-triplewise", "--ledger", str(ldir),
+        ]) == 0
+        capsys.readouterr()
+        out = tmp_path / "dash.html"
+        assert main([
+            "obs", "dashboard", "--ledger", str(ldir), "--out", str(out),
+        ]) == 0
+        assert "dashboard written to" in capsys.readouterr().out
+        html = out.read_text()
+        assert re.search(r"(src|href)\s*=", html, re.IGNORECASE) is None
+        assert "<svg" in html and "Anomalies" in html
+
+    def test_obs_dashboard_seeded_outlier_from_disk(self, tmp_path, capsys):
+        ldir = tmp_path / "ledger"
+        blocks = [_block(f"sb{i:02d}", gap=1.0 + 0.1 * i) for i in range(7)]
+        blocks.append(_block("gcc.sb_outlier", gap=50.0))
+        ledger.append_run(_record("seeded1", blocks=blocks), ldir)
+        out = tmp_path / "dash.html"
+        assert main([
+            "obs", "dashboard", "--ledger", str(ldir), "--out", str(out),
+        ]) == 0
+        html = out.read_text()
+        assert "loose-bound" in html and "gcc.sb_outlier@FS4" in html

@@ -1,0 +1,376 @@
+"""Run ledger: recorder semantics, hardened ingestion, CLI bit-identity.
+
+The hardening pins mirror ``trace.load_jsonl``'s: every malformed-ledger
+test asserts the error names ``path:lineno`` so a damaged history is
+debuggable from the message alone. The CLI tests pin the tentpole
+contract — results and counters are bit-identical with the ledger on or
+off — and the overhead gate quantifies "free when on" the same way the
+PR 2 no-op tracer gate did.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.eval.sched_eval import evaluate_corpus
+from repro.ir.examples import figure2
+from repro.ir.serialize import superblock_to_dict
+from repro.machine.machine import FS4
+from repro.obs import ledger
+from repro.workloads.corpus import specint95_corpus
+
+
+@pytest.fixture
+def sb_file(tmp_path):
+    path = tmp_path / "fig2.json"
+    path.write_text(json.dumps(superblock_to_dict(figure2())))
+    return str(path)
+
+
+def _record(run_id: str = "r1", command: str = "table1", **extra) -> dict:
+    record = {
+        "schema": ledger.SCHEMA_VERSION,
+        "run_id": run_id,
+        "timestamp": 1000.0,
+        "command": command,
+    }
+    record.update(extra)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Persistence round trip
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        for i in range(3):
+            ledger.append_run(_record(run_id=f"r{i}"), tmp_path)
+        records = ledger.load_ledger(ledger.ledger_path(tmp_path))
+        assert [r["run_id"] for r in records] == ["r0", "r1", "r2"]
+
+    def test_load_accepts_the_directory_itself(self, tmp_path):
+        ledger.append_run(_record(), tmp_path)
+        assert len(ledger.load_ledger(tmp_path)) == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = ledger.ledger_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n" + json.dumps(_record()) + "\n\n")
+        assert len(ledger.load_ledger(path)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Hardened ingestion (pinned: every failure names path:lineno)
+# ---------------------------------------------------------------------------
+class TestIngestionHardening:
+    def _write(self, tmp_path, *lines: str):
+        path = ledger.ledger_path(tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_corrupt_json_names_the_line(self, tmp_path):
+        path = self._write(tmp_path, json.dumps(_record()), "{broken")
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            ledger.load_ledger(path)
+
+    def test_truncated_line_names_the_line(self, tmp_path):
+        good = json.dumps(_record())
+        path = self._write(tmp_path, good, good[: len(good) // 2])
+        with pytest.raises(ValueError, match=r":2:"):
+            ledger.load_ledger(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = self._write(tmp_path, "[1, 2, 3]")
+        with pytest.raises(ValueError, match=r":1:.*not a JSON object"):
+            ledger.load_ledger(path)
+
+    def test_missing_required_keys_listed(self, tmp_path):
+        record = _record()
+        del record["run_id"], record["command"]
+        path = self._write(tmp_path, json.dumps(record))
+        with pytest.raises(ValueError, match=r":1:.*missing run_id, command"):
+            ledger.load_ledger(path)
+
+    def test_invalid_schema_version_rejected(self, tmp_path):
+        path = self._write(tmp_path, json.dumps(_record(schema="one")))
+        with pytest.raises(ValueError, match=r":1: invalid schema version"):
+            ledger.load_ledger(path)
+
+    def test_newer_schema_reported_as_skew(self, tmp_path):
+        future = _record(schema=ledger.SCHEMA_VERSION + 1)
+        path = self._write(tmp_path, json.dumps(future))
+        with pytest.raises(ValueError, match=r":1:.*newer than this code"):
+            ledger.load_ledger(path)
+
+    def test_good_records_before_the_bad_line_not_returned(self, tmp_path):
+        # Fail loudly, never silently shorten: a partially readable
+        # ledger raises instead of returning a truncated history.
+        path = self._write(tmp_path, json.dumps(_record()), "nope")
+        with pytest.raises(ValueError):
+            ledger.load_ledger(path)
+
+
+class TestResolveRun:
+    def _records(self):
+        return [_record(run_id=rid) for rid in ("aa11", "aa22", "bb33")]
+
+    def test_negative_index(self):
+        records = self._records()
+        assert ledger.resolve_run(records, "-1")["run_id"] == "bb33"
+        assert ledger.resolve_run(records, "-3")["run_id"] == "aa11"
+
+    def test_exact_and_prefix_match(self):
+        records = self._records()
+        assert ledger.resolve_run(records, "aa22")["run_id"] == "aa22"
+        assert ledger.resolve_run(records, "bb")["run_id"] == "bb33"
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(ValueError, match="ambiguous"):
+            ledger.resolve_run(self._records(), "aa")
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError, match="no run matching"):
+            ledger.resolve_run(self._records(), "zz")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ledger.resolve_run(self._records(), "-9")
+
+    def test_empty_ledger_rejected(self):
+        with pytest.raises(ValueError, match="no runs"):
+            ledger.resolve_run([], "-1")
+
+
+# ---------------------------------------------------------------------------
+# Recorder semantics
+# ---------------------------------------------------------------------------
+class TestRunRecorder:
+    def test_block_rows_merge_dicts_and_derive_gaps(self):
+        rec = ledger.RunRecorder("table1")
+        rec.record_block("sb0", "GP2", ops=5, bounds={"CP": 8.0}, tightest=10.0)
+        rec.record_block("sb0", "GP2", wct={"balance": 10.5}, bounds={"LC": 9.0})
+        record = rec.finalize()
+        (row,) = record["blocks"]
+        assert row["ops"] == 5
+        assert row["bounds"] == {"CP": 8.0, "LC": 9.0}
+        assert row["wct"] == {"balance": 10.5}
+        assert row["gaps"]["CP"] == pytest.approx(20.0)
+
+    def test_none_fields_skipped_and_machines_distinct(self):
+        rec = ledger.RunRecorder("bounds")
+        rec.record_block("sb0", "GP2", tightest=None, ops=3)
+        rec.record_block("sb0", "FS4", ops=4)
+        record = rec.finalize()
+        rows = {(r["sb"], r["machine"]): r for r in record["blocks"]}
+        assert set(rows) == {("sb0", "GP2"), ("sb0", "FS4")}
+        assert "tightest" not in rows[("sb0", "GP2")]
+
+    def test_unit_cache_counts(self):
+        rec = ledger.RunRecorder("table1")
+        rec.record_block("sb0", "GP2", ops=1)
+        rec.record_unit_cache("sb0", "GP2", hit=True)
+        rec.record_unit_cache("sb0", "GP2", hit=True)
+        rec.record_unit_cache("sb0", "GP2", hit=False)
+        (row,) = rec.finalize()["blocks"]
+        assert (row["cache_hits"], row["cache_misses"]) == (2, 1)
+
+    def test_finalize_appends_when_directory_set(self, tmp_path):
+        rec = ledger.RunRecorder("report", argv=["report"], directory=tmp_path)
+        record = rec.finalize()
+        assert rec.written_path == ledger.ledger_path(tmp_path)
+        loaded = ledger.load_ledger(tmp_path)
+        assert loaded[-1]["run_id"] == rec.run_id
+        for key in ledger.REQUIRED_KEYS:
+            assert key in record
+
+    def test_solve_seconds_attributed_from_spans(self):
+        # eval.* spans count; bounds.* spans nested under eval.* do not
+        # (the suite runs inside eval.bounds — counting both doubles it).
+        events = [
+            {"event": "span", "id": 0, "name": "eval.bounds", "t0": 0.0,
+             "dur": 2.0, "depth": 0, "attrs": {"sb": "sb0", "machine": "GP2"}},
+            {"event": "span", "id": 1, "name": "bounds.pairwise", "t0": 0.1,
+             "dur": 1.5, "depth": 1, "parent": 0,
+             "attrs": {"sb": "sb0", "machine": "GP2"}},
+            {"event": "span", "id": 2, "name": "bounds.cp", "t0": 3.0,
+             "dur": 0.25, "depth": 0,
+             "attrs": {"sb": "sb1", "machine": "GP2"}},
+        ]
+        rec = ledger.RunRecorder("table1")
+        rec.record_block("sb0", "GP2", ops=1)
+        rec.record_block("sb1", "GP2", ops=1)
+        record = rec.finalize(span_events=events)
+        rows = {r["sb"]: r for r in record["blocks"]}
+        assert rows["sb0"]["solve_s"] == pytest.approx(2.0)  # not 3.5
+        assert rows["sb1"]["solve_s"] == pytest.approx(0.25)
+        paths = {entry["path"] for entry in record["span_paths"]}
+        assert "eval.bounds;bounds.pairwise" in paths
+
+    def test_installed_stack_nests(self):
+        assert ledger.active_recorder() is None
+        outer, inner = ledger.RunRecorder("a"), ledger.RunRecorder("b")
+        with ledger.installed(outer):
+            assert ledger.active_recorder() is outer
+            with ledger.installed(inner):
+                assert ledger.active_recorder() is inner
+            assert ledger.active_recorder() is outer
+        assert ledger.active_recorder() is None
+
+    def test_block_gap_prefers_wct_over_bound_spread(self):
+        assert ledger.block_gap(
+            {"tightest": 10.0, "wct": {"cp": 11.0, "balance": 10.5}}
+        ) == pytest.approx(5.0)
+        assert ledger.block_gap(
+            {"gaps": {"CP": 12.0, "LC": 3.0}}
+        ) == pytest.approx(12.0)
+        assert ledger.block_gap({}) is None
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: bit-identity, record contents, cache attribution
+# ---------------------------------------------------------------------------
+TABLE_ARGS = [
+    "table3", "--scale", "8", "--max-ops", "20",
+    "--machines", "GP2", "--no-triplewise",
+]
+
+
+def _non_ledger_lines(out: str) -> list[str]:
+    # drop the ledger line and the metrics path (the file names differ)
+    return [
+        l for l in out.splitlines()
+        if not l.startswith(("ledger:", "metrics written to"))
+    ]
+
+
+class TestCliLedger:
+    def test_results_and_counters_identical_with_ledger_on(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: a run with the ledger enabled is bit-identical —
+        same table, same counters — to one without."""
+        plain_metrics = tmp_path / "plain.json"
+        ledger_metrics = tmp_path / "led.json"
+        assert main(TABLE_ARGS + ["--metrics-out", str(plain_metrics)]) == 0
+        plain_out = capsys.readouterr().out
+        assert main(TABLE_ARGS + [
+            "--metrics-out", str(ledger_metrics),
+            "--ledger", str(tmp_path / "ledger"),
+        ]) == 0
+        led_out = capsys.readouterr().out
+        assert "ledger: run" in led_out
+        assert _non_ledger_lines(led_out) == _non_ledger_lines(plain_out)
+        c_plain = json.loads(plain_metrics.read_text())["counters"]
+        c_led = json.loads(ledger_metrics.read_text())["counters"]
+        assert c_plain and c_led == c_plain
+
+    def test_table_record_contents(self, tmp_path, capsys):
+        ldir = tmp_path / "ledger"
+        assert main(TABLE_ARGS + ["--ledger", str(ldir)]) == 0
+        (record,) = ledger.load_ledger(ldir)
+        assert record["schema"] == ledger.SCHEMA_VERSION
+        assert record["command"] == "table3"
+        assert record["wall_seconds"] > 0
+        assert record["args"]["scale"] == 8
+        blocks = record["blocks"]
+        assert blocks
+        row = max(blocks, key=lambda r: r["ops"])
+        assert row["machine"] == "GP2"
+        assert row["ops"] > 0 and row["edges"] > 0
+        assert row["tightest"] > 0
+        assert set(row["bounds"]) >= {"CP", "LC"}
+        assert set(row["gaps"]) == set(row["bounds"])
+        assert row["wct"] and row["makespan"]
+        # spans ride along, so per-path attribution is available
+        assert record["spans"]["wall_s"] > 0
+        assert any(
+            "eval." in p["path"] for p in record["span_paths"]
+        )
+
+    def test_schedule_record_has_wct_makespan_solve(
+        self, sb_file, tmp_path, capsys
+    ):
+        ldir = tmp_path / "ledger"
+        assert main([
+            "schedule", sb_file, "--heuristic", "balance",
+            "--ledger", str(ldir),
+        ]) == 0
+        (record,) = ledger.load_ledger(ldir)
+        (row,) = record["blocks"]
+        assert row["sb"] == "figure2"
+        assert "balance" in row["wct"] and "balance" in row["makespan"]
+        assert row["solve_s"] >= 0
+
+    def test_env_var_enables_and_no_ledger_disables(
+        self, sb_file, tmp_path, capsys, monkeypatch
+    ):
+        ldir = tmp_path / "ledger"
+        monkeypatch.setenv(ledger.LEDGER_ENV, str(ldir))
+        assert main(["bounds", sb_file, "--no-ledger"]) == 0
+        assert not ledger.ledger_path(ldir).exists()
+        assert main(["bounds", sb_file]) == 0
+        assert len(ledger.load_ledger(ldir)) == 1
+
+    def test_failed_run_appends_nothing(self, tmp_path, capsys):
+        ldir = tmp_path / "ledger"
+        with pytest.raises(FileNotFoundError):
+            main([
+                "bounds", str(tmp_path / "missing.json"),
+                "--ledger", str(ldir),
+            ])
+        assert not ledger.ledger_path(ldir).exists()
+
+    def test_warm_run_attributes_unit_cache_hits(self, tmp_path, capsys):
+        cache_dir, ldir = tmp_path / "cache", tmp_path / "ledger"
+        base = TABLE_ARGS + ["--cache-dir", str(cache_dir)]
+        assert main(base) == 0  # cold: populate the cache
+        assert main(base + ["--ledger", str(ldir)]) == 0  # warm: all hits
+        (record,) = ledger.load_ledger(ldir)
+        assert record["cache"]["hit_rate"] > 0.9
+        hits = sum(r.get("cache_hits", 0) for r in record["blocks"])
+        misses = sum(r.get("cache_misses", 0) for r in record["blocks"])
+        assert hits > 0 and misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Overhead gate (the PR 2 no-op tracer gate, for the ledger)
+# ---------------------------------------------------------------------------
+def _timed(fn) -> float:
+    t0 = time.process_time()
+    fn()
+    return time.process_time() - t0
+
+
+def test_ledger_overhead_under_five_percent():
+    """An installed recorder adds <5% to a quick Table 1-style sweep.
+
+    The recorder only collects rows the eval layer pushes — no metrics
+    activation, no span bookkeeping of its own — so a full corpus
+    evaluation with the ledger on must stay within noise of one without.
+    Interleaved best-of-7 CPU-time samples, as in the no-op span gate.
+    """
+    corpus = list(specint95_corpus(scale=8, seed=5, max_ops=28))
+    assert ledger.active_recorder() is None
+
+    def plain() -> None:
+        evaluate_corpus(corpus, FS4, include_triplewise=False)
+
+    def recorded() -> None:
+        with ledger.installed(ledger.RunRecorder("bench-overhead")):
+            evaluate_corpus(corpus, FS4, include_triplewise=False)
+
+    plain()  # warm caches before timing
+    recorded()
+    baseline = with_ledger = float("inf")
+    for _ in range(7):
+        baseline = min(baseline, _timed(plain))
+        with_ledger = min(with_ledger, _timed(recorded))
+    assert with_ledger <= baseline * 1.05, (
+        f"ledger overhead {100 * (with_ledger / baseline - 1):.2f}% "
+        f"exceeds 5% ({with_ledger:.4f}s vs {baseline:.4f}s)"
+    )

@@ -177,3 +177,111 @@ class TestTrendRendering:
             self._records(), metrics=("table1_seconds",)
         )
         assert "rj_solves_per_sec" not in text
+
+
+class TestCompareRunsEdgeCases:
+    def test_empty_history_file_loads_as_no_records(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text("")
+        assert trend.load_history(path) == []
+        assert trend.render_trend([]) == (
+            "bench trend: no matching history records"
+        )
+
+    def test_empty_payloads_compare_clean(self):
+        comparison = trend.compare_runs({}, {})
+        assert comparison.ok
+        assert comparison.deltas == []
+        assert "no regressions" in trend.render_comparison(comparison)
+
+    def test_single_record_history_renders(self):
+        records = [
+            trend.make_record(_payload(), timestamp=0.0, sha="only1")
+        ]
+        text = trend.render_trend(records)
+        assert "1 record(s), only1 .. only1" in text
+        # a one-point series has no slope: no percent-change suffix
+        line = next(
+            l for l in text.splitlines() if "table1_seconds" in l
+        )
+        assert "2 -> 2 s" in line
+
+    def test_speedup_not_gated_without_usable_cores(self):
+        # Neither payload records bench_usable_cores: the jobs2 speedup
+        # halves but stays informational — no portable gate without a
+        # same-hardware guarantee.
+        current = _payload()
+        current["table1_jobs2_speedup"]["value"] = 0.5
+        comparison = trend.compare_runs(current, _payload())
+        assert comparison.ok
+        delta = next(
+            d for d in comparison.deltas if d.name == "table1_jobs2_speedup"
+        )
+        assert delta.better == "info"
+
+    def test_speedup_gated_with_matching_usable_cores(self):
+        cores = {"value": 4.0, "unit": "cores", "seed": 1999}
+        current, baseline = _payload(), _payload()
+        current["bench_usable_cores"] = dict(cores)
+        baseline["bench_usable_cores"] = dict(cores)
+        current["table1_jobs2_speedup"]["value"] = 0.5
+        comparison = trend.compare_runs(current, baseline)
+        assert [d.name for d in comparison.regressions] == [
+            "table1_jobs2_speedup"
+        ]
+
+    def test_speedup_not_gated_across_different_core_counts(self):
+        current, baseline = _payload(), _payload()
+        current["bench_usable_cores"] = {"value": 2.0, "unit": "cores",
+                                         "seed": 1999}
+        baseline["bench_usable_cores"] = {"value": 8.0, "unit": "cores",
+                                          "seed": 1999}
+        current["table1_jobs2_speedup"]["value"] = 0.5
+        assert trend.compare_runs(current, baseline).ok
+
+    def test_speedup_not_gated_below_required_cores(self):
+        cores = {"value": 1.0, "unit": "cores", "seed": 1999}
+        current, baseline = _payload(), _payload()
+        current["bench_usable_cores"] = dict(cores)
+        baseline["bench_usable_cores"] = dict(cores)
+        current["table1_jobs2_speedup"]["value"] = 0.5
+        assert trend.compare_runs(current, baseline).ok
+
+    def test_non_numeric_usable_cores_ignored(self):
+        current, baseline = _payload(), _payload()
+        current["bench_usable_cores"] = {"value": "many", "unit": "cores",
+                                         "seed": 1999}
+        baseline["bench_usable_cores"] = {"value": "many", "unit": "cores",
+                                          "seed": 1999}
+        current["table1_jobs2_speedup"]["value"] = 0.5
+        assert trend.compare_runs(current, baseline).ok
+
+
+class TestMetricTrendLines:
+    def _records(self):
+        return [
+            trend.make_record(
+                _payload(t1=2.0 + 0.5 * i), timestamp=float(i), sha=f"s{i}",
+                label="full" if i % 2 == 0 else "quick",
+            )
+            for i in range(3)
+        ]
+
+    def test_one_line_per_requested_metric(self):
+        lines = trend.metric_trend_lines(
+            self._records(), ("table1_seconds",)
+        )
+        assert len(lines) == 1
+        assert "table1_seconds" in lines[0]
+        assert "2 -> 3 s" in lines[0]
+        assert "(+50.0%)" in lines[0]
+
+    def test_unknown_metric_marked_no_data(self):
+        lines = trend.metric_trend_lines(self._records(), ("nope_metric",))
+        assert lines == ["  nope_metric  (no data)"]
+
+    def test_label_filter_restricts_series(self):
+        lines = trend.metric_trend_lines(
+            self._records(), ("table1_seconds",), label="quick"
+        )
+        assert "2.5 -> 2.5 s" in lines[0]

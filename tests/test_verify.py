@@ -237,3 +237,26 @@ class TestCrossSchedulerSoundness:
                 continue
             bound_findings, _ = check_bounds(case.sb, GP2, wct, None)
             assert bound_findings == [], case.sb.name
+
+
+class TestLedgerFamily:
+    def test_ledger_family_listed(self):
+        assert "ledger" in FAMILIES
+
+    def test_ledger_oracle_passes_on_fuzz_corpus(self):
+        """Acceptance: evaluation is bit-identical — results, counters,
+        span inventories — with a run recorder installed or not, and the
+        recorder captures a correct block row for every case."""
+        report = run_verify(
+            VerifyConfig(fuzz=8, seed=0, families=("ledger",))
+        )
+        assert report.cases == 8
+        assert report.ok, render_report(report)
+
+    def test_ledger_oracle_flags_nothing_on_blocking_machines(self):
+        report = run_verify(
+            VerifyConfig(
+                fuzz=4, seed=3, families=("ledger",), allow_blocking=True,
+            )
+        )
+        assert report.ok, render_report(report)
