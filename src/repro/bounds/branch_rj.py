@@ -7,11 +7,44 @@ deadlines (``LateDC``).
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.bounds.earliest import deadlines_for_sink, dist_to_sink, subgraph_nodes
 from repro.bounds.instrumentation import Counters
 from repro.bounds.rim_jain import rim_jain_sink_bound
 from repro.ir.superblock import Superblock
 from repro.machine.machine import MachineConfig
+
+
+def branch_problem(
+    sb: Superblock,
+    machine: MachineConfig,
+    branch: int,
+    early: list[int] | None = None,
+):
+    """The relaxation inputs for one branch, as the python path builds them.
+
+    Shared with the ``kernel`` verify oracle so the reference problem the
+    array kernels are audited against cannot drift from the real one.
+    Returns ``(nodes, early_map, late, est, rclass, occupancy)``.
+    """
+    graph = sb.graph
+    nodes = subgraph_nodes(graph, branch)
+    if early is None:
+        early = graph.early_dc()
+    dist = dist_to_sink(graph, branch, nodes)
+    late = deadlines_for_sink(early[branch], dist)
+    rclass = {v: machine.resource_of(graph.op(v)) for v in nodes}
+    occupancy = None
+    if not machine.fully_pipelined:
+        occupancy = {v: machine.occupancy_of(graph.op(v)) for v in nodes}
+    return (
+        nodes,
+        {v: early[v] for v in nodes},
+        late,
+        early[branch],
+        rclass,
+        occupancy,
+    )
 
 
 def rj_branch_bound(
@@ -27,23 +60,23 @@ def rj_branch_bound(
         early: precomputed ``graph.early_dc()`` release times. The table
             is branch-independent, so :func:`rj_branch_bounds` computes it
             once and threads it through instead of copying the cached list
-            once per branch.
+            once per branch. A *custom* table always takes the python
+            path: the array context bakes in the default release times.
     """
-    graph = sb.graph
-    nodes = subgraph_nodes(graph, branch)
-    if early is None:
-        early = graph.early_dc()
-    dist = dist_to_sink(graph, branch, nodes)
-    late = deadlines_for_sink(early[branch], dist)
-    rclass = {v: machine.resource_of(graph.op(v)) for v in nodes}
-    occupancy = None
-    if not machine.fully_pipelined:
-        occupancy = {v: machine.occupancy_of(graph.op(v)) for v in nodes}
+    if early is None and kernels.use_numpy():
+        from repro.kernels import rj_numpy
+
+        bound = rj_numpy.branch_bound(sb, machine, branch, counters)
+        if bound is not None:
+            return bound
+    nodes, early_map, late, est, rclass, occupancy = branch_problem(
+        sb, machine, branch, early
+    )
     result = rim_jain_sink_bound(
         nodes,
-        {v: early[v] for v in nodes},
+        early_map,
         late,
-        early[branch],
+        est,
         rclass,
         machine,
         counters,
@@ -58,10 +91,19 @@ def rj_branch_bounds(
 ) -> dict[int, int]:
     """RJ bound for every exit branch.
 
-    ``early_dc`` is hoisted out of the per-branch loop: the release times
-    do not depend on the branch, and each ``graph.early_dc()`` call copies
-    the cached O(n) list (tests/test_bounds_basic.py pins the single call).
+    Under the numpy backend (``REPRO_KERNEL``, see :mod:`repro.kernels`)
+    every branch is solved in one batched array computation; the python
+    path hoists ``early_dc`` out of the per-branch loop instead (the
+    release times do not depend on the branch, and each
+    ``graph.early_dc()`` call copies the cached O(n) list —
+    tests/test_bounds_basic.py pins the single call).
     """
+    if kernels.use_numpy():
+        from repro.kernels import rj_numpy
+
+        bounds = rj_numpy.branch_bounds(sb, machine, counters)
+        if bounds is not None:
+            return bounds
     early = sb.graph.early_dc()
     return {
         b: rj_branch_bound(sb, machine, b, counters, early=early)

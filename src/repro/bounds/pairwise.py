@@ -48,6 +48,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import kernels
 from repro.bounds.earliest import dist_to_sink, subgraph_nodes
 from repro.bounds.instrumentation import Counters
 from repro.bounds.rim_jain import rim_jain_sink_bound
@@ -62,6 +63,17 @@ class TradeoffPoint:
     separation: int  #: the virtual latency l = t_j - t_i enforced
     x: int  #: lower bound on t_i under this separation
     y: int  #: lower bound on t_j under this separation
+
+
+def best_tradeoff_point(curve, w_i: float, w_j: float) -> TradeoffPoint:
+    """The curve point minimizing ``w_i*x + w_j*y``.
+
+    Ties break toward the smallest separation, so equal-cost plateaus
+    pick the point leaving the schedule the most freedom. Shared by
+    :meth:`PairBound.best_for_weights` and the ``pair_bound`` selection
+    so the two tie-breaks cannot drift apart.
+    """
+    return min(curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
 
 
 @dataclass(frozen=True)
@@ -88,7 +100,11 @@ class PairBound:
 
     def best_for_weights(self, w_i: float, w_j: float) -> TradeoffPoint:
         """Curve point minimizing the weighted cost for arbitrary weights."""
-        return min(self.curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
+        return best_tradeoff_point(self.curve, w_i, w_j)
+
+
+#: Engine-cache sentinel distinguishing "never built" from "fell back".
+_UNBUILT = object()
 
 
 class PairwiseBounder:
@@ -139,6 +155,14 @@ class PairwiseBounder:
         # Per-i context: (v, dist_i[v]) items over i's subgraph.
         self._dist_i_cache: dict[int, list[tuple[int, int]]] = {}
         self._occupancy: dict[int, dict[int, int]] = {}
+        # Array sweep engines (repro.kernels.pairwise_numpy), one per j,
+        # plus per-(i, j) position/distance arrays. Only the incremental
+        # path is accelerated: ``incremental=False`` is the reference
+        # construction the engines are audited against. None = disabled.
+        self._engines: dict[int, object] | None = (
+            {} if incremental and kernels.use_numpy() else None
+        )
+        self._i_arrays: dict[tuple[int, int], tuple] = {}
 
     def _sink_context(self, j: int):
         ctx = self._sink_cache.get(j)
@@ -170,6 +194,27 @@ class PairwiseBounder:
             ctx = (nodes, dist_j, rclass, early, base_rel)
             self._sink_cache[j] = ctx
         return ctx
+
+    def _engine(self, j: int):
+        """The array sweep engine for ``j``, or None (python path)."""
+        if self._engines is None:
+            return None
+        engine = self._engines.get(j, _UNBUILT)
+        if engine is _UNBUILT:
+            from repro.kernels.pairwise_numpy import SinkSweepEngine
+
+            nodes, _dist_j, rclass, early, base_rel = self._sink_context(j)
+            built = SinkSweepEngine(
+                nodes,
+                early,
+                base_rel,
+                rclass,
+                self._occupancy.get(j),
+                self._machine.units_of,
+            )
+            engine = built if built.ok else None
+            self._engines[j] = engine
+        return engine
 
     def _dist_i_items(self, i: int) -> list[tuple[int, int]]:
         items = self._dist_i_cache.get(i)
@@ -222,6 +267,14 @@ class PairwiseBounder:
         nodes, dist_j, rclass, early, base_rel = self._sink_context(j)
         i_items = self._dist_i_items(i)
         dist_i_map = dict(i_items) if not self._incremental else None
+        engine = self._engine(j)
+        if engine is not None:
+            pair_key = (i, j)
+            i_arrays = self._i_arrays.get(pair_key)
+            if i_arrays is None:
+                i_arrays = engine.i_arrays(i_items)
+                self._i_arrays[pair_key] = i_arrays
+            ipos, idist = i_arrays
         rc = self._early_rc
         rc_i, rc_j = rc[i], rc[j]
         l_min = self._l_br
@@ -245,6 +298,15 @@ class PairwiseBounder:
             est_j = rc_i + l
             if est_j < rc_j:
                 est_j = rc_j
+            if engine is not None:
+                # Array path: same relaxation through the dual form, all
+                # deadline terms relative to est_j (no sweep state).
+                y = engine.bound_at(l, est_j, ipos, idist)
+                if self._counters is not None:
+                    self._counters.add("pw.place", engine.n_pieces)
+                point = TradeoffPoint(separation=l, x=y - l, y=y)
+                points[l] = point
+                return point
             if not self._incremental:
                 late = self._late_naive(j, l, est_j, nodes, dist_j, dist_i_map)
             elif state_late is not None and est_j == state_est:
@@ -304,7 +366,7 @@ class PairwiseBounder:
             TradeoffPoint(p.separation, max(p.x, rc_i), p.y)
             for _l, p in sorted(points.items())
         )
-        best = min(curve, key=lambda p: (w_i * p.x + w_j * p.y, p.separation))
+        best = best_tradeoff_point(curve, w_i, w_j)
         return PairBound(
             i=i, j=j, x=best.x, y=best.y, curve=curve, conflict_free=conflict_free
         )

@@ -86,8 +86,11 @@ class RJResult:
         est_sink: dependence-only earliest issue of the sink (the ``CP``
             term of the bound formula).
         max_miss: largest deadline miss across operations (>= 0).
-        placements: issue cycle assigned to every op in the relaxation,
-            keyed by operation index (diagnostic; not a feasible schedule).
+        placements: issue-slot estimate per op in the relaxation, keyed by
+            operation index (diagnostic; not a feasible schedule). For a
+            non-pipelined op this is the min over its pieces of
+            ``slot - piece_index`` — the earliest issue consistent with
+            every placed piece — not merely piece 0's slot.
     """
 
     bound: int
@@ -129,27 +132,33 @@ def solve_relaxation(
     # schedule induces exactly these slot placements, so the relaxation
     # stays valid, and all pieces are unit jobs, so EDF stays optimal.
     if occupancy:
-        pieces: list[tuple[int, int, int]] = []  # (late, early, op)
+        pieces: list[tuple[int, int, int, int]] = []  # (late, early, op, piece)
         for v in ops:
             occ = occupancy.get(v, 1)
             for i in range(occ):
-                pieces.append((late[v] + i, early[v] + i, v))
+                pieces.append((late[v] + i, early[v] + i, v, i))
     else:
         # Fully pipelined: every op is a single unit piece.
-        pieces = [(late[v], early[v], v) for v in ops]
+        pieces = [(late[v], early[v], v, 0) for v in ops]
     pieces.sort()
     allocators: dict[str, SlotAllocator] = {}
     placements: dict[int, int] = {}
     max_miss = 0
-    for piece_late, piece_early, v in pieces:
+    for piece_late, piece_early, v, i in pieces:
         rc_v = rclass[v]
         alloc = allocators.get(rc_v)
         if alloc is None:
             alloc = SlotAllocator(machine.units_of(rc_v))
             allocators[rc_v] = alloc
         t = alloc.allocate(piece_early)
-        if v not in placements:
-            placements[v] = t  # first piece = the issue-slot estimate
+        # Issue-slot estimate: piece i placed at t is consistent with the
+        # op issuing at t - i, and with multi-unit classes a later piece
+        # can land in piece 0's cycle, so the min over pieces — not the
+        # first-placed piece's slot — is the earliest consistent issue.
+        est = t - i
+        cur = placements.get(v)
+        if cur is None or est < cur:
+            placements[v] = est
         miss = t - piece_late
         if miss > max_miss:
             max_miss = miss

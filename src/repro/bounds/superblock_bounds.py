@@ -47,7 +47,10 @@ BOUND_NAMES = ("CP", "Hu", "RJ", "LC", "PW", "TW")
 #: Cache version of every bound computed through :class:`BoundSuite`.
 #: Bump whenever any bound algorithm's output could change — stale
 #: entries are then unreachable by construction (docs/caching.md).
-BOUNDS_CACHE_VERSION = 1
+#: v2: RJ placements fix (multi-occupancy ops report min slot - piece
+#: index) and the vectorized kernel rollout (bit-identical, but entries
+#: predating the parity pin should not be trusted).
+BOUNDS_CACHE_VERSION = 2
 
 _T = TypeVar("_T")
 

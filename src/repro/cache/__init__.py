@@ -92,6 +92,24 @@ def deactivate() -> None:
     _STACK.clear()
 
 
+@contextmanager
+def disabled():
+    """No ambient cache for the ``with`` body, restored on exit.
+
+    Used by oracles that compare two freshly computed runs (e.g. the
+    ``kernel`` family): the cache key does not encode the active backend
+    — the backends are required to be bit-identical — so a shared cache
+    would let the first run's entries stand in for the second and hide
+    divergence.
+    """
+    saved = _STACK[:]
+    _STACK.clear()
+    try:
+        yield
+    finally:
+        _STACK[:] = saved
+
+
 def cached(algorithm: str, version: int, parts: Any, compute: Callable[[], T]) -> T:
     """Memoize ``compute()`` under the ambient cache.
 
@@ -143,6 +161,7 @@ __all__ = [
     "canonical_value",
     "deactivate",
     "digest",
+    "disabled",
     "install",
     "kernel_version",
     "machine_digest",

@@ -437,7 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--family", action="append", metavar="F",
         help="restrict to an oracle family "
-        "(legality, bounds, sim, cache, pack, ledger); "
+        "(legality, bounds, sim, cache, pack, ledger, kernel); "
         "repeatable, default all",
     )
     p.add_argument(
@@ -1225,6 +1225,12 @@ def _dispatch(args) -> str:
             # covers corrupt/truncated lines, missing record keys, and
             # schema-version skew, with the offending line number
             raise CommandError(str(exc)) from None
+        except OSError as exc:
+            # e.g. the ledger "directory" is a regular file
+            # (NotADirectoryError) or is unreadable
+            raise CommandError(
+                f"cannot read ledger at {path}: {exc}"
+            ) from None
         if not records:
             raise CommandError(f"{path} contains no runs")
 

@@ -45,7 +45,7 @@ class BoundQuality:
 
 
 @parallel_cost_weight(2.0)
-@result_cache.kernel_version(2)
+@result_cache.kernel_version(3)
 def _quality_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
 ) -> dict:
@@ -150,7 +150,7 @@ _COMPLEXITY = {
 
 
 @parallel_cost_weight(4.0)
-@result_cache.kernel_version(1)
+@result_cache.kernel_version(2)
 def _cost_unit(
     sb: Superblock, machine: MachineConfig, include_triplewise: bool
 ) -> dict[str, int]:

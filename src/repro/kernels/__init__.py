@@ -1,0 +1,125 @@
+"""Kernel backend selection for the bound hot paths.
+
+The Rim & Jain relaxation and the Pairwise separation sweep each have two
+interchangeable implementations:
+
+* the **python** path — the original per-op dict code in
+  :mod:`repro.bounds.rim_jain` and :mod:`repro.bounds.pairwise`. It is the
+  *reference oracle*: small, auditable, dependency-free.
+* the **numpy** path — flat-array kernels in :mod:`repro.kernels.rj_numpy`
+  and :mod:`repro.kernels.pairwise_numpy` that renumber nodes densely,
+  sort the relaxation's pieces once with ``np.lexsort``, and solve the
+  per-class placement over int arrays.
+
+Selection is driven by the ``REPRO_KERNEL`` environment variable:
+
+* ``auto`` (default) — numpy when importable, python otherwise;
+* ``numpy`` — require the array kernels (error if numpy is missing);
+* ``python`` — force the reference path (never imports numpy).
+
+Both paths are required to be *bit-identical* — bounds, max_miss,
+placements, and instrumentation counters — which the ``kernel`` verify
+oracle family pins on the fuzz corpus (``repro verify --family kernel``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment variable naming the backend: ``python``, ``numpy``, ``auto``.
+KERNEL_ENV = "REPRO_KERNEL"
+
+_BACKENDS = ("python", "numpy", "auto")
+
+# Import-probe result, cached per process: None = not probed yet,
+# (module | False) afterwards. The probe never runs under
+# REPRO_KERNEL=python, so the forced-python path works without numpy
+# installed at all.
+_numpy_probe: object = None
+
+
+def _numpy_module():
+    global _numpy_probe
+    if _numpy_probe is None:
+        try:
+            import numpy  # noqa: F401 - availability probe
+
+            _numpy_probe = numpy
+        except ImportError:
+            _numpy_probe = False
+    return _numpy_probe if _numpy_probe is not False else None
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend could be selected."""
+    return _numpy_module() is not None
+
+
+# (raw env value, resolved backend) — backend() sits on the bound hot
+# path, so repeat resolutions of the same env value short-circuit on one
+# short string comparison instead of re-validating and re-probing.
+# Changing the variable (or forced()) naturally invalidates the entry;
+# tests that monkeypatch the import probe must also reset this.
+_resolved: tuple[str | None, str] | None = None
+
+
+def backend() -> str:
+    """Resolve ``REPRO_KERNEL`` to the active backend name.
+
+    Raises:
+        ValueError: the variable holds an unknown value.
+        RuntimeError: ``REPRO_KERNEL=numpy`` but numpy is not importable
+            (``auto`` falls back to python silently instead).
+    """
+    global _resolved
+    raw = os.environ.get(KERNEL_ENV)
+    if _resolved is not None and _resolved[0] == raw:
+        return _resolved[1]
+    choice = (raw or "auto").strip().lower() or "auto"
+    if choice not in _BACKENDS:
+        raise ValueError(
+            f"invalid {KERNEL_ENV}={choice!r}; expected one of {_BACKENDS}"
+        )
+    if choice == "python":
+        resolved = "python"
+    elif choice == "numpy":
+        if not numpy_available():
+            raise RuntimeError(
+                f"{KERNEL_ENV}=numpy but numpy is not importable; "
+                "install it or use REPRO_KERNEL=auto|python"
+            )
+        resolved = "numpy"
+    else:
+        resolved = "numpy" if numpy_available() else "python"
+    _resolved = (raw, resolved)
+    return resolved
+
+
+def use_numpy() -> bool:
+    """True when the array kernels should serve the hot paths."""
+    return backend() == "numpy"
+
+
+@contextmanager
+def forced(choice: str) -> Iterator[None]:
+    """Temporarily pin the backend (tests and the kernel verify oracle)."""
+    old = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = choice
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = old
+
+
+__all__ = [
+    "KERNEL_ENV",
+    "backend",
+    "forced",
+    "numpy_available",
+    "use_numpy",
+]

@@ -1,0 +1,286 @@
+"""Array kernel for the Pairwise separation sweep.
+
+The python sweep in :mod:`repro.bounds.pairwise` builds a deadline dict
+and runs the greedy EDF relaxation once per candidate separation. This
+module replaces that per-eval work with flat arrays over the later
+branch's subgraph, evaluating the relaxation through the same *dual form*
+as :mod:`repro.kernels.rj_numpy`:
+
+    max_miss = max over classes g, releases s, deadlines d of
+               s + ceil(N(s, d) / u_g) - 1 - d,   N(s, d) > 0
+
+where ``N(s, d)`` counts pieces of class ``g`` with clamped release
+``>= s`` and deadline ``<= d``. Releases come from the static ``EarlyRC``
+map, so the release axis (distinct clamped values per class) is fixed at
+build time; only the deadlines move between separations.
+
+Everything that shifts uniformly with ``est_j`` is kept *relative*: the
+deadline of every node is ``est_j + rel`` for both the ``base_rel`` term
+and the virtual-edge term ``-dist_i - l`` (see the sweep's warm-start
+derivation), so ``est_j`` only enters the final scalar arithmetic and the
+engine needs no warm-start state at all.
+
+Per evaluation the engine runs:
+
+1. a scatter-min of ``-dist_i - separation`` into the (static) positions
+   of ``i``'s subgraph — the whole "deadline map update";
+2. a gather to per-piece deadlines plus one ``np.lexsort`` grouping
+   pieces by class and sorting by deadline within each class;
+3. a masked cumulative count over the ragged (class, release-rank) x
+   piece cell grid. Row totals are order-independent, so the carried-in
+   prefix of every row is *static* and folded into the candidate offsets
+   — the dynamic part is one global cumsum plus elementwise arithmetic.
+
+Bit-identity with the python path (bounds and counters) is pinned by the
+``kernel`` verify family and tests/test_kernels.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel for masked cells; far below any real candidate, and int32
+#: arithmetic with in-range offsets cannot overflow.
+_NEG = -(1 << 29)
+
+#: Ceiling on the per-engine cell grid (sum over classes of
+#: |distinct releases| * |pieces|); above this the per-eval arrays would
+#: outgrow cache for no benefit, so callers fall back to python.
+_MAX_CELLS = 250_000
+
+#: Floor on the cell grid: small subgraphs evaluate faster through the
+#: python dict path than through the engine's fixed per-eval numpy call
+#: overhead plus its build cost (measured crossover on the bench corpus).
+_MIN_CELLS = 384
+
+#: Cheap pre-gate on the piece count, checked before any array or dict
+#: build so rejected subgraphs cost almost nothing. Sized so the engine
+#: only serves the large sweeps it actually wins; everything smaller
+#: stays on the python dict path.
+_MIN_PIECES = 64
+
+
+class SinkSweepEngine:
+    """Per-(graph, machine, j) arrays for the separation sweep.
+
+    ``ok`` is False when the subgraph's cell grid exceeds
+    :data:`_MAX_CELLS`; callers must then use the python path.
+    """
+
+    __slots__ = (
+        "ok",
+        "n_pieces",
+        "_pos",
+        "_base",
+        "_p_node",
+        "_p_off",
+        "_p_cls",
+        "_u_blocked",
+        "_esrank",
+        "_k_map",
+        "_thresh",
+        "_a2",
+        "_carry",
+        "_class_starts",
+        "_class_u",
+        "_lr",
+        "_plr",
+        "_pl2",
+        "_esr2",
+        "_ud",
+        "_c1",
+        "_c2",
+        "_b",
+    )
+
+    def __init__(
+        self,
+        nodes,
+        early,
+        base_rel,
+        rclass,
+        occupancy,
+        units_of,
+    ) -> None:
+        """
+        Args:
+            nodes: the later branch's subgraph nodes (graph indices).
+            early: static release time per node (``EarlyRC`` values).
+            base_rel: deadline relative to ``est_j`` per node, before the
+                virtual-edge term.
+            rclass: resource class name per node.
+            occupancy: slots per node for non-pipelined machines, or None.
+            units_of: callable name -> unit count.
+        """
+        self.n_pieces = (
+            sum(occupancy.get(v, 1) for v in nodes)
+            if occupancy
+            else len(nodes)
+        )
+        if self.n_pieces < _MIN_PIECES:
+            # Too small to amortize the build; bail before any
+            # array/dict work (ok=False just means python fallback).
+            self.ok = False
+            return
+        self._pos = {v: k for k, v in enumerate(nodes)}
+        self._base = np.asarray(
+            [base_rel[v] for v in nodes], dtype=np.int32
+        )
+        class_names = sorted({rclass[v] for v in nodes})
+        cls_code = {name: c for c, name in enumerate(class_names)}
+
+        # Pieces, grouped class-contiguously (static blocks): piece i of
+        # node v has release early[v]+i and deadline late[v]+i, exactly
+        # as solve_relaxation expands them.
+        p_node: list[int] = []
+        p_off: list[int] = []
+        p_cls: list[int] = []
+        eclamp: list[int] = []
+        class_blocks: list[tuple[int, int]] = []  # piece [lo, hi) per class
+        for name in class_names:
+            lo = len(p_node)
+            code = cls_code[name]
+            for k, v in enumerate(nodes):
+                if rclass[v] != name:
+                    continue
+                occ = occupancy.get(v, 1) if occupancy else 1
+                e_v = early[v]
+                for i in range(occ):
+                    p_node.append(k)
+                    p_off.append(i)
+                    p_cls.append(code)
+                    e = e_v + i
+                    eclamp.append(e if e > 0 else 0)
+            class_blocks.append((lo, len(p_node)))
+        self.n_pieces = len(p_node)
+
+        # Rows: one per (class, distinct clamped release), cells = the
+        # class's pieces sorted by deadline. Row totals (pieces with
+        # release rank >= the row's) are order-independent, so the
+        # carried-in global prefix before each row is static.
+        cells = 0
+        per_class: list[tuple[int, np.ndarray, np.ndarray]] = []
+        esrank = np.zeros(self.n_pieces, dtype=np.int32)
+        for name, (lo, hi) in zip(class_names, class_blocks):
+            ec = np.asarray(eclamp[lo:hi], dtype=np.int64)
+            S = np.unique(ec)
+            esrank[lo:hi] = np.searchsorted(S, ec).astype(np.int32)
+            per_class.append((units_of(name), S, ec))
+            cells += len(S) * (hi - lo)
+        if cells > _MAX_CELLS or cells < _MIN_CELLS:
+            self.ok = False
+            return
+        self.ok = True
+
+        self._p_node = np.asarray(p_node, dtype=np.intp)
+        self._p_off = (
+            np.asarray(p_off, dtype=np.int32) if occupancy else None
+        )
+        self._p_cls = np.asarray(p_cls, dtype=np.int32)
+        u_blocked = np.zeros(self.n_pieces, dtype=np.int32)
+        self._esrank = esrank
+
+        k_map = np.zeros(cells, dtype=np.intp)
+        thresh = np.zeros(cells, dtype=np.int32)
+        a2 = np.zeros(cells, dtype=np.int32)
+        carry = np.zeros(cells, dtype=np.int32)
+        class_starts = np.zeros(len(class_names), dtype=np.intp)
+        class_u: list[int] = []
+        pos = 0
+        carried = 0
+        for c, ((u, S, ec), (lo, hi)) in enumerate(
+            zip(per_class, class_blocks)
+        ):
+            np_c = hi - lo
+            ns = len(S)
+            block = slice(pos, pos + ns * np_c)
+            u_blocked[lo:hi] = u
+            class_starts[c] = pos
+            class_u.append(u)
+            k_map[block] = np.tile(np.arange(lo, hi), ns)
+            thresh[block] = np.repeat(
+                np.arange(ns, dtype=np.int32), np_c
+            )
+            # Row totals T[r] = #pieces with release rank >= r are
+            # order-independent, so the carried-in global prefix before
+            # each row is static; fold it into the candidate offset
+            # u*(s-1)+(u-1) so the per-eval cumsum lands directly on N.
+            hist = np.bincount(esrank[lo:hi], minlength=ns)
+            totals = np.cumsum(hist[::-1])[::-1]
+            carry_rows = carried + np.concatenate(
+                ([0], np.cumsum(totals[:-1]))
+            )
+            a_rows = u * (S - 1) + (u - 1)
+            a2[block] = np.repeat(a_rows - carry_rows, np_c)
+            carry[block] = np.repeat(carry_rows, np_c)
+            carried = int(carry_rows[-1] + totals[-1])
+            pos += ns * np_c
+        self._k_map = k_map
+        self._thresh = thresh
+        self._a2 = a2
+        self._carry = carry
+        self._class_starts = class_starts
+        self._class_u = class_u
+
+        self._u_blocked = u_blocked
+        self._lr = np.empty(len(nodes), dtype=np.int32)
+        self._plr = np.empty(self.n_pieces, dtype=np.int32)
+        self._pl2 = np.empty(self.n_pieces, dtype=np.int32)
+        self._esr2 = np.empty(self.n_pieces, dtype=np.int32)
+        self._ud = np.empty(self.n_pieces, dtype=np.int32)
+        self._c1 = np.empty(cells, dtype=np.int32)
+        self._c2 = np.empty(cells, dtype=np.int32)
+        self._b = np.empty(cells, dtype=bool)
+
+    def i_arrays(self, i_items):
+        """Positions/distances of ``i``'s subgraph in this engine's order.
+
+        ``i_items`` is the bounder's sorted ``(node, dist_i)`` list; the
+        result feeds :meth:`bound_at` and should be cached per pair.
+        """
+        pos = self._pos
+        ipos = np.asarray([pos[v] for v, _d in i_items], dtype=np.intp)
+        idist = np.asarray([d for _v, d in i_items], dtype=np.int32)
+        return ipos, idist
+
+    def bound_at(self, separation, est_j, ipos, idist) -> int:
+        """Lower bound on ``t_j`` with the virtual edge at ``separation``."""
+        lr = self._lr
+        np.copyto(lr, self._base)
+        if len(ipos):
+            # The whole deadline-map update: min the virtual-edge term
+            # into i's subgraph positions (all relative to est_j).
+            cand = -idist - np.int32(separation)
+            np.minimum(lr[ipos], cand, out=cand)
+            lr[ipos] = cand
+
+        plr = self._plr
+        np.take(lr, self._p_node, out=plr)
+        if self._p_off is not None:
+            np.add(plr, self._p_off, out=plr)
+        order = np.lexsort((plr, self._p_cls))
+        late_sorted = self._pl2
+        np.take(plr, order, out=late_sorted)
+        esr_sorted = self._esr2
+        np.take(self._esrank, order, out=esr_sorted)
+        ud = self._ud
+        np.multiply(late_sorted, self._u_blocked, out=ud)
+
+        t = self._c1
+        cs = self._c2
+        b = self._b
+        np.take(esr_sorted, self._k_map, out=t)
+        np.greater_equal(t, self._thresh, out=b)
+        np.cumsum(b, out=cs)  # global count; rows fixed up via _a2/_carry
+        np.take(ud, self._k_map, out=t)
+        np.subtract(cs, t, out=t)
+        np.add(t, self._a2, out=t)  # u*(s + ceil(N/u) - 1 - d_rel), scaled
+        np.less_equal(cs, self._carry, out=b)  # N == 0: vacuous window
+        np.copyto(t, _NEG, where=b)
+        smax = np.maximum.reduceat(t, self._class_starts).tolist()
+        # floor((X - u*est_j)/u) == X//u - est_j exactly, so est_j drops
+        # out of the per-class division.
+        miss = max(
+            sm // u - est_j for sm, u in zip(smax, self._class_u)
+        )
+        return est_j + miss if miss > 0 else est_j

@@ -658,3 +658,121 @@ def check_ledger(sb: Superblock, machine: MachineConfig) -> list[Finding]:
                 )
             )
     return findings
+
+
+# ----------------------------------------------------------------------
+# Kernel-parity oracle
+# ----------------------------------------------------------------------
+def check_kernel(sb: Superblock, machine: MachineConfig) -> list[Finding]:
+    """The array kernels must be bit-identical to the python reference.
+
+    Pins the ``REPRO_KERNEL=numpy`` backend against the forced-python
+    oracle at three depths:
+
+    * the batched per-branch RJ bounds plus their trip counters;
+    * the full relaxation solve — ``max_miss`` *and* per-op placements —
+      against :func:`repro.bounds.rim_jain.solve_relaxation` on the exact
+      problem :func:`repro.bounds.branch_rj.branch_problem` builds;
+    * the end-to-end bound suite (every bound, the pair table, and all
+      counters), which routes the Pairwise sweep through its engine.
+
+    Skips (returns no findings) when numpy is not importable — the
+    no-numpy CI job runs the python path only, and the other families
+    already cover it.
+    """
+    from repro import kernels
+
+    if not kernels.numpy_available():
+        return []
+
+    from repro.bounds.branch_rj import branch_problem, rj_branch_bounds
+    from repro.bounds.instrumentation import Counters
+    from repro.bounds.rim_jain import solve_relaxation
+    from repro.kernels import rj_numpy
+
+    findings: list[Finding] = []
+
+    with kernels.forced("python"):
+        c_py = Counters()
+        ref_bounds = rj_branch_bounds(sb, machine, c_py)
+    with kernels.forced("numpy"):
+        c_np = Counters()
+        got_bounds = rj_branch_bounds(sb, machine, c_np)
+    if got_bounds != ref_bounds:
+        findings.append(
+            _finding(
+                "kernel", "rj-bounds",
+                f"numpy RJ branch bounds diverge from the python "
+                f"reference: {got_bounds!r} != {ref_bounds!r}",
+                sb, machine,
+            )
+        )
+    if c_np.as_dict() != c_py.as_dict():
+        findings.append(
+            _finding(
+                "kernel", "rj-counters",
+                f"numpy RJ trip counters diverge from the python "
+                f"reference: {c_np.as_dict()!r} != {c_py.as_dict()!r}",
+                sb, machine,
+            )
+        )
+
+    for b in sb.branches:
+        full = rj_numpy.solve_full(sb, machine, b)
+        if full is None:
+            break  # context fell back; the bounds check covered python
+        nodes, early_map, late, _est, rclass, occupancy = branch_problem(
+            sb, machine, b
+        )
+        ref_solve = solve_relaxation(
+            nodes, early_map, late, rclass, machine, occupancy=occupancy
+        )
+        if full != ref_solve:
+            findings.append(
+                _finding(
+                    "kernel", "rj-placements",
+                    f"array greedy solve for branch {b} diverges from "
+                    f"solve_relaxation: {full!r} != {ref_solve!r}",
+                    sb, machine,
+                )
+            )
+
+    from repro import cache as result_cache
+    from repro.kernels import pairwise_numpy
+
+    # Cache keys do not encode the backend (the backends are required to
+    # be bit-identical), so an ambient cache would let the first run's
+    # entries stand in for the second and hide divergence. The pairwise
+    # engine's size gates are zeroed for the numpy run: they are perf
+    # heuristics, and fuzz cases are small enough that the engine would
+    # otherwise never be exercised.
+    saved_gates = (pairwise_numpy._MIN_PIECES, pairwise_numpy._MIN_CELLS)
+    with result_cache.disabled():
+        with kernels.forced("python"):
+            ref_suite, ref_counters = _bounds_snapshot(sb, machine)
+        pairwise_numpy._MIN_PIECES = 0
+        pairwise_numpy._MIN_CELLS = 0
+        try:
+            with kernels.forced("numpy"):
+                got_suite, got_counters = _bounds_snapshot(sb, machine)
+        finally:
+            pairwise_numpy._MIN_PIECES, pairwise_numpy._MIN_CELLS = saved_gates
+    if got_suite != ref_suite:
+        findings.append(
+            _finding(
+                "kernel", "suite-results",
+                f"numpy bound suite diverges from the python reference: "
+                f"{got_suite!r} != {ref_suite!r}",
+                sb, machine,
+            )
+        )
+    if got_counters != ref_counters:
+        findings.append(
+            _finding(
+                "kernel", "suite-counters",
+                f"numpy bound-suite counters diverge from the python "
+                f"reference: {got_counters!r} != {ref_counters!r}",
+                sb, machine,
+            )
+        )
+    return findings

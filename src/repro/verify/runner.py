@@ -34,6 +34,7 @@ from repro.verify.oracles import (
     Finding,
     check_bounds,
     check_cache,
+    check_kernel,
     check_ledger,
     check_pack,
     check_schedulers,
@@ -42,7 +43,9 @@ from repro.verify.oracles import (
 )
 
 #: Oracle families selectable via ``--family``.
-FAMILIES = ("legality", "bounds", "sim", "cache", "pack", "ledger")
+FAMILIES = (
+    "legality", "bounds", "sim", "cache", "pack", "ledger", "kernel"
+)
 
 
 @dataclass(frozen=True)
@@ -171,6 +174,9 @@ def _run_case(
     if "ledger" in config.families:
         with trace.span("verify.ledger", sb=sb.name):
             findings.extend(check_ledger(sb, machine))
+    if "kernel" in config.families:
+        with trace.span("verify.kernel", sb=sb.name):
+            findings.extend(check_kernel(sb, machine))
     return findings, opt is not None
 
 

@@ -583,6 +583,50 @@ class TestCliObsLedger:
         ]) == 1
         assert "no ledger at" in capsys.readouterr().err
 
+    _OBS_SUBCOMMANDS = (
+        ["summary"],
+        ["blocks"],
+        ["anomalies"],
+        ["diff", "-2", "-1"],
+        ["dashboard"],
+    )
+
+    @pytest.mark.parametrize(
+        "subcmd", _OBS_SUBCOMMANDS, ids=lambda c: c[0]
+    )
+    def test_obs_missing_dir_one_line_error(self, subcmd, tmp_path, capsys):
+        """Every obs subcommand diagnoses a missing ledger dir, no traceback."""
+        assert main(
+            ["obs", *subcmd, "--ledger", str(tmp_path / "nowhere")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "no ledger at" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "subcmd", _OBS_SUBCOMMANDS, ids=lambda c: c[0]
+    )
+    def test_obs_empty_dir_one_line_error(self, subcmd, tmp_path, capsys):
+        """A directory with no ledger file gets the same diagnostic."""
+        ldir = tmp_path / "ledger"
+        ldir.mkdir()
+        assert main(["obs", *subcmd, "--ledger", str(ldir)]) == 1
+        err = capsys.readouterr().err
+        assert "no ledger at" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "subcmd", _OBS_SUBCOMMANDS, ids=lambda c: c[0]
+    )
+    def test_obs_ledger_path_is_a_file(self, subcmd, tmp_path, capsys):
+        """--ledger pointing at a regular file is an error, not a traceback."""
+        not_a_dir = tmp_path / "ledger"
+        not_a_dir.write_text("oops\n")
+        assert main(["obs", *subcmd, "--ledger", str(not_a_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read ledger at" in err
+        assert "Traceback" not in err
+
     def test_obs_corrupt_ledger_names_the_line(self, tmp_path, capsys):
         from repro.obs import ledger as ledger_mod
 

@@ -1,0 +1,198 @@
+"""Backend selection and python/numpy kernel parity.
+
+The array kernels (repro.kernels.rj_numpy, repro.kernels.pairwise_numpy)
+must be bit-identical to the pure-python reference — bounds, max_miss,
+placements, and trip counters. The fuzz-scale pin lives in the ``kernel``
+verify family; these tests pin the selection machinery and the
+adversarial shapes (multi-occupancy ops, single-unit classes, a moving
+``est_j`` mid-sweep) on focused cases.
+"""
+
+import itertools
+
+import pytest
+
+from repro import kernels
+from repro.bounds.branch_rj import branch_problem, rj_branch_bound, rj_branch_bounds
+from repro.bounds.instrumentation import Counters
+from repro.bounds.langevin_cerny import early_rc
+from repro.bounds.late_rc import late_rc_for_branch
+from repro.bounds.pairwise import PairwiseBounder
+from repro.bounds.rim_jain import solve_relaxation
+from repro.ir.builder import SuperblockBuilder
+from repro.machine.machine import FS4_NP, GP1, GP2, MachineConfig
+from repro.verify.generators import fuzz_cases
+
+needs_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not installed"
+)
+
+#: A 1-wide machine where every opcode blocks its unit for several
+#: cycles — the adversarial occupancy shape (GP1 adds single-unit
+#: classes, FS4_NP mixes pipelined and blocking opcodes).
+GP1_BLOCKING = MachineConfig(
+    name="GP1-blk",
+    units=dict(GP1.units),
+    class_map=dict(GP1.class_map),
+    occupancy={"fdiv": 9, "fmul": 3, "load": 2},
+)
+
+
+class TestBackendSelection:
+    def test_invalid_value_rejected(self):
+        with kernels.forced("frobnicate"):
+            with pytest.raises(ValueError, match="REPRO_KERNEL"):
+                kernels.backend()
+
+    def test_python_forced(self):
+        with kernels.forced("python"):
+            assert kernels.backend() == "python"
+            assert not kernels.use_numpy()
+
+    def test_selection_is_dynamic(self):
+        with kernels.forced("python"):
+            assert kernels.backend() == "python"
+        with kernels.forced("auto"):
+            assert kernels.backend() in ("python", "numpy")
+
+    def test_numpy_forced_without_numpy_errors(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        monkeypatch.setattr(kernels, "_resolved", None)
+        with kernels.forced("numpy"):
+            with pytest.raises(RuntimeError, match="not importable"):
+                kernels.backend()
+
+    def test_auto_falls_back_to_python(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy_probe", False)
+        monkeypatch.setattr(kernels, "_resolved", None)
+        with kernels.forced("auto"):
+            assert kernels.backend() == "python"
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self):
+        with kernels.forced("auto"):
+            assert kernels.backend() == "numpy"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        monkeypatch.setattr(kernels, "_resolved", None)
+        assert kernels.backend() in ("python", "numpy")
+
+
+def _blocking_case():
+    """Heavy multi-occupancy pressure feeding one sink."""
+    b = SuperblockBuilder("blocking")
+    for _ in range(4):
+        b.op("fdiv")
+    for _ in range(4):
+        b.op("fmul")
+    for _ in range(4):
+        b.op("load")
+    b.op("add", preds=[0, 4, 8])
+    return b.last_exit(preds=list(range(13)))
+
+
+@needs_numpy
+class TestRJParity:
+    MACHINES = (GP1, GP2, FS4_NP, GP1_BLOCKING)
+
+    def _assert_parity(self, sb, machine):
+        with kernels.forced("python"):
+            c_py = Counters()
+            ref = rj_branch_bounds(sb, machine, c_py)
+        with kernels.forced("numpy"):
+            c_np = Counters()
+            got = rj_branch_bounds(sb, machine, c_np)
+        assert got == ref, (sb.name, machine.name)
+        assert c_np.as_dict() == c_py.as_dict(), (sb.name, machine.name)
+
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+    def test_blocking_shapes(self, machine):
+        self._assert_parity(_blocking_case(), machine)
+
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+    def test_corpus_parity(self, machine, tiny_corpus):
+        for sb in tiny_corpus:
+            self._assert_parity(sb, machine)
+
+    def test_fuzz_parity_including_blocking_machines(self):
+        for case in fuzz_cases(40, seed=7):
+            self._assert_parity(case.sb, case.machine)
+
+    def test_single_branch_entry_point(self):
+        sb = _blocking_case()
+        for machine in self.MACHINES:
+            for b in sb.branches:
+                with kernels.forced("python"):
+                    ref = rj_branch_bound(sb, machine, b)
+                with kernels.forced("numpy"):
+                    assert rj_branch_bound(sb, machine, b) == ref
+
+    def test_full_solve_matches_reference_placements(self):
+        """max_miss AND per-op placements, under multi-occupancy."""
+        from repro.kernels import rj_numpy
+
+        for machine in self.MACHINES:
+            for case in fuzz_cases(20, seed=11):
+                sb = case.sb
+                for b in sb.branches:
+                    full = rj_numpy.solve_full(sb, machine, b)
+                    if full is None:
+                        continue  # context fell back to python
+                    nodes, early, late, _est, rclass, occ = branch_problem(
+                        sb, machine, b
+                    )
+                    ref = solve_relaxation(
+                        nodes, early, late, rclass, machine, occupancy=occ
+                    )
+                    assert full == ref, (sb.name, machine.name, b)
+
+
+def _pairwise_results(sb, machine, backend):
+    rc = early_rc(sb.graph, machine)
+    late = {
+        b: late_rc_for_branch(sb.graph, machine, b, rc[b])
+        for b in sb.branches
+    }
+    with kernels.forced(backend):
+        counters = Counters()
+        bounder = PairwiseBounder(
+            sb.graph, machine, rc, late, sb.branch_latency, counters
+        )
+        bounds = [
+            bounder.pair_bound(i, j, 1.0, 2.0)
+            for i, j in itertools.combinations(sb.branches, 2)
+        ]
+    return bounds, counters.as_dict()
+
+
+@needs_numpy
+class TestPairwiseParity:
+    @pytest.fixture(autouse=True)
+    def _force_engines(self, monkeypatch):
+        """Zero the perf size gates so small cases exercise the engine."""
+        from repro.kernels import pairwise_numpy
+
+        monkeypatch.setattr(pairwise_numpy, "_MIN_PIECES", 0)
+        monkeypatch.setattr(pairwise_numpy, "_MIN_CELLS", 0)
+
+    @pytest.mark.parametrize(
+        "machine", (GP2, FS4_NP, GP1_BLOCKING), ids=lambda m: m.name
+    )
+    def test_corpus_pair_bounds_identical(self, machine, tiny_corpus):
+        for sb in tiny_corpus:
+            if len(sb.branches) < 2:
+                continue
+            ref = _pairwise_results(sb, machine, "python")
+            got = _pairwise_results(sb, machine, "numpy")
+            assert got == ref, (sb.name, machine.name)
+
+    def test_fuzz_pair_bounds_identical(self):
+        """Multi-branch fuzz cases move est_j mid-sweep (the warm-start
+        rebuild in the python path); the engine must track it exactly."""
+        for case in fuzz_cases(30, seed=3):
+            if len(case.sb.branches) < 2:
+                continue
+            ref = _pairwise_results(case.sb, case.machine, "python")
+            got = _pairwise_results(case.sb, case.machine, "numpy")
+            assert got == ref, (case.sb.name, case.machine.name)

@@ -78,6 +78,28 @@ class TestPairBound:
         pb = bounder.pair_bound(3, 16, 0.25, 0.75)
         assert pb.cost(0.25, 0.75) == pytest.approx(0.25 * 2 + 0.75 * 8)
 
+    def test_equal_cost_plateau_breaks_to_smallest_separation(self):
+        """Both selection sites share one tie-break: on an equal-cost
+        plateau the smallest separation wins, leaving the schedule the
+        most freedom."""
+        from repro.bounds.pairwise import TradeoffPoint, best_tradeoff_point
+
+        curve = (
+            TradeoffPoint(separation=1, x=4, y=5),
+            TradeoffPoint(separation=2, x=3, y=5),  # cost ties with below
+            TradeoffPoint(separation=3, x=2, y=6),  # 1*2 + 1*6 == 3 + 5
+        )
+        best = best_tradeoff_point(curve, 1.0, 1.0)
+        assert best.separation == 2
+        # And the reported pair-bound best agrees with the helper on a
+        # real curve, for arbitrary weights.
+        sb = figure4()
+        bounder, _rc = make_bounder(sb, GP2)
+        pb = bounder.pair_bound(6, 18, 0.5, 0.5)
+        assert pb.best_for_weights(0.5, 0.5) == best_tradeoff_point(
+            pb.curve, 0.5, 0.5
+        )
+
 
 class TestPairBoundSoundness:
     """Every curve point must under-bound the corresponding optimal."""

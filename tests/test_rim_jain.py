@@ -119,3 +119,43 @@ class TestSinkBound:
         )
         assert result.bound == 3
         assert result.max_miss == 0
+
+
+class TestNonPipelinedPlacements:
+    def test_multi_unit_class_reports_min_consistent_issue(self):
+        """Two urgent unit ops fill cycle 0, pushing the occupancy-2
+        op's piece 0 into cycle 1 — where piece 1 (release 1) also
+        lands on the second unit. The issue-slot estimate must be
+        min(1 - 0, 1 - 1) = 0, the earliest issue consistent with
+        *every* placed piece, not piece 0's slot (1)."""
+        from types import SimpleNamespace
+
+        machine = SimpleNamespace(units_of=lambda name: 2)
+        miss, placements = solve_relaxation(
+            [0, 1, 2],
+            {0: 0, 1: 0, 2: 0},
+            {0: 0, 1: 0, 2: 5},
+            {0: "blk", 1: "blk", 2: "blk"},
+            machine,
+            occupancy={2: 2},
+        )
+        assert miss == 0
+        assert placements == {0: 0, 1: 0, 2: 0}
+
+    def test_single_unit_class_reports_piece_zero_slot(self):
+        """With one unit the pieces serialize, so piece 0's slot is the
+        minimum and the estimate stays non-negative."""
+        from types import SimpleNamespace
+
+        machine = SimpleNamespace(units_of=lambda name: 1)
+        miss, placements = solve_relaxation(
+            [0, 1],
+            {0: 0, 1: 0},
+            {0: 0, 1: 4},
+            {0: "blk", 1: "blk"},
+            machine,
+            occupancy={1: 3},
+        )
+        assert miss == 0
+        # op 0 takes slot 0 (deadline first); op 1's pieces land 1,2,3.
+        assert placements == {0: 0, 1: 1}
