@@ -19,6 +19,12 @@ Commands:
 * ``obs``      — query the run ledger: ``summary``, ``blocks``,
   ``anomalies``, ``diff A B``, and ``dashboard --out report.html`` (a
   self-contained static HTML performance dashboard).
+* ``serve``    — run the batch scheduling service: an HTTP/JSON API
+  (``POST /v1/batch``, ``/healthz``, ``/metrics``) over the worker
+  pool, result cache and run ledger (see docs/service.md).
+* ``loadgen``  — drive a service (or a self-hosted one) with
+  zipf-skewed synthetic traffic; reports latency percentiles,
+  throughput and cache hit-rate into the bench history.
 
 Corpus-sweep commands accept ``--jobs N`` to fan the (superblock,
 machine) work units out over N worker processes; outputs are
@@ -437,7 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--family", action="append", metavar="F",
         help="restrict to an oracle family "
-        "(legality, bounds, sim, cache, pack, ledger, kernel); "
+        "(legality, bounds, sim, cache, pack, ledger, kernel, service); "
         "repeatable, default all",
     )
     p.add_argument(
@@ -608,6 +614,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="the command to profile, with its flags "
         "(e.g. 'profile table1 --quick'; --quick on corpus commands "
         "is shorthand for --scale 12 --max-ops 32)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the batch scheduling service (HTTP/JSON over the "
+        "worker pool, cache and ledger; see docs/service.md)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8131,
+        help="listen port (default 8131; 0 = pick an ephemeral port)",
+    )
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache directory for warm requests "
+        "(default: REPRO_CACHE_DIR; unset = no caching); responses are "
+        "bit-identical with or without it",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even when REPRO_CACHE_DIR is set",
+    )
+    _add_ledger_args(p)
+    p.add_argument(
+        "--max-blocks", type=int, default=None, metavar="N",
+        help="per-request superblock cap (default 64); larger batches "
+        "answer 413",
+    )
+    p.add_argument(
+        "--max-body-mb", type=float, default=None, metavar="MB",
+        help="request body cap in MiB (default 8)",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a scheduling service with zipf-skewed synthetic load",
+    )
+    p.add_argument(
+        "--url", metavar="URL",
+        help="target server base URL (e.g. http://127.0.0.1:8131); "
+        "omit to self-host a temporary server on an ephemeral port",
+    )
+    p.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="total requests to send (default 200)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=4, metavar="C",
+        help="client threads issuing requests (default 4)",
+    )
+    p.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="zipf skew exponent of the request popularity distribution "
+        "(default 1.1; higher = hotter hot set, more warm cache hits)",
+    )
+    p.add_argument(
+        "--templates", type=int, default=24, metavar="N",
+        help="distinct request bodies in the rotation (default 24)",
+    )
+    p.add_argument("--seed", type=int, default=1999, help="stream seed")
+    p.add_argument(
+        "--scale", type=int, default=48,
+        help="corpus size the request templates draw blocks from",
+    )
+    p.add_argument(
+        "--max-ops", type=int, default=64, help="per-superblock op cap"
+    )
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache directory of the self-hosted server (ignored with "
+        "--url; default: a temporary directory)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="S",
+        help="per-request timeout in seconds (default 60)",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", help="write the load report JSON here"
+    )
+    p.add_argument(
+        "--history", metavar="PATH",
+        help="bench history JSONL to append the report to "
+        "(default: the committed benchmarks/BENCH_history.jsonl)",
+    )
+    p.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the bench history",
+    )
+    p.add_argument(
+        "--min-hit-rate", type=float, default=None, metavar="R",
+        help="fail unless the warm cache hit-rate reaches R (0..1); "
+        "CI's service-smoke gate uses this",
     )
 
     p = sub.add_parser(
@@ -1312,6 +1415,122 @@ def _dispatch(args) -> str:
         if args.out:
             report.save(args.out)
             lines.append(f"profile report written to {args.out}")
+        return "\n".join(lines)
+
+    if args.command == "serve":
+        from repro.service.app import ServiceConfig
+        from repro.service.protocol import (
+            DEFAULT_MAX_BLOCKS,
+            DEFAULT_MAX_BODY_BYTES,
+        )
+        from repro.service.server import ServiceServer
+
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=_resolve_cache_dir(args),
+            ledger_dir=_resolve_ledger_dir(args),
+            max_blocks=(
+                args.max_blocks
+                if args.max_blocks is not None
+                else DEFAULT_MAX_BLOCKS
+            ),
+            max_body_bytes=(
+                int(args.max_body_mb * 1024 * 1024)
+                if args.max_body_mb is not None
+                else DEFAULT_MAX_BODY_BYTES
+            ),
+        )
+        server = ServiceServer(config)
+        try:
+            server.bind()
+        except OSError as exc:
+            raise CommandError(
+                f"serve: cannot bind {config.host}:{config.port}: {exc}"
+            ) from None
+        # Announce readiness before blocking: CI polls /healthz, humans
+        # read this line.
+        print(
+            f"repro serve listening on {server.url} "
+            f"(jobs={config.jobs}, "
+            f"cache={'on' if config.cache_dir else 'off'}, "
+            f"ledger={'on' if config.ledger_dir else 'off'})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        counters = server.service.registry.counters.as_dict()
+        return (
+            f"repro serve stopped after "
+            f"{counters.get('service.requests', 0)} request(s)"
+        )
+
+    if args.command == "loadgen":
+        from repro.obs import trend as trend_mod
+        from repro.service.loadgen import LoadgenConfig, run_loadgen
+
+        config = LoadgenConfig(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            zipf=args.zipf,
+            seed=args.seed,
+            url=args.url,
+            templates=args.templates,
+            scale=args.scale,
+            max_ops=args.max_ops,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+        )
+        try:
+            report = run_loadgen(config)
+        except OSError as exc:
+            raise CommandError(f"loadgen: {exc}") from None
+        lines = [report.render()]
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            lines.append(f"report written to {args.out}")
+        if not args.no_history:
+            history_path = args.history or str(trend_mod.DEFAULT_HISTORY)
+            record = trend_mod.make_record(
+                report.history_payload(),
+                label="loadgen",
+                config={
+                    "requests": config.requests,
+                    "concurrency": config.concurrency,
+                    "zipf": config.zipf,
+                    "seed": config.seed,
+                    "templates": config.templates,
+                    "self_hosted": config.url is None,
+                },
+            )
+            trend_mod.append_record(record, history_path)
+            lines.append(f"history appended to {history_path}")
+        if not report.ok:
+            raise CommandError(
+                "\n".join(lines + [f"loadgen: {report.failed} request(s) failed"])
+            )
+        if (
+            args.min_hit_rate is not None
+            and report.hit_rate < args.min_hit_rate
+        ):
+            raise CommandError(
+                "\n".join(
+                    lines
+                    + [
+                        f"loadgen: warm hit-rate {report.hit_rate:.3f} is "
+                        f"below the --min-hit-rate floor "
+                        f"{args.min_hit_rate:.3f}"
+                    ]
+                )
+            )
         return "\n".join(lines)
 
     if args.command == "export":

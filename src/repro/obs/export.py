@@ -226,3 +226,56 @@ def metrics_to_prometheus(data: dict[str, Any], prefix: str = "repro") -> str:
             name,
         )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: One sample line: name, optional {labels}, numeric value.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\")*\})?"  # more labels
+    r" [0-9eE+.\-]+$"  # value
+)
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Lint a text exposition (0.0.4) document; returns the problems found.
+
+    Covers the subset :func:`metrics_to_prometheus` emits — ``# HELP`` /
+    ``# TYPE`` comment pairs followed by labelled samples — plus the
+    format's ground rules (legal names, numeric values, a ``TYPE``
+    declared before its samples). An empty list means valid; the service
+    smoke test and CI's ``/metrics`` scrape both gate on it.
+    """
+    problems: list[str] = []
+    typed: dict[str, str] = {}
+    sampled = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {lineno}: malformed TYPE comment")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP "):
+                problems.append(
+                    f"line {lineno}: unknown comment (expect HELP/TYPE)"
+                )
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        sampled = True
+        metric = re.split(r"[{ ]", line, maxsplit=1)[0]
+        if metric not in typed:
+            problems.append(
+                f"line {lineno}: sample {metric!r} has no preceding TYPE"
+            )
+    if not sampled and not problems:
+        problems.append("no samples in exposition")
+    return problems

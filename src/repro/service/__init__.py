@@ -1,0 +1,64 @@
+"""Scheduler-as-a-service: batch HTTP API over the evaluation library.
+
+The production loop the ROADMAP asks for: ``python -m repro serve``
+boots a dependency-free stdlib HTTP/JSON server whose batch requests
+fan out through the persistent worker pool (:mod:`repro.perf`), answer
+warm from the content-addressed cache (:mod:`repro.cache`) under the
+library's bit-identity contract, and land in the run ledger
+(:mod:`repro.obs.ledger`) so the observability dashboard covers service
+traffic unchanged. ``python -m repro loadgen`` is the matching load
+harness: zipf-skewed synthetic traffic, p50/p99/throughput/hit-rate
+reporting into the bench trend history.
+
+Layering:
+
+* :mod:`repro.service.protocol` — wire schemas, validation, error codes;
+* :mod:`repro.service.app` — the HTTP-free service core (state, locks,
+  evaluation, crash retry, live metrics);
+* :mod:`repro.service.server` — the stdlib HTTP front end;
+* :mod:`repro.service.loadgen` — the synthetic load generator.
+
+The ``service`` verify family (``python -m repro verify --family
+service``) pins the central contract: HTTP batch responses are
+bit-identical — results *and* reported counters — to direct library
+calls, cold and warm.
+"""
+
+from repro.service.app import SchedulerService, ServiceConfig
+from repro.service.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    run_against,
+    run_loadgen,
+)
+from repro.service.protocol import (
+    DEFAULT_HEURISTICS,
+    DEFAULT_MAX_BLOCKS,
+    DEFAULT_MAX_BODY_BYTES,
+    PROTOCOL_VERSION,
+    BatchRequest,
+    ProtocolError,
+    error_payload,
+    parse_batch_request,
+    result_payload,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "BatchRequest",
+    "DEFAULT_HEURISTICS",
+    "DEFAULT_MAX_BLOCKS",
+    "DEFAULT_MAX_BODY_BYTES",
+    "LoadReport",
+    "LoadgenConfig",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceServer",
+    "error_payload",
+    "parse_batch_request",
+    "result_payload",
+    "run_against",
+    "run_loadgen",
+]

@@ -1,0 +1,300 @@
+"""The scheduling service core: state, evaluation, live metrics.
+
+:class:`SchedulerService` is the HTTP-free heart of ``repro serve``. One
+instance owns:
+
+* the **content-addressed result cache** (:mod:`repro.cache`) — warm
+  requests are answered from it under the same bit-identity contract the
+  library enforces (uncached == cold == warm, results and counters);
+* the **persistent worker pool** (:mod:`repro.perf`) — batches fan out
+  through :func:`repro.eval.sched_eval.evaluate_corpus` with the
+  configured ``--jobs``, reusing warm workers across requests;
+* the **run ledger** (:mod:`repro.obs.ledger`) — every request appends a
+  ``serve`` run record (per-block detail, span attribution, cache and
+  dispatch stats), so ``python -m repro obs dashboard`` works on service
+  traffic unchanged;
+* the **live metrics registry** — per-request kernel counters merge into
+  it after each request plus ``service.*`` counters/timers, rendered by
+  ``GET /metrics`` in Prometheus text exposition via
+  :func:`repro.obs.export.metrics_to_prometheus`.
+
+Concurrency model: HTTP handling is multi-threaded (health and metrics
+stay responsive under load) but evaluation is serialized by a lock —
+the library's ambient-state stacks (cache, recorder, tracer, metrics)
+are process-global, and batch-level parallelism is the worker pool's
+job, not the request threads'. A worker killed mid-batch surfaces as
+:class:`~repro.perf.runner.WorkerCrashError`; the service retries the
+batch once on fresh workers (the pool-eviction recovery path) before
+answering 503, so a single crash never fails a request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Any
+
+from repro import cache as result_cache
+from repro.cache.store import ResultCache
+from repro.obs import ledger as ledger_mod
+from repro.obs import trace as trace_mod
+from repro.obs.export import metrics_to_prometheus, spans_to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.runner import WorkerCrashError, reset_dispatch_stats
+from repro.service import protocol
+
+logger = logging.getLogger("repro.service")
+
+#: Attempts per batch: the original run plus one retry on a worker crash
+#: (the pool was evicted; the retry spawns fresh workers).
+_MAX_ATTEMPTS = 2
+
+
+@dataclass
+class ServiceConfig:
+    """One server's configuration (CLI flags map onto this 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8131
+    jobs: int = 1
+    cache_dir: str | None = None
+    ledger_dir: str | None = None
+    max_blocks: int = protocol.DEFAULT_MAX_BLOCKS
+    max_body_bytes: int = protocol.DEFAULT_MAX_BODY_BYTES
+
+
+class SchedulerService:
+    """Evaluates batch requests against the library, with shared state."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.cache: ResultCache | None = (
+            ResultCache(config.cache_dir) if config.cache_dir else None
+        )
+        #: Live registry behind ``GET /metrics``: service counters plus
+        #: the merged kernel counters of every request served.
+        self.registry = MetricsRegistry()
+        self.started_at = time.time()
+        self._clock0 = time.perf_counter()
+        self._eval_lock = threading.Lock()
+        self._registry_lock = threading.Lock()
+        self._request_seq = itertools.count(1)
+
+    # -- live metrics ----------------------------------------------------
+    def note(self, counter: str, amount: int = 1) -> None:
+        """Bump a service counter on the live registry (thread-safe)."""
+        with self._registry_lock:
+            self.registry.add(counter, amount)
+
+    def _absorb(
+        self, registry: MetricsRegistry, request: protocol.BatchRequest,
+        elapsed: float,
+    ) -> None:
+        """Fold one served request's registry + accounting into the live one."""
+        with self._registry_lock:
+            self.registry.merge(registry)
+            self.registry.add("service.requests")
+            self.registry.add(f"service.requests.{request.kind}")
+            self.registry.add("service.blocks", len(request.superblocks))
+            self.registry.observe("service.request_seconds", elapsed)
+
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._clock0
+
+    def health(self) -> dict[str, Any]:
+        """The ``GET /healthz`` body."""
+        with self._registry_lock:
+            counters = self.registry.counters.as_dict()
+        return {
+            "status": "ok",
+            "uptime_s": round(self.uptime_s(), 3),
+            "requests": counters.get("service.requests", 0),
+            "jobs": self.config.jobs,
+            "cache": self.config.cache_dir is not None,
+            "ledger": self.config.ledger_dir is not None,
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition 0.0.4.
+
+        A snapshot of the live registry plus scrape-time gauges (uptime,
+        cache lifetime totals). Gauges — not counter adds — for the cache
+        stats, so scraping never double-counts.
+        """
+        with self._registry_lock:
+            data = self.registry.as_dict()
+        gauges = data["gauges"]
+        gauges["service.uptime_seconds"] = round(self.uptime_s(), 3)
+        if self.cache is not None:
+            for event, amount in self.cache.stats.as_dict().items():
+                gauges[f"service.cache.{event}"] = float(amount)
+            gauges["service.cache.hit_rate"] = round(
+                self.cache.stats.hit_rate, 6
+            )
+        return metrics_to_prometheus(data, prefix="repro")
+
+    # -- batch evaluation ------------------------------------------------
+    def handle_batch(self, raw: bytes) -> tuple[int, dict[str, Any]]:
+        """Decode, validate and evaluate one batch body.
+
+        Returns ``(http_status, response_payload)``. Every failure mode
+        maps to a structured error body — never a traceback, never a
+        dead server.
+        """
+        try:
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise protocol.ProtocolError(
+                    "bad-json", f"request body is not valid JSON: {exc}"
+                ) from None
+            request = protocol.parse_batch_request(
+                data, max_blocks=self.config.max_blocks
+            )
+            with self._eval_lock:
+                payload, registry, elapsed = self._evaluate(request)
+        except protocol.ProtocolError as exc:
+            self.note(f"service.errors.{exc.code}")
+            return exc.status, protocol.error_payload(exc.code, str(exc))
+        except WorkerCrashError as exc:
+            # Both attempts lost their workers; the pool is evicted, so
+            # the *next* request starts clean.
+            logger.error("batch failed after worker-crash retry: %s", exc)
+            self.note("service.errors.worker-crash")
+            return 503, protocol.error_payload(
+                "worker-crash",
+                "a worker process died twice while evaluating this batch; "
+                "the pool was recycled — retry the request",
+            )
+        except Exception:
+            logger.exception("batch request failed")
+            self.note("service.errors.internal")
+            return 500, protocol.error_payload(
+                "internal", "internal error; see the server log"
+            )
+        self._absorb(registry, request, elapsed)
+        return 200, payload
+
+    def _evaluate(
+        self, request: protocol.BatchRequest
+    ) -> tuple[dict[str, Any], MetricsRegistry, float]:
+        """Run one validated batch; must hold ``_eval_lock``.
+
+        Each attempt starts from scratch (fresh registry, tracer and
+        recorder) so a worker-crash retry cannot double-count anything.
+        """
+        from repro.eval.sched_eval import evaluate_corpus
+        from repro.workloads.corpus import Corpus
+
+        blocks = list(request.superblocks)
+        corpus = Corpus(name="service-batch", superblocks=blocks)
+        for attempt in range(1, _MAX_ATTEMPTS + 1):
+            registry = MetricsRegistry()
+            tracer = (
+                trace_mod.Tracer()
+                if request.trace or self.config.ledger_dir is not None
+                else None
+            )
+            recorder = (
+                ledger_mod.RunRecorder(
+                    "serve",
+                    args={
+                        "kind": request.kind,
+                        "machine": request.machine.name,
+                        "blocks": len(blocks),
+                        "heuristics": list(request.heuristics),
+                        "include_triplewise": request.include_triplewise,
+                        "jobs": self.config.jobs,
+                    },
+                    directory=self.config.ledger_dir,
+                )
+                if self.config.ledger_dir is not None
+                else None
+            )
+            stats_before = (
+                self.cache.stats.as_dict() if self.cache is not None else None
+            )
+            reset_dispatch_stats()
+            t0 = time.perf_counter()
+            try:
+                with ExitStack() as stack:
+                    if tracer is not None:
+                        stack.enter_context(trace_mod.install(tracer))
+                    if self.cache is not None:
+                        stack.enter_context(result_cache.install(self.cache))
+                    if recorder is not None:
+                        stack.enter_context(ledger_mod.installed(recorder))
+                    with trace_mod.span(
+                        "service.batch",
+                        kind=request.kind,
+                        machine=request.machine.name,
+                        blocks=len(blocks),
+                    ):
+                        summary = evaluate_corpus(
+                            corpus,
+                            request.machine,
+                            heuristics=request.heuristics,
+                            include_triplewise=request.include_triplewise,
+                            jobs=self.config.jobs,
+                            metrics=registry,
+                        )
+            except WorkerCrashError:
+                if attempt >= _MAX_ATTEMPTS:
+                    raise
+                logger.warning(
+                    "worker crashed mid-batch; pool evicted — retrying "
+                    "the batch on fresh workers"
+                )
+                self.note("service.worker_crash_retries")
+                continue
+            elapsed = time.perf_counter() - t0
+            break
+        cache_delta = self._cache_delta(stats_before)
+        request_id = f"req-{next(self._request_seq):06x}"
+        if recorder is not None:
+            if cache_delta is not None:
+                recorder.attach_cache_stats(cache_delta)
+            recorder.finalize(
+                span_events=tracer.spans() if tracer is not None else None,
+                metrics=registry,
+            )
+            request_id = recorder.run_id
+        payload: dict[str, Any] = {
+            "schema_version": protocol.PROTOCOL_VERSION,
+            "request_id": request_id,
+            "kind": request.kind,
+            "machine": request.machine.name,
+            "results": [
+                protocol.result_payload(r) for r in summary.results
+            ],
+            "counters": registry.as_dict()["counters"],
+            "cache": cache_delta,
+            "elapsed_s": round(elapsed, 6),
+        }
+        if request.trace and tracer is not None:
+            payload["trace"] = spans_to_chrome_trace(
+                tracer.spans(), process_name="repro-serve"
+            )
+        return payload, registry, elapsed
+
+    def _cache_delta(
+        self, before: dict[str, Any] | None
+    ) -> dict[str, Any] | None:
+        """This request's cache activity (lifetime totals minus ``before``)."""
+        if before is None or self.cache is None:
+            return None
+        after = self.cache.stats.as_dict()
+        delta = {
+            key: int(after.get(key, 0)) - int(before.get(key, 0))
+            for key in ("hits", "misses", "writes", "memory_hits")
+        }
+        looked = delta["hits"] + delta["misses"]
+        delta["hit_rate"] = (
+            round(delta["hits"] / looked, 6) if looked else 0.0
+        )
+        return delta

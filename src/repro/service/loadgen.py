@@ -1,0 +1,344 @@
+"""Synthetic load harness for the scheduling service.
+
+``python -m repro loadgen`` drives a running ``repro serve`` (or
+self-hosts one on an ephemeral port when no ``--url`` is given) with a
+zipf-skewed request stream drawn from the seeded SPECint95-shaped corpus
+generator. The zipf skew is the point: a handful of hot batches repeat
+often — exactly the traffic shape a warm content-addressed cache is for
+— so the run measures the *service* (latency percentiles, throughput,
+failure count) and the *cache* (warm hit-rate) in one pass.
+
+The report lands in ``benchmarks/BENCH_history.jsonl`` through the
+existing trend machinery (:mod:`repro.obs.trend`), under the ``loadgen``
+label: throughput carries unit ``req/s`` so history gating treats it
+higher-is-better; latency percentiles (``ms``) and hit-rate (``ratio``)
+ride along as informational series.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ir.serialize import superblock_to_dict
+from repro.service import protocol
+
+#: Default machine rotation for generated request templates.
+DEFAULT_MACHINES = ("GP2", "FS4")
+
+
+@dataclass
+class LoadgenConfig:
+    """One load run's knobs (CLI flags map onto this 1:1)."""
+
+    requests: int = 200
+    concurrency: int = 4
+    zipf: float = 1.1  #: skew exponent; higher = hotter hot set
+    seed: int = 1999
+    url: str | None = None  #: target server; None self-hosts one
+    templates: int = 24  #: distinct request bodies in the rotation
+    scale: int = 48  #: corpus size the templates draw blocks from
+    max_ops: int = 64
+    machines: tuple[str, ...] = DEFAULT_MACHINES
+    jobs: int = 1  #: worker-pool width of the self-hosted server
+    cache_dir: str | None = None  #: cache of the self-hosted server
+    timeout_s: float = 60.0
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    requests: int
+    failed: int
+    elapsed_s: float
+    throughput_rps: float
+    latency_ms: dict[str, float]
+    hit_rate: float
+    hits: int
+    misses: int
+    statuses: dict[str, int]
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "failed": self.failed,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_ms": self.latency_ms,
+            "hit_rate": round(self.hit_rate, 6),
+            "hits": self.hits,
+            "misses": self.misses,
+            "statuses": self.statuses,
+            "errors": self.errors,
+        }
+
+    def render(self) -> str:
+        lat = self.latency_ms
+        lines = [
+            f"loadgen: {self.requests} requests, {self.failed} failed, "
+            f"{self.elapsed_s:.2f}s "
+            f"({self.throughput_rps:.1f} req/s)",
+            f"  latency ms: p50={lat['p50']:.1f} p90={lat['p90']:.1f} "
+            f"p99={lat['p99']:.1f} mean={lat['mean']:.1f}",
+            f"  cache: hit_rate={self.hit_rate:.3f} "
+            f"(hits={self.hits} misses={self.misses})",
+            "  statuses: "
+            + ", ".join(
+                f"{code}={count}"
+                for code, count in sorted(self.statuses.items())
+            ),
+        ]
+        for error in self.errors:
+            lines.append(f"  error: {error}")
+        return "\n".join(lines)
+
+    def history_payload(self) -> dict[str, Any]:
+        """BENCH-shaped metrics for the trend history.
+
+        ``req/s`` is the gated (higher-is-better) series; the latency
+        percentiles and hit-rate are informational units by design —
+        absolute latency varies too much across runner hardware for a
+        portable gate, while a throughput *collapse* is worth catching.
+        """
+        return {
+            "loadgen_throughput": {
+                "value": round(self.throughput_rps, 2),
+                "unit": "req/s",
+            },
+            "loadgen_p50_latency": {
+                "value": self.latency_ms["p50"],
+                "unit": "ms",
+            },
+            "loadgen_p99_latency": {
+                "value": self.latency_ms["p99"],
+                "unit": "ms",
+            },
+            "loadgen_hit_rate": {
+                "value": round(self.hit_rate, 6),
+                "unit": "ratio",
+            },
+            "loadgen_failed": {"value": self.failed, "unit": "requests"},
+        }
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, int(round(q * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[rank]
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Zipf popularity weights: item ``k`` (1-based) gets ``1 / k**s``."""
+    if n <= 0:
+        raise ValueError("need at least one item")
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def build_templates(config: LoadgenConfig) -> list[dict[str, Any]]:
+    """Distinct request bodies the zipf stream draws from.
+
+    Templates rotate machine, kind and batch size over blocks of the
+    seeded corpus, so a run exercises both request kinds and several
+    batch shapes while repeats stay bit-identical (the cache contract).
+    """
+    from repro.workloads.corpus import specint95_corpus
+
+    corpus = specint95_corpus(
+        scale=max(8, config.scale), seed=config.seed, max_ops=config.max_ops
+    )
+    blocks = [superblock_to_dict(sb) for sb in corpus.superblocks]
+    rng = random.Random(config.seed)
+    templates: list[dict[str, Any]] = []
+    for index in range(config.templates):
+        machine = config.machines[index % len(config.machines)]
+        kind = "schedule" if index % 3 else "bounds"
+        batch = 1 + rng.randrange(3)
+        start = rng.randrange(len(blocks))
+        chosen = [
+            blocks[(start + offset) % len(blocks)] for offset in range(batch)
+        ]
+        body: dict[str, Any] = {
+            "kind": kind,
+            "machine": machine,
+            "blocks": chosen,
+        }
+        if kind == "schedule":
+            body["heuristics"] = list(protocol.DEFAULT_HEURISTICS)
+        templates.append(body)
+    return templates
+
+
+@dataclass
+class _WorkerTally:
+    """One worker thread's outcomes (merged after the run)."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    statuses: dict[str, int] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    failed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def _post_batch(
+    url: str, body: bytes, timeout_s: float
+) -> tuple[int, dict[str, Any]]:
+    request = urllib.request.Request(
+        f"{url}/v1/batch",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        # Protocol errors still carry a structured JSON body.
+        return exc.code, json.loads(exc.read())
+
+
+def _drain(
+    url: str,
+    stream: list[bytes],
+    cursor: "itertools.count[int]",
+    tally: _WorkerTally,
+    timeout_s: float,
+) -> None:
+    for index in cursor:
+        if index >= len(stream):
+            return
+        t0 = time.perf_counter()
+        try:
+            status, payload = _post_batch(url, stream[index], timeout_s)
+        except Exception as exc:  # noqa: BLE001 - any transport failure
+            tally.failed += 1
+            if len(tally.errors) < 10:
+                tally.errors.append(f"request {index}: {exc}")
+            tally.statuses["transport-error"] = (
+                tally.statuses.get("transport-error", 0) + 1
+            )
+            continue
+        tally.latencies_ms.append(1000.0 * (time.perf_counter() - t0))
+        tally.statuses[str(status)] = tally.statuses.get(str(status), 0) + 1
+        if status != 200:
+            tally.failed += 1
+            if len(tally.errors) < 10:
+                error = payload.get("error", {})
+                tally.errors.append(
+                    f"request {index}: {status} "
+                    f"{error.get('code')}: {error.get('message')}"
+                )
+            continue
+        cache = payload.get("cache") or {}
+        tally.hits += int(cache.get("hits", 0))
+        tally.hits += int(cache.get("memory_hits", 0))
+        tally.misses += int(cache.get("misses", 0))
+
+
+def run_against(url: str, config: LoadgenConfig) -> LoadReport:
+    """Fire the zipf stream at ``url`` and aggregate the outcome."""
+    templates = build_templates(config)
+    weights = zipf_weights(len(templates), config.zipf)
+    rng = random.Random(config.seed + 1)
+    stream = [
+        json.dumps(body).encode("utf-8")
+        for body in rng.choices(templates, weights=weights, k=config.requests)
+    ]
+    cursor = itertools.count()
+    tallies = [_WorkerTally() for _ in range(max(1, config.concurrency))]
+    threads = [
+        threading.Thread(
+            target=_drain,
+            args=(url, stream, cursor, tally, config.timeout_s),
+            name=f"loadgen-{i}",
+            daemon=True,
+        )
+        for i, tally in enumerate(tallies)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+
+    latencies = sorted(
+        ms for tally in tallies for ms in tally.latencies_ms
+    )
+    statuses: dict[str, int] = {}
+    errors: list[str] = []
+    hits = misses = failed = 0
+    for tally in tallies:
+        failed += tally.failed
+        hits += tally.hits
+        misses += tally.misses
+        for code, count in tally.statuses.items():
+            statuses[code] = statuses.get(code, 0) + count
+        errors.extend(tally.errors)
+    looked = hits + misses
+    return LoadReport(
+        requests=config.requests,
+        failed=failed,
+        elapsed_s=elapsed,
+        throughput_rps=config.requests / elapsed if elapsed > 0 else 0.0,
+        latency_ms={
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "mean": round(
+                sum(latencies) / len(latencies) if latencies else 0.0, 3
+            ),
+        },
+        hit_rate=hits / looked if looked else 0.0,
+        hits=hits,
+        misses=misses,
+        statuses=statuses,
+        errors=errors[:10],
+    )
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadReport:
+    """Run one load pass; self-hosts a server when no URL is configured.
+
+    The self-hosted server always gets a result cache (a temporary one
+    unless ``cache_dir`` says otherwise) — a load run without a cache
+    cannot measure the warm-path at all.
+    """
+    if config.url is not None:
+        return run_against(config.url.rstrip("/"), config)
+
+    from repro.service.app import ServiceConfig
+    from repro.service.server import ServiceServer
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        server = ServiceServer(
+            ServiceConfig(
+                port=0,
+                jobs=config.jobs,
+                cache_dir=config.cache_dir or tmp,
+            )
+        )
+        server.start()
+        try:
+            return run_against(server.url, config)
+        finally:
+            server.stop()

@@ -1,0 +1,232 @@
+"""Wire protocol for the scheduling service: schemas, validation, errors.
+
+One request shape (``POST /v1/batch``)::
+
+    {
+      "kind": "schedule" | "bounds",
+      "machine": "GP2" | {"name": ..., "units": {...}, "occupancy": {...}},
+      "blocks": [<superblock JSON>, ...],
+      "heuristics": ["dhasy", "balance"],
+      "include_triplewise": false,
+      "trace": false
+    }
+
+Superblocks use the :mod:`repro.ir.serialize` JSON round-trip format
+verbatim; machines are either a built-in configuration name or the
+:func:`repro.verify.generators.machine_to_dict` shape, so anything a
+verify finding or a corpus file records can be posted as-is. The
+response reports, per block, every lower bound plus the WCT *and*
+makespan of each requested heuristic (the bicriteria view), the merged
+trip counters, and the request's cache hit/miss delta — all of it
+bit-identical to the equivalent direct library call (the ``service``
+verify family pins this).
+
+Every client-side mistake maps to a :class:`ProtocolError` carrying a
+kebab-case machine-readable ``code`` and an HTTP status; the server
+renders these as structured JSON errors — a malformed request never
+produces a stack trace or kills the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ir.serialize import superblock_from_dict
+from repro.ir.superblock import Superblock
+from repro.machine.machine import MachineConfig, machine_by_name
+
+#: Response/request schema version (bump on breaking shape changes).
+PROTOCOL_VERSION = 1
+
+#: Request kinds: ``schedule`` runs bounds + the requested heuristics,
+#: ``bounds`` runs the bound suite only.
+KINDS = ("schedule", "bounds")
+
+#: Heuristics evaluated when a schedule request names none.
+DEFAULT_HEURISTICS = ("dhasy", "balance")
+
+#: Per-request block cap (server-configurable; protects the worker pool).
+DEFAULT_MAX_BLOCKS = 64
+
+#: Request body cap in bytes (server-configurable).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A client-side protocol violation, mapped to a structured error.
+
+    ``code`` is stable and machine-readable (``bad-json``,
+    ``unknown-machine``, ``batch-too-large``, ...); ``status`` is the
+    HTTP status the server answers with.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
+def error_payload(code: str, message: str) -> dict[str, Any]:
+    """The structured error body every non-2xx response carries."""
+    return {
+        "schema_version": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message},
+    }
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A validated batch request, ready for evaluation."""
+
+    kind: str
+    machine: MachineConfig
+    superblocks: tuple[Superblock, ...]
+    heuristics: tuple[str, ...]
+    include_triplewise: bool
+    trace: bool
+
+
+def parse_machine(value: Any) -> MachineConfig:
+    """A machine from its request encoding (name or dict)."""
+    if isinstance(value, str):
+        try:
+            return machine_by_name(value)
+        except KeyError as exc:
+            raise ProtocolError("unknown-machine", str(exc)) from None
+    if isinstance(value, dict):
+        from repro.verify.generators import machine_from_dict
+
+        try:
+            return machine_from_dict(value)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad-machine", f"machine payload is invalid: {exc}"
+            ) from None
+    raise ProtocolError(
+        "bad-machine",
+        "machine must be a configuration name or a machine object "
+        "(see docs/service.md)",
+    )
+
+
+def _parse_heuristics(value: Any) -> tuple[str, ...]:
+    from repro.schedulers.base import get_scheduler
+
+    if value is None:
+        return DEFAULT_HEURISTICS
+    if not isinstance(value, list) or not all(
+        isinstance(h, str) for h in value
+    ):
+        raise ProtocolError(
+            "bad-heuristics", "heuristics must be a list of scheduler names"
+        )
+    if not value:
+        raise ProtocolError(
+            "bad-heuristics",
+            "heuristics is empty — omit it for the default set, or use "
+            "kind 'bounds' for a bounds-only request",
+        )
+    for name in value:
+        try:
+            get_scheduler(name)
+        except KeyError as exc:
+            raise ProtocolError("unknown-heuristic", str(exc)) from None
+    return tuple(value)
+
+
+def _parse_blocks(value: Any, max_blocks: int) -> tuple[Superblock, ...]:
+    if not isinstance(value, list) or not value:
+        raise ProtocolError(
+            "bad-blocks", "blocks must be a non-empty list of superblocks"
+        )
+    if len(value) > max_blocks:
+        raise ProtocolError(
+            "batch-too-large",
+            f"batch has {len(value)} blocks; this server accepts at most "
+            f"{max_blocks} per request — split the batch",
+            status=413,
+        )
+    blocks: list[Superblock] = []
+    for index, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            raise ProtocolError(
+                "bad-superblock", f"blocks[{index}] is not an object"
+            )
+        try:
+            blocks.append(superblock_from_dict(entry, validate=True))
+        except Exception as exc:  # noqa: BLE001 - any decode/validate failure
+            raise ProtocolError(
+                "bad-superblock", f"blocks[{index}] is invalid: {exc}"
+            ) from None
+    return tuple(blocks)
+
+
+def parse_batch_request(
+    data: Any, max_blocks: int = DEFAULT_MAX_BLOCKS
+) -> BatchRequest:
+    """Validate a decoded request body into a :class:`BatchRequest`.
+
+    Raises :class:`ProtocolError` on the first violation; the error's
+    ``code``/``status`` drive the HTTP response.
+    """
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            "bad-request", "request body must be a JSON object"
+        )
+    unknown = sorted(
+        set(data)
+        - {"kind", "machine", "blocks", "heuristics", "include_triplewise",
+           "trace"}
+    )
+    if unknown:
+        raise ProtocolError(
+            "unknown-field",
+            f"unknown request field(s): {', '.join(unknown)}",
+        )
+    kind = data.get("kind", "schedule")
+    if kind not in KINDS:
+        raise ProtocolError(
+            "unknown-kind",
+            f"kind {kind!r} is not one of {', '.join(KINDS)}",
+        )
+    if "machine" not in data:
+        raise ProtocolError("bad-request", "request is missing 'machine'")
+    machine = parse_machine(data["machine"])
+    blocks = _parse_blocks(data.get("blocks"), max_blocks)
+    heuristics: tuple[str, ...] = ()
+    if kind == "schedule":
+        heuristics = _parse_heuristics(data.get("heuristics"))
+    include_triplewise = data.get("include_triplewise", False)
+    trace = data.get("trace", False)
+    for flag, value in (
+        ("include_triplewise", include_triplewise), ("trace", trace)
+    ):
+        if not isinstance(value, bool):
+            raise ProtocolError("bad-request", f"{flag} must be a boolean")
+    return BatchRequest(
+        kind=kind,
+        machine=machine,
+        superblocks=blocks,
+        heuristics=heuristics,
+        include_triplewise=include_triplewise,
+        trace=trace,
+    )
+
+
+def result_payload(result: Any) -> dict[str, Any]:
+    """The per-block response entry for one ``SuperblockResult``.
+
+    Reports the tightest bound, every bound family's value, and — for
+    schedule requests — each heuristic's WCT *and* makespan (the
+    bicriteria pair). Exactly this shape, computed from a direct
+    :func:`repro.eval.sched_eval.evaluate_corpus` call, is what the
+    ``service`` verify family compares HTTP responses against.
+    """
+    return {
+        "name": result.name,
+        "tightest": result.tightest_bound,
+        "bounds": dict(result.bound_wct),
+        "wct": dict(result.heuristic_wct),
+        "makespan": dict(result.stats.get("makespan", {})),
+    }

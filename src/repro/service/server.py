@@ -1,0 +1,275 @@
+"""Stdlib HTTP front end for :class:`~repro.service.app.SchedulerService`.
+
+Endpoints:
+
+* ``GET /healthz`` — liveness/readiness JSON (never blocks on evaluation).
+* ``GET /metrics`` — Prometheus text exposition 0.0.4 from the live
+  registry.
+* ``POST /v1/batch`` — batch schedule/bounds evaluation (see
+  :mod:`repro.service.protocol`).
+
+Built on :class:`http.server.ThreadingHTTPServer` — dependency-free,
+keep-alive capable (HTTP/1.1 with explicit ``Content-Length``), one
+thread per connection. Request threads only ever *parse and reply*;
+evaluation is serialized inside the service (see
+:mod:`repro.service.app`), so health and metrics stay responsive while
+a batch computes.
+
+Robustness contract (pinned by ``tests/test_service.py``): malformed
+input of any kind answers a structured JSON error, an unexpected
+exception answers a generic 500 (the traceback goes to the log, never
+the wire), and a client that disconnects mid-request is counted
+(``service.client_disconnects``) without disturbing the server.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro import __version__
+from repro.service import protocol
+from repro.service.app import SchedulerService, ServiceConfig
+
+logger = logging.getLogger("repro.service")
+
+#: Content type of the ``/metrics`` exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Errors raised by a peer vanishing mid-read or mid-write.
+_DISCONNECT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    socket.timeout,
+    TimeoutError,
+)
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading server carrying the service instance for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: tuple[str, int], service: SchedulerService
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a stalled peer releases its thread instead of
+    #: holding it forever.
+    timeout = 60.0
+
+    @property
+    def service(self) -> SchedulerService:
+        server: Any = self.server
+        return server.service
+
+    # BaseHTTPRequestHandler logs to stderr by default; route to logging
+    # so a busy server does not spam the console the CLI runs in.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # -- response helpers ------------------------------------------------
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECT_ERRORS:
+            self.service.note("service.client_disconnects")
+            self.close_connection = True
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._send_bytes(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_error_payload(
+        self, status: int, code: str, message: str
+    ) -> None:
+        self.service.note(f"service.errors.{code}")
+        self._send_json(status, protocol.error_payload(code, message))
+
+    # -- request routing -------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            path = urlsplit(self.path).path
+            if path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif path == "/metrics":
+                self._send_bytes(
+                    200,
+                    self.service.metrics_text().encode("utf-8"),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            elif path == "/v1/batch":
+                self._send_error_payload(
+                    405, "method-not-allowed",
+                    "/v1/batch accepts POST only",
+                )
+            else:
+                self._send_error_payload(
+                    404, "not-found",
+                    f"unknown path {path!r}; endpoints: /healthz, /metrics, "
+                    "POST /v1/batch",
+                )
+        except Exception:
+            self._internal_error()
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            path = urlsplit(self.path).path
+            if path != "/v1/batch":
+                self._send_error_payload(
+                    404, "not-found",
+                    f"unknown path {path!r}; POST goes to /v1/batch",
+                )
+                return
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length or "")
+            except ValueError:
+                self._send_error_payload(
+                    411, "length-required",
+                    "POST /v1/batch needs a numeric Content-Length header",
+                )
+                self.close_connection = True
+                return
+            if length > self.service.config.max_body_bytes:
+                # Refuse before reading: an oversize body is never
+                # buffered, and the connection drops so the unread
+                # remainder cannot poison keep-alive framing.
+                self._send_error_payload(
+                    413, "body-too-large",
+                    f"request body of {length} bytes exceeds this "
+                    f"server's limit of "
+                    f"{self.service.config.max_body_bytes} bytes",
+                )
+                self.close_connection = True
+                return
+            try:
+                body = self.rfile.read(length)
+            except _DISCONNECT_ERRORS:
+                self.service.note("service.client_disconnects")
+                self.close_connection = True
+                return
+            if len(body) < length:
+                # The peer hung up mid-upload. Answer a structured error
+                # on the off chance it is still listening; either way the
+                # server carries on.
+                self.service.note("service.client_disconnects")
+                self._send_error_payload(
+                    400, "truncated-body",
+                    f"request body ended after {len(body)} of {length} "
+                    "bytes",
+                )
+                self.close_connection = True
+                return
+            status, payload = self.service.handle_batch(body)
+            self._send_json(status, payload)
+        except Exception:
+            self._internal_error()
+
+    def _internal_error(self) -> None:
+        """Last-ditch handler: log the traceback, answer a clean 500."""
+        logger.exception("unhandled error serving %s", self.path)
+        try:
+            self._send_json(
+                500,
+                protocol.error_payload(
+                    "internal", "internal error; see the server log"
+                ),
+            )
+        except Exception:
+            self.close_connection = True
+
+
+class ServiceServer:
+    """Owns one bound HTTP server over a :class:`SchedulerService`.
+
+    ``start()`` binds (resolving ``port=0`` to a real ephemeral port) and
+    serves from a daemon thread — the mode tests, the load generator and
+    the verify oracle use. The CLI instead calls ``bind()`` then the
+    blocking ``serve_forever()``.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        service: SchedulerService | None = None,
+    ) -> None:
+        self.service = service or SchedulerService(config or ServiceConfig())
+        self._httpd: _ServiceHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def bind(self) -> "ServiceServer":
+        """Bind the listening socket (idempotent)."""
+        if self._httpd is None:
+            config = self.service.config
+            self._httpd = _ServiceHTTPServer(
+                (config.host, config.port), self.service
+            )
+        return self
+
+    def start(self) -> "ServiceServer":
+        """Bind and serve from a background daemon thread."""
+        self.bind()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name="repro-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or KeyboardInterrupt in the CLI)."""
+        self.bind()
+        assert self._httpd is not None
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def stop(self) -> None:
+        """Shut down the listener and release the port (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- addressing ------------------------------------------------------
+    @property
+    def host(self) -> str:
+        assert self._httpd is not None, "server is not bound"
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        assert self._httpd is not None, "server is not bound"
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound server (e.g. ``http://127.0.0.1:8131``)."""
+        return f"http://{self.host}:{self.port}"

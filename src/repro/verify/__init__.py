@@ -40,6 +40,7 @@ from repro.verify.oracles import (
     check_ledger,
     check_pack,
     check_schedulers,
+    check_service,
     check_sim,
     exact_wct,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "check_ledger",
     "check_pack",
     "check_schedulers",
+    "check_service",
     "check_sim",
     "exact_wct",
     "fuzz_cases",

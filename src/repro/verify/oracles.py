@@ -776,3 +776,133 @@ def check_kernel(sb: Superblock, machine: MachineConfig) -> list[Finding]:
             )
         )
     return findings
+
+
+def check_service(sb: Superblock, machine: MachineConfig) -> list[Finding]:
+    """HTTP batch responses must be bit-identical to direct library calls.
+
+    Boots a private in-process server (ephemeral port, serial jobs, a
+    fresh temporary cache), computes the uncached reference with a
+    direct :func:`~repro.eval.sched_eval.evaluate_corpus` call, then
+    posts the same case twice. The **cold** response exercises the full
+    service path (protocol decode, evaluation, cache write) and the
+    **warm** response the cache-replay path; both must match the
+    reference exactly — per-block results *and* reported trip counters —
+    after one JSON round-trip (the service speaks JSON; the reference is
+    normalized through ``json.dumps``/``loads`` so float encoding cannot
+    mask or fake a diff). The warm response must also actually report
+    cache hits, or "warm" silently degrades to a second cold run.
+    """
+    import json
+    import tempfile
+    import urllib.request
+
+    from repro import cache as result_cache
+    from repro.eval.sched_eval import evaluate_corpus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.service import protocol
+    from repro.service.app import ServiceConfig
+    from repro.service.server import ServiceServer
+
+    findings: list[Finding] = []
+    heuristics = ("dhasy", "balance")
+
+    registry = MetricsRegistry()
+    with result_cache.disabled():
+        summary = evaluate_corpus(
+            [sb], machine, heuristics=heuristics,
+            include_triplewise=False, metrics=registry,
+        )
+    reference = json.loads(json.dumps({
+        "results": [protocol.result_payload(r) for r in summary.results],
+        "counters": registry.as_dict()["counters"],
+    }))
+
+    body = json.dumps({
+        "kind": "schedule",
+        "machine": machine_to_dict(machine),
+        "blocks": [superblock_to_dict(sb)],
+        "heuristics": list(heuristics),
+        "include_triplewise": False,
+    }).encode("utf-8")
+
+    def post(url: str):
+        request = urllib.request.Request(
+            f"{url}/v1/batch",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return response.status, json.loads(response.read())
+
+    with tempfile.TemporaryDirectory(prefix="repro-verify-service-") as tmp:
+        server = ServiceServer(
+            ServiceConfig(port=0, jobs=1, cache_dir=tmp)
+        )
+        server.start()
+        try:
+            responses = [post(server.url), post(server.url)]
+        except Exception as exc:  # noqa: BLE001 - any transport failure
+            server.stop()
+            return [
+                _finding(
+                    "service", "transport",
+                    f"batch request against the in-process server failed: "
+                    f"{exc!r}",
+                    sb, machine,
+                )
+            ]
+        server.stop()
+
+    for label, (status, payload) in zip(("cold", "warm"), responses):
+        if status != 200:
+            findings.append(
+                _finding(
+                    "service", f"{label}-status",
+                    f"{label} request answered {status}: {payload!r}",
+                    sb, machine,
+                )
+            )
+            continue
+        got = {
+            "results": payload.get("results"),
+            "counters": payload.get("counters"),
+        }
+        if got["results"] != reference["results"]:
+            findings.append(
+                _finding(
+                    "service", f"{label}-results",
+                    f"{label} HTTP results diverge from the direct library "
+                    f"call: {got['results']!r} != {reference['results']!r}",
+                    sb, machine,
+                )
+            )
+        if got["counters"] != reference["counters"]:
+            findings.append(
+                _finding(
+                    "service", f"{label}-counters",
+                    f"{label} HTTP trip counters diverge from the direct "
+                    f"library call: {got['counters']!r} != "
+                    f"{reference['counters']!r}",
+                    sb, machine,
+                )
+            )
+
+    warm_status, warm_payload = responses[1]
+    if warm_status == 200:
+        delta = warm_payload.get("cache") or {}
+        warm_hits = int(delta.get("hits", 0)) + int(
+            delta.get("memory_hits", 0)
+        )
+        if warm_hits == 0:
+            findings.append(
+                _finding(
+                    "service", "warm-hits",
+                    f"the warm request reported no cache hits "
+                    f"({delta!r}) — the service warm path is not actually "
+                    f"serving from the cache",
+                    sb, machine,
+                )
+            )
+    return findings

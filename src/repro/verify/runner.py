@@ -17,7 +17,10 @@ The division of labor per case:
 6. round-trip the case through the worker pool's array-packed codec and
    recompute the bounds on the decode (pack family);
 7. evaluate the case with and without an installed run-ledger recorder
-   and require bit-identical results/counters/spans (ledger family).
+   and require bit-identical results/counters/spans (ledger family);
+8. post the case to an in-process HTTP scheduling service, cold and
+   warm, and require both responses bit-identical — results and
+   counters — to the direct library call (service family).
 """
 
 from __future__ import annotations
@@ -38,13 +41,15 @@ from repro.verify.oracles import (
     check_ledger,
     check_pack,
     check_schedulers,
+    check_service,
     check_sim,
     exact_wct,
 )
 
 #: Oracle families selectable via ``--family``.
 FAMILIES = (
-    "legality", "bounds", "sim", "cache", "pack", "ledger", "kernel"
+    "legality", "bounds", "sim", "cache", "pack", "ledger", "kernel",
+    "service",
 )
 
 
@@ -177,6 +182,9 @@ def _run_case(
     if "kernel" in config.families:
         with trace.span("verify.kernel", sb=sb.name):
             findings.extend(check_kernel(sb, machine))
+    if "service" in config.families:
+        with trace.span("verify.service", sb=sb.name):
+            findings.extend(check_service(sb, machine))
     return findings, opt is not None
 
 

@@ -1,0 +1,529 @@
+"""Scheduling service: HTTP contract, error hardening, load harness.
+
+Pins the tentpole contracts of ``repro serve``:
+
+* **Bit-identity** — HTTP batch responses match direct
+  ``evaluate_corpus`` calls exactly (results *and* trip counters), cold
+  and warm, and the warm response really comes from the cache.
+* **Hardening** — every protocol error path (malformed JSON, unknown
+  machine, oversize batch/body, truncated upload, wrong method/path)
+  answers a structured JSON error carrying a stable ``code``, never a
+  stack trace, and never kills the server: each error test re-checks
+  ``/healthz`` afterwards.
+* **Recovery** — a ``WorkerCrashError`` mid-batch is retried once on
+  fresh workers and the request still succeeds.
+* **Observability** — ``/metrics`` emits valid Prometheus text
+  exposition, per-request Chrome traces validate, and every request
+  lands a readable ledger record.
+* **Load harness** — the zipf loadgen reports zero failures and a warm
+  hit-rate on a self-hosted server, and its history record carries the
+  throughput/latency/hit-rate metrics the trend machinery gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cache.store import ResultCache
+from repro.eval.sched_eval import evaluate_corpus
+from repro.ir.serialize import superblock_to_dict
+from repro.obs import ledger
+from repro.obs.export import validate_chrome_trace, validate_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.runner import WorkerCrashError
+from repro.service import protocol
+from repro.service.app import SchedulerService, ServiceConfig
+from repro.service.loadgen import (
+    LoadgenConfig,
+    build_templates,
+    percentile,
+    run_loadgen,
+    zipf_weights,
+)
+from repro.service.server import ServiceServer
+from repro.workloads.corpus import specint95_corpus
+
+HEURISTICS = ("dhasy", "balance")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return specint95_corpus(scale=8, seed=11, max_ops=16)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """An in-process server with a fresh cache and ledger per test."""
+    config = ServiceConfig(
+        port=0,
+        jobs=1,
+        cache_dir=str(tmp_path / "cache"),
+        ledger_dir=str(tmp_path / "ledger"),
+    )
+    srv = ServiceServer(config)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def post(url: str, body: dict | bytes, raw: bool = False):
+    """POST a batch; returns (status, decoded JSON body) even on 4xx/5xx."""
+    data = body if raw else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/v1/batch",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(url: str, path: str):
+    with urllib.request.urlopen(f"{url}{path}", timeout=10) as response:
+        return response.status, response.read()
+
+
+def batch_body(corpus, blocks=1, kind="schedule", machine="GP2", **extra):
+    body = {
+        "kind": kind,
+        "machine": machine,
+        "blocks": [
+            superblock_to_dict(sb) for sb in corpus.superblocks[:blocks]
+        ],
+    }
+    if kind == "schedule":
+        body["heuristics"] = list(HEURISTICS)
+    body.update(extra)
+    return body
+
+
+def healthy(server) -> bool:
+    status, raw = get(server.url, "/healthz")
+    return status == 200 and json.loads(raw)["status"] == "ok"
+
+
+def reference(corpus, blocks=1, machine="GP2", heuristics=HEURISTICS):
+    """Direct-library results+counters, JSON-normalized like the wire."""
+    from repro import cache as result_cache
+    from repro.machine.machine import machine_by_name
+
+    registry = MetricsRegistry()
+    with result_cache.disabled():
+        summary = evaluate_corpus(
+            corpus.superblocks[:blocks],
+            machine_by_name(machine),
+            heuristics=heuristics,
+            include_triplewise=False,
+            metrics=registry,
+        )
+    return json.loads(json.dumps({
+        "results": [protocol.result_payload(r) for r in summary.results],
+        "counters": registry.as_dict()["counters"],
+    }))
+
+
+# ---------------------------------------------------------------------------
+# Happy path: bit-identity cold and warm
+# ---------------------------------------------------------------------------
+def test_healthz(server):
+    status, raw = get(server.url, "/healthz")
+    body = json.loads(raw)
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["requests"] == 0
+    assert body["cache"] and body["ledger"]
+
+
+def test_batch_matches_direct_library_call(server, corpus):
+    ref = reference(corpus, blocks=2)
+    status, payload = post(server.url, batch_body(corpus, blocks=2))
+    assert status == 200
+    assert payload["schema_version"] == protocol.PROTOCOL_VERSION
+    assert payload["kind"] == "schedule"
+    assert payload["machine"] == "GP2"
+    assert payload["results"] == ref["results"]
+    assert payload["counters"] == ref["counters"]
+    assert payload["cache"]["misses"] > 0 and payload["cache"]["hits"] == 0
+
+
+def test_warm_response_identical_and_cached(server, corpus):
+    body = batch_body(corpus, blocks=2)
+    _, cold = post(server.url, body)
+    status, warm = post(server.url, body)
+    assert status == 200
+    assert warm["results"] == cold["results"]
+    assert warm["counters"] == cold["counters"]
+    assert warm["cache"]["hits"] + warm["cache"]["memory_hits"] > 0
+    assert warm["cache"]["misses"] == 0
+
+
+def test_bounds_kind(server, corpus):
+    ref = reference(corpus, heuristics=())
+    status, payload = post(server.url, batch_body(corpus, kind="bounds"))
+    assert status == 200
+    assert payload["kind"] == "bounds"
+    assert payload["results"] == ref["results"]
+    assert payload["counters"] == ref["counters"]
+    # A bounds result carries no heuristic columns.
+    assert payload["results"][0]["wct"] == {}
+
+
+def test_machine_by_dict(server, corpus):
+    from repro.machine.machine import GP2
+    from repro.verify.generators import machine_to_dict
+
+    body = batch_body(corpus, machine=machine_to_dict(GP2))
+    status, payload = post(server.url, body)
+    assert status == 200
+    assert payload["results"] == reference(corpus)["results"]
+
+
+def test_trace_opt_in(server, corpus):
+    status, payload = post(server.url, batch_body(corpus, trace=True))
+    assert status == 200
+    assert validate_chrome_trace(payload["trace"]) == []
+    names = {
+        e["name"] for e in payload["trace"]["traceEvents"]
+        if e.get("ph") == "X"
+    }
+    assert "service.batch" in names
+    # Without the flag no trace rides along.
+    _, untraced = post(server.url, batch_body(corpus))
+    assert "trace" not in untraced
+
+
+def test_every_request_lands_a_ledger_record(server, corpus, tmp_path):
+    post(server.url, batch_body(corpus))
+    post(server.url, batch_body(corpus, kind="bounds"))
+    records = ledger.load_ledger(
+        ledger.ledger_path(str(tmp_path / "ledger"))
+    )
+    assert len(records) == 2
+    assert [r["command"] for r in records] == ["serve", "serve"]
+    assert records[0]["args"]["kind"] == "schedule"
+    assert records[1]["args"]["kind"] == "bounds"
+    assert records[0]["blocks"], "per-block detail missing from the record"
+
+
+# ---------------------------------------------------------------------------
+# Error hardening: structured errors, no traceback, no server death
+# ---------------------------------------------------------------------------
+def assert_error(status, payload, want_status, want_code):
+    assert status == want_status
+    assert payload["error"]["code"] == want_code
+    assert "Traceback" not in json.dumps(payload)
+
+
+def test_malformed_json(server):
+    status, payload = post(server.url, b"{not json", raw=True)
+    assert_error(status, payload, 400, "bad-json")
+    assert healthy(server)
+
+
+def test_non_object_body(server):
+    status, payload = post(server.url, b"[1, 2]", raw=True)
+    assert_error(status, payload, 400, "bad-request")
+    assert healthy(server)
+
+
+def test_unknown_machine(server, corpus):
+    status, payload = post(
+        server.url, batch_body(corpus, machine="Z999")
+    )
+    assert_error(status, payload, 400, "unknown-machine")
+    assert "Z999" in payload["error"]["message"]
+    assert healthy(server)
+
+
+def test_unknown_heuristic(server, corpus):
+    status, payload = post(
+        server.url, batch_body(corpus, heuristics=["nope"])
+    )
+    assert_error(status, payload, 400, "unknown-heuristic")
+    assert healthy(server)
+
+
+def test_unknown_field(server, corpus):
+    status, payload = post(server.url, batch_body(corpus, bogus=1))
+    assert_error(status, payload, 400, "unknown-field")
+    assert "bogus" in payload["error"]["message"]
+    assert healthy(server)
+
+
+def test_bad_superblock_names_index(server, corpus):
+    body = batch_body(corpus)
+    body["blocks"].append({"name": "broken"})
+    status, payload = post(server.url, body)
+    assert_error(status, payload, 400, "bad-superblock")
+    assert "blocks[1]" in payload["error"]["message"]
+    assert healthy(server)
+
+
+def test_oversize_batch(tmp_path, corpus):
+    srv = ServiceServer(ServiceConfig(port=0, max_blocks=2))
+    srv.start()
+    try:
+        status, payload = post(srv.url, batch_body(corpus, blocks=3))
+        assert_error(status, payload, 413, "batch-too-large")
+        assert healthy(srv)
+    finally:
+        srv.stop()
+
+
+def test_oversize_body(tmp_path, corpus):
+    srv = ServiceServer(ServiceConfig(port=0, max_body_bytes=256))
+    srv.start()
+    try:
+        status, payload = post(srv.url, batch_body(corpus))
+        assert_error(status, payload, 413, "body-too-large")
+        assert healthy(srv)
+    finally:
+        srv.stop()
+
+
+def test_client_disconnect_mid_request(server, corpus):
+    """A peer that hangs up mid-upload must not disturb the server."""
+    body = json.dumps(batch_body(corpus)).encode("utf-8")
+    sock = socket.create_connection((server.host, server.port), timeout=10)
+    try:
+        sock.sendall(
+            b"POST /v1/batch HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        )
+        sock.sendall(body[: len(body) // 2])  # half the promised bytes
+    finally:
+        sock.close()
+    assert healthy(server)
+    status, raw = get(server.url, "/metrics")
+    assert b"service_client_disconnects_total" in raw
+    # And a well-formed follow-up request still works.
+    status, payload = post(server.url, batch_body(corpus))
+    assert status == 200
+
+
+def test_get_unknown_path_and_post_to_get_endpoint(server, corpus):
+    try:
+        get(server.url, "/nope")
+        raise AssertionError("expected 404")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 404
+        assert json.loads(exc.read())["error"]["code"] == "not-found"
+    try:
+        get(server.url, "/v1/batch")
+        raise AssertionError("expected 405")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 405
+        assert (
+            json.loads(exc.read())["error"]["code"] == "method-not-allowed"
+        )
+    assert healthy(server)
+
+
+def test_internal_error_leaks_no_traceback(server, corpus, monkeypatch):
+    def boom(self, request):
+        raise RuntimeError("secret internal detail")
+
+    monkeypatch.setattr(SchedulerService, "_evaluate", boom)
+    status, payload = post(server.url, batch_body(corpus))
+    assert_error(status, payload, 500, "internal")
+    assert "secret" not in json.dumps(payload)
+    assert healthy(server)
+
+
+# ---------------------------------------------------------------------------
+# Worker-crash recovery
+# ---------------------------------------------------------------------------
+def test_worker_crash_retried_once(server, corpus, monkeypatch):
+    import repro.eval.sched_eval as sched_eval
+
+    real = sched_eval.evaluate_corpus
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise WorkerCrashError("worker 0 died (simulated)")
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(sched_eval, "evaluate_corpus", flaky)
+    status, payload = post(server.url, batch_body(corpus))
+    assert status == 200
+    assert calls["n"] == 2
+    assert payload["results"] == reference(corpus)["results"]
+    assert payload["counters"] == reference(corpus)["counters"]
+    status, raw = get(server.url, "/metrics")
+    assert b"service_worker_crash_retries_total" in raw
+
+
+def test_worker_crash_twice_answers_503(server, corpus, monkeypatch):
+    import repro.eval.sched_eval as sched_eval
+
+    def always_crash(*args, **kwargs):
+        raise WorkerCrashError("worker 0 died (simulated)")
+
+    monkeypatch.setattr(sched_eval, "evaluate_corpus", always_crash)
+    status, payload = post(server.url, batch_body(corpus))
+    assert_error(status, payload, 503, "worker-crash")
+    assert healthy(server)
+
+
+# ---------------------------------------------------------------------------
+# /metrics exposition
+# ---------------------------------------------------------------------------
+def test_metrics_exposition_is_valid(server, corpus):
+    post(server.url, batch_body(corpus))
+    status, raw = get(server.url, "/metrics")
+    text = raw.decode("utf-8")
+    assert status == 200
+    assert validate_prometheus_text(text) == []
+    assert "repro_service_requests_total" in text
+    assert "repro_service_request_seconds_seconds_total" in text
+    assert "repro_service_cache_hit_rate" in text
+
+
+def test_validate_prometheus_text_rejects_garbage():
+    assert validate_prometheus_text("") == ["no samples in exposition"]
+    problems = validate_prometheus_text("not a metric line at all{{{\n")
+    assert any("malformed sample" in p for p in problems)
+    problems = validate_prometheus_text('x_total{name="x"} 1\n')
+    assert any("no preceding TYPE" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Protocol unit coverage
+# ---------------------------------------------------------------------------
+def test_parse_batch_request_defaults(corpus):
+    data = {
+        "machine": "GP2",
+        "blocks": [superblock_to_dict(corpus.superblocks[0])],
+    }
+    request = protocol.parse_batch_request(data)
+    assert request.kind == "schedule"
+    assert request.heuristics == protocol.DEFAULT_HEURISTICS
+    assert not request.include_triplewise and not request.trace
+
+
+def test_parse_batch_request_rejects_empty_heuristics(corpus):
+    data = {
+        "machine": "GP2",
+        "blocks": [superblock_to_dict(corpus.superblocks[0])],
+        "heuristics": [],
+    }
+    with pytest.raises(protocol.ProtocolError) as err:
+        protocol.parse_batch_request(data)
+    assert err.value.code == "bad-heuristics"
+
+
+def test_parse_batch_request_missing_machine(corpus):
+    with pytest.raises(protocol.ProtocolError) as err:
+        protocol.parse_batch_request({"blocks": []})
+    assert err.value.code == "bad-request"
+
+
+# ---------------------------------------------------------------------------
+# Load harness
+# ---------------------------------------------------------------------------
+def test_zipf_weights_skew():
+    weights = zipf_weights(5, 1.0)
+    assert weights[0] == 1.0
+    assert weights == sorted(weights, reverse=True)
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+
+
+def test_percentile():
+    values = [float(v) for v in range(1, 101)]
+    assert percentile(values, 0.50) == 51.0
+    assert percentile(values, 0.99) == 99.0
+    assert percentile([], 0.5) == 0.0
+
+
+def test_build_templates_deterministic():
+    config = LoadgenConfig(templates=6, scale=8, max_ops=16, seed=5)
+    one, two = build_templates(config), build_templates(config)
+    assert one == two
+    assert len(one) == 6
+    kinds = {t["kind"] for t in one}
+    assert kinds == {"schedule", "bounds"}
+
+
+def test_loadgen_self_hosted_and_history(tmp_path):
+    config = LoadgenConfig(
+        requests=20,
+        concurrency=2,
+        zipf=1.3,
+        templates=4,
+        scale=8,
+        max_ops=12,
+        seed=7,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    report = run_loadgen(config)
+    assert report.ok and report.failed == 0
+    assert report.requests == 20
+    assert report.hit_rate > 0, "zipf repeats must warm the cache"
+    payload = report.history_payload()
+    assert payload["loadgen_throughput"]["unit"] == "req/s"
+    assert payload["loadgen_p99_latency"]["unit"] == "ms"
+    assert payload["loadgen_hit_rate"]["value"] == round(
+        report.hit_rate, 6
+    )
+    from repro.obs.trend import append_record, load_history, make_record
+
+    history = tmp_path / "history.jsonl"
+    append_record(make_record(payload, label="loadgen"), history)
+    records = load_history(history)
+    assert records[0]["label"] == "loadgen"
+    assert "loadgen_p50_latency" in records[0]["metrics"]
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+def test_cli_loadgen(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "report.json"
+    history = tmp_path / "history.jsonl"
+    rc = main([
+        "loadgen", "--requests", "12", "--concurrency", "2",
+        "--templates", "4", "--scale", "8", "--max-ops", "12",
+        "--zipf", "1.3", "--min-hit-rate", "0.01",
+        "--out", str(out), "--history", str(history),
+    ])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "0 failed" in captured
+    report = json.loads(out.read_text())
+    assert report["failed"] == 0
+    assert history.exists()
+
+
+def test_cli_serve_rejects_taken_port(corpus):
+    from repro.cli import main
+
+    srv = ServiceServer(ServiceConfig(port=0))
+    srv.start()
+    try:
+        rc = main([
+            "serve", "--port", str(srv.port), "--no-cache", "--no-ledger",
+        ])
+        assert rc == 1
+    finally:
+        srv.stop()
+
+
+def test_service_cache_on_disk_is_real(server, corpus, tmp_path):
+    post(server.url, batch_body(corpus))
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.summary()["entries"] > 0
