@@ -536,6 +536,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("anomalies", "flag outlier blocks and history regressions"),
         ("diff", "compare two runs (wall, counters, per-block WCTs)"),
         ("dashboard", "render the self-contained HTML dashboard"),
+        ("slo", "replay service traffic against SLOs (burn rates)"),
+        ("slowest", "list slow-request exemplars captured by the service"),
     ):
         op = osub.add_parser(oname, help=ohelp)
         op.add_argument(
@@ -582,6 +584,42 @@ def build_parser() -> argparse.ArgumentParser:
             op.add_argument(
                 "--title", default="repro run ledger",
                 help="dashboard page title",
+            )
+        if oname == "slo":
+            op.add_argument(
+                "--latency-ms", type=float, default=1000.0, metavar="MS",
+                help="latency objective threshold in milliseconds "
+                "(default 1000)",
+            )
+            op.add_argument(
+                "--latency-target", type=float, default=0.99, metavar="R",
+                help="fraction of requests that must meet the latency "
+                "threshold (default 0.99)",
+            )
+            op.add_argument(
+                "--availability-target", type=float, default=0.999,
+                metavar="R",
+                help="fraction of requests that must succeed "
+                "(default 0.999)",
+            )
+            op.add_argument(
+                "--json", action="store_true",
+                help="emit the report as JSON instead of a table",
+            )
+            op.add_argument(
+                "--max-burn", type=float, default=None, metavar="B",
+                help="exit nonzero when any objective's burn rate over "
+                "any window exceeds B (e.g. 1.0)",
+            )
+        if oname == "slowest":
+            op.add_argument(
+                "--top", type=int, default=10, metavar="N",
+                help="exemplars shown, slowest first (default 10)",
+            )
+            op.add_argument(
+                "--trace-out", metavar="PATH",
+                help="write the slowest exemplar's Chrome trace JSON here "
+                "(open it in Perfetto)",
             )
 
     p = sub.add_parser(
@@ -650,6 +688,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-body-mb", type=float, default=None, metavar="MB",
         help="request body cap in MiB (default 8)",
     )
+    p.add_argument(
+        "--slow-threshold-ms", type=float, default=1000.0, metavar="MS",
+        help="requests at least this slow persist a tail-latency "
+        "exemplar (trace + phase split) into their ledger record "
+        "(default 1000; 0 captures every request, negative disables); "
+        "list them with 'repro obs slowest'",
+    )
+    p.add_argument(
+        "--slo-latency-ms", type=float, default=1000.0, metavar="MS",
+        help="SLO latency threshold in milliseconds (default 1000)",
+    )
+    p.add_argument(
+        "--slo-latency-target", type=float, default=0.99, metavar="R",
+        help="fraction of requests that must meet the SLO latency "
+        "threshold (default 0.99)",
+    )
+    p.add_argument(
+        "--slo-availability-target", type=float, default=0.999, metavar="R",
+        help="fraction of requests that must succeed (default 0.999)",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -690,6 +748,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="cache directory of the self-hosted server (ignored with "
         "--url; default: a temporary directory)",
+    )
+    p.add_argument(
+        "--ledger", metavar="DIR",
+        help="run-ledger directory of the self-hosted server (ignored "
+        "with --url; needed for slow-request exemplar capture)",
+    )
+    p.add_argument(
+        "--slow-threshold-ms", type=float, default=None, metavar="MS",
+        help="slow-exemplar threshold of the self-hosted server "
+        "(ignored with --url; 0 forces an exemplar per request)",
     )
     p.add_argument(
         "--timeout", type=float, default=60.0, metavar="S",
@@ -1359,6 +1427,89 @@ def _dispatch(args) -> str:
             return ledger_mod.render_diff(
                 _resolve(args.run_a), _resolve(args.run_b)
             )
+        if args.obs_command == "slo":
+            from repro.obs.slo import Objective, SLOTracker
+
+            serves = [r for r in records if r.get("command") == "serve"]
+            if not serves:
+                raise CommandError(
+                    f"{path} has no 'serve' records — point --ledger at a "
+                    "service ledger"
+                )
+            try:
+                objectives = (
+                    Objective(
+                        name="latency",
+                        kind="latency",
+                        target=args.latency_target,
+                        threshold_s=args.latency_ms / 1000.0,
+                    ),
+                    Objective(
+                        name="availability",
+                        kind="availability",
+                        target=args.availability_target,
+                    ),
+                )
+            except ValueError as exc:
+                raise CommandError(f"obs slo: {exc}") from None
+            tracker = SLOTracker(objectives)
+            # The ledger only records *successful* requests (error paths
+            # never finalize a run record), so replay measures the
+            # latency objective; availability burn stays 0 here and is
+            # read live from the service's own /metrics instead.
+            for record in serves:
+                tracker.record(
+                    ok=True,
+                    latency_s=float(record.get("wall_seconds", 0.0)),
+                    t=float(record.get("timestamp", 0.0)),
+                )
+            at = tracker.last_recorded
+            if args.json:
+                out_text = json.dumps(
+                    tracker.as_dict(t=at), indent=2, sort_keys=True
+                )
+            else:
+                out_text = (
+                    f"{len(serves)} serve record(s) replayed "
+                    f"(windows end at the newest record)\n"
+                    + tracker.render(t=at)
+                )
+            if args.max_burn is not None:
+                worst = max(
+                    (
+                        (w["burn_rate"], f"{o['name']}/{label}")
+                        for o in tracker.as_dict(t=at)["objectives"]
+                        for label, w in o["windows"].items()
+                    ),
+                    default=(0.0, "-"),
+                )
+                if worst[0] > args.max_burn:
+                    raise CommandError(
+                        f"{out_text}\nobs slo: burn rate {worst[0]:.2f} on "
+                        f"{worst[1]} exceeds --max-burn {args.max_burn}"
+                    )
+            return out_text
+        if args.obs_command == "slowest":
+            out_lines = [ledger_mod.render_slowest(records, top=args.top)]
+            if args.trace_out:
+                from repro.obs.export import write_chrome_trace
+
+                exemplars = ledger_mod.slow_exemplars(records)
+                traced = next(
+                    (e for e in exemplars if "trace" in e["exemplar"]), None
+                )
+                if traced is None:
+                    raise CommandError(
+                        "obs slowest: no exemplar carries a trace (the "
+                        "service records one when a ledger is enabled)"
+                    )
+                write_chrome_trace(traced["exemplar"]["trace"], args.trace_out)
+                out_lines.append(
+                    f"slowest traced request "
+                    f"{traced['exemplar'].get('request_id', '?')} "
+                    f"written to {args.trace_out}"
+                )
+            return "\n".join(out_lines)
         assert args.obs_command == "dashboard"
         from repro.obs import dashboard as dashboard_mod
 
@@ -1441,6 +1592,10 @@ def _dispatch(args) -> str:
                 if args.max_body_mb is not None
                 else DEFAULT_MAX_BODY_BYTES
             ),
+            slow_threshold_ms=args.slow_threshold_ms,
+            slo_latency_ms=args.slo_latency_ms,
+            slo_latency_target=args.slo_latency_target,
+            slo_availability_target=args.slo_availability_target,
         )
         server = ServiceServer(config)
         try:
@@ -1485,6 +1640,8 @@ def _dispatch(args) -> str:
             max_ops=args.max_ops,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            ledger_dir=args.ledger,
+            slow_threshold_ms=args.slow_threshold_ms,
             timeout_s=args.timeout,
         )
         try:

@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs import anomaly as anomaly_mod
-from repro.obs.ledger import block_gap
+from repro.obs.ledger import block_gap, slow_exemplars
 
 _STYLE = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
@@ -324,6 +324,62 @@ def _flamegraph_section(target: dict[str, Any]) -> str:
     )
 
 
+def _service_section(records: list[dict[str, Any]]) -> str:
+    """Service traffic: per-request latency trend plus slow exemplars."""
+    serves = [r for r in records if r.get("command") == "serve"]
+    if not serves:
+        return ""
+    walls = [float(r.get("wall_seconds", 0.0)) * 1000.0 for r in serves]
+    ordered = sorted(walls)
+
+    def pct(q: float) -> float:
+        # Interpolated percentile (matches repro.service.loadgen, which
+        # obs cannot import — the service layer sits above this one).
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    stats = (
+        f"<td>requests<br><b>{len(serves)}</b></td>"
+        f"<td>p50<br><b>{pct(0.50):.1f} ms</b></td>"
+        f"<td>p99<br><b>{pct(0.99):.1f} ms</b></td>"
+        f"<td>max<br><b>{ordered[-1]:.1f} ms</b></td>"
+        f"<td>latency trend<br>{_spark_svg(walls)}</td>"
+    )
+    parts = [
+        f"<h2>Service traffic ({len(serves)} request(s))</h2>",
+        f"<div class=card><table><tr>{stats}</tr></table></div>",
+    ]
+    exemplars = slow_exemplars(serves)
+    if exemplars:
+        rows = []
+        for entry in exemplars[:10]:
+            ex = entry["exemplar"]
+            phases = ex.get("phases_ms") or {}
+            rows.append(
+                f"<tr><td class=mono>{_esc(str(ex.get('request_id', '?')))}"
+                f"</td><td class=num>{ex.get('elapsed_ms', 0.0):.1f}</td>"
+                f"<td class=num>{phases.get('eval', 0.0):.1f}</td>"
+                f"<td class=num>{phases.get('queue', 0.0):.1f}</td>"
+                f"<td>{_esc(str(ex.get('kind', '?')))}</td>"
+                f"<td>{_esc(str(ex.get('machine', '?')))}</td>"
+                f"<td class=num>{ex.get('blocks', 0)}</td>"
+                f"<td class=mono>"
+                f"{_esc(str(entry['record'].get('run_id', '?')))}</td></tr>"
+            )
+        parts.append(
+            f"<h2>Slow requests ({len(exemplars)} exemplar(s))</h2>"
+            "<div class=card><table>"
+            "<tr><th>request</th><th class=num>elapsed ms</th>"
+            "<th class=num>eval ms</th><th class=num>queue ms</th>"
+            "<th>kind</th><th>machine</th><th class=num>blocks</th>"
+            "<th>run</th></tr>" + "".join(rows) + "</table></div>"
+        )
+    return "".join(parts)
+
+
 def _bench_section(records: list[dict[str, Any]]) -> str:
     benches = [
         r
@@ -383,6 +439,7 @@ def render_dashboard(
         _anomaly_section(records, target, z_threshold),
         _blocks_section(target, top),
         _flamegraph_section(target),
+        _service_section(records),
         _bench_section(records),
     ]
     return (

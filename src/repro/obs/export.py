@@ -16,7 +16,9 @@ standard tooling:
   :class:`~repro.obs.metrics.MetricsRegistry` dump into the Prometheus
   text exposition format (version 0.0.4): counters become ``_total``
   counters, timers become ``_seconds_total`` / ``_calls_total`` pairs,
-  gauges stay gauges.
+  gauges stay gauges, and streaming histograms become proper
+  ``histogram`` families (cumulative ``_bucket{le=...}`` series plus
+  ``_sum`` / ``_count``).
 
 Both are pure functions over the already-written artifacts — exporting
 never re-runs anything and never touches the hot path. The CLI front end
@@ -34,6 +36,8 @@ import json
 import re
 from pathlib import Path
 from typing import Any
+
+from repro.obs.metrics import HIST_BUCKETS
 
 #: Single logical process id for the whole run.
 _PID = 1
@@ -225,6 +229,23 @@ def metrics_to_prometheus(data: dict[str, Any], prefix: str = "repro") -> str:
             data["gauges"][name],
             name,
         )
+    for name in sorted(data.get("histograms", {})):
+        entry = data["histograms"][name]
+        base = _metric_name(prefix, name)
+        lines.append(f"# HELP {base} repro histogram {name}")
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        bounds = HIST_BUCKETS[: max(0, len(entry["buckets"]) - 1)]
+        for bound, count in zip(bounds, entry["buckets"]):
+            cumulative += count
+            le = format(bound, "g")
+            lines.append(
+                f'{base}_bucket{{name="{name}",le="{le}"}} {cumulative}'
+            )
+        cumulative += entry["buckets"][-1] if entry["buckets"] else 0
+        lines.append(f'{base}_bucket{{name="{name}",le="+Inf"}} {cumulative}')
+        lines.append(f'{base}_sum{{name="{name}"}} {entry["sum"]}')
+        lines.append(f'{base}_count{{name="{name}"}} {entry["count"]}')
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -237,18 +258,40 @@ _SAMPLE_RE = re.compile(
 )
 
 
+#: Histogram family sample suffixes and the base-family TYPE they imply.
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+_LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def _hist_base(metric: str, typed: dict[str, str]) -> str | None:
+    """The histogram family a suffixed sample belongs to, if any."""
+    for suffix in _HIST_SUFFIXES:
+        if metric.endswith(suffix):
+            base = metric[: -len(suffix)]
+            if typed.get(base) == "histogram":
+                return base
+    return None
+
+
 def validate_prometheus_text(text: str) -> list[str]:
     """Lint a text exposition (0.0.4) document; returns the problems found.
 
     Covers the subset :func:`metrics_to_prometheus` emits — ``# HELP`` /
     ``# TYPE`` comment pairs followed by labelled samples — plus the
     format's ground rules (legal names, numeric values, a ``TYPE``
-    declared before its samples). An empty list means valid; the service
-    smoke test and CI's ``/metrics`` scrape both gate on it.
+    declared before its samples). ``histogram`` families are checked
+    structurally: ``_bucket`` series must be cumulative (monotone
+    non-decreasing in ``le`` order of appearance), end in a ``+Inf``
+    bucket whose value equals the ``_count`` sample, and carry a
+    ``_sum``. An empty list means valid; the service smoke test and CI's
+    ``/metrics`` scrape both gate on it.
     """
     problems: list[str] = []
     typed: dict[str, str] = {}
     sampled = False
+    # base family -> {"buckets": [(lineno, le, value)], "sum": ..., "count": ...}
+    hists: dict[str, dict[str, Any]] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -260,6 +303,10 @@ def validate_prometheus_text(text: str) -> list[str]:
                 problems.append(f"line {lineno}: malformed TYPE comment")
             else:
                 typed[parts[2]] = parts[3]
+                if parts[3] == "histogram":
+                    hists.setdefault(
+                        parts[2], {"buckets": [], "sum": None, "count": None}
+                    )
             continue
         if line.startswith("#"):
             if not line.startswith("# HELP "):
@@ -272,10 +319,59 @@ def validate_prometheus_text(text: str) -> list[str]:
             continue
         sampled = True
         metric = re.split(r"[{ ]", line, maxsplit=1)[0]
+        base = _hist_base(metric, typed)
+        if base is not None:
+            fam = hists[base]
+            value = float(line.rsplit(" ", 1)[1])
+            if metric.endswith("_bucket"):
+                le_match = _LE_RE.search(line)
+                if le_match is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without an "
+                        f"'le' label"
+                    )
+                    continue
+                raw_le = le_match.group(1)
+                le = float("inf") if raw_le == "+Inf" else float(raw_le)
+                fam["buckets"].append((lineno, le, value))
+            elif metric.endswith("_sum"):
+                fam["sum"] = value
+            else:
+                fam["count"] = value
+            continue
         if metric not in typed:
             problems.append(
                 f"line {lineno}: sample {metric!r} has no preceding TYPE"
             )
+    for base, fam in sorted(hists.items()):
+        buckets = fam["buckets"]
+        if not buckets:
+            problems.append(f"histogram {base}: no _bucket samples")
+            continue
+        prev_le, prev_value = float("-inf"), float("-inf")
+        for lineno, le, value in buckets:
+            if le <= prev_le:
+                problems.append(
+                    f"line {lineno}: histogram {base} bucket le={le} not "
+                    f"increasing"
+                )
+            if value < prev_value:
+                problems.append(
+                    f"line {lineno}: histogram {base} cumulative bucket "
+                    f"count decreases ({value} < {prev_value})"
+                )
+            prev_le, prev_value = le, value
+        if buckets[-1][1] != float("inf"):
+            problems.append(f"histogram {base}: missing '+Inf' bucket")
+        elif fam["count"] is None:
+            problems.append(f"histogram {base}: missing _count sample")
+        elif buckets[-1][2] != fam["count"]:
+            problems.append(
+                f"histogram {base}: '+Inf' bucket ({buckets[-1][2]}) != "
+                f"_count ({fam['count']})"
+            )
+        if fam["sum"] is None:
+            problems.append(f"histogram {base}: missing _sum sample")
     if not sampled and not problems:
         problems.append("no samples in exposition")
     return problems

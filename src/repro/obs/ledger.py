@@ -638,3 +638,56 @@ def render_diff(a: dict[str, Any], b: dict[str, Any], top: int = 10) -> str:
     for delta, (sb, machine) in movers[:top]:
         lines.append(f"    {sb}@{machine or '-'}: max |dWCT| = {delta:.4f}")
     return "\n".join(lines)
+
+
+def slow_exemplars(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Tail-latency exemplars captured by the service, slowest first.
+
+    Each entry pairs the exemplar (``extra.slow_request`` of a ``serve``
+    record: request metadata, per-phase millisecond split, and — when the
+    run was traced — the full Chrome trace document) with the run record
+    that carried it, so callers can dig from the headline into spans and
+    per-block detail.
+    """
+    found: list[dict[str, Any]] = []
+    for record in records:
+        exemplar = (record.get("extra") or {}).get("slow_request")
+        if exemplar:
+            found.append({"exemplar": exemplar, "record": record})
+    found.sort(
+        key=lambda e: e["exemplar"].get("elapsed_ms", 0.0), reverse=True
+    )
+    return found
+
+
+def render_slowest(records: list[dict[str, Any]], top: int = 10) -> str:
+    """The ``repro obs slowest`` table: worst requests, worst first."""
+    exemplars = slow_exemplars(records)
+    if not exemplars:
+        return (
+            "no slow-request exemplars in this ledger (is the service "
+            "running with a slow threshold, and a ledger directory?)"
+        )
+    lines = [
+        f"{len(exemplars)} slow-request exemplar(s), slowest first:",
+        f"  {'request_id':<34s}  {'elapsed':>9s}  {'eval':>9s}  "
+        f"{'queue':>9s}  {'kind':<8s}  {'machine':<8s}  {'blocks':>6s}  "
+        f"{'run_id':<20s}  trace",
+    ]
+    for entry in exemplars[:top]:
+        ex = entry["exemplar"]
+        phases = ex.get("phases_ms") or {}
+        lines.append(
+            f"  {str(ex.get('request_id', '?')):<34s}"
+            f"  {ex.get('elapsed_ms', 0.0):>7.1f}ms"
+            f"  {phases.get('eval', 0.0):>7.1f}ms"
+            f"  {phases.get('queue', 0.0):>7.1f}ms"
+            f"  {str(ex.get('kind', '?')):<8s}"
+            f"  {str(ex.get('machine', '?')):<8s}"
+            f"  {ex.get('blocks', 0):>6d}"
+            f"  {str(entry['record'].get('run_id', '?')):<20s}"
+            f"  {'yes' if 'trace' in ex else '-'}"
+        )
+    if len(exemplars) > top:
+        lines.append(f"  ... and {len(exemplars) - top} more")
+    return "\n".join(lines)

@@ -11,6 +11,10 @@ gauges, behind one picklable, mergeable object:
   useful for attribution, not for identity (wall time is never
   deterministic).
 * **gauges** — last-written values (corpus sizes, configuration facts).
+* **histograms** — bounded-memory streaming latency distributions over a
+  fixed exponential bucket layout (:data:`HIST_BUCKETS`); exported as
+  proper Prometheus ``histogram`` families and queried for approximate
+  quantiles (p50/p99) without retaining per-observation samples.
 
 Worker integration: :func:`repro.perf.workers.corpus_map` activates a
 fresh registry around each work unit in worker processes, ships the
@@ -35,16 +39,100 @@ from typing import Any
 
 from repro.bounds.instrumentation import Counters
 
+#: Fixed exponential bucket upper bounds in seconds: 0.5 ms doubling up to
+#: ~262 s, plus an implicit ``+Inf`` overflow bucket. Twenty buckets at a
+#: factor-2 ratio give ~±50% relative resolution across six decades of
+#: latency — enough to separate a cache replay (sub-millisecond) from a
+#: cold pool dispatch (seconds) with O(1) memory per histogram.
+HIST_BUCKETS: tuple[float, ...] = tuple(0.0005 * (2.0**i) for i in range(20))
+
+
+class Histogram:
+    """Streaming histogram over the fixed :data:`HIST_BUCKETS` layout.
+
+    Stores one cumulative-free count per bucket (the Prometheus exporter
+    cumulates at render time), a running sum, and a total count — memory
+    is constant regardless of observation volume. Mergeable like the rest
+    of the registry: bucket layouts are process-wide constant, so merging
+    is element-wise addition.
+    """
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self) -> None:
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self.counts: list[int] = [0] * (len(HIST_BUCKETS) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(HIST_BUCKETS)
+        while lo < hi:  # first bucket with upper bound >= value
+            mid = (lo + hi) // 2
+            if value <= HIST_BUCKETS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile via linear interpolation within a bucket.
+
+        Returns 0.0 on an empty histogram. Observations that overflowed
+        into ``+Inf`` report the largest finite bound (there is no upper
+        edge to interpolate toward).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cum = 0.0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                if i >= len(HIST_BUCKETS):
+                    return HIST_BUCKETS[-1]
+                lower = HIST_BUCKETS[i - 1] if i > 0 else 0.0
+                upper = HIST_BUCKETS[i]
+                frac = (rank - cum) / n
+                return lower + (upper - lower) * frac
+            cum += n
+        return HIST_BUCKETS[-1]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.counts),
+            "sum": round(self.sum, 6),
+            "count": self.count,
+        }
+
+    def merge_dict(self, data: dict[str, Any]) -> None:
+        buckets = data.get("buckets", [])
+        for i, n in enumerate(buckets):
+            if i < len(self.counts):
+                self.counts[i] += n
+        self.sum += data.get("sum", 0.0)
+        self.count += data.get("count", 0)
+
 
 class MetricsRegistry:
     """Mergeable counters + timers + gauges for one evaluation run."""
 
-    __slots__ = ("counters", "_timers", "_gauges")
+    __slots__ = ("counters", "_timers", "_gauges", "_histograms")
 
     def __init__(self) -> None:
         self.counters = Counters()
         self._timers: dict[str, list[float]] = {}  # name -> [total_s, count]
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- counters --------------------------------------------------------
     def add(self, name: str, amount: int = 1) -> None:
@@ -76,6 +164,17 @@ class MetricsRegistry:
     def gauge(self, name: str, value: float) -> None:
         self._gauges[name] = value
 
+    # -- histograms ------------------------------------------------------
+    def observe_hist(self, name: str, seconds: float) -> None:
+        """Record one observation into the named streaming histogram."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(seconds)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
     # -- aggregation -----------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry (counters/timers sum;
@@ -89,6 +188,11 @@ class MetricsRegistry:
                 entry[0] += total
                 entry[1] += count
         self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(hist)
 
     def merge_dict(self, data: dict[str, Any]) -> None:
         """Merge a serialized registry (the worker return path)."""
@@ -99,9 +203,14 @@ class MetricsRegistry:
             # observe() counted one call; correct to the recorded count.
             self._timers[name][1] += entry["count"] - 1
         self._gauges.update(data.get("gauges", {}))
+        for name, entry in data.get("histograms", {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.merge_dict(entry)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "counters": self.counters.as_dict(),
             "timers": {
                 name: {"total_s": round(total, 6), "count": count}
@@ -109,6 +218,15 @@ class MetricsRegistry:
             },
             "gauges": dict(sorted(self._gauges.items())),
         }
+        # Key emitted only when populated: pre-histogram serialized
+        # registries (ledger records, cached worker deltas) keep their
+        # exact shape, and merge_dict treats the missing key as empty.
+        if self._histograms:
+            data["histograms"] = {
+                name: hist.as_dict()
+                for name, hist in sorted(self._histograms.items())
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MetricsRegistry":

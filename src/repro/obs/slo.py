@@ -1,0 +1,262 @@
+"""SLO tracking: rolling-window objectives and multi-window burn rates.
+
+An :class:`Objective` states what "good" means for one dimension of
+service behaviour — e.g. *99% of requests answer within 500 ms*
+(``kind="latency"``) or *99.9% of requests succeed*
+(``kind="availability"``). An :class:`SLOTracker` classifies every
+finished request against each objective and maintains per-objective
+good/bad tallies in coarse time-bucketed rings, so memory is bounded by
+``window / resolution`` regardless of traffic volume.
+
+The headline derived quantity is the **burn rate** (Google SRE workbook
+style): the observed bad-request ratio divided by the error budget
+``1 - target``. A burn rate of 1.0 means the service is spending its
+error budget exactly as fast as the objective allows; 10.0 means ten
+times too fast. Burn rates are computed over several windows at once
+(default 5 m / 30 m / 1 h / 6 h) because the standard alerting recipe
+pairs a short and a long window — the short one for responsiveness, the
+long one to suppress blips.
+
+Timestamps are explicit throughout (``record(..., t=...)``) with an
+injectable clock as the default, so the same tracker replays a run
+ledger offline (``python -m repro obs slo``) and tracks a live service
+(:mod:`repro.service.app`) with identical arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Multi-window burn-rate defaults (seconds): 5 m, 30 m, 1 h, 6 h.
+DEFAULT_WINDOWS: tuple[float, ...] = (300.0, 1800.0, 3600.0, 21600.0)
+
+#: Ring bucket width in seconds; rolling windows are quantized to this.
+DEFAULT_RESOLUTION = 10.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective.
+
+    ``kind`` is ``"latency"`` (good = request succeeded *and* finished
+    within ``threshold_s``) or ``"availability"`` (good = request
+    succeeded). ``target`` is the good-request ratio promised, e.g.
+    ``0.99``; the error budget is ``1 - target``.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown objective kind: {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1): {self.target!r}")
+        if self.kind == "latency" and self.threshold_s <= 0.0:
+            raise ValueError("latency objectives need a positive threshold_s")
+
+    def is_good(self, ok: bool, latency_s: float) -> bool:
+        if self.kind == "availability":
+            return ok
+        return ok and latency_s <= self.threshold_s
+
+    def describe(self) -> str:
+        if self.kind == "latency":
+            return (
+                f"{self.target:.4g} of requests within "
+                f"{self.threshold_s * 1000.0:.4g} ms"
+            )
+        return f"{self.target:.4g} of requests succeed"
+
+
+def default_objectives(
+    latency_target: float = 0.99,
+    latency_threshold_s: float = 1.0,
+    availability_target: float = 0.999,
+) -> tuple[Objective, ...]:
+    """The service's stock objectives: request latency and availability."""
+    return (
+        Objective(
+            name="latency",
+            kind="latency",
+            target=latency_target,
+            threshold_s=latency_threshold_s,
+        ),
+        Objective(
+            name="availability",
+            kind="availability",
+            target=availability_target,
+        ),
+    )
+
+
+def window_label(seconds: float) -> str:
+    """Compact label for a window length: 300 -> ``5m``, 3600 -> ``1h``."""
+    if seconds % 3600 == 0:
+        return f"{int(seconds // 3600)}h"
+    if seconds % 60 == 0:
+        return f"{int(seconds // 60)}m"
+    return f"{int(seconds)}s"
+
+
+class SLOTracker:
+    """Rolling good/bad tallies per objective with burn-rate queries.
+
+    Each objective keeps one ring of ``(total, bad)`` pairs keyed by
+    quantized time bucket; :meth:`record` classifies a request against
+    every objective at once. Buckets older than the longest window are
+    pruned on write, bounding memory at
+    ``max(windows) / resolution`` buckets per objective.
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[Objective, ...] | list[Objective] | None = None,
+        windows: tuple[float, ...] = DEFAULT_WINDOWS,
+        resolution: float = DEFAULT_RESOLUTION,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if not windows:
+            raise ValueError("need at least one window")
+        self.objectives: tuple[Objective, ...] = tuple(
+            objectives if objectives is not None else default_objectives()
+        )
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.windows: tuple[float, ...] = tuple(sorted(windows))
+        self.resolution = float(resolution)
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
+        # objective name -> bucket index -> [total, bad]
+        self._rings: dict[str, dict[int, list[int]]] = {
+            o.name: {} for o in self.objectives
+        }
+        self._last_t: float | None = None
+
+    # -- recording -------------------------------------------------------
+    def record(
+        self, ok: bool, latency_s: float, t: float | None = None
+    ) -> None:
+        """Classify one finished request against every objective."""
+        now = self._clock() if t is None else t
+        self._last_t = now if self._last_t is None else max(self._last_t, now)
+        bucket = int(now // self.resolution)
+        horizon = bucket - int(self.windows[-1] // self.resolution) - 1
+        for obj in self.objectives:
+            ring = self._rings[obj.name]
+            entry = ring.get(bucket)
+            if entry is None:
+                entry = ring[bucket] = [0, 0]
+                for stale in [b for b in ring if b < horizon]:
+                    del ring[stale]
+            entry[0] += 1
+            if not obj.is_good(ok, latency_s):
+                entry[1] += 1
+
+    # -- queries ---------------------------------------------------------
+    def _now(self, t: float | None) -> float:
+        # Live queries use the clock so idle windows age out; offline
+        # replay passes explicit timestamps (typically `last_recorded`,
+        # so a ledger read hours later reports the run's own windows).
+        return self._clock() if t is None else t
+
+    @property
+    def last_recorded(self) -> float | None:
+        """Newest timestamp seen by :meth:`record` (for replay queries)."""
+        return self._last_t
+
+    def tally(
+        self, objective: str, window: float, t: float | None = None
+    ) -> tuple[int, int]:
+        """``(total, bad)`` over the trailing ``window`` seconds."""
+        now = self._now(t)
+        first = int((now - window) // self.resolution) + 1
+        total = bad = 0
+        for bucket, (n, b) in self._rings[objective].items():
+            if bucket >= first:
+                total += n
+                bad += b
+        return total, bad
+
+    def burn_rate(
+        self, objective: str, window: float, t: float | None = None
+    ) -> float:
+        """Bad-request ratio over ``window`` divided by the error budget.
+
+        0.0 when the window saw no traffic (no news is not bad news).
+        """
+        obj = self._objective(objective)
+        total, bad = self.tally(objective, window, t)
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - obj.target)
+
+    def _objective(self, name: str) -> Objective:
+        for obj in self.objectives:
+            if obj.name == name:
+                return obj
+        raise KeyError(name)
+
+    # -- export ----------------------------------------------------------
+    def gauges(self, t: float | None = None) -> dict[str, float]:
+        """Flat gauge dict for ``/metrics`` (merged at scrape time)."""
+        out: dict[str, float] = {}
+        for obj in self.objectives:
+            out[f"slo.{obj.name}.target"] = obj.target
+            for window in self.windows:
+                label = window_label(window)
+                total, bad = self.tally(obj.name, window, t)
+                rate = (
+                    (bad / total) / (1.0 - obj.target) if total else 0.0
+                )
+                out[f"slo.{obj.name}.burn_rate_{label}"] = round(rate, 6)
+                out[f"slo.{obj.name}.requests_{label}"] = float(total)
+        return out
+
+    def render(self, t: float | None = None) -> str:
+        """Text report: one objective per block, one line per window."""
+        lines: list[str] = []
+        for obj in self.objectives:
+            lines.append(f"objective {obj.name}: {obj.describe()}")
+            for window in self.windows:
+                total, bad = self.tally(obj.name, window, t)
+                rate = (
+                    (bad / total) / (1.0 - obj.target) if total else 0.0
+                )
+                flag = "  <-- burning" if rate > 1.0 else ""
+                lines.append(
+                    f"  {window_label(window):>4s}: burn {rate:7.2f}   "
+                    f"bad {bad}/{total}{flag}"
+                )
+        return "\n".join(lines) if lines else "(no objectives)"
+
+    def as_dict(self, t: float | None = None) -> dict[str, Any]:
+        """JSON-friendly summary (the ``obs slo --json`` payload)."""
+        report: dict[str, Any] = {"windows": list(self.windows), "objectives": []}
+        for obj in self.objectives:
+            entry: dict[str, Any] = {
+                "name": obj.name,
+                "kind": obj.kind,
+                "target": obj.target,
+                "windows": {},
+            }
+            if obj.kind == "latency":
+                entry["threshold_s"] = obj.threshold_s
+            for window in self.windows:
+                total, bad = self.tally(obj.name, window, t)
+                rate = (
+                    (bad / total) / (1.0 - obj.target) if total else 0.0
+                )
+                entry["windows"][window_label(window)] = {
+                    "total": total,
+                    "bad": bad,
+                    "burn_rate": round(rate, 6),
+                }
+            report["objectives"].append(entry)
+        return report

@@ -66,13 +66,35 @@ class Tracer:
     tracer's creation, so a trace file is self-contained and diffable.
     """
 
-    __slots__ = ("events", "_origin", "_stack", "_seq")
+    __slots__ = ("events", "_origin", "_stack", "_seq", "_context")
 
     def __init__(self) -> None:
         self.events: list[dict[str, Any]] = []
         self._origin = time.perf_counter()
         self._stack: list[tuple[int, str]] = []  # open (id, name), innermost last
         self._seq = 0
+        self._context: dict[str, Any] = {}
+
+    @contextmanager
+    def bind(self, **attrs: Any):
+        """Stamp ``attrs`` onto every span recorded inside the ``with`` body.
+
+        Context attributes flow to directly-recorded spans *and* to events
+        folded in via :meth:`merge_events` — this is how a service request
+        id reaches worker-side spans: the request handler binds
+        ``request_id=...`` around evaluation, and when
+        :func:`repro.perf.workers.corpus_map` merges each unit's events on
+        the parent side, the bound context rides along. Explicit per-span
+        attrs win over bound context on key collision. Binds nest; inner
+        values shadow outer ones and the previous context is restored on
+        exit.
+        """
+        previous = self._context
+        self._context = {**previous, **attrs}
+        try:
+            yield self
+        finally:
+            self._context = previous
 
     @contextmanager
     def span(self, name: str, **attrs: Any):
@@ -81,6 +103,9 @@ class Tracer:
         self._seq += 1
         parent = self._stack[-1][0] if self._stack else None
         depth = len(self._stack)
+        # Snapshot the bound context at entry so a bind() exiting before
+        # the span closes still stamps the attrs the span started under.
+        context = self._context
         self._stack.append((span_id, name))
         t0 = time.perf_counter() - self._origin
         try:
@@ -98,8 +123,9 @@ class Tracer:
             }
             if parent is not None:
                 event["parent"] = parent
-            if attrs:
-                event["attrs"] = attrs
+            merged_attrs = {**context, **attrs} if context else attrs
+            if merged_attrs:
+                event["attrs"] = merged_attrs
             self.events.append(event)
 
     def open_names(self) -> tuple[str, ...]:
@@ -126,10 +152,15 @@ class Tracer:
         within the delta is preserved), nesting is grafted under the
         currently open span, and ``attrs`` (e.g. ``origin="worker"``,
         ``unit=i``) are stamped onto every merged event so exporters can
-        place each unit on its own timeline track.
+        place each unit on its own timeline track. Attributes bound via
+        :meth:`bind` are stamped too (explicit ``attrs`` win), so merged
+        worker spans inherit ambient request context such as
+        ``request_id``.
         """
         if not events:
             return
+        if self._context:
+            attrs = {**self._context, **attrs}
         now = self.elapsed()
         base_depth = len(self._stack)
         graft_parent = self._stack[-1][0] if self._stack else None

@@ -40,7 +40,11 @@ completed events return with the result; the parent merges them — again
 in input order — via :meth:`~repro.obs.trace.Tracer.merge_events`, so
 serial and parallel runs record the same span inventory (names and
 counts; wall-clock values naturally differ). Merged events carry
-``origin="worker"`` and ``unit=<input index>`` attrs. With a result
+``origin="worker"`` and ``unit=<input index>`` attrs — plus whatever
+context the parent tracer has bound via
+:meth:`~repro.obs.trace.Tracer.bind`: the merge happens parent-side, so
+ambient request context (e.g. the service's ``request_id``) stamps onto
+worker spans without any per-unit plumbing here. With a result
 cache active, hits replay stored *metric* deltas but not spans — a warm
 hit does no kernel work, so there is no time to account for; only the
 misses contribute worker spans.

@@ -26,6 +26,26 @@ job, not the request threads'. A worker killed mid-batch surfaces as
 :class:`~repro.perf.runner.WorkerCrashError`; the service retries the
 batch once on fresh workers (the pool-eviction recovery path) before
 answering 503, so a single crash never fails a request.
+
+Request-scoped observability (this layer's additions on top of the
+aggregate metrics):
+
+* every call gets a **request id** — an inbound ``X-Request-Id`` header
+  (sanitized) or a minted ``req-......`` — bound onto the request's
+  tracer so every span, *including worker-side spans merged back by the
+  pool*, carries ``request_id`` and the full span tree reassembles from
+  a mixed trace;
+* request latency and the per-phase split (parse / queue-behind-lock /
+  eval / serialize) stream into bounded-memory **histograms** on the
+  live registry, exported as Prometheus ``histogram`` families and
+  echoed to the client as a ``Server-Timing`` header + response block;
+* an :class:`~repro.obs.slo.SLOTracker` classifies every response
+  against latency/availability objectives and surfaces multi-window
+  burn rates in ``/metrics``;
+* requests slower than ``slow_threshold_ms`` persist a **tail-latency
+  exemplar** (Chrome trace + phase split + metadata) into their ledger
+  record, listed by ``python -m repro obs slowest``; ``/debug/requests``
+  exposes the in-flight table and recent/slow ring buffers.
 """
 
 from __future__ import annotations
@@ -33,8 +53,10 @@ from __future__ import annotations
 import itertools
 import json
 import logging
+import re
 import threading
 import time
+from collections import deque
 from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any
@@ -45,6 +67,7 @@ from repro.obs import ledger as ledger_mod
 from repro.obs import trace as trace_mod
 from repro.obs.export import metrics_to_prometheus, spans_to_chrome_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOTracker, default_objectives
 from repro.perf.runner import WorkerCrashError, reset_dispatch_stats
 from repro.service import protocol
 
@@ -53,6 +76,20 @@ logger = logging.getLogger("repro.service")
 #: Attempts per batch: the original run plus one retry on a worker crash
 #: (the pool was evicted; the retry spawns fresh workers).
 _MAX_ATTEMPTS = 2
+
+#: Characters allowed in a client-supplied request id; the rest become
+#: ``-`` so header junk cannot leak into logs, ledger records or traces.
+_RID_UNSAFE_RE = re.compile(r"[^A-Za-z0-9._\-]")
+
+#: Longest accepted client-supplied request id.
+_RID_MAX_LEN = 128
+
+#: The request phases timed for Server-Timing and the phase histograms.
+PHASES = ("parse", "queue", "eval", "serialize")
+
+#: Ring sizes for /debug/requests.
+_RECENT_RING = 64
+_SLOW_RING = 32
 
 
 @dataclass
@@ -66,6 +103,28 @@ class ServiceConfig:
     ledger_dir: str | None = None
     max_blocks: int = protocol.DEFAULT_MAX_BLOCKS
     max_body_bytes: int = protocol.DEFAULT_MAX_BODY_BYTES
+    #: Requests at least this slow persist a tail-latency exemplar into
+    #: their ledger record. ``0`` captures every request (CI uses this to
+    #: force an exemplar); negative disables capture.
+    slow_threshold_ms: float = 1000.0
+    #: SLO objectives: good = answered within the latency threshold /
+    #: answered without a 5xx. ``repro obs slo`` replays the same
+    #: objectives offline from the ledger.
+    slo_latency_ms: float = 1000.0
+    slo_latency_target: float = 0.99
+    slo_availability_target: float = 0.999
+
+
+@dataclass
+class _EvalOutcome:
+    """What one successful :meth:`SchedulerService._evaluate` produced."""
+
+    summary: Any
+    registry: MetricsRegistry
+    tracer: trace_mod.Tracer | None
+    recorder: ledger_mod.RunRecorder | None
+    cache_delta: dict[str, Any] | None
+    eval_seconds: float
 
 
 class SchedulerService:
@@ -79,11 +138,25 @@ class SchedulerService:
         #: Live registry behind ``GET /metrics``: service counters plus
         #: the merged kernel counters of every request served.
         self.registry = MetricsRegistry()
+        #: SLO burn-rate tracking over every finished request; queried at
+        #: scrape time under the registry lock.
+        self.slo = SLOTracker(
+            default_objectives(
+                latency_target=config.slo_latency_target,
+                latency_threshold_s=config.slo_latency_ms / 1000.0,
+                availability_target=config.slo_availability_target,
+            )
+        )
         self.started_at = time.time()
         self._clock0 = time.perf_counter()
         self._eval_lock = threading.Lock()
         self._registry_lock = threading.Lock()
         self._request_seq = itertools.count(1)
+        #: /debug/requests state: in-flight table plus recent/slow rings.
+        self._debug_lock = threading.Lock()
+        self._inflight: dict[str, dict[str, Any]] = {}
+        self._recent: deque[dict[str, Any]] = deque(maxlen=_RECENT_RING)
+        self._slow: deque[dict[str, Any]] = deque(maxlen=_SLOW_RING)
 
     # -- live metrics ----------------------------------------------------
     def note(self, counter: str, amount: int = 1) -> None:
@@ -123,12 +196,14 @@ class SchedulerService:
         """The ``GET /metrics`` body: Prometheus text exposition 0.0.4.
 
         A snapshot of the live registry plus scrape-time gauges (uptime,
-        cache lifetime totals). Gauges — not counter adds — for the cache
-        stats, so scraping never double-counts.
+        cache lifetime totals, SLO burn rates). Gauges — not counter
+        adds — for the cache stats, so scraping never double-counts.
         """
         with self._registry_lock:
             data = self.registry.as_dict()
+            slo_gauges = self.slo.gauges()
         gauges = data["gauges"]
+        gauges.update(slo_gauges)
         gauges["service.uptime_seconds"] = round(self.uptime_s(), 3)
         if self.cache is not None:
             for event, amount in self.cache.stats.as_dict().items():
@@ -138,55 +213,243 @@ class SchedulerService:
             )
         return metrics_to_prometheus(data, prefix="repro")
 
+    # -- request ids and debug state -------------------------------------
+    def _mint_request_id(self, supplied: str | None) -> str:
+        """An inbound ``X-Request-Id`` (sanitized) or a fresh ``req-...``."""
+        if supplied:
+            cleaned = _RID_UNSAFE_RE.sub("-", supplied.strip())[:_RID_MAX_LEN]
+            if cleaned:
+                return cleaned
+        return f"req-{next(self._request_seq):06x}"
+
+    def debug_requests(self) -> dict[str, Any]:
+        """The ``GET /debug/requests`` body: in-flight + recent + slow.
+
+        Reads only the debug rings (never the eval lock), so it stays
+        responsive while a batch computes — which is exactly when you
+        want to see what is in flight.
+        """
+        now = time.time()
+        with self._debug_lock:
+            in_flight = [
+                {**entry, "age_s": round(now - entry["started_at"], 3)}
+                for entry in self._inflight.values()
+            ]
+            recent = [dict(entry) for entry in self._recent]
+            slow = [dict(entry) for entry in self._slow]
+        return {
+            "schema_version": protocol.PROTOCOL_VERSION,
+            "in_flight": in_flight,
+            "recent": recent,
+            "slow": slow,
+            "slow_threshold_ms": self.config.slow_threshold_ms,
+        }
+
+    def _is_slow(self, total_s: float) -> bool:
+        threshold = self.config.slow_threshold_ms
+        return threshold >= 0.0 and total_s * 1000.0 >= threshold
+
     # -- batch evaluation ------------------------------------------------
-    def handle_batch(self, raw: bytes) -> tuple[int, dict[str, Any]]:
+    def handle_batch(
+        self, raw: bytes, request_id: str | None = None
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         """Decode, validate and evaluate one batch body.
 
-        Returns ``(http_status, response_payload)``. Every failure mode
-        maps to a structured error body — never a traceback, never a
-        dead server.
+        Returns ``(http_status, response_payload, response_headers)``.
+        Every failure mode maps to a structured error body — never a
+        traceback, never a dead server. ``request_id`` is the client's
+        ``X-Request-Id`` header (or ``None`` to mint one); the resolved
+        id is echoed in the payload and the ``X-Request-Id`` header on
+        success *and* error paths, and the phase split rides back as a
+        ``Server-Timing`` header plus a ``server_timing`` payload block.
         """
+        t_start = time.perf_counter()
+        rid = self._mint_request_id(request_id)
+        phases = dict.fromkeys(PHASES, 0.0)
+        inflight: dict[str, Any] = {
+            "request_id": rid,
+            "started_at": round(time.time(), 3),
+        }
+        with self._debug_lock:
+            self._inflight[rid] = inflight
+        status = 500
+        payload: dict[str, Any]
+        request: protocol.BatchRequest | None = None
+        outcome: _EvalOutcome | None = None
         try:
             try:
-                data = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError) as exc:
-                raise protocol.ProtocolError(
-                    "bad-json", f"request body is not valid JSON: {exc}"
-                ) from None
-            request = protocol.parse_batch_request(
-                data, max_blocks=self.config.max_blocks
+                t0 = time.perf_counter()
+                try:
+                    data = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, ValueError) as exc:
+                    raise protocol.ProtocolError(
+                        "bad-json", f"request body is not valid JSON: {exc}"
+                    ) from None
+                request = protocol.parse_batch_request(
+                    data, max_blocks=self.config.max_blocks
+                )
+                phases["parse"] = time.perf_counter() - t0
+                with self._debug_lock:
+                    inflight.update(
+                        kind=request.kind,
+                        machine=request.machine.name,
+                        blocks=len(request.superblocks),
+                    )
+                t0 = time.perf_counter()
+                with self._eval_lock:
+                    phases["queue"] = time.perf_counter() - t0
+                    outcome = self._evaluate(request, rid)
+                phases["eval"] = outcome.eval_seconds
+                t0 = time.perf_counter()
+                payload = self._serialize(outcome, request, rid)
+                phases["serialize"] = time.perf_counter() - t0
+                status = 200
+            except protocol.ProtocolError as exc:
+                self.note(f"service.errors.{exc.code}")
+                status = exc.status
+                payload = protocol.error_payload(exc.code, str(exc))
+            except WorkerCrashError as exc:
+                # Both attempts lost their workers; the pool is evicted,
+                # so the *next* request starts clean.
+                logger.error("batch failed after worker-crash retry: %s", exc)
+                self.note("service.errors.worker-crash")
+                status = 503
+                payload = protocol.error_payload(
+                    "worker-crash",
+                    "a worker process died twice while evaluating this "
+                    "batch; the pool was recycled — retry the request",
+                )
+            except Exception:
+                logger.exception("batch request failed")
+                self.note("service.errors.internal")
+                status = 500
+                payload = protocol.error_payload(
+                    "internal", "internal error; see the server log"
+                )
+            total = time.perf_counter() - t_start
+            if status == 200 and outcome is not None and request is not None:
+                self._finalize_run(outcome, request, rid, phases, total, status)
+                self._absorb(outcome.registry, request, outcome.eval_seconds)
+            payload["request_id"] = rid
+            phases_ms = {
+                name: round(seconds * 1000.0, 3)
+                for name, seconds in phases.items()
+            }
+            if status == 200:
+                payload["server_timing"] = phases_ms
+            headers = {
+                "X-Request-Id": rid,
+                "Server-Timing": ", ".join(
+                    f"{name};dur={phases_ms[name]}" for name in PHASES
+                ),
+            }
+            return status, payload, headers
+        finally:
+            total = time.perf_counter() - t_start
+            with self._registry_lock:
+                self.registry.observe_hist("service.request_seconds", total)
+                for name, seconds in phases.items():
+                    self.registry.observe_hist(
+                        f"service.phase.{name}_seconds", seconds
+                    )
+                # 4xx responses were answered correctly — only 5xx (and
+                # an escaping exception, which left status at 500) spend
+                # availability budget.
+                self.slo.record(ok=status < 500, latency_s=total)
+            finished = {
+                **inflight,
+                "status": status,
+                "elapsed_ms": round(total * 1000.0, 3),
+                "phases_ms": {
+                    name: round(seconds * 1000.0, 3)
+                    for name, seconds in phases.items()
+                },
+            }
+            with self._debug_lock:
+                self._inflight.pop(rid, None)
+                self._recent.appendleft(finished)
+                if self._is_slow(total):
+                    self._slow.appendleft(finished)
+
+    def _serialize(
+        self,
+        outcome: _EvalOutcome,
+        request: protocol.BatchRequest,
+        rid: str,
+    ) -> dict[str, Any]:
+        """Build the success payload from an evaluation outcome."""
+        payload: dict[str, Any] = {
+            "schema_version": protocol.PROTOCOL_VERSION,
+            "request_id": rid,
+            "kind": request.kind,
+            "machine": request.machine.name,
+            "results": [
+                protocol.result_payload(r) for r in outcome.summary.results
+            ],
+            "counters": outcome.registry.as_dict()["counters"],
+            "cache": outcome.cache_delta,
+            "elapsed_s": round(outcome.eval_seconds, 6),
+        }
+        if request.trace and outcome.tracer is not None:
+            payload["trace"] = spans_to_chrome_trace(
+                outcome.tracer.spans(), process_name="repro-serve"
             )
-            with self._eval_lock:
-                payload, registry, elapsed = self._evaluate(request)
-        except protocol.ProtocolError as exc:
-            self.note(f"service.errors.{exc.code}")
-            return exc.status, protocol.error_payload(exc.code, str(exc))
-        except WorkerCrashError as exc:
-            # Both attempts lost their workers; the pool is evicted, so
-            # the *next* request starts clean.
-            logger.error("batch failed after worker-crash retry: %s", exc)
-            self.note("service.errors.worker-crash")
-            return 503, protocol.error_payload(
-                "worker-crash",
-                "a worker process died twice while evaluating this batch; "
-                "the pool was recycled — retry the request",
-            )
-        except Exception:
-            logger.exception("batch request failed")
-            self.note("service.errors.internal")
-            return 500, protocol.error_payload(
-                "internal", "internal error; see the server log"
-            )
-        self._absorb(registry, request, elapsed)
-        return 200, payload
+        return payload
+
+    def _finalize_run(
+        self,
+        outcome: _EvalOutcome,
+        request: protocol.BatchRequest,
+        rid: str,
+        phases: dict[str, float],
+        total_s: float,
+        status: int,
+    ) -> None:
+        """Attach the slow-request exemplar (if any) and write the ledger
+        record. Deferred out of ``_evaluate`` so the exemplar can see the
+        request's *total* latency including parse/queue/serialize."""
+        recorder = outcome.recorder
+        if recorder is None:
+            return
+        if self._is_slow(total_s):
+            exemplar: dict[str, Any] = {
+                "request_id": rid,
+                "status": status,
+                "kind": request.kind,
+                "machine": request.machine.name,
+                "blocks": len(request.superblocks),
+                "elapsed_ms": round(total_s * 1000.0, 3),
+                "threshold_ms": self.config.slow_threshold_ms,
+                "phases_ms": {
+                    name: round(seconds * 1000.0, 3)
+                    for name, seconds in phases.items()
+                },
+            }
+            if outcome.tracer is not None:
+                exemplar["trace"] = spans_to_chrome_trace(
+                    outcome.tracer.spans(), process_name="repro-serve"
+                )
+            recorder.extra["slow_request"] = exemplar
+            self.note("service.slow_requests")
+        if outcome.cache_delta is not None:
+            recorder.attach_cache_stats(outcome.cache_delta)
+        recorder.finalize(
+            span_events=(
+                outcome.tracer.spans() if outcome.tracer is not None else None
+            ),
+            metrics=outcome.registry,
+        )
 
     def _evaluate(
-        self, request: protocol.BatchRequest
-    ) -> tuple[dict[str, Any], MetricsRegistry, float]:
+        self, request: protocol.BatchRequest, rid: str
+    ) -> _EvalOutcome:
         """Run one validated batch; must hold ``_eval_lock``.
 
         Each attempt starts from scratch (fresh registry, tracer and
         recorder) so a worker-crash retry cannot double-count anything.
+        The request id is bound onto the tracer, so every span recorded
+        during evaluation — including worker-side spans merged back by
+        :func:`repro.perf.workers.corpus_map` — carries ``request_id``.
         """
         from repro.eval.sched_eval import evaluate_corpus
         from repro.workloads.corpus import Corpus
@@ -204,6 +467,7 @@ class SchedulerService:
                 ledger_mod.RunRecorder(
                     "serve",
                     args={
+                        "request_id": rid,
                         "kind": request.kind,
                         "machine": request.machine.name,
                         "blocks": len(blocks),
@@ -225,6 +489,7 @@ class SchedulerService:
                 with ExitStack() as stack:
                     if tracer is not None:
                         stack.enter_context(trace_mod.install(tracer))
+                        stack.enter_context(tracer.bind(request_id=rid))
                     if self.cache is not None:
                         stack.enter_context(result_cache.install(self.cache))
                     if recorder is not None:
@@ -254,33 +519,14 @@ class SchedulerService:
                 continue
             elapsed = time.perf_counter() - t0
             break
-        cache_delta = self._cache_delta(stats_before)
-        request_id = f"req-{next(self._request_seq):06x}"
-        if recorder is not None:
-            if cache_delta is not None:
-                recorder.attach_cache_stats(cache_delta)
-            recorder.finalize(
-                span_events=tracer.spans() if tracer is not None else None,
-                metrics=registry,
-            )
-            request_id = recorder.run_id
-        payload: dict[str, Any] = {
-            "schema_version": protocol.PROTOCOL_VERSION,
-            "request_id": request_id,
-            "kind": request.kind,
-            "machine": request.machine.name,
-            "results": [
-                protocol.result_payload(r) for r in summary.results
-            ],
-            "counters": registry.as_dict()["counters"],
-            "cache": cache_delta,
-            "elapsed_s": round(elapsed, 6),
-        }
-        if request.trace and tracer is not None:
-            payload["trace"] = spans_to_chrome_trace(
-                tracer.spans(), process_name="repro-serve"
-            )
-        return payload, registry, elapsed
+        return _EvalOutcome(
+            summary=summary,
+            registry=registry,
+            tracer=tracer,
+            recorder=recorder,
+            cache_delta=self._cache_delta(stats_before),
+            eval_seconds=elapsed,
+        )
 
     def _cache_delta(
         self, before: dict[str, Any] | None

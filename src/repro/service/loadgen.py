@@ -50,6 +50,10 @@ class LoadgenConfig:
     machines: tuple[str, ...] = DEFAULT_MACHINES
     jobs: int = 1  #: worker-pool width of the self-hosted server
     cache_dir: str | None = None  #: cache of the self-hosted server
+    ledger_dir: str | None = None  #: ledger of the self-hosted server
+    #: slow-exemplar threshold of the self-hosted server (None = its
+    #: default); `0` forces an exemplar for every request.
+    slow_threshold_ms: float | None = None
     timeout_s: float = 60.0
 
 
@@ -66,6 +70,10 @@ class LoadReport:
     hits: int
     misses: int
     statuses: dict[str, int]
+    #: Latency samples behind the percentiles (transport failures record
+    #: no latency, so this can undercut ``requests``) — reported so a
+    #: small-n p99 reads with appropriate suspicion.
+    samples: int = 0
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -79,6 +87,7 @@ class LoadReport:
             "elapsed_s": round(self.elapsed_s, 4),
             "throughput_rps": round(self.throughput_rps, 2),
             "latency_ms": self.latency_ms,
+            "samples": self.samples,
             "hit_rate": round(self.hit_rate, 6),
             "hits": self.hits,
             "misses": self.misses,
@@ -93,7 +102,8 @@ class LoadReport:
             f"{self.elapsed_s:.2f}s "
             f"({self.throughput_rps:.1f} req/s)",
             f"  latency ms: p50={lat['p50']:.1f} p90={lat['p90']:.1f} "
-            f"p99={lat['p99']:.1f} mean={lat['mean']:.1f}",
+            f"p99={lat['p99']:.1f} mean={lat['mean']:.1f} "
+            f"(n={self.samples})",
             f"  cache: hit_rate={self.hit_rate:.3f} "
             f"(hits={self.hits} misses={self.misses})",
             "  statuses: "
@@ -136,7 +146,33 @@ class LoadReport:
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 1]) of pre-sorted values."""
+    """Linearly-interpolated percentile (``q`` in [0, 1]) of sorted values.
+
+    The previous nearest-rank estimator (:func:`percentile_nearest`)
+    silently reported the sample *maximum* as p99 for any run under ~50
+    samples — a 200-request smoke run's p99 was really p99.5-ish and a
+    20-request run's was the single worst outlier. Linear interpolation
+    between the two straddling order statistics (numpy's default, and
+    what most load tools report) degrades gracefully instead; the sample
+    count rides along in the report so small-n percentiles read with the
+    right suspicion either way.
+    """
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (
+        sorted_values[lower] * (1.0 - fraction)
+        + sorted_values[upper] * fraction
+    )
+
+
+def percentile_nearest(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile — the pre-interpolation behavior, kept so
+    the regression test can pin exactly what changed (p99 == max on
+    small samples)."""
     if not sorted_values:
         return 0.0
     rank = min(
@@ -308,6 +344,7 @@ def run_against(url: str, config: LoadgenConfig) -> LoadReport:
                 sum(latencies) / len(latencies) if latencies else 0.0, 3
             ),
         },
+        samples=len(latencies),
         hit_rate=hits / looked if looked else 0.0,
         hits=hits,
         misses=misses,
@@ -330,13 +367,15 @@ def run_loadgen(config: LoadgenConfig) -> LoadReport:
     from repro.service.server import ServiceServer
 
     with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
-        server = ServiceServer(
-            ServiceConfig(
-                port=0,
-                jobs=config.jobs,
-                cache_dir=config.cache_dir or tmp,
-            )
+        service_config = ServiceConfig(
+            port=0,
+            jobs=config.jobs,
+            cache_dir=config.cache_dir or tmp,
+            ledger_dir=config.ledger_dir,
         )
+        if config.slow_threshold_ms is not None:
+            service_config.slow_threshold_ms = config.slow_threshold_ms
+        server = ServiceServer(service_config)
         server.start()
         try:
             return run_against(server.url, config)

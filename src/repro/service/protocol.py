@@ -21,6 +21,14 @@ trip counters, and the request's cache hit/miss delta — all of it
 bit-identical to the equivalent direct library call (the ``service``
 verify family pins this).
 
+Additive response fields (still ``PROTOCOL_VERSION`` 1, clients that
+ignore unknown keys are unaffected): every response — success or error —
+carries ``request_id`` (the sanitized inbound ``X-Request-Id`` or a
+minted ``req-...``, also echoed as a response header), and successful
+responses carry ``server_timing``, the per-phase millisecond split
+(``parse`` / ``queue`` / ``eval`` / ``serialize``) that the
+``Server-Timing`` response header mirrors.
+
 Every client-side mistake maps to a :class:`ProtocolError` carrying a
 kebab-case machine-readable ``code`` and an HTTP status; the server
 renders these as structured JSON errors — a malformed request never

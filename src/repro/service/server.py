@@ -4,9 +4,13 @@ Endpoints:
 
 * ``GET /healthz`` — liveness/readiness JSON (never blocks on evaluation).
 * ``GET /metrics`` — Prometheus text exposition 0.0.4 from the live
-  registry.
+  registry (latency histograms and SLO burn-rate gauges included).
+* ``GET /debug/requests`` — in-flight, recent and slow request rings
+  (never blocks on evaluation).
 * ``POST /v1/batch`` — batch schedule/bounds evaluation (see
-  :mod:`repro.service.protocol`).
+  :mod:`repro.service.protocol`). An inbound ``X-Request-Id`` header is
+  honored (sanitized) and echoed back; responses carry a
+  ``Server-Timing`` header with the parse/queue/eval/serialize split.
 
 Built on :class:`http.server.ThreadingHTTPServer` — dependency-free,
 keep-alive capable (HTTP/1.1 with explicit ``Content-Length``), one
@@ -83,23 +87,35 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- response helpers ------------------------------------------------
     def _send_bytes(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
     ) -> None:
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except _DISCONNECT_ERRORS:
             self.service.note("service.client_disconnects")
             self.close_connection = True
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_bytes(
             status,
             json.dumps(payload).encode("utf-8"),
             "application/json",
+            headers=headers,
         )
 
     def _send_error_payload(
@@ -120,6 +136,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self.service.metrics_text().encode("utf-8"),
                     PROMETHEUS_CONTENT_TYPE,
                 )
+            elif path == "/debug/requests":
+                self._send_json(200, self.service.debug_requests())
             elif path == "/v1/batch":
                 self._send_error_payload(
                     405, "method-not-allowed",
@@ -129,7 +147,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_payload(
                     404, "not-found",
                     f"unknown path {path!r}; endpoints: /healthz, /metrics, "
-                    "POST /v1/batch",
+                    "/debug/requests, POST /v1/batch",
                 )
         except Exception:
             self._internal_error()
@@ -183,8 +201,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self.close_connection = True
                 return
-            status, payload = self.service.handle_batch(body)
-            self._send_json(status, payload)
+            status, payload, headers = self.service.handle_batch(
+                body, request_id=self.headers.get("X-Request-Id")
+            )
+            self._send_json(status, payload, headers=headers)
         except Exception:
             self._internal_error()
 

@@ -905,4 +905,127 @@ def check_service(sb: Superblock, machine: MachineConfig) -> list[Finding]:
                     sb, machine,
                 )
             )
+
+    findings.extend(_check_service_request_id(sb, machine, heuristics))
+    return findings
+
+
+def _check_service_request_id(
+    sb: Superblock, machine: MachineConfig, heuristics: tuple[str, ...]
+) -> list[Finding]:
+    """An inbound request id must reach every span of a traced request.
+
+    Pins the tentpole of request-scoped tracing: a two-block batch posted
+    with ``X-Request-Id`` against a ``jobs=2`` server (the dispatch
+    break-even is zeroed via ``REPRO_PAR_BREAK_EVEN`` so two blocks
+    really fan out where a pool exists) must echo the id in the response
+    and stamp ``request_id`` on **all** spans of the returned trace —
+    worker-side spans merged back across the pool included. Platforms
+    without a usable process pool fall back to the serial path; the
+    all-spans assertion still pins propagation there.
+    """
+    import json
+    import os
+    import tempfile
+    import urllib.request
+
+    from repro.service.app import ServiceConfig
+    from repro.service.server import ServiceServer
+
+    sent_id = "verify-rid-0001"
+    body = json.dumps({
+        "kind": "schedule",
+        "machine": machine_to_dict(machine),
+        # Two copies of the block: single-unit batches always plan
+        # serial, so the worker path would silently go untested.
+        "blocks": [superblock_to_dict(sb), superblock_to_dict(sb)],
+        "heuristics": list(heuristics),
+        "include_triplewise": False,
+        "trace": True,
+    }).encode("utf-8")
+
+    with tempfile.TemporaryDirectory(prefix="repro-verify-rid-") as tmp:
+        server = ServiceServer(
+            ServiceConfig(port=0, jobs=2, cache_dir=None, ledger_dir=tmp)
+        )
+        server.start()
+        saved = os.environ.get("REPRO_PAR_BREAK_EVEN")
+        os.environ["REPRO_PAR_BREAK_EVEN"] = "0"
+        try:
+            request = urllib.request.Request(
+                f"{server.url}/v1/batch",
+                data=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Request-Id": sent_id,
+                },
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60.0) as response:
+                status = response.status
+                echoed = response.headers.get("X-Request-Id")
+                payload = json.loads(response.read())
+        except Exception as exc:  # noqa: BLE001 - any transport failure
+            return [
+                _finding(
+                    "service", "rid-transport",
+                    f"traced jobs=2 request failed: {exc!r}",
+                    sb, machine,
+                )
+            ]
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_PAR_BREAK_EVEN", None)
+            else:
+                os.environ["REPRO_PAR_BREAK_EVEN"] = saved
+            server.stop()
+
+    if status != 200:
+        return [
+            _finding(
+                "service", "rid-status",
+                f"traced jobs=2 request answered {status}: {payload!r}",
+                sb, machine,
+            )
+        ]
+    findings: list[Finding] = []
+    if payload.get("request_id") != sent_id or echoed != sent_id:
+        findings.append(
+            _finding(
+                "service", "rid-echo",
+                f"the inbound X-Request-Id {sent_id!r} was not echoed "
+                f"back (payload: {payload.get('request_id')!r}, header: "
+                f"{echoed!r})",
+                sb, machine,
+            )
+        )
+    spans = [
+        e
+        for e in (payload.get("trace") or {}).get("traceEvents", [])
+        if e.get("ph") == "X"
+    ]
+    if not spans:
+        findings.append(
+            _finding(
+                "service", "rid-no-spans",
+                "the traced response carried no complete span events",
+                sb, machine,
+            )
+        )
+    untagged = [
+        e["name"]
+        for e in spans
+        if (e.get("args") or {}).get("request_id") != sent_id
+    ]
+    if untagged:
+        findings.append(
+            _finding(
+                "service", "rid-propagation",
+                f"{len(untagged)} of {len(spans)} spans in the reassembled "
+                f"trace miss request_id={sent_id!r} (e.g. "
+                f"{sorted(set(untagged))[:5]!r}) — the request id does not "
+                f"propagate through the worker pool",
+                sb, machine,
+            )
+        )
     return findings

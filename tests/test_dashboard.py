@@ -98,6 +98,27 @@ class TestRenderDashboard:
     def test_empty_ledger_renders_placeholder(self):
         html = dashboard.render_dashboard([])
         assert "no runs yet" in html
+        assert "Service traffic" not in html  # no serve records, no panel
+
+    def test_service_panel_renders_for_serve_records(self, seeded_records):
+        serves = [
+            _record(f"s{i}", command="serve", wall_seconds=0.01 * (i + 1))
+            for i in range(5)
+        ]
+        serves[-1]["extra"] = {
+            "slow_request": {
+                "request_id": "slow-<rid>",
+                "kind": "schedule",
+                "machine": "GP2",
+                "blocks": 3,
+                "elapsed_ms": 51.0,
+                "phases_ms": {"eval": 49.0, "queue": 0.5},
+            }
+        }
+        html = dashboard.render_dashboard(seeded_records + serves)
+        assert "Service traffic (5 request(s))" in html
+        assert "Slow requests (1 exemplar(s))" in html
+        assert "slow-&lt;rid&gt;" in html  # exemplar fields are escaped
         assert html.startswith("<!DOCTYPE html>")
 
     def test_quiet_history_says_no_anomalies(self):

@@ -159,3 +159,106 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert export.metrics_to_prometheus({}) == ""
+
+
+# ---------------------------------------------------------------------------
+# Histogram families
+# ---------------------------------------------------------------------------
+def _hist_registry_data():
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.observe_hist("svc.lat", 0.0004)  # first bucket (le=0.0005)
+    reg.observe_hist("svc.lat", 0.003)  # the (0.002, 0.004] bucket
+    reg.observe_hist("svc.lat", 1e6)  # +Inf overflow
+    return reg.as_dict()
+
+
+class TestPrometheusHistograms:
+    def test_histogram_family_rendering(self):
+        text = export.metrics_to_prometheus(_hist_registry_data())
+        assert "# TYPE repro_svc_lat histogram" in text
+        # Buckets are cumulative in the exposition even though storage
+        # is per-bucket.
+        assert 'repro_svc_lat_bucket{name="svc.lat",le="0.0005"} 1' in text
+        assert 'repro_svc_lat_bucket{name="svc.lat",le="0.004"} 2' in text
+        assert 'repro_svc_lat_bucket{name="svc.lat",le="+Inf"} 3' in text
+        assert 'repro_svc_lat_count{name="svc.lat"} 3' in text
+        assert 'repro_svc_lat_sum{name="svc.lat"}' in text
+
+    def test_histogram_exposition_validates(self):
+        text = export.metrics_to_prometheus(_hist_registry_data())
+        assert export.validate_prometheus_text(text) == []
+
+    def test_mixed_families_validate(self):
+        data = _hist_registry_data()
+        data["counters"] = {"c": 1}
+        data["timers"] = {"t": {"total_s": 0.5, "count": 1}}
+        data["gauges"] = {"g": 2.0}
+        text = export.metrics_to_prometheus(data)
+        assert export.validate_prometheus_text(text) == []
+
+
+class TestHistogramValidator:
+    """The extended validator catches each way a histogram family can lie."""
+
+    HEAD = "# HELP x x\n# TYPE x histogram\n"
+
+    def test_non_monotone_cumulative_counts_flagged(self):
+        text = self.HEAD + (
+            'x_bucket{le="0.1"} 5\n'
+            'x_bucket{le="+Inf"} 3\n'
+            "x_sum 1\nx_count 3\n"
+        )
+        problems = export.validate_prometheus_text(text)
+        assert any("cumulative bucket count decreases" in p for p in problems)
+
+    def test_le_must_increase(self):
+        text = self.HEAD + (
+            'x_bucket{le="0.2"} 1\n'
+            'x_bucket{le="0.1"} 2\n'
+            'x_bucket{le="+Inf"} 2\n'
+            "x_sum 1\nx_count 2\n"
+        )
+        problems = export.validate_prometheus_text(text)
+        assert any("not increasing" in p for p in problems)
+
+    def test_missing_inf_bucket_flagged(self):
+        text = self.HEAD + 'x_bucket{le="0.1"} 1\nx_sum 1\nx_count 1\n'
+        problems = export.validate_prometheus_text(text)
+        assert any("missing '+Inf' bucket" in p for p in problems)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = self.HEAD + (
+            'x_bucket{le="+Inf"} 2\nx_sum 1\nx_count 3\n'
+        )
+        problems = export.validate_prometheus_text(text)
+        assert any("!= _count" in p for p in problems)
+
+    def test_missing_sum_flagged(self):
+        text = self.HEAD + 'x_bucket{le="+Inf"} 1\nx_count 1\n'
+        problems = export.validate_prometheus_text(text)
+        assert any("missing _sum" in p for p in problems)
+
+    def test_missing_count_flagged(self):
+        text = self.HEAD + 'x_bucket{le="+Inf"} 1\nx_sum 1\n'
+        problems = export.validate_prometheus_text(text)
+        assert any("missing _count" in p for p in problems)
+
+    def test_bucket_without_le_label_flagged(self):
+        text = self.HEAD + "x_bucket 1\nx_sum 1\nx_count 1\n"
+        problems = export.validate_prometheus_text(text)
+        assert any("without an 'le' label" in p for p in problems)
+
+    def test_declared_but_sampleless_histogram_flagged(self):
+        problems = export.validate_prometheus_text(self.HEAD)
+        assert any("no _bucket samples" in p for p in problems)
+
+    def test_well_formed_synthetic_family_passes(self):
+        text = self.HEAD + (
+            'x_bucket{le="0.1"} 1\n'
+            'x_bucket{le="0.2"} 4\n'
+            'x_bucket{le="+Inf"} 5\n'
+            "x_sum 0.9\nx_count 5\n"
+        )
+        assert export.validate_prometheus_text(text) == []

@@ -379,3 +379,64 @@ def test_ledger_overhead_under_five_percent():
         f"ledger overhead {100 * (with_ledger / baseline - 1):.2f}% "
         f"exceeds 5% ({with_ledger:.4f}s vs {baseline:.4f}s)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Slow-request exemplars (service tail latency)
+# ---------------------------------------------------------------------------
+def _serve_record(run_id: str, elapsed_ms: float | None, **exemplar_extra):
+    record = _record(run_id, command="serve", wall_seconds=1.0)
+    if elapsed_ms is not None:
+        exemplar = {
+            "request_id": f"rid-{run_id}",
+            "status": 200,
+            "kind": "schedule",
+            "machine": "GP2",
+            "blocks": 2,
+            "elapsed_ms": elapsed_ms,
+            "threshold_ms": 0.0,
+            "phases_ms": {
+                "parse": 0.1, "queue": 0.0, "eval": elapsed_ms - 1.0,
+                "serialize": 0.2,
+            },
+        }
+        exemplar.update(exemplar_extra)
+        record["extra"] = {"slow_request": exemplar}
+    return record
+
+
+class TestSlowExemplars:
+    def test_sorted_slowest_first_and_paired_with_record(self):
+        records = [
+            _serve_record("a", 10.0),
+            _serve_record("b", None),  # untagged serve record: skipped
+            _serve_record("c", 250.0),
+            _record("d"),  # non-serve record without extra: skipped
+        ]
+        entries = ledger.slow_exemplars(records)
+        assert [e["exemplar"]["request_id"] for e in entries] == [
+            "rid-c", "rid-a",
+        ]
+        assert entries[0]["record"]["run_id"] == "c"
+
+    def test_render_slowest_table(self):
+        records = [
+            _serve_record("a", 10.0),
+            _serve_record("c", 250.0, trace={"traceEvents": []}),
+        ]
+        out = ledger.render_slowest(records)
+        lines = out.splitlines()
+        assert "2 slow-request exemplar(s)" in lines[0]
+        # Slowest first; the traced exemplar says so.
+        assert lines.index(
+            next(li for li in lines if "rid-c" in li)
+        ) < lines.index(next(li for li in lines if "rid-a" in li))
+        assert "yes" in next(li for li in lines if "rid-c" in li)
+
+    def test_render_slowest_empty_and_overflow(self):
+        assert "no slow-request exemplars" in ledger.render_slowest([])
+        records = [
+            _serve_record(f"r{i}", float(i + 1)) for i in range(12)
+        ]
+        out = ledger.render_slowest(records, top=10)
+        assert "... and 2 more" in out

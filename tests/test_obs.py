@@ -18,6 +18,8 @@ import logging
 import pickle
 import time
 
+import pytest
+
 from repro.bounds.branch_rj import rj_branch_bounds
 from repro.bounds.superblock_bounds import BoundSuite
 from repro.core.balance import balance_schedule
@@ -25,7 +27,14 @@ from repro.machine.machine import FS4, GP2
 from repro.obs import trace
 from repro.obs.decision_trace import DecisionRecorder
 from repro.obs.logsetup import ROOT_LOGGER, get_logger, setup_logging
-from repro.obs.metrics import MetricsRegistry, active, active_counters, render_metrics
+from repro.obs.metrics import (
+    HIST_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    active,
+    active_counters,
+    render_metrics,
+)
 from repro.obs.trace import NOOP_SPAN, Tracer, render_spans
 from repro.workloads.corpus import specint95_corpus
 
@@ -89,6 +98,64 @@ class TestTracer:
         assert events[0]["event"] == "span"
         assert events[0]["name"] == "phase"
         assert "phase" in render_spans(events)
+
+
+class TestTracerBind:
+    def test_bound_context_stamps_spans(self):
+        tracer = Tracer()
+        with tracer.bind(request_id="req-1"):
+            with tracer.span("inside"):
+                pass
+        with tracer.span("outside"):
+            pass
+        inside, outside = tracer.spans()
+        assert inside["attrs"] == {"request_id": "req-1"}
+        assert "attrs" not in outside  # context never leaks past bind()
+
+    def test_binds_nest_and_inner_shadows(self):
+        tracer = Tracer()
+        with tracer.bind(rid="a", zone="z1"):
+            with tracer.bind(rid="b"):
+                with tracer.span("deep"):
+                    pass
+            with tracer.span("shallow"):
+                pass
+        deep, shallow = tracer.spans()
+        assert deep["attrs"] == {"rid": "b", "zone": "z1"}
+        assert shallow["attrs"] == {"rid": "a", "zone": "z1"}
+
+    def test_explicit_span_attrs_win_over_context(self):
+        tracer = Tracer()
+        with tracer.bind(rid="ambient", extra=1):
+            with tracer.span("s", rid="explicit"):
+                pass
+        (event,) = tracer.spans()
+        assert event["attrs"] == {"rid": "explicit", "extra": 1}
+
+    def test_merge_events_folds_context_in(self):
+        """The worker path: parent-side merge stamps the bound context
+        onto worker spans, with the merge call's explicit attrs winning
+        over the bound context on collision."""
+        tracer = Tracer()
+        unit = [
+            {
+                "event": "span",
+                "id": 0,
+                "name": "unit.work",
+                "t0": 0.0,
+                "dur": 0.001,
+                "depth": 0,
+                "attrs": {"local": True},
+            }
+        ]
+        with tracer.bind(request_id="req-9", origin="parent"):
+            tracer.merge_events(unit, origin="worker", unit=0)
+        (merged,) = tracer.spans()
+        assert merged["attrs"]["request_id"] == "req-9"
+        assert merged["attrs"]["origin"] == "worker"
+        assert merged["attrs"]["local"] is True
+        # The caller's event dict was not mutated in place.
+        assert unit[0]["attrs"] == {"local": True}
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +222,80 @@ class TestMetricsRegistry:
         path = tmp_path / "m.json"
         reg.save(path)
         assert json.loads(path.read_text())["counters"] == {"c": 1}
+
+
+# ---------------------------------------------------------------------------
+# Streaming histograms
+# ---------------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_layout(self):
+        assert len(HIST_BUCKETS) == 20
+        assert HIST_BUCKETS[0] == 0.0005
+        assert all(
+            b == pytest.approx(a * 2) for a, b in zip(HIST_BUCKETS, HIST_BUCKETS[1:])
+        )
+
+    def test_observe_places_values(self):
+        hist = Histogram()
+        hist.observe(0.0001)  # below the first bound -> bucket 0
+        hist.observe(0.0005)  # exactly on a bound -> that bucket (le)
+        hist.observe(0.0006)  # just above -> next bucket
+        hist.observe(1e9)  # overflow -> +Inf slot
+        assert hist.counts[0] == 2
+        assert hist.counts[1] == 1
+        assert hist.counts[-1] == 1
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.0001 + 0.0005 + 0.0006 + 1e9)
+
+    def test_merge_is_elementwise(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.001)
+        b.observe(10.0)
+        a.merge(b)
+        assert a.count == 3
+        assert sum(a.counts) == 3
+        assert a.sum == pytest.approx(0.002 + 10.0)
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0  # empty
+        for _ in range(100):
+            hist.observe(0.003)  # lands in the (0.002, 0.004] bucket
+        q50 = hist.quantile(0.5)
+        assert 0.002 <= q50 <= 0.004
+        # Overflow observations report the largest finite bound.
+        only_inf = Histogram()
+        only_inf.observe(1e9)
+        assert only_inf.quantile(0.99) == HIST_BUCKETS[-1]
+
+    def test_registry_round_trip_with_histograms(self):
+        src = MetricsRegistry()
+        src.add("c", 2)
+        src.observe_hist("lat", 0.01)
+        src.observe_hist("lat", 3.0)
+        data = src.as_dict()
+        assert data["histograms"]["lat"]["count"] == 2
+        dst = MetricsRegistry.from_dict(data)
+        assert dst.as_dict() == data
+        # merge() sums histograms like everything else.
+        dst.merge(src)
+        assert dst.histogram("lat").count == 4
+
+    def test_as_dict_omits_empty_histograms_key(self):
+        """Pre-histogram serialized shapes stay byte-stable: the key only
+        appears once a histogram has been created."""
+        reg = MetricsRegistry()
+        reg.add("c", 1)
+        assert "histograms" not in reg.as_dict()
+        reg.observe_hist("lat", 0.5)
+        assert "histograms" in reg.as_dict()
+
+    def test_picklable_with_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe_hist("lat", 0.25)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.as_dict() == reg.as_dict()
 
 
 # ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.service.loadgen import (
     LoadgenConfig,
     build_templates,
     percentile,
+    percentile_nearest,
     run_loadgen,
     zipf_weights,
 )
@@ -71,20 +72,31 @@ def server(tmp_path):
     srv.stop()
 
 
-def post(url: str, body: dict | bytes, raw: bool = False):
-    """POST a batch; returns (status, decoded JSON body) even on 4xx/5xx."""
+def post_full(
+    url: str,
+    body: dict | bytes,
+    raw: bool = False,
+    request_id: str | None = None,
+):
+    """POST a batch; returns (status, JSON body, response headers)."""
     data = body if raw else json.dumps(body).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    if request_id is not None:
+        headers["X-Request-Id"] = request_id
     request = urllib.request.Request(
-        f"{url}/v1/batch",
-        data=data,
-        headers={"Content-Type": "application/json"},
-        method="POST",
+        f"{url}/v1/batch", data=data, headers=headers, method="POST"
     )
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), response.headers
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+def post(url: str, body: dict | bytes, raw: bool = False):
+    """POST a batch; returns (status, decoded JSON body) even on 4xx/5xx."""
+    status, payload, _ = post_full(url, body, raw=raw)
+    return status, payload
 
 
 def get(url: str, path: str):
@@ -330,7 +342,7 @@ def test_get_unknown_path_and_post_to_get_endpoint(server, corpus):
 
 
 def test_internal_error_leaks_no_traceback(server, corpus, monkeypatch):
-    def boom(self, request):
+    def boom(self, request, rid):
         raise RuntimeError("secret internal detail")
 
     monkeypatch.setattr(SchedulerService, "_evaluate", boom)
@@ -389,6 +401,15 @@ def test_metrics_exposition_is_valid(server, corpus):
     assert "repro_service_requests_total" in text
     assert "repro_service_request_seconds_seconds_total" in text
     assert "repro_service_cache_hit_rate" in text
+    # Latency histograms: total plus the per-phase split.
+    assert "repro_service_request_seconds_bucket" in text
+    assert "repro_service_request_seconds_count" in text
+    for phase in ("parse", "queue", "eval", "serialize"):
+        assert f"repro_service_phase_{phase}_seconds_bucket" in text
+    # SLO burn-rate gauges ride along at scrape time.
+    assert "repro_slo_latency_target" in text
+    assert "repro_slo_latency_burn_rate_5m" in text
+    assert "repro_slo_availability_burn_rate_1h" in text
 
 
 def test_validate_prometheus_text_rejects_garbage():
@@ -397,6 +418,253 @@ def test_validate_prometheus_text_rejects_garbage():
     assert any("malformed sample" in p for p in problems)
     problems = validate_prometheus_text('x_total{name="x"} 1\n')
     assert any("no preceding TYPE" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Request tracing: ids, Server-Timing, debug state, exemplars
+# ---------------------------------------------------------------------------
+def test_request_id_minted_and_echoed(server, corpus):
+    status, payload, headers = post_full(server.url, batch_body(corpus))
+    assert status == 200
+    rid = payload["request_id"]
+    assert rid.startswith("req-")
+    assert headers["X-Request-Id"] == rid
+    # Server-Timing: all four phases in the header and the payload block.
+    timing = headers["Server-Timing"]
+    for phase in ("parse", "queue", "eval", "serialize"):
+        assert f"{phase};dur=" in timing
+        assert phase in payload["server_timing"]
+    assert payload["server_timing"]["eval"] >= 0.0
+
+
+def test_client_request_id_honored_and_sanitized(server, corpus):
+    status, payload, headers = post_full(
+        server.url, batch_body(corpus), request_id="client-rid.7"
+    )
+    assert status == 200
+    assert payload["request_id"] == "client-rid.7"
+    assert headers["X-Request-Id"] == "client-rid.7"
+    # Header junk cannot leak into logs/traces: unsafe chars become '-'.
+    _, payload, headers = post_full(
+        server.url, batch_body(corpus), request_id="a b/c"
+    )
+    assert payload["request_id"] == "a-b-c"
+    assert headers["X-Request-Id"] == "a-b-c"
+
+
+def test_request_id_echoed_on_error_paths(server):
+    status, payload, headers = post_full(
+        server.url, b"{not json", raw=True, request_id="err-rid-1"
+    )
+    assert status == 400
+    assert payload["request_id"] == "err-rid-1"
+    assert headers["X-Request-Id"] == "err-rid-1"
+    # The per-phase block is a success-payload field only; the header
+    # still reports what little happened.
+    assert "server_timing" not in payload
+    assert "parse;dur=" in headers["Server-Timing"]
+
+
+def test_request_id_stamps_every_span(server, corpus):
+    status, payload = post(server.url, batch_body(corpus, trace=True))
+    assert status == 200
+    rid = payload["request_id"]
+    spans = [
+        e for e in payload["trace"]["traceEvents"] if e.get("ph") == "X"
+    ]
+    assert spans
+    assert all(e["args"].get("request_id") == rid for e in spans)
+
+
+def test_request_id_reaches_worker_spans_under_jobs(corpus, monkeypatch):
+    """The propagation contract under real parallelism: with --jobs 2 and
+    the break-even gate off, worker-side spans merged back by the pool
+    still carry the originating request id."""
+    monkeypatch.setenv("REPRO_PAR_BREAK_EVEN", "0")
+    srv = ServiceServer(ServiceConfig(port=0, jobs=2))
+    srv.start()
+    try:
+        # Two copies of the block: single-unit batches plan serial.
+        body = batch_body(corpus, trace=True)
+        body["blocks"] = body["blocks"] * 2
+        status, payload, _ = post_full(
+            srv.url, body, request_id="worker-rid-1"
+        )
+        assert status == 200
+        spans = [
+            e for e in payload["trace"]["traceEvents"] if e.get("ph") == "X"
+        ]
+        worker_spans = [
+            e for e in spans if e["args"].get("origin") == "worker"
+        ]
+        assert worker_spans, "expected parallel dispatch to worker units"
+        assert all(
+            e["args"].get("request_id") == "worker-rid-1" for e in spans
+        )
+    finally:
+        srv.stop()
+
+
+def test_debug_requests_rings(server, corpus):
+    _, raw = get(server.url, "/debug/requests")
+    empty = json.loads(raw)
+    assert empty["in_flight"] == [] and empty["recent"] == []
+    assert empty["slow_threshold_ms"] == 1000.0
+
+    post_full(server.url, batch_body(corpus), request_id="dbg-1")
+    post_full(server.url, b"{not json", raw=True, request_id="dbg-2")
+    _, raw = get(server.url, "/debug/requests")
+    state = json.loads(raw)
+    assert state["in_flight"] == []
+    # Newest first; error requests land in the ring too.
+    assert [e["request_id"] for e in state["recent"]] == ["dbg-2", "dbg-1"]
+    assert state["recent"][0]["status"] == 400
+    assert state["recent"][1]["status"] == 200
+    assert state["recent"][1]["kind"] == "schedule"
+    for entry in state["recent"]:
+        assert entry["elapsed_ms"] >= 0.0
+        assert set(entry["phases_ms"]) == {
+            "parse", "queue", "eval", "serialize",
+        }
+    # Nothing here was slower than the 1 s default threshold.
+    assert state["slow"] == []
+
+
+def test_slow_exemplar_capture_and_obs_slowest(tmp_path, corpus, capsys):
+    """threshold 0 forces an exemplar for every request, retrievable via
+    the ledger helpers and the ``repro obs slowest`` CLI."""
+    from repro.cli import main
+
+    ledger_dir = str(tmp_path / "ledger")
+    srv = ServiceServer(
+        ServiceConfig(
+            port=0,
+            ledger_dir=ledger_dir,
+            slow_threshold_ms=0.0,
+        )
+    )
+    srv.start()
+    try:
+        status, payload, _ = post_full(
+            srv.url, batch_body(corpus), request_id="slow-rid-1"
+        )
+        assert status == 200
+        _, raw = get(srv.url, "/metrics")
+        assert b"repro_service_slow_requests_total" in raw
+        _, raw = get(srv.url, "/debug/requests")
+        assert json.loads(raw)["slow"][0]["request_id"] == "slow-rid-1"
+    finally:
+        srv.stop()
+
+    records = ledger.load_ledger(ledger.ledger_path(ledger_dir))
+    exemplars = ledger.slow_exemplars(records)
+    assert len(exemplars) == 1
+    exemplar = exemplars[0]["exemplar"]
+    assert exemplar["request_id"] == "slow-rid-1"
+    assert exemplar["threshold_ms"] == 0.0
+    assert set(exemplar["phases_ms"]) == {"parse", "queue", "eval", "serialize"}
+    # The ledger gives the service a tracer, so the exemplar carries a
+    # full Chrome trace even though the client never asked for one.
+    assert validate_chrome_trace(exemplar["trace"]) == []
+    assert "slow-rid-1" in ledger.render_slowest(records)
+
+    trace_out = tmp_path / "slow.json"
+    rc = main([
+        "obs", "slowest", "--ledger", ledger_dir,
+        "--trace-out", str(trace_out),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "slow-rid-1" in out
+    assert validate_chrome_trace(json.loads(trace_out.read_text())) == []
+
+
+def test_obs_slo_replays_ledger(tmp_path, corpus, capsys):
+    from repro.cli import main
+
+    ledger_dir = str(tmp_path / "ledger")
+    srv = ServiceServer(ServiceConfig(port=0, ledger_dir=ledger_dir))
+    srv.start()
+    try:
+        for _ in range(3):
+            assert post(srv.url, batch_body(corpus))[0] == 200
+    finally:
+        srv.stop()
+
+    # An absurd 1 ms objective: every request blows the budget.
+    rc = main([
+        "obs", "slo", "--ledger", ledger_dir, "--latency-ms", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "objective latency" in out
+    assert "bad 3/3" in out
+    assert "<-- burning" in out
+
+    rc = main([
+        "obs", "slo", "--ledger", ledger_dir, "--latency-ms", "1",
+        "--json",
+    ])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    by_name = {o["name"]: o for o in report["objectives"]}
+    assert by_name["latency"]["windows"]["5m"]["bad"] == 3
+    # The ledger only records answered requests, so replayed
+    # availability never burns.
+    assert by_name["availability"]["windows"]["5m"]["bad"] == 0
+
+    # --max-burn turns the report into a gate.
+    rc = main([
+        "obs", "slo", "--ledger", ledger_dir, "--latency-ms", "1",
+        "--max-burn", "1.0",
+    ])
+    assert rc != 0
+
+
+def test_health_metrics_debug_never_block_behind_eval(corpus, monkeypatch):
+    """The read-only endpoints answer while a batch holds the eval lock."""
+    import threading
+    import time
+
+    import repro.eval.sched_eval as sched_eval
+
+    real = sched_eval.evaluate_corpus
+    entered = threading.Event()
+
+    def slow(*args, **kwargs):
+        entered.set()
+        time.sleep(1.5)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(sched_eval, "evaluate_corpus", slow)
+    srv = ServiceServer(ServiceConfig(port=0))
+    srv.start()
+    try:
+        result: dict = {}
+
+        def fire():
+            result["status"] = post(srv.url, batch_body(corpus))[0]
+
+        poster = threading.Thread(target=fire, daemon=True)
+        poster.start()
+        assert entered.wait(10), "batch never reached evaluation"
+        # The batch now sleeps holding the eval lock; every read-only
+        # endpoint must answer in a fraction of that 1.5 s hold.
+        for path in ("/healthz", "/metrics", "/debug/requests"):
+            t0 = time.perf_counter()
+            status, _ = get(srv.url, path)
+            elapsed = time.perf_counter() - t0
+            assert status == 200
+            assert elapsed < 0.75, (
+                f"{path} took {elapsed:.3f}s behind a locked batch"
+            )
+        _, raw = get(srv.url, "/debug/requests")
+        in_flight = json.loads(raw)["in_flight"]
+        assert len(in_flight) == 1 and in_flight[0]["age_s"] >= 0.0
+        poster.join(timeout=30)
+        assert result["status"] == 200
+    finally:
+        srv.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -441,11 +709,23 @@ def test_zipf_weights_skew():
         zipf_weights(0, 1.0)
 
 
-def test_percentile():
+def test_percentile_interpolates():
     values = [float(v) for v in range(1, 101)]
-    assert percentile(values, 0.50) == 51.0
-    assert percentile(values, 0.99) == 99.0
+    assert percentile(values, 0.50) == pytest.approx(50.5)
+    assert percentile(values, 0.99) == pytest.approx(99.01)
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 100.0
     assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_nearest_rank_saturated_at_small_n():
+    """The regression the interpolated estimator fixes: nearest-rank p99
+    collapses to the sample *maximum* for any run under ~50 samples."""
+    values = [float(v) for v in range(1, 21)]  # n=20
+    assert percentile_nearest(values, 0.99) == 20.0  # == max(values)
+    assert percentile(values, 0.99) == pytest.approx(19.81)
+    assert percentile(values, 0.99) < max(values)
 
 
 def test_build_templates_deterministic():
@@ -471,6 +751,9 @@ def test_loadgen_self_hosted_and_history(tmp_path):
     report = run_loadgen(config)
     assert report.ok and report.failed == 0
     assert report.requests == 20
+    assert report.samples == 20, "every answered request records a latency"
+    assert "(n=20)" in report.render()
+    assert report.as_dict()["samples"] == 20
     assert report.hit_rate > 0, "zipf repeats must warm the cache"
     payload = report.history_payload()
     assert payload["loadgen_throughput"]["unit"] == "req/s"

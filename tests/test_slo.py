@@ -1,0 +1,194 @@
+"""SLO tracker: objective validation, burn-rate arithmetic, window aging.
+
+Everything runs on an injected fake clock / explicit timestamps — the
+tracker's contract is that live tracking and offline ledger replay share
+one arithmetic, so these tests never sleep and never read a real clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    Objective,
+    SLOTracker,
+    default_objectives,
+    window_label,
+)
+
+
+# ---------------------------------------------------------------------------
+# Objectives
+# ---------------------------------------------------------------------------
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown objective kind"):
+            Objective(name="x", kind="throughput", target=0.9)
+        with pytest.raises(ValueError, match="target must be in"):
+            Objective(name="x", kind="availability", target=1.0)
+        with pytest.raises(ValueError, match="target must be in"):
+            Objective(name="x", kind="availability", target=0.0)
+        with pytest.raises(ValueError, match="positive threshold"):
+            Objective(name="x", kind="latency", target=0.99)
+
+    def test_is_good(self):
+        latency = Objective(
+            name="lat", kind="latency", target=0.99, threshold_s=0.5
+        )
+        assert latency.is_good(ok=True, latency_s=0.5)
+        assert not latency.is_good(ok=True, latency_s=0.6)
+        assert not latency.is_good(ok=False, latency_s=0.1)
+        avail = Objective(name="up", kind="availability", target=0.999)
+        assert avail.is_good(ok=True, latency_s=999.0)
+        assert not avail.is_good(ok=False, latency_s=0.0)
+
+    def test_describe(self):
+        latency = Objective(
+            name="lat", kind="latency", target=0.99, threshold_s=0.25
+        )
+        assert "0.99" in latency.describe()
+        assert "250 ms" in latency.describe()
+        avail = Objective(name="up", kind="availability", target=0.999)
+        assert "succeed" in avail.describe()
+
+    def test_default_objectives(self):
+        objectives = default_objectives(
+            latency_target=0.95,
+            latency_threshold_s=0.2,
+            availability_target=0.99,
+        )
+        assert [o.name for o in objectives] == ["latency", "availability"]
+        assert objectives[0].threshold_s == 0.2
+        assert objectives[1].target == 0.99
+
+
+def test_window_label():
+    assert window_label(300) == "5m"
+    assert window_label(1800) == "30m"
+    assert window_label(3600) == "1h"
+    assert window_label(21600) == "6h"
+    assert window_label(45) == "45s"
+    assert [window_label(w) for w in DEFAULT_WINDOWS] == [
+        "5m", "30m", "1h", "6h",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Tracker
+# ---------------------------------------------------------------------------
+def _tracker(**kwargs) -> SLOTracker:
+    return SLOTracker(
+        default_objectives(
+            latency_target=0.99,
+            latency_threshold_s=1.0,
+            availability_target=0.999,
+        ),
+        **kwargs,
+    )
+
+
+class TestSLOTracker:
+    def test_burn_rate_arithmetic(self):
+        tracker = _tracker()
+        # 100 good + 7 slow-but-successful at t=0..106: the latency
+        # objective sees 7/107 bad, availability sees 0/107.
+        for i in range(100):
+            tracker.record(ok=True, latency_s=0.1, t=float(i))
+        for i in range(7):
+            tracker.record(ok=True, latency_s=2.0, t=100.0 + i)
+        t = 106.0
+        assert tracker.tally("latency", 300.0, t=t) == (107, 7)
+        assert tracker.burn_rate("latency", 300.0, t=t) == pytest.approx(
+            (7 / 107) / 0.01
+        )
+        assert tracker.burn_rate("availability", 300.0, t=t) == 0.0
+        # Two 5xx responses spend availability budget fast.
+        tracker.record(ok=False, latency_s=0.1, t=t)
+        tracker.record(ok=False, latency_s=0.1, t=t)
+        assert tracker.burn_rate(
+            "availability", 300.0, t=t
+        ) == pytest.approx((2 / 109) / 0.001)
+
+    def test_windows_age_out(self):
+        tracker = _tracker()
+        tracker.record(ok=False, latency_s=5.0, t=10.0)
+        assert tracker.burn_rate("latency", 300.0, t=10.0) > 0
+        # 400 s later the 5-minute window is empty again ...
+        assert tracker.burn_rate("latency", 300.0, t=410.0) == 0.0
+        assert tracker.tally("latency", 300.0, t=410.0) == (0, 0)
+        # ... while the 1 h window still remembers.
+        assert tracker.tally("latency", 3600.0, t=410.0) == (1, 1)
+
+    def test_memory_bounded_by_longest_window(self):
+        tracker = _tracker(windows=(60.0,), resolution=10.0)
+        for i in range(10_000):
+            tracker.record(ok=True, latency_s=0.1, t=float(i))
+        ring = tracker._rings["latency"]
+        # 60 s / 10 s resolution -> at most a handful of live buckets.
+        assert len(ring) <= 60 // 10 + 2
+
+    def test_injected_clock_drives_defaults(self):
+        now = {"t": 50.0}
+        tracker = _tracker(clock=lambda: now["t"])
+        tracker.record(ok=False, latency_s=9.0)  # t defaults to clock
+        assert tracker.last_recorded == 50.0
+        assert tracker.burn_rate("latency", 300.0) > 0
+        now["t"] = 500.0  # idle gap: live queries see the window decay
+        assert tracker.burn_rate("latency", 300.0) == 0.0
+        # Replay-style queries pin t explicitly and still see the run.
+        assert tracker.burn_rate(
+            "latency", 300.0, t=tracker.last_recorded
+        ) > 0
+
+    def test_gauges_shape(self):
+        tracker = _tracker()
+        tracker.record(ok=True, latency_s=0.1, t=0.0)
+        gauges = tracker.gauges(t=0.0)
+        assert gauges["slo.latency.target"] == 0.99
+        assert gauges["slo.availability.target"] == 0.999
+        for label in ("5m", "30m", "1h", "6h"):
+            assert gauges[f"slo.latency.burn_rate_{label}"] == 0.0
+            assert gauges[f"slo.latency.requests_{label}"] == 1.0
+            assert f"slo.availability.burn_rate_{label}" in gauges
+
+    def test_render_flags_burning_objectives(self):
+        tracker = _tracker()
+        for _ in range(10):
+            tracker.record(ok=True, latency_s=5.0, t=1.0)
+        out = tracker.render(t=1.0)
+        assert "objective latency" in out
+        assert "<-- burning" in out
+        assert "bad 10/10" in out
+
+    def test_as_dict(self):
+        tracker = _tracker()
+        tracker.record(ok=True, latency_s=2.0, t=0.0)
+        report = tracker.as_dict(t=0.0)
+        assert report["windows"] == sorted(DEFAULT_WINDOWS)
+        by_name = {o["name"]: o for o in report["objectives"]}
+        assert by_name["latency"]["threshold_s"] == 1.0
+        assert "threshold_s" not in by_name["availability"]
+        entry = by_name["latency"]["windows"]["5m"]
+        assert entry == {
+            "total": 1,
+            "bad": 1,
+            "burn_rate": round(1.0 / 0.01, 6),
+        }
+
+    def test_duplicate_objective_names_rejected(self):
+        twice = (
+            Objective(name="x", kind="availability", target=0.9),
+            Objective(name="x", kind="availability", target=0.99),
+        )
+        with pytest.raises(ValueError, match="duplicate objective names"):
+            SLOTracker(twice)
+
+    def test_needs_a_window(self):
+        with pytest.raises(ValueError, match="at least one window"):
+            SLOTracker(windows=())
+
+    def test_unknown_objective_raises(self):
+        tracker = _tracker()
+        with pytest.raises(KeyError):
+            tracker.burn_rate("nope", 300.0, t=0.0)
